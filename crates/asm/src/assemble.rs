@@ -1,0 +1,1260 @@
+//! The two-pass assembler.
+//!
+//! Pass one parses statements, lays out sections and binds labels and
+//! literal pools; pass two encodes instructions (resolving PC-relative
+//! displacements) and emits relocations for link-time values.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment            # comment
+//! label:  .text | .data
+//!         .word expr, ...     .half n, ...    .byte n, ...
+//!         .ascii "s"          .asciiz "s"     .float 1.5   .double 2.5
+//!         .space n            .align n        .comm sym, n
+//!         .globl sym          .pool
+//!         add  r1, r2, r3     addi r1, r1, 4      mvi r2, -7
+//!         ld   r2, 8(r15)     st r2, gprel(counter)(r13)
+//!         cmplt r0, r4, r5    bz r0, loop         jl r9
+//!         mvhi r4, hi(sym)    ori r4, r4, lo(sym) jal func
+//!         ldc  r3, =sym       ; D16 literal-pool load
+//!         la r3, sym          li r3, 100000       ret      ; pseudos
+//! ```
+//!
+//! Pseudo-instructions expand per target: `la`/oversized `li` become
+//! `ldc` + pool entry on D16 and `mvhi`+`ori` on DLXe; `ret` becomes a jump
+//! through the ISA's link register.
+
+use crate::expr::{tokenize, Expr, Tok};
+use crate::object::{AsmError, Object, Reloc, RelocKind, Section, Symbol};
+use d16_isa::{
+    abi, AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, Insn, Isa, MemWidth, Prec, TrapCode, UnOp,
+};
+use std::collections::HashMap;
+
+/// A literal-pool entry key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum LitKey {
+    Num(i64),
+    Sym(String, i64),
+}
+
+/// Instruction templates: fully-resolved, or awaiting expression/pool/label
+/// resolution in pass two.
+#[derive(Clone, Debug)]
+enum ITpl {
+    Ready(Insn),
+    Imm { shape: ImmShape, expr: Expr },
+    Branch { neg: Option<bool>, rs: Gpr, target: Expr },
+    Jal { link: bool, target: Expr },
+    Ldc { rd: Gpr, lit: usize },
+}
+
+/// Which instruction an expression-carrying template builds.
+#[derive(Clone, Debug)]
+enum ImmShape {
+    AluI { op: AluOp, rd: Gpr, rs1: Gpr },
+    Mvi { rd: Gpr },
+    Lui { rd: Gpr },
+    CmpI { cond: Cond, rd: Gpr, rs1: Gpr },
+    Ld { w: MemWidth, rd: Gpr, base: Gpr },
+    St { w: MemWidth, rs: Gpr, base: Gpr },
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Label(String),
+    SetSection(Section),
+    Insn(usize, ITpl),
+    Word(usize, Vec<Expr>),
+    Half(Vec<i64>),
+    Byte(Vec<i64>),
+    Bytes(Vec<u8>),
+    FloatLit(f32),
+    DoubleLit(f64),
+    Space(u32),
+    Align(u32),
+    Comm(usize, String, u32),
+    Pool,
+}
+
+/// Assembles one translation unit for the given ISA.
+///
+/// # Errors
+///
+/// Returns the first syntax, layout or encoding error, tagged with its
+/// 1-based source line.
+pub fn assemble(isa: Isa, source: &str) -> Result<Object, AsmError> {
+    let mut p = Parser { isa, items: Vec::new(), lits: Vec::new() };
+    for (idx, raw) in source.lines().enumerate() {
+        p.parse_line(raw, idx + 1)?;
+    }
+    // Fallback pool so every `ldc` resolves even without an explicit `.pool`.
+    if !p.lits.is_empty() {
+        p.items.push(Item::SetSection(Section::Text));
+        p.items.push(Item::Pool);
+    }
+    layout_and_encode(isa, p)
+}
+
+struct Parser {
+    isa: Isa,
+    items: Vec<Item>,
+    lits: Vec<LitKey>,
+}
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::Line { line: self.line, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), AsmError> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing tokens: {:?}", &self.toks[self.pos..])))
+        }
+    }
+
+    fn punct(&mut self, c: char) -> Result<(), AsmError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, got {other:?}"))),
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), AsmError> {
+        self.punct(',')
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn gpr(&mut self) -> Result<Gpr, AsmError> {
+        let s = self.ident()?;
+        parse_gpr(&s).ok_or_else(|| self.err(format!("expected a general register, got `{s}`")))
+    }
+
+    fn fpr(&mut self) -> Result<Fpr, AsmError> {
+        let s = self.ident()?;
+        parse_fpr(&s).ok_or_else(|| self.err(format!("expected an FP register, got `{s}`")))
+    }
+
+    fn num(&mut self) -> Result<i64, AsmError> {
+        let neg = self.eat_punct('-');
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(if neg { -n } else { n }),
+            other => Err(self.err(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    /// Parses an operand expression: number, `sym(+|-)n`, `hi/lo/gprel(...)`,
+    /// or `.(+|-)n`.
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        if self.eat_punct('.') {
+            let neg = if self.eat_punct('-') {
+                true
+            } else {
+                self.punct('+')?;
+                false
+            };
+            let n = match self.next() {
+                Some(Tok::Num(n)) => n,
+                other => return Err(self.err(format!("expected a number after `.`, got {other:?}"))),
+            };
+            return Ok(Expr::Here(if neg { -n } else { n }));
+        }
+        if matches!(self.peek(), Some(Tok::Punct('-')) | Some(Tok::Num(_))) {
+            return Ok(Expr::Num(self.num()?));
+        }
+        let name = self.ident()?;
+        if matches!(name.as_str(), "hi" | "lo" | "gprel") && self.eat_punct('(') {
+            let sym = self.ident()?;
+            let addend = self.addend()?;
+            self.punct(')')?;
+            return Ok(match name.as_str() {
+                "hi" => Expr::Hi(sym, addend),
+                "lo" => Expr::Lo(sym, addend),
+                _ => Expr::GpRel(sym, addend),
+            });
+        }
+        let addend = self.addend()?;
+        Ok(Expr::Sym(name, addend))
+    }
+
+    fn addend(&mut self) -> Result<i64, AsmError> {
+        if self.eat_punct('+') {
+            self.num()
+        } else if matches!(self.peek(), Some(Tok::Punct('-'))) {
+            self.num()
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Parses `disp(base)` or `(base)`.
+    fn mem_operand(&mut self) -> Result<(Expr, Gpr), AsmError> {
+        let disp = if matches!(self.peek(), Some(Tok::Punct('('))) {
+            Expr::Num(0)
+        } else {
+            self.expr()?
+        };
+        self.punct('(')?;
+        let base = self.gpr()?;
+        self.punct(')')?;
+        Ok((disp, base))
+    }
+}
+
+fn parse_gpr(s: &str) -> Option<Gpr> {
+    let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+    Gpr::try_new(n)
+}
+
+fn parse_fpr(s: &str) -> Option<Fpr> {
+    let n: u8 = s.strip_prefix('f')?.parse().ok()?;
+    Fpr::try_new(n)
+}
+
+impl Parser {
+    fn parse_line(&mut self, raw: &str, line: usize) -> Result<(), AsmError> {
+        let toks = tokenize(raw, line)?;
+        let mut c = Cursor { toks: &toks, pos: 0, line };
+        // Leading label(s).
+        while c.toks.len() >= c.pos + 2 {
+            if let (Tok::Ident(name), Tok::Punct(':')) = (&c.toks[c.pos], &c.toks[c.pos + 1]) {
+                if parse_gpr(name).is_none() && parse_fpr(name).is_none() {
+                    self.items.push(Item::Label(name.clone()));
+                    c.pos += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        match c.peek().cloned() {
+            None => Ok(()),
+            Some(Tok::Directive(d)) => {
+                c.pos += 1;
+                self.parse_directive(&d, &mut c)
+            }
+            Some(Tok::Ident(m)) => {
+                c.pos += 1;
+                self.parse_insn(&m, &mut c)
+            }
+            Some(other) => Err(c.err(format!("expected statement, got {other:?}"))),
+        }
+    }
+
+    fn parse_directive(&mut self, d: &str, c: &mut Cursor<'_>) -> Result<(), AsmError> {
+        match d {
+            ".text" => self.items.push(Item::SetSection(Section::Text)),
+            ".data" => self.items.push(Item::SetSection(Section::Data)),
+            ".word" => {
+                let mut v = vec![c.expr()?];
+                while c.eat_punct(',') {
+                    v.push(c.expr()?);
+                }
+                self.items.push(Item::Word(c.line, v));
+            }
+            ".half" | ".byte" => {
+                let mut v = vec![c.num()?];
+                while c.eat_punct(',') {
+                    v.push(c.num()?);
+                }
+                self.items.push(if d == ".half" {
+                    Item::Half(v)
+                } else {
+                    Item::Byte(v)
+                });
+            }
+            ".ascii" | ".asciiz" => {
+                let mut s = match c.next() {
+                    Some(Tok::Str(s)) => s,
+                    other => return Err(c.err(format!("expected string, got {other:?}"))),
+                };
+                if d == ".asciiz" {
+                    s.push(0);
+                }
+                self.items.push(Item::Bytes(s));
+            }
+            ".float" | ".double" => {
+                let neg = c.eat_punct('-');
+                let v = match c.next() {
+                    Some(Tok::Float(f)) => f,
+                    Some(Tok::Num(n)) => n as f64,
+                    other => return Err(c.err(format!("expected float, got {other:?}"))),
+                };
+                let v = if neg { -v } else { v };
+                self.items.push(if d == ".float" {
+                    Item::FloatLit(v as f32)
+                } else {
+                    Item::DoubleLit(v)
+                });
+            }
+            ".space" => {
+                let n = c.num()?;
+                if !(0..=(64 << 20)).contains(&n) {
+                    return Err(c.err(format!(".space size {n} out of range")));
+                }
+                self.items.push(Item::Space(n as u32));
+            }
+            ".align" => {
+                let n = c.num()?;
+                if ![1, 2, 4, 8, 16].contains(&n) {
+                    return Err(c.err(format!("bad alignment {n}")));
+                }
+                self.items.push(Item::Align(n as u32));
+            }
+            ".comm" => {
+                let name = c.ident()?;
+                c.comma()?;
+                let size = c.num()?;
+                if !(0..=(64 << 20)).contains(&size) {
+                    return Err(c.err(format!(".comm size {size} out of range")));
+                }
+                self.items.push(Item::Comm(c.line, name, size as u32));
+            }
+            ".globl" | ".global" => {
+                let _ = c.ident()?; // single namespace: accepted, no effect
+            }
+            ".pool" => self.items.push(Item::Pool),
+            other => return Err(c.err(format!("unknown directive `{other}`"))),
+        }
+        c.expect_end()
+    }
+
+    fn lit_id(&mut self, key: LitKey) -> usize {
+        self.lits.push(key);
+        self.lits.len() - 1
+    }
+
+    fn push_insn(&mut self, line: usize, t: ITpl) {
+        self.items.push(Item::Insn(line, t));
+    }
+
+    fn parse_insn(&mut self, m: &str, c: &mut Cursor<'_>) -> Result<(), AsmError> {
+        let line = c.line;
+        let isa = self.isa;
+        // Dotted FP mnemonics.
+        if let Some((base, suffix)) = m.split_once('.') {
+            let prec = match suffix {
+                "sf" => Prec::S,
+                "df" => Prec::D,
+                _ => return Err(c.err(format!("unknown mnemonic `{m}`"))),
+            };
+            let t = match base {
+                "add" | "sub" | "mul" | "div" => {
+                    let op = match base {
+                        "add" => FpOp::Add,
+                        "sub" => FpOp::Sub,
+                        "mul" => FpOp::Mul,
+                        _ => FpOp::Div,
+                    };
+                    let fd = c.fpr()?;
+                    c.comma()?;
+                    let a = c.fpr()?;
+                    let (fs1, fs2) = if c.eat_punct(',') { (a, c.fpr()?) } else { (fd, a) };
+                    Insn::FAlu { op, prec, fd, fs1, fs2 }
+                }
+                "neg" => {
+                    let fd = c.fpr()?;
+                    c.comma()?;
+                    let fs = c.fpr()?;
+                    Insn::FNeg { prec, fd, fs }
+                }
+                "cmpeq" | "cmplt" | "cmple" => {
+                    let cond = match base {
+                        "cmpeq" => FpCond::Eq,
+                        "cmplt" => FpCond::Lt,
+                        _ => FpCond::Le,
+                    };
+                    let fs1 = c.fpr()?;
+                    c.comma()?;
+                    let fs2 = c.fpr()?;
+                    Insn::FCmp { cond, prec, fs1, fs2 }
+                }
+                _ => return Err(c.err(format!("unknown mnemonic `{m}`"))),
+            };
+            self.push_insn(line, ITpl::Ready(t));
+            return c.expect_end();
+        }
+
+        match m {
+            "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "shra" => {
+                let op = alu_from(m);
+                let rd = c.gpr()?;
+                c.comma()?;
+                // Either `rd, rs2` (two-address) or `rd, rs1, rs2`, where the
+                // third operand may be an expression for `ori rd, rd, lo(x)`.
+                let a = c.gpr()?;
+                if c.eat_punct(',') {
+                    if matches!(c.peek(), Some(Tok::Ident(s)) if parse_gpr(s).is_some()) {
+                        let rs2 = c.gpr()?;
+                        self.push_insn(line, ITpl::Ready(Insn::Alu { op, rd, rs1: a, rs2 }));
+                    } else {
+                        let expr = c.expr()?;
+                        self.push_insn(
+                            line,
+                            ITpl::Imm { shape: ImmShape::AluI { op, rd, rs1: a }, expr },
+                        );
+                    }
+                } else {
+                    self.push_insn(line, ITpl::Ready(Insn::Alu { op, rd, rs1: rd, rs2: a }));
+                }
+            }
+            "addi" | "subi" | "andi" | "ori" | "xori" | "shli" | "shri" | "shrai" => {
+                let op = alu_from(m.trim_end_matches('i'));
+                let rd = c.gpr()?;
+                c.comma()?;
+                let (rs1, expr) = if matches!(c.peek(), Some(Tok::Ident(s)) if parse_gpr(s).is_some())
+                {
+                    let rs1 = c.gpr()?;
+                    c.comma()?;
+                    (rs1, c.expr()?)
+                } else {
+                    (rd, c.expr()?)
+                };
+                self.push_insn(line, ITpl::Imm { shape: ImmShape::AluI { op, rd, rs1 }, expr });
+            }
+            "neg" | "inv" | "mv" => {
+                let op = match m {
+                    "neg" => UnOp::Neg,
+                    "inv" => UnOp::Inv,
+                    _ => UnOp::Mv,
+                };
+                let rd = c.gpr()?;
+                c.comma()?;
+                let rs = c.gpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Un { op, rd, rs }));
+            }
+            "mvi" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                let expr = c.expr()?;
+                self.push_insn(line, ITpl::Imm { shape: ImmShape::Mvi { rd }, expr });
+            }
+            "mvhi" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                let expr = c.expr()?;
+                self.push_insn(line, ITpl::Imm { shape: ImmShape::Lui { rd }, expr });
+            }
+            _ if m.starts_with("cmp") => {
+                let rest = &m[3..];
+                let (cond, imm_form) = match rest.strip_suffix('i') {
+                    Some(base) if cond_from(base).is_some() => (cond_from(base).unwrap(), true),
+                    _ => (
+                        cond_from(rest)
+                            .ok_or_else(|| c.err(format!("unknown mnemonic `{m}`")))?,
+                        false,
+                    ),
+                };
+                let a = c.gpr()?;
+                c.comma()?;
+                if imm_form {
+                    let b = c.gpr()?;
+                    if c.eat_punct(',') {
+                        let expr = c.expr()?;
+                        self.push_insn(
+                            line,
+                            ITpl::Imm { shape: ImmShape::CmpI { cond, rd: a, rs1: b }, expr },
+                        );
+                    } else {
+                        return Err(c.err("cmp..i needs rd, rs1, imm"));
+                    }
+                } else {
+                    let b = c.gpr()?;
+                    if c.eat_punct(',') {
+                        let rs2 = c.gpr()?;
+                        self.push_insn(
+                            line,
+                            ITpl::Ready(Insn::Cmp { cond, rd: a, rs1: b, rs2 }),
+                        );
+                    } else {
+                        // Two-operand D16 form: destination implicitly r0.
+                        self.push_insn(
+                            line,
+                            ITpl::Ready(Insn::Cmp { cond, rd: abi::R0, rs1: a, rs2: b }),
+                        );
+                    }
+                }
+            }
+            "ld" | "ldh" | "ldhu" | "ldb" | "ldbu" => {
+                let w = width_from(m);
+                let rd = c.gpr()?;
+                c.comma()?;
+                let (disp, base) = c.mem_operand()?;
+                self.push_insn(line, ITpl::Imm { shape: ImmShape::Ld { w, rd, base }, expr: disp });
+            }
+            "st" | "sth" | "stb" => {
+                let w = match m {
+                    "st" => MemWidth::W,
+                    "sth" => MemWidth::H,
+                    _ => MemWidth::B,
+                };
+                let rs = c.gpr()?;
+                c.comma()?;
+                let (disp, base) = c.mem_operand()?;
+                self.push_insn(line, ITpl::Imm { shape: ImmShape::St { w, rs, base }, expr: disp });
+            }
+            "ldc" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                if c.eat_punct('=') {
+                    let key = match c.expr()? {
+                        Expr::Num(n) => LitKey::Num(n),
+                        Expr::Sym(s, a) => LitKey::Sym(s, a),
+                        other => return Err(c.err(format!("bad literal {other:?}"))),
+                    };
+                    let lit = self.lit_id(key);
+                    self.push_insn(line, ITpl::Ldc { rd, lit });
+                } else {
+                    let disp = c.expr()?;
+                    match disp {
+                        Expr::Here(n) => self
+                            .push_insn(line, ITpl::Ready(Insn::Ldc { rd, disp: n as i32 })),
+                        other => return Err(c.err(format!("ldc takes =literal or .+n, got {other:?}"))),
+                    }
+                }
+            }
+            "br" => {
+                let target = c.expr()?;
+                self.push_insn(line, ITpl::Branch { neg: None, rs: abi::R0, target });
+            }
+            "bz" | "bnz" => {
+                let rs = c.gpr()?;
+                c.comma()?;
+                let target = c.expr()?;
+                self.push_insn(line, ITpl::Branch { neg: Some(m == "bnz"), rs, target });
+            }
+            "j" | "jal" | "jd" => {
+                if matches!(c.peek(), Some(Tok::Ident(s)) if parse_gpr(s).is_some()) {
+                    let target = c.gpr()?;
+                    let t = if m == "jal" { Insn::Jl { target } } else { Insn::J { target } };
+                    self.push_insn(line, ITpl::Ready(t));
+                } else {
+                    let target = c.expr()?;
+                    self.push_insn(line, ITpl::Jal { link: m == "jal", target });
+                }
+            }
+            "jl" => {
+                let target = c.gpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Jl { target }));
+            }
+            "jz" | "jnz" => {
+                let rs = c.gpr()?;
+                c.comma()?;
+                let target = c.gpr()?;
+                self.push_insn(
+                    line,
+                    ITpl::Ready(Insn::Jc { neg: m == "jnz", rs, target }),
+                );
+            }
+            "si2sf" | "si2df" | "sf2df" | "df2sf" | "sf2si" | "df2si" => {
+                let op = match m {
+                    "si2sf" => CvtOp::Si2Sf,
+                    "si2df" => CvtOp::Si2Df,
+                    "sf2df" => CvtOp::Sf2Df,
+                    "df2sf" => CvtOp::Df2Sf,
+                    "sf2si" => CvtOp::Sf2Si,
+                    _ => CvtOp::Df2Si,
+                };
+                let fd = c.fpr()?;
+                c.comma()?;
+                let fs = c.fpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Cvt { op, fd, fs }));
+            }
+            "mtf" => {
+                let fd = c.fpr()?;
+                c.comma()?;
+                let rs = c.gpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Mtf { fd, rs }));
+            }
+            "mff" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                let fs = c.fpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Mff { rd, fs }));
+            }
+            "rdsr" => {
+                let rd = c.gpr()?;
+                self.push_insn(line, ITpl::Ready(Insn::Rdsr { rd }));
+            }
+            "trap" => {
+                let n = c.num()?;
+                let code = TrapCode::from_code(n as u8)
+                    .ok_or_else(|| c.err(format!("unknown trap code {n}")))?;
+                self.push_insn(line, ITpl::Ready(Insn::Trap { code }));
+            }
+            "nop" => self.push_insn(line, ITpl::Ready(Insn::Nop)),
+            // ---- pseudo-instructions ----
+            "la" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                let (sym, add) = match c.expr()? {
+                    Expr::Sym(s, a) => (s, a),
+                    other => return Err(c.err(format!("la takes a symbol, got {other:?}"))),
+                };
+                match isa {
+                    Isa::D16 => {
+                        let lit = self.lit_id(LitKey::Sym(sym, add));
+                        self.push_insn(line, ITpl::Ldc { rd, lit });
+                    }
+                    Isa::Dlxe => {
+                        self.push_insn(
+                            line,
+                            ITpl::Imm {
+                                shape: ImmShape::Lui { rd },
+                                expr: Expr::Hi(sym.clone(), add),
+                            },
+                        );
+                        self.push_insn(
+                            line,
+                            ITpl::Imm {
+                                shape: ImmShape::AluI { op: AluOp::Or, rd, rs1: rd },
+                                expr: Expr::Lo(sym, add),
+                            },
+                        );
+                    }
+                }
+            }
+            "li" => {
+                let rd = c.gpr()?;
+                c.comma()?;
+                let n = c.num()?;
+                if !(i32::MIN as i64..=u32::MAX as i64).contains(&n) {
+                    return Err(c.err(format!("li value {n} out of 32-bit range")));
+                }
+                let v = n as i32;
+                match isa {
+                    Isa::D16 => {
+                        if (-256..=255).contains(&v) {
+                            self.push_insn(line, ITpl::Ready(Insn::Mvi { rd, imm: v }));
+                        } else {
+                            let lit = self.lit_id(LitKey::Num(n));
+                            self.push_insn(line, ITpl::Ldc { rd, lit });
+                        }
+                    }
+                    Isa::Dlxe => {
+                        if (-32768..=32767).contains(&v) {
+                            self.push_insn(line, ITpl::Ready(Insn::Mvi { rd, imm: v }));
+                        } else {
+                            let u = v as u32;
+                            self.push_insn(
+                                line,
+                                ITpl::Ready(Insn::Lui { rd, imm: u >> 16 }),
+                            );
+                            if u & 0xffff != 0 {
+                                self.push_insn(
+                                    line,
+                                    ITpl::Ready(Insn::AluI {
+                                        op: AluOp::Or,
+                                        rd,
+                                        rs1: rd,
+                                        imm: (u & 0xffff) as i32,
+                                    }),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            "ret" => {
+                self.push_insn(line, ITpl::Ready(Insn::J { target: isa.link_reg() }));
+            }
+            other => return Err(c.err(format!("unknown mnemonic `{other}`"))),
+        }
+        c.expect_end()
+    }
+}
+
+fn alu_from(m: &str) -> AluOp {
+    match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => AluOp::Shra,
+    }
+}
+
+fn cond_from(s: &str) -> Option<Cond> {
+    Cond::ALL.into_iter().find(|c| c.suffix() == s)
+}
+
+fn width_from(m: &str) -> MemWidth {
+    match m {
+        "ld" => MemWidth::W,
+        "ldh" => MemWidth::H,
+        "ldhu" => MemWidth::Hu,
+        "ldb" => MemWidth::B,
+        _ => MemWidth::Bu,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout (pass one) and encoding (pass two)
+// ---------------------------------------------------------------------------
+
+fn align_up(x: u32, a: u32) -> u32 {
+    (x + a - 1) & !(a - 1)
+}
+
+fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
+    let ilen = isa.insn_bytes();
+    let mut obj = Object::default();
+
+    // ---- pass one: sizes, labels, pools ----
+    //
+    // Labels bind lazily: a label names the next byte actually emitted, so
+    // padding inserted by an aligned directive lands *before* the label's
+    // address rather than after it.
+    let mut sect = Section::Text;
+    let mut off = [0u32; 3]; // text, data, bss
+    let idx = |s: Section| match s {
+        Section::Text => 0,
+        Section::Data => 1,
+        Section::Bss => 2,
+    };
+    // Literal-pool assignment: lit id -> text offset of its pool slot.
+    let mut lit_off: HashMap<usize, u32> = HashMap::new();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut pool_layout: HashMap<usize, Vec<usize>> = HashMap::new(); // item idx -> unique lit ids
+    let mut pending_labels: Vec<String> = Vec::new();
+
+    macro_rules! bind_labels {
+        ($obj:expr, $sect:expr, $offset:expr) => {
+            for name in pending_labels.drain(..) {
+                if $obj
+                    .symbols
+                    .insert(name.clone(), Symbol { section: $sect, offset: $offset })
+                    .is_some()
+                {
+                    return Err(AsmError::DuplicateSymbol(name));
+                }
+            }
+        };
+    }
+
+    for (i, item) in p.items.iter().enumerate() {
+        match item {
+            Item::Label(name) => pending_labels.push(name.clone()),
+            Item::SetSection(s) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                sect = *s;
+            }
+            Item::Insn(..) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                off[idx(sect)] += ilen;
+            }
+            Item::Word(_, v) => {
+                let o = align_up(off[idx(sect)], 4);
+                bind_labels!(obj, sect, o);
+                off[idx(sect)] = o + 4 * v.len() as u32;
+            }
+            Item::Half(v) => {
+                let o = align_up(off[idx(sect)], 2);
+                bind_labels!(obj, sect, o);
+                off[idx(sect)] = o + 2 * v.len() as u32;
+            }
+            Item::Byte(v) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                off[idx(sect)] += v.len() as u32;
+            }
+            Item::Bytes(b) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                off[idx(sect)] += b.len() as u32;
+            }
+            Item::FloatLit(_) => {
+                let o = align_up(off[idx(sect)], 4);
+                bind_labels!(obj, sect, o);
+                off[idx(sect)] = o + 4;
+            }
+            Item::DoubleLit(_) => {
+                let o = align_up(off[idx(sect)], 8);
+                bind_labels!(obj, sect, o);
+                off[idx(sect)] = o + 8;
+            }
+            Item::Space(n) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                off[idx(sect)] += n;
+            }
+            Item::Align(a) => {
+                off[idx(sect)] = align_up(off[idx(sect)], *a);
+                bind_labels!(obj, sect, off[idx(sect)]);
+            }
+            Item::Comm(line, name, size) => {
+                bind_labels!(obj, sect, off[idx(sect)]);
+                let o = align_up(off[2], 8);
+                off[2] = o + size;
+                if obj
+                    .symbols
+                    .insert(name.clone(), Symbol { section: Section::Bss, offset: o })
+                    .is_some()
+                {
+                    return Err(AsmError::Line {
+                        line: *line,
+                        msg: format!("duplicate symbol `{name}`"),
+                    });
+                }
+            }
+            Item::Pool => {
+                if pending.is_empty() {
+                    // An empty pool emits nothing, not even padding.
+                    pool_layout.insert(i, Vec::new());
+                } else {
+                    let mut here = align_up(off[0], 4);
+                    bind_labels!(obj, Section::Text, here);
+                    let mut placed: HashMap<&LitKey, u32> = HashMap::new();
+                    let mut unique = Vec::new();
+                    for &id in &pending {
+                        let key = &p.lits[id];
+                        let slot = *placed.entry(key).or_insert_with(|| {
+                            let s = here;
+                            here += 4;
+                            unique.push(id);
+                            s
+                        });
+                        lit_off.insert(id, slot);
+                    }
+                    off[0] = here;
+                    pool_layout.insert(i, unique);
+                    pending.clear();
+                }
+            }
+        }
+        // Track which literals are pending for the next pool.
+        if let Item::Insn(_, ITpl::Ldc { lit, .. }) = item {
+            pending.push(*lit);
+        }
+    }
+    bind_labels!(obj, sect, off[idx(sect)]);
+
+    // ---- pass two: emit bytes, resolve, relocate ----
+    let mut sect = Section::Text;
+    let mut text: Vec<u8> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+
+    for (i, item) in p.items.iter().enumerate() {
+        // `.bss` content is only reachable via `.comm`, which emits nothing,
+        // so the active section is always text or data here.
+        let buf: &mut Vec<u8> =
+            if sect == Section::Text { &mut text } else { &mut data };
+        match item {
+            Item::Label(_) | Item::Comm(..) => {}
+            Item::SetSection(s) => sect = *s,
+            Item::Word(line, v) => {
+                pad_to(buf, 4);
+                for e in v {
+                    match e {
+                        Expr::Num(n) => buf.extend_from_slice(&(*n as u32).to_le_bytes()),
+                        Expr::Sym(s, a) => {
+                            obj.relocs.push(Reloc {
+                                section: sect,
+                                offset: buf.len() as u32,
+                                kind: RelocKind::Abs32,
+                                symbol: s.clone(),
+                                addend: *a as i32,
+                            });
+                            buf.extend_from_slice(&0u32.to_le_bytes());
+                        }
+                        other => {
+                            return Err(AsmError::Line {
+                                line: *line,
+                                msg: format!(".word operand {other:?} unsupported"),
+                            })
+                        }
+                    }
+                }
+            }
+            Item::Half(v) => {
+                pad_to(buf, 2);
+                for n in v {
+                    buf.extend_from_slice(&(*n as u16).to_le_bytes());
+                }
+            }
+            Item::Byte(v) => {
+                for n in v {
+                    buf.push(*n as u8);
+                }
+            }
+            Item::Bytes(b) => buf.extend_from_slice(b),
+            Item::FloatLit(f) => {
+                pad_to(buf, 4);
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Item::DoubleLit(f) => {
+                pad_to(buf, 8);
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Item::Space(n) => buf.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Item::Align(a) => pad_to(buf, *a),
+            Item::Pool => {
+                if !pool_layout[&i].is_empty() {
+                    pad_to(buf, 4);
+                }
+                for &id in &pool_layout[&i] {
+                    debug_assert_eq!(buf.len() as u32, lit_off[&id]);
+                    match &p.lits[id] {
+                        LitKey::Num(n) => buf.extend_from_slice(&(*n as u32).to_le_bytes()),
+                        LitKey::Sym(s, a) => {
+                            obj.relocs.push(Reloc {
+                                section: Section::Text,
+                                offset: buf.len() as u32,
+                                kind: RelocKind::Abs32,
+                                symbol: s.clone(),
+                                addend: *a as i32,
+                            });
+                            buf.extend_from_slice(&0u32.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Item::Insn(line, tpl) => {
+                let site = buf.len() as u32;
+                let (insn, reloc) = resolve_insn(isa, tpl, site, ilen, &obj.symbols, &lit_off, *line)?;
+                let bytes = d16_isa::encode_bytes(isa, &insn).map_err(|e| AsmError::Line {
+                    line: *line,
+                    msg: e.to_string(),
+                })?;
+                if let Some((kind, symbol, addend)) = reloc {
+                    obj.relocs.push(Reloc { section: Section::Text, offset: site, kind, symbol, addend });
+                }
+                buf.extend_from_slice(&bytes);
+            }
+        }
+    }
+
+    obj.text = text;
+    obj.data = data;
+    obj.bss_size = off[2];
+    debug_assert_eq!(obj.text.len() as u32, off[0], "pass one/two text size mismatch");
+    debug_assert_eq!(obj.data.len() as u32, off[1], "pass one/two data size mismatch");
+    Ok(obj)
+}
+
+fn pad_to(buf: &mut Vec<u8>, a: u32) {
+    while buf.len() as u32 % a != 0 {
+        buf.push(0);
+    }
+}
+
+type PendingReloc = Option<(RelocKind, String, i32)>;
+
+fn resolve_insn(
+    isa: Isa,
+    tpl: &ITpl,
+    site: u32,
+    ilen: u32,
+    symbols: &HashMap<String, Symbol>,
+    lit_off: &HashMap<usize, u32>,
+    line: usize,
+) -> Result<(Insn, PendingReloc), AsmError> {
+    let err = |msg: String| AsmError::Line { line, msg };
+    match tpl {
+        ITpl::Ready(i) => Ok((*i, None)),
+        ITpl::Ldc { rd, lit } => {
+            let slot = *lit_off
+                .get(lit)
+                .ok_or_else(|| err("literal has no pool (missing .pool?)".into()))?;
+            let anchor = align_up(site + 2, 4);
+            let disp = slot as i64 - anchor as i64;
+            if disp < 0 {
+                return Err(err(format!(
+                    "literal pool is {} bytes behind its ldc; pools must follow their loads",
+                    -disp
+                )));
+            }
+            Ok((Insn::Ldc { rd: *rd, disp: disp as i32 }, None))
+        }
+        ITpl::Branch { neg, rs, target } => {
+            let disp = match target {
+                Expr::Here(n) => *n as i32,
+                Expr::Sym(s, a) => {
+                    let sym = symbols
+                        .get(s)
+                        .ok_or_else(|| err(format!("branch target `{s}` not defined in unit")))?;
+                    if sym.section != Section::Text {
+                        return Err(err(format!("branch target `{s}` is not in .text")));
+                    }
+                    (sym.offset as i64 + a - (site + ilen) as i64) as i32
+                }
+                other => return Err(err(format!("bad branch target {other:?}"))),
+            };
+            let insn = match neg {
+                None => Insn::Br { disp },
+                Some(n) => Insn::Bc { neg: *n, rs: *rs, disp },
+            };
+            Ok((insn, None))
+        }
+        ITpl::Jal { link, target } => match target {
+            Expr::Here(n) => Ok((Insn::Jdisp { link: *link, disp: *n as i32 }, None)),
+            Expr::Sym(s, a) => Ok((
+                Insn::Jdisp { link: *link, disp: 0 },
+                Some((RelocKind::J26, s.clone(), *a as i32)),
+            )),
+            other => Err(err(format!("bad jump target {other:?}"))),
+        },
+        ITpl::Imm { shape, expr } => {
+            let (imm, reloc) = match expr {
+                Expr::Num(n) => (*n as i32, None),
+                Expr::Hi(s, a) => (0, Some((RelocKind::Hi16, s.clone(), *a as i32))),
+                Expr::Lo(s, a) => (0, Some((RelocKind::Lo16, s.clone(), *a as i32))),
+                Expr::GpRel(s, a) => (0, Some((RelocKind::GpRel16, s.clone(), *a as i32))),
+                other => return Err(err(format!("unresolvable immediate {other:?}"))),
+            };
+            if reloc.is_some() && isa == Isa::D16 {
+                return Err(err("hi/lo/gprel relocations require 16-bit fields (DLXe only)".into()));
+            }
+            let insn = match shape {
+                ImmShape::AluI { op, rd, rs1 } => Insn::AluI { op: *op, rd: *rd, rs1: *rs1, imm },
+                ImmShape::Mvi { rd } => Insn::Mvi { rd: *rd, imm },
+                ImmShape::Lui { rd } => Insn::Lui { rd: *rd, imm: imm as u32 },
+                ImmShape::CmpI { cond, rd, rs1 } => {
+                    Insn::CmpI { cond: *cond, rd: *rd, rs1: *rs1, imm }
+                }
+                ImmShape::Ld { w, rd, base } => {
+                    Insn::Ld { w: *w, rd: *rd, base: *base, disp: imm }
+                }
+                ImmShape::St { w, rs, base } => {
+                    Insn::St { w: *w, rs: *rs, base: *base, disp: imm }
+                }
+            };
+            Ok((insn, reloc))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_text() {
+        let src = "\
+start:  mvi r2, 5
+        addi r2, r2, 3
+loop:   subi r2, r2, 1
+        cmpeq r2, r0
+        bz r0, loop
+        trap 0
+";
+        let obj = assemble(Isa::D16, src).unwrap();
+        assert_eq!(obj.text.len(), 12, "six 16-bit instructions");
+        assert_eq!(obj.symbols["start"].offset, 0);
+        assert_eq!(obj.symbols["loop"].offset, 4);
+        // The bz encodes backwards to `loop`.
+        let w = u16::from_le_bytes([obj.text[8], obj.text[9]]);
+        assert_eq!(d16_isa::d16::decode(w).unwrap(), Insn::Bc { neg: false, rs: abi::R0, disp: -6 });
+    }
+
+    #[test]
+    fn dlxe_three_address_and_relocs() {
+        let src = "\
+        mvhi r4, hi(table)
+        ori  r4, r4, lo(table)
+        ld   r5, gprel(counter)(r13)
+        jal  helper
+        .data
+counter: .word 7
+table:   .word 1, 2, 3
+";
+        let obj = assemble(Isa::Dlxe, src).unwrap();
+        assert_eq!(obj.text.len(), 16);
+        let kinds: Vec<_> = obj.relocs.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![RelocKind::Hi16, RelocKind::Lo16, RelocKind::GpRel16, RelocKind::J26]
+        );
+        assert_eq!(obj.symbols["counter"].section, Section::Data);
+        assert_eq!(obj.symbols["table"].offset, 4);
+    }
+
+    #[test]
+    fn d16_literal_pool_resolves_forward() {
+        let src = "\
+        ldc r3, =0x12345678
+        ldc r4, =label
+        ldc r5, =0x12345678
+        trap 0
+        .pool
+label:  nop
+";
+        let obj = assemble(Isa::D16, src).unwrap();
+        // 4 insns (8 bytes) + pool (two unique entries, 8 bytes) + nop.
+        assert_eq!(obj.text.len(), 8 + 8 + 2);
+        // First ldc: site 0, anchor align4(2)=4, slot 8 -> disp 4.
+        let w = u16::from_le_bytes([obj.text[0], obj.text[1]]);
+        assert_eq!(d16_isa::d16::decode(w).unwrap(), Insn::Ldc { rd: Gpr::new(3), disp: 4 });
+        // Duplicate literal shares the slot: site 4, anchor 8, slot 8 -> 0.
+        let w = u16::from_le_bytes([obj.text[4], obj.text[5]]);
+        assert_eq!(d16_isa::d16::decode(w).unwrap(), Insn::Ldc { rd: Gpr::new(5), disp: 0 });
+        // Pool bytes: the constant then the relocated zero.
+        assert_eq!(&obj.text[8..12], &0x12345678u32.to_le_bytes());
+        assert_eq!(obj.relocs.len(), 1);
+        assert_eq!(obj.relocs[0].offset, 12);
+        assert_eq!(obj.symbols["label"].offset, 16);
+    }
+
+    #[test]
+    fn pool_is_appended_automatically() {
+        let obj = assemble(Isa::D16, "ldc r1, =99\n").unwrap();
+        assert_eq!(obj.text.len(), 8, "insn + pad + pool entry");
+    }
+
+    #[test]
+    fn branch_out_of_reach_is_reported() {
+        let mut src = String::from("start: nop\n");
+        for _ in 0..600 {
+            src.push_str("nop\n");
+        }
+        src.push_str("br start\n");
+        let e = assemble(Isa::D16, &src).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+        assert!(assemble(Isa::Dlxe, &src).is_ok(), "DLXe reach is 128K");
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let src = "\
+        .data
+a:      .byte 1, 2, 3
+b:      .half 4
+c:      .word 5
+s:      .asciiz \"ok\"
+d:      .double 1.5
+e:      .space 3
+f:      .align 4
+g:      .word 6
+";
+        let obj = assemble(Isa::D16, src).unwrap();
+        let sym = |n: &str| obj.symbols[n].offset;
+        assert_eq!(sym("a"), 0);
+        assert_eq!(sym("b"), 4, ".half aligns to 2 (3 -> 4)");
+        assert_eq!(sym("c"), 8, ".word aligns to 4");
+        assert_eq!(sym("s"), 12);
+        assert_eq!(sym("d"), 16, ".double aligns to 8");
+        assert_eq!(sym("e"), 24);
+        assert_eq!(sym("g"), 28);
+        assert_eq!(obj.data.len(), 32);
+        assert_eq!(&obj.data[16..24], &1.5f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn comm_allocates_bss() {
+        let obj = assemble(Isa::D16, ".comm buf, 100\n.comm tab, 8\n").unwrap();
+        assert_eq!(obj.symbols["buf"].section, Section::Bss);
+        assert_eq!(obj.symbols["tab"].offset, 104, "aligned to 8");
+        assert_eq!(obj.bss_size, 112);
+        assert!(obj.data.is_empty());
+    }
+
+    #[test]
+    fn pseudos_expand_per_target() {
+        let d16 = assemble(Isa::D16, "la r3, foo\nret\nfoo: nop\n").unwrap();
+        // la -> ldc (2 bytes), ret -> j r1 (2), foo: nop (2), pool (pad+4).
+        assert_eq!(d16.text.len(), 2 + 2 + 2 + 2 + 4);
+        let dlxe = assemble(Isa::Dlxe, "la r3, foo\nret\nfoo: nop\n").unwrap();
+        assert_eq!(dlxe.text.len(), 4 * 4, "la is mvhi+ori on DLXe");
+        let w = u32::from_le_bytes(dlxe.text[8..12].try_into().unwrap());
+        assert_eq!(d16_isa::dlxe::decode(w).unwrap(), Insn::J { target: Gpr::new(31) });
+    }
+
+    #[test]
+    fn li_chooses_minimal_sequence() {
+        assert_eq!(assemble(Isa::D16, "li r1, 200\n").unwrap().text.len(), 2);
+        assert_eq!(assemble(Isa::D16, "li r1, 100000\n").unwrap().text.len(), 8, "ldc + pool");
+        assert_eq!(assemble(Isa::Dlxe, "li r1, 200\n").unwrap().text.len(), 4);
+        assert_eq!(assemble(Isa::Dlxe, "li r1, 100000\n").unwrap().text.len(), 8, "mvhi + ori");
+        assert_eq!(assemble(Isa::Dlxe, "li r1, 0x30000\n").unwrap().text.len(), 4, "mvhi only");
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble(Isa::D16, "x: nop\nx: nop\n").unwrap_err();
+        assert!(matches!(e, AsmError::DuplicateSymbol(_)));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble(Isa::D16, "nop\nfrobnicate r1\n").unwrap_err();
+        match e {
+            AsmError::Line { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn two_operand_alu_is_two_address() {
+        let obj = assemble(Isa::D16, "add r3, r4\n").unwrap();
+        let w = u16::from_le_bytes([obj.text[0], obj.text[1]]);
+        assert_eq!(
+            d16_isa::d16::decode(w).unwrap(),
+            Insn::Alu { op: AluOp::Add, rd: Gpr::new(3), rs1: Gpr::new(3), rs2: Gpr::new(4) }
+        );
+    }
+
+    #[test]
+    fn disassembly_reassembles() {
+        // Round-trip through the disassembler for a spread of instructions.
+        let r = Gpr::new;
+        let insns = [
+            Insn::Alu { op: AluOp::Add, rd: r(3), rs1: r(3), rs2: r(7) },
+            Insn::AluI { op: AluOp::Shl, rd: r(4), rs1: r(4), imm: 5 },
+            Insn::Mvi { rd: r(6), imm: -100 },
+            Insn::Cmp { cond: Cond::Ltu, rd: abi::R0, rs1: r(5), rs2: r(6) },
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: abi::SP, disp: 12 },
+            Insn::St { w: MemWidth::B, rs: r(2), base: r(3), disp: 0 },
+            Insn::Br { disp: -8 },
+            Insn::Bc { neg: true, rs: abi::R0, disp: 10 },
+            Insn::Jl { target: r(9) },
+            Insn::Trap { code: TrapCode::PutInt },
+            Insn::Nop,
+        ];
+        let text: String =
+            insns.iter().map(|i| format!("{}\n", d16_isa::disassemble(i))).collect();
+        let obj = assemble(Isa::D16, &text).unwrap();
+        for (k, insn) in insns.iter().enumerate() {
+            let w = u16::from_le_bytes([obj.text[2 * k], obj.text[2 * k + 1]]);
+            assert_eq!(d16_isa::d16::decode(w).unwrap(), *insn, "insn {k}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Operand expressions and line tokenization for the assembler.
+
+use crate::object::AsmError;
+
+
+/// A symbolic operand expression, as written in an immediate field.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A literal number.
+    Num(i64),
+    /// `sym+addend` — usable in `.word`, branch targets and `jal`.
+    Sym(String, i64),
+    /// `hi(sym+addend)` — upper sixteen address bits (DLXe `mvhi`).
+    Hi(String, i64),
+    /// `lo(sym+addend)` — lower sixteen address bits (DLXe `ori`).
+    Lo(String, i64),
+    /// `gprel(sym+addend)` — offset from the global pointer.
+    GpRel(String, i64),
+    /// `.+n` / `.-n` — a raw PC-relative displacement.
+    Here(i64),
+}
+
+/// One token of an assembly line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or mnemonic (also register names before classification).
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// Float literal (for `.float`/`.double`).
+    Float(f64),
+    /// String literal (for `.ascii`/`.asciiz`).
+    Str(Vec<u8>),
+    /// Punctuation: one of `, ( ) : = + - .`.
+    Punct(char),
+    /// A directive name including the leading dot (`.word`).
+    Directive(String),
+}
+
+/// Splits one source line into tokens. Comments start with `;` or `#`.
+///
+/// # Errors
+///
+/// Returns a line-scoped [`AsmError`] for malformed numbers, unterminated
+/// strings, or stray characters.
+pub fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, AsmError> {
+    let err = |msg: String| AsmError::Line { line: lineno, msg };
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' | '#' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            ',' | '(' | ')' | ':' | '=' | '+' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Punct('-'));
+                i += 1;
+            }
+            '"' => {
+                let mut s = Vec::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err("unterminated string literal".into()));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= bytes.len() {
+                                return Err(err("bad escape".into()));
+                            }
+                            s.push(match bytes[i] {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                b'0' => 0,
+                                b'\\' => b'\\',
+                                b'"' => b'"',
+                                other => {
+                                    return Err(err(format!("bad escape \\{}", other as char)))
+                                }
+                            });
+                            i += 1;
+                        }
+                        b => {
+                            s.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '\'' => {
+                // Character literal.
+                i += 1;
+                if i >= bytes.len() {
+                    return Err(err("unterminated character literal".into()));
+                }
+                let v = if bytes[i] == b'\\' {
+                    i += 1;
+                    let v = match bytes.get(i) {
+                        Some(b'n') => b'\n',
+                        Some(b't') => b'\t',
+                        Some(b'0') => 0,
+                        Some(b'\\') => b'\\',
+                        Some(b'\'') => b'\'',
+                        _ => return Err(err("bad character escape".into())),
+                    };
+                    i += 1;
+                    v
+                } else {
+                    let v = bytes[i];
+                    i += 1;
+                    v
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err("unterminated character literal".into()));
+                }
+                i += 1;
+                toks.push(Tok::Num(v as i64));
+            }
+            '.' => {
+                // Directive name, or the location dot.
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    toks.push(Tok::Punct('.'));
+                } else {
+                    // Mnemonic suffixes like `add.sf` are glued to a
+                    // preceding identifier.
+                    let word = &line[start..i];
+                    if let Some(Tok::Ident(prev)) = toks.last_mut() {
+                        prev.push_str(word);
+                        continue;
+                    }
+                    toks.push(Tok::Directive(word.to_string()));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = u64::from_str_radix(&line[start + 2..i], 16)
+                        .map_err(|e| err(format!("bad hex literal: {e}")))?;
+                    toks.push(Tok::Num(v as i64));
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit()
+                            || bytes[i] == b'.'
+                            || (bytes[i] | 32) == b'e'
+                            || ((bytes[i] == b'-' || bytes[i] == b'+')
+                                && (bytes[i - 1] | 32) == b'e'))
+                    {
+                        i += 1;
+                    }
+                    let s = &line[start..i];
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        let v: f64 =
+                            s.parse().map_err(|e| err(format!("bad float literal: {e}")))?;
+                        toks.push(Tok::Float(v));
+                    } else {
+                        let v: i64 =
+                            s.parse().map_err(|e| err(format!("bad integer literal: {e}")))?;
+                        toks.push(Tok::Num(v));
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(line[start..i].to_string()));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("add r1, r2, r3 ; comment", 1).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("add".into()),
+                Tok::Ident("r1".into()),
+                Tok::Punct(','),
+                Tok::Ident("r2".into()),
+                Tok::Punct(','),
+                Tok::Ident("r3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let t = tokenize(r#".byte 0x1F, -3, 'A', "hi\n""#, 1).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Directive(".byte".into()),
+                Tok::Num(31),
+                Tok::Punct(','),
+                Tok::Punct('-'),
+                Tok::Num(3),
+                Tok::Punct(','),
+                Tok::Num(65),
+                Tok::Punct(','),
+                Tok::Str(b"hi\n".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_mnemonics_glue() {
+        let t = tokenize("add.sf f1, f2", 1).unwrap();
+        assert_eq!(t[0], Tok::Ident("add.sf".into()));
+    }
+
+    #[test]
+    fn floats() {
+        let t = tokenize(".double 3.25e2", 1).unwrap();
+        assert_eq!(t[1], Tok::Float(325.0));
+    }
+
+    #[test]
+    fn location_dot() {
+        let t = tokenize("br .+8", 1).unwrap();
+        assert_eq!(t, vec![Tok::Ident("br".into()), Tok::Punct('.'), Tok::Punct('+'), Tok::Num(8)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("mov r1, @", 7).is_err());
+        assert!(tokenize("\"open", 7).is_err());
+    }
+}

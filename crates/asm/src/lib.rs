@@ -1,0 +1,54 @@
+//! # d16-asm — assembler and linker for the D16 and DLXe toolchains
+//!
+//! A two-pass assembler with literal-pool support (the D16 `ldc`
+//! constant-pool mechanism) and a linker producing loadable images whose
+//! `text + data` size is the paper's static code-size measure.
+//!
+//! ```
+//! use d16_asm::{assemble, link};
+//! use d16_isa::Isa;
+//!
+//! let src = "
+//! _start: mvi r2, 40
+//!         addi r2, r2, 2
+//!         trap 0          ; halt with exit status in r2
+//! ";
+//! let obj = assemble(Isa::D16, src)?;
+//! let image = link(Isa::D16, &[obj])?;
+//! assert_eq!(image.size_bytes(), 6); // three 16-bit instructions
+//! # Ok::<(), d16_asm::AsmError>(())
+//! ```
+
+mod assemble;
+mod expr;
+mod link;
+mod object;
+
+pub use assemble::assemble;
+pub use link::link;
+pub use object::{AsmError, Image, Object, Reloc, RelocKind, Section, Symbol, MEM_TOP, TEXT_BASE};
+
+use d16_isa::Isa;
+
+/// Convenience: assemble several units and link them in one call.
+///
+/// # Errors
+///
+/// Propagates the first assembly or link error; assembly errors from unit
+/// `i` are returned as-is (line numbers are unit-relative).
+pub fn build(isa: Isa, units: &[&str]) -> Result<Image, AsmError> {
+    let objects = units.iter().map(|u| assemble(isa, u)).collect::<Result<Vec<_>, _>>()?;
+    link(isa, &objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_links_units() {
+        let img = build(Isa::Dlxe, &["_start: jal f\nnop\ntrap 0\n", "f: ret\n"]).unwrap();
+        assert!(img.symbol("f").is_some());
+        assert_eq!(img.entry, img.symbol("_start").unwrap());
+    }
+}

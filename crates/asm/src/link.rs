@@ -1,0 +1,310 @@
+//! The linker: combines assembled objects into a loadable [`Image`].
+//!
+//! Layout: text at [`TEXT_BASE`], then initialized data (16-byte aligned),
+//! then bss. The global pointer anchors at the start of the data segment,
+//! so `gprel` offsets are simply data-section offsets of the first unit —
+//! the whole-program compilation mode `d16-cc` uses.
+//!
+//! Linker-defined symbols available to programs:
+//!
+//! | symbol | value |
+//! |---|---|
+//! | `__gp`         | global pointer (data segment start) |
+//! | `__data_start` | data segment start |
+//! | `__data_end`   | end of initialized data |
+//! | `__heap_base`  | end of bss (first free heap byte) |
+//! | `__mem_top`    | top of simulated memory (initial stack pointer) |
+
+use crate::object::{AsmError, Image, Object, Reloc, RelocKind, Section, Symbol, MEM_TOP, TEXT_BASE};
+use d16_isa::Isa;
+use std::collections::HashMap;
+
+fn align_up(x: u32, a: u32) -> u32 {
+    (x + a - 1) & !(a - 1)
+}
+
+/// Links one or more objects into an image for the given ISA.
+///
+/// The entry point is the `_start` symbol, falling back to `main`, falling
+/// back to the start of text.
+///
+/// # Errors
+///
+/// Reports duplicate or undefined symbols and relocation overflows.
+pub fn link(isa: Isa, objects: &[Object]) -> Result<Image, AsmError> {
+    // ---- assign section bases ----
+    let mut text_bases = Vec::with_capacity(objects.len());
+    let mut cursor = TEXT_BASE;
+    for o in objects {
+        cursor = align_up(cursor, 4);
+        text_bases.push(cursor);
+        cursor += o.text.len() as u32;
+    }
+    let text_end = cursor;
+    let data_base = align_up(text_end, 16);
+    let mut data_bases = Vec::with_capacity(objects.len());
+    let mut cursor = data_base;
+    for o in objects {
+        cursor = align_up(cursor, 8);
+        data_bases.push(cursor);
+        cursor += o.data.len() as u32;
+    }
+    let data_end = cursor;
+    let mut bss_bases = Vec::with_capacity(objects.len());
+    let mut cursor = align_up(data_end, 8);
+    for o in objects {
+        cursor = align_up(cursor, 8);
+        bss_bases.push(cursor);
+        cursor += o.bss_size;
+    }
+    let bss_end = align_up(cursor, 8);
+    let gp = data_base;
+
+    // ---- global symbol table ----
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let place = |sym: &Symbol, i: usize| -> u32 {
+        match sym.section {
+            Section::Text => text_bases[i] + sym.offset,
+            Section::Data => data_bases[i] + sym.offset,
+            Section::Bss => bss_bases[i] + sym.offset,
+        }
+    };
+    for (i, o) in objects.iter().enumerate() {
+        for (name, sym) in &o.symbols {
+            if symbols.insert(name.clone(), place(sym, i)).is_some() {
+                return Err(AsmError::DuplicateSymbol(name.clone()));
+            }
+        }
+    }
+    for (name, value) in [
+        ("__gp", gp),
+        ("__data_start", data_base),
+        ("__data_end", data_end),
+        ("__heap_base", bss_end),
+        ("__mem_top", MEM_TOP),
+    ] {
+        if symbols.insert(name.to_string(), value).is_some() {
+            return Err(AsmError::DuplicateSymbol(name.to_string()));
+        }
+    }
+
+    // ---- concatenate segments ----
+    let mut text = vec![0u8; (text_end - TEXT_BASE) as usize];
+    for (i, o) in objects.iter().enumerate() {
+        let s = (text_bases[i] - TEXT_BASE) as usize;
+        text[s..s + o.text.len()].copy_from_slice(&o.text);
+    }
+    let mut data = vec![0u8; (data_end - data_base) as usize];
+    for (i, o) in objects.iter().enumerate() {
+        let s = (data_bases[i] - data_base) as usize;
+        data[s..s + o.data.len()].copy_from_slice(&o.data);
+    }
+
+    // ---- apply relocations ----
+    for (i, o) in objects.iter().enumerate() {
+        for r in &o.relocs {
+            let target = *symbols
+                .get(&r.symbol)
+                .ok_or_else(|| AsmError::UndefinedSymbol(r.symbol.clone()))?;
+            let value = target.wrapping_add(r.addend as u32);
+            let (buf, site_addr, site_off) = match r.section {
+                Section::Text => {
+                    let a = text_bases[i] + r.offset;
+                    (&mut text, a, (a - TEXT_BASE) as usize)
+                }
+                Section::Data => {
+                    let a = data_bases[i] + r.offset;
+                    (&mut data, a, (a - data_base) as usize)
+                }
+                Section::Bss => {
+                    return Err(AsmError::Line {
+                        line: 0,
+                        msg: "relocation against bss content".into(),
+                    })
+                }
+            };
+            apply_reloc(buf, site_off, site_addr, r, value, gp)?;
+        }
+    }
+
+    let entry = symbols
+        .get("_start")
+        .or_else(|| symbols.get("main"))
+        .copied()
+        .unwrap_or(TEXT_BASE);
+
+    Ok(Image {
+        isa,
+        text_base: TEXT_BASE,
+        text,
+        data_base,
+        data,
+        bss_size: bss_end - data_end,
+        entry,
+        symbols,
+    })
+}
+
+fn apply_reloc(
+    buf: &mut [u8],
+    off: usize,
+    site_addr: u32,
+    r: &Reloc,
+    value: u32,
+    gp: u32,
+) -> Result<(), AsmError> {
+    let overflow = |v: i64| AsmError::RelocOverflow { symbol: r.symbol.clone(), kind: r.kind, value: v };
+    match r.kind {
+        RelocKind::Abs32 => {
+            buf[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        }
+        RelocKind::Hi16 | RelocKind::Lo16 | RelocKind::GpRel16 => {
+            let word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let field = match r.kind {
+                RelocKind::Hi16 => value >> 16,
+                RelocKind::Lo16 => value & 0xffff,
+                _ => {
+                    let d = value as i64 - gp as i64;
+                    if !(-32768..=32767).contains(&d) {
+                        return Err(overflow(d));
+                    }
+                    (d as u32) & 0xffff
+                }
+            };
+            let patched = (word & !0xffffu32) | field;
+            buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
+        }
+        RelocKind::J26 => {
+            let word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let disp = value as i64 - (site_addr as i64 + 4);
+            if disp % 4 != 0 || !(-(1i64 << 27)..(1i64 << 27)).contains(&disp) {
+                return Err(overflow(disp));
+            }
+            let field = ((disp / 4) as u32) & 0x03ff_ffff;
+            let patched = (word & !0x03ff_ffffu32) | field;
+            buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+    use d16_isa::{abi, Gpr, Insn};
+
+    fn word_at(img: &Image, addr: u32) -> u32 {
+        let o = (addr - img.text_base) as usize;
+        u32::from_le_bytes(img.text[o..o + 4].try_into().unwrap())
+    }
+
+    #[test]
+    fn links_two_units_with_cross_calls() {
+        let a = assemble(
+            Isa::Dlxe,
+            "_start: jal helper\n nop\n trap 0\n.data\nshared: .word 42\n",
+        )
+        .unwrap();
+        let b = assemble(
+            Isa::Dlxe,
+            "helper: ld r2, gprel(shared)(r13)\n nop\n ret\n.data\nother: .word helper\n",
+        )
+        .unwrap();
+        let img = link(Isa::Dlxe, &[a, b]).unwrap();
+        assert_eq!(img.entry, img.symbols["_start"]);
+        // jal patched to reach `helper` in unit b.
+        let jal = word_at(&img, img.entry);
+        let insn = d16_isa::dlxe::decode(jal).unwrap();
+        let helper = img.symbols["helper"];
+        match insn {
+            Insn::Jdisp { link: true, disp } => {
+                assert_eq!(img.entry as i64 + 4 + disp as i64, helper as i64);
+            }
+            other => panic!("expected jal, got {other:?}"),
+        }
+        // gprel(shared): shared is unit a's first data word, and unit a's
+        // data leads the segment, so the offset is 0.
+        let ld = word_at(&img, helper);
+        match d16_isa::dlxe::decode(ld).unwrap() {
+            Insn::Ld { disp, base, .. } => {
+                assert_eq!(base, abi::GP);
+                assert_eq!(img.symbols["__gp"] as i64 + disp as i64, img.symbols["shared"] as i64);
+            }
+            other => panic!("expected ld, got {other:?}"),
+        }
+        // Abs32 in unit b's data points at helper.
+        let o = (img.symbols["other"] - img.data_base) as usize;
+        assert_eq!(u32::from_le_bytes(img.data[o..o + 4].try_into().unwrap()), helper);
+    }
+
+    #[test]
+    fn d16_pool_reloc_resolves_absolute_address() {
+        let src = "\
+_start: ldc r9, =target
+        jl r9
+        nop
+        trap 0
+        .pool
+target: mvi r2, 1
+        ret
+";
+        let obj = assemble(Isa::D16, src).unwrap();
+        let img = link(Isa::D16, &[obj]).unwrap();
+        let target = img.symbols["target"];
+        // The pool word (after 4 insns, aligned) holds target's address.
+        let pool_off = 8;
+        assert_eq!(
+            u32::from_le_bytes(img.text[pool_off..pool_off + 4].try_into().unwrap()),
+            target
+        );
+    }
+
+    #[test]
+    fn undefined_symbol_is_reported() {
+        let a = assemble(Isa::Dlxe, "jal nowhere\n").unwrap();
+        match link(Isa::Dlxe, &[a]) {
+            Err(AsmError::UndefinedSymbol(s)) => assert_eq!(s, "nowhere"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_across_units_is_reported() {
+        let a = assemble(Isa::D16, "x: nop\n").unwrap();
+        let b = assemble(Isa::D16, "x: nop\n").unwrap();
+        assert!(matches!(link(Isa::D16, &[a, b]), Err(AsmError::DuplicateSymbol(_))));
+    }
+
+    #[test]
+    fn linker_symbols_are_consistent() {
+        let a = assemble(Isa::D16, "nop\n.data\n.word 1\n.comm big, 64\n").unwrap();
+        let img = link(Isa::D16, &[a]).unwrap();
+        assert_eq!(img.symbols["__data_start"], img.data_base);
+        assert_eq!(img.symbols["__data_end"], img.data_base + 4);
+        assert_eq!(img.symbols["__gp"], img.data_base);
+        assert!(img.symbols["__heap_base"] >= img.symbols["__data_end"] + 64);
+        assert_eq!(img.symbols["__mem_top"], MEM_TOP);
+        assert_eq!(img.heap_base(), img.symbols["__heap_base"]);
+    }
+
+    #[test]
+    fn gprel_overflow_detected() {
+        let a = assemble(
+            Isa::Dlxe,
+            ".data\n.space 40000\nfar: .word 1\n.text\nld r2, gprel(far)(r13)\n",
+        )
+        .unwrap();
+        assert!(matches!(link(Isa::Dlxe, &[a]), Err(AsmError::RelocOverflow { .. })));
+    }
+
+    #[test]
+    fn entry_falls_back_to_main_then_text_base() {
+        let a = assemble(Isa::D16, "main: nop\n").unwrap();
+        let img = link(Isa::D16, &[a]).unwrap();
+        assert_eq!(img.entry, img.symbols["main"]);
+        let b = assemble(Isa::D16, "nop\n").unwrap();
+        let img = link(Isa::D16, &[b]).unwrap();
+        assert_eq!(img.entry, TEXT_BASE);
+    }
+}

@@ -1,0 +1,203 @@
+//! Object-file model: sections, symbols, relocations, and linked images.
+
+use d16_isa::Isa;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default load address of the text segment.
+pub const TEXT_BASE: u32 = 0x1000;
+/// Top of simulated memory; the initial stack pointer.
+pub const MEM_TOP: u32 = 0x0100_0000;
+
+/// The section a symbol or relocation site lives in.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Section {
+    /// Executable code (and embedded literal pools).
+    Text,
+    /// Initialized data.
+    Data,
+    /// Zero-initialized data (occupies no image bytes).
+    Bss,
+}
+
+/// A defined symbol: a named offset within a section.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Symbol {
+    /// The section the symbol is defined in.
+    pub section: Section,
+    /// Byte offset within that section.
+    pub offset: u32,
+}
+
+/// How a relocation patches its site once the symbol's address is known.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RelocKind {
+    /// 32-bit absolute address (data words, literal-pool entries).
+    Abs32,
+    /// DLXe `mvhi rd, hi(sym)`: the upper sixteen bits of the address,
+    /// rounded so that `hi << 16 | lo` reconstructs it with a zero-extended
+    /// `ori` low part.
+    Hi16,
+    /// DLXe `ori rd, rd, lo(sym)`: the low sixteen bits.
+    Lo16,
+    /// 16-bit offset from the global pointer (`gprel(sym)`), patched into
+    /// an I-type immediate field. The linker defines `gp` as the start of
+    /// the data segment.
+    GpRel16,
+    /// DLXe J-type `jal`/`j` 26-bit word displacement to the symbol.
+    J26,
+}
+
+/// A relocation: "patch `section[offset]` with `kind`(address of `symbol`
+/// plus `addend`)".
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reloc {
+    /// Section containing the patch site.
+    pub section: Section,
+    /// Byte offset of the patch site.
+    pub offset: u32,
+    /// Patch formula.
+    pub kind: RelocKind,
+    /// Referenced symbol name.
+    pub symbol: String,
+    /// Constant added to the symbol address before patching.
+    pub addend: i32,
+}
+
+/// One assembled translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Object {
+    /// Text bytes (instructions and literal pools).
+    pub text: Vec<u8>,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Size of the zero-initialized region.
+    pub bss_size: u32,
+    /// Symbols defined by this unit. All symbols share one global
+    /// namespace at link time.
+    pub symbols: HashMap<String, Symbol>,
+    /// Unresolved references.
+    pub relocs: Vec<Reloc>,
+}
+
+/// A fully linked, loadable program image.
+///
+/// The paper measures static code size as "the number of bytes in the
+/// stripped binary executable file, including both text and data segments";
+/// [`Image::size_bytes`] reports exactly that.
+#[derive(Clone, Debug)]
+pub struct Image {
+    /// The encoding the text segment uses.
+    pub isa: Isa,
+    /// Load address of the text segment.
+    pub text_base: u32,
+    /// Text segment bytes.
+    pub text: Vec<u8>,
+    /// Load address of the data segment.
+    pub data_base: u32,
+    /// Data segment bytes.
+    pub data: Vec<u8>,
+    /// Size of the zero-initialized region following the data segment.
+    pub bss_size: u32,
+    /// Entry point address.
+    pub entry: u32,
+    /// Resolved global symbol table (kept for debugging and tests; a
+    /// "stripped" size measurement ignores it).
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Static size in bytes: text plus initialized data, the paper's
+    /// density measure.
+    pub fn size_bytes(&self) -> usize {
+        self.text.len() + self.data.len()
+    }
+
+    /// Address of the first byte past text.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + self.text.len() as u32
+    }
+
+    /// Address of the first byte past initialized data.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Address of the first byte past bss (start of the heap).
+    pub fn heap_base(&self) -> u32 {
+        self.data_end() + self.bss_size
+    }
+
+    /// Looks up a symbol's resolved address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// Errors produced by assembly or linking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// Syntax or semantic error at a source line (1-based).
+    Line {
+        /// 1-based source line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+    /// A symbol was defined in more than one unit.
+    DuplicateSymbol(String),
+    /// A referenced symbol was never defined.
+    UndefinedSymbol(String),
+    /// A relocation's value does not fit its field.
+    RelocOverflow {
+        /// Referenced symbol.
+        symbol: String,
+        /// Patch formula that overflowed.
+        kind: RelocKind,
+        /// The value that did not fit.
+        value: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Line { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmError::RelocOverflow { symbol, kind, value } => {
+                write!(f, "relocation {kind:?} against `{symbol}` overflows (value {value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_size_is_text_plus_data() {
+        let img = Image {
+            isa: Isa::D16,
+            text_base: TEXT_BASE,
+            text: vec![0; 10],
+            data_base: 0x2000,
+            data: vec![0; 6],
+            bss_size: 100,
+            entry: TEXT_BASE,
+            symbols: HashMap::new(),
+        };
+        assert_eq!(img.size_bytes(), 16, "bss must not count");
+        assert_eq!(img.heap_base(), 0x2000 + 6 + 100);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = AsmError::Line { line: 3, msg: "bad".into() };
+        assert_eq!(e.to_string(), "line 3: bad");
+        assert!(AsmError::UndefinedSymbol("x".into()).to_string().contains("`x`"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: disassemble → assemble → decode is the identity over
+//! arbitrary in-envelope instructions, for both ISAs; and assembled layout
+//! always satisfies basic structural invariants.
+
+use d16_asm::{assemble, link};
+use d16_isa::{abi, AluOp, Cond, Gpr, Insn, Isa, MemWidth};
+use proptest::prelude::*;
+
+fn gpr(max: u8) -> impl Strategy<Value = Gpr> {
+    (0u8..max).prop_map(Gpr::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Shra),
+    ]
+}
+
+/// Instructions whose disassembly is position-independent (no PC-relative
+/// displacement), in the D16 envelope.
+fn d16_pi_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (alu_op(), gpr(16), gpr(16)).prop_map(|(op, rd, rs2)| Insn::Alu { op, rd, rs1: rd, rs2 }),
+        (gpr(16), -256i32..256).prop_map(|(rd, imm)| Insn::Mvi { rd, imm }),
+        (gpr(16), gpr(16), 0i32..32)
+            .prop_map(|(rd, base, d)| Insn::Ld { w: MemWidth::W, rd, base, disp: d * 4 }),
+        (gpr(16), gpr(16)).prop_map(|(rs, base)| Insn::St { w: MemWidth::B, rs, base, disp: 0 }),
+        (gpr(16), gpr(16)).prop_map(|(rs1, rs2)| Insn::Cmp {
+            cond: Cond::Ltu,
+            rd: abi::R0,
+            rs1,
+            rs2
+        }),
+        gpr(16).prop_map(|target| Insn::Jl { target }),
+        gpr(16).prop_map(|rd| Insn::Rdsr { rd }),
+        Just(Insn::Nop),
+    ]
+}
+
+/// Same idea for DLXe (wider registers, immediates, three-address).
+fn dlxe_pi_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (alu_op(), gpr(32), gpr(32), gpr(32))
+            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
+        (gpr(32), gpr(32), -32768i32..32768).prop_map(|(rd, rs1, imm)| Insn::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
+        (gpr(32), 0u32..65536).prop_map(|(rd, imm)| Insn::Lui { rd, imm }),
+        (gpr(32), gpr(32), gpr(32), 0usize..10).prop_map(|(rd, rs1, rs2, c)| Insn::Cmp {
+            cond: Cond::ALL[c],
+            rd,
+            rs1,
+            rs2
+        }),
+        (gpr(32), gpr(32), -32768i32..32768)
+            .prop_map(|(rd, base, disp)| Insn::Ld { w: MemWidth::Hu, rd, base, disp }),
+        gpr(32).prop_map(|target| Insn::J { target }),
+    ]
+}
+
+fn roundtrip(isa: Isa, insns: &[Insn]) -> Vec<Insn> {
+    let text: String =
+        insns.iter().map(|i| format!("        {}\n", d16_isa::disassemble(i))).collect();
+    let obj = assemble(isa, &text).expect("disassembly must re-assemble");
+    let image = link(isa, &[obj]).expect("link");
+    let ilen = isa.insn_bytes() as usize;
+    image.text[..insns.len() * ilen]
+        .chunks_exact(ilen)
+        .map(|c| match isa {
+            Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).unwrap(),
+            Isa::Dlxe => {
+                d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn d16_disasm_asm_roundtrip(insns in proptest::collection::vec(d16_pi_insn(), 1..60)) {
+        let back = roundtrip(Isa::D16, &insns);
+        prop_assert_eq!(back, insns);
+    }
+
+    #[test]
+    fn dlxe_disasm_asm_roundtrip(insns in proptest::collection::vec(dlxe_pi_insn(), 1..60)) {
+        let back: Vec<Insn> = roundtrip(Isa::Dlxe, &insns);
+        let want: Vec<Insn> =
+            insns.into_iter().map(d16_isa::dlxe::canonicalize).collect();
+        prop_assert_eq!(back, want);
+    }
+
+    /// Arbitrary data directives produce a segment whose size matches the
+    /// declared contents and whose labels are within bounds.
+    #[test]
+    fn data_layout_invariants(
+        words in proptest::collection::vec(any::<i32>(), 0..20),
+        bytes in proptest::collection::vec(any::<u8>(), 0..40),
+        space in 0u32..100,
+    ) {
+        let mut src = String::from(".data\nstart_label:\n");
+        for w in &words {
+            src.push_str(&format!(".word {w}\n"));
+        }
+        src.push_str("bytes_label:\n");
+        for b in &bytes {
+            src.push_str(&format!(".byte {b}\n"));
+        }
+        src.push_str(&format!("tail_label:\n.space {space}\n"));
+        let obj = assemble(Isa::D16, &src).expect("assemble");
+        let expected = 4 * words.len() as u32 + bytes.len() as u32 + space;
+        prop_assert_eq!(obj.data.len() as u32, expected);
+        let img = link(Isa::D16, &[obj]).expect("link");
+        for label in ["start_label", "bytes_label", "tail_label"] {
+            let a = img.symbol(label).unwrap();
+            prop_assert!(a >= img.data_base && a <= img.data_end());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Prints each workload's checksum on the D16 target (used to pin the
+//! `expected` values in `d16-workloads`).
+
+fn main() {
+    for w in d16_workloads::SUITE {
+        match d16_core::measure(w, &d16_cc::TargetSpec::d16(), false) {
+            Ok((m, _)) => println!("{}: {}", w.name, m.exit),
+            Err(e) => println!("{}: ERROR {e}", w.name),
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro --all                # everything (the default)
+//! repro --fig 4              # one figure
+//! repro --table 11           # one table
+//! repro --list               # what is available
+//! ```
+//!
+//! Output is plain text, one block per table/figure, in the paper's
+//! numbering. See EXPERIMENTS.md for paper-vs-measured commentary.
+
+use d16_core::report::{f2, f3, pct, Table};
+use d16_core::{experiments as ex, Suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<u32> = Vec::new();
+    let mut tables: Vec<u32> = Vec::new();
+    let mut fpu_sweep = false;
+    let mut all = args.is_empty();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--list" => {
+                print_list();
+                return;
+            }
+            "--fpu-sweep" => fpu_sweep = true,
+            "--fig" => {
+                i += 1;
+                figs.push(args[i].parse().expect("figure number"));
+            }
+            "--table" => {
+                i += 1;
+                tables.push(args[i].parse().expect("table number"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --list)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if all {
+        figs = vec![4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
+        tables = vec![3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+    }
+
+    eprintln!("collecting the measurement grid (15 workloads x 5 targets)...");
+    let start = std::time::Instant::now();
+    let suite = match Suite::collect() {
+        Ok(s) => s,
+        Err((w, t, e)) => {
+            eprintln!("measurement failed for {w} on {t}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("collected in {:.1}s", start.elapsed().as_secs_f64());
+
+    for f in &figs {
+        print_fig(&suite, *f);
+    }
+    for t in &tables {
+        print_table(&suite, *t);
+    }
+    if fpu_sweep || all {
+        print_fpu_sweep();
+    }
+}
+
+/// Extension beyond the paper: how sensitive is the comparison to the FPU
+/// ("math unit") latency the prototype interface fixes?
+fn print_fpu_sweep() {
+    for w in ["whetstone", "linpack"] {
+        match ex::fpu_latency_sweep(w) {
+            Ok(points) => {
+                let mut t = Table::new(
+                    &format!("Extension: FPU-latency sensitivity, {w} (base cycles)"),
+                    &["mul latency", "D16", "DLXe", "DLXe/D16", "D16 rate", "DLXe rate"],
+                );
+                for p in points {
+                    t.row(vec![
+                        p.mul_latency.to_string(),
+                        p.d16_cycles.to_string(),
+                        p.dlxe_cycles.to_string(),
+                        f2(p.dlxe_cycles as f64 / p.d16_cycles as f64),
+                        f3(p.d16_rate),
+                        f3(p.dlxe_rate),
+                    ]);
+                }
+                println!("{}", t.render());
+            }
+            Err(e) => eprintln!("fpu sweep failed for {w}: {e}"),
+        }
+    }
+}
+
+fn print_list() {
+    println!("figures: 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19");
+    println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
+    println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
+}
+
+fn ratio_table(title: &str, rows: &[ex::RatioRow]) -> String {
+    let mut t = Table::new(title, &["program", "value"]);
+    for r in rows {
+        t.row(vec![r.workload.clone(), f2(r.value)]);
+    }
+    t.row(vec!["AVERAGE".into(), f2(ex::average(rows))]);
+    t.render()
+}
+
+fn grid_table(title: &str, rows: &[ex::GridRow]) -> String {
+    let mut t = Table::new(
+        title,
+        &["program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            f2(r.dlxe_16_2),
+            f2(r.dlxe_16_3),
+            f2(r.dlxe_32_2),
+            f2(r.dlxe_32_3),
+        ]);
+    }
+    t.render()
+}
+
+fn print_fig(suite: &Suite, n: u32) {
+    let out = match n {
+        4 => ratio_table("Figure 4: D16 relative density (DLXe/D16)", &ex::fig4_relative_density(suite)),
+        5 => ratio_table("Figure 5: DLXe path length (D16 = 1.0)", &ex::fig5_path_length(suite)),
+        6 | 8 | 11 => grid_table(
+            &format!("Figure {n}: code size vs D16 = 1.0 (feature grid)"),
+            &ex::code_size_grid(suite),
+        ),
+        7 | 9 | 12 => grid_table(
+            &format!("Figure {n}: path length vs D16 = 1.0 (feature grid)"),
+            &ex::path_length_grid(suite),
+        ),
+        10 => ratio_table(
+            "Figure 10: speedup from DLXe immediates/offsets (D16 = 1.0)",
+            &ex::fig10_immediate_speedup(suite),
+        ),
+        13 => {
+            let mut t = Table::new(
+                "Figure 13: instruction traffic vs static size (DLXe/D16)",
+                &["program", "traffic", "static"],
+            );
+            for r in ex::fig13_traffic_vs_density(suite) {
+                t.row(vec![r.workload, f2(r.traffic_ratio), f2(r.size_ratio)]);
+            }
+            t.render()
+        }
+        14 => {
+            let mut out = String::new();
+            for bus in [4u32, 8] {
+                let mut t = Table::new(
+                    &format!("Figure 14: normalized CPI, {}-bit fetch, no cache", bus * 8),
+                    &["wait states", "DLXe CPI", "D16 CPI", "D16 normalized"],
+                );
+                for p in ex::fig14_cacheless_cpi(suite, bus) {
+                    t.row(vec![
+                        p.wait_states.to_string(),
+                        f2(p.dlxe_cpi),
+                        f2(p.d16_cpi),
+                        f2(p.d16_normalized),
+                    ]);
+                }
+                out.push_str(&t.render());
+            }
+            out
+        }
+        15 => {
+            let mut out = String::new();
+            for bus in [4u32, 8] {
+                let mut t = Table::new(
+                    &format!("Figure 15: fetch saturation, {}-bit bus (fetches/cycle)", bus * 8),
+                    &["wait states", "DLXe", "D16"],
+                );
+                for p in ex::fig15_fetch_saturation(suite, bus) {
+                    t.row(vec![p.wait_states.to_string(), f2(p.dlxe), f2(p.d16)]);
+                }
+                out.push_str(&t.render());
+            }
+            out
+        }
+        16 => {
+            let mut out = String::new();
+            for w in d16_workloads::cache_benchmarks() {
+                let mut t = Table::new(
+                    &format!("Figure 16: I-cache miss rates, {}", w.name),
+                    &["size", "D16", "DLXe"],
+                );
+                for p in ex::fig16_icache_miss(suite, w.name) {
+                    t.row(vec![format!("{}K", p.size / 1024), f3(p.d16), f3(p.dlxe)]);
+                }
+                out.push_str(&t.render());
+            }
+            out
+        }
+        17 | 18 => {
+            let size = if n == 17 { 4096 } else { 16384 };
+            let mut out = String::new();
+            for w in d16_workloads::cache_benchmarks() {
+                let mut t = Table::new(
+                    &format!("Figure {n}: CPI with {}K I+D caches, {}", size / 1024, w.name),
+                    &["miss penalty", "DLXe", "D16", "D16 normalized"],
+                );
+                for p in ex::fig17_18_cache_cpi(suite, w.name, size) {
+                    t.row(vec![
+                        p.penalty.to_string(),
+                        f2(p.dlxe_cpi),
+                        f2(p.d16_cpi),
+                        f2(p.d16_normalized),
+                    ]);
+                }
+                out.push_str(&t.render());
+            }
+            out
+        }
+        19 => {
+            let mut out = String::new();
+            for w in d16_workloads::cache_benchmarks() {
+                let mut t = Table::new(
+                    &format!("Figure 19: instruction traffic (words/cycle), {}", w.name),
+                    &["size", "DLXe", "D16"],
+                );
+                for p in ex::fig19_cache_traffic(suite, w.name) {
+                    t.row(vec![format!("{}K", p.size / 1024), f3(p.dlxe), f3(p.d16)]);
+                }
+                out.push_str(&t.render());
+            }
+            out
+        }
+        other => format!("no figure {other} in the paper's evaluation\n"),
+    };
+    println!("{out}");
+}
+
+fn print_table(suite: &Suite, n: u32) {
+    let out = match n {
+        3 => {
+            let mut t = Table::new(
+                "Table 3: data traffic increase for the small register file (%)",
+                &["program", "D16", "DLXe-16"],
+            );
+            let rows = ex::table3_data_traffic(suite);
+            let (mut a, mut b) = (0.0, 0.0);
+            for r in &rows {
+                t.row(vec![r.workload.clone(), pct(r.d16_pct), pct(r.dlxe16_pct)]);
+                a += r.d16_pct;
+                b += r.dlxe16_pct;
+            }
+            let nrows = rows.len() as f64;
+            t.row(vec!["AVERAGE".into(), pct(a / nrows), pct(b / nrows)]);
+            t.render()
+        }
+        4 => match ex::table4_immediate_profile() {
+            Ok(t4) => {
+                let mut t = Table::new(
+                    "Table 4: average immediate-field instruction frequencies",
+                    &["class", "% of instructions"],
+                );
+                t.row(vec!["Compare immediate".into(), pct(t4.cmp_imm_pct)]);
+                t.row(vec!["ALU immediate, > 5 bits".into(), pct(t4.alu_imm_pct)]);
+                t.row(vec!["Memory displacements beyond D16".into(), pct(t4.mem_disp_pct)]);
+                t.row(vec!["Total".into(), pct(t4.total_pct())]);
+                t.render()
+            }
+            Err((w, e)) => format!("table 4 failed on {w}: {e}\n"),
+        },
+        5 => {
+            let mut t = Table::new(
+                "Table 5: summary of density and path length effects (D16 = 1.00)",
+                &["config", "code size", "path length"],
+            );
+            for (cfg, (size, path)) in ex::table5_summary(suite) {
+                t.row(vec![cfg, f2(size), f2(path)]);
+            }
+            t.render()
+        }
+        6 => grid_table("Table 6: code size /density summary (ratios vs D16)", &ex::code_size_grid(suite)),
+        7 => grid_table("Table 7: path length summary (ratios vs D16)", &ex::path_length_grid(suite)),
+        8 => {
+            let mut t = Table::new(
+                "Table 8: path length and instruction traffic (words)",
+                &["program", "D16 path", "DLXe path", "D16 words", "DLXe words"],
+            );
+            for r in ex::appendix_tables(suite) {
+                t.row(vec![
+                    r.workload,
+                    r.d16_insns.to_string(),
+                    r.dlxe_insns.to_string(),
+                    r.d16_ifetch_words.to_string(),
+                    r.dlxe_ifetch_words.to_string(),
+                ]);
+            }
+            t.render()
+        }
+        9 => {
+            let mut t = Table::new(
+                "Table 9: total loads and stores",
+                &["program", "D16", "DLXe", "%"],
+            );
+            for r in ex::appendix_tables(suite) {
+                let p = (r.dlxe_mem_ops as f64 / r.d16_mem_ops as f64 - 1.0) * 100.0;
+                t.row(vec![
+                    r.workload,
+                    r.d16_mem_ops.to_string(),
+                    r.dlxe_mem_ops.to_string(),
+                    pct(p),
+                ]);
+            }
+            t.render()
+        }
+        10 => {
+            let mut t = Table::new(
+                "Table 10: delayed-load and math-unit interlocks",
+                &["program", "D16 interlocks", "D16 rate", "DLXe interlocks", "DLXe rate"],
+            );
+            for r in ex::appendix_tables(suite) {
+                t.row(vec![
+                    r.workload,
+                    r.d16_interlocks.to_string(),
+                    f3(r.d16_interlocks as f64 / r.d16_insns as f64),
+                    r.dlxe_interlocks.to_string(),
+                    f3(r.dlxe_interlocks as f64 / r.dlxe_insns as f64),
+                ]);
+            }
+            t.render()
+        }
+        11 | 12 => {
+            let bus = if n == 11 { 4 } else { 8 };
+            let mut t = Table::new(
+                &format!("Table {n}: DLXe/D16 cycles, {}-bit fetch bus, no cache", bus * 8),
+                &["program", "l=0", "l=1", "l=2", "l=3"],
+            );
+            let rows = ex::table11_12_cycle_ratios(suite, bus);
+            let mut sums = [0.0; 4];
+            for r in &rows {
+                t.row(vec![
+                    r.workload.clone(),
+                    f2(r.ratios[0]),
+                    f2(r.ratios[1]),
+                    f2(r.ratios[2]),
+                    f2(r.ratios[3]),
+                ]);
+                for (s, v) in sums.iter_mut().zip(r.ratios) {
+                    *s += v;
+                }
+            }
+            let nr = rows.len() as f64;
+            t.row(vec![
+                "MEAN".into(),
+                f2(sums[0] / nr),
+                f2(sums[1] / nr),
+                f2(sums[2] / nr),
+                f2(sums[3] / nr),
+            ]);
+            t.render()
+        }
+        13 => {
+            let mut t = Table::new(
+                "Table 13: traffic and interlocks for cache benchmarks",
+                &["program", "ISA", "insns", "interlock rate", "ifetch words", "reads", "writes"],
+            );
+            for r in ex::table13_cache_traffic(suite) {
+                t.row(vec![
+                    r.workload,
+                    r.isa.to_string(),
+                    r.insns.to_string(),
+                    f3(r.interlock_rate),
+                    r.ifetch_words.to_string(),
+                    r.reads.to_string(),
+                    r.writes.to_string(),
+                ]);
+            }
+            t.render()
+        }
+        14 | 15 | 16 => {
+            let w = match n {
+                14 => "assem",
+                15 => "ipl",
+                _ => "latex",
+            };
+            let mut t = Table::new(
+                &format!("Table {n}: cache miss rates for {w}"),
+                &["size", "block", "I D16", "I DLXe", "R D16", "R DLXe", "W D16", "W DLXe"],
+            );
+            for r in ex::miss_rate_grid(suite, w) {
+                t.row(vec![
+                    format!("{}K", r.size / 1024),
+                    r.block.to_string(),
+                    f3(r.insn.0),
+                    f3(r.insn.1),
+                    f3(r.read.0),
+                    f3(r.read.1),
+                    f3(r.write.0),
+                    f3(r.write.1),
+                ]);
+            }
+            t.render()
+        }
+        other => format!("no table {other} in the paper's evaluation\n"),
+    };
+    println!("{out}");
+}

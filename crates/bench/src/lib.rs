@@ -1,0 +1,9 @@
+//! # d16-bench — benchmarks and the reproduction harness
+//!
+//! * `repro` (binary): regenerates every table and figure of the paper —
+//!   `cargo run --release -p d16-bench --bin repro -- --all`.
+//! * `checksums` (binary): prints each workload's pinned checksum.
+//! * `benches/components.rs`: encoder/pipeline/cache/compiler throughput.
+//! * `benches/paper_tables.rs`: per-table regeneration timing + sanity.
+//! * `benches/ablations.rs`: design-choice ablations with asserted effect
+//!   directions (delay-slot scheduling, `cmpeqi`, wrap-around prefetch).

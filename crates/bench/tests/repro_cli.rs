@@ -1,0 +1,27 @@
+//! Smoke tests for the `repro` command-line interface (argument handling
+//! only — the full regeneration is exercised by `--all` in release runs
+//! and by the criterion benches).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn list_prints_available_experiments() {
+    let out = repro().arg("--list").output().expect("run repro");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("figures: 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19"));
+    assert!(text.contains("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16"));
+    assert!(text.contains("fpu-sweep"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = repro().arg("--nonsense").output().expect("run repro");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"));
+}

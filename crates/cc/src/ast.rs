@@ -1,0 +1,278 @@
+//! Types and abstract syntax for Mini-C.
+//!
+//! Mini-C is the C subset the benchmark suite is written in: `int`,
+//! `unsigned`, `char`, `float`, `double`, pointers, multi-dimensional
+//! arrays, structs (by reference), the full C expression grammar minus
+//! varargs/function pointers, and C89-style control flow. Section 2 of the
+//! paper compiles its suite with GCC 2.1; Mini-C plus the `d16-cc`
+//! optimizer plays that role here.
+
+use crate::token::CError;
+
+/// A Mini-C type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// `void` (function returns only).
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit unsigned integer.
+    Uint,
+    /// 8-bit signed character.
+    Char,
+    /// IEEE single.
+    Float,
+    /// IEEE double.
+    Double,
+    /// Pointer.
+    Ptr(Box<Ty>),
+    /// Fixed-size array.
+    Array(Box<Ty>, u32),
+    /// Struct, by index into [`Program::structs`].
+    Struct(usize),
+}
+
+impl Ty {
+    /// Whether this is one of the two floating types.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float | Ty::Double)
+    }
+
+    /// Whether this is an integer (or char) type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Uint | Ty::Char)
+    }
+
+    /// Whether values of this type fit in a scalar register.
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Ty::Void | Ty::Array(..) | Ty::Struct(_))
+    }
+
+    /// The type a value of this type decays to when used as an rvalue.
+    pub fn decayed(&self) -> Ty {
+        match self {
+            Ty::Array(e, _) => Ty::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Size in bytes (needs the struct table for struct types).
+    pub fn size(&self, structs: &[StructDef]) -> u32 {
+        match self {
+            Ty::Void => 0,
+            Ty::Char => 1,
+            Ty::Int | Ty::Uint | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Double => 8,
+            Ty::Array(e, n) => e.size(structs) * n,
+            Ty::Struct(i) => structs[*i].size,
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self, structs: &[StructDef]) -> u32 {
+        match self {
+            Ty::Void => 1,
+            Ty::Char => 1,
+            Ty::Int | Ty::Uint | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Double => 8,
+            Ty::Array(e, _) => e.align(structs),
+            Ty::Struct(i) => structs[*i].align,
+        }
+    }
+}
+
+/// A struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// Fields: name, type, byte offset.
+    pub fields: Vec<(String, Ty, u32)>,
+    /// Padded size.
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+}
+
+impl StructDef {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&(String, Ty, u32)> {
+        self.fields.iter().find(|(n, _, _)| n == name)
+    }
+}
+
+/// An expression with its source line.
+#[derive(Clone, Debug)]
+pub struct E {
+    /// The node.
+    pub kind: Expr,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Expression nodes.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal; `true` = `f` suffix (float).
+    Float(f64, bool),
+    /// String literal (decays to `char*` at a fresh data symbol).
+    Str(Vec<u8>),
+    /// Named variable (local, parameter, or global).
+    Ident(String),
+    /// Unary operator: one of `- ~ ! * &`.
+    Unary(&'static str, Box<E>),
+    /// Pre-increment/-decrement: `++`/`--`.
+    PreIncDec(&'static str, Box<E>),
+    /// Post-increment/-decrement.
+    PostIncDec(&'static str, Box<E>),
+    /// Binary operator (arithmetic, comparison, logical, shifts).
+    Binary(&'static str, Box<E>, Box<E>),
+    /// Assignment: `=` or a compound `op=`.
+    Assign(&'static str, Box<E>, Box<E>),
+    /// Conditional expression.
+    Ternary(Box<E>, Box<E>, Box<E>),
+    /// Direct call (no function pointers in Mini-C).
+    Call(String, Vec<E>),
+    /// Array subscript.
+    Index(Box<E>, Box<E>),
+    /// Member access; `true` for `->`.
+    Member(Box<E>, String, bool),
+    /// Cast.
+    Cast(Ty, Box<E>),
+    /// `sizeof(type)` or `sizeof expr`.
+    SizeofTy(Ty),
+    /// `sizeof expr`.
+    SizeofExpr(Box<E>),
+}
+
+/// An initializer.
+#[derive(Clone, Debug)]
+pub enum Init {
+    /// Scalar initializer expression.
+    Expr(E),
+    /// Brace-enclosed list.
+    List(Vec<Init>),
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(E),
+    /// Local declaration(s).
+    Decl(Vec<(String, Ty, Option<Init>, usize)>),
+    /// `if`.
+    If(E, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while`.
+    While(E, Box<Stmt>),
+    /// `do … while`.
+    DoWhile(Box<Stmt>, E),
+    /// `for(init; cond; step) body` — `init` may be a declaration.
+    For(Option<Box<Stmt>>, Option<E>, Option<E>, Box<Stmt>),
+    /// `return`.
+    Return(Option<E>, usize),
+    /// `break`.
+    Break(usize),
+    /// `continue`.
+    Continue(usize),
+    /// Braced block.
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A global variable.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Optional initializer.
+    pub init: Option<Init>,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Definition line.
+    pub line: usize,
+}
+
+/// A parsed translation unit (or several, merged).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Struct table.
+    pub structs: Vec<StructDef>,
+    /// Globals in declaration order (the compiler lays data out in this
+    /// order, so hot scalars declared first land in the D16 gp window).
+    pub globals: Vec<Global>,
+    /// Functions.
+    pub funcs: Vec<Func>,
+}
+
+impl Program {
+    /// Finds a struct index by tag.
+    pub fn struct_by_name(&self, name: &str) -> Option<usize> {
+        self.structs.iter().position(|s| s.name == name)
+    }
+
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Reports a duplicate-definition error if `name` already names a
+    /// global or function.
+    pub fn check_fresh(&self, name: &str, line: usize) -> Result<(), CError> {
+        if self.globals.iter().any(|g| g.name == name) || self.func(name).is_some() {
+            Err(CError { line, msg: format!("duplicate definition of `{name}`") })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignment() {
+        let structs = vec![StructDef {
+            name: "point".into(),
+            fields: vec![
+                ("x".into(), Ty::Int, 0),
+                ("c".into(), Ty::Char, 4),
+                ("y".into(), Ty::Double, 8),
+            ],
+            size: 16,
+            align: 8,
+        }];
+        assert_eq!(Ty::Int.size(&structs), 4);
+        assert_eq!(Ty::Char.size(&structs), 1);
+        assert_eq!(Ty::Double.align(&structs), 8);
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 10).size(&structs), 40);
+        assert_eq!(Ty::Struct(0).size(&structs), 16);
+        assert_eq!(Ty::Ptr(Box::new(Ty::Struct(0))).size(&structs), 4);
+    }
+
+    #[test]
+    fn decay() {
+        let a = Ty::Array(Box::new(Ty::Char), 8);
+        assert_eq!(a.decayed(), Ty::Ptr(Box::new(Ty::Char)));
+        assert_eq!(Ty::Int.decayed(), Ty::Int);
+    }
+}

@@ -1,0 +1,531 @@
+//! The compiler's three-address intermediate representation.
+//!
+//! Functions are CFGs of basic blocks holding simple register-transfer
+//! instructions over unbounded virtual registers. Three register classes
+//! exist (`Int`, `F32`, `F64`); FP values live in the FP file and cross to
+//! the integer file only through explicit moves, mirroring the target's
+//! simplified FPU interface.
+//!
+//! Booleans follow the machine convention: comparison results are zero /
+//! all-ones (what the D16 `cmp` writes to `r0`); the lowering inserts a
+//! negate when C requires the value 1.
+
+use d16_isa::{Cond, FpCond, MemWidth};
+use std::fmt;
+
+/// A virtual register.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block id.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A stack-slot id (locals whose address is taken, arrays, structs).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotId(pub u32);
+
+/// Register class of a virtual register.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Class {
+    /// 32-bit integer / pointer.
+    Int,
+    /// Single-precision float.
+    F32,
+    /// Double-precision float (an even/odd FPR pair on the targets).
+    F64,
+}
+
+/// Integer binary operations.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    UDiv,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+}
+
+impl BinOp {
+    /// Whether operands can swap without changing the result.
+    pub fn commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// Constant evaluation with the machine's wrapping semantics.
+    /// Division by zero yields zero (the runtime helpers do the same).
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        let (ua, ub) = (a as u32, b as u32);
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::UDiv => {
+                if ub == 0 {
+                    0
+                } else {
+                    (ua / ub) as i32
+                }
+            }
+            BinOp::URem => {
+                if ub == 0 {
+                    0
+                } else {
+                    (ua % ub) as i32
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => ua.wrapping_shl(ub & 31) as i32,
+            BinOp::Shr => ua.wrapping_shr(ub & 31) as i32,
+            BinOp::Sar => a.wrapping_shr(ub & 31),
+        }
+    }
+}
+
+/// Floating binary operations.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Conversions between classes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CvtKind {
+    IntToF32,
+    IntToF64,
+    F32ToF64,
+    F64ToF32,
+    F32ToInt,
+    F64ToInt,
+}
+
+impl CvtKind {
+    /// Source class.
+    #[allow(dead_code)] // used by tests and kept for IR consumers
+    pub fn src(self) -> Class {
+        match self {
+            CvtKind::IntToF32 | CvtKind::IntToF64 => Class::Int,
+            CvtKind::F32ToF64 | CvtKind::F32ToInt => Class::F32,
+            CvtKind::F64ToF32 | CvtKind::F64ToInt => Class::F64,
+        }
+    }
+
+    /// Destination class.
+    #[allow(dead_code)] // used by tests and kept for IR consumers
+    pub fn dst(self) -> Class {
+        match self {
+            CvtKind::F32ToInt | CvtKind::F64ToInt => Class::Int,
+            CvtKind::IntToF32 | CvtKind::F64ToF32 => Class::F32,
+            CvtKind::IntToF64 | CvtKind::F32ToF64 => Class::F64,
+        }
+    }
+}
+
+/// Where a memory operand's base address comes from.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Base {
+    /// A register holding the address.
+    Reg(VReg),
+    /// A function stack slot.
+    Slot(SlotId),
+    /// A data symbol.
+    Global(String),
+}
+
+/// One IR instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Inst {
+    /// `rd <- imm`.
+    MovI { rd: VReg, v: i32 },
+    /// `rd <- fp constant` (class by `rd`).
+    MovF { rd: VReg, v: f64 },
+    /// Same-class register copy.
+    Mov { rd: VReg, rs: VReg },
+    /// Integer binary op; the right operand may be a constant.
+    Bin { op: BinOp, rd: VReg, a: VReg, b: Operand },
+    /// Two's-complement negate.
+    Neg { rd: VReg, rs: VReg },
+    /// Bitwise complement.
+    Not { rd: VReg, rs: VReg },
+    /// Comparison producing the machine boolean (0 / all-ones).
+    Cmp { cond: Cond, rd: VReg, a: VReg, b: Operand },
+    /// Floating binary op.
+    FBin { op: FBinOp, rd: VReg, a: VReg, b: VReg },
+    /// Floating negate.
+    FNeg { rd: VReg, rs: VReg },
+    /// Floating compare producing 0/1 in an integer register (via `rdsr`).
+    FCmp { cond: FpCond, rd: VReg, a: VReg, b: VReg },
+    /// Class conversion.
+    Cvt { kind: CvtKind, rd: VReg, rs: VReg },
+    /// Load (`rd` class decides FP vs int destination; FP loads expand to
+    /// integer loads plus `mtf` at selection).
+    Load { w: MemWidth, rd: VReg, base: Base, off: i32 },
+    /// Store.
+    Store { w: MemWidth, rs: VReg, base: Base, off: i32 },
+    /// Address of a slot or global.
+    Addr { rd: VReg, base: Base, off: i32 },
+    /// Direct call.
+    Call { func: String, args: Vec<VReg>, ret: Option<VReg> },
+}
+
+impl Inst {
+    /// The defined register, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::MovI { rd, .. }
+            | Inst::MovF { rd, .. }
+            | Inst::Mov { rd, .. }
+            | Inst::Bin { rd, .. }
+            | Inst::Neg { rd, .. }
+            | Inst::Not { rd, .. }
+            | Inst::Cmp { rd, .. }
+            | Inst::FBin { rd, .. }
+            | Inst::FNeg { rd, .. }
+            | Inst::FCmp { rd, .. }
+            | Inst::Cvt { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Addr { rd, .. } => Some(*rd),
+            Inst::Store { .. } => None,
+            Inst::Call { ret, .. } => *ret,
+        }
+    }
+
+    /// Registers read by the instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Inst::MovI { .. } | Inst::MovF { .. } => vec![],
+            Inst::Mov { rs, .. } | Inst::Neg { rs, .. } | Inst::Not { rs, .. } => vec![*rs],
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                let mut v = vec![*a];
+                if let Operand::Reg(r) = b {
+                    v.push(*r);
+                }
+                v
+            }
+            Inst::FBin { a, b, .. } | Inst::FCmp { a, b, .. } => vec![*a, *b],
+            Inst::FNeg { rs, .. } | Inst::Cvt { rs, .. } => vec![*rs],
+            Inst::Load { base, .. } => base_use(base),
+            Inst::Store { rs, base, .. } => {
+                let mut v = vec![*rs];
+                v.extend(base_use(base));
+                v
+            }
+            Inst::Addr { base, .. } => base_use(base),
+            Inst::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Whether the instruction has no side effects (safe to remove when
+    /// its result is unused).
+    pub fn is_pure(&self) -> bool {
+        !matches!(self, Inst::Store { .. } | Inst::Call { .. })
+    }
+}
+
+fn base_use(b: &Base) -> Vec<VReg> {
+    match b {
+        Base::Reg(r) => vec![*r],
+        _ => vec![],
+    }
+}
+
+/// An integer operand: register or immediate.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Virtual register.
+    Reg(VReg),
+    /// 32-bit immediate.
+    Imm(i32),
+}
+
+/// Block terminators.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Term {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Branch: to `t` when `v` is nonzero, else `f`.
+    Br { v: VReg, t: BlockId, f: BlockId },
+    /// Return.
+    Ret(Option<VReg>),
+}
+
+impl Term {
+    /// Successor blocks.
+    pub fn succs(&self) -> Vec<BlockId> {
+        match self {
+            Term::Jmp(b) => vec![*b],
+            Term::Br { t, f, .. } => vec![*t, *f],
+            Term::Ret(_) => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Term::Br { v, .. } => vec![*v],
+            Term::Ret(Some(v)) => vec![*v],
+            _ => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A stack slot (byte size and alignment).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SlotInfo {
+    /// Size in bytes.
+    pub size: u32,
+    /// Alignment in bytes.
+    pub align: u32,
+}
+
+/// An IR function.
+#[derive(Clone, Debug)]
+pub struct IrFunc {
+    /// Name.
+    pub name: String,
+    /// Parameter registers, in ABI order (doubles occupy one F64 vreg).
+    pub params: Vec<VReg>,
+    /// Whether the function returns a value, and in which class.
+    pub ret_class: Option<Class>,
+    /// Blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// Class of each virtual register.
+    pub vclass: Vec<Class>,
+    /// Stack slots.
+    pub slots: Vec<SlotInfo>,
+}
+
+impl IrFunc {
+    /// Allocates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: Class) -> VReg {
+        self.vclass.push(class);
+        VReg(self.vclass.len() as u32 - 1)
+    }
+
+    /// The class of a register.
+    pub fn class(&self, r: VReg) -> Class {
+        self.vclass[r.0 as usize]
+    }
+
+    /// Allocates a stack slot.
+    pub fn new_slot(&mut self, size: u32, align: u32) -> SlotId {
+        self.slots.push(SlotInfo { size, align });
+        SlotId(self.slots.len() as u32 - 1)
+    }
+
+    /// Total virtual registers.
+    pub fn vreg_count(&self) -> usize {
+        self.vclass.len()
+    }
+}
+
+/// A chunk of initialized data.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DataChunk {
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A 32-bit little-endian word.
+    Word(u32),
+    /// A word holding a symbol address plus offset (relocated at link).
+    WordSym(String, i32),
+    /// `n` zero bytes.
+    Zero(u32),
+}
+
+impl DataChunk {
+    /// Byte size of the chunk.
+    pub fn size(&self) -> u32 {
+        match self {
+            DataChunk::Bytes(b) => b.len() as u32,
+            DataChunk::Word(_) | DataChunk::WordSym(..) => 4,
+            DataChunk::Zero(n) => *n,
+        }
+    }
+}
+
+/// One named data item.
+#[derive(Clone, Debug)]
+pub struct DataItem {
+    /// Symbol name.
+    pub name: String,
+    /// Alignment.
+    pub align: u32,
+    /// Contents in order.
+    pub chunks: Vec<DataChunk>,
+}
+
+impl DataItem {
+    /// Total byte size.
+    pub fn size(&self) -> u32 {
+        self.chunks.iter().map(DataChunk::size).sum()
+    }
+}
+
+/// An uninitialized (bss) global.
+#[derive(Clone, Debug)]
+pub struct BssItem {
+    /// Symbol name.
+    pub name: String,
+    /// Byte size.
+    pub size: u32,
+}
+
+/// A lowered module: functions plus the data segment layout.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Functions, `main` first if present.
+    pub funcs: Vec<IrFunc>,
+    /// Data items in emission order (globals first, in declaration order,
+    /// so early scalars land inside the D16 gp window).
+    pub data: Vec<DataItem>,
+    /// Uninitialized globals, emitted as `.comm` (bss): they occupy no
+    /// bytes in the stripped binary, exactly as in the Unix binaries the
+    /// paper measures.
+    pub bss: Vec<BssItem>,
+}
+
+impl Module {
+    /// Computes the byte offset of each data item from the start of the
+    /// data segment, replicating the assembler's `.align` layout.
+    pub fn data_offsets(&self) -> Vec<(String, u32)> {
+        let mut off = 0u32;
+        let mut out = Vec::with_capacity(self.data.len());
+        for item in &self.data {
+            off = (off + item.align - 1) & !(item.align - 1);
+            out.push((item.name.clone(), off));
+            off += item.size();
+        }
+        out
+    }
+
+    /// Total data-segment size under the same layout rules.
+    pub fn data_size(&self) -> u32 {
+        let mut off = 0u32;
+        for item in &self.data {
+            off = (off + item.align - 1) & !(item.align - 1);
+            off += item.size();
+        }
+        off
+    }
+
+    /// Offsets of bss symbols *from the global pointer*, given the final
+    /// data-segment size: the linker starts bss at the next 8-byte
+    /// boundary and `.comm` aligns each item to 8 bytes.
+    pub fn bss_offsets(&self, data_size: u32) -> Vec<(String, u32)> {
+        let mut off = (data_size + 7) & !7;
+        let mut out = Vec::with_capacity(self.bss.len());
+        for item in &self.bss {
+            off = (off + 7) & !7;
+            out.push((item.name.clone(), off));
+            off += item.size;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_wraps_and_guards() {
+        assert_eq!(BinOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::UDiv.eval(-2, 3), ((u32::MAX - 1) / 3) as i32);
+        assert_eq!(BinOp::Sar.eval(-8, 1), -4);
+        assert_eq!(BinOp::Shr.eval(-8, 1), ((-8i32 as u32) >> 1) as i32);
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            rd: VReg(3),
+            a: VReg(1),
+            b: Operand::Reg(VReg(2)),
+        };
+        assert_eq!(i.def(), Some(VReg(3)));
+        assert_eq!(i.uses(), vec![VReg(1), VReg(2)]);
+        let s = Inst::Store { w: MemWidth::W, rs: VReg(4), base: Base::Reg(VReg(5)), off: 0 };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![VReg(4), VReg(5)]);
+        assert!(!s.is_pure());
+    }
+
+    #[test]
+    fn data_layout_matches_alignment_rules() {
+        let m = Module {
+            funcs: vec![],
+            bss: vec![],
+            data: vec![
+                DataItem { name: "a".into(), align: 1, chunks: vec![DataChunk::Bytes(vec![1, 2, 3])] },
+                DataItem { name: "b".into(), align: 4, chunks: vec![DataChunk::Word(7)] },
+                DataItem { name: "c".into(), align: 8, chunks: vec![DataChunk::Zero(8)] },
+            ],
+        };
+        let off = m.data_offsets();
+        assert_eq!(off[0], ("a".into(), 0));
+        assert_eq!(off[1], ("b".into(), 4));
+        assert_eq!(off[2], ("c".into(), 8));
+    }
+
+    #[test]
+    fn cvt_classes() {
+        assert_eq!(CvtKind::IntToF64.src(), Class::Int);
+        assert_eq!(CvtKind::IntToF64.dst(), Class::F64);
+        assert_eq!(CvtKind::F64ToInt.dst(), Class::Int);
+    }
+}

@@ -1,0 +1,1166 @@
+//! Instruction selection: IR → machine IR under a [`TargetSpec`].
+//!
+//! This pass is where the paper's instruction-set features are *felt*:
+//!
+//! * **Two-address shapes** — a fresh destination costs a `mv` unless the
+//!   left operand dies here (a cheap form of coalescing real compilers do).
+//! * **Immediate fields** — constants outside the effective field sizes
+//!   are materialized (D16: `mvi`/`ldc`; DLXe: `addi`/`mvhi`+`ori`).
+//! * **Displacement fields** — far globals/stack words cost address
+//!   arithmetic or literal-pool loads.
+//! * **Compare/branch discipline** — D16 compares write `r0` and branches
+//!   test `r0`; DLXe compares write any GPR and `bz`/`bnz` test it.
+//! * **The FPU interface** — no FP loads/stores; FP values pass through
+//!   GPRs with `mtf`/`mff`, and doubles occupy register pairs.
+
+use crate::ir::{
+    Base, BinOp, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc, Module, Operand,
+    Term, VReg,
+};
+use crate::mach::{DefUse, MBlock, MFunc, MInsn, MTerm, MemAddr, FR, R};
+use crate::target::TargetSpec;
+use d16_isa::{abi, AluOp, Cond, CvtOp, EncodingParams, FpOp, Isa, MemWidth, Prec,
+    TrapCode, UnOp};
+use std::collections::HashMap;
+
+/// Output of selection: machine functions plus data items appended by the
+/// selector (floating-point constant pools).
+pub struct Selected {
+    /// Machine functions in module order.
+    pub funcs: Vec<MFunc>,
+    /// Original data items followed by FP-constant items.
+    pub data: Vec<DataItem>,
+    /// Uninitialized globals (assembled as `.comm`).
+    pub bss: Vec<crate::ir::BssItem>,
+}
+
+/// Whether a floating constant is built in registers (`mvi` + `mtf`) or
+/// loaded from a data-segment pool under the given encoding limits.
+fn movf_register_route(params: &EncodingParams, prec: Prec, v: f64) -> bool {
+    let (mlo, mhi) = params.mvi_imm;
+    let fits = |x: i32| x >= mlo && x <= mhi;
+    match prec {
+        Prec::S => fits((v as f32).to_bits() as i32),
+        Prec::D => {
+            let bits = v.to_bits();
+            fits(bits as u32 as i32) && fits((bits >> 32) as u32 as i32)
+        }
+    }
+}
+
+/// Runs selection over a module.
+pub fn select(module: &Module, spec: &TargetSpec) -> Selected {
+    let mut data = module.data.clone();
+    let mut goff: HashMap<String, u32> = module.data_offsets().into_iter().collect();
+    let mut data_end = module.data_size();
+    let mut fconsts: HashMap<(u64, bool), String> = HashMap::new();
+    let params = spec.params();
+    // Pre-intern every pool-routed FP constant so the data segment is
+    // final before any gp-relative offset (in particular of bss symbols)
+    // is computed.
+    {
+        let mut cx = Cx {
+            spec,
+            params,
+            goff: &mut goff,
+            data: &mut data,
+            data_end: &mut data_end,
+            fconsts: &mut fconsts,
+        };
+        for f in &module.funcs {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let crate::ir::Inst::MovF { rd, v } = inst {
+                        let prec = match f.class(*rd) {
+                            crate::ir::Class::F64 => Prec::D,
+                            _ => Prec::S,
+                        };
+                        if !movf_register_route(&cx.params, prec, *v) {
+                            cx.fp_const(*v, prec == Prec::D);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // bss symbols live past the (now final) data segment.
+    for (name, off) in module.bss_offsets(data_end) {
+        goff.insert(name, off);
+    }
+    let mut funcs = Vec::with_capacity(module.funcs.len());
+    for f in &module.funcs {
+        let mut cx = Cx {
+            spec,
+            params,
+            goff: &mut goff,
+            data: &mut data,
+            data_end: &mut data_end,
+            fconsts: &mut fconsts,
+        };
+        funcs.push(select_func(f, &mut cx));
+    }
+    Selected { funcs, data, bss: module.bss.clone() }
+}
+
+/// Module-level selection context.
+struct Cx<'a> {
+    spec: &'a TargetSpec,
+    params: EncodingParams,
+    goff: &'a mut HashMap<String, u32>,
+    data: &'a mut Vec<DataItem>,
+    data_end: &'a mut u32,
+    fconsts: &'a mut HashMap<(u64, bool), String>,
+}
+
+impl<'a> Cx<'a> {
+    /// Interns an FP constant into the data segment, returning its symbol.
+    fn fp_const(&mut self, v: f64, double: bool) -> String {
+        let bits = if double { v.to_bits() } else { (v as f32).to_bits() as u64 };
+        if let Some(s) = self.fconsts.get(&(bits, double)) {
+            return s.clone();
+        }
+        let name = format!("$fc{}", self.fconsts.len());
+        let (align, chunks) = if double {
+            (8, vec![DataChunk::Bytes(bits.to_le_bytes().to_vec())])
+        } else {
+            (4, vec![DataChunk::Word(bits as u32)])
+        };
+        let off = (*self.data_end + align - 1) & !(align - 1);
+        *self.data_end = off + if double { 8 } else { 4 };
+        self.goff.insert(name.clone(), off);
+        self.data.push(DataItem { name: name.clone(), align, chunks });
+        self.fconsts.insert((bits, double), name.clone());
+        name
+    }
+}
+
+fn select_func(f: &IrFunc, cx: &mut Cx<'_>) -> MFunc {
+    let mut sel = Sel::new(f, cx);
+    sel.lower_params();
+    for bi in 0..f.blocks.len() {
+        sel.begin_block(bi);
+        let block = &f.blocks[bi];
+        // Detect a foldable trailing compare feeding this block's branch.
+        let fold = foldable_compare(block, &sel.use_counts, &sel.def_counts);
+        let upto = if fold.is_some() { block.insts.len() - 1 } else { block.insts.len() };
+        for inst in &block.insts[..upto] {
+            sel.lower_inst(inst);
+        }
+        sel.lower_term(&block.term, fold);
+        sel.end_block();
+    }
+    sel.finish()
+}
+
+/// If the block ends `cmp rd, ...; br rd` with `rd` single-def/single-use,
+/// the compare can merge with the branch.
+fn foldable_compare<'b>(
+    block: &'b crate::ir::Block,
+    uses: &[u32],
+    defs: &[u32],
+) -> Option<&'b Inst> {
+    let v = match &block.term {
+        Term::Br { v, .. } => *v,
+        _ => return None,
+    };
+    let last = block.insts.last()?;
+    let rd = last.def()?;
+    if rd != v || uses[v.0 as usize] != 1 || defs[v.0 as usize] != 1 {
+        return None;
+    }
+    match last {
+        Inst::Cmp { .. } | Inst::FCmp { .. } => Some(last),
+        _ => None,
+    }
+}
+
+struct Sel<'a, 'c> {
+    f: &'a IrFunc,
+    cx: &'a mut Cx<'c>,
+    mf: MFunc,
+    imap: HashMap<VReg, R>,
+    fmap: HashMap<VReg, FR>,
+    use_counts: Vec<u32>,
+    def_counts: Vec<u32>,
+    remaining: Vec<u32>,
+    defined_here: Vec<bool>,
+    out: Vec<MInsn>,
+    param_prefix: Vec<MInsn>,
+}
+
+impl<'a, 'c> Sel<'a, 'c> {
+    fn new(f: &'a IrFunc, cx: &'a mut Cx<'c>) -> Self {
+        let nv = f.vreg_count();
+        let mut use_counts = vec![0u32; nv];
+        let mut def_counts = vec![0u32; nv];
+        for b in &f.blocks {
+            for i in &b.insts {
+                for u in i.uses() {
+                    use_counts[u.0 as usize] += 1;
+                }
+                if let Some(d) = i.def() {
+                    def_counts[d.0 as usize] += 1;
+                }
+            }
+            for u in b.term.uses() {
+                use_counts[u.0 as usize] += 1;
+            }
+        }
+        let remaining = use_counts.clone();
+        let ret_words = match f.ret_class {
+            None => 0,
+            Some(Class::F64) => 2,
+            Some(_) => 1,
+        };
+        Sel {
+            f,
+            cx,
+            mf: MFunc {
+                name: f.name.clone(),
+                blocks: Vec::new(),
+                nvirt_int: 0,
+                nvirt_fp: 0,
+                fp_prec: Vec::new(),
+                slots: f.slots.clone(),
+                out_words: 0,
+                has_call: false,
+                ret_words,
+            },
+            imap: HashMap::new(),
+            fmap: HashMap::new(),
+            use_counts,
+            def_counts,
+            remaining,
+            defined_here: vec![false; nv],
+            out: Vec::new(),
+            param_prefix: Vec::new(),
+        }
+    }
+
+    fn isa(&self) -> Isa {
+        self.cx.spec.isa
+    }
+
+    fn emit(&mut self, i: MInsn) {
+        self.out.push(i);
+    }
+
+    fn begin_block(&mut self, _bi: usize) {
+        self.out = Vec::new();
+        self.defined_here.iter_mut().for_each(|d| *d = false);
+    }
+
+    fn end_block(&mut self) {}
+
+    fn prec_of(&self, v: VReg) -> Prec {
+        match self.f.class(v) {
+            Class::F32 => Prec::S,
+            Class::F64 => Prec::D,
+            Class::Int => unreachable!("int vreg in FP context"),
+        }
+    }
+
+    fn mi(&mut self, v: VReg) -> R {
+        if let Some(r) = self.imap.get(&v) {
+            return *r;
+        }
+        let r = self.mf.vint();
+        self.imap.insert(v, r);
+        r
+    }
+
+    fn mfp(&mut self, v: VReg) -> FR {
+        if let Some(r) = self.fmap.get(&v) {
+            return *r;
+        }
+        let prec = self.prec_of(v);
+        let r = self.mf.vfp(prec);
+        self.fmap.insert(v, r);
+        r
+    }
+
+    /// Marks an IR-level use as consumed (for last-use aliasing).
+    fn consume(&mut self, v: VReg) {
+        self.remaining[v.0 as usize] = self.remaining[v.0 as usize].saturating_sub(1);
+    }
+
+    /// Whether `v` dies at the current use and may donate its machine
+    /// register to the instruction's destination.
+    fn dies_here(&self, v: VReg) -> bool {
+        self.def_counts[v.0 as usize] == 1
+            && self.remaining[v.0 as usize] == 1
+            && self.defined_here[v.0 as usize]
+    }
+
+    fn mark_def(&mut self, v: VReg) {
+        self.defined_here[v.0 as usize] = true;
+    }
+
+    // ---- constants and addresses ----
+
+    fn const_into(&mut self, rd: R, val: i32) {
+        let (lo, hi) = self.cx.params.mvi_imm;
+        if val >= lo && val <= hi {
+            self.emit(MInsn::Mvi { rd, imm: val });
+        } else {
+            self.emit(MInsn::LoadConst { rd, val });
+        }
+    }
+
+    fn materialize_const(&mut self, val: i32) -> R {
+        let rd = self.mf.vint();
+        self.const_into(rd, val);
+        rd
+    }
+
+    fn operand_reg(&mut self, o: &Operand) -> R {
+        match o {
+            Operand::Reg(v) => {
+                let r = self.mi(*v);
+                self.consume(*v);
+                r
+            }
+            Operand::Imm(i) => self.materialize_const(*i),
+        }
+    }
+
+    /// Global-symbol gp offset (whole-program layout is known).
+    fn gp_offset(&self, sym: &str) -> i32 {
+        *self
+            .cx
+            .goff
+            .get(sym)
+            .unwrap_or_else(|| panic!("unknown global `{sym}`")) as i32
+    }
+
+    /// Materializes `sym+off` into a fresh register.
+    fn addr_of_global(&mut self, sym: &str, off: i32) -> R {
+        let rd = self.mf.vint();
+        let goff = self.gp_offset(sym) + off;
+        let (alo, ahi) = self.cx.params.alu_imm;
+        if goff >= alo && goff <= ahi && !self.cx.spec.two_address {
+            self.emit(MInsn::AluI { op: AluOp::Add, rd, rs1: R::P(abi::GP), imm: goff });
+        } else if goff >= alo && goff <= ahi {
+            self.emit(MInsn::Un { op: UnOp::Mv, rd, rs: R::P(abi::GP) });
+            self.emit(MInsn::AluI { op: AluOp::Add, rd, rs1: rd, imm: goff });
+        } else if (self.cx.params.mvi_imm.0..=self.cx.params.mvi_imm.1).contains(&goff) {
+            self.emit(MInsn::Mvi { rd, imm: goff });
+            self.emit(MInsn::Alu { op: AluOp::Add, rd, rs1: rd, rs2: R::P(abi::GP) });
+        } else {
+            self.emit(MInsn::LoadSym { rd, sym: sym.to_string(), off });
+        }
+        rd
+    }
+
+    /// Resolves an IR memory operand into a machine address, inserting
+    /// address arithmetic as the displacement fields require.
+    fn mem_addr(&mut self, base: &Base, off: i32, w: MemWidth) -> MemAddr {
+        match base {
+            Base::Slot(s) => MemAddr::SpSlot { slot: *s, extra: off },
+            Base::Reg(v) => {
+                let r = self.mi(*v);
+                self.consume(*v);
+                if self.cx.params.mem_disp_fits(w, off) {
+                    MemAddr::BaseDisp { base: r, disp: off }
+                } else {
+                    let t = self.add_to_reg(r, off);
+                    MemAddr::BaseDisp { base: t, disp: 0 }
+                }
+            }
+            Base::Global(sym) => {
+                let goff = self.gp_offset(sym) + off;
+                if self.cx.params.mem_disp_fits(w, goff) {
+                    MemAddr::BaseDisp { base: R::P(abi::GP), disp: goff }
+                } else {
+                    let t = self.addr_of_global(sym, off);
+                    MemAddr::BaseDisp { base: t, disp: 0 }
+                }
+            }
+        }
+    }
+
+    /// `rd = r + off` with the target's immediate limits.
+    fn add_to_reg(&mut self, r: R, off: i32) -> R {
+        let rd = self.mf.vint();
+        let (alo, ahi) = self.cx.params.alu_imm;
+        let pos_ok = off >= alo && off <= ahi;
+        let neg_ok = -off >= alo && -off <= ahi;
+        if pos_ok || neg_ok {
+            let (op, imm) = if pos_ok { (AluOp::Add, off) } else { (AluOp::Sub, -off) };
+            if self.cx.spec.two_address {
+                self.emit(MInsn::Un { op: UnOp::Mv, rd, rs: r });
+                self.emit(MInsn::AluI { op, rd, rs1: rd, imm });
+            } else {
+                self.emit(MInsn::AluI { op, rd, rs1: r, imm });
+            }
+        } else {
+            self.const_into(rd, off);
+            self.emit(MInsn::Alu { op: AluOp::Add, rd, rs1: rd, rs2: r });
+        }
+        rd
+    }
+
+    // ---- parameters ----
+
+    fn lower_params(&mut self) {
+        self.out = Vec::new();
+        let arg_regs = self.cx.spec.arg_regs();
+        let mut word = 0usize;
+        let mut moves: Vec<MInsn> = Vec::new();
+        for &p in &self.f.params {
+            match self.f.class(p) {
+                Class::Int => {
+                    let rd = self.mi(p);
+                    if word < 4 {
+                        moves.push(MInsn::Un { op: UnOp::Mv, rd, rs: R::P(arg_regs[word]) });
+                    } else {
+                        moves.push(MInsn::Ld {
+                            w: MemWidth::W,
+                            rd,
+                            addr: MemAddr::SpIn { index: (word - 4) as u32 },
+                        });
+                    }
+                    word += 1;
+                }
+                Class::F32 => {
+                    let fd = self.mfp(p);
+                    if word < 4 {
+                        moves.push(MInsn::Mtf { fd, hi: false, rs: R::P(arg_regs[word]) });
+                    } else {
+                        let t = self.mf.vint();
+                        moves.push(MInsn::Ld {
+                            w: MemWidth::W,
+                            rd: t,
+                            addr: MemAddr::SpIn { index: (word - 4) as u32 },
+                        });
+                        moves.push(MInsn::Mtf { fd, hi: false, rs: t });
+                    }
+                    word += 1;
+                }
+                Class::F64 => {
+                    let fd = self.mfp(p);
+                    for half in 0..2 {
+                        let hi = half == 1;
+                        if word < 4 {
+                            moves.push(MInsn::Mtf { fd, hi, rs: R::P(arg_regs[word]) });
+                        } else {
+                            let t = self.mf.vint();
+                            moves.push(MInsn::Ld {
+                                w: MemWidth::W,
+                                rd: t,
+                                addr: MemAddr::SpIn { index: (word - 4) as u32 },
+                            });
+                            moves.push(MInsn::Mtf { fd, hi, rs: t });
+                        }
+                        word += 1;
+                    }
+                }
+            }
+            self.mark_def(p);
+        }
+        self.out = moves;
+        // The parameter moves become a prefix of block 0; stash them until
+        // begin_block(0) runs.
+        let prefix = std::mem::take(&mut self.out);
+        self.param_prefix = prefix;
+    }
+
+    // ---- instructions ----
+
+    fn lower_inst(&mut self, inst: &Inst) {
+        match inst {
+            Inst::MovI { rd, v } => {
+                let r = self.mi(*rd);
+                self.const_into(r, *v);
+                self.mark_def(*rd);
+            }
+            Inst::MovF { rd, v } => {
+                self.lower_movf(*rd, *v);
+                self.mark_def(*rd);
+            }
+            Inst::Mov { rd, rs } => {
+                match self.f.class(*rs) {
+                    Class::Int => {
+                        if self.dies_here(*rs) && !self.imap.contains_key(rd) {
+                            let r = self.mi(*rs);
+                            self.consume(*rs);
+                            self.imap.insert(*rd, r);
+                        } else {
+                            let d = self.mi(*rd);
+                            let s = self.mi(*rs);
+                            self.consume(*rs);
+                            self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: s });
+                        }
+                    }
+                    _ => {
+                        if self.dies_here(*rs) && !self.fmap.contains_key(rd) {
+                            let r = self.mfp(*rs);
+                            self.consume(*rs);
+                            self.fmap.insert(*rd, r);
+                        } else {
+                            let prec = self.prec_of(*rs);
+                            let d = self.mfp(*rd);
+                            let s = self.mfp(*rs);
+                            self.consume(*rs);
+                            self.emit(MInsn::FMov { prec, fd: d, fs: s });
+                        }
+                    }
+                }
+                self.mark_def(*rd);
+            }
+            Inst::Bin { op, rd, a, b } => {
+                self.lower_bin(*op, *rd, *a, b);
+                self.mark_def(*rd);
+            }
+            Inst::Neg { rd, rs } => {
+                let d = self.mi(*rd);
+                let s = self.mi(*rs);
+                self.consume(*rs);
+                self.emit(MInsn::Un { op: UnOp::Neg, rd: d, rs: s });
+                self.mark_def(*rd);
+            }
+            Inst::Not { rd, rs } => {
+                let d = self.mi(*rd);
+                let s = self.mi(*rs);
+                self.consume(*rs);
+                if self.isa() == Isa::D16 {
+                    self.emit(MInsn::Un { op: UnOp::Inv, rd: d, rs: s });
+                } else {
+                    // DLXe dropped inv (r0 exists): xor with -1.
+                    let m1 = self.materialize_const(-1);
+                    self.emit(MInsn::Alu { op: AluOp::Xor, rd: d, rs1: s, rs2: m1 });
+                }
+                self.mark_def(*rd);
+            }
+            Inst::Cmp { cond, rd, a, b } => {
+                let d = self.mi(*rd);
+                self.lower_cmp_into(*cond, d, *a, b);
+                self.mark_def(*rd);
+            }
+            Inst::FBin { op, rd, a, b } => {
+                self.lower_fbin(*op, *rd, *a, *b);
+                self.mark_def(*rd);
+            }
+            Inst::FNeg { rd, rs } => {
+                let prec = self.prec_of(*rs);
+                let d = self.mfp(*rd);
+                let s = self.mfp(*rs);
+                self.consume(*rs);
+                self.emit(MInsn::FNeg { prec, fd: d, fs: s });
+                self.mark_def(*rd);
+            }
+            Inst::FCmp { cond, rd, a, b } => {
+                let prec = self.prec_of(*a);
+                let fa = self.mfp(*a);
+                let fb = self.mfp(*b);
+                self.consume(*a);
+                self.consume(*b);
+                self.emit(MInsn::FCmp { cond: *cond, prec, fs1: fa, fs2: fb });
+                let d = self.mi(*rd);
+                self.emit(MInsn::Rdsr { rd: d });
+                self.mark_def(*rd);
+            }
+            Inst::Cvt { kind, rd, rs } => {
+                self.lower_cvt(*kind, *rd, *rs);
+                self.mark_def(*rd);
+            }
+            Inst::Load { w, rd, base, off } => {
+                match self.f.class(*rd) {
+                    Class::Int => {
+                        let addr = self.mem_addr(base, *off, *w);
+                        let d = self.mi(*rd);
+                        self.emit(MInsn::Ld { w: *w, rd: d, addr });
+                    }
+                    Class::F32 => {
+                        let addr = self.mem_addr(base, *off, MemWidth::W);
+                        let t = self.mf.vint();
+                        self.emit(MInsn::Ld { w: MemWidth::W, rd: t, addr });
+                        let fd = self.mfp(*rd);
+                        self.emit(MInsn::Mtf { fd, hi: false, rs: t });
+                    }
+                    Class::F64 => {
+                        let (alo, ahi) = self.fp_word_addrs(base, *off);
+                        let t1 = self.mf.vint();
+                        let t2 = self.mf.vint();
+                        self.emit(MInsn::Ld { w: MemWidth::W, rd: t1, addr: alo });
+                        self.emit(MInsn::Ld { w: MemWidth::W, rd: t2, addr: ahi });
+                        let fd = self.mfp(*rd);
+                        self.emit(MInsn::Mtf { fd, hi: false, rs: t1 });
+                        self.emit(MInsn::Mtf { fd, hi: true, rs: t2 });
+                    }
+                }
+                self.mark_def(*rd);
+            }
+            Inst::Store { w, rs, base, off } => match self.f.class(*rs) {
+                Class::Int => {
+                    let addr = self.mem_addr(base, *off, *w);
+                    let s = self.mi(*rs);
+                    self.consume(*rs);
+                    self.emit(MInsn::St { w: *w, rs: s, addr });
+                }
+                Class::F32 => {
+                    let fs = self.mfp(*rs);
+                    self.consume(*rs);
+                    let t = self.mf.vint();
+                    self.emit(MInsn::Mff { rd: t, fs, hi: false });
+                    let addr = self.mem_addr(base, *off, MemWidth::W);
+                    self.emit(MInsn::St { w: MemWidth::W, rs: t, addr });
+                }
+                Class::F64 => {
+                    let fs = self.mfp(*rs);
+                    self.consume(*rs);
+                    let (alo, ahi) = self.fp_word_addrs(base, *off);
+                    let t1 = self.mf.vint();
+                    self.emit(MInsn::Mff { rd: t1, fs, hi: false });
+                    self.emit(MInsn::St { w: MemWidth::W, rs: t1, addr: alo });
+                    let t2 = self.mf.vint();
+                    self.emit(MInsn::Mff { rd: t2, fs, hi: true });
+                    self.emit(MInsn::St { w: MemWidth::W, rs: t2, addr: ahi });
+                }
+            },
+            Inst::Addr { rd, base, off } => {
+                let d = self.mi(*rd);
+                match base {
+                    Base::Slot(s) => self.emit(MInsn::SpAddr { rd: d, slot: *s, extra: *off }),
+                    Base::Global(sym) => {
+                        let t = self.addr_of_global(sym, *off);
+                        // addr_of_global allocated a fresh register; alias
+                        // it onto the destination with a rename.
+                        self.rename_last_def(t, d);
+                    }
+                    Base::Reg(v) => {
+                        // Address of an element reached through a computed
+                        // base (e.g. `&rows[i][0]` decaying to a pointer).
+                        let r = self.mi(*v);
+                        self.consume(*v);
+                        if *off == 0 {
+                            self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: r });
+                        } else {
+                            let t = self.add_to_reg(r, *off);
+                            self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: t });
+                        }
+                    }
+                }
+                self.mark_def(*rd);
+            }
+            Inst::Call { func, args, ret } => {
+                self.lower_call(func, args, *ret);
+                if let Some(r) = ret {
+                    self.mark_def(*r);
+                }
+            }
+        }
+    }
+
+    /// Rewrites the destination register of the just-emitted sequence.
+    fn rename_last_def(&mut self, from: R, to: R) {
+        for i in self.out.iter_mut().rev() {
+            let mut du = DefUse::default();
+            replace_r(i, from, to, &mut du);
+        }
+    }
+
+    /// Word addresses of the low and high halves of a 64-bit access.
+    fn fp_word_addrs(&mut self, base: &Base, off: i32) -> (MemAddr, MemAddr) {
+        match base {
+            Base::Slot(s) => (
+                MemAddr::SpSlot { slot: *s, extra: off },
+                MemAddr::SpSlot { slot: *s, extra: off + 4 },
+            ),
+            Base::Global(sym) => {
+                let goff = self.gp_offset(sym) + off;
+                if self.cx.params.mem_disp_fits(MemWidth::W, goff)
+                    && self.cx.params.mem_disp_fits(MemWidth::W, goff + 4)
+                {
+                    (
+                        MemAddr::BaseDisp { base: R::P(abi::GP), disp: goff },
+                        MemAddr::BaseDisp { base: R::P(abi::GP), disp: goff + 4 },
+                    )
+                } else {
+                    let t = self.addr_of_global(sym, off);
+                    (
+                        MemAddr::BaseDisp { base: t, disp: 0 },
+                        MemAddr::BaseDisp { base: t, disp: 4 },
+                    )
+                }
+            }
+            Base::Reg(v) => {
+                let r = self.mi(*v);
+                self.consume(*v);
+                if self.cx.params.mem_disp_fits(MemWidth::W, off)
+                    && self.cx.params.mem_disp_fits(MemWidth::W, off + 4)
+                {
+                    (
+                        MemAddr::BaseDisp { base: r, disp: off },
+                        MemAddr::BaseDisp { base: r, disp: off + 4 },
+                    )
+                } else {
+                    let t = self.add_to_reg(r, off);
+                    (
+                        MemAddr::BaseDisp { base: t, disp: 0 },
+                        MemAddr::BaseDisp { base: t, disp: 4 },
+                    )
+                }
+            }
+        }
+    }
+
+    fn lower_movf(&mut self, rd: VReg, v: f64) {
+        let prec = self.prec_of(rd);
+        let fd = self.mfp(rd);
+        let (lo_bits, hi_bits, double) = match prec {
+            Prec::S => ((v as f32).to_bits() as i32, 0, false),
+            Prec::D => {
+                let bits = v.to_bits();
+                (bits as u32 as i32, (bits >> 32) as u32 as i32, true)
+            }
+        };
+        if movf_register_route(&self.cx.params, prec, v) {
+            // Register route: build the halves with mvi and transfer.
+            let t = self.mf.vint();
+            self.emit(MInsn::Mvi { rd: t, imm: lo_bits });
+            self.emit(MInsn::Mtf { fd, hi: false, rs: t });
+            if double {
+                let t2 = self.mf.vint();
+                self.emit(MInsn::Mvi { rd: t2, imm: hi_bits });
+                self.emit(MInsn::Mtf { fd, hi: true, rs: t2 });
+            }
+        } else {
+            // Memory route: constant pool in the data segment.
+            let sym = self.cx.fp_const(v, double);
+            if double {
+                let (alo, ahi) = self.fp_word_addrs(&Base::Global(sym), 0);
+                let t1 = self.mf.vint();
+                let t2 = self.mf.vint();
+                self.emit(MInsn::Ld { w: MemWidth::W, rd: t1, addr: alo });
+                self.emit(MInsn::Ld { w: MemWidth::W, rd: t2, addr: ahi });
+                self.emit(MInsn::Mtf { fd, hi: false, rs: t1 });
+                self.emit(MInsn::Mtf { fd, hi: true, rs: t2 });
+            } else {
+                let addr = self.mem_addr(&Base::Global(sym), 0, MemWidth::W);
+                let t = self.mf.vint();
+                self.emit(MInsn::Ld { w: MemWidth::W, rd: t, addr });
+                self.emit(MInsn::Mtf { fd, hi: false, rs: t });
+            }
+        }
+    }
+
+    fn lower_bin(&mut self, op: BinOp, rd: VReg, a: VReg, b: &Operand) {
+        let mop = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Shl,
+            BinOp::Shr => AluOp::Shr,
+            BinOp::Sar => AluOp::Shra,
+            _ => unreachable!("mul/div legalized before selection: {op:?}"),
+        };
+        // Immediate form when the field allows it.
+        if let Operand::Imm(imm) = b {
+            let mut imm = *imm;
+            let mut mop2 = mop;
+            // Canonicalize subtract-immediate into the available field.
+            if mop == AluOp::Sub && self.cx.params.alu_imm_fits(AluOp::Add, -imm) && imm < 0 {
+                mop2 = AluOp::Add;
+                imm = -imm;
+            }
+            if self.cx.params.alu_imm_fits(mop2, imm) {
+                let ra = self.mi(a);
+                let die = self.dies_here(a);
+                self.consume(a);
+                if !self.cx.spec.two_address {
+                    let d = self.mi(rd);
+                    self.emit(MInsn::AluI { op: mop2, rd: d, rs1: ra, imm });
+                } else if die && !self.imap.contains_key(&rd) {
+                    self.imap.insert(rd, ra);
+                    self.emit(MInsn::AluI { op: mop2, rd: ra, rs1: ra, imm });
+                } else {
+                    let d = self.mi(rd);
+                    self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: ra });
+                    self.emit(MInsn::AluI { op: mop2, rd: d, rs1: d, imm });
+                }
+                return;
+            }
+        }
+        // Register form.
+        let rb = self.operand_reg(b);
+        let ra = self.mi(a);
+        let die = self.dies_here(a);
+        self.consume(a);
+        if !self.cx.spec.two_address {
+            let d = self.mi(rd);
+            self.emit(MInsn::Alu { op: mop, rd: d, rs1: ra, rs2: rb });
+        } else if die && !self.imap.contains_key(&rd) && ra != rb {
+            self.imap.insert(rd, ra);
+            self.emit(MInsn::Alu { op: mop, rd: ra, rs1: ra, rs2: rb });
+        } else {
+            let d = self.mi(rd);
+            self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: ra });
+            self.emit(MInsn::Alu { op: mop, rd: d, rs1: d, rs2: rb });
+        }
+    }
+
+    /// Emits a compare whose machine result lands in `dest` (for D16 the
+    /// hardware result register is `r0`; the value is then copied out).
+    fn lower_cmp_into(&mut self, cond: Cond, dest: R, a: VReg, b: &Operand) {
+        // Immediate compares exist on DLXe (and as the cmpeqi extension).
+        if let Operand::Imm(imm) = b {
+            let ok = self.cx.params.cmp_imm
+                && (-32768..=32767).contains(imm)
+                && (self.isa() == Isa::Dlxe
+                    || (cond == Cond::Eq && (0..=31).contains(imm)));
+            if ok {
+                let ra = self.mi(a);
+                self.consume(a);
+                if self.isa() == Isa::D16 {
+                    self.emit(MInsn::CmpI { cond, rd: R::P(abi::R0), rs1: ra, imm: *imm });
+                    if dest != R::P(abi::R0) {
+                        self.emit(MInsn::Un { op: UnOp::Mv, rd: dest, rs: R::P(abi::R0) });
+                    }
+                } else {
+                    self.emit(MInsn::CmpI { cond, rd: dest, rs1: ra, imm: *imm });
+                }
+                return;
+            }
+        }
+        let rb = self.operand_reg(b);
+        let ra = self.mi(a);
+        self.consume(a);
+        if self.isa() == Isa::D16 {
+            // Map gt/ge onto the D16 condition set by swapping operands.
+            let (c, x, y) = if cond.in_d16() { (cond, ra, rb) } else { (cond.swapped(), rb, ra) };
+            self.emit(MInsn::Cmp { cond: c, rd: R::P(abi::R0), rs1: x, rs2: y });
+            if dest != R::P(abi::R0) {
+                self.emit(MInsn::Un { op: UnOp::Mv, rd: dest, rs: R::P(abi::R0) });
+            }
+        } else {
+            self.emit(MInsn::Cmp { cond, rd: dest, rs1: ra, rs2: rb });
+        }
+    }
+
+    fn lower_fbin(&mut self, op: FBinOp, rd: VReg, a: VReg, b: VReg) {
+        let prec = self.prec_of(a);
+        let mop = match op {
+            FBinOp::Add => FpOp::Add,
+            FBinOp::Sub => FpOp::Sub,
+            FBinOp::Mul => FpOp::Mul,
+            FBinOp::Div => FpOp::Div,
+        };
+        let fb = self.mfp(b);
+        let fa = self.mfp(a);
+        let die_a = self.dies_here(a);
+        self.consume(a);
+        self.consume(b);
+        if self.isa() == Isa::Dlxe {
+            let d = self.mfp(rd);
+            self.emit(MInsn::FAlu { op: mop, prec, fd: d, fs1: fa, fs2: fb });
+        } else if die_a && !self.fmap.contains_key(&rd) && fa != fb {
+            self.fmap.insert(rd, fa);
+            self.emit(MInsn::FAlu { op: mop, prec, fd: fa, fs1: fa, fs2: fb });
+        } else {
+            let d = self.mfp(rd);
+            self.emit(MInsn::FMov { prec, fd: d, fs: fa });
+            self.emit(MInsn::FAlu { op: mop, prec, fd: d, fs1: d, fs2: fb });
+        }
+    }
+
+    fn lower_cvt(&mut self, kind: CvtKind, rd: VReg, rs: VReg) {
+        match kind {
+            CvtKind::IntToF32 | CvtKind::IntToF64 => {
+                let r = self.mi(rs);
+                self.consume(rs);
+                let fd = self.mfp(rd);
+                self.emit(MInsn::Mtf { fd, hi: false, rs: r });
+                let op = if kind == CvtKind::IntToF32 { CvtOp::Si2Sf } else { CvtOp::Si2Df };
+                self.emit(MInsn::FCvt { op, fd, fs: fd });
+            }
+            CvtKind::F32ToInt | CvtKind::F64ToInt => {
+                let fs = self.mfp(rs);
+                self.consume(rs);
+                let ft = self.mf.vfp(Prec::S);
+                let op = if kind == CvtKind::F32ToInt { CvtOp::Sf2Si } else { CvtOp::Df2Si };
+                self.emit(MInsn::FCvt { op, fd: ft, fs });
+                let d = self.mi(rd);
+                self.emit(MInsn::Mff { rd: d, fs: ft, hi: false });
+            }
+            CvtKind::F32ToF64 | CvtKind::F64ToF32 => {
+                let fs = self.mfp(rs);
+                self.consume(rs);
+                let fd = self.mfp(rd);
+                let op = if kind == CvtKind::F32ToF64 { CvtOp::Sf2Df } else { CvtOp::Df2Sf };
+                self.emit(MInsn::FCvt { op, fd, fs });
+            }
+        }
+    }
+
+    fn lower_call(&mut self, func: &str, args: &[VReg], ret: Option<VReg>) {
+        // Builtins lower to traps.
+        match func {
+            "__putc" | "__puti" | "__halt" => {
+                let r = self.mi(args[0]);
+                self.consume(args[0]);
+                self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::RET), rs: r });
+                let code = match func {
+                    "__putc" => TrapCode::PutChar,
+                    "__puti" => TrapCode::PutInt,
+                    _ => TrapCode::Halt,
+                };
+                self.emit(MInsn::Trap { code });
+                return;
+            }
+            "__insns" => {
+                self.emit(MInsn::Trap { code: TrapCode::ReadInsnCount });
+                if let Some(rd) = ret {
+                    let d = self.mi(rd);
+                    self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: R::P(abi::RET) });
+                }
+                return;
+            }
+            _ => {}
+        }
+        self.mf.has_call = true;
+        let arg_regs = self.cx.spec.arg_regs();
+        let mut word = 0usize;
+        let mut uses: Vec<R> = Vec::new();
+        for &a in args {
+            match self.f.class(a) {
+                Class::Int => {
+                    let r = self.mi(a);
+                    self.consume(a);
+                    if word < 4 {
+                        self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(arg_regs[word]), rs: r });
+                        uses.push(R::P(arg_regs[word]));
+                    } else {
+                        self.emit(MInsn::St {
+                            w: MemWidth::W,
+                            rs: r,
+                            addr: MemAddr::SpOut { index: (word - 4) as u32 },
+                        });
+                    }
+                    word += 1;
+                }
+                Class::F32 => {
+                    let fs = self.mfp(a);
+                    self.consume(a);
+                    if word < 4 {
+                        self.emit(MInsn::Mff { rd: R::P(arg_regs[word]), fs, hi: false });
+                        uses.push(R::P(arg_regs[word]));
+                    } else {
+                        let t = self.mf.vint();
+                        self.emit(MInsn::Mff { rd: t, fs, hi: false });
+                        self.emit(MInsn::St {
+                            w: MemWidth::W,
+                            rs: t,
+                            addr: MemAddr::SpOut { index: (word - 4) as u32 },
+                        });
+                    }
+                    word += 1;
+                }
+                Class::F64 => {
+                    let fs = self.mfp(a);
+                    self.consume(a);
+                    for half in 0..2 {
+                        let hi = half == 1;
+                        if word < 4 {
+                            self.emit(MInsn::Mff { rd: R::P(arg_regs[word]), fs, hi });
+                            uses.push(R::P(arg_regs[word]));
+                        } else {
+                            let t = self.mf.vint();
+                            self.emit(MInsn::Mff { rd: t, fs, hi });
+                            self.emit(MInsn::St {
+                                w: MemWidth::W,
+                                rs: t,
+                                addr: MemAddr::SpOut { index: (word - 4) as u32 },
+                            });
+                        }
+                        word += 1;
+                    }
+                }
+            }
+        }
+        if word > 4 {
+            self.mf.out_words = self.mf.out_words.max((word - 4) as u32);
+        }
+        let ret_fp = ret.map(|r| self.f.class(r) != Class::Int).unwrap_or(false);
+        self.emit(MInsn::Call { sym: func.to_string(), uses, ret_fp });
+        if let Some(rd) = ret {
+            match self.f.class(rd) {
+                Class::Int => {
+                    let d = self.mi(rd);
+                    self.emit(MInsn::Un { op: UnOp::Mv, rd: d, rs: R::P(abi::RET) });
+                }
+                Class::F32 => {
+                    let fd = self.mfp(rd);
+                    self.emit(MInsn::Mtf { fd, hi: false, rs: R::P(abi::RET) });
+                }
+                Class::F64 => {
+                    let fd = self.mfp(rd);
+                    self.emit(MInsn::Mtf { fd, hi: false, rs: R::P(abi::RET) });
+                    self.emit(MInsn::Mtf { fd, hi: true, rs: R::P(Gpr3) });
+                }
+            }
+        }
+    }
+
+    // ---- terminators ----
+
+    fn lower_term(&mut self, term: &Term, fold: Option<&Inst>) {
+        let mterm = match term {
+            Term::Jmp(b) => MTerm::Jmp(b.0),
+            Term::Ret(v) => {
+                if let Some(v) = v {
+                    match self.f.class(*v) {
+                        Class::Int => {
+                            let r = self.mi(*v);
+                            self.consume(*v);
+                            self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::RET), rs: r });
+                        }
+                        Class::F32 => {
+                            let fs = self.mfp(*v);
+                            self.consume(*v);
+                            self.emit(MInsn::Mff { rd: R::P(abi::RET), fs, hi: false });
+                        }
+                        Class::F64 => {
+                            let fs = self.mfp(*v);
+                            self.consume(*v);
+                            self.emit(MInsn::Mff { rd: R::P(abi::RET), fs, hi: false });
+                            self.emit(MInsn::Mff { rd: R::P(Gpr3), fs, hi: true });
+                        }
+                    }
+                }
+                MTerm::Ret
+            }
+            Term::Br { v, t, f } => {
+                let (t, f) = (t.0, f.0);
+                match fold {
+                    Some(Inst::Cmp { cond, a, b, .. }) => {
+                        self.consume(*v);
+                        // Branch directly on a zero/non-zero test when the
+                        // target supports it.
+                        let zero_test = matches!(b, Operand::Imm(0))
+                            && matches!(cond, Cond::Eq | Cond::Ne);
+                        if zero_test {
+                            let ra = self.mi(*a);
+                            self.consume(*a);
+                            let neg = *cond == Cond::Ne;
+                            if self.isa() == Isa::D16 {
+                                self.emit(MInsn::Un {
+                                    op: UnOp::Mv,
+                                    rd: R::P(abi::R0),
+                                    rs: ra,
+                                });
+                                MTerm::Bc { neg, rs: R::P(abi::R0), t, f }
+                            } else {
+                                MTerm::Bc { neg, rs: ra, t, f }
+                            }
+                        } else {
+                            let dest = if self.isa() == Isa::D16 {
+                                R::P(abi::R0)
+                            } else {
+                                self.mf.vint()
+                            };
+                            self.lower_cmp_into(*cond, dest, *a, b);
+                            MTerm::Bc { neg: true, rs: dest, t, f }
+                        }
+                    }
+                    Some(Inst::FCmp { cond, a, b, .. }) => {
+                        self.consume(*v);
+                        let prec = self.prec_of(*a);
+                        let fa = self.mfp(*a);
+                        let fb = self.mfp(*b);
+                        self.consume(*a);
+                        self.consume(*b);
+                        self.emit(MInsn::FCmp { cond: *cond, prec, fs1: fa, fs2: fb });
+                        let dest =
+                            if self.isa() == Isa::D16 { R::P(abi::R0) } else { self.mf.vint() };
+                        self.emit(MInsn::Rdsr { rd: dest });
+                        MTerm::Bc { neg: true, rs: dest, t, f }
+                    }
+                    _ => {
+                        let r = self.mi(*v);
+                        self.consume(*v);
+                        if self.isa() == Isa::D16 {
+                            self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::R0), rs: r });
+                            MTerm::Bc { neg: true, rs: R::P(abi::R0), t, f }
+                        } else {
+                            MTerm::Bc { neg: true, rs: r, t, f }
+                        }
+                    }
+                }
+            }
+        };
+        let mut insts = std::mem::take(&mut self.out);
+        if self.mf.blocks.is_empty() {
+            // Prepend the parameter moves to the entry block.
+            let mut pre = std::mem::take(&mut self.param_prefix);
+            pre.extend(insts);
+            insts = pre;
+        }
+        self.mf.blocks.push(MBlock { insts, term: mterm });
+    }
+
+    fn finish(self) -> MFunc {
+        self.mf
+    }
+}
+
+/// `r3`: the second word of a double return value.
+#[allow(non_upper_case_globals)]
+const Gpr3: d16_isa::Gpr = d16_isa::Gpr::new(3);
+
+/// Replaces every occurrence of register `from` with `to` in an
+/// instruction (used to rename a helper's fresh destination).
+fn replace_r(i: &mut MInsn, from: R, to: R, _du: &mut DefUse) {
+    let f = |r: &mut R| {
+        if *r == from {
+            *r = to;
+        }
+    };
+    match i {
+        MInsn::Alu { rd, rs1, rs2, .. } => {
+            f(rd);
+            f(rs1);
+            f(rs2);
+        }
+        MInsn::AluI { rd, rs1, .. } => {
+            f(rd);
+            f(rs1);
+        }
+        MInsn::Un { rd, rs, .. } => {
+            f(rd);
+            f(rs);
+        }
+        MInsn::Mvi { rd, .. }
+        | MInsn::Lui { rd, .. }
+        | MInsn::LoadConst { rd, .. }
+        | MInsn::LoadSym { rd, .. }
+        | MInsn::Rdsr { rd }
+        | MInsn::SpAddr { rd, .. } => f(rd),
+        MInsn::Cmp { rd, rs1, rs2, .. } => {
+            f(rd);
+            f(rs1);
+            f(rs2);
+        }
+        MInsn::CmpI { rd, rs1, .. } => {
+            f(rd);
+            f(rs1);
+        }
+        MInsn::Ld { rd, addr, .. } => {
+            f(rd);
+            if let MemAddr::BaseDisp { base, .. } = addr {
+                f(base);
+            }
+        }
+        MInsn::St { rs, addr, .. } => {
+            f(rs);
+            if let MemAddr::BaseDisp { base, .. } = addr {
+                f(base);
+            }
+        }
+        MInsn::Mtf { rs, .. } => f(rs),
+        MInsn::Mff { rd, .. } => f(rd),
+        _ => {}
+    }
+}

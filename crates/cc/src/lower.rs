@@ -1,0 +1,1456 @@
+//! Lowering: typed AST → IR.
+//!
+//! Performs type checking, usual arithmetic conversions, lvalue/rvalue
+//! discipline, short-circuit control flow, and global-initializer constant
+//! evaluation. Scalar locals whose address is never taken live in virtual
+//! registers; arrays, structs, and addressed scalars get stack slots.
+
+use crate::ast::{Expr, Func, Init, Program, Stmt, Ty, E};
+use crate::ir::{
+    Base, BinOp, Block, BlockId, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc,
+    Module, Operand, SlotId, Term, VReg,
+};
+use crate::token::CError;
+use d16_isa::{Cond, FpCond, MemWidth};
+use std::collections::{HashMap, HashSet};
+
+/// Lowers a checked program to an IR module.
+///
+/// # Errors
+///
+/// Reports type errors, undefined names, and unsupported constructs with
+/// their source lines.
+pub fn lower(prog: &Program) -> Result<Module, CError> {
+    let mut lw = Lower {
+        prog,
+        module: Module::default(),
+        strings: HashMap::new(),
+        next_anon: 0,
+        globals: HashMap::new(),
+        sigs: HashMap::new(),
+    };
+    for g in &prog.globals {
+        lw.globals.insert(g.name.clone(), g.ty.clone());
+    }
+    for f in &prog.funcs {
+        lw.sigs.insert(
+            f.name.clone(),
+            (f.ret.clone(), f.params.iter().map(|(_, t)| t.clone()).collect()),
+        );
+    }
+    // Globals first, in declaration order (gp-window layout);
+    // uninitialized globals become bss and occupy no binary bytes.
+    for g in &prog.globals {
+        if g.init.is_none() {
+            let size = g.ty.size(&prog.structs).max(1);
+            lw.module.bss.push(crate::ir::BssItem { name: g.name.clone(), size });
+        } else {
+            let item = lw.lower_global(g)?;
+            lw.module.data.push(item);
+        }
+    }
+    for f in &prog.funcs {
+        let func = FnLower::run(&mut lw, f)?;
+        lw.module.funcs.push(func);
+    }
+    Ok(lw.module)
+}
+
+struct Lower<'a> {
+    prog: &'a Program,
+    module: Module,
+    strings: HashMap<Vec<u8>, String>,
+    next_anon: u32,
+    globals: HashMap<String, Ty>,
+    sigs: HashMap<String, (Ty, Vec<Ty>)>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> CError {
+    CError { line, msg: msg.into() }
+}
+
+fn class_of(ty: &Ty) -> Class {
+    match ty {
+        Ty::Float => Class::F32,
+        Ty::Double => Class::F64,
+        _ => Class::Int,
+    }
+}
+
+fn width_of(ty: &Ty) -> MemWidth {
+    match ty {
+        Ty::Char => MemWidth::B,
+        _ => MemWidth::W, // F64-class loads/stores move 8 bytes (see ir.rs)
+    }
+}
+
+impl<'a> Lower<'a> {
+    fn intern_string(&mut self, s: &[u8]) -> String {
+        if let Some(name) = self.strings.get(s) {
+            return name.clone();
+        }
+        let name = format!("$str{}", self.next_anon);
+        self.next_anon += 1;
+        let mut bytes = s.to_vec();
+        bytes.push(0);
+        self.module.data.push(DataItem {
+            name: name.clone(),
+            align: 1,
+            chunks: vec![DataChunk::Bytes(bytes)],
+        });
+        self.strings.insert(s.to_vec(), name.clone());
+        name
+    }
+
+    fn lower_global(&mut self, g: &crate::ast::Global) -> Result<DataItem, CError> {
+        let structs = &self.prog.structs;
+        let align = g.ty.align(structs).max(if g.ty.size(structs) >= 4 { 4 } else { 1 });
+        let mut chunks = Vec::new();
+        match &g.init {
+            None => chunks.push(DataChunk::Zero(g.ty.size(structs))),
+            Some(init) => self.const_init(&g.ty, init, g.line, &mut chunks)?,
+        }
+        Ok(DataItem { name: g.name.clone(), align, chunks })
+    }
+
+    /// Emits constant-initializer chunks for a value of type `ty`.
+    fn const_init(
+        &mut self,
+        ty: &Ty,
+        init: &Init,
+        line: usize,
+        out: &mut Vec<DataChunk>,
+    ) -> Result<(), CError> {
+        let structs: Vec<_> = self.prog.structs.to_vec();
+        match (ty, init) {
+            (Ty::Array(elem, n), Init::List(items)) => {
+                if items.len() > *n as usize {
+                    return Err(err(line, "too many initializers"));
+                }
+                for item in items {
+                    self.const_init(elem, item, line, out)?;
+                }
+                let left = (*n as usize - items.len()) as u32 * elem.size(&structs);
+                if left > 0 {
+                    out.push(DataChunk::Zero(left));
+                }
+                Ok(())
+            }
+            (Ty::Array(elem, n), Init::Expr(e)) => {
+                // `char s[N] = "..."`.
+                if let (Ty::Char, Expr::Str(s)) = (elem.as_ref(), &e.kind) {
+                    if s.len() + 1 > *n as usize {
+                        return Err(err(line, "string too long for array"));
+                    }
+                    let mut bytes = s.clone();
+                    bytes.push(0);
+                    let pad = *n - bytes.len() as u32;
+                    out.push(DataChunk::Bytes(bytes));
+                    if pad > 0 {
+                        out.push(DataChunk::Zero(pad));
+                    }
+                    Ok(())
+                } else {
+                    Err(err(line, "array initializer must be a brace list"))
+                }
+            }
+            (Ty::Struct(si), Init::List(items)) => {
+                let def = self.prog.structs[*si].clone();
+                if items.len() > def.fields.len() {
+                    return Err(err(line, "too many initializers"));
+                }
+                let mut pos = 0u32;
+                for (item, (_, fty, foff)) in items.iter().zip(&def.fields) {
+                    if *foff > pos {
+                        out.push(DataChunk::Zero(*foff - pos));
+                    }
+                    self.const_init(fty, item, line, out)?;
+                    pos = *foff + fty.size(&structs);
+                }
+                if def.size > pos {
+                    out.push(DataChunk::Zero(def.size - pos));
+                }
+                Ok(())
+            }
+            (_, Init::Expr(e)) => {
+                let chunk = self.const_scalar(ty, e)?;
+                out.push(chunk);
+                Ok(())
+            }
+            (_, Init::List(items)) => {
+                // `int x = {5};` — tolerate a singleton brace.
+                if items.len() == 1 {
+                    self.const_init(ty, &items[0], line, out)
+                } else {
+                    Err(err(line, "brace list for a scalar"))
+                }
+            }
+        }
+    }
+
+    fn const_scalar(&mut self, ty: &Ty, e: &E) -> Result<DataChunk, CError> {
+        match ty {
+            Ty::Char => {
+                let v = self.const_int(e)?;
+                Ok(DataChunk::Bytes(vec![v as u8]))
+            }
+            Ty::Int | Ty::Uint => Ok(DataChunk::Word(self.const_int(e)? as u32)),
+            Ty::Float => {
+                let v = self.const_num(e)?;
+                Ok(DataChunk::Word((v as f32).to_bits()))
+            }
+            Ty::Double => {
+                let bits = self.const_num(e)?.to_bits();
+                Ok(DataChunk::Bytes(bits.to_le_bytes().to_vec()))
+            }
+            Ty::Ptr(_) => match &e.kind {
+                Expr::Int(0) => Ok(DataChunk::Word(0)),
+                Expr::Str(s) => {
+                    let label = self.intern_string(s);
+                    Ok(DataChunk::WordSym(label, 0))
+                }
+                Expr::Ident(name) if self.globals.contains_key(name) => {
+                    Ok(DataChunk::WordSym(name.clone(), 0))
+                }
+                Expr::Unary("&", inner) => match &inner.kind {
+                    Expr::Ident(name) if self.globals.contains_key(name) => {
+                        Ok(DataChunk::WordSym(name.clone(), 0))
+                    }
+                    _ => Err(err(e.line, "unsupported constant address")),
+                },
+                _ => Err(err(e.line, "unsupported pointer initializer")),
+            },
+            _ => Err(err(e.line, "unsupported initializer type")),
+        }
+    }
+
+    fn const_int(&self, e: &E) -> Result<i64, CError> {
+        match &e.kind {
+            Expr::Int(v) => Ok(*v),
+            Expr::Unary("-", inner) => Ok(-self.const_int(inner)?),
+            Expr::Unary("~", inner) => Ok(!self.const_int(inner)?),
+            Expr::Binary(op, a, b) => {
+                let (a, b) = (self.const_int(a)?, self.const_int(b)?);
+                Ok(match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "/" if b != 0 => a / b,
+                    "%" if b != 0 => a % b,
+                    "<<" => a.wrapping_shl(b as u32),
+                    ">>" => a.wrapping_shr(b as u32),
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    _ => return Err(err(e.line, "not a constant expression")),
+                })
+            }
+            Expr::SizeofTy(t) => Ok(t.size(&self.prog.structs) as i64),
+            Expr::Cast(_, inner) => self.const_int(inner),
+            _ => Err(err(e.line, "not a constant expression")),
+        }
+    }
+
+    fn const_num(&self, e: &E) -> Result<f64, CError> {
+        match &e.kind {
+            Expr::Float(v, _) => Ok(*v),
+            Expr::Unary("-", inner) => Ok(-self.const_num(inner)?),
+            _ => Ok(self.const_int(e)? as f64),
+        }
+    }
+}
+
+/// A resolvable storage location.
+#[derive(Clone, Debug)]
+enum Place {
+    /// Register-resident scalar local.
+    Reg(VReg, Ty),
+    /// Memory at `base + off`.
+    Mem(Base, i32, Ty),
+}
+
+#[derive(Clone, Debug)]
+enum Binding {
+    Reg(VReg, Ty),
+    Slot(SlotId, Ty),
+}
+
+struct FnLower<'l, 'a> {
+    lw: &'l mut Lower<'a>,
+    f: IrFunc,
+    cur: usize,
+    terminated: bool,
+    scopes: Vec<HashMap<String, Binding>>,
+    breaks: Vec<BlockId>,
+    continues: Vec<BlockId>,
+    ret_ty: Ty,
+    addressed: HashSet<String>,
+}
+
+impl<'l, 'a> FnLower<'l, 'a> {
+    fn run(lw: &'l mut Lower<'a>, src: &Func) -> Result<IrFunc, CError> {
+        let addressed = collect_addressed(&src.body);
+        let mut f = IrFunc {
+            name: src.name.clone(),
+            params: Vec::new(),
+            ret_class: if src.ret == Ty::Void { None } else { Some(class_of(&src.ret)) },
+            blocks: vec![Block { insts: Vec::new(), term: Term::Ret(None) }],
+            vclass: Vec::new(),
+            slots: Vec::new(),
+        };
+        let mut scope = HashMap::new();
+        let structs: Vec<_> = lw.prog.structs.to_vec();
+        for (pname, pty) in &src.params {
+            if !pty.is_scalar() {
+                return Err(err(src.line, format!("parameter `{pname}` must be scalar")));
+            }
+            let v = f.new_vreg(class_of(pty));
+            f.params.push(v);
+            if addressed.contains(pname) {
+                let slot = f.new_slot(pty.size(&structs).max(4), pty.align(&structs).max(4));
+                f.blocks[0].insts.push(Inst::Store {
+                    w: width_of(pty),
+                    rs: v,
+                    base: Base::Slot(slot),
+                    off: 0,
+                });
+                scope.insert(pname.clone(), Binding::Slot(slot, pty.clone()));
+            } else {
+                scope.insert(pname.clone(), Binding::Reg(v, pty.clone()));
+            }
+        }
+        let mut fl = FnLower {
+            lw,
+            f,
+            cur: 0,
+            terminated: false,
+            scopes: vec![scope],
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            ret_ty: src.ret.clone(),
+            addressed,
+        };
+        for s in &src.body {
+            fl.stmt(s)?;
+        }
+        if !fl.terminated {
+            let term = if fl.ret_ty == Ty::Void {
+                Term::Ret(None)
+            } else {
+                // Falling off a value-returning function yields 0 (the
+                // suite's `main`s rely on explicit returns; this is the
+                // C89-tolerant fallback).
+                let z = fl.f.new_vreg(class_of(&fl.ret_ty.clone()));
+                match class_of(&fl.ret_ty) {
+                    Class::Int => fl.emit(Inst::MovI { rd: z, v: 0 }),
+                    _ => fl.emit(Inst::MovF { rd: z, v: 0.0 }),
+                }
+                Term::Ret(Some(z))
+            };
+            fl.set_term(term);
+        }
+        Ok(fl.f)
+    }
+
+    // ---- block plumbing ----
+
+    fn emit(&mut self, i: Inst) {
+        if !self.terminated {
+            self.f.blocks[self.cur].insts.push(i);
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.f.blocks.push(Block { insts: Vec::new(), term: Term::Ret(None) });
+        BlockId(self.f.blocks.len() as u32 - 1)
+    }
+
+    fn set_term(&mut self, t: Term) {
+        if !self.terminated {
+            self.f.blocks[self.cur].term = t;
+            self.terminated = true;
+        }
+    }
+
+    fn start_block(&mut self, b: BlockId) {
+        if !self.terminated {
+            self.f.blocks[self.cur].term = Term::Jmp(b);
+        }
+        self.cur = b.0 as usize;
+        self.terminated = false;
+    }
+
+    fn vreg(&mut self, c: Class) -> VReg {
+        self.f.new_vreg(c)
+    }
+
+    fn structs(&self) -> Vec<crate::ast::StructDef> {
+        self.lw.prog.structs.to_vec()
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(b.clone());
+            }
+        }
+        None
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Expr(e) => {
+                self.rvalue_or_void(e)?;
+                Ok(())
+            }
+            Stmt::Block(items) => {
+                self.scopes.push(HashMap::new());
+                for it in items {
+                    self.stmt(it)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl(decls) => {
+                for (name, ty, init, line) in decls {
+                    self.local_decl(name, ty, init.as_ref(), *line)?;
+                }
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                let tb = self.new_block();
+                let eb = self.new_block();
+                let join = if els.is_some() { self.new_block() } else { eb };
+                self.lower_cond(cond, tb, eb)?;
+                self.cur = tb.0 as usize;
+                self.terminated = false;
+                self.stmt(then)?;
+                if !self.terminated {
+                    self.f.blocks[self.cur].term = Term::Jmp(join);
+                    self.terminated = true;
+                }
+                if let Some(els) = els {
+                    self.cur = eb.0 as usize;
+                    self.terminated = false;
+                    self.stmt(els)?;
+                    if !self.terminated {
+                        self.f.blocks[self.cur].term = Term::Jmp(join);
+                        self.terminated = true;
+                    }
+                }
+                self.cur = join.0 as usize;
+                self.terminated = false;
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let head = self.new_block();
+                let bodyb = self.new_block();
+                let exit = self.new_block();
+                self.start_block(head);
+                self.lower_cond(cond, bodyb, exit)?;
+                self.cur = bodyb.0 as usize;
+                self.terminated = false;
+                self.breaks.push(exit);
+                self.continues.push(head);
+                self.stmt(body)?;
+                self.breaks.pop();
+                self.continues.pop();
+                self.set_term(Term::Jmp(head));
+                self.cur = exit.0 as usize;
+                self.terminated = false;
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond) => {
+                let bodyb = self.new_block();
+                let check = self.new_block();
+                let exit = self.new_block();
+                self.start_block(bodyb);
+                self.breaks.push(exit);
+                self.continues.push(check);
+                self.stmt(body)?;
+                self.breaks.pop();
+                self.continues.pop();
+                self.start_block(check);
+                self.lower_cond(cond, bodyb, exit)?;
+                self.cur = exit.0 as usize;
+                self.terminated = false;
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.new_block();
+                let bodyb = self.new_block();
+                let stepb = self.new_block();
+                let exit = self.new_block();
+                self.start_block(head);
+                match cond {
+                    Some(c) => self.lower_cond(c, bodyb, exit)?,
+                    None => self.set_term(Term::Jmp(bodyb)),
+                }
+                self.cur = bodyb.0 as usize;
+                self.terminated = false;
+                self.breaks.push(exit);
+                self.continues.push(stepb);
+                self.stmt(body)?;
+                self.breaks.pop();
+                self.continues.pop();
+                self.start_block(stepb);
+                if let Some(st) = step {
+                    self.rvalue_or_void(st)?;
+                }
+                self.set_term(Term::Jmp(head));
+                self.cur = exit.0 as usize;
+                self.terminated = false;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v, line) => {
+                match (v, self.ret_ty.clone()) {
+                    (None, Ty::Void) => self.set_term(Term::Ret(None)),
+                    (Some(_), Ty::Void) => {
+                        return Err(err(*line, "returning a value from void function"))
+                    }
+                    (None, _) => return Err(err(*line, "missing return value")),
+                    (Some(e), ret_ty) => {
+                        let (v, ty) = self.rvalue(e)?;
+                        let v = self.convert(v, &ty, &ret_ty, *line)?;
+                        self.set_term(Term::Ret(Some(v)));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let target =
+                    *self.breaks.last().ok_or_else(|| err(*line, "break outside loop"))?;
+                self.set_term(Term::Jmp(target));
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let target =
+                    *self.continues.last().ok_or_else(|| err(*line, "continue outside loop"))?;
+                self.set_term(Term::Jmp(target));
+                Ok(())
+            }
+        }
+    }
+
+    fn local_decl(
+        &mut self,
+        name: &str,
+        ty: &Ty,
+        init: Option<&Init>,
+        line: usize,
+    ) -> Result<(), CError> {
+        let structs = self.structs();
+        let addressed = false; // refined below: scalars use the precomputed set
+        let needs_slot = !ty.is_scalar() || addressed || self.is_addressed(name);
+        if needs_slot {
+            if ty.size(&structs) == 0 {
+                return Err(err(line, format!("`{name}` has zero size")));
+            }
+            let slot = self.f.new_slot(ty.size(&structs).max(4), ty.align(&structs).max(4));
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(name.to_string(), Binding::Slot(slot, ty.clone()));
+            if let Some(init) = init {
+                self.init_slot(slot, ty, init, line)?;
+            }
+        } else {
+            let v = self.vreg(class_of(ty));
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(name.to_string(), Binding::Reg(v, ty.clone()));
+            if let Some(Init::Expr(e)) = init {
+                let (rv, rty) = self.rvalue(e)?;
+                let rv = self.convert(rv, &rty, ty, line)?;
+                self.emit(Inst::Mov { rd: v, rs: rv });
+            } else if let Some(Init::List(_)) = init {
+                return Err(err(line, "brace initializer on scalar local"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this function ever takes `&name` (conservative, name-based).
+    fn is_addressed(&self, name: &str) -> bool {
+        self.addressed.contains(name)
+    }
+
+    fn init_slot(&mut self, slot: SlotId, ty: &Ty, init: &Init, line: usize) -> Result<(), CError> {
+        let structs = self.structs();
+        match (ty, init) {
+            (Ty::Array(elem, n), Init::List(items)) => {
+                if items.len() > *n as usize {
+                    return Err(err(line, "too many initializers"));
+                }
+                let esz = elem.size(&structs) as i32;
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        Init::Expr(e) if elem.is_scalar() => {
+                            let (v, vty) = self.rvalue(e)?;
+                            let v = self.convert(v, &vty, elem, line)?;
+                            self.emit(Inst::Store {
+                                w: width_of(elem),
+                                rs: v,
+                                base: Base::Slot(slot),
+                                off: i as i32 * esz,
+                            });
+                        }
+                        _ => return Err(err(line, "nested local initializers unsupported")),
+                    }
+                }
+                // Remaining elements are uninitialized, as in C.
+                Ok(())
+            }
+            (Ty::Array(elem, n), Init::Expr(e)) => {
+                if let (Ty::Char, Expr::Str(bytes)) = (elem.as_ref(), &e.kind) {
+                    if bytes.len() + 1 > *n as usize {
+                        return Err(err(line, "string too long for array"));
+                    }
+                    let mut data = bytes.clone();
+                    data.push(0);
+                    for (i, byte) in data.iter().enumerate() {
+                        let v = self.vreg(Class::Int);
+                        self.emit(Inst::MovI { rd: v, v: *byte as i32 });
+                        self.emit(Inst::Store {
+                            w: MemWidth::B,
+                            rs: v,
+                            base: Base::Slot(slot),
+                            off: i as i32,
+                        });
+                    }
+                    Ok(())
+                } else {
+                    Err(err(line, "array initializer must be a brace list"))
+                }
+            }
+            (_, Init::Expr(e)) if ty.is_scalar() => {
+                let (v, vty) = self.rvalue(e)?;
+                let v = self.convert(v, &vty, ty, line)?;
+                self.emit(Inst::Store { w: width_of(ty), rs: v, base: Base::Slot(slot), off: 0 });
+                Ok(())
+            }
+            _ => Err(err(line, "unsupported local initializer")),
+        }
+    }
+
+    // ---- conditions (branch context) ----
+
+    fn lower_cond(&mut self, e: &E, t: BlockId, f: BlockId) -> Result<(), CError> {
+        match &e.kind {
+            Expr::Binary("&&", a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, mid, f)?;
+                self.cur = mid.0 as usize;
+                self.terminated = false;
+                self.lower_cond(b, t, f)
+            }
+            Expr::Binary("||", a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, t, mid)?;
+                self.cur = mid.0 as usize;
+                self.terminated = false;
+                self.lower_cond(b, t, f)
+            }
+            Expr::Unary("!", inner) => self.lower_cond(inner, f, t),
+            Expr::Binary(op, a, b)
+                if matches!(*op, "==" | "!=" | "<" | ">" | "<=" | ">=") =>
+            {
+                let v = self.relational(op, a, b, e.line, true)?;
+                self.set_term(Term::Br { v, t, f });
+                Ok(())
+            }
+            _ => {
+                let (v, ty) = self.rvalue(e)?;
+                let v = match class_of(&ty) {
+                    Class::Int => v,
+                    // `if (x)` on a float compares against 0.0.
+                    c => {
+                        let z = self.vreg(c);
+                        self.emit(Inst::MovF { rd: z, v: 0.0 });
+                        let r = self.vreg(Class::Int);
+                        self.emit(Inst::FCmp { cond: FpCond::Eq, rd: r, a: v, b: z });
+                        let inv = self.vreg(Class::Int);
+                        self.emit(Inst::Bin {
+                            op: BinOp::Xor,
+                            rd: inv,
+                            a: r,
+                            b: Operand::Imm(1),
+                        });
+                        inv
+                    }
+                };
+                self.set_term(Term::Br { v, t, f });
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers a relational operator. With `machine_bool` the result is the
+    /// raw compare output (0 / all-ones for int, 0/1 for float); otherwise
+    /// it is normalized to C's 0/1.
+    fn relational(
+        &mut self,
+        op: &str,
+        a: &E,
+        b: &E,
+        line: usize,
+        machine_bool: bool,
+    ) -> Result<VReg, CError> {
+        let (va, ta) = self.rvalue(a)?;
+        let (vb, tb) = self.rvalue(b)?;
+        let common = usual_type(&ta, &tb);
+        let va = self.convert(va, &ta, &common, line)?;
+        let vb = self.convert(vb, &tb, &common, line)?;
+        if common.is_float() {
+            // Map onto the eq/lt/le FPU conditions.
+            let (cond, swap, invert) = match op {
+                "==" => (FpCond::Eq, false, false),
+                "!=" => (FpCond::Eq, false, true),
+                "<" => (FpCond::Lt, false, false),
+                "<=" => (FpCond::Le, false, false),
+                ">" => (FpCond::Lt, true, false),
+                ">=" => (FpCond::Le, true, false),
+                _ => unreachable!(),
+            };
+            let (x, y) = if swap { (vb, va) } else { (va, vb) };
+            let rd = self.vreg(Class::Int);
+            self.emit(Inst::FCmp { cond, rd, a: x, b: y });
+            if invert {
+                let inv = self.vreg(Class::Int);
+                self.emit(Inst::Bin { op: BinOp::Xor, rd: inv, a: rd, b: Operand::Imm(1) });
+                return Ok(inv);
+            }
+            return Ok(rd);
+        }
+        let unsigned = common == Ty::Uint || matches!(common, Ty::Ptr(_));
+        let cond = match (op, unsigned) {
+            ("==", _) => Cond::Eq,
+            ("!=", _) => Cond::Ne,
+            ("<", false) => Cond::Lt,
+            ("<", true) => Cond::Ltu,
+            ("<=", false) => Cond::Le,
+            ("<=", true) => Cond::Leu,
+            (">", false) => Cond::Gt,
+            (">", true) => Cond::Gtu,
+            (">=", false) => Cond::Ge,
+            (">=", true) => Cond::Geu,
+            _ => unreachable!(),
+        };
+        let rd = self.vreg(Class::Int);
+        self.emit(Inst::Cmp { cond, rd, a: va, b: Operand::Reg(vb) });
+        if machine_bool {
+            Ok(rd)
+        } else {
+            // 0 / all-ones -> 0 / 1.
+            let norm = self.vreg(Class::Int);
+            self.emit(Inst::Neg { rd: norm, rs: rd });
+            Ok(norm)
+        }
+    }
+
+    // ---- expressions ----
+
+    fn rvalue_or_void(&mut self, e: &E) -> Result<Option<(VReg, Ty)>, CError> {
+        if let Expr::Call(name, args) = &e.kind {
+            let sig = self.call_sig(name, e.line)?;
+            if sig.0 == Ty::Void {
+                self.lower_call(name, args, None, e.line)?;
+                return Ok(None);
+            }
+        }
+        Ok(Some(self.rvalue(e)?))
+    }
+
+    fn call_sig(&self, name: &str, line: usize) -> Result<(Ty, Vec<Ty>), CError> {
+        if let Some(sig) = self.lw.sigs.get(name) {
+            return Ok(sig.clone());
+        }
+        match name {
+            "__putc" | "__puti" | "__halt" => Ok((Ty::Void, vec![Ty::Int])),
+            "__insns" => Ok((Ty::Int, vec![])),
+            _ => Err(err(line, format!("call to undefined function `{name}`"))),
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[E],
+        ret: Option<(VReg, Ty)>,
+        line: usize,
+    ) -> Result<(), CError> {
+        let (_, ptys) = self.call_sig(name, line)?;
+        if ptys.len() != args.len() {
+            return Err(err(
+                line,
+                format!("`{name}` expects {} arguments, got {}", ptys.len(), args.len()),
+            ));
+        }
+        let mut avs = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&ptys) {
+            let (v, ty) = self.rvalue(a)?;
+            let v = self.convert(v, &ty, pty, line)?;
+            avs.push(v);
+        }
+        self.emit(Inst::Call {
+            func: name.to_string(),
+            args: avs,
+            ret: ret.map(|(v, _)| v),
+        });
+        Ok(())
+    }
+
+    fn rvalue(&mut self, e: &E) -> Result<(VReg, Ty), CError> {
+        let line = e.line;
+        match &e.kind {
+            Expr::Int(v) => {
+                if *v > u32::MAX as i64 || *v < i32::MIN as i64 {
+                    return Err(err(line, format!("integer {v} out of 32-bit range")));
+                }
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::MovI { rd, v: *v as i32 });
+                Ok((rd, Ty::Int))
+            }
+            Expr::Float(v, is_f32) => {
+                let ty = if *is_f32 { Ty::Float } else { Ty::Double };
+                let rd = self.vreg(class_of(&ty));
+                self.emit(Inst::MovF { rd, v: *v });
+                Ok((rd, ty))
+            }
+            Expr::Str(s) => {
+                let label = self.lw.intern_string(s);
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::Addr { rd, base: Base::Global(label), off: 0 });
+                Ok((rd, Ty::Ptr(Box::new(Ty::Char))))
+            }
+            Expr::Ident(_)
+            | Expr::Index(..)
+            | Expr::Member(..)
+            | Expr::Unary("*", _) => {
+                let place = self.place(e)?;
+                self.load_place(place, line)
+            }
+            Expr::Unary("&", inner) => {
+                let place = self.place(inner)?;
+                match place {
+                    Place::Reg(..) => Err(err(line, "cannot take address of register variable")),
+                    Place::Mem(base, off, ty) => {
+                        let rd = self.vreg(Class::Int);
+                        self.emit(Inst::Addr { rd, base, off });
+                        Ok((rd, Ty::Ptr(Box::new(ty))))
+                    }
+                }
+            }
+            Expr::Unary("-", inner) => {
+                let (v, ty) = self.rvalue(inner)?;
+                let rd = self.vreg(class_of(&ty));
+                if ty.is_float() {
+                    self.emit(Inst::FNeg { rd, rs: v });
+                } else {
+                    self.emit(Inst::Neg { rd, rs: v });
+                }
+                Ok((rd, promote(&ty)))
+            }
+            Expr::Unary("~", inner) => {
+                let (v, ty) = self.rvalue(inner)?;
+                if ty.is_float() {
+                    return Err(err(line, "~ on a floating value"));
+                }
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::Not { rd, rs: v });
+                Ok((rd, promote(&ty)))
+            }
+            Expr::Unary("!", inner) => {
+                let (v, ty) = self.rvalue(inner)?;
+                if ty.is_float() {
+                    let z = self.vreg(class_of(&ty));
+                    self.emit(Inst::MovF { rd: z, v: 0.0 });
+                    let rd = self.vreg(Class::Int);
+                    self.emit(Inst::FCmp { cond: FpCond::Eq, rd, a: v, b: z });
+                    return Ok((rd, Ty::Int));
+                }
+                let m = self.vreg(Class::Int);
+                self.emit(Inst::Cmp { cond: Cond::Eq, rd: m, a: v, b: Operand::Imm(0) });
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::Neg { rd, rs: m });
+                Ok((rd, Ty::Int))
+            }
+            Expr::Unary(op, _) => Err(err(line, format!("unsupported unary `{op}`"))),
+            Expr::PreIncDec(op, inner) => {
+                let place = self.place(inner)?;
+                let (v, ty) = self.load_place(place.clone(), line)?;
+                let one = self.step_value(&ty, line)?;
+                let rd = self.apply_incdec(op, v, one, &ty);
+                self.store_place(&place, rd, &ty, line)?;
+                Ok((rd, ty))
+            }
+            Expr::PostIncDec(op, inner) => {
+                let place = self.place(inner)?;
+                let (v, ty) = self.load_place(place.clone(), line)?;
+                // Preserve the old value (++/-- is integer/pointer only).
+                let old = self.vreg(class_of(&ty));
+                self.emit(Inst::Mov { rd: old, rs: v });
+                let one = self.step_value(&ty, line)?;
+                let rd = self.apply_incdec(op, v, one, &ty);
+                self.store_place(&place, rd, &ty, line)?;
+                Ok((old, ty))
+            }
+            Expr::Binary(op, a, b) => self.binary(op, a, b, line),
+            Expr::Assign(op, lhs, rhs) => {
+                let place = self.place(lhs)?;
+                let lty = place_ty(&place);
+                let value = if *op == "=" {
+                    let (rv, rty) = self.rvalue(rhs)?;
+                    self.convert(rv, &rty, &lty, line)?
+                } else {
+                    let bare = &op[..op.len() - 1];
+                    let cur = self.load_place(place.clone(), line)?;
+                    let combined = self.binary_vals(bare, cur, rhs, line)?;
+                    self.convert(combined.0, &combined.1, &lty, line)?
+                };
+                self.store_place(&place, value, &lty, line)?;
+                Ok((value, lty))
+            }
+            Expr::Ternary(c, t, f) => {
+                let tb = self.new_block();
+                let fb = self.new_block();
+                let join = self.new_block();
+                self.lower_cond(c, tb, fb)?;
+                self.cur = tb.0 as usize;
+                self.terminated = false;
+                let (tv, tty) = self.rvalue(t)?;
+                let tend = BlockId(self.cur as u32);
+                let t_done = self.terminated;
+                self.cur = fb.0 as usize;
+                self.terminated = false;
+                let (fv, fty) = self.rvalue(f)?;
+                let common = usual_type(&tty, &fty);
+                let fv2 = self.convert(fv, &fty, &common, line)?;
+                let rd = self.vreg(class_of(&common));
+                self.emit(Inst::Mov { rd, rs: fv2 });
+                self.set_term(Term::Jmp(join));
+                // Back-patch the true arm.
+                self.cur = tend.0 as usize;
+                self.terminated = t_done;
+                let tv2 = self.convert(tv, &tty, &common, line)?;
+                self.emit(Inst::Mov { rd, rs: tv2 });
+                self.set_term(Term::Jmp(join));
+                self.cur = join.0 as usize;
+                self.terminated = false;
+                Ok((rd, common))
+            }
+            Expr::Call(name, args) => {
+                let (rty, _) = self.call_sig(name, line)?;
+                if rty == Ty::Void {
+                    return Err(err(line, format!("void value of `{name}` used")));
+                }
+                let rd = self.vreg(class_of(&rty));
+                self.lower_call(name, args, Some((rd, rty.clone())), line)?;
+                Ok((rd, rty))
+            }
+            Expr::Cast(ty, inner) => {
+                let (v, vty) = self.rvalue(inner)?;
+                let v = self.convert(v, &vty, ty, line)?;
+                Ok((v, ty.clone()))
+            }
+            Expr::SizeofTy(t) => {
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::MovI { rd, v: t.size(&self.structs()) as i32 });
+                Ok((rd, Ty::Int))
+            }
+            Expr::SizeofExpr(inner) => {
+                // Arrays (and structs) must not decay under sizeof: try to
+                // resolve the operand as a place first.
+                let save_blocks = self.f.blocks.clone();
+                let save_vclass = self.f.vclass.clone();
+                let save_cur = self.cur;
+                let save_term = self.terminated;
+                let place_ty = self.place(inner).ok().map(|p| place_ty(&p));
+                self.f.blocks = save_blocks;
+                self.f.vclass = save_vclass;
+                self.cur = save_cur;
+                self.terminated = save_term;
+                let ty = match place_ty {
+                    Some(t) => t,
+                    None => self.type_of(inner)?,
+                };
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::MovI { rd, v: ty.size(&self.structs()) as i32 });
+                Ok((rd, Ty::Int))
+            }
+        }
+    }
+
+    fn step_value(&mut self, ty: &Ty, line: usize) -> Result<i32, CError> {
+        match ty {
+            Ty::Ptr(inner) => Ok(inner.size(&self.structs()) as i32),
+            t if t.is_int() => Ok(1),
+            _ => Err(err(line, "++/-- on a floating value is unsupported")),
+        }
+    }
+
+    fn apply_incdec(&mut self, op: &str, v: VReg, step: i32, ty: &Ty) -> VReg {
+        let rd = self.vreg(class_of(ty));
+        let bop = if op == "++" { BinOp::Add } else { BinOp::Sub };
+        self.emit(Inst::Bin { op: bop, rd, a: v, b: Operand::Imm(step) });
+        rd
+    }
+
+    fn binary(&mut self, op: &'static str, a: &E, b: &E, line: usize) -> Result<(VReg, Ty), CError> {
+        match op {
+            "&&" | "||" => {
+                // Value context: produce 0/1 through control flow.
+                let tb = self.new_block();
+                let fb = self.new_block();
+                let join = self.new_block();
+                let e = E {
+                    kind: Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone())),
+                    line,
+                };
+                let rd = self.vreg(Class::Int);
+                self.lower_cond(&e, tb, fb)?;
+                self.cur = tb.0 as usize;
+                self.terminated = false;
+                self.emit(Inst::MovI { rd, v: 1 });
+                self.set_term(Term::Jmp(join));
+                self.cur = fb.0 as usize;
+                self.terminated = false;
+                self.emit(Inst::MovI { rd, v: 0 });
+                self.set_term(Term::Jmp(join));
+                self.cur = join.0 as usize;
+                self.terminated = false;
+                Ok((rd, Ty::Int))
+            }
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                let v = self.relational(op, a, b, line, false)?;
+                Ok((v, Ty::Int))
+            }
+            _ => {
+                let av = self.rvalue(a)?;
+                self.binary_vals(op, av, b, line)
+            }
+        }
+    }
+
+    fn binary_vals(
+        &mut self,
+        op: &str,
+        (va, ta): (VReg, Ty),
+        b: &E,
+        line: usize,
+    ) -> Result<(VReg, Ty), CError> {
+        let (vb, tb) = self.rvalue(b)?;
+        // Pointer arithmetic.
+        if let Ty::Ptr(pointee) = &ta {
+            if (op == "+" || op == "-") && tb.is_int() {
+                let size = pointee.size(&self.structs()) as i32;
+                let scaled = if size == 1 {
+                    vb
+                } else {
+                    let s = self.vreg(Class::Int);
+                    self.emit(Inst::Bin {
+                        op: BinOp::Mul,
+                        rd: s,
+                        a: vb,
+                        b: Operand::Imm(size),
+                    });
+                    s
+                };
+                let rd = self.vreg(Class::Int);
+                let bop = if op == "+" { BinOp::Add } else { BinOp::Sub };
+                self.emit(Inst::Bin { op: bop, rd, a: va, b: Operand::Reg(scaled) });
+                return Ok((rd, ta));
+            }
+            if op == "-" {
+                if let Ty::Ptr(_) = tb {
+                    let size = pointee.size(&self.structs()) as i32;
+                    let diff = self.vreg(Class::Int);
+                    self.emit(Inst::Bin { op: BinOp::Sub, rd: diff, a: va, b: Operand::Reg(vb) });
+                    if size == 1 {
+                        return Ok((diff, Ty::Int));
+                    }
+                    let rd = self.vreg(Class::Int);
+                    self.emit(Inst::Bin {
+                        op: BinOp::Div,
+                        rd,
+                        a: diff,
+                        b: Operand::Imm(size),
+                    });
+                    return Ok((rd, Ty::Int));
+                }
+            }
+        }
+        if let (Ty::Ptr(pointee), "+") = (&tb, op) {
+            if ta.is_int() {
+                // int + ptr commutes to ptr + int.
+                let size = pointee.size(&self.structs()) as i32;
+                let scaled = if size == 1 {
+                    va
+                } else {
+                    let sreg = self.vreg(Class::Int);
+                    self.emit(Inst::Bin {
+                        op: BinOp::Mul,
+                        rd: sreg,
+                        a: va,
+                        b: Operand::Imm(size),
+                    });
+                    sreg
+                };
+                let rd = self.vreg(Class::Int);
+                self.emit(Inst::Bin { op: BinOp::Add, rd, a: vb, b: Operand::Reg(scaled) });
+                return Ok((rd, tb));
+            }
+        }
+        let common = usual_type(&ta, &tb);
+        let va = self.convert(va, &ta, &common, line)?;
+        let vb = self.convert(vb, &tb, &common, line)?;
+        if common.is_float() {
+            let fop = match op {
+                "+" => FBinOp::Add,
+                "-" => FBinOp::Sub,
+                "*" => FBinOp::Mul,
+                "/" => FBinOp::Div,
+                _ => return Err(err(line, format!("`{op}` on floating operands"))),
+            };
+            let rd = self.vreg(class_of(&common));
+            self.emit(Inst::FBin { op: fop, rd, a: va, b: vb });
+            return Ok((rd, common));
+        }
+        let unsigned = common == Ty::Uint;
+        let bop = match op {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "/" => {
+                if unsigned {
+                    BinOp::UDiv
+                } else {
+                    BinOp::Div
+                }
+            }
+            "%" => {
+                if unsigned {
+                    BinOp::URem
+                } else {
+                    BinOp::Rem
+                }
+            }
+            "&" => BinOp::And,
+            "|" => BinOp::Or,
+            "^" => BinOp::Xor,
+            "<<" => BinOp::Shl,
+            ">>" => {
+                if unsigned {
+                    BinOp::Shr
+                } else {
+                    BinOp::Sar
+                }
+            }
+            _ => return Err(err(line, format!("unsupported operator `{op}`"))),
+        };
+        let rd = self.vreg(Class::Int);
+        self.emit(Inst::Bin { op: bop, rd, a: va, b: Operand::Reg(vb) });
+        Ok((rd, common))
+    }
+
+    // ---- places ----
+
+    fn place(&mut self, e: &E) -> Result<Place, CError> {
+        let line = e.line;
+        match &e.kind {
+            Expr::Ident(name) => {
+                if let Some(b) = self.lookup(name) {
+                    return Ok(match b {
+                        Binding::Reg(v, ty) => Place::Reg(v, ty),
+                        Binding::Slot(s, ty) => Place::Mem(Base::Slot(s), 0, ty),
+                    });
+                }
+                if let Some(ty) = self.lw.globals.get(name) {
+                    return Ok(Place::Mem(Base::Global(name.clone()), 0, ty.clone()));
+                }
+                Err(err(line, format!("undefined variable `{name}`")))
+            }
+            Expr::Unary("*", inner) => {
+                let (v, ty) = self.rvalue(inner)?;
+                match ty {
+                    Ty::Ptr(p) => Ok(Place::Mem(Base::Reg(v), 0, (*p).clone())),
+                    _ => Err(err(line, "dereference of a non-pointer")),
+                }
+            }
+            Expr::Index(arr, idx) => {
+                let place = self.indexed_place(arr, idx, line)?;
+                Ok(place)
+            }
+            Expr::Member(obj, field, arrow) => {
+                let (base, off, sty) = if *arrow {
+                    let (v, ty) = self.rvalue(obj)?;
+                    match ty {
+                        Ty::Ptr(p) => (Base::Reg(v), 0, (*p).clone()),
+                        _ => return Err(err(line, "-> on a non-pointer")),
+                    }
+                } else {
+                    match self.place(obj)? {
+                        Place::Mem(b, o, t) => (b, o, t),
+                        Place::Reg(..) => {
+                            return Err(err(line, ". on a non-addressable value"))
+                        }
+                    }
+                };
+                let si = match sty {
+                    Ty::Struct(i) => i,
+                    _ => return Err(err(line, "member access on a non-struct")),
+                };
+                let def = &self.lw.prog.structs[si];
+                let (_, fty, foff) = def
+                    .field(field)
+                    .ok_or_else(|| err(line, format!("no field `{field}` in `{}`", def.name)))?
+                    .clone();
+                Ok(Place::Mem(base, off + foff as i32, fty))
+            }
+            _ => Err(err(line, "expression is not assignable")),
+        }
+    }
+
+    fn indexed_place(&mut self, arr: &E, idx: &E, line: usize) -> Result<Place, CError> {
+        // Constant-index fast path keeps Base::Slot/Global addressing.
+        let const_idx = match &idx.kind {
+            Expr::Int(v) => Some(*v as i32),
+            _ => None,
+        };
+        // Array-typed places index in place; pointers load then index.
+        let (base, off, elem_ty): (Base, i32, Ty) = match self.place(arr) {
+            Ok(Place::Mem(b, o, Ty::Array(elem, _))) => (b, o, (*elem).clone()),
+            Ok(Place::Mem(b, o, Ty::Ptr(elem))) => {
+                // Load the pointer value first.
+                let (pv, _) =
+                    self.load_place(Place::Mem(b, o, Ty::Ptr(elem.clone())), line)?;
+                (Base::Reg(pv), 0, (*elem).clone())
+            }
+            Ok(Place::Reg(v, Ty::Ptr(elem))) => (Base::Reg(v), 0, (*elem).clone()),
+            Ok(_) => return Err(err(line, "indexing a non-array")),
+            Err(e) => return Err(e),
+        };
+        let esize = elem_ty.size(&self.structs()) as i32;
+        if let Some(ci) = const_idx {
+            return Ok(Place::Mem(base, off + ci * esize, elem_ty));
+        }
+        let (iv, ity) = self.rvalue(idx)?;
+        if !ity.is_int() {
+            return Err(err(line, "array index must be an integer"));
+        }
+        let scaled = if esize == 1 {
+            iv
+        } else {
+            let s = self.vreg(Class::Int);
+            self.emit(Inst::Bin { op: BinOp::Mul, rd: s, a: iv, b: Operand::Imm(esize) });
+            s
+        };
+        // Materialize the base address and add the scaled index.
+        let addr = self.vreg(Class::Int);
+        match base {
+            Base::Reg(r) => {
+                self.emit(Inst::Bin { op: BinOp::Add, rd: addr, a: r, b: Operand::Reg(scaled) })
+            }
+            b => {
+                let ba = self.vreg(Class::Int);
+                self.emit(Inst::Addr { rd: ba, base: b, off });
+                self.emit(Inst::Bin { op: BinOp::Add, rd: addr, a: ba, b: Operand::Reg(scaled) });
+                return Ok(Place::Mem(Base::Reg(addr), 0, elem_ty));
+            }
+        }
+        Ok(Place::Mem(Base::Reg(addr), off, elem_ty))
+    }
+
+    fn load_place(&mut self, place: Place, line: usize) -> Result<(VReg, Ty), CError> {
+        match place {
+            Place::Reg(v, ty) => Ok((v, ty)),
+            Place::Mem(base, off, ty) => match &ty {
+                Ty::Array(..) => {
+                    // Decay to a pointer to the first element.
+                    let rd = self.vreg(Class::Int);
+                    self.emit(Inst::Addr { rd, base, off });
+                    Ok((rd, ty.decayed()))
+                }
+                Ty::Struct(_) => Err(err(line, "struct values must be accessed by member")),
+                Ty::Void => Err(err(line, "void value")),
+                scalar => {
+                    let rd = self.vreg(class_of(scalar));
+                    self.emit(Inst::Load { w: width_of(scalar), rd, base, off });
+                    Ok((rd, promote(scalar)))
+                }
+            },
+        }
+    }
+
+    fn store_place(&mut self, place: &Place, v: VReg, _ty: &Ty, line: usize) -> Result<(), CError> {
+        match place {
+            Place::Reg(dst, _) => {
+                self.emit(Inst::Mov { rd: *dst, rs: v });
+                Ok(())
+            }
+            Place::Mem(base, off, ty) => {
+                if !ty.is_scalar() {
+                    return Err(err(line, "cannot assign a non-scalar"));
+                }
+                self.emit(Inst::Store { w: width_of(ty), rs: v, base: base.clone(), off: *off });
+                Ok(())
+            }
+        }
+    }
+
+    fn convert(&mut self, v: VReg, from: &Ty, to: &Ty, line: usize) -> Result<VReg, CError> {
+        let (fc, tc) = (class_of(from), class_of(to));
+        if fc == tc {
+            return Ok(v);
+        }
+        let kind = match (fc, tc) {
+            (Class::Int, Class::F32) => CvtKind::IntToF32,
+            (Class::Int, Class::F64) => CvtKind::IntToF64,
+            (Class::F32, Class::F64) => CvtKind::F32ToF64,
+            (Class::F64, Class::F32) => CvtKind::F64ToF32,
+            (Class::F32, Class::Int) => CvtKind::F32ToInt,
+            (Class::F64, Class::Int) => CvtKind::F64ToInt,
+            _ => return Err(err(line, "impossible conversion")),
+        };
+        let rd = self.vreg(tc);
+        self.emit(Inst::Cvt { kind, rd, rs: v });
+        Ok(rd)
+    }
+
+    /// Static type of an expression (for `sizeof expr`).
+    fn type_of(&mut self, e: &E) -> Result<Ty, CError> {
+        // Cheap structural reconstruction: lower into a scratch block and
+        // discard. Expressions are side-effect-light in sizeof context in
+        // the suite, but to be safe we snapshot and restore.
+        let save_blocks = self.f.blocks.clone();
+        let save_vclass = self.f.vclass.clone();
+        let save_cur = self.cur;
+        let save_term = self.terminated;
+        let r = self.rvalue(e).map(|(_, t)| t);
+        self.f.blocks = save_blocks;
+        self.f.vclass = save_vclass;
+        self.cur = save_cur;
+        self.terminated = save_term;
+        r
+    }
+}
+
+fn place_ty(p: &Place) -> Ty {
+    match p {
+        Place::Reg(_, t) => t.clone(),
+        Place::Mem(_, _, t) => t.clone(),
+    }
+}
+
+fn promote(ty: &Ty) -> Ty {
+    match ty {
+        Ty::Char => Ty::Int,
+        other => other.clone(),
+    }
+}
+
+fn usual_type(a: &Ty, b: &Ty) -> Ty {
+    if *a == Ty::Double || *b == Ty::Double {
+        Ty::Double
+    } else if *a == Ty::Float || *b == Ty::Float {
+        Ty::Float
+    } else if matches!(a, Ty::Ptr(_)) {
+        a.clone()
+    } else if matches!(b, Ty::Ptr(_)) {
+        b.clone()
+    } else if *a == Ty::Uint || *b == Ty::Uint {
+        Ty::Uint
+    } else {
+        Ty::Int
+    }
+}
+
+/// Collects names whose address is taken with unary `&`.
+fn collect_addressed(body: &[Stmt]) -> HashSet<String> {
+    let mut set = HashSet::new();
+    fn walk_e(e: &E, set: &mut HashSet<String>) {
+        match &e.kind {
+            Expr::Unary("&", inner) => {
+                if let Expr::Ident(name) = &inner.kind {
+                    set.insert(name.clone());
+                }
+                walk_e(inner, set);
+            }
+            Expr::Unary(_, a) | Expr::PreIncDec(_, a) | Expr::PostIncDec(_, a) => walk_e(a, set),
+            Expr::Binary(_, a, b) | Expr::Assign(_, a, b) | Expr::Index(a, b) => {
+                walk_e(a, set);
+                walk_e(b, set);
+            }
+            Expr::Ternary(a, b, c) => {
+                walk_e(a, set);
+                walk_e(b, set);
+                walk_e(c, set);
+            }
+            Expr::Call(_, args) => args.iter().for_each(|a| walk_e(a, set)),
+            Expr::Member(a, _, _) => walk_e(a, set),
+            Expr::Cast(_, a) | Expr::SizeofExpr(a) => walk_e(a, set),
+            _ => {}
+        }
+    }
+    fn walk_s(s: &Stmt, set: &mut HashSet<String>) {
+        match s {
+            Stmt::Expr(e) => walk_e(e, set),
+            Stmt::Decl(ds) => {
+                for (_, _, init, _) in ds {
+                    if let Some(i) = init {
+                        walk_init(i, set);
+                    }
+                }
+            }
+            Stmt::If(c, t, e) => {
+                walk_e(c, set);
+                walk_s(t, set);
+                if let Some(e) = e {
+                    walk_s(e, set);
+                }
+            }
+            Stmt::While(c, b) => {
+                walk_e(c, set);
+                walk_s(b, set);
+            }
+            Stmt::DoWhile(b, c) => {
+                walk_s(b, set);
+                walk_e(c, set);
+            }
+            Stmt::For(i, c, st, b) => {
+                if let Some(i) = i {
+                    walk_s(i, set);
+                }
+                if let Some(c) = c {
+                    walk_e(c, set);
+                }
+                if let Some(st) = st {
+                    walk_e(st, set);
+                }
+                walk_s(b, set);
+            }
+            Stmt::Return(Some(e), _) => walk_e(e, set),
+            Stmt::Block(items) => items.iter().for_each(|s| walk_s(s, set)),
+            _ => {}
+        }
+    }
+    fn walk_init(i: &Init, set: &mut HashSet<String>) {
+        match i {
+            Init::Expr(e) => walk_e(e, set),
+            Init::List(items) => items.iter().for_each(|i| walk_init(i, set)),
+        }
+    }
+    for s in body {
+        walk_s(s, &mut set);
+    }
+    set
+}

@@ -1,0 +1,343 @@
+//! Machine-level IR: target instructions over virtual (or physical)
+//! registers, between instruction selection and register allocation.
+//!
+//! Integer registers and FP registers form separate namespaces. FP virtual
+//! registers denote an even/odd *pair* (doubles need the pair; singles live
+//! in the even half) so allocation is uniform.
+
+use crate::ir::SlotId;
+use d16_isa::{AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, MemWidth, Prec, TrapCode, UnOp};
+
+/// An integer register reference.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum R {
+    /// Physical.
+    P(Gpr),
+    /// Virtual.
+    V(u32),
+}
+
+/// An FP register-pair reference.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FR {
+    /// Physical pair base (even register).
+    P(Fpr),
+    /// Virtual pair.
+    V(u32),
+}
+
+/// A memory operand.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MemAddr {
+    /// `disp(base)`.
+    BaseDisp {
+        /// Base register.
+        base: R,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// A function stack slot plus a byte offset (resolved to `disp(sp)`
+    /// once the frame is laid out).
+    SpSlot {
+        /// The slot.
+        slot: SlotId,
+        /// Extra bytes within the slot.
+        extra: i32,
+    },
+    /// Word `index` of the outgoing-argument area at the bottom of the
+    /// frame.
+    SpOut {
+        /// Word index (byte offset / 4).
+        index: u32,
+    },
+    /// Word `index` of the incoming-argument area in the caller's frame
+    /// (resolved to `frame_size + 4*index` once the frame is laid out).
+    SpIn {
+        /// Word index.
+        index: u32,
+    },
+}
+
+/// One machine instruction (pre-allocation).
+#[derive(Clone, PartialEq, Debug)]
+#[allow(dead_code)] // Lui/Nop: constructible forms emission understands
+pub enum MInsn {
+    /// Three- or two-address ALU (selection already honors the target's
+    /// address-count restriction, so `rd == rs1` when required).
+    Alu { op: AluOp, rd: R, rs1: R, rs2: R },
+    /// ALU with immediate (fits the effective encoding parameters).
+    AluI { op: AluOp, rd: R, rs1: R, imm: i32 },
+    /// Unary: `mv`, `neg`, `inv`.
+    Un { op: UnOp, rd: R, rs: R },
+    /// Move-immediate that fits the target's `mvi` field.
+    Mvi { rd: R, imm: i32 },
+    /// DLXe `mvhi` (selection currently prefers [`MInsn::LoadConst`], which
+    /// expands to `mvhi`+`ori` at emission; kept for hand-built machine IR
+    /// and future peepholes).
+    Lui { rd: R, imm: u32 },
+    /// Materialize an arbitrary 32-bit constant (D16: `ldc =imm`, one
+    /// instruction plus a pool word; DLXe: `mvhi`+`ori`, two).
+    LoadConst { rd: R, val: i32 },
+    /// Materialize a symbol address plus offset.
+    LoadSym { rd: R, sym: String, off: i32 },
+    /// Integer compare. On D16 `rd` is always `P(r0)`.
+    Cmp { cond: Cond, rd: R, rs1: R, rs2: R },
+    /// Compare with immediate (DLXe, or the D16 `cmpeqi` extension).
+    CmpI { cond: Cond, rd: R, rs1: R, imm: i32 },
+    /// Integer load.
+    Ld { w: MemWidth, rd: R, addr: MemAddr },
+    /// Integer store.
+    St { w: MemWidth, rs: R, addr: MemAddr },
+    /// Address of a stack slot.
+    SpAddr { rd: R, slot: SlotId, extra: i32 },
+    /// FP arithmetic (two-address honored by selection for D16).
+    FAlu { op: FpOp, prec: Prec, fd: FR, fs1: FR, fs2: FR },
+    /// FP negate.
+    FNeg { prec: Prec, fd: FR, fs: FR },
+    /// FP compare into the status register.
+    FCmp { cond: FpCond, prec: Prec, fs1: FR, fs2: FR },
+    /// FP mode conversion.
+    FCvt { op: CvtOp, fd: FR, fs: FR },
+    /// FP register-pair copy (expands to `mff`/`mtf` through the integer
+    /// scratch register after allocation).
+    FMov { prec: Prec, fd: FR, fs: FR },
+    /// GPR -> FPR half transfer. `hi` selects the odd half of the pair.
+    Mtf { fd: FR, hi: bool, rs: R },
+    /// FPR half -> GPR transfer.
+    Mff { rd: R, fs: FR, hi: bool },
+    /// Read the FP status register.
+    Rdsr { rd: R },
+    /// Direct call. `uses` are the argument registers live at the call;
+    /// all caller-saved registers are clobbered.
+    Call { sym: String, uses: Vec<R>, ret_fp: bool },
+    /// System trap (reads/writes `r2` per code).
+    Trap { code: TrapCode },
+    /// Explicit no-op.
+    Nop,
+}
+
+/// Block terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MTerm {
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Conditional branch on `rs` (D16: physically `r0`), then
+    /// fall-through to `f`.
+    Bc {
+        /// `bnz` when true, `bz` when false.
+        neg: bool,
+        /// Tested register.
+        rs: R,
+        /// Taken target block.
+        t: u32,
+        /// Fall-through block.
+        f: u32,
+    },
+    /// Function return (the return-value registers were set up by
+    /// selection).
+    Ret,
+}
+
+impl MTerm {
+    /// Successor block ids.
+    pub fn succs(&self) -> Vec<u32> {
+        match self {
+            MTerm::Jmp(b) => vec![*b],
+            MTerm::Bc { t, f, .. } => vec![*t, *f],
+            MTerm::Ret => vec![],
+        }
+    }
+}
+
+/// A machine basic block.
+#[derive(Clone, Debug)]
+pub struct MBlock {
+    /// Instructions.
+    pub insts: Vec<MInsn>,
+    /// Terminator.
+    pub term: MTerm,
+}
+
+/// A function in machine IR.
+#[derive(Clone, Debug)]
+pub struct MFunc {
+    /// Name.
+    pub name: String,
+    /// Blocks (entry = 0).
+    pub blocks: Vec<MBlock>,
+    /// Number of integer virtuals.
+    pub nvirt_int: u32,
+    /// Number of FP-pair virtuals.
+    pub nvirt_fp: u32,
+    /// Precision of each FP virtual (spill width).
+    pub fp_prec: Vec<Prec>,
+    /// Stack slots (lowered locals plus allocator spills).
+    pub slots: Vec<crate::ir::SlotInfo>,
+    /// Words needed in the outgoing-argument area.
+    pub out_words: u32,
+    /// Whether the function contains calls (forces saving the link
+    /// register).
+    pub has_call: bool,
+    /// Whether the function returns a value in `r2` (and `r3` for
+    /// doubles): keeps the return registers live at `Ret`.
+    pub ret_words: u32,
+}
+
+impl MFunc {
+    /// Fresh integer virtual.
+    pub fn vint(&mut self) -> R {
+        self.nvirt_int += 1;
+        R::V(self.nvirt_int - 1)
+    }
+
+    /// Fresh FP-pair virtual.
+    pub fn vfp(&mut self, prec: Prec) -> FR {
+        self.fp_prec.push(prec);
+        self.nvirt_fp += 1;
+        FR::V(self.nvirt_fp - 1)
+    }
+
+    /// Adds a spill slot and returns it.
+    pub fn spill_slot(&mut self, size: u32) -> SlotId {
+        self.slots.push(crate::ir::SlotInfo { size, align: size.min(8) });
+        SlotId(self.slots.len() as u32 - 1)
+    }
+}
+
+/// Register-reference collections for liveness: integer defs/uses and FP
+/// defs/uses of one instruction.
+#[derive(Clone, Default, Debug)]
+pub struct DefUse {
+    /// Integer registers written.
+    pub idefs: Vec<R>,
+    /// Integer registers read.
+    pub iuses: Vec<R>,
+    /// FP pairs written.
+    pub fdefs: Vec<FR>,
+    /// FP pairs read.
+    pub fuses: Vec<FR>,
+}
+
+impl MInsn {
+    /// Defs and uses, given the caller-saved sets for call clobbers.
+    pub fn def_use(&self, caller_saved: &[Gpr], fp_caller_saved: &[Fpr]) -> DefUse {
+        let mut du = DefUse::default();
+        match self {
+            MInsn::Alu { rd, rs1, rs2, .. } => {
+                du.idefs.push(*rd);
+                du.iuses.push(*rs1);
+                du.iuses.push(*rs2);
+            }
+            MInsn::AluI { rd, rs1, .. } => {
+                du.idefs.push(*rd);
+                du.iuses.push(*rs1);
+            }
+            MInsn::Un { rd, rs, .. } => {
+                du.idefs.push(*rd);
+                du.iuses.push(*rs);
+            }
+            MInsn::Mvi { rd, .. }
+            | MInsn::Lui { rd, .. }
+            | MInsn::LoadConst { rd, .. }
+            | MInsn::LoadSym { rd, .. }
+            | MInsn::Rdsr { rd } => du.idefs.push(*rd),
+            MInsn::Cmp { rd, rs1, rs2, .. } => {
+                du.idefs.push(*rd);
+                du.iuses.push(*rs1);
+                du.iuses.push(*rs2);
+            }
+            MInsn::CmpI { rd, rs1, .. } => {
+                du.idefs.push(*rd);
+                du.iuses.push(*rs1);
+            }
+            MInsn::Ld { rd, addr, .. } => {
+                du.idefs.push(*rd);
+                addr_uses(addr, &mut du.iuses);
+            }
+            MInsn::St { rs, addr, .. } => {
+                du.iuses.push(*rs);
+                addr_uses(addr, &mut du.iuses);
+            }
+            MInsn::SpAddr { rd, .. } => du.idefs.push(*rd),
+            MInsn::FAlu { fd, fs1, fs2, .. } => {
+                du.fdefs.push(*fd);
+                du.fuses.push(*fs1);
+                du.fuses.push(*fs2);
+            }
+            MInsn::FNeg { fd, fs, .. } | MInsn::FCvt { fd, fs, .. } | MInsn::FMov { fd, fs, .. } => {
+                du.fdefs.push(*fd);
+                du.fuses.push(*fs);
+            }
+            MInsn::FCmp { fs1, fs2, .. } => {
+                du.fuses.push(*fs1);
+                du.fuses.push(*fs2);
+            }
+            MInsn::Mtf { fd, hi, rs } => {
+                // Pairs are always built low half first, so the low-half
+                // transfer is a pure definition; the high-half transfer
+                // read-modifies the pair.
+                du.fdefs.push(*fd);
+                if *hi {
+                    du.fuses.push(*fd);
+                }
+                du.iuses.push(*rs);
+            }
+            MInsn::Mff { rd, fs, .. } => {
+                du.idefs.push(*rd);
+                du.fuses.push(*fs);
+            }
+            MInsn::Call { uses, .. } => {
+                du.iuses.extend(uses.iter().copied());
+                du.idefs.extend(caller_saved.iter().map(|g| R::P(*g)));
+                du.fdefs.extend(fp_caller_saved.iter().map(|f| FR::P(*f)));
+            }
+            MInsn::Trap { code } => match code {
+                TrapCode::ReadInsnCount => {
+                    du.idefs.push(R::P(d16_isa::abi::RET));
+                }
+                _ => du.iuses.push(R::P(d16_isa::abi::RET)),
+            },
+            MInsn::Nop => {}
+        }
+        du
+    }
+}
+
+fn addr_uses(addr: &MemAddr, uses: &mut Vec<R>) {
+    if let MemAddr::BaseDisp { base, .. } = addr {
+        uses.push(*base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_use_shapes() {
+        let i = MInsn::Alu { op: AluOp::Add, rd: R::V(1), rs1: R::V(2), rs2: R::P(Gpr::new(5)) };
+        let du = i.def_use(&[], &[]);
+        assert_eq!(du.idefs, vec![R::V(1)]);
+        assert_eq!(du.iuses, vec![R::V(2), R::P(Gpr::new(5))]);
+
+        let call = MInsn::Call { sym: "f".into(), uses: vec![R::P(Gpr::new(2))], ret_fp: false };
+        let du = call.def_use(&[Gpr::new(2), Gpr::new(3)], &[Fpr::new(0)]);
+        assert_eq!(du.idefs.len(), 2);
+        assert_eq!(du.fdefs, vec![FR::P(Fpr::new(0))]);
+    }
+
+    #[test]
+    fn mtf_reads_and_writes_pair() {
+        let i = MInsn::Mtf { fd: FR::V(3), hi: true, rs: R::V(1) };
+        let du = i.def_use(&[], &[]);
+        assert!(du.fdefs.contains(&FR::V(3)));
+        assert!(du.fuses.contains(&FR::V(3)));
+    }
+
+    #[test]
+    fn term_succs() {
+        assert_eq!(MTerm::Jmp(3).succs(), vec![3]);
+        assert_eq!(MTerm::Bc { neg: false, rs: R::V(0), t: 1, f: 2 }.succs(), vec![1, 2]);
+        assert!(MTerm::Ret.succs().is_empty());
+    }
+}

@@ -1,0 +1,689 @@
+//! The optimizer: the GCC-class scalar optimizations the paper's
+//! methodology depends on ("code compiled with all optimizations enabled").
+//!
+//! Passes: local constant folding/propagation, copy propagation, local
+//! common-subexpression elimination (with memory epochs), branch folding
+//! and jump threading, unreachable-block elimination, dead-code
+//! elimination, strength reduction of multiply/divide by constants, and
+//! legalization of remaining multiplies/divides into runtime-library calls
+//! (neither ISA has integer multiply or divide instructions — Table 1).
+
+use crate::ir::{BinOp, BlockId, Inst, IrFunc, Module, Operand, Term, VReg};
+use std::collections::HashMap;
+
+/// Runs the full pipeline over every function.
+pub fn optimize(module: &mut Module) {
+    for f in &mut module.funcs {
+        for _ in 0..3 {
+            local_value_numbering(f);
+            fold_branches(f);
+            remove_unreachable(f);
+            dce(f);
+        }
+        strength_reduce(f);
+        local_value_numbering(f);
+        dce(f);
+        legalize_muldiv(f);
+        local_value_numbering(f);
+        dce(f);
+    }
+}
+
+/// Value key for local CSE.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Bin(BinOp, (VReg, u32), OperandKey),
+    Cmp(d16_isa::Cond, (VReg, u32), OperandKey),
+    Neg((VReg, u32)),
+    Not((VReg, u32)),
+    Addr(String, i32),
+    AddrSlot(u32, i32),
+    Load(d16_isa::MemWidth, BaseKey, i32, u64),
+    Cvt(crate::ir::CvtKind, (VReg, u32)),
+    FBin(crate::ir::FBinOp, (VReg, u32), (VReg, u32)),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum OperandKey {
+    Imm(i32),
+    Reg(VReg, u32),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum BaseKey {
+    Reg(VReg, u32),
+    Slot(u32),
+    Global(String),
+}
+
+/// Local constant folding, copy propagation and CSE within each block.
+fn local_value_numbering(f: &mut IrFunc) {
+    let nv = f.vreg_count();
+    for b in &mut f.blocks {
+        let mut ver = vec![0u32; nv];
+        let mut consts: HashMap<VReg, i32> = HashMap::new();
+        let mut copies: HashMap<VReg, (VReg, u32)> = HashMap::new();
+        let mut table: HashMap<Key, (VReg, u32)> = HashMap::new();
+        let mut epoch = 0u64;
+
+        let mut out = Vec::with_capacity(b.insts.len());
+        for mut inst in std::mem::take(&mut b.insts) {
+            // Rewrite register uses through copies.
+            {
+                let resolve = |r: &mut VReg| {
+                    if let Some((src, v)) = copies.get(r) {
+                        if ver[src.0 as usize] == *v {
+                            *r = *src;
+                        }
+                    }
+                };
+                match &mut inst {
+                    Inst::Mov { rs, .. }
+                    | Inst::Neg { rs, .. }
+                    | Inst::Not { rs, .. }
+                    | Inst::Cvt { rs, .. }
+                    | Inst::FNeg { rs, .. } => resolve(rs),
+                    Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                        resolve(a);
+                        if let Operand::Reg(r) = b {
+                            resolve(r);
+                        }
+                    }
+                    Inst::FBin { a, b, .. } | Inst::FCmp { a, b, .. } => {
+                        resolve(a);
+                        resolve(b);
+                    }
+                    Inst::Load { base, .. } | Inst::Addr { base, .. } => {
+                        if let crate::ir::Base::Reg(r) = base {
+                            resolve(r);
+                        }
+                    }
+                    Inst::Store { rs, base, .. } => {
+                        resolve(rs);
+                        if let crate::ir::Base::Reg(r) = base {
+                            resolve(r);
+                        }
+                    }
+                    Inst::Call { args, .. } => args.iter_mut().for_each(resolve),
+                    _ => {}
+                }
+            }
+            // Immediate-ize constant right operands; fold all-constant ops.
+            if let Inst::Bin { op, rd, a, b } = &mut inst {
+                if let Operand::Reg(r) = b {
+                    if let Some(c) = consts.get(r) {
+                        *b = Operand::Imm(*c);
+                    }
+                }
+                if let (Some(ca), Operand::Imm(cb)) = (consts.get(a).copied(), *b) {
+                    inst = Inst::MovI { rd: *rd, v: op.eval(ca, cb) };
+                } else if let (Some(ca), Operand::Reg(rb)) = (consts.get(a).copied(), *b) {
+                    if op.commutative() {
+                        // Move the constant to the right for immediate forms.
+                        *a = rb;
+                        *b = Operand::Imm(ca);
+                    }
+                }
+            }
+            if let Inst::Cmp { cond, rd, a, b } = &mut inst {
+                if let Operand::Reg(r) = b {
+                    if let Some(c) = consts.get(r) {
+                        *b = Operand::Imm(*c);
+                    }
+                }
+                if let (Some(ca), Operand::Imm(cb)) = (consts.get(a).copied(), *b) {
+                    let v = if cond.eval(ca as u32, cb as u32) { -1 } else { 0 };
+                    inst = Inst::MovI { rd: *rd, v };
+                }
+            }
+            // Algebraic identities.
+            if let Inst::Bin { op, rd, a, b: Operand::Imm(c) } = &inst {
+                let identity = matches!(
+                    (op, c),
+                    (BinOp::Add, 0)
+                        | (BinOp::Sub, 0)
+                        | (BinOp::Or, 0)
+                        | (BinOp::Xor, 0)
+                        | (BinOp::Shl, 0)
+                        | (BinOp::Shr, 0)
+                        | (BinOp::Sar, 0)
+                );
+                if identity {
+                    inst = Inst::Mov { rd: *rd, rs: *a };
+                } else if matches!((op, c), (BinOp::And, 0)) || matches!((op, c), (BinOp::Mul, 0))
+                {
+                    inst = Inst::MovI { rd: *rd, v: 0 };
+                } else if matches!((op, c), (BinOp::Mul, 1))
+                    || matches!((op, c), (BinOp::Div, 1))
+                    || matches!((op, c), (BinOp::UDiv, 1))
+                {
+                    inst = Inst::Mov { rd: *rd, rs: *a };
+                }
+            }
+            // Collapse Mov/Neg/Not of a known constant.
+            if let Inst::Mov { rd, rs } = &inst {
+                if let Some(c) = consts.get(rs) {
+                    inst = Inst::MovI { rd: *rd, v: *c };
+                }
+            }
+            if let Inst::Neg { rd, rs } = &inst {
+                if let Some(c) = consts.get(rs) {
+                    inst = Inst::MovI { rd: *rd, v: c.wrapping_neg() };
+                }
+            }
+            if let Inst::Not { rd, rs } = &inst {
+                if let Some(c) = consts.get(rs) {
+                    inst = Inst::MovI { rd: *rd, v: !*c };
+                }
+            }
+
+            // CSE lookup for pure instructions.
+            let key = cse_key(&inst, &ver, epoch);
+            if let Some(k) = &key {
+                if let Some((prev, pver)) = table.get(k) {
+                    if ver[prev.0 as usize] == *pver {
+                        if let Some(rd) = inst.def() {
+                            inst = Inst::Mov { rd, rs: *prev };
+                        }
+                    }
+                }
+            }
+
+            // Effects on the environment.
+            let def = inst.def();
+            if let Some(rd) = def {
+                ver[rd.0 as usize] += 1;
+                consts.remove(&rd);
+                copies.remove(&rd);
+            }
+            match &inst {
+                Inst::MovI { rd, v } => {
+                    consts.insert(*rd, *v);
+                }
+                Inst::Mov { rd, rs } => {
+                    copies.insert(*rd, (*rs, ver[rs.0 as usize]));
+                    if let Some(c) = consts.get(rs) {
+                        consts.insert(*rd, *c);
+                    }
+                }
+                Inst::Store { .. } | Inst::Call { .. } => epoch += 1,
+                _ => {}
+            }
+            if let (Some(k), Some(rd)) = (key, def) {
+                if !matches!(inst, Inst::Mov { .. } | Inst::MovI { .. }) {
+                    table.insert(k, (rd, ver[rd.0 as usize]));
+                }
+            }
+            out.push(inst);
+        }
+        b.insts = out;
+
+        // Fold the terminator's condition through the block environment.
+        if let Term::Br { v, t, f: fb } = b.term.clone() {
+            let mut v = v;
+            if let Some((src, vv)) = copies.get(&v) {
+                if ver[src.0 as usize] == *vv {
+                    v = *src;
+                }
+            }
+            b.term = match consts.get(&v) {
+                Some(0) => Term::Jmp(fb),
+                Some(_) => Term::Jmp(t),
+                None => Term::Br { v, t, f: fb },
+            };
+        }
+    }
+}
+
+fn cse_key(inst: &Inst, ver: &[u32], epoch: u64) -> Option<Key> {
+    let vk = |r: &VReg| (*r, ver[r.0 as usize]);
+    let ok = |o: &Operand| match o {
+        Operand::Imm(i) => OperandKey::Imm(*i),
+        Operand::Reg(r) => OperandKey::Reg(*r, ver[r.0 as usize]),
+    };
+    let bk = |b: &crate::ir::Base| match b {
+        crate::ir::Base::Reg(r) => BaseKey::Reg(*r, ver[r.0 as usize]),
+        crate::ir::Base::Slot(s) => BaseKey::Slot(s.0),
+        crate::ir::Base::Global(g) => BaseKey::Global(g.clone()),
+    };
+    Some(match inst {
+        Inst::Bin { op, a, b, .. } => Key::Bin(*op, vk(a), ok(b)),
+        Inst::Cmp { cond, a, b, .. } => Key::Cmp(*cond, vk(a), ok(b)),
+        Inst::Neg { rs, .. } => Key::Neg(vk(rs)),
+        Inst::Not { rs, .. } => Key::Not(vk(rs)),
+        Inst::Addr { base, off, .. } => match base {
+            crate::ir::Base::Global(g) => Key::Addr(g.clone(), *off),
+            crate::ir::Base::Slot(s) => Key::AddrSlot(s.0, *off),
+            crate::ir::Base::Reg(_) => return None,
+        },
+        Inst::Load { w, base, off, .. } => Key::Load(*w, bk(base), *off, epoch),
+        Inst::Cvt { kind, rs, .. } => Key::Cvt(*kind, vk(rs)),
+        Inst::FBin { op, a, b, .. } => Key::FBin(*op, vk(a), vk(b)),
+        _ => return None,
+    })
+}
+
+/// Replaces jumps-to-trivial-jump blocks and removes empty forwarding.
+fn fold_branches(f: &mut IrFunc) {
+    // Compute the forwarding target of each block (a block that is empty
+    // and ends in Jmp forwards to its target).
+    let mut fwd: Vec<BlockId> = (0..f.blocks.len() as u32).map(BlockId).collect();
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            if let Term::Jmp(t) = b.term {
+                if t.0 as usize != i {
+                    fwd[i] = t;
+                }
+            }
+        }
+    }
+    // Resolve chains (bounded).
+    let resolve = |mut b: BlockId, fwd: &[BlockId]| {
+        for _ in 0..fwd.len() {
+            let n = fwd[b.0 as usize];
+            if n == b {
+                break;
+            }
+            b = n;
+        }
+        b
+    };
+    for i in 0..f.blocks.len() {
+        let term = f.blocks[i].term.clone();
+        f.blocks[i].term = match term {
+            Term::Jmp(t) => Term::Jmp(resolve(t, &fwd)),
+            Term::Br { v, t, f: fb } => {
+                let t2 = resolve(t, &fwd);
+                let f2 = resolve(fb, &fwd);
+                if t2 == f2 {
+                    Term::Jmp(t2)
+                } else {
+                    Term::Br { v, t: t2, f: f2 }
+                }
+            }
+            r => r,
+        };
+    }
+}
+
+/// Removes blocks unreachable from the entry (compacting ids).
+fn remove_unreachable(f: &mut IrFunc) {
+    let n = f.blocks.len();
+    let mut reach = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        if reach[i] {
+            continue;
+        }
+        reach[i] = true;
+        for s in f.blocks[i].term.succs() {
+            stack.push(s.0 as usize);
+        }
+    }
+    if reach.iter().all(|r| *r) {
+        return;
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reach[i] {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let old = std::mem::take(&mut f.blocks);
+    for (i, b) in old.into_iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let mut b = b;
+        b.term = match b.term {
+            Term::Jmp(t) => Term::Jmp(BlockId(remap[t.0 as usize])),
+            Term::Br { v, t, f: fb } => Term::Br {
+                v,
+                t: BlockId(remap[t.0 as usize]),
+                f: BlockId(remap[fb.0 as usize]),
+            },
+            r => r,
+        };
+        f.blocks.push(b);
+    }
+}
+
+/// Dead-code elimination over pure instructions.
+fn dce(f: &mut IrFunc) {
+    loop {
+        let mut used = vec![false; f.vreg_count()];
+        for b in &f.blocks {
+            for i in &b.insts {
+                for u in i.uses() {
+                    used[u.0 as usize] = true;
+                }
+            }
+            for u in b.term.uses() {
+                used[u.0 as usize] = true;
+            }
+        }
+        let mut removed = false;
+        for b in &mut f.blocks {
+            b.insts.retain(|i| {
+                let dead = i.is_pure() && i.def().map(|d| !used[d.0 as usize]).unwrap_or(false);
+                if dead {
+                    removed = true;
+                }
+                !dead
+            });
+        }
+        if !removed {
+            return;
+        }
+    }
+}
+
+/// Rewrites multiply/divide/remainder by constants into shifts and adds.
+fn strength_reduce(f: &mut IrFunc) {
+    for bi in 0..f.blocks.len() {
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len());
+        for inst in insts {
+            match inst {
+                Inst::Bin { op: BinOp::Mul, rd, a, b: Operand::Imm(c) } => {
+                    reduce_mul(f, &mut out, rd, a, c);
+                }
+                Inst::Bin { op: BinOp::UDiv, rd, a, b: Operand::Imm(c) }
+                    if c > 0 && (c as u32).is_power_of_two() =>
+                {
+                    let k = (c as u32).trailing_zeros() as i32;
+                    out.push(Inst::Bin { op: BinOp::Shr, rd, a, b: Operand::Imm(k) });
+                }
+                Inst::Bin { op: BinOp::URem, rd, a, b: Operand::Imm(c) }
+                    if c > 0 && (c as u32).is_power_of_two() =>
+                {
+                    out.push(Inst::Bin { op: BinOp::And, rd, a, b: Operand::Imm(c - 1) });
+                }
+                Inst::Bin { op: BinOp::Div, rd, a, b: Operand::Imm(c) }
+                    if c > 1 && (c as u32).is_power_of_two() =>
+                {
+                    emit_signed_div_pow2(f, &mut out, rd, a, c as u32);
+                }
+                Inst::Bin { op: BinOp::Rem, rd, a, b: Operand::Imm(c) }
+                    if c > 1 && (c as u32).is_power_of_two() =>
+                {
+                    // a - (a / c) * c
+                    let q = f.new_vreg(crate::ir::Class::Int);
+                    emit_signed_div_pow2(f, &mut out, q, a, c as u32);
+                    let m = f.new_vreg(crate::ir::Class::Int);
+                    out.push(Inst::Bin {
+                        op: BinOp::Shl,
+                        rd: m,
+                        a: q,
+                        b: Operand::Imm((c as u32).trailing_zeros() as i32),
+                    });
+                    let neg = f.new_vreg(crate::ir::Class::Int);
+                    out.push(Inst::Neg { rd: neg, rs: m });
+                    out.push(Inst::Bin { op: BinOp::Add, rd, a, b: Operand::Reg(neg) });
+                }
+                other => out.push(other),
+            }
+        }
+        f.blocks[bi].insts = out;
+    }
+}
+
+fn reduce_mul(f: &mut IrFunc, out: &mut Vec<Inst>, rd: VReg, a: VReg, c: i32) {
+    let uc = c.unsigned_abs();
+    let negate = c < 0;
+    let emit_core = |f: &mut IrFunc, out: &mut Vec<Inst>, dst: VReg| -> bool {
+        if uc == 0 {
+            out.push(Inst::MovI { rd: dst, v: 0 });
+            true
+        } else if uc.is_power_of_two() {
+            out.push(Inst::Bin {
+                op: BinOp::Shl,
+                rd: dst,
+                a,
+                b: Operand::Imm(uc.trailing_zeros() as i32),
+            });
+            true
+        } else if (uc - 1).is_power_of_two() {
+            // (2^k + 1) * a = (a << k) + a
+            let t = f.new_vreg(crate::ir::Class::Int);
+            out.push(Inst::Bin {
+                op: BinOp::Shl,
+                rd: t,
+                a,
+                b: Operand::Imm((uc - 1).trailing_zeros() as i32),
+            });
+            out.push(Inst::Bin { op: BinOp::Add, rd: dst, a: t, b: Operand::Reg(a) });
+            true
+        } else if (uc + 1).is_power_of_two() {
+            // (2^k - 1) * a = (a << k) - a
+            let t = f.new_vreg(crate::ir::Class::Int);
+            out.push(Inst::Bin {
+                op: BinOp::Shl,
+                rd: t,
+                a,
+                b: Operand::Imm((uc + 1).trailing_zeros() as i32),
+            });
+            let n = f.new_vreg(crate::ir::Class::Int);
+            out.push(Inst::Neg { rd: n, rs: a });
+            out.push(Inst::Bin { op: BinOp::Add, rd: dst, a: t, b: Operand::Reg(n) });
+            true
+        } else {
+            false
+        }
+    };
+    if negate {
+        let t = f.new_vreg(crate::ir::Class::Int);
+        if emit_core(f, out, t) {
+            out.push(Inst::Neg { rd, rs: t });
+        } else {
+            out.push(Inst::Bin { op: BinOp::Mul, rd, a, b: Operand::Imm(c) });
+        }
+    } else if !emit_core(f, out, rd) {
+        out.push(Inst::Bin { op: BinOp::Mul, rd, a, b: Operand::Imm(c) });
+    }
+}
+
+/// `rd = a / 2^k` with C truncation-toward-zero semantics:
+/// `rd = (a + ((a >> 31) >>> (32-k))) >> k`.
+fn emit_signed_div_pow2(f: &mut IrFunc, out: &mut Vec<Inst>, rd: VReg, a: VReg, c: u32) {
+    let k = c.trailing_zeros() as i32;
+    let sign = f.new_vreg(crate::ir::Class::Int);
+    out.push(Inst::Bin { op: BinOp::Sar, rd: sign, a, b: Operand::Imm(31) });
+    let bias = f.new_vreg(crate::ir::Class::Int);
+    out.push(Inst::Bin { op: BinOp::Shr, rd: bias, a: sign, b: Operand::Imm(32 - k) });
+    let sum = f.new_vreg(crate::ir::Class::Int);
+    out.push(Inst::Bin { op: BinOp::Add, rd: sum, a, b: Operand::Reg(bias) });
+    out.push(Inst::Bin { op: BinOp::Sar, rd, a: sum, b: Operand::Imm(k) });
+}
+
+/// Converts remaining multiplies/divides into runtime-library calls.
+fn legalize_muldiv(f: &mut IrFunc) {
+    for bi in 0..f.blocks.len() {
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len());
+        for inst in insts {
+            match inst {
+                Inst::Bin { op, rd, a, b }
+                    if matches!(
+                        op,
+                        BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::UDiv | BinOp::URem
+                    ) =>
+                {
+                    let func = match op {
+                        BinOp::Mul => "__mulsi3",
+                        BinOp::Div => "__divsi3",
+                        BinOp::Rem => "__modsi3",
+                        BinOp::UDiv => "__udivsi3",
+                        _ => "__umodsi3",
+                    };
+                    let bv = match b {
+                        Operand::Reg(r) => r,
+                        Operand::Imm(i) => {
+                            let t = f.new_vreg(crate::ir::Class::Int);
+                            out.push(Inst::MovI { rd: t, v: i });
+                            t
+                        }
+                    };
+                    out.push(Inst::Call {
+                        func: func.to_string(),
+                        args: vec![a, bv],
+                        ret: Some(rd),
+                    });
+                }
+                other => out.push(other),
+            }
+        }
+        f.blocks[bi].insts = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, Class};
+
+    fn one_block_func(insts: Vec<Inst>, term: Term, nv: usize) -> IrFunc {
+        IrFunc {
+            name: "t".into(),
+            params: vec![],
+            ret_class: Some(Class::Int),
+            blocks: vec![Block { insts, term }],
+            vclass: vec![Class::Int; nv],
+            slots: vec![],
+        }
+    }
+
+    #[test]
+    fn folds_constants_through_chain() {
+        let v = |n| VReg(n);
+        let mut f = one_block_func(
+            vec![
+                Inst::MovI { rd: v(0), v: 6 },
+                Inst::MovI { rd: v(1), v: 7 },
+                Inst::Bin { op: BinOp::Add, rd: v(2), a: v(0), b: Operand::Reg(v(1)) },
+                Inst::Bin { op: BinOp::Shl, rd: v(3), a: v(2), b: Operand::Imm(1) },
+            ],
+            Term::Ret(Some(VReg(3))),
+            4,
+        );
+        local_value_numbering(&mut f);
+        dce(&mut f);
+        // Everything folds to a single constant move of 26.
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::MovI { rd: VReg(3), v: 26 })));
+        assert_eq!(f.blocks[0].insts.len(), 1, "{:?}", f.blocks[0].insts);
+    }
+
+    #[test]
+    fn cse_reuses_pure_values_until_store() {
+        let v = |n| VReg(n);
+        let base = crate::ir::Base::Global("g".into());
+        let mut f = one_block_func(
+            vec![
+                Inst::Load { w: d16_isa::MemWidth::W, rd: v(0), base: base.clone(), off: 0 },
+                Inst::Load { w: d16_isa::MemWidth::W, rd: v(1), base: base.clone(), off: 0 },
+                Inst::Store { w: d16_isa::MemWidth::W, rs: v(0), base: base.clone(), off: 4 },
+                Inst::Load { w: d16_isa::MemWidth::W, rd: v(2), base, off: 0 },
+                Inst::Bin { op: BinOp::Add, rd: v(3), a: v(1), b: Operand::Reg(v(2)) },
+            ],
+            Term::Ret(Some(VReg(3))),
+            4,
+        );
+        local_value_numbering(&mut f);
+        // Second load becomes a copy; third load (after the store) stays.
+        assert!(matches!(f.blocks[0].insts[1], Inst::Mov { rd: VReg(1), rs: VReg(0) }));
+        assert!(matches!(f.blocks[0].insts[3], Inst::Load { rd: VReg(2), .. }));
+    }
+
+    #[test]
+    fn constant_branches_fold_and_unreachable_blocks_drop() {
+        let v0 = VReg(0);
+        let mut f = IrFunc {
+            name: "t".into(),
+            params: vec![],
+            ret_class: Some(Class::Int),
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::MovI { rd: v0, v: 1 }],
+                    term: Term::Br { v: v0, t: BlockId(1), f: BlockId(2) },
+                },
+                Block { insts: vec![], term: Term::Ret(Some(v0)) },
+                Block { insts: vec![], term: Term::Ret(None) },
+            ],
+            vclass: vec![Class::Int],
+            slots: vec![],
+        };
+        local_value_numbering(&mut f);
+        remove_unreachable(&mut f);
+        assert_eq!(f.blocks.len(), 2);
+        assert!(matches!(f.blocks[0].term, Term::Jmp(BlockId(1))));
+    }
+
+    #[test]
+    fn strength_reduction_shapes() {
+        let v = |n| VReg(n);
+        let mk = |op, c| one_block_func(
+            vec![Inst::Bin { op, rd: v(1), a: v(0), b: Operand::Imm(c) }],
+            Term::Ret(Some(v(1))),
+            2,
+        );
+        let mut f = mk(BinOp::Mul, 8);
+        strength_reduce(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shl, b: Operand::Imm(3), .. }
+        ));
+
+        let mut f = mk(BinOp::Mul, 10);
+        strength_reduce(&mut f);
+        legalize_muldiv(&mut f);
+        assert!(
+            f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Call { func, .. } if func == "__mulsi3")),
+            "non-pattern multiplies go to the runtime: {:?}",
+            f.blocks[0].insts
+        );
+
+        let mut f = mk(BinOp::UDiv, 16);
+        strength_reduce(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shr, b: Operand::Imm(4), .. }
+        ));
+
+        let mut f = mk(BinOp::Div, 4);
+        strength_reduce(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 4, "signed divide correction sequence");
+    }
+
+    #[test]
+    fn signed_div_pow2_semantics() {
+        // Validate the shift sequence against Rust's truncating division.
+        for a in [-1000i32, -17, -8, -1, 0, 1, 5, 8, 1000, i32::MIN + 1, i32::MAX] {
+            for k in [1u32, 2, 3, 5] {
+                let c = 1i32 << k;
+                let sign = a >> 31;
+                let bias = ((sign as u32) >> (32 - k)) as i32;
+                let got = a.wrapping_add(bias) >> k;
+                assert_eq!(got, a / c, "a={a} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_by_nine_uses_shift_add() {
+        let v = |n| VReg(n);
+        let mut f = one_block_func(
+            vec![Inst::Bin { op: BinOp::Mul, rd: v(1), a: v(0), b: Operand::Imm(9) }],
+            Term::Ret(Some(v(1))),
+            2,
+        );
+        strength_reduce(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+        // 9*a for a=7 is 63: shl 3 -> 56, +7.
+        assert!(matches!(f.blocks[0].insts[0], Inst::Bin { op: BinOp::Shl, b: Operand::Imm(3), .. }));
+    }
+}

@@ -1,0 +1,715 @@
+//! Graph-coloring register allocation (Chaitin–Briggs style), per the
+//! paper's compiler technology: "the problem of optimally allocating
+//! registers by a compiler is NP-complete, but heuristic solutions with
+//! very good behavior exist \[CAC+81\]".
+//!
+//! Integer registers and FP pairs are colored independently. Values live
+//! across calls interfere with every caller-saved register and therefore
+//! land in callee-saved registers — or spill, which is exactly the
+//! register-file-size effect the paper measures (§3.3.1). Spills go to
+//! stack-frame slots, "extremely likely to hit in a data cache".
+
+use crate::mach::{MFunc, MInsn, MTerm, MemAddr, FR, R};
+use crate::target::TargetSpec;
+use d16_isa::{Fpr, Gpr, MemWidth, Prec, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// Which callee-saved registers the allocation used (the prologue must
+/// save them).
+#[derive(Clone, Debug, Default)]
+pub struct AllocInfo {
+    /// Callee-saved GPRs written by the function.
+    pub used_callee: Vec<Gpr>,
+    /// Callee-saved FP pairs written by the function.
+    pub used_fp_callee: Vec<Fpr>,
+    /// Spilled integer virtuals (statistics).
+    pub int_spills: u32,
+    /// Spilled FP virtuals (statistics).
+    pub fp_spills: u32,
+}
+
+/// Allocates registers in place.
+///
+/// # Panics
+///
+/// Panics if allocation cannot converge (would indicate a register class
+/// with fewer physical registers than a single instruction needs).
+pub fn allocate(mf: &mut MFunc, spec: &TargetSpec) -> AllocInfo {
+    let mut info = AllocInfo::default();
+    // FP first: FP spill code introduces integer temporaries.
+    info.fp_spills = allocate_fp(mf, spec, &mut info);
+    info.int_spills = allocate_int(mf, spec, &mut info);
+    info
+}
+
+// ---------------------------------------------------------------------------
+// Integer allocation
+// ---------------------------------------------------------------------------
+
+fn int_ids(mf: &MFunc) -> usize {
+    mf.nvirt_int as usize
+}
+
+fn r_id(r: R) -> Option<usize> {
+    match r {
+        R::V(v) => Some(v as usize),
+        R::P(_) => None,
+    }
+}
+
+fn allocate_int(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
+    let caller = spec.caller_saved();
+    let fp_caller = spec.fp_caller_saved();
+    let allocatable = spec.int_regs();
+    let alloc_mask: u32 = allocatable.iter().map(|r| 1u32 << r.number()).sum();
+    let callee: HashSet<Gpr> = spec.callee_saved().into_iter().collect();
+    let k = allocatable.len();
+    let mut total_spills = 0u32;
+
+    for _round in 0..16 {
+        let nv = int_ids(mf);
+        if std::env::var_os("D16CC_DEBUG").is_some() {
+            eprintln!("[regalloc int] {} round {} nv={}", mf.name, _round, nv);
+        }
+        // ---- liveness ----
+        let nb = mf.blocks.len();
+        let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+        let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+        loop {
+            let mut changed = false;
+            for bi in (0..nb).rev() {
+                let mut out: HashSet<u32> = HashSet::new();
+                for s in mf.blocks[bi].term.succs() {
+                    out.extend(live_in[s as usize].iter().copied());
+                }
+                let mut live = out.clone();
+                term_uses_int(&mf.blocks[bi].term, mf, |v| {
+                    live.insert(v);
+                });
+                for inst in mf.blocks[bi].insts.iter().rev() {
+                    let du = inst.def_use(&caller, &fp_caller);
+                    for d in &du.idefs {
+                        if let Some(v) = r_id(*d) {
+                            live.remove(&(v as u32));
+                        }
+                    }
+                    for u in &du.iuses {
+                        if let Some(v) = r_id(*u) {
+                            live.insert(v as u32);
+                        }
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if live != live_in[bi] {
+                    live_in[bi] = live;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // ---- interference ----
+        let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); nv];
+        let mut phys_conflicts: Vec<u32> = vec![0; nv]; // bitmask of gpr numbers
+        let mut use_counts: Vec<u32> = vec![0; nv];
+        let add_edge = |adj: &mut Vec<HashSet<u32>>, a: u32, b: u32| {
+            if a != b {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        };
+        for bi in 0..nb {
+            let mut live: HashSet<u32> = live_out[bi].clone();
+            let mut live_phys: u32 = term_phys_uses(&mf.blocks[bi].term, mf);
+            term_uses_int(&mf.blocks[bi].term, mf, |v| {
+                live.insert(v);
+            });
+            // Track phys liveness for the few physical uses at terms: none
+            // besides allocatable argument registers near calls; handled
+            // inside the instruction walk below.
+            for inst in mf.blocks[bi].insts.iter().rev() {
+                let du = inst.def_use(&caller, &fp_caller);
+                // A move's source does not interfere with its destination.
+                let move_pair = match inst {
+                    MInsn::Un { op: UnOp::Mv, rd, rs } => Some((*rd, *rs)),
+                    _ => None,
+                };
+                for d in &du.idefs {
+                    match d {
+                        R::V(dv) => {
+                            use_counts[*dv as usize] += 1;
+                            for l in &live {
+                                if let Some((R::V(md), R::V(ms))) = move_pair {
+                                    if *dv == md && *l == ms {
+                                        continue;
+                                    }
+                                }
+                                add_edge(&mut adj, *dv, *l);
+                            }
+                            phys_conflicts[*dv as usize] |= live_phys;
+                        }
+                        R::P(p) => {
+                            for l in &live {
+                                phys_conflicts[*l as usize] |= 1 << p.number();
+                            }
+                        }
+                    }
+                }
+                for d in &du.idefs {
+                    match d {
+                        R::V(v) => {
+                            live.remove(v);
+                        }
+                        R::P(p) => {
+                            live_phys &= !(1 << p.number());
+                        }
+                    }
+                }
+                for u in &du.iuses {
+                    match u {
+                        R::V(v) => {
+                            use_counts[*v as usize] += 1;
+                            live.insert(*v);
+                        }
+                        R::P(p) => {
+                            live_phys |= 1 << p.number();
+                            // A live phys at this point conflicts with any
+                            // virt defined earlier while it is live; handled
+                            // when defs are processed above.
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- simplify / select ----
+        let mut removed = vec![false; nv];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut deg: Vec<usize> = (0..nv)
+            .map(|v| adj[v].len() + (phys_conflicts[v] & alloc_mask).count_ones() as usize)
+            .collect();
+        let mut remaining = nv;
+        while remaining > 0 {
+            let pick = (0..nv).filter(|v| !removed[*v]).min_by_key(|v| {
+                let low = deg[*v] < k;
+                // Prefer trivially colorable; otherwise lowest
+                // spill-priority (uses / degree).
+                (
+                    !low as u32,
+                    if low { 0 } else { (use_counts[*v] as u64 * 1000) / (deg[*v] as u64 + 1) },
+                )
+            });
+            let v = match pick {
+                Some(v) => v,
+                None => break,
+            };
+            removed[v] = true;
+            remaining -= 1;
+            stack.push(v as u32);
+            for n in &adj[v] {
+                if !removed[*n as usize] {
+                    deg[*n as usize] = deg[*n as usize].saturating_sub(1);
+                }
+            }
+        }
+
+        let mut color: Vec<Option<Gpr>> = vec![None; nv];
+        let mut spilled: Vec<u32> = Vec::new();
+        while let Some(v) = stack.pop() {
+            let v = v as usize;
+            let mut forbidden: u32 = phys_conflicts[v];
+            for n in &adj[v] {
+                if let Some(c) = color[*n as usize] {
+                    forbidden |= 1 << c.number();
+                }
+            }
+            match allocatable.iter().find(|r| forbidden & (1 << r.number()) == 0) {
+                Some(r) => color[v] = Some(*r),
+                None => spilled.push(v as u32),
+            }
+        }
+
+        if spilled.is_empty() {
+            // Rewrite and collect callee-saved usage.
+            rewrite_int(mf, &color);
+            let mut used: HashSet<Gpr> = HashSet::new();
+            for c in color.into_iter().flatten() {
+                if callee.contains(&c) {
+                    used.insert(c);
+                }
+            }
+            let mut used: Vec<Gpr> = used.into_iter().collect();
+            used.sort();
+            for u in used {
+                if !info.used_callee.contains(&u) {
+                    info.used_callee.push(u);
+                }
+            }
+            return total_spills;
+        }
+        total_spills += spilled.len() as u32;
+        spill_int(mf, &spilled);
+    }
+    panic!("integer register allocation did not converge for `{}`", mf.name);
+}
+
+fn term_uses_int(term: &MTerm, _mf: &MFunc, mut f: impl FnMut(u32)) {
+    if let MTerm::Bc { rs: R::V(v), .. } = term {
+        f(*v);
+    }
+}
+
+/// Physical registers read by a terminator (the return-value registers at
+/// `Ret`), as a bitmask over GPR numbers.
+fn term_phys_uses(term: &MTerm, mf: &MFunc) -> u32 {
+    match term {
+        MTerm::Ret => match mf.ret_words {
+            0 => 0,
+            1 => 1 << 2,
+            _ => (1 << 2) | (1 << 3),
+        },
+        _ => 0,
+    }
+}
+
+fn rewrite_int(mf: &mut MFunc, color: &[Option<Gpr>]) {
+    let map = |r: &mut R| {
+        if let R::V(v) = r {
+            let c = color[*v as usize].expect("colored");
+            *r = R::P(c);
+        }
+    };
+    for b in &mut mf.blocks {
+        for i in &mut b.insts {
+            visit_int_regs(i, map);
+        }
+        if let MTerm::Bc { rs, .. } = &mut b.term {
+            map(rs);
+        }
+    }
+}
+
+fn visit_int_regs(i: &mut MInsn, mut f: impl FnMut(&mut R)) {
+    match i {
+        MInsn::Alu { rd, rs1, rs2, .. } | MInsn::Cmp { rd, rs1, rs2, .. } => {
+            f(rd);
+            f(rs1);
+            f(rs2);
+        }
+        MInsn::AluI { rd, rs1, .. } | MInsn::CmpI { rd, rs1, .. } => {
+            f(rd);
+            f(rs1);
+        }
+        MInsn::Un { rd, rs, .. } => {
+            f(rd);
+            f(rs);
+        }
+        MInsn::Mvi { rd, .. }
+        | MInsn::Lui { rd, .. }
+        | MInsn::LoadConst { rd, .. }
+        | MInsn::LoadSym { rd, .. }
+        | MInsn::Rdsr { rd }
+        | MInsn::SpAddr { rd, .. } => f(rd),
+        MInsn::Ld { rd, addr, .. } => {
+            f(rd);
+            if let MemAddr::BaseDisp { base, .. } = addr {
+                f(base);
+            }
+        }
+        MInsn::St { rs, addr, .. } => {
+            f(rs);
+            if let MemAddr::BaseDisp { base, .. } = addr {
+                f(base);
+            }
+        }
+        MInsn::Mtf { rs, .. } => f(rs),
+        MInsn::Mff { rd, .. } => f(rd),
+        MInsn::Call { uses, .. } => uses.iter_mut().for_each(f),
+        _ => {}
+    }
+}
+
+fn spill_int(mf: &mut MFunc, spilled: &[u32]) {
+    let mut slots: HashMap<u32, crate::ir::SlotId> = HashMap::new();
+    for v in spilled {
+        slots.insert(*v, mf.spill_slot(4));
+    }
+    let nb = mf.blocks.len();
+    for bi in 0..nb {
+        let insts = std::mem::take(&mut mf.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len() + 8);
+        for mut inst in insts {
+            // Reload spilled uses into fresh temporaries.
+            let mut reload_map: HashMap<u32, R> = HashMap::new();
+            let du = inst.def_use(&[], &[]);
+            for u in &du.iuses {
+                if let R::V(v) = u {
+                    if slots.contains_key(v) && !reload_map.contains_key(v) {
+                        let t = mf.vint();
+                        reload_map.insert(*v, t);
+                        out.push(MInsn::Ld {
+                            w: MemWidth::W,
+                            rd: t,
+                            addr: MemAddr::SpSlot { slot: slots[v], extra: 0 },
+                        });
+                    }
+                }
+            }
+            // Rewrite uses (defs handled after).
+            let def_v: Vec<u32> = du
+                .idefs
+                .iter()
+                .filter_map(|d| match d {
+                    R::V(v) if slots.contains_key(v) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            let mut def_temp: HashMap<u32, R> = HashMap::new();
+            for v in &def_v {
+                let t = *reload_map.entry(*v).or_insert_with(|| mf.vint());
+                def_temp.insert(*v, t);
+            }
+            visit_int_regs(&mut inst, |r| {
+                if let R::V(v) = r {
+                    if let Some(t) = reload_map.get(v) {
+                        *r = *t;
+                    }
+                }
+            });
+            out.push(inst);
+            for v in def_v {
+                out.push(MInsn::St {
+                    w: MemWidth::W,
+                    rs: def_temp[&v],
+                    addr: MemAddr::SpSlot { slot: slots[&v], extra: 0 },
+                });
+            }
+        }
+        // Terminator use.
+        if let MTerm::Bc { rs, .. } = &mut mf.blocks[bi].term {
+            if let R::V(v) = rs {
+                if let Some(slot) = slots.get(v) {
+                    let t = mf.nvirt_int;
+                    mf.nvirt_int += 1;
+                    out.push(MInsn::Ld {
+                        w: MemWidth::W,
+                        rd: R::V(t),
+                        addr: MemAddr::SpSlot { slot: *slot, extra: 0 },
+                    });
+                    *rs = R::V(t);
+                }
+            }
+        }
+        mf.blocks[bi].insts = out;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FP allocation (pair units)
+// ---------------------------------------------------------------------------
+
+fn allocate_fp(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
+    if mf.nvirt_fp == 0 {
+        return 0;
+    }
+    let caller = spec.caller_saved();
+    let fp_caller = spec.fp_caller_saved();
+    let allocatable = spec.fp_pairs();
+    let alloc_mask: u32 = allocatable.iter().map(|r| 1u32 << (r.number() / 2)).sum();
+    let callee: HashSet<Fpr> = spec.fp_callee_saved().into_iter().collect();
+    let k = allocatable.len();
+    let mut total_spills = 0u32;
+
+    for _round in 0..16 {
+        let nv = mf.nvirt_fp as usize;
+        if std::env::var_os("D16CC_DEBUG").is_some() {
+            eprintln!("[regalloc fp] {} round {} nv={}", mf.name, _round, nv);
+        }
+        let nb = mf.blocks.len();
+        let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+        let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+        loop {
+            let mut changed = false;
+            for bi in (0..nb).rev() {
+                let mut out: HashSet<u32> = HashSet::new();
+                for s in mf.blocks[bi].term.succs() {
+                    out.extend(live_in[s as usize].iter().copied());
+                }
+                let mut live = out.clone();
+                for inst in mf.blocks[bi].insts.iter().rev() {
+                    let du = inst.def_use(&caller, &fp_caller);
+                    for d in &du.fdefs {
+                        if let FR::V(v) = d {
+                            live.remove(v);
+                        }
+                    }
+                    for u in &du.fuses {
+                        if let FR::V(v) = u {
+                            live.insert(*v);
+                        }
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if live != live_in[bi] {
+                    live_in[bi] = live;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); nv];
+        let mut phys_conflicts: Vec<u32> = vec![0; nv]; // bit = pair index
+        let mut use_counts: Vec<u32> = vec![0; nv];
+        for bi in 0..nb {
+            let mut live: HashSet<u32> = live_out[bi].clone();
+            let mut live_phys: u32 = 0;
+            for inst in mf.blocks[bi].insts.iter().rev() {
+                let du = inst.def_use(&caller, &fp_caller);
+                let move_pair = match inst {
+                    MInsn::FMov { fd, fs, .. } => Some((*fd, *fs)),
+                    _ => None,
+                };
+                for d in &du.fdefs {
+                    match d {
+                        FR::V(dv) => {
+                            use_counts[*dv as usize] += 1;
+                            for l in &live {
+                                if let Some((FR::V(md), FR::V(ms))) = move_pair {
+                                    if *dv == md && *l == ms {
+                                        continue;
+                                    }
+                                }
+                                if *l != *dv {
+                                    adj[*dv as usize].insert(*l);
+                                    adj[*l as usize].insert(*dv);
+                                }
+                            }
+                            phys_conflicts[*dv as usize] |= live_phys;
+                        }
+                        FR::P(p) => {
+                            for l in &live {
+                                phys_conflicts[*l as usize] |= 1 << (p.number() / 2);
+                            }
+                        }
+                    }
+                }
+                for d in &du.fdefs {
+                    match d {
+                        FR::V(v) => {
+                            live.remove(v);
+                        }
+                        FR::P(p) => live_phys &= !(1 << (p.number() / 2)),
+                    }
+                }
+                for u in &du.fuses {
+                    match u {
+                        FR::V(v) => {
+                            use_counts[*v as usize] += 1;
+                            live.insert(*v);
+                        }
+                        FR::P(p) => live_phys |= 1 << (p.number() / 2),
+                    }
+                }
+            }
+        }
+
+        let mut removed = vec![false; nv];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut deg: Vec<usize> = (0..nv)
+            .map(|v| adj[v].len() + (phys_conflicts[v] & alloc_mask).count_ones() as usize)
+            .collect();
+        let mut remaining = nv;
+        while remaining > 0 {
+            let pick = (0..nv).filter(|v| !removed[*v]).min_by_key(|v| {
+                let low = deg[*v] < k;
+                (
+                    !low as u32,
+                    if low { 0 } else { (use_counts[*v] as u64 * 1000) / (deg[*v] as u64 + 1) },
+                )
+            });
+            let v = match pick {
+                Some(v) => v,
+                None => break,
+            };
+            removed[v] = true;
+            remaining -= 1;
+            stack.push(v as u32);
+            for n in &adj[v] {
+                if !removed[*n as usize] {
+                    deg[*n as usize] = deg[*n as usize].saturating_sub(1);
+                }
+            }
+        }
+
+        let mut color: Vec<Option<Fpr>> = vec![None; nv];
+        let mut spilled: Vec<u32> = Vec::new();
+        while let Some(v) = stack.pop() {
+            let v = v as usize;
+            let mut forbidden: u32 = phys_conflicts[v];
+            for n in &adj[v] {
+                if let Some(c) = color[*n as usize] {
+                    forbidden |= 1 << (c.number() / 2);
+                }
+            }
+            match allocatable.iter().find(|r| forbidden & (1 << (r.number() / 2)) == 0) {
+                Some(r) => color[v] = Some(*r),
+                None => spilled.push(v as u32),
+            }
+        }
+
+        if spilled.is_empty() {
+            rewrite_fp(mf, &color);
+            let mut used: Vec<Fpr> = color
+                .into_iter()
+                .flatten()
+                .filter(|c| callee.contains(c))
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            used.sort();
+            for u in used {
+                if !info.used_fp_callee.contains(&u) {
+                    info.used_fp_callee.push(u);
+                }
+            }
+            return total_spills;
+        }
+        total_spills += spilled.len() as u32;
+        spill_fp(mf, &spilled);
+    }
+    panic!("FP register allocation did not converge for `{}`", mf.name);
+}
+
+fn rewrite_fp(mf: &mut MFunc, color: &[Option<Fpr>]) {
+    let map = |r: &mut FR| {
+        if let FR::V(v) = r {
+            *r = FR::P(color[*v as usize].expect("colored"));
+        }
+    };
+    for b in &mut mf.blocks {
+        for i in &mut b.insts {
+            visit_fp_regs(i, map);
+        }
+    }
+}
+
+fn visit_fp_regs(i: &mut MInsn, mut f: impl FnMut(&mut FR)) {
+    match i {
+        MInsn::FAlu { fd, fs1, fs2, .. } => {
+            f(fd);
+            f(fs1);
+            f(fs2);
+        }
+        MInsn::FNeg { fd, fs, .. } | MInsn::FCvt { fd, fs, .. } | MInsn::FMov { fd, fs, .. } => {
+            f(fd);
+            f(fs);
+        }
+        MInsn::FCmp { fs1, fs2, .. } => {
+            f(fs1);
+            f(fs2);
+        }
+        MInsn::Mtf { fd, .. } => f(fd),
+        MInsn::Mff { fs, .. } => f(fs),
+        _ => {}
+    }
+}
+
+fn spill_fp(mf: &mut MFunc, spilled: &[u32]) {
+    let mut slots: HashMap<u32, (crate::ir::SlotId, Prec)> = HashMap::new();
+    for v in spilled {
+        let prec = mf.fp_prec[*v as usize];
+        let size = if prec == Prec::D { 8 } else { 4 };
+        slots.insert(*v, (mf.spill_slot(size), prec));
+    }
+    let nb = mf.blocks.len();
+    for bi in 0..nb {
+        let insts = std::mem::take(&mut mf.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len() + 8);
+        for mut inst in insts {
+            let du = inst.def_use(&[], &[]);
+            let mut temp_map: HashMap<u32, FR> = HashMap::new();
+            // Reload uses.
+            for u in &du.fuses {
+                if let FR::V(v) = u {
+                    if let Some((slot, prec)) = slots.get(v) {
+                        let prec = *prec;
+                        let t = *temp_map.entry(*v).or_insert_with(|| mf.vfp(prec));
+                        emit_fp_reload(&mut out, mf, t, *slot, prec);
+                    }
+                }
+            }
+            let def_v: Vec<u32> = du
+                .fdefs
+                .iter()
+                .filter_map(|d| match d {
+                    FR::V(v) if slots.contains_key(v) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            for v in &def_v {
+                let prec = slots[v].1;
+                temp_map.entry(*v).or_insert_with(|| mf.vfp(prec));
+            }
+            visit_fp_regs(&mut inst, |r| {
+                if let FR::V(v) = r {
+                    if let Some(t) = temp_map.get(v) {
+                        *r = *t;
+                    }
+                }
+            });
+            out.push(inst);
+            for v in def_v {
+                let (slot, prec) = slots[&v];
+                emit_fp_store(&mut out, mf, temp_map[&v], slot, prec);
+            }
+        }
+        mf.blocks[bi].insts = out;
+    }
+}
+
+fn emit_fp_reload(
+    out: &mut Vec<MInsn>,
+    mf: &mut MFunc,
+    t: FR,
+    slot: crate::ir::SlotId,
+    prec: Prec,
+) {
+    let t1 = mf.vint();
+    out.push(MInsn::Ld { w: MemWidth::W, rd: t1, addr: MemAddr::SpSlot { slot, extra: 0 } });
+    if prec == Prec::D {
+        let t2 = mf.vint();
+        out.push(MInsn::Ld { w: MemWidth::W, rd: t2, addr: MemAddr::SpSlot { slot, extra: 4 } });
+        out.push(MInsn::Mtf { fd: t, hi: false, rs: t1 });
+        out.push(MInsn::Mtf { fd: t, hi: true, rs: t2 });
+    } else {
+        out.push(MInsn::Mtf { fd: t, hi: false, rs: t1 });
+    }
+}
+
+fn emit_fp_store(
+    out: &mut Vec<MInsn>,
+    mf: &mut MFunc,
+    t: FR,
+    slot: crate::ir::SlotId,
+    prec: Prec,
+) {
+    let t1 = mf.vint();
+    out.push(MInsn::Mff { rd: t1, fs: t, hi: false });
+    out.push(MInsn::St { w: MemWidth::W, rs: t1, addr: MemAddr::SpSlot { slot, extra: 0 } });
+    if prec == Prec::D {
+        let t2 = mf.vint();
+        out.push(MInsn::Mff { rd: t2, fs: t, hi: true });
+        out.push(MInsn::St { w: MemWidth::W, rs: t2, addr: MemAddr::SpSlot { slot, extra: 4 } });
+    }
+}

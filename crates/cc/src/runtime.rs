@@ -1,0 +1,89 @@
+//! The Mini-C runtime library.
+//!
+//! Neither D16 nor DLXe has integer multiply or divide instructions (the
+//! paper's Table 1 lists only ALU, shift, memory and FP operations), so
+//! the compiler lowers `* / %` to these helpers, compiled per target with
+//! everything else — the same "level playing field" methodology the paper
+//! uses. Division by zero returns zero, matching the compiler's
+//! constant-folding semantics so differential tests agree everywhere.
+
+/// Runtime support source, compiled after the user program (its globals
+/// sit past the user's in the data layout).
+pub const RUNTIME_C: &str = r#"
+/* d16-cc runtime support */
+
+int __mulsi3(int a, int b) {
+    unsigned ua = (unsigned)a;
+    unsigned ub = (unsigned)b;
+    unsigned r = 0;
+    while (ub) {
+        if (ub & 1) r = r + ua;
+        ua = ua << 1;
+        ub = ub >> 1;
+    }
+    return (int)r;
+}
+
+unsigned __udivmodsi4(unsigned n, unsigned d, int want_rem) {
+    unsigned q = 0;
+    unsigned r = 0;
+    int i = 31;
+    if (d == 0) return 0;
+    while (i >= 0) {
+        r = (r << 1) | ((n >> i) & 1);
+        q = q << 1;
+        if (r >= d) {
+            r = r - d;
+            q = q | 1;
+        }
+        i = i - 1;
+    }
+    if (want_rem) return r;
+    return q;
+}
+
+unsigned __udivsi3(unsigned a, unsigned b) {
+    return __udivmodsi4(a, b, 0);
+}
+
+unsigned __umodsi3(unsigned a, unsigned b) {
+    return __udivmodsi4(a, b, 1);
+}
+
+int __divsi3(int a, int b) {
+    int neg = 0;
+    unsigned ua;
+    unsigned ub;
+    unsigned q;
+    if (b == 0) return 0;
+    if (a < 0) { ua = (unsigned)(-a); neg = 1 - neg; } else { ua = (unsigned)a; }
+    if (b < 0) { ub = (unsigned)(-b); neg = 1 - neg; } else { ub = (unsigned)b; }
+    q = __udivmodsi4(ua, ub, 0);
+    if (neg) return -(int)q;
+    return (int)q;
+}
+
+int __modsi3(int a, int b) {
+    int q;
+    if (b == 0) return 0;
+    q = __divsi3(a, b);
+    return a - q * b;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn runtime_parses() {
+        let p = parse(RUNTIME_C).expect("runtime must parse");
+        let names: Vec<_> = p.funcs.iter().map(|f| f.name.as_str()).collect();
+        for required in
+            ["__mulsi3", "__divsi3", "__modsi3", "__udivsi3", "__umodsi3", "__udivmodsi4"]
+        {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Target descriptions: ISA choice plus the paper's §3.3 ablation knobs.
+//!
+//! The experiments restrict the DLXe code generator feature by feature "to
+//! determine which instruction set features provide the most return": a
+//! 16-register file, two-address instructions, and D16-sized immediate
+//! fields. Each knob here changes only code generation; the emitted binary
+//! still uses the target's real encoding.
+
+use d16_isa::{abi, EncodingParams, Fpr, Gpr, Isa};
+
+/// A code-generation target: an ISA plus optional restrictions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TargetSpec {
+    /// Which encoding to emit.
+    pub isa: Isa,
+    /// Restrict the allocator to the low 16 GPRs/FPRs (the paper's
+    /// "DLXe/16" configurations). Implied for D16.
+    pub small_regfile: bool,
+    /// Force two-address ALU shapes (implied for D16).
+    pub two_address: bool,
+    /// Restrict immediates and displacements to the D16 field sizes
+    /// (used with the other two knobs to "approximate D16 performance
+    /// with the immediate-operand instructions ... of DLXe" inverted).
+    pub d16_immediates: bool,
+    /// Enable the D16 `cmpeqi` extension discussed in §3.3.3.
+    pub cmpeqi: bool,
+    /// Fill branch delay slots by scheduling (on by default; off for the
+    /// ablation bench).
+    pub schedule_delay_slots: bool,
+}
+
+impl TargetSpec {
+    /// The D16 machine.
+    pub fn d16() -> Self {
+        TargetSpec {
+            isa: Isa::D16,
+            small_regfile: true,
+            two_address: true,
+            d16_immediates: true,
+            cmpeqi: false,
+            schedule_delay_slots: true,
+        }
+    }
+
+    /// The unrestricted DLXe machine.
+    pub fn dlxe() -> Self {
+        TargetSpec {
+            isa: Isa::Dlxe,
+            small_regfile: false,
+            two_address: false,
+            d16_immediates: false,
+            cmpeqi: false,
+            schedule_delay_slots: true,
+        }
+    }
+
+    /// A restricted DLXe configuration (the ablation grid of Figures
+    /// 6–12): `regs16` = 16-register file, `two_addr` = two-address
+    /// shapes, `d16_imm` = D16 immediate fields.
+    pub fn dlxe_restricted(regs16: bool, two_addr: bool, d16_imm: bool) -> Self {
+        TargetSpec {
+            isa: Isa::Dlxe,
+            small_regfile: regs16,
+            two_address: two_addr,
+            d16_immediates: d16_imm,
+            cmpeqi: false,
+            schedule_delay_slots: true,
+        }
+    }
+
+    /// Short display name used in tables, e.g. `DLXe/16/2`.
+    pub fn label(&self) -> String {
+        let regs = if self.small_regfile { 16 } else { 32 };
+        let ops = if self.two_address { 2 } else { 3 };
+        format!("{}/{}/{}", self.isa.name(), regs, ops)
+    }
+
+    /// Effective encoding limits for instruction selection: the real ISA's
+    /// limits, further clamped when `d16_immediates` is set.
+    pub fn params(&self) -> EncodingParams {
+        let mut p = EncodingParams::for_isa(self.isa);
+        if self.d16_immediates {
+            let d = EncodingParams::for_isa(Isa::D16);
+            p.alu_imm = d.alu_imm;
+            p.mvi_imm = d.mvi_imm;
+            p.mem_disp = d.mem_disp;
+            p.subword_disp = d.subword_disp;
+            p.cmp_imm = self.cmpeqi;
+            p.logical_imm = false;
+            // `mvhi` stays available on DLXe: it is a format property, not
+            // an immediate-width property, and D16 code pays through `ldc`
+            // instead. The knob models field *width*.
+            p.has_lui = p.isa == Isa::Dlxe;
+        } else if self.cmpeqi {
+            p.cmp_imm = true;
+        }
+        p
+    }
+
+    /// The scratch register reserved for the code generator (D16 uses the
+    /// compare register `r0`; DLXe reserves `r1`).
+    pub fn scratch(&self) -> Gpr {
+        match self.isa {
+            Isa::D16 => abi::R0,
+            Isa::Dlxe => Gpr::new(1),
+        }
+    }
+
+    /// Allocatable integer registers, in preference order (caller-saved
+    /// first so short-lived values avoid save/restore cost).
+    pub fn int_regs(&self) -> Vec<Gpr> {
+        let mut v: Vec<Gpr> = (2..=9).map(Gpr::new).collect(); // caller-saved
+        v.extend([10, 11, 12, 14].map(Gpr::new)); // callee-saved
+        if !self.small_regfile {
+            v.extend((16..=30).map(Gpr::new)); // callee-saved, wide file
+        }
+        v
+    }
+
+    /// Caller-saved integer registers (clobbered by calls).
+    pub fn caller_saved(&self) -> Vec<Gpr> {
+        let mut v: Vec<Gpr> = (2..=9).map(Gpr::new).collect();
+        if self.isa == Isa::Dlxe {
+            v.push(abi::DLXE_LINK);
+        } else {
+            v.push(abi::D16_LINK);
+        }
+        v
+    }
+
+    /// Callee-saved integer registers.
+    pub fn callee_saved(&self) -> Vec<Gpr> {
+        let mut v: Vec<Gpr> = [10, 11, 12, 14].map(Gpr::new).to_vec();
+        if !self.small_regfile {
+            v.extend((16..=30).map(Gpr::new));
+        }
+        v
+    }
+
+    /// Allocatable FP pair bases (doubles and singles both occupy an
+    /// even/odd pair; see DESIGN.md).
+    pub fn fp_pairs(&self) -> Vec<Fpr> {
+        let hi = if self.small_regfile { 14 } else { 30 };
+        (0..=hi).step_by(2).map(Fpr::new).collect()
+    }
+
+    /// Caller-saved FP pair bases.
+    pub fn fp_caller_saved(&self) -> Vec<Fpr> {
+        let hi = if self.small_regfile { 10 } else { 14 };
+        (0..=hi).step_by(2).map(Fpr::new).collect()
+    }
+
+    /// Callee-saved FP pair bases.
+    pub fn fp_callee_saved(&self) -> Vec<Fpr> {
+        let (lo, hi) = if self.small_regfile { (12, 14) } else { (16, 30) };
+        (lo..=hi).step_by(2).map(Fpr::new).collect()
+    }
+
+    /// Integer argument registers (`r2..r5`; doubles take two).
+    pub fn arg_regs(&self) -> [Gpr; 4] {
+        abi::ARGS
+    }
+
+    /// The link register.
+    pub fn link_reg(&self) -> Gpr {
+        self.isa.link_reg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(TargetSpec::d16().label(), "D16/16/2");
+        assert_eq!(TargetSpec::dlxe().label(), "DLXe/32/3");
+        assert_eq!(TargetSpec::dlxe_restricted(true, true, false).label(), "DLXe/16/2");
+    }
+
+    #[test]
+    fn register_sets_are_disjoint_and_sized() {
+        let d16 = TargetSpec::d16();
+        let ints = d16.int_regs();
+        assert_eq!(ints.len(), 12);
+        assert!(!ints.contains(&abi::R0), "r0 is the D16 scratch");
+        assert!(!ints.contains(&abi::D16_LINK));
+        assert!(!ints.contains(&abi::GP));
+        assert!(!ints.contains(&abi::SP));
+        assert!(ints.iter().all(|r| r.fits_d16()));
+
+        let dlxe = TargetSpec::dlxe();
+        assert_eq!(dlxe.int_regs().len(), 27);
+        assert!(!dlxe.int_regs().contains(&Gpr::new(1)), "r1 is the DLXe scratch");
+        assert!(!dlxe.int_regs().contains(&Gpr::new(31)));
+
+        let restricted = TargetSpec::dlxe_restricted(true, true, true);
+        assert_eq!(restricted.int_regs().len(), 12, "same window as D16");
+    }
+
+    #[test]
+    fn restricted_params_match_d16_limits() {
+        let p = TargetSpec::dlxe_restricted(true, true, true).params();
+        assert_eq!(p.alu_imm, (0, 31));
+        assert_eq!(p.mvi_imm, (-256, 255));
+        assert_eq!(p.mem_disp, (0, 124));
+        assert!(!p.cmp_imm);
+        assert!(!p.logical_imm);
+        let full = TargetSpec::dlxe().params();
+        assert_eq!(full.mem_disp, (-32768, 32767));
+        assert!(full.cmp_imm);
+    }
+
+    #[test]
+    fn fp_pairs_are_even() {
+        for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+            assert!(spec.fp_pairs().iter().all(|f| f.is_even()));
+        }
+        assert_eq!(TargetSpec::d16().fp_pairs().len(), 8);
+        assert_eq!(TargetSpec::dlxe().fp_pairs().len(), 16);
+    }
+}

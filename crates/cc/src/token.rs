@@ -1,0 +1,382 @@
+//! Lexer for Mini-C, the compiler's C subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Integer literal (value fits in 64 bits; range-checked later).
+    Int(i64),
+    /// Floating literal; `is_f32` when suffixed with `f`.
+    Float(f64, bool),
+    /// Character literal (its value).
+    Char(u8),
+    /// String literal bytes (unterminated).
+    Str(Vec<u8>),
+    /// Punctuation / operator.
+    P(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v, _) => write!(f, "float {v}"),
+            Tok::Char(c) => write!(f, "char literal {c}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::P(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Mini-C keywords.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Int,
+    Char,
+    Float,
+    Double,
+    Unsigned,
+    Void,
+    Struct,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "int" => Kw::Int,
+        "char" => Kw::Char,
+        "float" => Kw::Float,
+        "double" => Kw::Double,
+        "unsigned" => Kw::Unsigned,
+        "void" => Kw::Void,
+        "struct" => Kw::Struct,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "do" => Kw::Do,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "sizeof" => Kw::Sizeof,
+        _ => return None,
+    })
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A compile error with its source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CError {
+    /// 1-based source line (0 when not attributable).
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CError {}
+
+/// Turns source text into tokens (comments: `//` and `/* */`).
+///
+/// # Errors
+///
+/// Reports unterminated literals/comments and stray characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let err = |line: usize, msg: String| CError { line, msg };
+
+    macro_rules! push {
+        ($t:expr) => {
+            toks.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(line, "unterminated comment".into()));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = u64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|e| err(line, format!("bad hex literal: {e}")))?;
+                    if i < b.len() && (b[i] | 32) == b'u' {
+                        i += 1;
+                    }
+                    push!(Tok::Int(v as i64));
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        i += 1;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() && (b[i] | 32) == b'e' {
+                        is_float = true;
+                        i += 1;
+                        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                            i += 1;
+                        }
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if is_float {
+                        let v: f64 = src[start..i]
+                            .parse()
+                            .map_err(|e| err(line, format!("bad float literal: {e}")))?;
+                        let f32suf = i < b.len() && (b[i] | 32) == b'f';
+                        if f32suf {
+                            i += 1;
+                        }
+                        push!(Tok::Float(v, f32suf));
+                    } else {
+                        let v: i64 = src[start..i]
+                            .parse()
+                            .map_err(|e| err(line, format!("bad integer literal: {e}")))?;
+                        if i < b.len() && (b[i] | 32) == b'u' {
+                            i += 1; // unsigned suffix: value is what matters
+                        }
+                        push!(Tok::Int(v));
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let s = &src[start..i];
+                match keyword(s) {
+                    Some(k) => push!(Tok::Kw(k)),
+                    None => push!(Tok::Ident(s.to_string())),
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let v = if b.get(i) == Some(&b'\\') {
+                    i += 1;
+                    let v = escape(*b.get(i).ok_or_else(|| err(line, "bad escape".into()))?)
+                        .ok_or_else(|| err(line, "bad escape".into()))?;
+                    i += 1;
+                    v
+                } else {
+                    let v = *b.get(i).ok_or_else(|| err(line, "bad char literal".into()))?;
+                    i += 1;
+                    v
+                };
+                if b.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += 1;
+                push!(Tok::Char(v));
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match b.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(err(line, "unterminated string".into()))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            let v = escape(
+                                *b.get(i).ok_or_else(|| err(line, "bad escape".into()))?,
+                            )
+                            .ok_or_else(|| err(line, "bad escape".into()))?;
+                            s.push(v);
+                            i += 1;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            _ => {
+                // Multi-char operators, longest first.
+                const OPS: [&str; 35] = [
+                    "<<=", ">>=", "...", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=",
+                    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--", "+", "-", "*",
+                    "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+                ];
+                const SINGLE: &[u8] = b"(){}[];,.?:";
+                let rest = &src[i..];
+                if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
+                    push!(Tok::P(op));
+                    i += op.len();
+                } else if SINGLE.contains(&c) {
+                    let s: &'static str = match c {
+                        b'(' => "(",
+                        b')' => ")",
+                        b'{' => "{",
+                        b'}' => "}",
+                        b'[' => "[",
+                        b']' => "]",
+                        b';' => ";",
+                        b',' => ",",
+                        b'.' => ".",
+                        b'?' => "?",
+                        b':' => ":",
+                        _ => unreachable!(),
+                    };
+                    push!(Tok::P(s));
+                    i += 1;
+                } else {
+                    return Err(err(line, format!("unexpected character `{}`", c as char)));
+                }
+            }
+        }
+    }
+    toks.push(Spanned { tok: Tok::Eof, line });
+    Ok(toks)
+}
+
+fn escape(c: u8) -> Option<u8> {
+    Some(match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let t = kinds("int x = 42;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("x".into()),
+                Tok::P("="),
+                Tok::Int(42),
+                Tok::P(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        let t = kinds("a <<= b >> c >= d");
+        assert_eq!(t[1], Tok::P("<<="));
+        assert_eq!(t[3], Tok::P(">>"));
+        assert_eq!(t[5], Tok::P(">="));
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let t = kinds("0x1F 3.5 2e3 1.5f 'a' '\\n' \"hi\\0\"");
+        assert_eq!(t[0], Tok::Int(31));
+        assert_eq!(t[1], Tok::Float(3.5, false));
+        assert_eq!(t[2], Tok::Float(2000.0, false));
+        assert_eq!(t[3], Tok::Float(1.5, true));
+        assert_eq!(t[4], Tok::Char(b'a'));
+        assert_eq!(t[5], Tok::Char(b'\n'));
+        assert_eq!(t[6], Tok::Str(b"hi\0".to_vec()));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("int a; // one\n/* two\nthree */ int b;").unwrap();
+        let b = toks.iter().find(|s| s.tok == Tok::Ident("b".into())).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("int a;\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

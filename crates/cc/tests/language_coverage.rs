@@ -1,0 +1,289 @@
+//! Language-coverage tests: each exercises one Mini-C construct through
+//! the full stack (compile → assemble → link → simulate) on the two
+//! unrestricted targets, checking exact results.
+
+use d16_cc::TargetSpec;
+use d16_sim::{Machine, NullSink, StopReason};
+
+#[track_caller]
+fn run2(src: &str, expect: i32) {
+    for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+        let image = match d16_cc::compile_to_image(&[src], &spec) {
+            Ok(i) => i,
+            Err(e) => panic!("[{}] {e}", spec.label()),
+        };
+        let mut m = Machine::load(&image);
+        match m.run(50_000_000, &mut NullSink) {
+            Ok(StopReason::Halted(v)) => assert_eq!(v, expect, "[{}]", spec.label()),
+            other => panic!("[{}] {other:?}", spec.label()),
+        }
+    }
+}
+
+#[test]
+fn do_while_runs_at_least_once() {
+    run2("int main(void) { int n = 0; do { n++; } while (n < 0); return n; }", 1);
+}
+
+#[test]
+fn nested_ternaries() {
+    run2(
+        "int cls(int x) { return x < 0 ? -1 : x == 0 ? 0 : 1; }
+         int main(void) { return cls(-5) + 10 * cls(0) + 100 * cls(7); }",
+        99,
+    );
+}
+
+#[test]
+fn comments_and_formatting() {
+    run2(
+        "/* block */ int main(void) { // line
+            int x = 1; /* mid */ int y = 2;
+            return x + y; // end
+        }",
+        3,
+    );
+}
+
+#[test]
+fn compound_assignment_on_array_elements() {
+    run2(
+        "int a[4];
+         int main(void) {
+             int i;
+             for (i = 0; i < 4; i++) a[i] = i;
+             a[1] += 10; a[2] -= 1; a[3] *= 6; a[0] |= 8;
+             return a[0] + a[1] + a[2] + a[3];
+         }",
+        8 + 11 + 1 + 18,
+    );
+}
+
+#[test]
+fn shift_and_mask_pipeline() {
+    run2(
+        "int main(void) {
+             unsigned x = 0xDEADBEEFu;
+             return (int)(((x >> 16) & 0xFF) ^ ((x << 3) >> 29));
+         }",
+        {
+            let x = 0xDEADBEEFu32;
+            (((x >> 16) & 0xFF) ^ ((x << 3) >> 29)) as i32
+        },
+    );
+}
+
+#[test]
+fn global_struct_initializer() {
+    run2(
+        "struct cfg { int width; char tag; int depth; };
+         struct cfg defaults = { 80, 'x', 4 };
+         int main(void) { return defaults.width + defaults.tag + defaults.depth; }",
+        80 + 120 + 4,
+    );
+}
+
+#[test]
+fn array_of_pointers_to_strings() {
+    run2(
+        "char *names[3] = { \"ab\", \"cde\", \"f\" };
+         int len(char *s) { int n = 0; while (*s++) n++; return n; }
+         int main(void) {
+             int i, total = 0;
+             for (i = 0; i < 3; i++) total = total * 10 + len(names[i]);
+             return total;
+         }",
+        231,
+    );
+}
+
+#[test]
+fn pointer_difference_and_comparison() {
+    run2(
+        "int buf[10];
+         int main(void) {
+             int *a = &buf[2];
+             int *b = &buf[9];
+             int d = (int)(b - a);
+             int lt = a < b;
+             return d * 10 + lt;
+         }",
+        71,
+    );
+}
+
+#[test]
+fn char_arithmetic_wraps_at_store() {
+    run2(
+        "char c;
+         int main(void) { c = (char)(200 + 100); return c; }",
+        (300i32 as i8) as i32, // stored through a byte, sign-extended on load
+    );
+}
+
+#[test]
+fn recursion_with_locals_preserved() {
+    run2(
+        "int depth_sum(int n) {
+             int local = n * n;
+             if (n == 0) return 0;
+             return local + depth_sum(n - 1);
+         }
+         int main(void) { return depth_sum(8); }",
+        (0..=8).map(|n| n * n).sum::<i32>(),
+    );
+}
+
+#[test]
+fn mixed_float_int_expressions() {
+    run2(
+        "int main(void) {
+             double d = 7;           /* int -> double conversion */
+             float f = 2.5f;
+             int k = (int)(d * f);   /* 17.5 -> 17 */
+             return k + (int)(d / 2); /* 17 + 3 */
+         }",
+        20,
+    );
+}
+
+#[test]
+fn negative_float_truncation() {
+    run2(
+        "int main(void) { double d = -3.7; return (int)d + 10; }",
+        7, // C truncates toward zero: -3
+    );
+}
+
+#[test]
+fn while_with_side_effect_condition() {
+    run2(
+        "int main(void) {
+             int i = 0, n = 0;
+             while (i++ < 5) n += i;
+             return n * 10 + i;
+         }",
+        (1 + 2 + 3 + 4 + 5) * 10 + 6,
+    );
+}
+
+#[test]
+fn break_and_continue_in_nested_loops() {
+    run2(
+        "int main(void) {
+             int i, j, hits = 0;
+             for (i = 0; i < 10; i++) {
+                 if (i % 3 == 0) continue;
+                 for (j = 0; j < 10; j++) {
+                     if (j > i) break;
+                     hits++;
+                 }
+             }
+             return hits;
+         }",
+        {
+            let mut hits = 0;
+            for i in 0..10 {
+                if i % 3 == 0 {
+                    continue;
+                }
+                for j in 0..10 {
+                    if j > i {
+                        break;
+                    }
+                    hits += 1;
+                }
+            }
+            hits
+        },
+    );
+}
+
+#[test]
+fn sizeof_forms() {
+    run2(
+        "struct wide { double a; char b; };
+         int main(void) {
+             int arr[7];
+             return sizeof(int) + sizeof(char) + sizeof(double)
+                  + sizeof(struct wide) + sizeof arr;
+         }",
+        4 + 1 + 8 + 16 + 28,
+    );
+}
+
+#[test]
+fn logical_value_materialization() {
+    run2(
+        "int main(void) {
+             int a = 3, b = 0;
+             int x = (a && 7) + (b || 0) + !b + !!a;
+             return x;
+         }",
+        1 + 0 + 1 + 1,
+    );
+}
+
+#[test]
+fn deep_expression_spills_registers() {
+    // Enough simultaneously-live subexpressions to overflow the D16
+    // register file and force spill code.
+    run2(
+        "int f(int a, int b) { return a * 31 + b; }
+         int main(void) {
+             int a = 1, b = 2, c = 3, d = 4, e = 5, g = 6, h = 7, i = 8;
+             int t1 = f(a, b), t2 = f(c, d), t3 = f(e, g), t4 = f(h, i);
+             int t5 = f(t1, t2), t6 = f(t3, t4);
+             return (f(t5, t6) & 0xFFFF) + a + b + c + d + e + g + h + i;
+         }",
+        {
+            let f = |a: i32, b: i32| a * 31 + b;
+            let (t1, t2, t3, t4) = (f(1, 2), f(3, 4), f(5, 6), f(7, 8));
+            (f(f(t1, t2), f(t3, t4)) & 0xFFFF) + 36
+        },
+    );
+}
+
+#[test]
+fn global_hot_counter_in_gp_window() {
+    // The first-declared global lands in the D16 gp window; verify direct
+    // access correctness (and that later globals still work via pools).
+    run2(
+        "int hot = 5;
+         int pad[100];
+         int cold = 7;
+         int main(void) {
+             int i;
+             for (i = 0; i < 10; i++) hot += cold;
+             return hot + pad[50];
+         }",
+        75,
+    );
+}
+
+#[test]
+fn restricted_targets_also_agree_on_fp() {
+    let src = "
+double series(int n) {
+    double s = 0.0;
+    int k;
+    for (k = 1; k <= n; k++) s = s + 1.0 / (double)k;
+    return s;
+}
+int main(void) { return (int)(series(20) * 1000.0); }";
+    let mut results = Vec::new();
+    for spec in [
+        TargetSpec::d16(),
+        TargetSpec::dlxe(),
+        TargetSpec::dlxe_restricted(true, true, true),
+        TargetSpec::dlxe_restricted(false, true, false),
+        TargetSpec::dlxe_restricted(true, false, true),
+    ] {
+        let image = d16_cc::compile_to_image(&[src], &spec).unwrap();
+        let mut m = Machine::load(&image);
+        let stop = m.run(50_000_000, &mut NullSink).unwrap();
+        results.push(stop.exit_status().unwrap());
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    assert_eq!(results[0], 3597, "harmonic(20) = 3.5977...");
+}

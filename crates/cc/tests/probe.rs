@@ -1,0 +1,24 @@
+use d16_cc::{compile_to_asm, compile_to_image, TargetSpec};
+
+#[test]
+fn probe_float_single() {
+    let src = "
+float half(float x) { return x / 2.0f; }
+int main(void) {
+    float s = 0.0f;
+    int i;
+    for (i = 0; i < 8; i++) s = s + half((float)i);
+    return (int)(s * 10.0f);
+}";
+    for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+        eprintln!("== {} compiling...", spec.label());
+        let asm = compile_to_asm(&[src], &spec).unwrap();
+        eprintln!("== compiled, {} lines", asm.lines().count());
+        let image = compile_to_image(&[src], &spec).unwrap();
+        eprintln!("== linked, text {} bytes", image.text.len());
+        let mut m = d16_sim::Machine::load(&image);
+        let stop = m.run(2_000_000, &mut d16_sim::NullSink).unwrap();
+        eprintln!("== ran: {:?} insns={}", stop, m.stats().insns);
+        assert_eq!(stop.exit_status(), Some(140), "{}", spec.label());
+    }
+}

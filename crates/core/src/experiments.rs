@@ -1,0 +1,706 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each function consumes a collected [`Suite`] and returns typed rows;
+//! the `repro` binary renders them as text. Figure/table numbering follows
+//! the paper (see DESIGN.md §5 for the index).
+
+use crate::measure::{build, Measurement};
+use crate::suite::Suite;
+use d16_cc::TargetSpec;
+use d16_isa::{EncodingParams, Insn, Isa};
+use d16_mem::{CacheConfig, CacheSystem};
+use d16_sim::{AccessSink, Machine, NullSink};
+use d16_workloads::SUITE;
+use std::collections::BTreeMap;
+
+const D16: &str = "D16/16/2";
+const DLXE: &str = "DLXe/32/3";
+
+/// One per-workload ratio (most figures are bar charts of these).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioRow {
+    /// Workload name.
+    pub workload: String,
+    /// The plotted value.
+    pub value: f64,
+}
+
+fn mean(rows: &[RatioRow]) -> f64 {
+    rows.iter().map(|r| r.value).sum::<f64>() / rows.len() as f64
+}
+
+/// Geometric-free arithmetic mean of a figure's bars (the paper reports
+/// arithmetic averages).
+pub fn average(rows: &[RatioRow]) -> f64 {
+    mean(rows)
+}
+
+fn ratio_rows(suite: &Suite, f: impl Fn(&Measurement, &Measurement) -> f64) -> Vec<RatioRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let d16 = suite.get(&w, D16);
+            let dlxe = suite.get(&w, DLXE);
+            RatioRow { workload: w, value: f(d16, dlxe) }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------------
+// Section 3: density, path length, feature ablations
+// ------------------------------------------------------------------------
+
+/// Figure 4: D16 relative density — static DLXe size / D16 size.
+pub fn fig4_relative_density(suite: &Suite) -> Vec<RatioRow> {
+    ratio_rows(suite, |d16, dlxe| dlxe.size_bytes as f64 / d16.size_bytes as f64)
+}
+
+/// Figure 5: DLXe path length with D16 = 1.0.
+pub fn fig5_path_length(suite: &Suite) -> Vec<RatioRow> {
+    ratio_rows(suite, |d16, dlxe| dlxe.stats.insns as f64 / d16.stats.insns as f64)
+}
+
+/// One workload's ablation-grid ratios against D16 = 1.0.
+#[derive(Clone, Debug)]
+pub struct GridRow {
+    /// Workload name.
+    pub workload: String,
+    /// Ratios for `DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3`.
+    pub dlxe_16_2: f64,
+    #[allow(missing_docs)]
+    pub dlxe_16_3: f64,
+    #[allow(missing_docs)]
+    pub dlxe_32_2: f64,
+    #[allow(missing_docs)]
+    pub dlxe_32_3: f64,
+}
+
+fn grid_rows(suite: &Suite, f: impl Fn(&Measurement) -> f64) -> Vec<GridRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let base = f(suite.get(&w, D16));
+            let r = |t: &str| f(suite.get(&w, t)) / base;
+            GridRow {
+                workload: w.clone(),
+                dlxe_16_2: r("DLXe/16/2"),
+                dlxe_16_3: r("DLXe/16/3"),
+                dlxe_32_2: r("DLXe/32/2"),
+                dlxe_32_3: r("DLXe/32/3"),
+            }
+        })
+        .collect()
+}
+
+/// Figures 6/8/11 and Table 6: static code size across the feature grid
+/// (D16 = 1.0).
+pub fn code_size_grid(suite: &Suite) -> Vec<GridRow> {
+    grid_rows(suite, |m| m.size_bytes as f64)
+}
+
+/// Figures 7/9/12 and Table 7: path length across the feature grid
+/// (D16 = 1.0).
+pub fn path_length_grid(suite: &Suite) -> Vec<GridRow> {
+    grid_rows(suite, |m| m.stats.insns as f64)
+}
+
+/// Table 5: grid averages `(code size, path length)` for each DLXe
+/// configuration.
+pub fn table5_summary(suite: &Suite) -> BTreeMap<String, (f64, f64)> {
+    let size = code_size_grid(suite);
+    let path = path_length_grid(suite);
+    let avg = |rows: &[GridRow], pick: fn(&GridRow) -> f64| {
+        rows.iter().map(pick).sum::<f64>() / rows.len() as f64
+    };
+    let mut out = BTreeMap::new();
+    out.insert(
+        "DLXe/16/2".into(),
+        (avg(&size, |r| r.dlxe_16_2), avg(&path, |r| r.dlxe_16_2)),
+    );
+    out.insert(
+        "DLXe/16/3".into(),
+        (avg(&size, |r| r.dlxe_16_3), avg(&path, |r| r.dlxe_16_3)),
+    );
+    out.insert(
+        "DLXe/32/2".into(),
+        (avg(&size, |r| r.dlxe_32_2), avg(&path, |r| r.dlxe_32_2)),
+    );
+    out.insert(
+        "DLXe/32/3".into(),
+        (avg(&size, |r| r.dlxe_32_3), avg(&path, |r| r.dlxe_32_3)),
+    );
+    out
+}
+
+/// Table 3: data-traffic increase (loads+stores) of D16 and DLXe/16 over
+/// unrestricted DLXe, in percent.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Workload.
+    pub workload: String,
+    /// D16 increase %.
+    pub d16_pct: f64,
+    /// DLXe/16 increase %.
+    pub dlxe16_pct: f64,
+}
+
+/// Computes Table 3.
+pub fn table3_data_traffic(suite: &Suite) -> Vec<Table3Row> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let base = suite.get(&w, DLXE).stats.mem_ops() as f64;
+            let d16 = suite.get(&w, D16).stats.mem_ops() as f64;
+            let r16 = suite.get(&w, "DLXe/16/3").stats.mem_ops() as f64;
+            Table3Row {
+                workload: w,
+                d16_pct: (d16 / base - 1.0) * 100.0,
+                dlxe16_pct: (r16 / base - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Figure 10: speedup provided by DLXe immediates and offsets — path
+/// length of D16 over `DLXe/16/2` (which differs from D16 essentially
+/// only in its immediate/displacement fields).
+pub fn fig10_immediate_speedup(suite: &Suite) -> Vec<RatioRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let d16 = suite.get(&w, D16).stats.insns as f64;
+            let r = suite.get(&w, "DLXe/16/2").stats.insns as f64;
+            RatioRow { workload: w, value: d16 / r }
+        })
+        .collect()
+}
+
+/// Table 4: dynamic frequency of DLXe/16/2 instructions whose immediate
+/// operands exceed the D16 fields.
+#[derive(Clone, Debug, Default)]
+pub struct Table4 {
+    /// Compare-immediate instructions (no D16 form), % of path length.
+    pub cmp_imm_pct: f64,
+    /// ALU immediates beyond five bits, % of path length.
+    pub alu_imm_pct: f64,
+    /// Memory displacements beyond the D16 reach, % of path length.
+    pub mem_disp_pct: f64,
+}
+
+impl Table4 {
+    /// Sum of the three classes.
+    pub fn total_pct(&self) -> f64 {
+        self.cmp_imm_pct + self.alu_imm_pct + self.mem_disp_pct
+    }
+}
+
+struct ClassifySink {
+    decoded: Vec<Option<Insn>>,
+    text_base: u32,
+    cmp: u64,
+    alu: u64,
+    mem: u64,
+    total: u64,
+}
+
+impl AccessSink for ClassifySink {
+    fn fetch(&mut self, addr: u32, _bytes: u8) {
+        self.total += 1;
+        let idx = ((addr - self.text_base) / 4) as usize;
+        if let Some(Some(insn)) = self.decoded.get(idx) {
+            match EncodingParams::d16_overflow_class(insn) {
+                Some(d16_isa::ImmOverflow::CompareImmediate) => self.cmp += 1,
+                Some(d16_isa::ImmOverflow::AluImmediate) => self.alu += 1,
+                Some(d16_isa::ImmOverflow::MemoryDisplacement) => self.mem += 1,
+                None => {}
+            }
+        }
+    }
+    fn read(&mut self, _a: u32, _b: u8) {}
+    fn write(&mut self, _a: u32, _b: u8) {}
+}
+
+/// Computes Table 4 (averaged over the suite) by re-running each workload
+/// on `DLXe/16/2` with a classifying fetch sink.
+///
+/// # Errors
+///
+/// Propagates build/run failures with the workload name.
+pub fn table4_immediate_profile() -> Result<Table4, (String, String)> {
+    let spec = TargetSpec::dlxe_restricted(true, true, false);
+    let mut acc = Table4::default();
+    let mut n = 0usize;
+    for w in SUITE {
+        let image = build(w, &spec).map_err(|e| (w.name.to_string(), e.to_string()))?;
+        let decoded: Vec<Option<Insn>> = image
+            .text
+            .chunks_exact(4)
+            .map(|c| d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).ok())
+            .collect();
+        let mut sink = ClassifySink {
+            decoded,
+            text_base: image.text_base,
+            cmp: 0,
+            alu: 0,
+            mem: 0,
+            total: 0,
+        };
+        let mut m = Machine::load(&image);
+        m.run(crate::measure::FUEL, &mut sink)
+            .map_err(|e| (w.name.to_string(), e.to_string()))?;
+        let t = sink.total as f64;
+        acc.cmp_imm_pct += sink.cmp as f64 / t * 100.0;
+        acc.alu_imm_pct += sink.alu as f64 / t * 100.0;
+        acc.mem_disp_pct += sink.mem as f64 / t * 100.0;
+        n += 1;
+    }
+    acc.cmp_imm_pct /= n as f64;
+    acc.alu_imm_pct /= n as f64;
+    acc.mem_disp_pct /= n as f64;
+    Ok(acc)
+}
+
+/// Figure 13: instruction traffic and static size, DLXe/D16 (tests
+/// Steenkiste's uniformity assumption).
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// Workload.
+    pub workload: String,
+    /// Fetched instruction words, DLXe/D16.
+    pub traffic_ratio: f64,
+    /// Static size, DLXe/D16.
+    pub size_ratio: f64,
+}
+
+/// Computes Figure 13.
+pub fn fig13_traffic_vs_density(suite: &Suite) -> Vec<Fig13Row> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let d16 = suite.get(&w, D16);
+            let dlxe = suite.get(&w, DLXE);
+            Fig13Row {
+                workload: w,
+                traffic_ratio: dlxe.stats.ifetch_words as f64 / d16.stats.ifetch_words as f64,
+                size_ratio: dlxe.size_bytes as f64 / d16.size_bytes as f64,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------------
+// Section 4: memory performance
+// ------------------------------------------------------------------------
+
+/// One point of Figure 14: mean CPI curves for a fetch-bus width.
+#[derive(Clone, Debug)]
+pub struct Fig14Point {
+    /// Memory wait states `l`.
+    pub wait_states: u64,
+    /// Mean DLXe CPI.
+    pub dlxe_cpi: f64,
+    /// Mean D16 CPI.
+    pub d16_cpi: f64,
+    /// Mean D16 CPI normalized by the DLXe instruction count.
+    pub d16_normalized: f64,
+}
+
+/// Figure 14: normalized CPI without a cache, for a 32- or 64-bit bus.
+pub fn fig14_cacheless_cpi(suite: &Suite, bus_bytes: u32) -> Vec<Fig14Point> {
+    (0..=3)
+        .map(|l| {
+            let mut dlxe_cpi = 0.0;
+            let mut d16_cpi = 0.0;
+            let mut d16_norm = 0.0;
+            let names = suite.workloads();
+            for w in &names {
+                let d16 = suite.get(w, D16);
+                let dlxe = suite.get(w, DLXE);
+                let dc = dlxe.cacheless_cycles(bus_bytes, l) as f64;
+                let sc = d16.cacheless_cycles(bus_bytes, l) as f64;
+                dlxe_cpi += dc / dlxe.stats.insns as f64;
+                d16_cpi += sc / d16.stats.insns as f64;
+                d16_norm += sc / dlxe.stats.insns as f64;
+            }
+            let n = names.len() as f64;
+            Fig14Point {
+                wait_states: l,
+                dlxe_cpi: dlxe_cpi / n,
+                d16_cpi: d16_cpi / n,
+                d16_normalized: d16_norm / n,
+            }
+        })
+        .collect()
+}
+
+/// Figure 15: instruction-fetch bus saturation (fetch requests per cycle).
+#[derive(Clone, Debug)]
+pub struct Fig15Point {
+    /// Memory wait states.
+    pub wait_states: u64,
+    /// Mean DLXe fetches/cycle.
+    pub dlxe: f64,
+    /// Mean D16 fetches/cycle.
+    pub d16: f64,
+}
+
+/// Computes Figure 15 for a bus width.
+pub fn fig15_fetch_saturation(suite: &Suite, bus_bytes: u32) -> Vec<Fig15Point> {
+    (0..=3)
+        .map(|l| {
+            let mut d = 0.0;
+            let mut s = 0.0;
+            let names = suite.workloads();
+            for w in &names {
+                let d16 = suite.get(w, D16);
+                let dlxe = suite.get(w, DLXE);
+                let ireq = |m: &Measurement| {
+                    if bus_bytes >= 8 {
+                        m.ireq_bus64
+                    } else {
+                        m.ireq_bus32
+                    }
+                } ;
+                d += ireq(dlxe) as f64 / dlxe.cacheless_cycles(bus_bytes, l) as f64;
+                s += ireq(d16) as f64 / d16.cacheless_cycles(bus_bytes, l) as f64;
+            }
+            let n = names.len() as f64;
+            Fig15Point { wait_states: l, dlxe: d / n, d16: s / n }
+        })
+        .collect()
+}
+
+/// Tables 11/12: per-workload DLXe/D16 cycle ratios for wait states 0–3.
+#[derive(Clone, Debug)]
+pub struct CycleRatioRow {
+    /// Workload.
+    pub workload: String,
+    /// Ratios at `l` = 0, 1, 2, 3.
+    pub ratios: [f64; 4],
+}
+
+/// Computes Table 11 (32-bit bus) or Table 12 (64-bit bus).
+pub fn table11_12_cycle_ratios(suite: &Suite, bus_bytes: u32) -> Vec<CycleRatioRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let d16 = suite.get(&w, D16);
+            let dlxe = suite.get(&w, DLXE);
+            let mut ratios = [0.0; 4];
+            for (i, r) in ratios.iter_mut().enumerate() {
+                *r = dlxe.cacheless_cycles(bus_bytes, i as u64) as f64
+                    / d16.cacheless_cycles(bus_bytes, i as u64) as f64;
+            }
+            CycleRatioRow { workload: w, ratios }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------------
+// Cache experiments (Figures 16-19, Tables 13-16)
+// ------------------------------------------------------------------------
+
+/// Replays a recorded trace through the paper's split I/D caches.
+pub fn replay_cache(suite: &Suite, workload: &str, isa: Isa, icfg: CacheConfig, dcfg: CacheConfig) -> CacheSystem {
+    let mut cs = CacheSystem::new(icfg, dcfg);
+    suite.trace(workload, isa).replay(&mut cs);
+    cs
+}
+
+/// One miss-rate point for Figure 16.
+#[derive(Clone, Debug)]
+pub struct Fig16Point {
+    /// Cache size in bytes.
+    pub size: u32,
+    /// D16 instruction miss rate (per fetch).
+    pub d16: f64,
+    /// DLXe instruction miss rate.
+    pub dlxe: f64,
+}
+
+/// Figure 16: instruction-cache miss rates for 1K–16K caches.
+pub fn fig16_icache_miss(suite: &Suite, workload: &str) -> Vec<Fig16Point> {
+    [1024u32, 2048, 4096, 8192, 16384]
+        .into_iter()
+        .map(|size| {
+            let rate = |isa| {
+                let cs = replay_cache(
+                    suite,
+                    workload,
+                    isa,
+                    CacheConfig::paper(size, 32),
+                    CacheConfig::paper(size, 32),
+                );
+                cs.icache().read_miss_ratio()
+            };
+            Fig16Point { size, d16: rate(Isa::D16), dlxe: rate(Isa::Dlxe) }
+        })
+        .collect()
+}
+
+/// One CPI point for Figures 17/18.
+#[derive(Clone, Debug)]
+pub struct Fig17Point {
+    /// Miss penalty in cycles.
+    pub penalty: u64,
+    /// DLXe CPI.
+    pub dlxe_cpi: f64,
+    /// D16 CPI.
+    pub d16_cpi: f64,
+    /// D16 cycles / DLXe instructions.
+    pub d16_normalized: f64,
+}
+
+/// Figures 17 (4K caches) and 18 (16K): CPI against miss penalty.
+pub fn fig17_18_cache_cpi(suite: &Suite, workload: &str, cache_size: u32) -> Vec<Fig17Point> {
+    let d16_m = suite.get(workload, D16);
+    let dlxe_m = suite.get(workload, DLXE);
+    let cs_d16 = replay_cache(
+        suite,
+        workload,
+        Isa::D16,
+        CacheConfig::paper(cache_size, 32),
+        CacheConfig::paper(cache_size, 32),
+    );
+    let cs_dlxe = replay_cache(
+        suite,
+        workload,
+        Isa::Dlxe,
+        CacheConfig::paper(cache_size, 32),
+        CacheConfig::paper(cache_size, 32),
+    );
+    [4u64, 8, 12, 16]
+        .into_iter()
+        .map(|penalty| Fig17Point {
+            penalty,
+            dlxe_cpi: cs_dlxe.cycles(&dlxe_m.stats, penalty) as f64 / dlxe_m.stats.insns as f64,
+            d16_cpi: cs_d16.cycles(&d16_m.stats, penalty) as f64 / d16_m.stats.insns as f64,
+            d16_normalized: cs_d16.cycles(&d16_m.stats, penalty) as f64
+                / dlxe_m.stats.insns as f64,
+        })
+        .collect()
+}
+
+/// One traffic point for Figure 19.
+#[derive(Clone, Debug)]
+pub struct Fig19Point {
+    /// Cache size in bytes.
+    pub size: u32,
+    /// DLXe instruction traffic, words/cycle.
+    pub dlxe: f64,
+    /// D16 instruction traffic, words/cycle.
+    pub d16: f64,
+}
+
+/// Figure 19: instruction traffic (words/cycle) across cache sizes at a
+/// miss penalty of four cycles.
+pub fn fig19_cache_traffic(suite: &Suite, workload: &str) -> Vec<Fig19Point> {
+    [1024u32, 2048, 4096, 8192, 16384]
+        .into_iter()
+        .map(|size| {
+            let point = |isa, target: &str| {
+                let m = suite.get(workload, target);
+                let cs = replay_cache(
+                    suite,
+                    workload,
+                    isa,
+                    CacheConfig::paper(size, 32),
+                    CacheConfig::paper(size, 32),
+                );
+                cs.itraffic_words_per_cycle(&m.stats, 4)
+            };
+            Fig19Point {
+                size,
+                dlxe: point(Isa::Dlxe, DLXE),
+                d16: point(Isa::D16, D16),
+            }
+        })
+        .collect()
+}
+
+/// One row of the Tables 14–16 miss-rate grids.
+#[derive(Clone, Debug)]
+pub struct MissGridRow {
+    /// Cache size.
+    pub size: u32,
+    /// Block size.
+    pub block: u32,
+    /// (D16, DLXe) instruction miss rates.
+    pub insn: (f64, f64),
+    /// (D16, DLXe) data-read miss rates.
+    pub read: (f64, f64),
+    /// (D16, DLXe) data-write miss rates.
+    pub write: (f64, f64),
+}
+
+/// Tables 14–16: miss-rate grids over cache size × block size for one
+/// cache benchmark.
+pub fn miss_rate_grid(suite: &Suite, workload: &str) -> Vec<MissGridRow> {
+    let mut out = Vec::new();
+    for size in [1024u32, 2048, 4096, 8192, 16384] {
+        for block in [8u32, 16, 32, 64] {
+            let rates = |isa| {
+                let cfg = CacheConfig { size, block, sub_block: 8.min(block), assoc: 1, wrap_prefetch: true };
+                let cs = replay_cache(suite, workload, isa, cfg, cfg);
+                let (i, r, w) = cs.miss_rates_per_access();
+                (i, r, w)
+            };
+            let d16 = rates(Isa::D16);
+            let dlxe = rates(Isa::Dlxe);
+            out.push(MissGridRow {
+                size,
+                block,
+                insn: (d16.0, dlxe.0),
+                read: (d16.1, dlxe.1),
+                write: (d16.2, dlxe.2),
+            });
+        }
+    }
+    out
+}
+
+/// Table 13: traffic and interlocks for the cache benchmarks.
+#[derive(Clone, Debug)]
+pub struct Table13Row {
+    /// Workload.
+    pub workload: String,
+    /// ISA.
+    pub isa: &'static str,
+    /// Path length.
+    pub insns: u64,
+    /// Interlock rate.
+    pub interlock_rate: f64,
+    /// Instruction fetch words.
+    pub ifetch_words: u64,
+    /// Data reads.
+    pub reads: u64,
+    /// Data writes.
+    pub writes: u64,
+}
+
+/// Computes Table 13.
+pub fn table13_cache_traffic(suite: &Suite) -> Vec<Table13Row> {
+    let mut out = Vec::new();
+    for w in d16_workloads::cache_benchmarks() {
+        for (isa, target) in [("D16", D16), ("DLXe", DLXE)] {
+            let m = suite.get(w.name, target);
+            out.push(Table13Row {
+                workload: w.name.to_string(),
+                isa,
+                insns: m.stats.insns,
+                interlock_rate: m.stats.interlock_rate(),
+                ifetch_words: m.stats.ifetch_words,
+                reads: m.stats.loads,
+                writes: m.stats.stores,
+            });
+        }
+    }
+    out
+}
+
+/// Tables 8/9/10: per-workload raw data for the appendix.
+#[derive(Clone, Debug)]
+pub struct AppendixRow {
+    /// Workload.
+    pub workload: String,
+    /// D16 path length.
+    pub d16_insns: u64,
+    /// DLXe path length.
+    pub dlxe_insns: u64,
+    /// D16 fetched words.
+    pub d16_ifetch_words: u64,
+    /// DLXe fetched words.
+    pub dlxe_ifetch_words: u64,
+    /// D16 loads + stores.
+    pub d16_mem_ops: u64,
+    /// DLXe loads + stores.
+    pub dlxe_mem_ops: u64,
+    /// D16 interlocks.
+    pub d16_interlocks: u64,
+    /// DLXe interlocks.
+    pub dlxe_interlocks: u64,
+}
+
+/// Computes the appendix tables (8, 9, 10) in one pass.
+pub fn appendix_tables(suite: &Suite) -> Vec<AppendixRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .map(|w| {
+            let d16 = suite.get(&w, D16);
+            let dlxe = suite.get(&w, DLXE);
+            AppendixRow {
+                workload: w,
+                d16_insns: d16.stats.insns,
+                dlxe_insns: dlxe.stats.insns,
+                d16_ifetch_words: d16.stats.ifetch_words,
+                dlxe_ifetch_words: dlxe.stats.ifetch_words,
+                d16_mem_ops: d16.stats.mem_ops(),
+                dlxe_mem_ops: dlxe.stats.mem_ops(),
+                d16_interlocks: d16.stats.interlocks,
+                dlxe_interlocks: dlxe.stats.interlocks,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------------
+// Beyond the paper: FPU-latency sensitivity (extension)
+// ------------------------------------------------------------------------
+
+/// One point of the FPU-latency sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct FpuSweepPoint {
+    /// Multiply latency (divide scales 3×, add/convert stay at 2).
+    pub mul_latency: u64,
+    /// D16 base cycles (`IC + Interlocks`).
+    pub d16_cycles: u64,
+    /// DLXe base cycles.
+    pub dlxe_cycles: u64,
+    /// D16 interlock rate.
+    pub d16_rate: f64,
+    /// DLXe interlock rate.
+    pub dlxe_rate: f64,
+}
+
+/// Sensitivity of the D16/DLXe comparison to FPU ("math unit") latency —
+/// the interface the paper simplifies for its prototype. Re-runs one FP
+/// workload with multiply latencies 1–16 on both machines.
+///
+/// The paper's conclusion is robust if the cycle *ratio* stays stable:
+/// both encodings issue the same FP operations, so latency cancels.
+///
+/// # Errors
+///
+/// Propagates build/run failures with a description.
+pub fn fpu_latency_sweep(workload: &str) -> Result<Vec<FpuSweepPoint>, String> {
+    let w = d16_workloads::by_name(workload).ok_or_else(|| format!("no workload {workload}"))?;
+    let d16_image = build(w, &TargetSpec::d16()).map_err(|e| e.to_string())?;
+    let dlxe_image = build(w, &TargetSpec::dlxe()).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for mul in [1u64, 2, 4, 8, 16] {
+        let lat = d16_sim::FpuLatency {
+            add: 2,
+            mul,
+            div_s: mul * 3,
+            div_d: mul * 3 + 4,
+            cvt: 2,
+        };
+        let run = |image: &d16_asm::Image| -> Result<(u64, f64), String> {
+            let mut m = Machine::load(image);
+            m.set_fpu_latency(lat);
+            m.run(crate::measure::FUEL, &mut NullSink).map_err(|e| e.to_string())?;
+            Ok((m.stats().base_cycles(), m.stats().interlock_rate()))
+        };
+        let (d16_cycles, d16_rate) = run(&d16_image)?;
+        let (dlxe_cycles, dlxe_rate) = run(&dlxe_image)?;
+        out.push(FpuSweepPoint { mul_latency: mul, d16_cycles, dlxe_cycles, d16_rate, dlxe_rate });
+    }
+    Ok(out)
+}

@@ -1,0 +1,186 @@
+//! Building, running and measuring one workload on one target.
+
+use d16_asm::Image;
+use d16_cc::{compile_to_image, BuildError, TargetSpec};
+use d16_sim::{AccessSink, ExecStats, Machine, StopReason, TraceRecorder};
+use d16_workloads::Workload;
+use std::fmt;
+
+/// Instruction budget per run: generous, since a correct workload halts
+/// far earlier.
+pub const FUEL: u64 = 2_000_000_000;
+
+/// Everything measured about one (workload, target) cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Target label (`D16/16/2`, `DLXe/32/3`, ...).
+    pub target: String,
+    /// Exit checksum.
+    pub exit: i32,
+    /// Static size: text + data bytes (the paper's density measure).
+    pub size_bytes: u64,
+    /// Text segment alone.
+    pub text_bytes: u64,
+    /// Pipeline statistics (path length, loads/stores, interlocks,
+    /// word-granular fetch traffic).
+    pub stats: ExecStats,
+    /// Fetch-buffer requests for a 32-bit bus (`k` = 2 D16 / 1 DLXe).
+    pub ireq_bus32: u64,
+    /// Fetch-buffer requests for a 64-bit bus (`k` = 4 D16 / 2 DLXe).
+    pub ireq_bus64: u64,
+}
+
+impl Measurement {
+    /// External requests on a `bus_bytes`-wide cacheless interface.
+    pub fn requests(&self, bus_bytes: u32) -> u64 {
+        let ireq = if bus_bytes >= 8 { self.ireq_bus64 } else { self.ireq_bus32 };
+        ireq + self.stats.mem_ops()
+    }
+
+    /// Cycles on the cacheless machine: `IC + Interlocks + l*(IReq+DReq)`.
+    pub fn cacheless_cycles(&self, bus_bytes: u32, wait_states: u64) -> u64 {
+        self.stats.base_cycles() + wait_states * self.requests(bus_bytes)
+    }
+}
+
+/// A failure while building or running a workload.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// Toolchain failure.
+    Build(BuildError),
+    /// Simulator fault.
+    Sim(d16_sim::SimError),
+    /// The program did not halt within [`FUEL`] instructions.
+    OutOfFuel,
+    /// The checksum differed from the workload's pinned value.
+    WrongChecksum {
+        /// Expected value.
+        expected: i32,
+        /// Observed value.
+        got: i32,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::Build(e) => write!(f, "build: {e}"),
+            MeasureError::Sim(e) => write!(f, "simulation fault: {e}"),
+            MeasureError::OutOfFuel => write!(f, "did not halt within the instruction budget"),
+            MeasureError::WrongChecksum { expected, got } => {
+                write!(f, "checksum mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Compiles a workload for a target.
+///
+/// # Errors
+///
+/// Propagates toolchain diagnostics.
+pub fn build(w: &Workload, spec: &TargetSpec) -> Result<Image, MeasureError> {
+    compile_to_image(&[w.source], spec).map_err(MeasureError::Build)
+}
+
+/// A sink that feeds several sinks at once.
+pub struct Tee<'a>(pub Vec<&'a mut dyn AccessSink>);
+
+impl AccessSink for Tee<'_> {
+    fn fetch(&mut self, addr: u32, bytes: u8) {
+        for s in &mut self.0 {
+            s.fetch(addr, bytes);
+        }
+    }
+    fn read(&mut self, addr: u32, bytes: u8) {
+        for s in &mut self.0 {
+            s.read(addr, bytes);
+        }
+    }
+    fn write(&mut self, addr: u32, bytes: u8) {
+        for s in &mut self.0 {
+            s.write(addr, bytes);
+        }
+    }
+}
+
+/// Builds, runs and measures one cell; optionally records the full access
+/// trace (for the cache experiments).
+///
+/// # Errors
+///
+/// Fails on toolchain errors, simulator faults, fuel exhaustion, or a
+/// checksum mismatch against the workload's pinned value.
+pub fn measure(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    let image = build(w, spec)?;
+    let mut machine = Machine::load(&image);
+    let mut fb32 = d16_mem::FetchBuffer::new(4);
+    let mut fb64 = d16_mem::FetchBuffer::new(8);
+    let mut rec = TraceRecorder::new();
+    let stop = {
+        let mut sinks: Vec<&mut dyn AccessSink> = vec![&mut fb32, &mut fb64];
+        if want_trace {
+            sinks.push(&mut rec);
+        }
+        let mut tee = Tee(sinks);
+        machine.run(FUEL, &mut tee).map_err(MeasureError::Sim)?
+    };
+    let exit = match stop {
+        StopReason::Halted(v) => v,
+        StopReason::OutOfFuel => return Err(MeasureError::OutOfFuel),
+    };
+    if let Some(expected) = w.expected {
+        if exit != expected {
+            return Err(MeasureError::WrongChecksum { expected, got: exit });
+        }
+    }
+    let m = Measurement {
+        workload: w.name,
+        target: spec.label(),
+        exit,
+        size_bytes: image.size_bytes() as u64,
+        text_bytes: image.text.len() as u64,
+        stats: *machine.stats(),
+        ireq_bus32: fb32.irequests,
+        ireq_bus64: fb64.irequests,
+    };
+    Ok((m, want_trace.then_some(rec)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_queens_on_both_isas() {
+        let w = d16_workloads::by_name("queens").unwrap();
+        let (d16, _) = measure(w, &TargetSpec::d16(), false).unwrap();
+        let (dlxe, _) = measure(w, &TargetSpec::dlxe(), false).unwrap();
+        assert_eq!(d16.exit, 92);
+        assert_eq!(dlxe.exit, 92);
+        assert!(d16.size_bytes < dlxe.size_bytes, "D16 binaries are denser");
+        assert!(d16.stats.insns >= dlxe.stats.insns, "DLXe path is not longer");
+        // 32-bit bus: D16 fetches two instructions per request.
+        assert!(d16.ireq_bus32 < d16.stats.insns);
+        assert_eq!(dlxe.ireq_bus32, dlxe.stats.insns, "k=1 for DLXe on a 32-bit bus");
+        assert!(d16.ireq_bus64 <= d16.ireq_bus32);
+    }
+
+    #[test]
+    fn trace_lengths_match_stats() {
+        let w = d16_workloads::by_name("ackermann").unwrap();
+        let (m, trace) = measure(w, &TargetSpec::d16(), true).unwrap();
+        let t = trace.unwrap();
+        let fetches =
+            t.trace.iter().filter(|a| matches!(a, d16_sim::Access::Fetch(..))).count() as u64;
+        assert_eq!(fetches, m.stats.insns);
+    }
+}

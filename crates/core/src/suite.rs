@@ -1,0 +1,153 @@
+//! Collecting the full measurement grid: every workload on every target
+//! configuration, plus access traces for the cache benchmarks.
+
+use crate::measure::{measure, Measurement, MeasureError};
+use d16_cc::TargetSpec;
+use d16_isa::Isa;
+use d16_sim::TraceRecorder;
+use d16_workloads::{Workload, SUITE};
+use std::collections::BTreeMap;
+
+/// The five configurations of the paper's grid (Tables 6–7):
+/// `D16/16/2, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3`.
+pub fn standard_specs() -> Vec<TargetSpec> {
+    vec![
+        TargetSpec::d16(),
+        TargetSpec::dlxe_restricted(true, true, false),
+        TargetSpec::dlxe_restricted(true, false, false),
+        TargetSpec::dlxe_restricted(false, true, false),
+        TargetSpec::dlxe(),
+    ]
+}
+
+/// The two unrestricted machines the headline comparison uses.
+pub fn base_specs() -> [TargetSpec; 2] {
+    [TargetSpec::d16(), TargetSpec::dlxe()]
+}
+
+/// The whole measurement grid.
+#[derive(Clone, Debug, Default)]
+pub struct Suite {
+    /// `(workload, target label) -> measurement`.
+    pub cells: BTreeMap<(String, String), Measurement>,
+    /// `(workload, ISA name) -> trace`, for the cache benchmarks.
+    pub traces: BTreeMap<(String, String), TraceRecorder>,
+}
+
+impl Suite {
+    /// Measures the given workloads under the given specs. Traces are
+    /// recorded for cache-benchmark workloads on the two unrestricted
+    /// machines when `trace_cache` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing (workload, target) pair with its error.
+    pub fn collect_for(
+        workloads: &[&Workload],
+        specs: &[TargetSpec],
+        trace_cache: bool,
+    ) -> Result<Suite, (String, String, MeasureError)> {
+        let mut suite = Suite::default();
+        for w in workloads {
+            for spec in specs {
+                let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
+                let want_trace = trace_cache && w.cache_benchmark && unrestricted;
+                let (m, trace) = measure(w, spec, want_trace)
+                    .map_err(|e| (w.name.to_string(), spec.label(), e))?;
+                if let Some(t) = trace {
+                    suite.traces.insert((w.name.to_string(), spec.isa.name().to_string()), t);
+                }
+                suite.cells.insert((w.name.to_string(), spec.label()), m);
+            }
+        }
+        // Cross-target checksum agreement: the joint correctness gate.
+        for w in workloads {
+            let mut exits: Vec<(String, i32)> = suite
+                .cells
+                .iter()
+                .filter(|((name, _), _)| name == w.name)
+                .map(|((_, t), m)| (t.clone(), m.exit))
+                .collect();
+            exits.dedup_by_key(|(_, e)| *e);
+            if exits.iter().map(|(_, e)| e).collect::<std::collections::BTreeSet<_>>().len() > 1
+            {
+                return Err((
+                    w.name.to_string(),
+                    "all".into(),
+                    MeasureError::WrongChecksum {
+                        expected: exits[0].1,
+                        got: exits[1].1,
+                    },
+                ));
+            }
+        }
+        Ok(suite)
+    }
+
+    /// Measures the full paper grid: all fifteen workloads on all five
+    /// configurations, with cache-benchmark traces.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for`].
+    pub fn collect() -> Result<Suite, (String, String, MeasureError)> {
+        let all: Vec<&Workload> = SUITE.iter().collect();
+        Self::collect_for(&all, &standard_specs(), true)
+    }
+
+    /// The measurement for one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not collected.
+    pub fn get(&self, workload: &str, target: &str) -> &Measurement {
+        self.cells
+            .get(&(workload.to_string(), target.to_string()))
+            .unwrap_or_else(|| panic!("cell ({workload}, {target}) not collected"))
+    }
+
+    /// The trace for a cache benchmark on an unrestricted machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace was not recorded.
+    pub fn trace(&self, workload: &str, isa: Isa) -> &TraceRecorder {
+        self.traces
+            .get(&(workload.to_string(), isa.name().to_string()))
+            .unwrap_or_else(|| panic!("trace ({workload}, {isa}) not recorded"))
+    }
+
+    /// Workload names present, in collection order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for (w, _) in self.cells.keys() {
+            if !names.contains(w) {
+                names.push(w.clone());
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cover_the_grid() {
+        let labels: Vec<String> = standard_specs().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"]
+        );
+    }
+
+    #[test]
+    fn collect_small_subset() {
+        let ws = [d16_workloads::by_name("towers").unwrap()];
+        let suite = Suite::collect_for(&ws, &base_specs(), false).unwrap();
+        assert_eq!(suite.cells.len(), 2);
+        assert_eq!(suite.get("towers", "D16/16/2").exit, 16383);
+        assert_eq!(suite.workloads(), vec!["towers".to_string()]);
+    }
+}

@@ -1,0 +1,705 @@
+//! The D16 16-bit instruction format: encoder and decoder.
+//!
+//! The format figure in the surviving paper text is OCR-garbled, so this is
+//! a *reconstruction* that satisfies every constraint stated in the prose
+//! and in Table 1 (see DESIGN.md §2 and §4). Field layout, most significant
+//! bits first:
+//!
+//! ```text
+//! MEM   1 1 o ddddd yyyy xxxx   o: 0=ld 1=st (word); disp = d*4 (0..124); base ry
+//! BR    1 0 1 oo 0 ddddddddd    oo: 0=br 1=bz 2=bnz; disp = d*2, signed (±1024 bytes)
+//! LDC   1 0 0 0 dddddddd xxxx   rx <- mem[align4(pc+2) + d*4]  (literal pool, 0..1020)
+//! REG   0 1 oooooo yyyy xxxx    two-address ops, compares, jumps, subword memory, FPU
+//! MVI   0 0 1 sssssssss xxxx    rx <- sext(imm9)
+//! IMM   0 0 0 1 ooo iiiii xxxx  ooo: addi subi shli shri shrai cmpeqi; imm unsigned 5 bits
+//! SYS   0 0 0 0 oooo cccccccc   0=nop 1=trap(code c) 2=rdsr(rx in low nibble)
+//! ```
+//!
+//! All the paper's stated properties hold: sixteen-bit instructions; 4-bit
+//! register fields addressing sixteen GPRs and sixteen FPRs; two-address
+//! ALU operations; unsigned 5-bit ALU immediates; a sign-extended 9-bit
+//! move-immediate; word-aligned load/store displacements limited to 128
+//! bytes; non-offsettable subword accesses; PC-relative branches with a
+//! 1024-byte limit; jumps to absolute addresses in registers with linkage
+//! register `r1`; compares with fixed destination `r0`.
+
+use crate::insn::Insn;
+use crate::op::{AluOp, Cond, CvtOp, FpCond, FpOp, MemWidth, Prec, TrapCode, UnOp};
+use crate::reg::{abi, Fpr, Gpr};
+use crate::{DecodeError, EncodeError};
+
+/// Inclusive maximum word-mode load/store displacement (bytes).
+pub const MAX_MEM_DISP: i32 = 124;
+/// Inclusive maximum literal-pool (`ldc`) displacement (bytes, forward).
+pub const MAX_LDC_DISP: i32 = 1020;
+/// Branch displacement range in bytes, relative to the delay slot.
+pub const BR_RANGE: std::ops::RangeInclusive<i32> = -1024..=1022;
+/// ALU immediate range (unsigned five bits).
+pub const ALU_IMM_RANGE: std::ops::RangeInclusive<i32> = 0..=31;
+/// Move-immediate range (signed nine bits).
+pub const MVI_RANGE: std::ops::RangeInclusive<i32> = -256..=255;
+
+// REG-format opcode assignments (6 bits).
+mod regop {
+    pub const ADD: u16 = 0;
+    pub const SUB: u16 = 1;
+    pub const AND: u16 = 2;
+    pub const OR: u16 = 3;
+    pub const XOR: u16 = 4;
+    pub const SHL: u16 = 5;
+    pub const SHR: u16 = 6;
+    pub const SHRA: u16 = 7;
+    pub const NEG: u16 = 8;
+    pub const INV: u16 = 9;
+    pub const MV: u16 = 10;
+    pub const CMP_BASE: u16 = 11; // eq ne lt ltu le leu -> 11..16
+    pub const J: u16 = 17;
+    pub const JZ: u16 = 18;
+    pub const JNZ: u16 = 19;
+    pub const JL: u16 = 20;
+    pub const LDH: u16 = 21;
+    pub const LDHU: u16 = 22;
+    pub const LDB: u16 = 23;
+    pub const LDBU: u16 = 24;
+    pub const STH: u16 = 25;
+    pub const STB: u16 = 26;
+    pub const MTF: u16 = 27;
+    pub const MFF: u16 = 28;
+    pub const FALU_S_BASE: u16 = 29; // add sub mul div -> 29..32
+    pub const FNEG_S: u16 = 33;
+    pub const FALU_D_BASE: u16 = 34; // add sub mul div -> 34..37
+    pub const FNEG_D: u16 = 38;
+    pub const FCMP_S_BASE: u16 = 39; // eq lt le -> 39..41
+    pub const FCMP_D_BASE: u16 = 42; // eq lt le -> 42..44
+    pub const CVT_BASE: u16 = 45; // si2sf si2df sf2df df2sf sf2si df2si -> 45..50
+}
+
+fn d16_cond_index(cond: Cond) -> Option<u16> {
+    Some(match cond {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ltu => 3,
+        Cond::Le => 4,
+        Cond::Leu => 5,
+        _ => return None,
+    })
+}
+
+fn cond_from_index(i: u16) -> Cond {
+    [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ltu, Cond::Le, Cond::Leu][i as usize]
+}
+
+fn fcond_index(c: FpCond) -> u16 {
+    match c {
+        FpCond::Eq => 0,
+        FpCond::Lt => 1,
+        FpCond::Le => 2,
+    }
+}
+
+fn fcond_from_index(i: u16) -> FpCond {
+    [FpCond::Eq, FpCond::Lt, FpCond::Le][i as usize]
+}
+
+fn fpop_index(op: FpOp) -> u16 {
+    match op {
+        FpOp::Add => 0,
+        FpOp::Sub => 1,
+        FpOp::Mul => 2,
+        FpOp::Div => 3,
+    }
+}
+
+fn fpop_from_index(i: u16) -> FpOp {
+    [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div][i as usize]
+}
+
+fn cvt_index(op: CvtOp) -> u16 {
+    match op {
+        CvtOp::Si2Sf => 0,
+        CvtOp::Si2Df => 1,
+        CvtOp::Sf2Df => 2,
+        CvtOp::Df2Sf => 3,
+        CvtOp::Sf2Si => 4,
+        CvtOp::Df2Si => 5,
+    }
+}
+
+fn cvt_from_index(i: u16) -> CvtOp {
+    [CvtOp::Si2Sf, CvtOp::Si2Df, CvtOp::Sf2Df, CvtOp::Df2Sf, CvtOp::Sf2Si, CvtOp::Df2Si]
+        [i as usize]
+}
+
+fn gpr4(r: Gpr) -> Result<u16, EncodeError> {
+    if r.fits_d16() {
+        Ok(r.number() as u16)
+    } else {
+        Err(EncodeError::RegisterOutOfRange(r.number()))
+    }
+}
+
+fn fpr4(r: Fpr) -> Result<u16, EncodeError> {
+    if r.fits_d16() {
+        Ok(r.number() as u16)
+    } else {
+        Err(EncodeError::RegisterOutOfRange(r.number()))
+    }
+}
+
+fn reg_format(op: u16, ry: u16, rx: u16) -> u16 {
+    0b01 << 14 | op << 8 | ry << 4 | rx
+}
+
+fn check_two_address(rd: Gpr, rs1: Gpr) -> Result<(), EncodeError> {
+    if rd == rs1 {
+        Ok(())
+    } else {
+        Err(EncodeError::NotTwoAddress)
+    }
+}
+
+fn check_double(r: Fpr) -> Result<(), EncodeError> {
+    if r.is_even() {
+        Ok(())
+    } else {
+        Err(EncodeError::OddDoubleRegister(r.number()))
+    }
+}
+
+/// Encodes one instruction into its 16-bit D16 representation.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if the instruction uses an operand shape the
+/// D16 format cannot express: a register above `r15`/`f15`, a three-address
+/// ALU shape (`rd != rs1`), an out-of-range immediate or displacement, an
+/// offsettable subword access, a compare whose destination is not `r0`, a
+/// condition outside the D16 set, or a DLXe-only operation (`mvhi`,
+/// J-format jumps, immediate compares other than the `cmpeqi` extension).
+pub fn encode(insn: &Insn) -> Result<u16, EncodeError> {
+    match *insn {
+        Insn::Alu { op, rd, rs1, rs2 } => {
+            check_two_address(rd, rs1)?;
+            let opc = match op {
+                AluOp::Add => regop::ADD,
+                AluOp::Sub => regop::SUB,
+                AluOp::And => regop::AND,
+                AluOp::Or => regop::OR,
+                AluOp::Xor => regop::XOR,
+                AluOp::Shl => regop::SHL,
+                AluOp::Shr => regop::SHR,
+                AluOp::Shra => regop::SHRA,
+            };
+            Ok(reg_format(opc, gpr4(rs2)?, gpr4(rd)?))
+        }
+        Insn::AluI { op, rd, rs1, imm } => {
+            check_two_address(rd, rs1)?;
+            if !ALU_IMM_RANGE.contains(&imm) {
+                return Err(EncodeError::ImmediateOutOfRange(imm));
+            }
+            let opc = match op {
+                AluOp::Add => 0u16,
+                AluOp::Sub => 1,
+                AluOp::Shl => 2,
+                AluOp::Shr => 3,
+                AluOp::Shra => 4,
+                _ => return Err(EncodeError::NoImmediateForm(op)),
+            };
+            Ok(0b0001 << 12 | opc << 9 | (imm as u16) << 4 | gpr4(rd)?)
+        }
+        Insn::Un { op, rd, rs } => {
+            let opc = match op {
+                UnOp::Neg => regop::NEG,
+                UnOp::Inv => regop::INV,
+                UnOp::Mv => regop::MV,
+            };
+            Ok(reg_format(opc, gpr4(rs)?, gpr4(rd)?))
+        }
+        Insn::Mvi { rd, imm } => {
+            if !MVI_RANGE.contains(&imm) {
+                return Err(EncodeError::ImmediateOutOfRange(imm));
+            }
+            Ok(0b001 << 13 | ((imm as u16) & 0x1ff) << 4 | gpr4(rd)?)
+        }
+        Insn::Lui { .. } => Err(EncodeError::NotInIsa("mvhi")),
+        Insn::Cmp { cond, rd, rs1, rs2 } => {
+            if rd != abi::R0 {
+                return Err(EncodeError::CompareDestNotR0);
+            }
+            let ci = d16_cond_index(cond).ok_or(EncodeError::ConditionNotInIsa(cond))?;
+            Ok(reg_format(regop::CMP_BASE + ci, gpr4(rs2)?, gpr4(rs1)?))
+        }
+        Insn::CmpI { cond, rd, rs1, imm } => {
+            // The cmpeqi extension discussed in the paper's §3.3.3. The
+            // bit pattern exists; whether the compiler uses it is a
+            // TargetSpec option.
+            if cond != Cond::Eq {
+                return Err(EncodeError::ConditionNotInIsa(cond));
+            }
+            if rd != abi::R0 {
+                return Err(EncodeError::CompareDestNotR0);
+            }
+            if !ALU_IMM_RANGE.contains(&imm) {
+                return Err(EncodeError::ImmediateOutOfRange(imm));
+            }
+            Ok(0b0001 << 12 | 5 << 9 | (imm as u16) << 4 | gpr4(rs1)?)
+        }
+        Insn::Ld { w, rd, base, disp } => match w {
+            MemWidth::W => {
+                check_mem_disp(disp)?;
+                Ok(0b11 << 14 | ((disp as u16) / 4) << 8 | gpr4(base)? << 4 | gpr4(rd)?)
+            }
+            _ => {
+                if disp != 0 {
+                    return Err(EncodeError::SubwordDisplacement(disp));
+                }
+                let opc = match w {
+                    MemWidth::H => regop::LDH,
+                    MemWidth::Hu => regop::LDHU,
+                    MemWidth::B => regop::LDB,
+                    MemWidth::Bu => regop::LDBU,
+                    MemWidth::W => unreachable!(),
+                };
+                Ok(reg_format(opc, gpr4(base)?, gpr4(rd)?))
+            }
+        },
+        Insn::St { w, rs, base, disp } => match w {
+            MemWidth::W => {
+                check_mem_disp(disp)?;
+                Ok(0b11 << 14
+                    | 1 << 13
+                    | ((disp as u16) / 4) << 8
+                    | gpr4(base)? << 4
+                    | gpr4(rs)?)
+            }
+            _ => {
+                if disp != 0 {
+                    return Err(EncodeError::SubwordDisplacement(disp));
+                }
+                let opc = match w {
+                    MemWidth::H | MemWidth::Hu => regop::STH,
+                    MemWidth::B | MemWidth::Bu => regop::STB,
+                    MemWidth::W => unreachable!(),
+                };
+                Ok(reg_format(opc, gpr4(base)?, gpr4(rs)?))
+            }
+        },
+        Insn::Ldc { rd, disp } => {
+            if disp < 0 || disp > MAX_LDC_DISP || disp % 4 != 0 {
+                return Err(EncodeError::DisplacementOutOfRange(disp));
+            }
+            Ok(0b100_0 << 12 | ((disp as u16) / 4) << 4 | gpr4(rd)?)
+        }
+        Insn::Br { disp } => encode_branch(0, disp),
+        Insn::Bc { neg, rs, disp } => {
+            if rs != abi::R0 {
+                return Err(EncodeError::BranchSourceNotR0);
+            }
+            encode_branch(if neg { 2 } else { 1 }, disp)
+        }
+        Insn::J { target } => Ok(reg_format(regop::J, gpr4(target)?, 0)),
+        Insn::Jc { neg, rs, target } => {
+            if rs != abi::R0 {
+                return Err(EncodeError::BranchSourceNotR0);
+            }
+            let opc = if neg { regop::JNZ } else { regop::JZ };
+            Ok(reg_format(opc, gpr4(target)?, 0))
+        }
+        Insn::Jl { target } => Ok(reg_format(regop::JL, gpr4(target)?, 0)),
+        Insn::Jdisp { .. } => Err(EncodeError::NotInIsa("J-format jump")),
+        Insn::FAlu { op, prec, fd, fs1, fs2 } => {
+            if fd != fs1 {
+                return Err(EncodeError::NotTwoAddress);
+            }
+            if prec == Prec::D {
+                check_double(fd)?;
+                check_double(fs2)?;
+            }
+            let base = match prec {
+                Prec::S => regop::FALU_S_BASE,
+                Prec::D => regop::FALU_D_BASE,
+            };
+            Ok(reg_format(base + fpop_index(op), fpr4(fs2)?, fpr4(fd)?))
+        }
+        Insn::FNeg { prec, fd, fs } => {
+            if prec == Prec::D {
+                check_double(fd)?;
+                check_double(fs)?;
+            }
+            let opc = match prec {
+                Prec::S => regop::FNEG_S,
+                Prec::D => regop::FNEG_D,
+            };
+            Ok(reg_format(opc, fpr4(fs)?, fpr4(fd)?))
+        }
+        Insn::FCmp { cond, prec, fs1, fs2 } => {
+            if prec == Prec::D {
+                check_double(fs1)?;
+                check_double(fs2)?;
+            }
+            let base = match prec {
+                Prec::S => regop::FCMP_S_BASE,
+                Prec::D => regop::FCMP_D_BASE,
+            };
+            Ok(reg_format(base + fcond_index(cond), fpr4(fs2)?, fpr4(fs1)?))
+        }
+        Insn::Cvt { op, fd, fs } => {
+            if op.dst_is_double() {
+                check_double(fd)?;
+            }
+            if op.src_is_double() {
+                check_double(fs)?;
+            }
+            Ok(reg_format(regop::CVT_BASE + cvt_index(op), fpr4(fs)?, fpr4(fd)?))
+        }
+        Insn::Mtf { fd, rs } => Ok(reg_format(regop::MTF, fpr4(fd)?, gpr4(rs)?)),
+        Insn::Mff { rd, fs } => Ok(reg_format(regop::MFF, fpr4(fs)?, gpr4(rd)?)),
+        Insn::Rdsr { rd } => Ok(2 << 8 | gpr4(rd)?),
+        Insn::Trap { code } => Ok(1 << 8 | code.code() as u16),
+        Insn::Nop => Ok(0),
+    }
+}
+
+fn check_mem_disp(disp: i32) -> Result<(), EncodeError> {
+    if disp < 0 || disp > MAX_MEM_DISP || disp % 4 != 0 {
+        Err(EncodeError::DisplacementOutOfRange(disp))
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_branch(op: u16, disp: i32) -> Result<u16, EncodeError> {
+    if disp % 2 != 0 || !BR_RANGE.contains(&disp) {
+        return Err(EncodeError::DisplacementOutOfRange(disp));
+    }
+    let units = ((disp / 2) as u16) & 0x3ff;
+    Ok(0b101 << 13 | op << 11 | units)
+}
+
+/// Decodes a 16-bit D16 instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved patterns.
+pub fn decode(word: u16) -> Result<Insn, DecodeError> {
+    let rx = Gpr::new((word & 0xf) as u8);
+    let ry = Gpr::new(((word >> 4) & 0xf) as u8);
+    let fx = Fpr::new((word & 0xf) as u8);
+    let fy = Fpr::new(((word >> 4) & 0xf) as u8);
+    let ill = || DecodeError::Illegal(word as u32);
+
+    if word >> 14 == 0b11 {
+        // MEM
+        let disp = (((word >> 8) & 0x1f) * 4) as i32;
+        return Ok(if word & (1 << 13) == 0 {
+            Insn::Ld { w: MemWidth::W, rd: rx, base: ry, disp }
+        } else {
+            Insn::St { w: MemWidth::W, rs: rx, base: ry, disp }
+        });
+    }
+    if word >> 13 == 0b101 {
+        // BR
+        let op = (word >> 11) & 0b11;
+        let units = (word & 0x3ff) as i32;
+        let disp = (units << 22) >> 22 << 1; // sign-extend 10 bits, scale by 2
+        return match op {
+            0 => Ok(Insn::Br { disp }),
+            1 => Ok(Insn::Bc { neg: false, rs: abi::R0, disp }),
+            2 => Ok(Insn::Bc { neg: true, rs: abi::R0, disp }),
+            _ => Err(ill()),
+        };
+    }
+    if word >> 12 == 0b1000 {
+        // LDC
+        let disp = (((word >> 4) & 0xff) * 4) as i32;
+        return Ok(Insn::Ldc { rd: rx, disp });
+    }
+    if word >> 14 == 0b01 {
+        // REG
+        let op = (word >> 8) & 0x3f;
+        use regop::*;
+        return Ok(match op {
+            ADD..=SHRA => {
+                let alu = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::Shl,
+                    AluOp::Shr,
+                    AluOp::Shra,
+                ][op as usize];
+                Insn::Alu { op: alu, rd: rx, rs1: rx, rs2: ry }
+            }
+            NEG => Insn::Un { op: UnOp::Neg, rd: rx, rs: ry },
+            INV => Insn::Un { op: UnOp::Inv, rd: rx, rs: ry },
+            MV => Insn::Un { op: UnOp::Mv, rd: rx, rs: ry },
+            _ if (CMP_BASE..CMP_BASE + 6).contains(&op) => Insn::Cmp {
+                cond: cond_from_index(op - CMP_BASE),
+                rd: abi::R0,
+                rs1: rx,
+                rs2: ry,
+            },
+            J => Insn::J { target: ry },
+            JZ => Insn::Jc { neg: false, rs: abi::R0, target: ry },
+            JNZ => Insn::Jc { neg: true, rs: abi::R0, target: ry },
+            JL => Insn::Jl { target: ry },
+            LDH => Insn::Ld { w: MemWidth::H, rd: rx, base: ry, disp: 0 },
+            LDHU => Insn::Ld { w: MemWidth::Hu, rd: rx, base: ry, disp: 0 },
+            LDB => Insn::Ld { w: MemWidth::B, rd: rx, base: ry, disp: 0 },
+            LDBU => Insn::Ld { w: MemWidth::Bu, rd: rx, base: ry, disp: 0 },
+            STH => Insn::St { w: MemWidth::H, rs: rx, base: ry, disp: 0 },
+            STB => Insn::St { w: MemWidth::B, rs: rx, base: ry, disp: 0 },
+            MTF => Insn::Mtf { fd: fy, rs: rx },
+            MFF => Insn::Mff { rd: rx, fs: fy },
+            _ if (FALU_S_BASE..FALU_S_BASE + 4).contains(&op) => Insn::FAlu {
+                op: fpop_from_index(op - FALU_S_BASE),
+                prec: Prec::S,
+                fd: fx,
+                fs1: fx,
+                fs2: fy,
+            },
+            FNEG_S => Insn::FNeg { prec: Prec::S, fd: fx, fs: fy },
+            _ if (FALU_D_BASE..FALU_D_BASE + 4).contains(&op) => {
+                if !fx.is_even() || !fy.is_even() {
+                    return Err(ill());
+                }
+                Insn::FAlu {
+                    op: fpop_from_index(op - FALU_D_BASE),
+                    prec: Prec::D,
+                    fd: fx,
+                    fs1: fx,
+                    fs2: fy,
+                }
+            }
+            FNEG_D => {
+                if !fx.is_even() || !fy.is_even() {
+                    return Err(ill());
+                }
+                Insn::FNeg { prec: Prec::D, fd: fx, fs: fy }
+            }
+            _ if (FCMP_S_BASE..FCMP_S_BASE + 3).contains(&op) => Insn::FCmp {
+                cond: fcond_from_index(op - FCMP_S_BASE),
+                prec: Prec::S,
+                fs1: fx,
+                fs2: fy,
+            },
+            _ if (FCMP_D_BASE..FCMP_D_BASE + 3).contains(&op) => {
+                if !fx.is_even() || !fy.is_even() {
+                    return Err(ill());
+                }
+                Insn::FCmp {
+                    cond: fcond_from_index(op - FCMP_D_BASE),
+                    prec: Prec::D,
+                    fs1: fx,
+                    fs2: fy,
+                }
+            }
+            _ if (CVT_BASE..CVT_BASE + 6).contains(&op) => {
+                let cvt = cvt_from_index(op - CVT_BASE);
+                if (cvt.dst_is_double() && !fx.is_even())
+                    || (cvt.src_is_double() && !fy.is_even())
+                {
+                    return Err(ill());
+                }
+                Insn::Cvt { op: cvt, fd: fx, fs: fy }
+            }
+            _ => return Err(ill()),
+        });
+    }
+    if word >> 13 == 0b001 {
+        // MVI
+        let raw = ((word >> 4) & 0x1ff) as i32;
+        let imm = (raw << 23) >> 23; // sign-extend 9 bits
+        return Ok(Insn::Mvi { rd: rx, imm });
+    }
+    if word >> 12 == 0b0001 {
+        // IMM
+        let op = (word >> 9) & 0b111;
+        let imm = ((word >> 4) & 0x1f) as i32;
+        return Ok(match op {
+            0 => Insn::AluI { op: AluOp::Add, rd: rx, rs1: rx, imm },
+            1 => Insn::AluI { op: AluOp::Sub, rd: rx, rs1: rx, imm },
+            2 => Insn::AluI { op: AluOp::Shl, rd: rx, rs1: rx, imm },
+            3 => Insn::AluI { op: AluOp::Shr, rd: rx, rs1: rx, imm },
+            4 => Insn::AluI { op: AluOp::Shra, rd: rx, rs1: rx, imm },
+            5 => Insn::CmpI { cond: Cond::Eq, rd: abi::R0, rs1: rx, imm },
+            _ => return Err(ill()),
+        });
+    }
+    if word >> 12 != 0 {
+        // The 1001 prefix is reserved.
+        return Err(ill());
+    }
+    // SYS: top four bits zero.
+    let op = (word >> 8) & 0xf;
+    match op {
+        0 if word == 0 => Ok(Insn::Nop),
+        1 => TrapCode::from_code((word & 0xff) as u8)
+            .map(|code| Insn::Trap { code })
+            .ok_or_else(ill),
+        2 => Ok(Insn::Rdsr { rd: rx }),
+        _ => Err(ill()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(insn: Insn) -> Insn {
+        let w = encode(&insn).unwrap_or_else(|e| panic!("encode {insn:?}: {e}"));
+        decode(w).unwrap_or_else(|e| panic!("decode {w:#06x}: {e}"))
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let r = Gpr::new;
+        let f = Fpr::new;
+        let cases = [
+            Insn::Alu { op: AluOp::Add, rd: r(3), rs1: r(3), rs2: r(7) },
+            Insn::Alu { op: AluOp::Shra, rd: r(15), rs1: r(15), rs2: r(0) },
+            Insn::AluI { op: AluOp::Add, rd: r(4), rs1: r(4), imm: 31 },
+            Insn::AluI { op: AluOp::Shl, rd: r(4), rs1: r(4), imm: 0 },
+            Insn::Un { op: UnOp::Neg, rd: r(2), rs: r(9) },
+            Insn::Un { op: UnOp::Mv, rd: r(14), rs: r(1) },
+            Insn::Mvi { rd: r(6), imm: -256 },
+            Insn::Mvi { rd: r(6), imm: 255 },
+            Insn::Cmp { cond: Cond::Leu, rd: abi::R0, rs1: r(5), rs2: r(6) },
+            Insn::CmpI { cond: Cond::Eq, rd: abi::R0, rs1: r(5), imm: 17 },
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: r(15), disp: 124 },
+            Insn::Ld { w: MemWidth::Bu, rd: r(2), base: r(3), disp: 0 },
+            Insn::St { w: MemWidth::W, rs: r(2), base: r(15), disp: 0 },
+            Insn::St { w: MemWidth::H, rs: r(2), base: r(3), disp: 0 },
+            Insn::Ldc { rd: r(9), disp: 1020 },
+            Insn::Br { disp: -1024 },
+            Insn::Br { disp: 1022 },
+            Insn::Bc { neg: true, rs: abi::R0, disp: 100 },
+            Insn::J { target: r(1) },
+            Insn::Jc { neg: false, rs: abi::R0, target: r(9) },
+            Insn::Jl { target: r(12) },
+            Insn::FAlu { op: FpOp::Div, prec: Prec::D, fd: f(4), fs1: f(4), fs2: f(10) },
+            Insn::FNeg { prec: Prec::S, fd: f(1), fs: f(15) },
+            Insn::FCmp { cond: FpCond::Le, prec: Prec::S, fs1: f(3), fs2: f(8) },
+            Insn::Cvt { op: CvtOp::Df2Si, fd: f(5), fs: f(6) },
+            Insn::Mtf { fd: f(7), rs: r(8) },
+            Insn::Mff { rd: r(8), fs: f(7) },
+            Insn::Rdsr { rd: r(11) },
+            Insn::Trap { code: TrapCode::Halt },
+            Insn::Trap { code: TrapCode::PutInt },
+            Insn::Nop,
+        ];
+        for c in cases {
+            assert_eq!(rt(c), c);
+        }
+    }
+
+    #[test]
+    fn rejects_three_address() {
+        let e = encode(&Insn::Alu {
+            op: AluOp::Add,
+            rd: Gpr::new(1),
+            rs1: Gpr::new(2),
+            rs2: Gpr::new(3),
+        });
+        assert!(matches!(e, Err(EncodeError::NotTwoAddress)));
+    }
+
+    #[test]
+    fn rejects_wide_registers() {
+        let e = encode(&Insn::Un { op: UnOp::Mv, rd: Gpr::new(16), rs: Gpr::new(0) });
+        assert!(matches!(e, Err(EncodeError::RegisterOutOfRange(16))));
+    }
+
+    #[test]
+    fn rejects_large_immediates() {
+        let e = encode(&Insn::AluI { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(1), imm: 32 });
+        assert!(matches!(e, Err(EncodeError::ImmediateOutOfRange(32))));
+        let e = encode(&Insn::Mvi { rd: Gpr::new(1), imm: 256 });
+        assert!(matches!(e, Err(EncodeError::ImmediateOutOfRange(256))));
+    }
+
+    #[test]
+    fn rejects_mem_displacement_beyond_128() {
+        let e = encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: 128 });
+        assert!(matches!(e, Err(EncodeError::DisplacementOutOfRange(128))));
+        let e = encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: 6 });
+        assert!(matches!(e, Err(EncodeError::DisplacementOutOfRange(6))), "unaligned");
+        let e = encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: -4 });
+        assert!(e.is_err(), "negative word displacement");
+    }
+
+    #[test]
+    fn rejects_offsettable_subword() {
+        let e = encode(&Insn::Ld { w: MemWidth::B, rd: Gpr::new(1), base: abi::SP, disp: 1 });
+        assert!(matches!(e, Err(EncodeError::SubwordDisplacement(1))));
+    }
+
+    #[test]
+    fn rejects_branch_beyond_1k() {
+        assert!(encode(&Insn::Br { disp: 1024 }).is_err());
+        assert!(encode(&Insn::Br { disp: -1026 }).is_err());
+        assert!(encode(&Insn::Br { disp: 3 }).is_err(), "odd displacement");
+        assert!(encode(&Insn::Br { disp: 1022 }).is_ok());
+    }
+
+    #[test]
+    fn rejects_dlxe_only_shapes() {
+        assert!(encode(&Insn::Lui { rd: Gpr::new(1), imm: 5 }).is_err());
+        assert!(encode(&Insn::Jdisp { link: true, disp: 0 }).is_err());
+        assert!(encode(&Insn::AluI {
+            op: AluOp::And,
+            rd: Gpr::new(1),
+            rs1: Gpr::new(1),
+            imm: 1
+        })
+        .is_err());
+        assert!(encode(&Insn::Cmp {
+            cond: Cond::Gt,
+            rd: abi::R0,
+            rs1: Gpr::new(1),
+            rs2: Gpr::new(2)
+        })
+        .is_err());
+        assert!(encode(&Insn::Cmp {
+            cond: Cond::Eq,
+            rd: Gpr::new(3),
+            rs1: Gpr::new(1),
+            rs2: Gpr::new(2)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_odd_double_registers() {
+        let e = encode(&Insn::FAlu {
+            op: FpOp::Add,
+            prec: Prec::D,
+            fd: Fpr::new(3),
+            fs1: Fpr::new(3),
+            fs2: Fpr::new(4),
+        });
+        assert!(matches!(e, Err(EncodeError::OddDoubleRegister(3))));
+    }
+
+    #[test]
+    fn exhaustive_decode_encode_roundtrip() {
+        // Every 16-bit pattern either fails to decode or decodes to an
+        // instruction that re-encodes to an equivalent pattern (fields the
+        // format ignores, like the rx field of jumps, are not preserved).
+        let mut decodable = 0u32;
+        for w in 0..=u16::MAX {
+            if let Ok(insn) = decode(w) {
+                decodable += 1;
+                let w2 = encode(&insn)
+                    .unwrap_or_else(|e| panic!("re-encode of {w:#06x} -> {insn:?}: {e}"));
+                let insn2 = decode(w2).unwrap();
+                assert_eq!(insn, insn2, "{w:#06x} vs {w2:#06x}");
+            }
+        }
+        // Sanity: a healthy fraction of the space decodes (MEM alone is 2^14).
+        assert!(decodable > 40_000, "only {decodable} patterns decodable");
+    }
+}

@@ -1,0 +1,114 @@
+//! Textual disassembly of abstract instructions.
+//!
+//! The mnemonics follow the paper's Table 1 (`ld`, `bnz`, `add.sf`,
+//! `si2sf`, ...). The output is accepted back by the `d16-asm` assembler,
+//! which the assembler's round-trip tests rely on.
+
+use crate::insn::Insn;
+use crate::op::UnOp;
+
+/// Renders one instruction as assembly text.
+///
+/// PC-relative displacements are shown as `.+N`/`.-N` relative to the
+/// *next* instruction's address, matching the internal displacement
+/// convention.
+///
+/// ```
+/// use d16_isa::{disassemble, Insn, AluOp, Gpr};
+/// let i = Insn::AluI { op: AluOp::Add, rd: Gpr::new(4), rs1: Gpr::new(4), imm: 12 };
+/// assert_eq!(disassemble(&i), "addi r4, r4, 12");
+/// ```
+pub fn disassemble(insn: &Insn) -> String {
+    match *insn {
+        Insn::Alu { op, rd, rs1, rs2 } => format!("{op} {rd}, {rs1}, {rs2}"),
+        Insn::AluI { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", op.imm_mnemonic())
+        }
+        Insn::Un { op, rd, rs } => match op {
+            UnOp::Mv => format!("mv {rd}, {rs}"),
+            _ => format!("{op} {rd}, {rs}"),
+        },
+        Insn::Mvi { rd, imm } => format!("mvi {rd}, {imm}"),
+        Insn::Lui { rd, imm } => format!("mvhi {rd}, {imm}"),
+        Insn::Cmp { cond, rd, rs1, rs2 } => format!("cmp{cond} {rd}, {rs1}, {rs2}"),
+        Insn::CmpI { cond, rd, rs1, imm } => format!("cmp{cond}i {rd}, {rs1}, {imm}"),
+        Insn::Ld { w, rd, base, disp } => {
+            format!("{} {rd}, {disp}({base})", w.load_mnemonic())
+        }
+        Insn::St { w, rs, base, disp } => {
+            format!("{} {rs}, {disp}({base})", w.store_mnemonic())
+        }
+        Insn::Ldc { rd, disp } => format!("ldc {rd}, .+{disp}"),
+        Insn::Br { disp } => format!("br {}", rel(disp)),
+        Insn::Bc { neg, rs, disp } => {
+            format!("{} {rs}, {}", if neg { "bnz" } else { "bz" }, rel(disp))
+        }
+        Insn::J { target } => format!("j {target}"),
+        Insn::Jc { neg, rs, target } => {
+            format!("{} {rs}, {target}", if neg { "jnz" } else { "jz" })
+        }
+        Insn::Jl { target } => format!("jl {target}"),
+        Insn::Jdisp { link, disp } => {
+            format!("{} {}", if link { "jal" } else { "jd" }, rel(disp))
+        }
+        Insn::FAlu { op, prec, fd, fs1, fs2 } => {
+            format!("{}.{} {fd}, {fs1}, {fs2}", op.mnemonic(), prec.suffix())
+        }
+        Insn::FNeg { prec, fd, fs } => format!("neg.{} {fd}, {fs}", prec.suffix()),
+        Insn::FCmp { cond, prec, fs1, fs2 } => {
+            format!("cmp{}.{} {fs1}, {fs2}", cond.suffix(), prec.suffix())
+        }
+        Insn::Cvt { op, fd, fs } => format!("{} {fd}, {fs}", op.mnemonic()),
+        Insn::Mtf { fd, rs } => format!("mtf {fd}, {rs}"),
+        Insn::Mff { rd, fs } => format!("mff {rd}, {fs}"),
+        Insn::Rdsr { rd } => format!("rdsr {rd}"),
+        Insn::Trap { code } => format!("trap {}", code.code()),
+        Insn::Nop => "nop".to_string(),
+    }
+}
+
+fn rel(disp: i32) -> String {
+    if disp >= 0 {
+        format!(".+{disp}")
+    } else {
+        format!(".{disp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, Cond, FpCond, FpOp, MemWidth, Prec, TrapCode};
+    use crate::reg::{abi, Fpr, Gpr};
+
+    #[test]
+    fn representative_text() {
+        let r = Gpr::new;
+        let f = Fpr::new;
+        let cases: Vec<(Insn, &str)> = vec![
+            (Insn::Alu { op: AluOp::Xor, rd: r(1), rs1: r(1), rs2: r(2) }, "xor r1, r1, r2"),
+            (Insn::Mvi { rd: r(3), imm: -7 }, "mvi r3, -7"),
+            (
+                Insn::Cmp { cond: Cond::Ltu, rd: abi::R0, rs1: r(4), rs2: r(5) },
+                "cmpltu r0, r4, r5",
+            ),
+            (Insn::Ld { w: MemWidth::W, rd: r(2), base: abi::SP, disp: 8 }, "ld r2, 8(r15)"),
+            (Insn::St { w: MemWidth::B, rs: r(2), base: r(3), disp: 0 }, "stb r2, 0(r3)"),
+            (Insn::Br { disp: -10 }, "br .-10"),
+            (Insn::Bc { neg: true, rs: abi::R0, disp: 4 }, "bnz r0, .+4"),
+            (
+                Insn::FAlu { op: FpOp::Mul, prec: Prec::D, fd: f(2), fs1: f(2), fs2: f(4) },
+                "mul.df f2, f2, f4",
+            ),
+            (
+                Insn::FCmp { cond: FpCond::Le, prec: Prec::S, fs1: f(1), fs2: f(3) },
+                "cmple.sf f1, f3",
+            ),
+            (Insn::Trap { code: TrapCode::Halt }, "trap 0"),
+            (Insn::Nop, "nop"),
+        ];
+        for (insn, text) in cases {
+            assert_eq!(disassemble(&insn), text);
+        }
+    }
+}

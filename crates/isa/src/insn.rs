@@ -1,0 +1,269 @@
+//! The architecture-level instruction type shared by both encodings.
+//!
+//! Following the paper's methodology — "D16 and DLXe instructions are
+//! executed on the same five-stage execution pipeline" — the simulator
+//! executes one abstract instruction type. The two ISAs are two *encoders*
+//! of (subsets of) this type: [`crate::d16`] packs an [`Insn`] into 16 bits
+//! and [`crate::dlxe`] into 32 bits, each rejecting operand shapes its
+//! format cannot express.
+
+use crate::op::{AluOp, Cond, CvtOp, FpCond, FpOp, MemWidth, Prec, TrapCode, UnOp};
+use crate::reg::{Fpr, Gpr};
+
+/// One machine instruction, in operand-explicit form.
+///
+/// Branch displacements (`disp` in [`Insn::Br`] and [`Insn::Bc`]) are byte
+/// offsets relative to the address of the *following* instruction, i.e. the
+/// delay-slot instruction; `Jdisp` displacements are relative to the same
+/// point. Encoders scale them by the instruction width.
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[allow(missing_docs)] // operand fields are described in each variant's doc
+pub enum Insn {
+    /// Three-register ALU operation `rd <- rs1 op rs2`.
+    /// D16 requires `rd == rs1` (two-address form).
+    Alu { op: AluOp, rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// Immediate ALU operation `rd <- rs1 op imm`.
+    ///
+    /// D16 restricts `op` to `add/sub/shl/shr/shra`, `rd == rs1`, and
+    /// `0 <= imm < 32`; DLXe allows `and/or/xor` too with 16-bit immediates
+    /// (sign-extended for `add/sub`, zero-extended for logicals).
+    AluI { op: AluOp, rd: Gpr, rs1: Gpr, imm: i32 },
+    /// Unary operation `rd <- op rs` (`neg`, `inv`, `mv`).
+    Un { op: UnOp, rd: Gpr, rs: Gpr },
+    /// Move immediate: `rd <- imm`. D16: 9-bit signed (`MVI` format).
+    /// DLXe assembles it as `addi rd, r0, imm16`.
+    Mvi { rd: Gpr, imm: i32 },
+    /// DLXe `mvhi`: set the upper sixteen bits, `rd <- imm << 16`.
+    Lui { rd: Gpr, imm: u32 },
+    /// Integer compare `rd <- (rs1 cond rs2) ? ~0 : 0`.
+    ///
+    /// D16: `rd` must be `r0` and `cond` must be one of the six D16
+    /// conditions; the result is all-ones or all-zeros (paper, Table 1).
+    /// DLXe allows any destination and all ten conditions.
+    Cmp { cond: Cond, rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// Integer compare with immediate (DLXe; also the optional D16 `cmpeqi`
+    /// extension evaluated in the paper's §3.3.3 discussion).
+    CmpI { cond: Cond, rd: Gpr, rs1: Gpr, imm: i32 },
+    /// Load `rd <- mem[rs(base) + disp]`, one delay slot.
+    ///
+    /// D16: word loads take `0 <= disp <= 124`, `disp % 4 == 0`; subword
+    /// loads are not offsettable (`disp == 0`). DLXe: 16-bit signed `disp`.
+    Ld { w: MemWidth, rd: Gpr, base: Gpr, disp: i32 },
+    /// Store `mem[base + disp] <- rs`, same displacement rules as [`Insn::Ld`].
+    St { w: MemWidth, rs: Gpr, base: Gpr, disp: i32 },
+    /// D16 `LDC` format: load a word from the literal pool,
+    /// `rd <- mem[align4(pc + 2) + disp]` with `0 <= disp <= 1020`,
+    /// `disp % 4 == 0`. Reconstructed PC-relative constant-pool load (see
+    /// DESIGN.md §2); not encodable on DLXe.
+    Ldc { rd: Gpr, disp: i32 },
+    /// Unconditional PC-relative branch, one delay slot.
+    Br { disp: i32 },
+    /// Conditional branch `bz` (`neg == false`) / `bnz` (`neg == true`) on
+    /// register `rs`, one delay slot. D16: `rs` must be `r0`.
+    Bc { neg: bool, rs: Gpr, disp: i32 },
+    /// Jump to the absolute address in `target`.
+    J { target: Gpr },
+    /// Conditional register jump `jz`/`jnz`: jump to `target` if `rs` is
+    /// zero (`neg == false`) / nonzero (`neg == true`). D16: `rs` is `r0`.
+    Jc { neg: bool, rs: Gpr, target: Gpr },
+    /// Jump-and-link through a register; the link register is `r1` on D16
+    /// and `r31` on DLXe (fixed by the ISA, not an operand).
+    Jl { target: Gpr },
+    /// DLXe J-type `j` (`link == false`) / `jal` (`link == true`) with a
+    /// 26-bit word-scaled displacement. Not encodable on D16.
+    Jdisp { link: bool, disp: i32 },
+    /// FP arithmetic `fd <- fs1 op fs2` (`add.sf`, `mul.df`, ...).
+    /// D16 requires `fd == fs1`. Double precision uses even registers.
+    FAlu { op: FpOp, prec: Prec, fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// FP negation `fd <- -fs`.
+    FNeg { prec: Prec, fd: Fpr, fs: Fpr },
+    /// FP compare; sets the FP status register read by `rdsr`.
+    FCmp { cond: FpCond, prec: Prec, fs1: Fpr, fs2: Fpr },
+    /// Mode conversion within the FP register file.
+    Cvt { op: CvtOp, fd: Fpr, fs: Fpr },
+    /// Move a GPR's 32 bits into an FP register (`mtf`): the FPU interface
+    /// of the paper's prototype, which lacks direct FP loads/stores.
+    Mtf { fd: Fpr, rs: Gpr },
+    /// Move an FP register's 32 bits into a GPR (`mff`).
+    Mff { rd: Gpr, fs: Fpr },
+    /// Read the status register (FP compare result) into `rd`.
+    Rdsr { rd: Gpr },
+    /// System trap.
+    Trap { code: TrapCode },
+    /// No operation (assembles to `mv r0, r0` equivalents; kept explicit so
+    /// delay-slot fills are visible in disassembly and statistics).
+    Nop,
+}
+
+impl Insn {
+    /// Whether this instruction is a control transfer (has a delay slot).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Insn::Br { .. }
+                | Insn::Bc { .. }
+                | Insn::J { .. }
+                | Insn::Jc { .. }
+                | Insn::Jl { .. }
+                | Insn::Jdisp { .. }
+        )
+    }
+
+    /// Whether this instruction reads memory (loads, including `ldc`).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Insn::Ld { .. } | Insn::Ldc { .. })
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Insn::St { .. })
+    }
+
+    /// Whether this instruction executes in the floating-point unit.
+    pub fn is_fpu(&self) -> bool {
+        matches!(
+            self,
+            Insn::FAlu { .. } | Insn::FNeg { .. } | Insn::FCmp { .. } | Insn::Cvt { .. }
+        )
+    }
+
+    /// The GPR written by this instruction, if any. Used by the pipeline's
+    /// delayed-load interlock detection and by the register allocator's
+    /// verification pass.
+    pub fn def_gpr(&self) -> Option<Gpr> {
+        match *self {
+            Insn::Alu { rd, .. }
+            | Insn::AluI { rd, .. }
+            | Insn::Un { rd, .. }
+            | Insn::Mvi { rd, .. }
+            | Insn::Lui { rd, .. }
+            | Insn::Cmp { rd, .. }
+            | Insn::CmpI { rd, .. }
+            | Insn::Ld { rd, .. }
+            | Insn::Ldc { rd, .. }
+            | Insn::Mff { rd, .. }
+            | Insn::Rdsr { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The GPRs read by this instruction (up to two).
+    pub fn use_gprs(&self) -> [Option<Gpr>; 2] {
+        match *self {
+            Insn::Alu { rs1, rs2, .. } | Insn::Cmp { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Insn::AluI { rs1, .. } | Insn::CmpI { rs1, .. } => [Some(rs1), None],
+            Insn::Un { rs, .. } => [Some(rs), None],
+            Insn::Ld { base, .. } => [Some(base), None],
+            Insn::St { rs, base, .. } => [Some(rs), Some(base)],
+            Insn::Bc { rs, .. } => [Some(rs), None],
+            Insn::J { target } | Insn::Jl { target } => [Some(target), None],
+            Insn::Jc { rs, target, .. } => [Some(rs), Some(target)],
+            Insn::Mtf { rs, .. } => [Some(rs), None],
+            Insn::Trap { .. } => [Some(crate::reg::abi::RET), None],
+            _ => [None, None],
+        }
+    }
+}
+
+/// Which of the two instruction encodings a binary uses.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Isa {
+    /// The 16-bit format.
+    D16,
+    /// The 32-bit DLX variant.
+    Dlxe,
+}
+
+impl Isa {
+    /// Both ISAs, D16 first (the paper's baseline for ratios).
+    pub const ALL: [Isa; 2] = [Isa::D16, Isa::Dlxe];
+
+    /// Instruction width in bytes.
+    pub const fn insn_bytes(self) -> u32 {
+        match self {
+            Isa::D16 => 2,
+            Isa::Dlxe => 4,
+        }
+    }
+
+    /// Number of architecturally addressable general registers.
+    pub const fn gpr_count(self) -> usize {
+        match self {
+            Isa::D16 => 16,
+            Isa::Dlxe => 32,
+        }
+    }
+
+    /// Number of architecturally addressable FP registers.
+    pub const fn fpr_count(self) -> usize {
+        match self {
+            Isa::D16 => 16,
+            Isa::Dlxe => 32,
+        }
+    }
+
+    /// The link register written by jump-and-link.
+    pub const fn link_reg(self) -> Gpr {
+        match self {
+            Isa::D16 => crate::reg::abi::D16_LINK,
+            Isa::Dlxe => crate::reg::abi::DLXE_LINK,
+        }
+    }
+
+    /// Display name used in tables ("D16" / "DLXe").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Isa::D16 => "D16",
+            Isa::Dlxe => "DLXe",
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::abi;
+
+    #[test]
+    fn classification() {
+        let ld = Insn::Ld { w: MemWidth::W, rd: Gpr::new(2), base: abi::SP, disp: 8 };
+        assert!(ld.is_load() && !ld.is_store() && !ld.is_control());
+        let br = Insn::Br { disp: -4 };
+        assert!(br.is_control());
+        let f = Insn::FAlu {
+            op: FpOp::Mul,
+            prec: Prec::D,
+            fd: Fpr::new(0),
+            fs1: Fpr::new(0),
+            fs2: Fpr::new(2),
+        };
+        assert!(f.is_fpu());
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let i = Insn::Alu { op: AluOp::Add, rd: Gpr::new(3), rs1: Gpr::new(4), rs2: Gpr::new(5) };
+        assert_eq!(i.def_gpr(), Some(Gpr::new(3)));
+        assert_eq!(i.use_gprs(), [Some(Gpr::new(4)), Some(Gpr::new(5))]);
+
+        let st = Insn::St { w: MemWidth::W, rs: Gpr::new(6), base: abi::SP, disp: 0 };
+        assert_eq!(st.def_gpr(), None);
+        assert_eq!(st.use_gprs(), [Some(Gpr::new(6)), Some(abi::SP)]);
+    }
+
+    #[test]
+    fn isa_parameters_match_paper() {
+        assert_eq!(Isa::D16.insn_bytes(), 2);
+        assert_eq!(Isa::Dlxe.insn_bytes(), 4);
+        assert_eq!(Isa::D16.gpr_count(), 16);
+        assert_eq!(Isa::Dlxe.gpr_count(), 32);
+        assert_eq!(Isa::D16.link_reg(), Gpr::new(1));
+        assert_eq!(Isa::Dlxe.link_reg(), Gpr::new(31));
+    }
+}

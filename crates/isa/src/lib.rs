@@ -1,0 +1,186 @@
+//! # d16-isa — the D16 and DLXe instruction sets
+//!
+//! This crate defines the two instruction encodings compared by Bunda,
+//! Fussell, Jenevein and Athas in *"16-Bit vs. 32-Bit Instructions for
+//! Pipelined Microprocessors"* (ISCA 1993):
+//!
+//! * **DLXe** — a conventional fixed 32-bit RISC format, a variant of
+//!   Hennessy & Patterson's DLX, addressing 32 general and 32 FP registers
+//!   with three-address instructions and 16-bit immediates.
+//! * **D16** — a fixed 16-bit format that "sacrifices some expressive power
+//!   while retaining essential RISC features": 16 registers of each class,
+//!   two-address instructions, 5-bit ALU immediates, a 9-bit move-immediate
+//!   and 128-byte load/store displacements.
+//!
+//! Both encode (subsets of) the same abstract instruction type, [`Insn`],
+//! which the `d16-sim` pipeline executes — mirroring the paper's setup in
+//! which "D16 and DLXe instructions are executed on the same five-stage
+//! execution pipeline".
+//!
+//! ```
+//! use d16_isa::{d16, dlxe, Insn, AluOp, Gpr};
+//!
+//! // The same three-address add encodes on DLXe but not on D16:
+//! let add = Insn::Alu { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(2), rs2: Gpr::new(3) };
+//! assert!(dlxe::encode(&add).is_ok());
+//! assert!(d16::encode(&add).is_err());
+//!
+//! // Its two-address counterpart fits in sixteen bits:
+//! let add2 = Insn::Alu { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(1), rs2: Gpr::new(3) };
+//! let halfword = d16::encode(&add2)?;
+//! assert_eq!(d16::decode(halfword)?, add2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod disasm;
+mod insn;
+mod op;
+mod params;
+mod reg;
+
+pub mod d16;
+pub mod dlxe;
+
+pub use disasm::disassemble;
+pub use insn::{Insn, Isa};
+pub use op::{AluOp, Cond, CvtOp, FpCond, FpOp, MemWidth, Prec, TrapCode, UnOp};
+pub use params::{EncodingParams, ImmOverflow};
+pub use reg::{abi, Fpr, Gpr};
+
+use std::fmt;
+
+/// An instruction cannot be expressed in the requested encoding.
+///
+/// These errors are how the toolchain *feels* each format's limits: the
+/// compiler's target-lowering pass and the assembler both consult the
+/// encoders and rewrite around any error they report.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// Register number too large for the format's register field.
+    RegisterOutOfRange(u8),
+    /// Immediate outside the field's range.
+    ImmediateOutOfRange(i32),
+    /// Load/store/branch displacement outside the field's range or
+    /// misaligned.
+    DisplacementOutOfRange(i32),
+    /// D16 subword accesses are not offsettable.
+    SubwordDisplacement(i32),
+    /// A three-address shape (`rd != rs1`) in a two-address format.
+    NotTwoAddress,
+    /// D16 compares write `r0` only.
+    CompareDestNotR0,
+    /// D16 conditional branches test `r0` only.
+    BranchSourceNotR0,
+    /// Condition not in this ISA's compare set.
+    ConditionNotInIsa(Cond),
+    /// The operation has no immediate form in this ISA.
+    NoImmediateForm(AluOp),
+    /// Double-precision operand names an odd FP register.
+    OddDoubleRegister(u8),
+    /// The operation does not exist in this ISA.
+    NotInIsa(&'static str),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::RegisterOutOfRange(r) => {
+                write!(f, "register {r} exceeds the format's register field")
+            }
+            EncodeError::ImmediateOutOfRange(i) => {
+                write!(f, "immediate {i} does not fit the format's immediate field")
+            }
+            EncodeError::DisplacementOutOfRange(d) => {
+                write!(f, "displacement {d} out of range or misaligned for the format")
+            }
+            EncodeError::SubwordDisplacement(d) => {
+                write!(
+                    f,
+                    "subword access with displacement {d}: D16 subword modes are not offsettable"
+                )
+            }
+            EncodeError::NotTwoAddress => {
+                write!(f, "destination must equal the left source in a two-address format")
+            }
+            EncodeError::CompareDestNotR0 => write!(f, "D16 compares write r0 only"),
+            EncodeError::BranchSourceNotR0 => write!(f, "D16 conditional branches test r0 only"),
+            EncodeError::ConditionNotInIsa(c) => {
+                write!(f, "condition {c} is not in this ISA's compare set")
+            }
+            EncodeError::NoImmediateForm(op) => {
+                write!(f, "{op} has no immediate form in this ISA")
+            }
+            EncodeError::OddDoubleRegister(r) => {
+                write!(f, "double-precision operand f{r} must be an even register")
+            }
+            EncodeError::NotInIsa(what) => write!(f, "{what} does not exist in this ISA"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A bit pattern that does not decode to any instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Reserved or illegal pattern (the offending word, zero-extended).
+    Illegal(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal(w) => write!(f, "illegal instruction pattern {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an instruction for either ISA, returning the instruction's bytes
+/// in little-endian order (two for D16, four for DLXe).
+///
+/// # Errors
+///
+/// Propagates the per-ISA encoder's [`EncodeError`].
+pub fn encode_bytes(isa: Isa, insn: &Insn) -> Result<Vec<u8>, EncodeError> {
+    match isa {
+        Isa::D16 => Ok(d16::encode(insn)?.to_le_bytes().to_vec()),
+        Isa::Dlxe => Ok(dlxe::encode(insn)?.to_le_bytes().to_vec()),
+    }
+}
+
+/// Checks whether an instruction is expressible in the given ISA.
+pub fn encodable(isa: Isa, insn: &Insn) -> bool {
+    match isa {
+        Isa::D16 => d16::encode(insn).is_ok(),
+        Isa::Dlxe => dlxe::encode(insn).is_ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_bytes_width() {
+        let nop = Insn::Nop;
+        assert_eq!(encode_bytes(Isa::D16, &nop).unwrap().len(), 2);
+        assert_eq!(encode_bytes(Isa::Dlxe, &nop).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EncodeError::ImmediateOutOfRange(300);
+        assert!(e.to_string().contains("300"));
+        let d = DecodeError::Illegal(0xdead);
+        assert!(d.to_string().contains("0x0000dead"));
+    }
+
+    #[test]
+    fn error_types_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<EncodeError>();
+        assert_bounds::<DecodeError>();
+    }
+}

@@ -1,0 +1,533 @@
+//! The operation vocabulary shared by D16 and DLXe.
+//!
+//! Both instruction sets implement "approximately the same" set of
+//! operations (paper, Table 1); they differ in how operations are *encoded*
+//! and which operand shapes each format can express. This module defines the
+//! operation enums; [`crate::insn::Insn`] combines them with operands.
+
+use std::fmt;
+
+/// Binary integer ALU operations.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Shra,
+}
+
+impl AluOp {
+    /// Evaluates the operation on 32-bit values with the simulator's
+    /// wrapping semantics. Shift counts use the low five bits.
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Shra => (a as i32).wrapping_shr(b & 31) as u32,
+        }
+    }
+
+    /// The assembler mnemonic for the register form.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Shra => "shra",
+        }
+    }
+
+    /// The assembler mnemonic for the immediate form (`addi`, `shli`, ...).
+    pub fn imm_mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "addi",
+            AluOp::Sub => "subi",
+            AluOp::And => "andi",
+            AluOp::Or => "ori",
+            AluOp::Xor => "xori",
+            AluOp::Shl => "shli",
+            AluOp::Shr => "shri",
+            AluOp::Shra => "shrai",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary integer operations (one source, one destination).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UnOp {
+    /// Two's-complement negation. Unneeded on DLXe (`sub rd, r0, rs`), but
+    /// present in the D16 opcode set because D16 has no zero register.
+    Neg,
+    /// Bitwise complement ("inv" in the paper's opcode table).
+    Inv,
+    /// Register move.
+    Mv,
+}
+
+impl UnOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: u32) -> u32 {
+        match self {
+            UnOp::Neg => (a as i32).wrapping_neg() as u32,
+            UnOp::Inv => !a,
+            UnOp::Mv => a,
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Inv => "inv",
+            UnOp::Mv => "mv",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Integer comparison conditions.
+///
+/// D16 compares support `lt, ltu, le, leu, eq, neq` with both operands in
+/// registers and an implicit destination (`r0`). DLXe additionally allows
+/// `gt, gtu, ge, geu`, immediate right operands, and any GPR destination
+/// (paper, Table 1).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Unsigned less-than.
+    Ltu,
+    /// Signed less-or-equal.
+    Le,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Signed greater-than (DLXe only).
+    Gt,
+    /// Unsigned greater-than (DLXe only).
+    Gtu,
+    /// Signed greater-or-equal (DLXe only).
+    Ge,
+    /// Unsigned greater-or-equal (DLXe only).
+    Geu,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 10] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Ltu,
+        Cond::Le,
+        Cond::Leu,
+        Cond::Gt,
+        Cond::Gtu,
+        Cond::Ge,
+        Cond::Geu,
+    ];
+
+    /// Whether the condition is part of the D16 compare set.
+    pub const fn in_d16(self) -> bool {
+        matches!(
+            self,
+            Cond::Eq | Cond::Ne | Cond::Lt | Cond::Ltu | Cond::Le | Cond::Leu
+        )
+    }
+
+    /// Evaluates the condition on 32-bit operands.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => sa < sb,
+            Cond::Ltu => a < b,
+            Cond::Le => sa <= sb,
+            Cond::Leu => a <= b,
+            Cond::Gt => sa > sb,
+            Cond::Gtu => a > b,
+            Cond::Ge => sa >= sb,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// The condition with operands swapped (`a cond b` ⇔ `b swapped a`).
+    pub fn swapped(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Ltu => Cond::Gtu,
+            Cond::Le => Cond::Ge,
+            Cond::Leu => Cond::Geu,
+            Cond::Gt => Cond::Lt,
+            Cond::Gtu => Cond::Ltu,
+            Cond::Ge => Cond::Le,
+            Cond::Geu => Cond::Leu,
+        }
+    }
+
+    /// The logical negation of the condition.
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ltu => Cond::Geu,
+            Cond::Le => Cond::Gt,
+            Cond::Leu => Cond::Gtu,
+            Cond::Gt => Cond::Le,
+            Cond::Gtu => Cond::Leu,
+            Cond::Ge => Cond::Lt,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    /// Condition suffix used in mnemonics (`cmplt`, `sltiu`-style names).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ltu => "ltu",
+            Cond::Le => "le",
+            Cond::Leu => "leu",
+            Cond::Gt => "gt",
+            Cond::Gtu => "gtu",
+            Cond::Ge => "ge",
+            Cond::Geu => "geu",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Memory access widths. The `u` variants zero-extend on load.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemWidth {
+    /// Signed byte.
+    B,
+    /// Unsigned byte.
+    Bu,
+    /// Signed halfword.
+    H,
+    /// Unsigned halfword.
+    Hu,
+    /// Word (32 bits).
+    W,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B | MemWidth::Bu => 1,
+            MemWidth::H | MemWidth::Hu => 2,
+            MemWidth::W => 4,
+        }
+    }
+
+    /// Whether this is a sub-word ("subword" in the paper) access. D16
+    /// subword accesses are not offsettable.
+    pub const fn is_subword(self) -> bool {
+        !matches!(self, MemWidth::W)
+    }
+
+    /// Load mnemonic (`ld`, `ldh`, `ldhu`, `ldb`, `ldbu`).
+    pub fn load_mnemonic(self) -> &'static str {
+        match self {
+            MemWidth::B => "ldb",
+            MemWidth::Bu => "ldbu",
+            MemWidth::H => "ldh",
+            MemWidth::Hu => "ldhu",
+            MemWidth::W => "ld",
+        }
+    }
+
+    /// Store mnemonic (`st`, `sth`, `stb`). Unsigned widths store the same
+    /// bits as their signed counterparts.
+    pub fn store_mnemonic(self) -> &'static str {
+        match self {
+            MemWidth::B | MemWidth::Bu => "stb",
+            MemWidth::H | MemWidth::Hu => "sth",
+            MemWidth::W => "st",
+        }
+    }
+}
+
+/// Floating-point arithmetic operations (suffixed `.sf`/`.df` in the paper).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl FpOp {
+    /// Base mnemonic, without the precision suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "add",
+            FpOp::Sub => "sub",
+            FpOp::Mul => "mul",
+            FpOp::Div => "div",
+        }
+    }
+}
+
+/// Floating-point precision: single (`.sf`) or double (`.df`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Prec {
+    /// Single precision, one FP register.
+    S,
+    /// Double precision, an even/odd FP register pair.
+    D,
+}
+
+impl Prec {
+    /// The paper's mnemonic suffix (`sf` or `df`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Prec::S => "sf",
+            Prec::D => "df",
+        }
+    }
+}
+
+/// Floating-point comparison conditions. Like the MIPS R2000 the paper's
+/// pipeline resembles, only `eq/lt/le` exist; other relations come from
+/// operand swaps plus branch-on-false. The result sets the FP status
+/// register, read with `rdsr` (paper, Table 1).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FpCond {
+    /// Equal.
+    Eq,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+impl FpCond {
+    /// Evaluates the condition. Any comparison with a NaN is false.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FpCond::Eq => a == b,
+            FpCond::Lt => a < b,
+            FpCond::Le => a <= b,
+        }
+    }
+
+    /// Condition suffix used in mnemonics.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FpCond::Eq => "eq",
+            FpCond::Lt => "lt",
+            FpCond::Le => "le",
+        }
+    }
+}
+
+/// Mode conversions between integer and FP representations
+/// (`si2sf, sf2df, df2sf, ...` in the paper's Table 1).
+///
+/// Conversions operate within the FP register file: integer bit patterns
+/// travel to/from the FPU via `mtf`/`mff`, matching the paper's simplified
+/// FPU interface (no direct FP loads/stores).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CvtOp {
+    /// 32-bit signed integer to single.
+    Si2Sf,
+    /// 32-bit signed integer to double.
+    Si2Df,
+    /// Single to double.
+    Sf2Df,
+    /// Double to single.
+    Df2Sf,
+    /// Single to 32-bit signed integer (truncating).
+    Sf2Si,
+    /// Double to 32-bit signed integer (truncating).
+    Df2Si,
+}
+
+impl CvtOp {
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CvtOp::Si2Sf => "si2sf",
+            CvtOp::Si2Df => "si2df",
+            CvtOp::Sf2Df => "sf2df",
+            CvtOp::Df2Sf => "df2sf",
+            CvtOp::Sf2Si => "sf2si",
+            CvtOp::Df2Si => "df2si",
+        }
+    }
+
+    /// Whether the source is a double-precision pair.
+    pub const fn src_is_double(self) -> bool {
+        matches!(self, CvtOp::Df2Sf | CvtOp::Df2Si)
+    }
+
+    /// Whether the destination is a double-precision pair.
+    pub const fn dst_is_double(self) -> bool {
+        matches!(self, CvtOp::Si2Df | CvtOp::Sf2Df)
+    }
+}
+
+/// Trap (system call) codes understood by the simulator.
+///
+/// The paper's machine has a single `trap` instruction; the reproduction
+/// assigns it a small vector of services sufficient to run and validate the
+/// benchmark suite without an operating system.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TrapCode {
+    /// Stop execution; `r2` holds the exit status.
+    Halt,
+    /// Write the low byte of `r2` to the simulator console.
+    PutChar,
+    /// Write `r2` as a signed decimal integer to the simulator console.
+    PutInt,
+    /// Read the cycle-free instruction count into `r2` (for self-timing
+    /// workloads; deterministic).
+    ReadInsnCount,
+}
+
+impl TrapCode {
+    /// Encoding used in the instruction's code field.
+    pub const fn code(self) -> u8 {
+        match self {
+            TrapCode::Halt => 0,
+            TrapCode::PutChar => 1,
+            TrapCode::PutInt => 2,
+            TrapCode::ReadInsnCount => 3,
+        }
+    }
+
+    /// Decodes a trap code field.
+    pub const fn from_code(code: u8) -> Option<TrapCode> {
+        match code {
+            0 => Some(TrapCode::Halt),
+            1 => Some(TrapCode::PutChar),
+            2 => Some(TrapCode::PutInt),
+            3 => Some(TrapCode::ReadInsnCount),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_matches_two_complement() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(AluOp::Shra.eval(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Shr.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Shl.eval(1, 33), 2, "shift counts are mod 32");
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(1), u32::MAX);
+        assert_eq!(UnOp::Neg.eval(0x8000_0000), 0x8000_0000, "INT_MIN negates to itself");
+        assert_eq!(UnOp::Inv.eval(0), u32::MAX);
+        assert_eq!(UnOp::Mv.eval(42), 42);
+    }
+
+    #[test]
+    fn cond_eval_signedness() {
+        // -1 < 1 signed, but 0xffffffff > 1 unsigned.
+        assert!(Cond::Lt.eval(u32::MAX, 1));
+        assert!(!Cond::Ltu.eval(u32::MAX, 1));
+        assert!(Cond::Gtu.eval(u32::MAX, 1));
+    }
+
+    #[test]
+    fn cond_negation_partitions() {
+        for c in Cond::ALL {
+            for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 1), (5, 5), (0x8000_0000, 7)] {
+                assert_ne!(c.eval(a, b), c.negated().eval(a, b), "{c:?} on ({a},{b})");
+                assert_eq!(c.eval(a, b), c.swapped().eval(b, a), "{c:?} swap ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn d16_cond_subset() {
+        let d16: Vec<_> = Cond::ALL.iter().filter(|c| c.in_d16()).collect();
+        assert_eq!(d16.len(), 6);
+        assert!(!Cond::Gt.in_d16());
+    }
+
+    #[test]
+    fn mem_width_properties() {
+        assert_eq!(MemWidth::W.bytes(), 4);
+        assert!(MemWidth::H.is_subword());
+        assert!(!MemWidth::W.is_subword());
+        assert_eq!(MemWidth::Bu.store_mnemonic(), "stb");
+    }
+
+    #[test]
+    fn fp_cond_nan_is_false() {
+        for c in [FpCond::Eq, FpCond::Lt, FpCond::Le] {
+            assert!(!c.eval(f64::NAN, 0.0));
+            assert!(!c.eval(0.0, f64::NAN));
+        }
+        assert!(FpCond::Le.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn trap_codes_roundtrip() {
+        for t in [TrapCode::Halt, TrapCode::PutChar, TrapCode::PutInt, TrapCode::ReadInsnCount] {
+            assert_eq!(TrapCode::from_code(t.code()), Some(t));
+        }
+        assert_eq!(TrapCode::from_code(200), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Numeric descriptions of each format's expressive limits.
+//!
+//! The compiler's target-lowering pass and the paper's §3.3 feature
+//! ablations both need the limits as *data* (not just as encoder errors):
+//! the immediate-profile experiment (Table 4) counts dynamic DLXe
+//! instructions whose operands exceed the D16 fields.
+
+use crate::insn::{Insn, Isa};
+use crate::op::{AluOp, MemWidth};
+use crate::d16;
+#[cfg(test)]
+use crate::dlxe;
+
+/// The expressive limits of one instruction format.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EncodingParams {
+    /// Which ISA these parameters describe.
+    pub isa: Isa,
+    /// Architecturally addressable general registers.
+    pub gprs: usize,
+    /// Architecturally addressable FP registers.
+    pub fprs: usize,
+    /// Whether ALU operations can name a destination distinct from the
+    /// left source.
+    pub three_address: bool,
+    /// Inclusive ALU-immediate range (`addi`/`subi`/shifts).
+    pub alu_imm: (i32, i32),
+    /// Inclusive move-immediate range.
+    pub mvi_imm: (i32, i32),
+    /// Inclusive word load/store displacement range.
+    pub mem_disp: (i32, i32),
+    /// Inclusive subword load/store displacement range.
+    pub subword_disp: (i32, i32),
+    /// Inclusive conditional-branch reach in bytes.
+    pub branch_reach: (i32, i32),
+    /// Whether compares accept an immediate right operand.
+    pub cmp_imm: bool,
+    /// Whether logical operations (`and`/`or`/`xor`) have immediate forms.
+    pub logical_imm: bool,
+    /// Whether a "set upper bits" instruction (`mvhi`) exists.
+    pub has_lui: bool,
+    /// Whether a PC-relative literal-pool load (`ldc`) exists.
+    pub has_ldc: bool,
+}
+
+impl EncodingParams {
+    /// The limits of the named ISA.
+    pub const fn for_isa(isa: Isa) -> Self {
+        match isa {
+            Isa::D16 => EncodingParams {
+                isa,
+                gprs: 16,
+                fprs: 16,
+                three_address: false,
+                alu_imm: (0, 31),
+                mvi_imm: (-256, 255),
+                mem_disp: (0, d16::MAX_MEM_DISP),
+                subword_disp: (0, 0),
+                branch_reach: (-1024, 1022),
+                cmp_imm: false,
+                logical_imm: false,
+                has_lui: false,
+                has_ldc: true,
+            },
+            Isa::Dlxe => EncodingParams {
+                isa,
+                gprs: 32,
+                fprs: 32,
+                three_address: true,
+                alu_imm: (-32768, 32767),
+                mvi_imm: (-32768, 32767),
+                mem_disp: (-32768, 32767),
+                subword_disp: (-32768, 32767),
+                branch_reach: (-131072, 131068),
+                cmp_imm: true,
+                logical_imm: true,
+                has_lui: true,
+                has_ldc: false,
+            },
+        }
+    }
+
+    /// Whether an ALU immediate fits the format (shift counts always use
+    /// the 0..=31 rule on both ISAs).
+    pub fn alu_imm_fits(&self, op: AluOp, imm: i32) -> bool {
+        match op {
+            AluOp::Shl | AluOp::Shr | AluOp::Shra => (0..=31).contains(&imm),
+            AluOp::And | AluOp::Or | AluOp::Xor => {
+                self.logical_imm && (0..=65535).contains(&imm)
+            }
+            _ => self.alu_imm.0 <= imm && imm <= self.alu_imm.1,
+        }
+    }
+
+    /// Whether a load/store displacement fits the format.
+    pub fn mem_disp_fits(&self, w: MemWidth, disp: i32) -> bool {
+        let (lo, hi) = if w.is_subword() { self.subword_disp } else { self.mem_disp };
+        let aligned = if self.isa == Isa::D16 && w == MemWidth::W { disp % 4 == 0 } else { true };
+        lo <= disp && disp <= hi && aligned
+    }
+
+    /// Classifies an instruction's immediate pressure against the *D16*
+    /// limits, for the Table 4 experiment: returns which D16 field the
+    /// operand would overflow, if any.
+    pub fn d16_overflow_class(insn: &Insn) -> Option<ImmOverflow> {
+        let d = EncodingParams::for_isa(Isa::D16);
+        match *insn {
+            Insn::CmpI { .. } => Some(ImmOverflow::CompareImmediate),
+            Insn::AluI { op, imm, .. } => {
+                if d.alu_imm_fits(op, imm) && !matches!(op, AluOp::And | AluOp::Or | AluOp::Xor)
+                {
+                    None
+                } else {
+                    Some(ImmOverflow::AluImmediate)
+                }
+            }
+            Insn::Mvi { imm, .. } => {
+                if d.mvi_imm.0 <= imm && imm <= d.mvi_imm.1 {
+                    None
+                } else {
+                    Some(ImmOverflow::AluImmediate)
+                }
+            }
+            Insn::Lui { .. } => Some(ImmOverflow::AluImmediate),
+            Insn::Ld { w, disp, .. } | Insn::St { w, disp, .. } => {
+                if d.mem_disp_fits(w, disp) {
+                    None
+                } else {
+                    Some(ImmOverflow::MemoryDisplacement)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Which D16 field a DLXe operand exceeds (Table 4 categories).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ImmOverflow {
+    /// "Compare immediate" — DLXe compare-with-immediate has no D16 form.
+    CompareImmediate,
+    /// "ALU immediate, > 5 bits" (or a logical/move immediate with no D16
+    /// form).
+    AluImmediate,
+    /// "Memory displacements > 8 bits" — beyond the D16 reach.
+    MemoryDisplacement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Gpr;
+    use crate::Cond;
+
+    #[test]
+    fn params_match_encoders() {
+        // The declarative limits must agree with what the encoders accept.
+        let p = EncodingParams::for_isa(Isa::D16);
+        let r = Gpr::new(1);
+        for imm in [-1, 0, 31, 32] {
+            let i = Insn::AluI { op: AluOp::Add, rd: r, rs1: r, imm };
+            assert_eq!(p.alu_imm_fits(AluOp::Add, imm), d16::encode(&i).is_ok(), "imm {imm}");
+        }
+        for disp in [-4, 0, 64, 124, 128, 6] {
+            let i = Insn::Ld { w: MemWidth::W, rd: r, base: r, disp };
+            assert_eq!(p.mem_disp_fits(MemWidth::W, disp), d16::encode(&i).is_ok(), "disp {disp}");
+        }
+        let q = EncodingParams::for_isa(Isa::Dlxe);
+        for disp in [-32768, 32767, 32768] {
+            let i = Insn::Ld { w: MemWidth::W, rd: r, base: r, disp };
+            assert_eq!(q.mem_disp_fits(MemWidth::W, disp), dlxe::encode(&i).is_ok(), "disp {disp}");
+        }
+    }
+
+    #[test]
+    fn overflow_classification() {
+        let r = Gpr::new(1);
+        assert_eq!(
+            EncodingParams::d16_overflow_class(&Insn::CmpI {
+                cond: Cond::Lt,
+                rd: r,
+                rs1: r,
+                imm: 3
+            }),
+            Some(ImmOverflow::CompareImmediate)
+        );
+        assert_eq!(
+            EncodingParams::d16_overflow_class(&Insn::AluI {
+                op: AluOp::Add,
+                rd: r,
+                rs1: r,
+                imm: 100
+            }),
+            Some(ImmOverflow::AluImmediate)
+        );
+        assert_eq!(
+            EncodingParams::d16_overflow_class(&Insn::AluI {
+                op: AluOp::Add,
+                rd: r,
+                rs1: r,
+                imm: 12
+            }),
+            None
+        );
+        assert_eq!(
+            EncodingParams::d16_overflow_class(&Insn::Ld {
+                w: MemWidth::W,
+                rd: r,
+                base: r,
+                disp: 4000
+            }),
+            Some(ImmOverflow::MemoryDisplacement)
+        );
+        assert_eq!(
+            EncodingParams::d16_overflow_class(&Insn::Ld {
+                w: MemWidth::B,
+                rd: r,
+                base: r,
+                disp: 2
+            }),
+            Some(ImmOverflow::MemoryDisplacement)
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Register names and per-ISA register conventions.
+//!
+//! Both instruction sets define general-purpose registers ([`Gpr`]) and
+//! floating-point registers ([`Fpr`]). D16 addresses sixteen of each with
+//! 4-bit fields; DLXe addresses thirty-two of each with 5-bit fields.
+//! The simulator always models 32 of each; the encoders reject registers a
+//! format cannot express.
+
+use std::fmt;
+
+/// A general-purpose (integer) register, `r0`..`r31`.
+///
+/// ```
+/// use d16_isa::Gpr;
+/// let sp = Gpr::new(15);
+/// assert_eq!(sp.index(), 15);
+/// assert_eq!(sp.to_string(), "r15");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// The always-available register count in the wide (DLXe) file.
+    pub const COUNT: usize = 32;
+
+    /// Constructs a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "GPR number out of range");
+        Gpr(n)
+    }
+
+    /// Constructs a register if `n` is in range.
+    pub const fn try_new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(Gpr(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register number as an index into a register file.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register number.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether a D16 4-bit register field can name this register.
+    pub const fn fits_d16(self) -> bool {
+        self.0 < 16
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `f0`..`f31`.
+///
+/// FP registers are 32 bits wide. Double-precision values occupy an
+/// even/odd pair, named by the even register, exactly as on the MIPS R2000
+/// the paper's DLX baseline resembles.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fpr(u8);
+
+impl Fpr {
+    /// The register count in the wide (DLXe) file.
+    pub const COUNT: usize = 32;
+
+    /// Constructs an FP register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "FPR number out of range");
+        Fpr(n)
+    }
+
+    /// Constructs an FP register if `n` is in range.
+    pub const fn try_new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(Fpr(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register number as an index into a register file.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register number.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether a D16 4-bit register field can name this register.
+    pub const fn fits_d16(self) -> bool {
+        self.0 < 16
+    }
+
+    /// Whether this register can name a double-precision pair.
+    pub const fn is_even(self) -> bool {
+        self.0 % 2 == 0
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Well-known registers shared by the software conventions of both ISAs.
+///
+/// The reproduction uses one numbering for both instruction sets so that the
+/// register-file-size ablation (restricting DLXe to the D16 window
+/// `r0..r15`) changes nothing but the allocatable set:
+///
+/// | register | role |
+/// |---|---|
+/// | `r0`  | D16: compare result / scratch; DLXe: hardwired zero |
+/// | `r1`  | D16 link register (`jl`) |
+/// | `r2`  | first argument / return value |
+/// | `r13` | global pointer |
+/// | `r15` | stack pointer |
+/// | `r31` | DLXe link register (`jal`) |
+pub mod abi {
+    use super::{Fpr, Gpr};
+
+    /// D16 compare destination; DLXe hardwired zero.
+    pub const R0: Gpr = Gpr::new(0);
+    /// D16 link register.
+    pub const D16_LINK: Gpr = Gpr::new(1);
+    /// DLXe link register (written by `jal`/`jalr`).
+    pub const DLXE_LINK: Gpr = Gpr::new(31);
+    /// First argument / integer return value.
+    pub const RET: Gpr = Gpr::new(2);
+    /// Argument registers (both ISAs).
+    pub const ARGS: [Gpr; 4] = [Gpr::new(2), Gpr::new(3), Gpr::new(4), Gpr::new(5)];
+    /// Global pointer (small-data base).
+    pub const GP: Gpr = Gpr::new(13);
+    /// Stack pointer.
+    pub const SP: Gpr = Gpr::new(15);
+    /// FP argument registers (single precision or even halves of pairs).
+    pub const FARGS: [Fpr; 4] = [Fpr::new(0), Fpr::new(2), Fpr::new(4), Fpr::new(6)];
+    /// FP return value register.
+    pub const FRET: Fpr = Fpr::new(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for n in 0..32 {
+            let r = Gpr::new(n);
+            assert_eq!(r.number(), n);
+            assert_eq!(r.index(), n as usize);
+            assert_eq!(r.fits_d16(), n < 16);
+        }
+    }
+
+    #[test]
+    fn gpr_try_new_rejects_out_of_range() {
+        assert!(Gpr::try_new(31).is_some());
+        assert!(Gpr::try_new(32).is_none());
+        assert!(Fpr::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn gpr_new_panics_out_of_range() {
+        let _ = Gpr::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gpr::new(7).to_string(), "r7");
+        assert_eq!(Fpr::new(12).to_string(), "f12");
+    }
+
+    #[test]
+    fn fpr_pairing() {
+        assert!(Fpr::new(4).is_even());
+        assert!(!Fpr::new(5).is_even());
+    }
+
+    #[test]
+    fn abi_registers_are_consistent() {
+        assert_eq!(abi::ARGS[0], abi::RET);
+        assert!(abi::SP.fits_d16());
+        assert!(abi::GP.fits_d16());
+        assert!(!abi::DLXE_LINK.fits_d16());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over the instruction encodings: arbitrary
+//! well-formed instructions round-trip through both encoders, the
+//! disassembler agrees with decode, and condition algebra holds.
+
+use d16_isa::{
+    abi, d16, dlxe, AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, Insn, MemWidth, Prec,
+};
+use proptest::prelude::*;
+
+fn gpr16() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(Gpr::new)
+}
+
+fn fpr16() -> impl Strategy<Value = Fpr> {
+    (0u8..16).prop_map(Fpr::new)
+}
+
+fn fpr16_even() -> impl Strategy<Value = Fpr> {
+    (0u8..8).prop_map(|n| Fpr::new(n * 2))
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Shra),
+    ]
+}
+
+fn d16_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ltu),
+        Just(Cond::Le),
+        Just(Cond::Leu),
+    ]
+}
+
+/// Arbitrary instructions inside the D16 envelope.
+fn d16_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (alu_op(), gpr16(), gpr16())
+            .prop_map(|(op, rd, rs2)| Insn::Alu { op, rd, rs1: rd, rs2 }),
+        (gpr16(), 0i32..32).prop_map(|(rd, imm)| Insn::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1: rd,
+            imm
+        }),
+        (gpr16(), -256i32..256).prop_map(|(rd, imm)| Insn::Mvi { rd, imm }),
+        (d16_cond(), gpr16(), gpr16())
+            .prop_map(|(cond, rs1, rs2)| Insn::Cmp { cond, rd: abi::R0, rs1, rs2 }),
+        (gpr16(), gpr16(), 0i32..32)
+            .prop_map(|(rd, base, d)| Insn::Ld { w: MemWidth::W, rd, base, disp: d * 4 }),
+        (gpr16(), gpr16(), 0i32..32)
+            .prop_map(|(rs, base, d)| Insn::St { w: MemWidth::W, rs, base, disp: d * 4 }),
+        (gpr16(), gpr16()).prop_map(|(rd, base)| Insn::Ld {
+            w: MemWidth::Bu,
+            rd,
+            base,
+            disp: 0
+        }),
+        (gpr16(), 0i32..256).prop_map(|(rd, d)| Insn::Ldc { rd, disp: d * 4 }),
+        (-512i32..512).prop_map(|d| Insn::Br { disp: d * 2 }),
+        (any::<bool>(), -512i32..512)
+            .prop_map(|(neg, d)| Insn::Bc { neg, rs: abi::R0, disp: d * 2 }),
+        gpr16().prop_map(|target| Insn::J { target }),
+        gpr16().prop_map(|target| Insn::Jl { target }),
+        (fpr16_even(), fpr16_even()).prop_map(|(fd, fs2)| Insn::FAlu {
+            op: FpOp::Mul,
+            prec: Prec::D,
+            fd,
+            fs1: fd,
+            fs2
+        }),
+        (fpr16(), fpr16()).prop_map(|(fs1, fs2)| Insn::FCmp {
+            cond: FpCond::Lt,
+            prec: Prec::S,
+            fs1,
+            fs2
+        }),
+        (fpr16(), gpr16()).prop_map(|(fd, rs)| Insn::Mtf { fd, rs }),
+        (gpr16(), fpr16()).prop_map(|(rd, fs)| Insn::Mff { rd, fs }),
+        (fpr16(), fpr16()).prop_map(|(fd, fs)| Insn::Cvt { op: CvtOp::Si2Sf, fd, fs }),
+        gpr16().prop_map(|rd| Insn::Rdsr { rd }),
+    ]
+}
+
+proptest! {
+    /// Every D16-expressible instruction round-trips bit-exactly.
+    #[test]
+    fn d16_roundtrip(insn in d16_insn()) {
+        let w = d16::encode(&insn).expect("in-envelope instruction must encode");
+        let back = d16::decode(w).expect("encoded word must decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// The same instructions are also DLXe-expressible (D16 is the more
+    /// constrained format) — except for its `ldc` literal load and for
+    /// branch displacements at halfword granularity, which only exist
+    /// because D16 instructions are two bytes.
+    #[test]
+    fn d16_envelope_is_inside_dlxe(insn in d16_insn()) {
+        let halfword_branch = matches!(
+            insn,
+            Insn::Br { disp } | Insn::Bc { disp, .. } if disp % 4 != 0
+        );
+        if matches!(insn, Insn::Ldc { .. }) {
+            prop_assert!(dlxe::encode(&insn).is_err(), "ldc is D16-only");
+        } else if halfword_branch {
+            prop_assert!(dlxe::encode(&insn).is_err(), "halfword reach is D16-only");
+        } else {
+            let w = dlxe::encode(&insn).expect("DLXe is a superset here");
+            let back = dlxe::decode(w).expect("decode");
+            prop_assert_eq!(back, dlxe::canonicalize(insn));
+        }
+    }
+
+    /// Decode is total-or-error on random halfwords and agrees with
+    /// re-encoding.
+    #[test]
+    fn d16_decode_reencode(word in any::<u16>()) {
+        if let Ok(insn) = d16::decode(word) {
+            let w2 = d16::encode(&insn).expect("decoded instruction re-encodes");
+            prop_assert_eq!(d16::decode(w2).unwrap(), insn);
+        }
+    }
+
+    /// Same for random 32-bit words on DLXe.
+    #[test]
+    fn dlxe_decode_reencode(word in any::<u32>()) {
+        if let Ok(insn) = dlxe::decode(word) {
+            let w2 = dlxe::encode(&insn).expect("decoded instruction re-encodes");
+            prop_assert_eq!(dlxe::decode(w2).unwrap(), insn);
+        }
+    }
+
+    /// Condition algebra: negation complements, swapping commutes.
+    #[test]
+    fn cond_algebra(a in any::<u32>(), b in any::<u32>(), idx in 0usize..10) {
+        let c = Cond::ALL[idx];
+        prop_assert_ne!(c.eval(a, b), c.negated().eval(a, b));
+        prop_assert_eq!(c.eval(a, b), c.swapped().eval(b, a));
+        prop_assert_eq!(c.negated().negated(), c);
+        prop_assert_eq!(c.swapped().swapped(), c);
+    }
+
+    /// ALU evaluation matches two's-complement reference semantics.
+    #[test]
+    fn alu_reference(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Shl.eval(a, b), a.wrapping_shl(b & 31));
+        prop_assert_eq!(AluOp::Shra.eval(a, b), ((a as i32) >> (b & 31)) as u32);
+    }
+
+    /// Disassembly of any decodable D16 word is accepted structurally
+    /// (non-empty, starts with a known mnemonic character class).
+    #[test]
+    fn disasm_nonempty(word in any::<u16>()) {
+        if let Ok(insn) = d16::decode(word) {
+            let text = d16_isa::disassemble(&insn);
+            prop_assert!(!text.is_empty());
+            prop_assert!(text.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+}

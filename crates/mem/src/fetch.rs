@@ -1,0 +1,156 @@
+//! The cacheless memory interface of Section 4: a fetch buffer of `k`
+//! instructions and a flat `l`-wait-state memory.
+//!
+//! "Without an instruction cache, each fetch request returns a block of `k`
+//! instructions, where `k` is the fetch bus width divided by instruction
+//! size. When `k` is greater than 1, the instruction block is buffered, and
+//! as long as instructions requested are in the buffer, no memory request
+//! is made." Performance follows the paper's formula:
+//!
+//! ```text
+//! Cycles = IC + Interlocks + Latency * (IRequests + DRequests)
+//! ```
+
+use d16_sim::{AccessSink, ExecStats};
+
+/// Counts external memory requests made through a fetch buffer of
+/// `bus_bytes` and a flat data port (every load/store is one request).
+#[derive(Copy, Clone, Debug)]
+pub struct FetchBuffer {
+    bus_bytes: u32,
+    buffered: Option<u32>,
+    /// Instruction fetch requests issued to memory.
+    pub irequests: u64,
+    /// Data requests (loads + stores).
+    pub drequests: u64,
+    /// Instructions delivered (for saturation measures).
+    pub instructions: u64,
+}
+
+impl FetchBuffer {
+    /// Creates a buffer for the given fetch bus width in bytes (4 for the
+    /// paper's 32-bit bus, 8 for the 64-bit bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bus_bytes` is a power of two of at least 2.
+    pub fn new(bus_bytes: u32) -> Self {
+        assert!(bus_bytes.is_power_of_two() && bus_bytes >= 2, "bad bus width {bus_bytes}");
+        FetchBuffer { bus_bytes, buffered: None, irequests: 0, drequests: 0, instructions: 0 }
+    }
+
+    /// The bus width in bytes.
+    pub fn bus_bytes(&self) -> u32 {
+        self.bus_bytes
+    }
+
+    /// Total external requests.
+    pub fn requests(&self) -> u64 {
+        self.irequests + self.drequests
+    }
+
+    /// Total cycles for a run with the given per-request wait states,
+    /// using the paper's formula.
+    pub fn cycles(&self, stats: &ExecStats, wait_states: u64) -> u64 {
+        stats.base_cycles() + wait_states * self.requests()
+    }
+
+    /// Instruction-fetch bus saturation in requests per cycle (Figure 15).
+    pub fn fetch_saturation(&self, stats: &ExecStats, wait_states: u64) -> f64 {
+        self.irequests as f64 / self.cycles(stats, wait_states) as f64
+    }
+}
+
+impl AccessSink for FetchBuffer {
+    fn fetch(&mut self, addr: u32, _bytes: u8) {
+        self.instructions += 1;
+        let block = addr & !(self.bus_bytes - 1);
+        if self.buffered != Some(block) {
+            self.irequests += 1;
+            self.buffered = Some(block);
+        }
+    }
+
+    fn read(&mut self, _addr: u32, _bytes: u8) {
+        self.drequests += 1;
+    }
+
+    fn write(&mut self, _addr: u32, _bytes: u8) {
+        self.drequests += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(buf: &mut FetchBuffer, addrs: &[u32]) {
+        for &a in addrs {
+            buf.fetch(a, 2);
+        }
+    }
+
+    #[test]
+    fn sequential_d16_amortizes_k2() {
+        // Eight 2-byte instructions over a 32-bit bus: 4 requests.
+        let mut b = FetchBuffer::new(4);
+        feed(&mut b, &[0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(b.irequests, 4);
+        // Over a 64-bit bus: k = 4, so 2 requests.
+        let mut b = FetchBuffer::new(8);
+        feed(&mut b, &[0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(b.irequests, 2);
+    }
+
+    #[test]
+    fn dlxe_k1_requests_every_word() {
+        let mut b = FetchBuffer::new(4);
+        for a in (0..32).step_by(4) {
+            b.fetch(a, 4);
+        }
+        assert_eq!(b.irequests, 8, "k=1: every instruction is a request");
+    }
+
+    #[test]
+    fn branch_back_into_buffer_is_free() {
+        let mut b = FetchBuffer::new(8);
+        // A 3-instruction D16 loop entirely inside one 8-byte block.
+        feed(&mut b, &[8, 10, 12, 8, 10, 12, 8, 10, 12]);
+        assert_eq!(b.irequests, 1, "the loop body stays buffered");
+    }
+
+    #[test]
+    fn branch_out_refetches() {
+        let mut b = FetchBuffer::new(4);
+        feed(&mut b, &[0, 2, 100, 0]);
+        assert_eq!(b.irequests, 3, "leaving and re-entering a block refetches");
+    }
+
+    #[test]
+    fn data_requests_count_flat() {
+        let mut b = FetchBuffer::new(4);
+        b.read(0x2000, 4);
+        b.write(0x2000, 4);
+        b.read(0x2000, 1);
+        assert_eq!(b.drequests, 3);
+    }
+
+    #[test]
+    fn cycle_formula_matches_paper() {
+        let mut b = FetchBuffer::new(4);
+        feed(&mut b, &[0, 2, 4, 6]);
+        b.read(0x2000, 4);
+        let stats = ExecStats { insns: 4, interlocks: 1, loads: 1, ..Default::default() };
+        // Cycles = IC + Interlocks + l * (IReq + DReq) = 5 + l*3.
+        assert_eq!(b.cycles(&stats, 0), 5);
+        assert_eq!(b.cycles(&stats, 2), 11);
+        let sat = b.fetch_saturation(&stats, 2);
+        assert!((sat - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_bus() {
+        let _ = FetchBuffer::new(6);
+    }
+}

@@ -1,0 +1,38 @@
+//! # d16-mem — memory-system models
+//!
+//! The two memory interfaces evaluated in Section 4 of the paper:
+//!
+//! * [`FetchBuffer`] — the cacheless machine: a `k`-instruction fetch
+//!   buffer over a 32- or 64-bit bus and a flat `l`-wait-state memory
+//!   (Figures 14–15, Tables 11–12).
+//! * [`Cache`] / [`CacheSystem`] — dinero-equivalent sub-blocked caches
+//!   with wrap-around prefetch, split I/D (Figures 16–19, Tables 13–16).
+//!
+//! Both consume the access stream of `d16-sim`'s pipeline via the
+//! [`d16_sim::AccessSink`] trait, so one functional run can drive any
+//! number of memory-system configurations through a recorded trace.
+//!
+//! ```
+//! use d16_mem::{CacheSystem, FetchBuffer};
+//! use d16_sim::{AccessSink, ExecStats};
+//!
+//! // A 64-bit bus delivers four D16 instructions per fetch (k = 4).
+//! let mut fb = FetchBuffer::new(8);
+//! for addr in (0x1000..0x1010).step_by(2) {
+//!     fb.fetch(addr, 2);
+//! }
+//! assert_eq!(fb.irequests, 2);
+//!
+//! // The paper's 4K direct-mapped split caches.
+//! let mut cs = CacheSystem::paper(4096);
+//! cs.fetch(0x1000, 2);
+//! assert_eq!(cs.icache().read_misses, 1);
+//! ```
+
+mod cache;
+mod fetch;
+mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use fetch::FetchBuffer;
+pub use system::CacheSystem;

@@ -1,0 +1,400 @@
+//! # d16-sim — the shared five-stage pipeline
+//!
+//! Executes linked D16 or DLXe images on the paper's pipeline model
+//! (Figure 3): single issue at one instruction per cycle peak, one branch
+//! delay slot, one load delay slot, and FPU-latency ("math unit")
+//! interlocks. The simulator produces the raw measurements behind every
+//! table in the paper — path length, loads/stores, interlock cycles, and
+//! word-granular instruction fetch traffic — and streams each memory
+//! reference to an [`AccessSink`] so the `d16-mem` models can attach cache
+//! or fetch-buffer timing.
+//!
+//! ```
+//! use d16_asm::build;
+//! use d16_isa::Isa;
+//! use d16_sim::{Machine, NullSink};
+//!
+//! let image = build(Isa::D16, &["
+//! _start: mvi r2, 6
+//!         mvi r3, 7
+//!         add r2, r3      ; two-address: r2 += r3
+//!         trap 0
+//! "])?;
+//! let mut m = Machine::load(&image);
+//! let stop = m.run(1_000, &mut NullSink)?;
+//! assert_eq!(stop.exit_status(), Some(13));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod access;
+mod machine;
+mod stats;
+
+pub use access::{Access, AccessSink, NullSink, TraceRecorder};
+pub use machine::{FpuLatency, Machine, SimError};
+pub use stats::{ExecStats, StopReason};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d16_asm::build;
+    use d16_isa::{Gpr, Isa};
+
+    fn run_prog(isa: Isa, src: &str) -> (Machine, StopReason) {
+        let image = build(isa, &[src]).expect("assemble/link");
+        let mut m = Machine::load(&image);
+        let stop = m.run(1_000_000, &mut NullSink).expect("run");
+        (m, stop)
+    }
+
+    #[test]
+    fn halts_with_exit_status() {
+        for isa in Isa::ALL {
+            let (_, stop) = run_prog(isa, "_start: mvi r2, 42\ntrap 0\n");
+            assert_eq!(stop.exit_status(), Some(42), "{isa}");
+        }
+    }
+
+    #[test]
+    fn loop_counts_path_length() {
+        // 10 iterations of a 4-instruction loop (incl. delay slot) plus
+        // setup and halt.
+        let src = "
+_start: mvi r2, 0
+        mvi r4, 0           ; explicit zero: D16 r0 is the compare result
+        mvi r3, 10
+loop:   subi r3, r3, 1
+        cmpne r3, r4        ; r0 <- (r3 != 0)
+        bnz r0, loop
+        addi r2, r2, 1      ; delay slot: runs every iteration
+        trap 0
+";
+        let (m, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(10));
+        // 3 setup + 10*(subi+cmpne+bnz+delay) + trap.
+        assert_eq!(m.stats().insns, 3 + 40 + 1);
+        assert_eq!(m.stats().branches, 10);
+        assert_eq!(m.stats().taken_branches, 9);
+    }
+
+    #[test]
+    fn branch_delay_slot_always_executes() {
+        let src = "
+_start: mvi r2, 1
+        br over
+        addi r2, r2, 10     ; delay slot executes
+        addi r2, r2, 20     ; skipped
+over:   trap 0
+";
+        for isa in Isa::ALL {
+            let (_, stop) = run_prog(isa, src);
+            assert_eq!(stop.exit_status(), Some(11), "{isa}");
+        }
+    }
+
+    #[test]
+    fn untaken_branch_still_has_delay_slot() {
+        let src = "
+_start: mvi r2, 0
+        cmpne r2, r0        ; false
+        bnz r0, nowhere
+        addi r2, r2, 1      ; delay slot
+        addi r2, r2, 2
+        trap 0
+nowhere: mvi r2, 99
+        trap 0
+";
+        let (m, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(3));
+        assert_eq!(m.stats().taken_branches, 0);
+    }
+
+    #[test]
+    fn call_and_return_through_link_register() {
+        let d16 = "
+_start: ldc r9, =double_it
+        mvi r2, 21
+        jl r9
+        nop
+        trap 0
+double_it:
+        add r2, r2
+        ret
+        nop
+";
+        let (_, stop) = run_prog(Isa::D16, d16);
+        assert_eq!(stop.exit_status(), Some(42));
+
+        let dlxe = "
+_start: mvi r2, 21
+        jal double_it
+        nop
+        trap 0
+double_it:
+        add r2, r2, r2
+        ret
+        nop
+";
+        let (_, stop) = run_prog(Isa::Dlxe, dlxe);
+        assert_eq!(stop.exit_status(), Some(42));
+    }
+
+    #[test]
+    fn memory_and_subword_semantics() {
+        let src = "
+_start: la r9, buf
+        li r3, 0x12345678
+        st r3, 0(r9)
+        ldb r2, (r9)        ; 0x78
+        ldbu r4, (r9)
+        addi r9, r9, 1      ; D16 subword is not offsettable: bump the base
+        ldb r5, (r9)        ; byte 1 is 0x56
+        trap 0
+        .data
+buf:    .word 0
+";
+        let (m, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(0x78));
+        assert_eq!(m.gpr(Gpr::new(5)), 0x56);
+        assert_eq!(m.stats().loads, 5, "ldc + ldc(li) + three byte loads");
+        assert_eq!(m.stats().stores, 1);
+    }
+
+    #[test]
+    fn signed_subword_loads_extend() {
+        let src = "
+_start: la r9, buf
+        ldb r2, 0(r9)
+        ldh r3, 0(r9)
+        ldhu r4, 0(r9)
+        trap 0
+        .data
+buf:    .word 0xFFFEFDFC
+";
+        let image = build(Isa::Dlxe, &[src]).unwrap();
+        let mut m = Machine::load(&image);
+        m.run(100, &mut NullSink).unwrap();
+        assert_eq!(m.gpr(Gpr::new(2)), 0xFFFF_FFFC);
+        assert_eq!(m.gpr(Gpr::new(3)), 0xFFFF_FDFC);
+        assert_eq!(m.gpr(Gpr::new(4)), 0x0000_FDFC);
+    }
+
+    #[test]
+    fn load_use_interlock_counted() {
+        let use_immediately = "
+_start: la r9, v
+        ld r2, 0(r9)
+        addi r2, r2, 1      ; uses r2 in the delay slot -> 1 stall
+        trap 0
+        .data
+v:      .word 5
+";
+        let scheduled = "
+_start: la r9, v
+        ld r2, 0(r9)
+        nop                 ; delay slot filled with unrelated work
+        addi r2, r2, 1
+        trap 0
+        .data
+v:      .word 5
+";
+        let (m1, s1) = run_prog(Isa::Dlxe, use_immediately);
+        let (m2, s2) = run_prog(Isa::Dlxe, scheduled);
+        assert_eq!(s1.exit_status(), Some(6));
+        assert_eq!(s2.exit_status(), Some(6));
+        assert_eq!(m1.stats().load_interlocks, 1);
+        assert_eq!(m2.stats().load_interlocks, 0);
+    }
+
+    #[test]
+    fn d16_ldc_also_has_load_delay() {
+        let src = "
+_start: ldc r2, =1234
+        addi r2, r2, 1
+        trap 0
+";
+        let (m, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(1235));
+        assert_eq!(m.stats().load_interlocks, 1);
+    }
+
+    #[test]
+    fn fpu_interlocks_scale_with_latency() {
+        let src = "
+_start: mvi r3, 3
+        mtf f2, r3
+        si2sf f2, f2
+        mvi r4, 4
+        mtf f4, r4
+        si2sf f4, f4
+        mul.sf f2, f2, f4
+        mff r2, f2          ; immediately dependent on the multiply
+        trap 0
+";
+        let image = build(Isa::Dlxe, &[src]).unwrap();
+        let mut fast = Machine::load(&image);
+        fast.set_fpu_latency(FpuLatency { add: 1, mul: 1, div_s: 1, div_d: 1, cvt: 1 });
+        fast.run(100, &mut NullSink).unwrap();
+        let mut slow = Machine::load(&image);
+        slow.set_fpu_latency(FpuLatency { add: 2, mul: 8, div_s: 12, div_d: 19, cvt: 2 });
+        slow.run(100, &mut NullSink).unwrap();
+        // The two mtf -> cvt transfer hazards stall one cycle each even at
+        // unit latency; the multiply adds nothing at latency 1.
+        assert_eq!(fast.stats().fpu_interlocks, 2);
+        assert!(slow.stats().fpu_interlocks >= 9, "mul latency 8 stalls the mff");
+        // Result is 12.0f32.
+        assert_eq!(fast.gpr(Gpr::new(2)), 12.0f32.to_bits());
+    }
+
+    #[test]
+    fn double_precision_arithmetic() {
+        // Build 2.5 and 0.5 as doubles via integer conversion and division.
+        let src = "
+_start: mvi r3, 5
+        mtf f2, r3
+        si2df f2, f2        ; f2:f3 = 5.0
+        mvi r3, 2
+        mtf f4, r3
+        si2df f4, f4        ; f4:f5 = 2.0
+        div.df f2, f2, f4   ; 2.5
+        add.df f2, f2, f4   ; 4.5
+        df2si f6, f2        ; truncates to 4
+        mff r2, f6
+        trap 0
+";
+        let (m, stop) = run_prog(Isa::Dlxe, src);
+        assert_eq!(stop.exit_status(), Some(4));
+        assert!(m.stats().fpu_interlocks > 0, "dependent FPU chain interlocks");
+    }
+
+    #[test]
+    fn fp_compare_and_rdsr() {
+        let src = "
+_start: mvi r3, 1
+        mtf f2, r3
+        si2sf f2, f2
+        mvi r3, 2
+        mtf f4, r3
+        si2sf f4, f4
+        cmplt.sf f2, f4     ; 1.0 < 2.0 -> status 1
+        rdsr r2
+        trap 0
+";
+        for isa in Isa::ALL {
+            let (_, stop) = run_prog(isa, src);
+            assert_eq!(stop.exit_status(), Some(1), "{isa}");
+        }
+    }
+
+    #[test]
+    fn console_traps() {
+        let src = "
+_start: mvi r2, 'H'
+        trap 1
+        mvi r2, 'i'
+        trap 1
+        mvi r2, -42
+        trap 2
+        mvi r2, 0
+        trap 0
+";
+        let (m, _) = run_prog(Isa::D16, src);
+        assert_eq!(m.console_string(), "Hi-42");
+    }
+
+    #[test]
+    fn ifetch_word_counting_d16_pairs() {
+        // Six sequential D16 instructions share three 32-bit words.
+        let src = "_start: nop\nnop\nnop\nnop\nmvi r2, 0\ntrap 0\n";
+        let (m, _) = run_prog(Isa::D16, src);
+        assert_eq!(m.stats().insns, 6);
+        assert_eq!(m.stats().ifetch_words, 3);
+        let (m, _) = run_prog(Isa::Dlxe, src);
+        assert_eq!(m.stats().insns, 6);
+        assert_eq!(m.stats().ifetch_words, 6, "each DLXe insn is a full word");
+    }
+
+    #[test]
+    fn tight_loop_refetches_taken_branch_words() {
+        let src = "
+_start: mvi r3, 5
+loop:   subi r3, r3, 1
+        cmpne r3, r0
+        bnz r0, loop
+        nop
+        mvi r2, 0
+        trap 0
+";
+        let (m, _) = run_prog(Isa::D16, src);
+        assert!(m.stats().ifetch_words > m.stats().insns / 2, "branches waste buffer slots");
+        assert!(m.stats().ifetch_words <= m.stats().insns);
+    }
+
+    #[test]
+    fn trace_recorder_captures_all_references() {
+        let src = "
+_start: la r9, v
+        ld r2, 0(r9)
+        nop
+        st r2, 4(r9)
+        trap 0
+        .data
+v:      .word 3, 0
+";
+        let image = build(Isa::Dlxe, &[src]).unwrap();
+        let mut m = Machine::load(&image);
+        let mut rec = TraceRecorder::new();
+        m.run(100, &mut rec).unwrap();
+        let fetches = rec.trace.iter().filter(|a| matches!(a, Access::Fetch(..))).count();
+        let reads = rec.trace.iter().filter(|a| matches!(a, Access::Read(..))).count();
+        let writes = rec.trace.iter().filter(|a| matches!(a, Access::Write(..))).count();
+        assert_eq!(fetches as u64, m.stats().insns);
+        assert_eq!(reads as u64, m.stats().loads);
+        assert_eq!(writes as u64, m.stats().stores);
+    }
+
+    #[test]
+    fn store_to_text_is_fatal() {
+        let src = "_start: mvi r9, 0\nla r9, _start\nst r9, 0(r9)\ntrap 0\n";
+        let image = build(Isa::Dlxe, &[src]).unwrap();
+        let mut m = Machine::load(&image);
+        let e = m.run(100, &mut NullSink).unwrap_err();
+        assert!(matches!(e, SimError::WriteToText { .. }), "{e}");
+    }
+
+    #[test]
+    fn misaligned_word_access_is_fatal() {
+        let src = "_start: la r9, v\naddi r9, r9, 2\nld r2, 0(r9)\ntrap 0\n.data\nv: .word 1\n";
+        let image = build(Isa::Dlxe, &[src]).unwrap();
+        let mut m = Machine::load(&image);
+        let e = m.run(100, &mut NullSink).unwrap_err();
+        assert!(matches!(e, SimError::Unaligned { bytes: 4, .. }), "{e}");
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let src = "_start: br _start\nnop\n";
+        let image = build(Isa::D16, &[src]).unwrap();
+        let mut m = Machine::load(&image);
+        let stop = m.run(1000, &mut NullSink).unwrap();
+        assert_eq!(stop, StopReason::OutOfFuel);
+        assert!(m.stats().insns >= 1000);
+    }
+
+    #[test]
+    fn dlxe_r0_is_hardwired_zero() {
+        let src = "_start: mvi r0, 7\nmv r2, r0\ntrap 0\n";
+        let (_, stop) = run_prog(Isa::Dlxe, src);
+        assert_eq!(stop.exit_status(), Some(0));
+        // ...but D16 r0 is a real register (the compare destination).
+        let (_, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(7));
+    }
+
+    #[test]
+    fn read_insn_count_trap() {
+        let src = "_start: nop\nnop\ntrap 3\nmv r2, r2\ntrap 0\n";
+        let (_, stop) = run_prog(Isa::D16, src);
+        assert_eq!(stop.exit_status(), Some(3), "count includes the trap itself");
+    }
+}

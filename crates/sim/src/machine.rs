@@ -1,0 +1,666 @@
+//! The five-stage pipeline machine model.
+//!
+//! Functionally this is an instruction-level interpreter; architecturally
+//! it models the paper's pipeline (Figure 3): single issue, one branch
+//! delay slot, one load delay slot, and a non-pipelined FPU whose latency
+//! produces "math unit" interlocks. Interlock *cycles* are accounted with a
+//! small scoreboard (register-ready times) rather than by simulating stage
+//! registers — the counts are exactly those of an in-order five-stage
+//! pipeline with full forwarding.
+
+use crate::access::AccessSink;
+use crate::stats::{ExecStats, StopReason};
+use d16_asm::Image;
+use d16_isa::{abi, CvtOp, Gpr, Insn, Isa, MemWidth, Prec, TrapCode};
+use std::fmt;
+
+/// FPU operation latencies in cycles, configurable per experiment.
+///
+/// Defaults approximate an R2000-class FPU of the paper's era.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FpuLatency {
+    /// Add, subtract, negate, compare.
+    pub add: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide (single precision).
+    pub div_s: u64,
+    /// Divide (double precision).
+    pub div_d: u64,
+    /// Mode conversions.
+    pub cvt: u64,
+}
+
+impl Default for FpuLatency {
+    fn default() -> Self {
+        FpuLatency { add: 2, mul: 4, div_s: 12, div_d: 19, cvt: 2 }
+    }
+}
+
+/// Simulator errors: things a correct program (and compiler) never does.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// PC left the text segment.
+    PcOutOfText {
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// The word at PC does not decode.
+    IllegalInsn {
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// Misaligned data access.
+    Unaligned {
+        /// Effective address.
+        addr: u32,
+        /// Access width.
+        bytes: u8,
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// Data access outside simulated memory.
+    OutOfBounds {
+        /// Effective address.
+        addr: u32,
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// Store into the text segment.
+    WriteToText {
+        /// Effective address.
+        addr: u32,
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// A control-transfer instruction in a delay slot.
+    ControlInDelaySlot {
+        /// Faulting PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfText { pc } => write!(f, "pc {pc:#010x} outside text"),
+            SimError::IllegalInsn { pc } => write!(f, "illegal instruction at {pc:#010x}"),
+            SimError::Unaligned { addr, bytes, pc } => {
+                write!(f, "misaligned {bytes}-byte access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::OutOfBounds { addr, pc } => {
+                write!(f, "out-of-bounds access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::WriteToText { addr, pc } => {
+                write!(f, "store into text at {addr:#010x} from pc {pc:#010x}")
+            }
+            SimError::ControlInDelaySlot { pc } => {
+                write!(f, "control transfer in delay slot at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulated processor plus its memory.
+#[derive(Clone)]
+pub struct Machine {
+    isa: Isa,
+    mem: Vec<u8>,
+    text_base: u32,
+    text_end: u32,
+    data_base: u32,
+    decoded: Vec<Option<Insn>>,
+    gpr: [u32; 32],
+    fpr: [u32; 32],
+    fpsr: bool,
+    pc: u32,
+    pending_target: Option<u32>,
+    halted: Option<i32>,
+    console: Vec<u8>,
+    stats: ExecStats,
+    lat: FpuLatency,
+    // Scoreboard for interlock accounting.
+    t: u64,
+    gpr_ready: [u64; 32],
+    fpr_ready: [u64; 32],
+    fpsr_ready: u64,
+    fpu_free: u64,
+    last_fetch_word: Option<u32>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("isa", &self.isa)
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("halted", &self.halted)
+            .field("insns", &self.stats.insns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Loads a linked image into a fresh machine.
+    ///
+    /// Registers start at zero; the program's startup code is expected to
+    /// establish the stack and global pointers (the compiler's `_start`
+    /// does). Memory spans `0..__mem_top` (16 MiB).
+    pub fn load(image: &Image) -> Self {
+        let mut mem = vec![0u8; d16_asm::MEM_TOP as usize];
+        let tb = image.text_base as usize;
+        mem[tb..tb + image.text.len()].copy_from_slice(&image.text);
+        let db = image.data_base as usize;
+        mem[db..db + image.data.len()].copy_from_slice(&image.data);
+
+        let ilen = image.isa.insn_bytes() as usize;
+        let decoded = image
+            .text
+            .chunks_exact(ilen)
+            .map(|c| match image.isa {
+                Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).ok(),
+                Isa::Dlxe => {
+                    d16_isa::dlxe::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).ok()
+                }
+            })
+            .collect();
+
+        Machine {
+            isa: image.isa,
+            mem,
+            text_base: image.text_base,
+            text_end: image.text_base + image.text.len() as u32,
+            data_base: image.data_base,
+            decoded,
+            gpr: [0; 32],
+            fpr: [0; 32],
+            fpsr: false,
+            pc: image.entry,
+            pending_target: None,
+            halted: None,
+            console: Vec::new(),
+            stats: ExecStats::default(),
+            lat: FpuLatency::default(),
+            t: 0,
+            gpr_ready: [0; 32],
+            fpr_ready: [0; 32],
+            fpsr_ready: 0,
+            fpu_free: 0,
+            last_fetch_word: None,
+        }
+    }
+
+    /// Overrides the FPU latency model.
+    pub fn set_fpu_latency(&mut self, lat: FpuLatency) {
+        self.lat = lat;
+    }
+
+    /// The ISA of the loaded program.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads a general register (honoring DLXe's hardwired `r0 == 0`).
+    pub fn gpr(&self, r: Gpr) -> u32 {
+        if self.isa == Isa::Dlxe && r == abi::R0 {
+            0
+        } else {
+            self.gpr[r.index()]
+        }
+    }
+
+    /// Writes a general register (writes to DLXe `r0` are discarded).
+    pub fn set_gpr(&mut self, r: Gpr, v: u32) {
+        if !(self.isa == Isa::Dlxe && r == abi::R0) {
+            self.gpr[r.index()] = v;
+        }
+    }
+
+    /// Reads an FP register's raw bits.
+    pub fn fpr_bits(&self, r: d16_isa::Fpr) -> u32 {
+        self.fpr[r.index()]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Console output so far (bytes written via `trap 1`/`trap 2`).
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Console output as (lossy) UTF-8.
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// Whether the program has executed `trap 0`.
+    pub fn halted(&self) -> Option<i32> {
+        self.halted
+    }
+
+    /// Runs until halt or until `fuel` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] the program raises.
+    pub fn run(&mut self, fuel: u64, sink: &mut impl AccessSink) -> Result<StopReason, SimError> {
+        let end = self.stats.insns + fuel;
+        while self.halted.is_none() {
+            if self.stats.insns >= end {
+                return Ok(StopReason::OutOfFuel);
+            }
+            self.step(sink)?;
+        }
+        Ok(StopReason::Halted(self.halted.unwrap()))
+    }
+
+    /// Executes a single instruction (a delay-slot instruction counts as
+    /// its own step).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for illegal instructions, bad memory
+    /// accesses, or a control transfer inside a delay slot.
+    pub fn step(&mut self, sink: &mut impl AccessSink) -> Result<(), SimError> {
+        let pc = self.pc;
+        let ilen = self.isa.insn_bytes();
+        if pc < self.text_base || pc >= self.text_end || (pc - self.text_base) % ilen != 0 {
+            return Err(SimError::PcOutOfText { pc });
+        }
+        let insn = self.decoded[((pc - self.text_base) / ilen) as usize]
+            .ok_or(SimError::IllegalInsn { pc })?;
+
+        // Fetch accounting.
+        sink.fetch(pc, ilen as u8);
+        let word = pc & !3;
+        if self.last_fetch_word != Some(word) {
+            self.stats.ifetch_words += 1;
+            self.last_fetch_word = Some(word);
+        }
+        self.stats.insns += 1;
+
+        self.account_interlocks(&insn);
+
+        let mut target: Option<Option<u32>> = None; // Some(Some(t)) taken, Some(None) fall-through branch
+        match insn {
+            Insn::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.gpr(rs1), self.gpr(rs2));
+                self.write_int(rd, v);
+            }
+            Insn::AluI { op, rd, rs1, imm } => {
+                let v = op.eval(self.gpr(rs1), imm as u32);
+                self.write_int(rd, v);
+            }
+            Insn::Un { op, rd, rs } => {
+                let v = op.eval(self.gpr(rs));
+                self.write_int(rd, v);
+            }
+            Insn::Mvi { rd, imm } => self.write_int(rd, imm as u32),
+            Insn::Lui { rd, imm } => self.write_int(rd, imm << 16),
+            Insn::Cmp { cond, rd, rs1, rs2 } => {
+                let v = if cond.eval(self.gpr(rs1), self.gpr(rs2)) { u32::MAX } else { 0 };
+                self.write_int(rd, v);
+            }
+            Insn::CmpI { cond, rd, rs1, imm } => {
+                let v = if cond.eval(self.gpr(rs1), imm as u32) { u32::MAX } else { 0 };
+                self.write_int(rd, v);
+            }
+            Insn::Ld { w, rd, base, disp } => {
+                let addr = self.gpr(base).wrapping_add(disp as u32);
+                let v = self.load_data(addr, w, pc, sink)?;
+                self.stats.loads += 1;
+                self.set_gpr(rd, v);
+                self.gpr_ready[rd.index()] = self.t + 1; // one load delay slot
+            }
+            Insn::Ldc { rd, disp } => {
+                let addr = ((pc + 2 + 3) & !3).wrapping_add(disp as u32);
+                let v = self.load_data(addr, MemWidth::W, pc, sink)?;
+                self.stats.loads += 1;
+                self.set_gpr(rd, v);
+                self.gpr_ready[rd.index()] = self.t + 1;
+            }
+            Insn::St { w, rs, base, disp } => {
+                let addr = self.gpr(base).wrapping_add(disp as u32);
+                self.store(addr, w, self.gpr(rs), pc, sink)?;
+                self.stats.stores += 1;
+            }
+            Insn::Br { disp } => target = Some(Some(add_disp(pc + ilen, disp))),
+            Insn::Bc { neg, rs, disp } => {
+                let nz = self.gpr(rs) != 0;
+                target = if nz == neg { Some(Some(add_disp(pc + ilen, disp))) } else { Some(None) };
+            }
+            Insn::J { target: t } => target = Some(Some(self.gpr(t))),
+            Insn::Jc { neg, rs, target: t } => {
+                let nz = self.gpr(rs) != 0;
+                target = if nz == neg { Some(Some(self.gpr(t))) } else { Some(None) };
+            }
+            Insn::Jl { target: t } => {
+                let dest = self.gpr(t);
+                let link = self.isa.link_reg();
+                self.set_gpr(link, pc + 2 * ilen);
+                self.gpr_ready[link.index()] = self.t;
+                target = Some(Some(dest));
+            }
+            Insn::Jdisp { link, disp } => {
+                if link {
+                    let lr = self.isa.link_reg();
+                    self.set_gpr(lr, pc + 2 * ilen);
+                    self.gpr_ready[lr.index()] = self.t;
+                }
+                target = Some(Some(add_disp(pc + ilen, disp)));
+            }
+            Insn::FAlu { op, prec, fd, fs1, fs2 } => {
+                let lat = match op {
+                    d16_isa::FpOp::Add | d16_isa::FpOp::Sub => self.lat.add,
+                    d16_isa::FpOp::Mul => self.lat.mul,
+                    d16_isa::FpOp::Div => match prec {
+                        Prec::S => self.lat.div_s,
+                        Prec::D => self.lat.div_d,
+                    },
+                };
+                match prec {
+                    Prec::S => {
+                        let a = f32::from_bits(self.fpr[fs1.index()]);
+                        let b = f32::from_bits(self.fpr[fs2.index()]);
+                        let v = match op {
+                            d16_isa::FpOp::Add => a + b,
+                            d16_isa::FpOp::Sub => a - b,
+                            d16_isa::FpOp::Mul => a * b,
+                            d16_isa::FpOp::Div => a / b,
+                        };
+                        self.fpr[fd.index()] = v.to_bits();
+                    }
+                    Prec::D => {
+                        let a = self.read_f64(fs1);
+                        let b = self.read_f64(fs2);
+                        let v = match op {
+                            d16_isa::FpOp::Add => a + b,
+                            d16_isa::FpOp::Sub => a - b,
+                            d16_isa::FpOp::Mul => a * b,
+                            d16_isa::FpOp::Div => a / b,
+                        };
+                        self.write_f64(fd, v);
+                    }
+                }
+                self.finish_fpu(fd, prec, lat);
+            }
+            Insn::FNeg { prec, fd, fs } => {
+                match prec {
+                    Prec::S => {
+                        let a = f32::from_bits(self.fpr[fs.index()]);
+                        self.fpr[fd.index()] = (-a).to_bits();
+                    }
+                    Prec::D => {
+                        let a = self.read_f64(fs);
+                        self.write_f64(fd, -a);
+                    }
+                }
+                self.finish_fpu(fd, prec, self.lat.add);
+            }
+            Insn::FCmp { cond, prec, fs1, fs2 } => {
+                let (a, b) = match prec {
+                    Prec::S => (
+                        f32::from_bits(self.fpr[fs1.index()]) as f64,
+                        f32::from_bits(self.fpr[fs2.index()]) as f64,
+                    ),
+                    Prec::D => (self.read_f64(fs1), self.read_f64(fs2)),
+                };
+                self.fpsr = cond.eval(a, b);
+                self.fpsr_ready = self.t + self.lat.add - 1;
+                self.fpu_free = self.t + self.lat.add - 1;
+            }
+            Insn::Cvt { op, fd, fs } => {
+                match op {
+                    CvtOp::Si2Sf => {
+                        let v = self.fpr[fs.index()] as i32;
+                        self.fpr[fd.index()] = (v as f32).to_bits();
+                    }
+                    CvtOp::Si2Df => {
+                        let v = self.fpr[fs.index()] as i32;
+                        self.write_f64(fd, v as f64);
+                    }
+                    CvtOp::Sf2Df => {
+                        let v = f32::from_bits(self.fpr[fs.index()]);
+                        self.write_f64(fd, v as f64);
+                    }
+                    CvtOp::Df2Sf => {
+                        let v = self.read_f64(fs);
+                        self.fpr[fd.index()] = (v as f32).to_bits();
+                    }
+                    CvtOp::Sf2Si => {
+                        let v = f32::from_bits(self.fpr[fs.index()]);
+                        self.fpr[fd.index()] = cvt_to_i32(v as f64) as u32;
+                    }
+                    CvtOp::Df2Si => {
+                        let v = self.read_f64(fs);
+                        self.fpr[fd.index()] = cvt_to_i32(v) as u32;
+                    }
+                }
+                let prec = if op.dst_is_double() { Prec::D } else { Prec::S };
+                self.finish_fpu(fd, prec, self.lat.cvt);
+            }
+            Insn::Mtf { fd, rs } => {
+                self.fpr[fd.index()] = self.gpr(rs);
+                self.fpr_ready[fd.index()] = self.t + 1;
+            }
+            Insn::Mff { rd, fs } => {
+                let v = self.fpr[fs.index()];
+                self.write_int(rd, v);
+            }
+            Insn::Rdsr { rd } => {
+                let v = if self.fpsr { 1 } else { 0 };
+                self.write_int(rd, v);
+            }
+            Insn::Trap { code } => match code {
+                TrapCode::Halt => self.halted = Some(self.gpr(abi::RET) as i32),
+                TrapCode::PutChar => self.console.push(self.gpr(abi::RET) as u8),
+                TrapCode::PutInt => {
+                    let v = self.gpr(abi::RET) as i32;
+                    self.console.extend_from_slice(v.to_string().as_bytes());
+                }
+                TrapCode::ReadInsnCount => {
+                    let n = self.stats.insns as u32;
+                    self.write_int(abi::RET, n);
+                }
+            },
+            Insn::Nop => self.stats.nops += 1,
+        }
+
+        // Advance control flow, honoring the single delay slot.
+        if let Some(t) = target {
+            if self.pending_target.is_some() {
+                return Err(SimError::ControlInDelaySlot { pc });
+            }
+            self.stats.branches += 1;
+            if t.is_some() {
+                self.stats.taken_branches += 1;
+            }
+            self.pending_target = Some(t.unwrap_or(pc + 2 * ilen));
+            self.pc = pc + ilen;
+        } else if let Some(t) = self.pending_target.take() {
+            self.pc = t;
+        } else {
+            self.pc = pc + ilen;
+        }
+        Ok(())
+    }
+
+    /// ALU-class result: ready immediately via forwarding.
+    fn write_int(&mut self, rd: Gpr, v: u32) {
+        self.set_gpr(rd, v);
+        self.gpr_ready[rd.index()] = self.t;
+    }
+
+    fn finish_fpu(&mut self, fd: d16_isa::Fpr, prec: Prec, lat: u64) {
+        // `self.t` is already the next issue time, so an immediately
+        // dependent instruction stalls `lat - 1` cycles (full forwarding).
+        let done = self.t + lat - 1;
+        self.fpr_ready[fd.index()] = done;
+        if prec == Prec::D {
+            self.fpr_ready[fd.index() ^ 1] = done;
+        }
+        self.fpu_free = done;
+    }
+
+    fn read_f64(&self, r: d16_isa::Fpr) -> f64 {
+        let lo = self.fpr[r.index()] as u64;
+        let hi = self.fpr[r.index() | 1] as u64;
+        f64::from_bits(hi << 32 | lo)
+    }
+
+    fn write_f64(&mut self, r: d16_isa::Fpr, v: f64) {
+        let bits = v.to_bits();
+        self.fpr[r.index()] = bits as u32;
+        self.fpr[r.index() | 1] = (bits >> 32) as u32;
+    }
+
+    /// Computes and accounts interlock stalls for `insn`, then issues it.
+    fn account_interlocks(&mut self, insn: &Insn) {
+        let mut load_need = 0u64;
+        for r in insn.use_gprs().into_iter().flatten() {
+            if !(self.isa == Isa::Dlxe && r == abi::R0) {
+                load_need = load_need.max(self.gpr_ready[r.index()]);
+            }
+        }
+        let mut fpu_need = 0u64;
+        let track_fpr = |ready: &[u64; 32], r: d16_isa::Fpr, d: bool, need: &mut u64| {
+            *need = (*need).max(ready[r.index()]);
+            if d {
+                *need = (*need).max(ready[r.index() | 1]);
+            }
+        };
+        match *insn {
+            Insn::FAlu { prec, fs1, fs2, .. } => {
+                let d = prec == Prec::D;
+                track_fpr(&self.fpr_ready, fs1, d, &mut fpu_need);
+                track_fpr(&self.fpr_ready, fs2, d, &mut fpu_need);
+                fpu_need = fpu_need.max(self.fpu_free);
+            }
+            Insn::FNeg { prec, fs, .. } => {
+                track_fpr(&self.fpr_ready, fs, prec == Prec::D, &mut fpu_need);
+                fpu_need = fpu_need.max(self.fpu_free);
+            }
+            Insn::FCmp { prec, fs1, fs2, .. } => {
+                let d = prec == Prec::D;
+                track_fpr(&self.fpr_ready, fs1, d, &mut fpu_need);
+                track_fpr(&self.fpr_ready, fs2, d, &mut fpu_need);
+                fpu_need = fpu_need.max(self.fpu_free);
+            }
+            Insn::Cvt { op, fs, .. } => {
+                track_fpr(&self.fpr_ready, fs, op.src_is_double(), &mut fpu_need);
+                fpu_need = fpu_need.max(self.fpu_free);
+            }
+            Insn::Mtf { fd, .. } => {
+                // The FPU must be free to accept the transfer.
+                track_fpr(&self.fpr_ready, fd, false, &mut fpu_need);
+            }
+            Insn::Mff { fs, .. } => {
+                track_fpr(&self.fpr_ready, fs, false, &mut fpu_need);
+            }
+            Insn::Rdsr { .. } => fpu_need = fpu_need.max(self.fpsr_ready),
+            _ => {}
+        }
+        let need = load_need.max(fpu_need);
+        let stall = need.saturating_sub(self.t);
+        if stall > 0 {
+            self.stats.interlocks += stall;
+            if fpu_need >= load_need {
+                self.stats.fpu_interlocks += stall;
+            } else {
+                self.stats.load_interlocks += stall;
+            }
+            self.t += stall;
+        }
+        self.t += 1;
+    }
+
+    fn check_data(&self, addr: u32, bytes: u8, pc: u32) -> Result<usize, SimError> {
+        if addr as u64 + bytes as u64 > self.mem.len() as u64 {
+            return Err(SimError::OutOfBounds { addr, pc });
+        }
+        if addr % bytes as u32 != 0 {
+            return Err(SimError::Unaligned { addr, bytes, pc });
+        }
+        Ok(addr as usize)
+    }
+
+    fn load_data(
+        &mut self,
+        addr: u32,
+        w: MemWidth,
+        pc: u32,
+        sink: &mut impl AccessSink,
+    ) -> Result<u32, SimError> {
+        let b = w.bytes() as u8;
+        let a = self.check_data(addr, b, pc)?;
+        sink.read(addr, b);
+        Ok(match w {
+            MemWidth::B => self.mem[a] as i8 as i32 as u32,
+            MemWidth::Bu => self.mem[a] as u32,
+            MemWidth::H => {
+                i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i32 as u32
+            }
+            MemWidth::Hu => u16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as u32,
+            MemWidth::W => u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()),
+        })
+    }
+
+    fn store(
+        &mut self,
+        addr: u32,
+        w: MemWidth,
+        v: u32,
+        pc: u32,
+        sink: &mut impl AccessSink,
+    ) -> Result<(), SimError> {
+        let b = w.bytes() as u8;
+        let a = self.check_data(addr, b, pc)?;
+        if addr < self.data_base {
+            return Err(SimError::WriteToText { addr, pc });
+        }
+        sink.write(addr, b);
+        match w {
+            MemWidth::B | MemWidth::Bu => self.mem[a] = v as u8,
+            MemWidth::H | MemWidth::Hu => {
+                self.mem[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes())
+            }
+            MemWidth::W => self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Reads a word of simulated memory (for tests and workload checksums).
+    pub fn peek_word(&self, addr: u32) -> Option<u32> {
+        let a = addr as usize;
+        if addr % 4 != 0 || a + 4 > self.mem.len() {
+            return None;
+        }
+        Some(u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
+    }
+}
+
+fn add_disp(base: u32, disp: i32) -> u32 {
+    base.wrapping_add(disp as u32)
+}
+
+/// Converts with C truncation semantics, saturating like MIPS on overflow.
+fn cvt_to_i32(v: f64) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}

@@ -1,0 +1,101 @@
+//! Execution statistics: the raw measurements behind the paper's tables.
+
+/// Counters accumulated by the pipeline while executing a program.
+///
+/// These correspond directly to the paper's appendix tables: `insns` is the
+/// path length (Tables 7–8), `loads`/`stores` are Table 9, `interlocks` is
+/// Table 10 (delayed-load plus math-unit interlocks), and `ifetch_words` is
+/// the "instruction traffic in words" column of Table 8, counted by a
+/// one-word (32-bit) fetch buffer walking the instruction stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecStats {
+    /// Dynamically executed instructions (path length). Includes delay-slot
+    /// instructions, nops included.
+    pub insns: u64,
+    /// Loads executed (including D16 literal-pool `ldc` loads).
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Total interlock stall cycles.
+    pub interlocks: u64,
+    /// Stall cycles caused by delayed loads.
+    pub load_interlocks: u64,
+    /// Stall cycles caused by FPU latency (the paper's "math unit").
+    pub fpu_interlocks: u64,
+    /// 32-bit instruction words fetched by a one-word fetch buffer.
+    pub ifetch_words: u64,
+    /// Control-transfer instructions executed.
+    pub branches: u64,
+    /// Control transfers that redirected fetch (taken).
+    pub taken_branches: u64,
+    /// Explicit `nop` instructions executed (delay-slot fills the compiler
+    /// could not schedule).
+    pub nops: u64,
+}
+
+impl ExecStats {
+    /// Loads plus stores: the paper's `MemOps` term.
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Interlock rate per instruction (Table 10's "Rate" column).
+    pub fn interlock_rate(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.interlocks as f64 / self.insns as f64
+        }
+    }
+
+    /// Base execution cycles excluding memory latency:
+    /// `IC + Interlocks` (the paper's formula before the latency term).
+    pub fn base_cycles(&self) -> u64 {
+        self.insns + self.interlocks
+    }
+}
+
+/// Why execution stopped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The program executed `trap 0`; the payload is `r2`, its exit status.
+    Halted(i32),
+    /// The instruction budget given to [`crate::Machine::run`] ran out.
+    OutOfFuel,
+}
+
+impl StopReason {
+    /// The exit status if the program halted normally.
+    pub fn exit_status(&self) -> Option<i32> {
+        match self {
+            StopReason::Halted(s) => Some(*s),
+            StopReason::OutOfFuel => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_sums() {
+        let s = ExecStats {
+            insns: 100,
+            loads: 7,
+            stores: 3,
+            interlocks: 12,
+            ..Default::default()
+        };
+        assert_eq!(s.mem_ops(), 10);
+        assert!((s.interlock_rate() - 0.12).abs() < 1e-12);
+        assert_eq!(s.base_cycles(), 112);
+        assert_eq!(ExecStats::default().interlock_rate(), 0.0);
+    }
+
+    #[test]
+    fn stop_reason_status() {
+        assert_eq!(StopReason::Halted(3).exit_status(), Some(3));
+        assert_eq!(StopReason::OutOfFuel.exit_status(), None);
+    }
+}

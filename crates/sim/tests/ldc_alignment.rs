@@ -1,0 +1,91 @@
+//! The D16 `ldc` anchor is `align4(pc + 2)`: the assembler computes pool
+//! displacements with the same formula the pipeline uses for the effective
+//! address. These tests pin that agreement at both instruction alignments —
+//! a silent mismatch would corrupt every literal pool.
+
+use d16_asm::build;
+use d16_isa::Isa;
+use d16_sim::{Machine, NullSink};
+
+fn run(src: &str) -> Machine {
+    let image = build(Isa::D16, &[src]).expect("build");
+    let mut m = Machine::load(&image);
+    m.run(10_000, &mut NullSink).expect("run");
+    m
+}
+
+#[test]
+fn ldc_at_word_aligned_pc() {
+    // `ldc` at text offset 0: pc+2 = 2, anchored up to 4.
+    let m = run("
+_start: ldc r2, =1234
+        nop
+        trap 0
+");
+    assert_eq!(m.halted(), Some(1234));
+}
+
+#[test]
+fn ldc_at_halfword_aligned_pc() {
+    // A leading nop puts the ldc at offset 2: pc+2 = 4, already aligned.
+    let m = run("
+_start: nop
+        ldc r2, =5678
+        nop
+        trap 0
+");
+    assert_eq!(m.halted(), Some(5678));
+}
+
+#[test]
+fn consecutive_ldcs_at_both_alignments() {
+    // Back-to-back ldcs sit at alternating alignments and must each find
+    // their own slot.
+    let m = run("
+_start: ldc r2, =111
+        ldc r3, =222
+        ldc r4, =333
+        nop
+        add r2, r3
+        add r2, r4
+        trap 0
+");
+    assert_eq!(m.halted(), Some(666));
+}
+
+#[test]
+fn shared_literal_resolves_from_both_alignments ()
+{
+    // The same literal referenced from two differently-aligned sites
+    // shares one pool slot; both displacements must land on it.
+    let m = run("
+_start: ldc r2, =4242
+        nop
+        ldc r3, =4242
+        nop
+        sub r2, r3
+        trap 0
+");
+    assert_eq!(m.halted(), Some(0));
+}
+
+#[test]
+fn pool_across_explicit_boundary() {
+    // An explicit `.pool` between functions; the second function's ldc
+    // must reach its own (later) pool, not the first.
+    let m = run("
+_start: ldc r9, =part2
+        mvi r2, 1
+        jl r9
+        nop
+        trap 0
+        .pool
+part2:  ldc r3, =41
+        nop
+        add r2, r3
+        ret
+        nop
+        .pool
+");
+    assert_eq!(m.halted(), Some(42));
+}

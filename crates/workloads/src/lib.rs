@@ -1,0 +1,121 @@
+//! # d16-workloads — the benchmark suite (paper, Table 2)
+//!
+//! Mini-C re-implementations of the fifteen programs the paper measures.
+//! Each is self-checking: `main` returns a checksum that must be identical
+//! on every target configuration — that is the joint correctness gate for
+//! the compiler, assembler, linker and simulator.
+//!
+//! Where the original is an external Unix program (grep, latex, ipl, the
+//! D16 assembler), the re-implementation reproduces its computational
+//! shape — inner loops, data structures and working-set size — as
+//! documented in DESIGN.md §2.
+
+/// One benchmark program.
+#[derive(Copy, Clone, Debug)]
+pub struct Workload {
+    /// Suite name (the paper's, lowercase).
+    pub name: &'static str,
+    /// Mini-C source text.
+    pub source: &'static str,
+    /// Paper's one-line description (Table 2).
+    pub description: &'static str,
+    /// Expected exit checksum, once pinned. `None` means "all targets must
+    /// agree" only.
+    pub expected: Option<i32>,
+    /// Whether the paper uses it for the cache experiments (assem, ipl,
+    /// latex — "the programs of the benchmark suite large enough to have
+    /// interesting cache behavior").
+    pub cache_benchmark: bool,
+    /// Whether the program exercises the FPU.
+    pub floating: bool,
+}
+
+macro_rules! programs {
+    ($($name:ident: $desc:expr, expected: $exp:expr, cache: $cache:expr, fp: $fp:expr;)*) => {
+        /// The full suite, in the paper's Table 2 order.
+        pub const SUITE: &[Workload] = &[
+            $(Workload {
+                name: stringify!($name),
+                source: include_str!(concat!("programs/", stringify!($name), ".c")),
+                description: $desc,
+                expected: $exp,
+                cache_benchmark: $cache,
+                floating: $fp,
+            }),*
+        ];
+    };
+}
+
+programs! {
+    ackermann: "Computes the Ackermann function", expected: Some(978), cache: false, fp: false;
+    assem: "The D16 assembler", expected: Some(18198), cache: true, fp: false;
+    bubblesort: "Sorting program from the Stanford suite", expected: Some(11605), cache: false, fp: false;
+    queens: "The Stanford eight-queens program", expected: Some(92), cache: false, fp: false;
+    quicksort: "The Stanford quicksort program", expected: Some(10451), cache: false, fp: false;
+    towers: "The Stanford towers of Hanoi program", expected: Some(16383), cache: false, fp: false;
+    grep: "The Unix utility from the BSD sources", expected: Some(44666), cache: false, fp: false;
+    linpack: "The linear programming benchmark", expected: Some(7777), cache: false, fp: true;
+    matrix: "Gaussian elimination", expected: Some(4242), cache: false, fp: true;
+    dhrystone: "The synthetic benchmark", expected: Some(577), cache: false, fp: false;
+    pi: "Computes digits of pi", expected: Some(11725), cache: false, fp: false;
+    solver: "Newton-Raphson iterative solver", expected: Some(3131), cache: false, fp: true;
+    latex: "The typesetter", expected: Some(6792), cache: true, fp: false;
+    ipl: "PostScript plotting package", expected: Some(7615), cache: true, fp: false;
+    whetstone: "The synthetic floating point benchmark", expected: Some(9821), cache: false, fp: true;
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    SUITE.iter().find(|w| w.name == name)
+}
+
+/// The three cache-experiment programs (Figures 16–19).
+pub fn cache_benchmarks() -> impl Iterator<Item = &'static Workload> {
+    SUITE.iter().filter(|w| w.cache_benchmark)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2() {
+        assert_eq!(SUITE.len(), 15);
+        let names: Vec<_> = SUITE.iter().map(|w| w.name).collect();
+        for required in [
+            "ackermann",
+            "assem",
+            "bubblesort",
+            "queens",
+            "quicksort",
+            "towers",
+            "grep",
+            "linpack",
+            "matrix",
+            "dhrystone",
+            "pi",
+            "solver",
+            "latex",
+            "ipl",
+            "whetstone",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert_eq!(cache_benchmarks().count(), 3);
+    }
+
+    #[test]
+    fn sources_are_nonempty_and_have_main() {
+        for w in SUITE {
+            assert!(w.source.len() > 100, "{} too small", w.name);
+            assert!(w.source.contains("int main(void)"), "{} lacks main", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("queens").is_some());
+        assert!(by_name("nonesuch").is_none());
+        assert_eq!(by_name("towers").unwrap().expected, Some(16383));
+    }
+}

@@ -1,0 +1,16 @@
+/* ackermann — "Computes the Ackermann function" (paper, Table 2).
+ * Deep recursion with tiny frames: a call/return microbenchmark. */
+
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+
+int main(void) {
+    /* ack(2,3)=9, ack(3,3)=61, ack(2,7)=17 */
+    int a = ack(2, 3);
+    int b = ack(3, 3);
+    int c = ack(2, 7);
+    return a * 100 + b + c; /* 900 + 61 + 17 = 978 */
+}

@@ -1,0 +1,283 @@
+/* assem — "The D16 assembler" (Table 2): a real two-pass assembler for a
+ * toy 16-bit instruction set, run over an embedded source program.
+ * Exercises the shapes the original has: line scanning, mnemonic lookup
+ * by string compare, a symbol table, expression-free operand parsing,
+ * pass-one layout and pass-two encoding. */
+
+char source[2560] =
+    "start:  mvi r2 0\n"
+    "        mvi r3 100\n"
+    "loop:   add r2 r3\n"
+    "        subi r3 1\n"
+    "        cmp r3 r0\n"
+    "        bnz loop\n"
+    "        ld r4 r2\n"
+    "        st r4 r2\n"
+    "        shl r4 2\n"
+    "        shr r4 1\n"
+    "        xor r4 r2\n"
+    "        and r4 r3\n"
+    "        or  r4 r2\n"
+    "        jmp start\n"
+    "second: mvi r5 7\n"
+    "        add r5 r5\n"
+    "        cmp r5 r0\n"
+    "        bz  second\n"
+    "        bnz loop\n"
+    "        jmp end\n"
+    "third:  ld r6 r5\n"
+    "        st r6 r5\n"
+    "        add r6 r2\n"
+    "        sub r6 r3\n"
+    "        shl r6 3\n"
+    "        bnz third\n"
+    "        mvi r7 255\n"
+    "        and r7 r6\n"
+    "        jmp second\n"
+    "fourth: xor r1 r1\n"
+    "        add r1 r2\n"
+    "        add r1 r3\n"
+    "        add r1 r4\n"
+    "        bz  fourth\n"
+    "        jmp third\n"
+    "end:    halt\n";
+
+char mnemonics[16][6] = {
+    "mvi", "add", "sub", "subi", "cmp", "bnz", "bz", "jmp",
+    "ld", "st", "shl", "shr", "xor", "and", "or", "halt"
+};
+int operand_kinds[16] = {
+    /* 0 = reg,imm  1 = reg,reg  2 = label  3 = none */
+    0, 1, 1, 0, 1, 2, 2, 2, 1, 1, 0, 0, 1, 1, 1, 3
+};
+
+char sym_names[32][12];
+int sym_addr[32];
+int nsyms = 0;
+
+int output[128];
+int nout = 0;
+
+int str_eq(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return *a == *b;
+}
+
+int lookup_sym(char *name) {
+    int i;
+    for (i = 0; i < nsyms; i++) {
+        if (str_eq(sym_names[i], name)) return sym_addr[i];
+    }
+    return -1;
+}
+
+void define_sym(char *name, int addr) {
+    int k = 0;
+    while (name[k] && k < 11) {
+        sym_names[nsyms][k] = name[k];
+        k++;
+    }
+    sym_names[nsyms][k] = 0;
+    sym_addr[nsyms] = addr;
+    nsyms++;
+}
+
+int find_mnemonic(char *m) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        if (str_eq(mnemonics[i], m)) return i;
+    }
+    return -1;
+}
+
+/* Scanning state shared by both passes. */
+int pos = 0;
+
+int at_end(void) { return source[pos] == 0; }
+
+void skip_spaces(void) {
+    while (source[pos] == ' ') pos++;
+}
+
+int scan_word(char *buf, int max) {
+    int k = 0;
+    skip_spaces();
+    while (source[pos] && source[pos] != ' ' && source[pos] != '\n'
+           && source[pos] != ':' && k < max - 1) {
+        buf[k] = source[pos];
+        k++;
+        pos++;
+    }
+    buf[k] = 0;
+    return k;
+}
+
+int scan_number(void) {
+    int v = 0;
+    skip_spaces();
+    while (source[pos] >= '0' && source[pos] <= '9') {
+        v = v * 10 + (source[pos] - '0');
+        pos++;
+    }
+    return v;
+}
+
+int scan_register(void) {
+    skip_spaces();
+    if (source[pos] == 'r') {
+        pos++;
+        return scan_number();
+    }
+    return -1;
+}
+
+void skip_line(void) {
+    while (source[pos] && source[pos] != '\n') pos++;
+    if (source[pos] == '\n') pos++;
+}
+
+/* One pass over the source. In pass one (encode == 0) labels are
+ * collected; in pass two instructions are encoded. */
+void run_pass(int encode) {
+    char word[16];
+    int addr = 0;
+    pos = 0;
+    while (!at_end()) {
+        skip_spaces();
+        if (source[pos] == '\n') {
+            pos++;
+            continue;
+        }
+        scan_word(word, 16);
+        if (source[pos] == ':') {
+            pos++;
+            if (!encode) define_sym(word, addr);
+            scan_word(word, 16);
+        }
+        if (word[0] == 0) {
+            skip_line();
+            continue;
+        }
+        {
+            int op = find_mnemonic(word);
+            int insn = op << 12;
+            if (op < 0) {
+                skip_line();
+                continue;
+            }
+            if (operand_kinds[op] == 0) {
+                int r = scan_register();
+                int v = scan_number();
+                insn = insn | (r << 8) | (v & 0xFF);
+            } else if (operand_kinds[op] == 1) {
+                int r1 = scan_register();
+                int r2 = scan_register();
+                insn = insn | (r1 << 8) | (r2 << 4);
+            } else if (operand_kinds[op] == 2) {
+                char label[16];
+                scan_word(label, 16);
+                if (encode) {
+                    int target = lookup_sym(label);
+                    insn = insn | (target & 0xFFF);
+                }
+            }
+            if (encode) {
+                output[nout] = insn;
+                nout++;
+            }
+            addr++;
+        }
+        skip_line();
+    }
+}
+
+/* --- listing generation: hex rendering of the object code --- */
+
+char listing[1024];
+int listing_len = 0;
+
+char hex_digit(int v) {
+    v = v & 15;
+    if (v < 10) return (char)('0' + v);
+    return (char)('a' + v - 10);
+}
+
+void render_listing(void) {
+    int i, k;
+    listing_len = 0;
+    for (i = 0; i < nout && listing_len + 6 < 1024; i++) {
+        for (k = 12; k >= 0; k = k - 4) {
+            listing[listing_len] = hex_digit(output[i] >> k);
+            listing_len++;
+        }
+        listing[listing_len] = '\n';
+        listing_len++;
+    }
+}
+
+int listing_checksum(void) {
+    int i, h = 0;
+    for (i = 0; i < listing_len; i++) {
+        h = (h * 131 + listing[i]) & 0xFFFF;
+    }
+    return h;
+}
+
+/* --- diagnostics: operand range checking over the object code --- */
+
+int check_ranges(void) {
+    int i, errors = 0;
+    for (i = 0; i < nout; i++) {
+        int op = (output[i] >> 12) & 15;
+        if (operand_kinds[op] == 0) {
+            int reg = (output[i] >> 8) & 15;
+            if (reg > 7) errors++;
+        } else if (operand_kinds[op] == 2) {
+            int target = output[i] & 0xFFF;
+            if (target >= nout) errors++;
+        }
+    }
+    return errors;
+}
+
+/* --- statistics: opcode histogram, as assemblers report --- */
+
+int op_histogram[16];
+
+void count_opcodes(void) {
+    int i;
+    for (i = 0; i < 16; i++) op_histogram[i] = 0;
+    for (i = 0; i < nout; i++) {
+        op_histogram[(output[i] >> 12) & 15]++;
+    }
+}
+
+int histogram_top(void) {
+    int i, best = 0, arg = 0;
+    for (i = 0; i < 16; i++) {
+        if (op_histogram[i] > best) {
+            best = op_histogram[i];
+            arg = i;
+        }
+    }
+    return arg * 256 + best;
+}
+
+int main(void) {
+    int i, rounds, chk = 0, lst = 0, diag = 0;
+    for (rounds = 0; rounds < 6; rounds++) {
+        nsyms = 0;
+        nout = 0;
+        run_pass(0);
+        run_pass(1);
+        for (i = 0; i < nout; i++) {
+            chk = (chk * 37 + output[i]) & 0xFFFF;
+        }
+        render_listing();
+        lst = (lst + listing_checksum()) & 0xFFFF;
+        diag = diag + check_ranges();
+        count_opcodes();
+    }
+    if (nsyms != 6) return -1;
+    return (chk + nout + (lst & 0xFF) + diag + histogram_top()) & 0x7FFF;
+}

@@ -1,0 +1,39 @@
+/* bubblesort — "Sorting program from the Stanford suite" (Table 2).
+ * Classic O(n^2) exchange sort over an LCG-filled array. */
+
+int data[256];
+int seed = 74755;
+
+int rnd(void) {
+    seed = (seed * 1309 + 13849) & 0xFFFF;
+    return seed;
+}
+
+void fill(int n) {
+    int i;
+    for (i = 0; i < n; i++) data[i] = rnd();
+}
+
+void sort(int n) {
+    int i, j, t;
+    for (i = n - 1; i > 0; i--) {
+        for (j = 0; j < i; j++) {
+            if (data[j] > data[j + 1]) {
+                t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+        }
+    }
+}
+
+int main(void) {
+    int i, chk = 0, ordered = 1;
+    fill(256);
+    sort(256);
+    for (i = 1; i < 256; i++) {
+        if (data[i - 1] > data[i]) ordered = 0;
+    }
+    for (i = 0; i < 256; i++) chk = (chk + data[i] * (i + 1)) & 0x3FFF;
+    return ordered * 10000 + (chk & 0xFFF);
+}

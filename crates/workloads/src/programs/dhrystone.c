@@ -1,0 +1,175 @@
+/* dhrystone — "The synthetic benchmark" (Table 2): a faithful port of
+ * the Dhrystone 1.1 control structure — record manipulation, string
+ * comparison, parameter passing, global/local integer traffic. */
+
+struct record {
+    struct record *ptr_comp;
+    int discr;
+    int enum_comp;
+    int int_comp;
+    char string_comp[31];
+};
+
+struct record glob_rec_a;
+struct record glob_rec_b;
+struct record *ptr_glob;
+struct record *next_ptr_glob;
+
+int int_glob = 0;
+int bool_glob = 0;
+char char1_glob = 0;
+char char2_glob = 0;
+int arr1_glob[50];
+int arr2_glob[50][50];
+
+int str_cmp(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return (int)*a - (int)*b;
+}
+
+void str_copy(char *d, char *s) {
+    while (*s) { *d = *s; d++; s++; }
+    *d = 0;
+}
+
+int func1(char c1, char c2) {
+    char l1 = c1;
+    char l2 = l1;
+    if (l2 != c2) return 0; /* ident1 */
+    return 1;
+}
+
+int func2(char *s1, char *s2) {
+    int pos = 1;
+    char cc = 'A';
+    while (pos <= 1) {
+        if (func1(s1[pos], s2[pos + 1]) == 0) {
+            cc = 'A';
+            pos = pos + 3;
+        } else {
+            pos = pos + 3;
+        }
+    }
+    if (cc >= 'W' && cc <= 'Z') pos = 7;
+    if (cc == 'X') return 1;
+    if (str_cmp(s1, s2) > 0) {
+        pos = pos + 7;
+        return 1;
+    }
+    return 0;
+}
+
+int func3(int e) {
+    return e == 2;
+}
+
+void proc6(int e_in, int *e_out) {
+    *e_out = e_in;
+    if (!func3(e_in)) *e_out = 3;
+    if (e_in == 0) *e_out = 0;
+    else if (e_in == 2) *e_out = bool_glob ? 0 : 3;
+}
+
+void proc7(int a, int b, int *c) {
+    int l = a + 2;
+    *c = b + l;
+}
+
+void proc8(int *a1, int *a2, int v1, int v2) {
+    int i, l;
+    l = v1 + 5;
+    a1[l] = v2;
+    a1[l + 1] = a1[l];
+    a1[l + 30] = l;
+    for (i = l; i <= l + 1; i++) a2[l * 50 + i] = l;
+    a2[l * 50 + l - 1] = a2[l * 50 + l - 1] + 1;
+    a2[(l + 20) * 50 + l] = a1[l];
+    int_glob = 5;
+}
+
+void proc3(struct record **p) {
+    if (ptr_glob != (struct record *)0) {
+        *p = ptr_glob->ptr_comp;
+    }
+    proc7(10, int_glob, &ptr_glob->int_comp);
+}
+
+void proc1(struct record *p) {
+    struct record *next = p->ptr_comp;
+    p->ptr_comp->discr = p->discr;
+    p->ptr_comp->int_comp = p->int_comp;
+    p->ptr_comp->ptr_comp = p->ptr_comp;
+    proc3(&next->ptr_comp);
+    if (next->discr == 0) {
+        next->int_comp = 6;
+        proc6(p->enum_comp, &next->enum_comp);
+        next->ptr_comp = ptr_glob->ptr_comp;
+        proc7(next->int_comp, 10, &next->int_comp);
+    } else {
+        str_copy(p->string_comp, next->string_comp);
+    }
+}
+
+void proc2(int *x) {
+    int l = *x + 10;
+    int done = 0;
+    while (!done) {
+        if (char1_glob == 'A') {
+            l = l - 1;
+            *x = l - int_glob;
+            done = 1;
+        }
+    }
+}
+
+void proc4(void) {
+    int b = char1_glob == 'A';
+    b = b | bool_glob;
+    char2_glob = 'B';
+}
+
+void proc5(void) {
+    char1_glob = 'A';
+    bool_glob = 0;
+}
+
+int main(void) {
+    int i, run;
+    int int1, int2, int3;
+    char str1[31];
+    char str2[31];
+
+    next_ptr_glob = &glob_rec_a;
+    ptr_glob = &glob_rec_b;
+    ptr_glob->ptr_comp = next_ptr_glob;
+    ptr_glob->discr = 0;
+    ptr_glob->enum_comp = 2;
+    ptr_glob->int_comp = 40;
+    str_copy(ptr_glob->string_comp, "DHRYSTONE PROGRAM, SOME STRING");
+    str_copy(str1, "DHRYSTONE PROGRAM, 1'ST STRING");
+
+    for (run = 0; run < 400; run++) {
+        proc5();
+        proc4();
+        int1 = 2;
+        int2 = 3;
+        str_copy(str2, "DHRYSTONE PROGRAM, 2'ND STRING");
+        int3 = 0;
+        if (func2(str1, str2)) int3 = 1;
+        while (int1 < int2) {
+            int3 = 5 * int1 - int2;
+            proc7(int1, int2, &int3);
+            int1 = int1 + 1;
+        }
+        proc8(arr1_glob, &arr2_glob[0][0], int1, int3);
+        proc1(ptr_glob);
+        for (i = 'A'; i <= char2_glob; i++) {
+            if (func1((char)i, 'C')) int3 = i;
+        }
+        int3 = int2 * int1;
+        int2 = int3 / int1;
+        int2 = 7 * (int3 - int2) - int1;
+        proc2(&int1);
+    }
+    return (int_glob * 100 + int1 * 10 + bool_glob + arr1_glob[8]) & 0x7FFF;
+}

@@ -1,0 +1,76 @@
+/* grep — "The Unix utility from the BSD sources" (Table 2).
+ * Byte-oriented text scanning with a small pattern matcher supporting
+ * `.` (any), `*` (closure) and literal characters — the inner loops of
+ * the original: per-line scanning, per-position match attempts. */
+
+char corpus[4096];
+
+char base_text[256] =
+    "the quick brown fox jumps over the lazy dog\n"
+    "a register file of sixteen entries is enough\n"
+    "instruction fetch bandwidth limits performance\n"
+    "code density matters for small caches\n";
+
+int corpus_len = 0;
+
+void build_corpus(void) {
+    int i = 0, j;
+    while (i + 256 < 4096) {
+        for (j = 0; base_text[j]; j++) {
+            corpus[i] = base_text[j];
+            i++;
+        }
+        /* Vary the stream a little so matches are not purely periodic. */
+        corpus[i] = (char)('a' + (i & 7));
+        i++;
+        corpus[i] = '\n';
+        i++;
+    }
+    corpus[i] = 0;
+    corpus_len = i;
+}
+
+/* Match pattern p against text t at a single position.
+ * Returns the number of characters consumed, or -1. */
+int match_here(char *p, char *t) {
+    int n = 0;
+    while (*p) {
+        if (p[1] == '*') {
+            /* Zero or more of p[0], greedy with backtracking. */
+            int count = 0;
+            while (t[count] && (p[0] == '.' || t[count] == p[0])) count++;
+            while (count >= 0) {
+                int rest = match_here(p + 2, t + count);
+                if (rest >= 0) return n + count + rest;
+                count--;
+            }
+            return -1;
+        }
+        if (*t && (*p == '.' || *p == *t)) {
+            p++;
+            t++;
+            n++;
+        } else {
+            return -1;
+        }
+    }
+    return n;
+}
+
+int count_matches(char *pattern) {
+    int i, hits = 0;
+    for (i = 0; i < corpus_len; i++) {
+        if (match_here(pattern, &corpus[i]) >= 0) hits++;
+    }
+    return hits;
+}
+
+int main(void) {
+    int a, b, c, d;
+    build_corpus();
+    a = count_matches("the");
+    b = count_matches("f.x");
+    c = count_matches("ca*ches");
+    d = count_matches("si.teen");
+    return (a & 0xFF) * 1000 + (b & 0xF) * 100 + (c & 0xF) * 10 + (d & 0xF);
+}

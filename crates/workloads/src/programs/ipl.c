@@ -1,0 +1,263 @@
+/* ipl — "PostScript plotting package" (Table 2): the computational
+ * core of a plotter — 2-D fixed-point transforms (scale/rotate via
+ * integer approximations), window clipping, and Bresenham rasterization
+ * into a bitmap, over a synthetic scene drawn repeatedly. */
+
+char bitmap[1024]; /* 128*64/8 */
+
+int sin_table[16] = {
+    0, 98, 191, 275, 348, 407, 449, 473,
+    481, 473, 449, 407, 348, 275, 191, 98
+}; /* sin(k*pi/16) * 481, quarter-wave style table */
+
+void clear_bitmap(void) {
+    int i;
+    for (i = 0; i < 128 * 64 / 8; i++) bitmap[i] = 0;
+}
+
+void set_pixel(int x, int y) {
+    int idx;
+    if (x < 0 || x >= 128 || y < 0 || y >= 64) return;
+    idx = y * 16 + (x >> 3);
+    bitmap[idx] = (char)(bitmap[idx] | (1 << (x & 7)));
+}
+
+int my_abs(int v) { return v < 0 ? -v : v; }
+
+void draw_line(int x0, int y0, int x1, int y1) {
+    int dx = my_abs(x1 - x0);
+    int dy = -my_abs(y1 - y0);
+    int sx = x0 < x1 ? 1 : -1;
+    int sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    while (1) {
+        set_pixel(x0, y0);
+        if (x0 == x1 && y0 == y1) break;
+        {
+            int e2 = 2 * err;
+            if (e2 >= dy) {
+                err += dy;
+                x0 += sx;
+            }
+            if (e2 <= dx) {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+}
+
+/* Fixed-point rotation using the table: angle in sixteenths of pi. */
+void rotate(int x, int y, int angle, int *ox, int *oy) {
+    int s, c;
+    angle = angle & 31;
+    s = angle < 16 ? sin_table[angle] : -sin_table[angle - 16];
+    {
+        int ca = (angle + 8) & 31;
+        c = ca < 16 ? sin_table[ca] : -sin_table[ca - 16];
+    }
+    *ox = (x * c - y * s) / 481;
+    *oy = (x * s + y * c) / 481;
+}
+
+/* Cohen-Sutherland style clip to the viewport. */
+int outcode(int x, int y) {
+    int code = 0;
+    if (x < 0) code = code | 1;
+    if (x > 127) code = code | 2;
+    if (y < 0) code = code | 4;
+    if (y > 63) code = code | 8;
+    return code;
+}
+
+void draw_clipped(int x0, int y0, int x1, int y1) {
+    int c0 = outcode(x0, y0);
+    int c1 = outcode(x1, y1);
+    int guard = 0;
+    while (guard < 16) {
+        if ((c0 | c1) == 0) {
+            draw_line(x0, y0, x1, y1);
+            return;
+        }
+        if (c0 & c1) return;
+        {
+            int co = c0 ? c0 : c1;
+            int x = 0, y = 0;
+            if (co & 8) {
+                x = x0 + (x1 - x0) * (63 - y0) / (y1 - y0 == 0 ? 1 : y1 - y0);
+                y = 63;
+            } else if (co & 4) {
+                x = x0 + (x1 - x0) * (0 - y0) / (y1 - y0 == 0 ? 1 : y1 - y0);
+                y = 0;
+            } else if (co & 2) {
+                y = y0 + (y1 - y0) * (127 - x0) / (x1 - x0 == 0 ? 1 : x1 - x0);
+                x = 127;
+            } else {
+                y = y0 + (y1 - y0) * (0 - x0) / (x1 - x0 == 0 ? 1 : x1 - x0);
+                x = 0;
+            }
+            if (co == c0) {
+                x0 = x;
+                y0 = y;
+                c0 = outcode(x0, y0);
+            } else {
+                x1 = x;
+                y1 = y;
+                c1 = outcode(x1, y1);
+            }
+        }
+        guard++;
+    }
+}
+
+/* Midpoint circle. */
+void draw_circle(int cx, int cy, int r) {
+    int x = r, y = 0;
+    int err = 1 - r;
+    while (x >= y) {
+        set_pixel(cx + x, cy + y);
+        set_pixel(cx + y, cy + x);
+        set_pixel(cx - y, cy + x);
+        set_pixel(cx - x, cy + y);
+        set_pixel(cx - x, cy - y);
+        set_pixel(cx - y, cy - x);
+        set_pixel(cx + y, cy - x);
+        set_pixel(cx + x, cy - y);
+        y++;
+        if (err < 0) {
+            err += 2 * y + 1;
+        } else {
+            x--;
+            err += 2 * (y - x) + 1;
+        }
+    }
+}
+
+/* Dashed variant of Bresenham: every other 3-pixel run is skipped. */
+void draw_dashed(int x0, int y0, int x1, int y1) {
+    int dx = my_abs(x1 - x0);
+    int dy = -my_abs(y1 - y0);
+    int sx = x0 < x1 ? 1 : -1;
+    int sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    int phase = 0;
+    while (1) {
+        if ((phase / 3) % 2 == 0) set_pixel(x0, y0);
+        phase++;
+        if (x0 == x1 && y0 == y1) break;
+        {
+            int e2 = 2 * err;
+            if (e2 >= dy) { err += dy; x0 += sx; }
+            if (e2 <= dx) { err += dx; y0 += sy; }
+        }
+    }
+}
+
+/* Horizontal-span triangle fill (flat rasterizer core). */
+void fill_span(int y, int xa, int xb) {
+    int x;
+    if (xa > xb) { int t = xa; xa = xb; xb = t; }
+    for (x = xa; x <= xb; x++) set_pixel(x, y);
+}
+
+int interp_x(int x0, int y0, int x1, int y1, int y) {
+    if (y1 == y0) return x0;
+    return x0 + (x1 - x0) * (y - y0) / (y1 - y0);
+}
+
+void fill_triangle(int x0, int y0, int x1, int y1, int x2, int y2) {
+    /* Sort by y. */
+    int t;
+    if (y0 > y1) { t = y0; y0 = y1; y1 = t; t = x0; x0 = x1; x1 = t; }
+    if (y0 > y2) { t = y0; y0 = y2; y2 = t; t = x0; x0 = x2; x2 = t; }
+    if (y1 > y2) { t = y1; y1 = y2; y2 = t; t = x1; x1 = x2; x2 = t; }
+    {
+        int y;
+        for (y = y0; y <= y2; y++) {
+            int xe = interp_x(x0, y0, x2, y2, y);
+            int xo;
+            if (y < y1) xo = interp_x(x0, y0, x1, y1, y);
+            else xo = interp_x(x1, y1, x2, y2, y);
+            fill_span(y, xe, xo);
+        }
+    }
+}
+
+/* 5x7 digit glyphs (three digits suffice for axis labels). */
+char glyphs[3][7] = {
+    { 0x1F, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1F }, /* 0 */
+    { 0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x1F }, /* 1 */
+    { 0x1F, 0x01, 0x01, 0x1F, 0x10, 0x10, 0x1F }  /* 2 */
+};
+
+void blit_glyph(int gx, int gy, int digit) {
+    int row, col;
+    for (row = 0; row < 7; row++) {
+        for (col = 0; col < 5; col++) {
+            if ((glyphs[digit][row] >> (4 - col)) & 1) {
+                set_pixel(gx + col, gy + row);
+            }
+        }
+    }
+}
+
+/* Polyline with per-vertex fixed-point scaling. */
+void draw_polyline(int *xs, int *ys, int n, int scale_num, int scale_den) {
+    int i;
+    for (i = 1; i < n; i++) {
+        draw_clipped(
+            xs[i - 1] * scale_num / scale_den,
+            ys[i - 1] * scale_num / scale_den,
+            xs[i] * scale_num / scale_den,
+            ys[i] * scale_num / scale_den);
+    }
+}
+
+int poly_x[9];
+int poly_y[9];
+
+void draw_scene(int frame) {
+    int k;
+    /* A star of rotated spokes plus a bounding box, shifted per frame. */
+    for (k = 0; k < 24; k++) {
+        int ox, oy;
+        rotate(50, 0, k + frame, &ox, &oy);
+        draw_clipped(64, 32, 64 + ox, 32 + oy);
+    }
+    draw_line(2, 2, 125, 2);
+    draw_line(125, 2, 125, 61);
+    draw_line(125, 61, 2, 61);
+    draw_line(2, 61, 2, 2);
+    for (k = 0; k < 8; k++) {
+        draw_clipped(-20 + frame * 3, k * 9, 150 - frame * 3, 63 - k * 9);
+    }
+    /* Circles of shrinking radius at the plot origin. */
+    for (k = 1; k <= 3; k++) {
+        draw_circle(30 + frame, 30, 6 * k);
+    }
+    /* A filled marker triangle and a dashed trend line. */
+    fill_triangle(90, 10 + frame, 100, 20 + frame, 82, 24);
+    draw_dashed(4, 60 - frame, 124, 4 + frame);
+    /* Axis labels. */
+    blit_glyph(4, 4, frame % 3);
+    blit_glyph(10, 4, (frame + 1) % 3);
+    /* A scaled polyline wave. */
+    for (k = 0; k < 9; k++) {
+        poly_x[k] = k * 14;
+        poly_y[k] = 32 + (sin_table[(k * 2 + frame) & 15] * 20) / 481;
+    }
+    draw_polyline(poly_x, poly_y, 9, 9, 10);
+}
+
+int main(void) {
+    int frame, i;
+    int chk = 0;
+    for (frame = 0; frame < 10; frame++) {
+        clear_bitmap();
+        draw_scene(frame);
+        for (i = 0; i < 128 * 64 / 8; i++) {
+            chk = (chk * 131 + bitmap[i]) & 0xFFFF;
+        }
+    }
+    return chk & 0x7FFF;
+}

@@ -1,0 +1,277 @@
+/* latex — "The typesetter" (Table 2): the text-processing shape of a
+ * paragraph formatter, scaled to have interesting cache behavior like the
+ * original (whose binary is ~200KB): tokenizing, several distinct
+ * formatting passes (fill, justify, center, ragged-right, hanging
+ * indent), hyphenation scanning, word-frequency accounting, page makeup
+ * and a final galley checksum, all hot in every iteration. */
+
+char manuscript[512] =
+    "in any stored program computer system information is constantly "
+    "transferred between the memory and the instruction processor "
+    "machine instructions are a major portion of this traffic since "
+    "transfer bandwidth is a limited resource inefficiency in the "
+    "encoding of instruction information can have definite hardware "
+    "and performance costs ";
+
+char corpus[12288];
+int corpus_len = 0;
+
+char words[1024][20];
+int word_len[1024];
+int nwords = 0;
+
+char page[96][84];
+int nlines = 0;
+
+int freq_table[512];
+int out_chk = 0;
+
+/* --- corpus construction: repeat the manuscript with variations --- */
+
+void build_corpus(void) {
+    int i = 0, j, rep = 0;
+    while (i + 512 < 12288) {
+        for (j = 0; manuscript[j]; j++) {
+            char c = manuscript[j];
+            /* Sprinkle variation so words differ across repetitions. */
+            if (c == 'e' && ((rep + j) & 7) == 0) c = 'E';
+            corpus[i] = c;
+            i++;
+        }
+        rep++;
+    }
+    corpus[i] = 0;
+    corpus_len = i;
+}
+
+/* --- tokenizing --- */
+
+int is_space(char c) {
+    return c == ' ' || c == '\n' || c == '\t';
+}
+
+void tokenize_words(void) {
+    int i = 0, w = 0, k;
+    nwords = 0;
+    while (corpus[i] && w < 1024) {
+        while (is_space(corpus[i])) i++;
+        if (!corpus[i]) break;
+        k = 0;
+        while (corpus[i] && !is_space(corpus[i]) && k < 19) {
+            words[w][k] = corpus[i];
+            k++;
+            i++;
+        }
+        while (corpus[i] && !is_space(corpus[i])) i++;
+        words[w][k] = 0;
+        word_len[w] = k;
+        w++;
+    }
+    nwords = w;
+}
+
+/* --- the line buffer --- */
+
+char line[96];
+int line_pos = 0;
+int line_words = 0;
+
+void line_reset(void) {
+    line_pos = 0;
+    line_words = 0;
+}
+
+int line_append(char *word, int len) {
+    int k;
+    if (line_pos + len + (line_words ? 1 : 0) > 84) return 0;
+    if (line_words) {
+        line[line_pos] = ' ';
+        line_pos++;
+    }
+    for (k = 0; k < len; k++) {
+        line[line_pos] = word[k];
+        line_pos++;
+    }
+    line_words++;
+    return 1;
+}
+
+void ship_line(char *buf, int len) {
+    int k;
+    if (nlines >= 96) nlines = 0;
+    for (k = 0; k < len && k < 83; k++) page[nlines][k] = buf[k];
+    page[nlines][k] = 0;
+    nlines++;
+    for (k = 0; k < len; k++) out_chk = (out_chk * 31 + buf[k]) & 0xFFFF;
+}
+
+/* --- pass 1: greedy fill (ragged right) --- */
+
+void pass_fill(int lo, int hi) {
+    int w;
+    line_reset();
+    for (w = lo; w < hi; w++) {
+        if (!line_append(words[w], word_len[w])) {
+            ship_line(line, line_pos);
+            line_reset();
+            line_append(words[w], word_len[w]);
+        }
+    }
+    if (line_pos) ship_line(line, line_pos);
+}
+
+/* --- pass 2: full justification (distribute glue) --- */
+
+char jbuf[96];
+
+void justify_line(int measure) {
+    int gaps = line_words - 1;
+    int extra = measure - line_pos;
+    int i, g = 0, o = 0, k;
+    if (gaps < 1 || extra <= 0) {
+        ship_line(line, line_pos);
+        return;
+    }
+    for (i = 0; i < line_pos && o < 84; i++) {
+        jbuf[o] = line[i];
+        o++;
+        if (line[i] == ' ') {
+            /* Round-robin extra spaces across gaps. */
+            int add = extra / gaps + ((g < extra % gaps) ? 1 : 0);
+            for (k = 0; k < add && o < 84; k++) {
+                jbuf[o] = ' ';
+                o++;
+            }
+            g++;
+        }
+    }
+    ship_line(jbuf, o);
+}
+
+void pass_justify(int lo, int hi, int measure) {
+    int w;
+    line_reset();
+    for (w = lo; w < hi; w++) {
+        if (!line_append(words[w], word_len[w])) {
+            justify_line(measure);
+            line_reset();
+            line_append(words[w], word_len[w]);
+        }
+    }
+    if (line_pos) ship_line(line, line_pos);
+}
+
+/* --- pass 3: centering --- */
+
+char cbuf[96];
+
+void pass_center(int lo, int hi, int measure) {
+    int w;
+    line_reset();
+    for (w = lo; w < hi; w++) {
+        if (!line_append(words[w], word_len[w])) {
+            int pad = (measure - line_pos) / 2;
+            int o = 0, k;
+            for (k = 0; k < pad && o < 84; k++) {
+                cbuf[o] = ' ';
+                o++;
+            }
+            for (k = 0; k < line_pos && o < 84; k++) {
+                cbuf[o] = line[k];
+                o++;
+            }
+            ship_line(cbuf, o);
+            line_reset();
+            line_append(words[w], word_len[w]);
+        }
+    }
+    if (line_pos) ship_line(line, line_pos);
+}
+
+/* --- pass 4: hanging indent --- */
+
+void pass_hanging(int lo, int hi, int measure, int indent) {
+    int w, first = 1;
+    line_reset();
+    for (w = lo; w < hi; w++) {
+        int limit = first ? measure : measure - indent;
+        if (line_pos + word_len[w] + 1 > limit) {
+            ship_line(line, line_pos);
+            line_reset();
+            first = 0;
+        }
+        line_append(words[w], word_len[w]);
+    }
+    if (line_pos) ship_line(line, line_pos);
+}
+
+/* --- hyphenation scanning (vowel/consonant break points) --- */
+
+int is_vowel(char c) {
+    return c == 'a' || c == 'e' || c == 'E' || c == 'i' || c == 'o' || c == 'u';
+}
+
+int hyphenate_word(char *w, int len) {
+    int k, breaks = 0;
+    for (k = 1; k + 1 < len; k++) {
+        if (is_vowel(w[k - 1]) && !is_vowel(w[k])) breaks++;
+    }
+    return breaks;
+}
+
+int pass_hyphenate(void) {
+    int w, total = 0;
+    for (w = 0; w < nwords; w++) {
+        total += hyphenate_word(words[w], word_len[w]);
+    }
+    return total;
+}
+
+/* --- word-frequency accounting (hash table) --- */
+
+int hash_word(char *w, int len) {
+    int h = 5381, k;
+    for (k = 0; k < len; k++) h = ((h << 5) + h + w[k]) & 0x1FF;
+    return h;
+}
+
+void pass_frequency(void) {
+    int w;
+    for (w = 0; w < nwords; w++) {
+        freq_table[hash_word(words[w], word_len[w])]++;
+    }
+}
+
+int frequency_peak(void) {
+    int i, best = 0;
+    for (i = 0; i < 512; i++) {
+        if (freq_table[i] > best) best = freq_table[i];
+    }
+    return best;
+}
+
+/* --- page makeup: interleave passes the way a chapter build does --- */
+
+void make_page(int seed) {
+    int chunk = nwords / 8;
+    int m = 44 + (seed % 4) * 10;
+    nlines = 0;
+    pass_fill(0, chunk);
+    pass_justify(chunk, 3 * chunk, m);
+    pass_center(3 * chunk, 4 * chunk, m);
+    pass_hanging(4 * chunk, 6 * chunk, m, 4);
+    pass_justify(6 * chunk, 8 * chunk, m - 6);
+}
+
+int main(void) {
+    int pass, breaks = 0;
+    build_corpus();
+    tokenize_words();
+    for (pass = 0; pass < 8; pass++) {
+        make_page(pass);
+        breaks = breaks + pass_hyphenate();
+        pass_frequency();
+    }
+    return ((out_chk & 0x3FFF) + (breaks & 0xFF) + (frequency_peak() & 0xFF) + nwords)
+        & 0x7FFF;
+}

@@ -1,0 +1,108 @@
+/* linpack — "The linear programming benchmark" (Table 2): the classic
+ * LINPACK pattern, in-place LU factorization with partial pivoting and a
+ * triangular solve, dominated by the daxpy inner loop. Scaled to n=24. */
+
+double a[24][24];
+double b[24];
+int piv[24];
+int rng_state = 1325;
+
+double rng(void) {
+    rng_state = (rng_state * 3125) % 65536;
+    return (double)(rng_state - 32768) / 16384.0;
+}
+
+double dabs(double x) { return x < 0.0 ? -x : x; }
+
+void matgen(int n) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            a[i][j] = rng();
+        }
+        a[i][i] = a[i][i] + 8.0; /* diagonally dominant: well-conditioned */
+    }
+    for (i = 0; i < n; i++) {
+        b[i] = 0.0;
+        for (j = 0; j < n; j++) b[i] = b[i] + a[i][j];
+    }
+}
+
+/* y += da * x, the LINPACK inner loop. */
+void daxpy(int n, double da, double *dx, double *dy) {
+    int i;
+    if (da == 0.0) return;
+    for (i = 0; i < n; i++) {
+        dy[i] = dy[i] + da * dx[i];
+    }
+}
+
+void swap_rows(int n, int r1, int r2) {
+    int j;
+    for (j = 0; j < n; j++) {
+        double t = a[r1][j];
+        a[r1][j] = a[r2][j];
+        a[r2][j] = t;
+    }
+}
+
+void lu_factor(int n) {
+    int k, i;
+    for (k = 0; k < n; k++) {
+        /* Partial pivot: largest magnitude in column k at or below k. */
+        int p = k;
+        double best = dabs(a[k][k]);
+        for (i = k + 1; i < n; i++) {
+            if (dabs(a[i][k]) > best) {
+                best = dabs(a[i][k]);
+                p = i;
+            }
+        }
+        piv[k] = p;
+        if (p != k) swap_rows(n, k, p);
+        for (i = k + 1; i < n; i++) {
+            double m = a[i][k] / a[k][k];
+            a[i][k] = m;
+            daxpy(n - k - 1, -m, &a[k][k + 1], &a[i][k + 1]);
+        }
+    }
+}
+
+void lu_solve(int n) {
+    int k, i;
+    /* Apply pivots and the forward elimination to b. */
+    for (k = 0; k < n; k++) {
+        if (piv[k] != k) {
+            double t = b[k];
+            b[k] = b[piv[k]];
+            b[piv[k]] = t;
+        }
+        for (i = k + 1; i < n; i++) {
+            b[i] = b[i] - a[i][k] * b[k];
+        }
+    }
+    /* Back substitution. */
+    for (k = n - 1; k >= 0; k--) {
+        for (i = k + 1; i < n; i++) {
+            b[k] = b[k] - a[k][i] * b[i];
+        }
+        b[k] = b[k] / a[k][k];
+    }
+}
+
+int main(void) {
+    int n = 24;
+    int i, chk;
+    double err = 0.0;
+    matgen(n);
+    lu_factor(n);
+    lu_solve(n);
+    /* The right-hand side was the row sums, so x should be all ones. */
+    for (i = 0; i < n; i++) {
+        err = err + dabs(b[i] - 1.0);
+    }
+    chk = (int)(err * 1000000.0);
+    if (chk < 0) chk = -chk;
+    /* A tiny residual means the factorization worked. */
+    return chk < 100 ? 7777 : chk & 0x7FFF;
+}

@@ -1,0 +1,71 @@
+/* matrix — "Gaussian elimination" (Table 2): dense elimination with
+ * back-substitution on a well-conditioned synthetic system. */
+
+double m[20][21]; /* augmented matrix */
+double x[20];
+
+void build(int n) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        double rowsum = 0.0;
+        for (j = 0; j < n; j++) {
+            if (i == j) m[i][j] = (double)(n + 3);
+            else m[i][j] = 1.0 / (double)(i + j + 1);
+            rowsum = rowsum + m[i][j] * (double)(j + 1);
+        }
+        m[i][n] = rowsum; /* solution is x[j] = j+1 */
+    }
+}
+
+void eliminate(int n) {
+    int k, i, j;
+    for (k = 0; k < n; k++) {
+        /* Partial pivot. */
+        int p = k;
+        double best = m[k][k] < 0.0 ? -m[k][k] : m[k][k];
+        for (i = k + 1; i < n; i++) {
+            double v = m[i][k] < 0.0 ? -m[i][k] : m[i][k];
+            if (v > best) { best = v; p = i; }
+        }
+        if (p != k) {
+            for (j = k; j <= n; j++) {
+                double t = m[k][j];
+                m[k][j] = m[p][j];
+                m[p][j] = t;
+            }
+        }
+        for (i = k + 1; i < n; i++) {
+            double f = m[i][k] / m[k][k];
+            for (j = k; j <= n; j++) {
+                m[i][j] = m[i][j] - f * m[k][j];
+            }
+        }
+    }
+}
+
+void back_substitute(int n) {
+    int i, j;
+    for (i = n - 1; i >= 0; i--) {
+        double s = m[i][n];
+        for (j = i + 1; j < n; j++) s = s - m[i][j] * x[j];
+        x[i] = s / m[i][i];
+    }
+}
+
+int main(void) {
+    int n = 20, i;
+    double err = 0.0;
+    build(n);
+    eliminate(n);
+    back_substitute(n);
+    for (i = 0; i < n; i++) {
+        double d = x[i] - (double)(i + 1);
+        if (d < 0.0) d = -d;
+        err = err + d;
+    }
+    {
+        int chk = (int)(err * 1000000.0);
+        if (chk < 0) chk = -chk;
+        return chk < 100 ? 4242 : chk & 0x7FFF;
+    }
+}

@@ -1,0 +1,59 @@
+/* pi — "Computes digits of pi" (Table 2): the integer spigot algorithm
+ * (Rabinowitz–Wagon), all-integer long division over a big array. */
+
+int arr[680]; /* 10 * digits / 3 + slack for 200 digits */
+int digits_out[208];
+int ndigits = 0;
+
+void emit_digit(int d) {
+    digits_out[ndigits] = d;
+    ndigits++;
+}
+
+int main(void) {
+    int n = 64;              /* digits of pi to produce */
+    int len = 10 * n / 3 + 1;
+    int i, j, k, q, x, nines, predigit;
+    int chk;
+
+    for (j = 0; j < len; j++) arr[j] = 2;
+    nines = 0;
+    predigit = 0;
+
+    for (j = 0; j < n; j++) {
+        q = 0;
+        for (i = len - 1; i >= 0; i--) {
+            x = 10 * arr[i] + q * (i + 1);
+            arr[i] = x % (2 * i + 1);
+            q = x / (2 * i + 1);
+        }
+        arr[0] = q % 10;
+        q = q / 10;
+        if (q == 9) {
+            nines = nines + 1;
+        } else if (q == 10) {
+            emit_digit(predigit + 1);
+            for (k = 0; k < nines; k++) emit_digit(0);
+            predigit = 0;
+            nines = 0;
+        } else {
+            if (j > 0) emit_digit(predigit);
+            predigit = q;
+            for (k = 0; k < nines; k++) emit_digit(9);
+            nines = 0;
+        }
+    }
+    emit_digit(predigit);
+
+    /* pi = 3.14159 26535 89793 ... : check the first digits exactly and
+     * fold the rest into a checksum. */
+    if (digits_out[0] != 3) return -1;
+    if (digits_out[1] != 1) return -2;
+    if (digits_out[2] != 4) return -3;
+    if (digits_out[3] != 1) return -4;
+    if (digits_out[4] != 5) return -5;
+    if (digits_out[5] != 9) return -6;
+    chk = 0;
+    for (i = 0; i < ndigits; i++) chk = (chk * 7 + digits_out[i]) & 0xFFF;
+    return 10000 + chk;
+}

@@ -1,0 +1,32 @@
+/* queens — "The Stanford eight-queens program" (Table 2).
+ * Counts all 92 solutions by backtracking with attack bitboards kept in
+ * plain arrays (the 1980 Stanford formulation). */
+
+int rowfree[9];
+int updiag[17];
+int downdiag[17];
+int solutions = 0;
+
+void place(int col) {
+    int row;
+    for (row = 1; row <= 8; row++) {
+        if (rowfree[row] && updiag[row + col - 1] && downdiag[row - col + 8]) {
+            rowfree[row] = 0;
+            updiag[row + col - 1] = 0;
+            downdiag[row - col + 8] = 0;
+            if (col == 8) solutions++;
+            else place(col + 1);
+            rowfree[row] = 1;
+            updiag[row + col - 1] = 1;
+            downdiag[row - col + 8] = 1;
+        }
+    }
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i <= 8; i++) rowfree[i] = 1;
+    for (i = 0; i <= 16; i++) { updiag[i] = 1; downdiag[i] = 1; }
+    place(1);
+    return solutions; /* 92 */
+}

@@ -1,0 +1,39 @@
+/* quicksort — "The Stanford quicksort program" (Table 2).
+ * Recursive Hoare partitioning over an LCG-filled array. */
+
+int data[512];
+int seed = 74755;
+
+int rnd(void) {
+    seed = (seed * 1309 + 13849) & 0xFFFF;
+    return seed;
+}
+
+void qsort_range(int lo, int hi) {
+    int i = lo, j = hi;
+    int pivot = data[(lo + hi) / 2];
+    while (i <= j) {
+        while (data[i] < pivot) i++;
+        while (pivot < data[j]) j--;
+        if (i <= j) {
+            int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i++;
+            j--;
+        }
+    }
+    if (lo < j) qsort_range(lo, j);
+    if (i < hi) qsort_range(i, hi);
+}
+
+int main(void) {
+    int i, chk = 0, ordered = 1;
+    for (i = 0; i < 512; i++) data[i] = rnd();
+    qsort_range(0, 511);
+    for (i = 1; i < 512; i++) {
+        if (data[i - 1] > data[i]) ordered = 0;
+    }
+    for (i = 0; i < 512; i++) chk = (chk + data[i] * (i + 1)) & 0x3FFF;
+    return ordered * 10000 + (chk & 0xFFF);
+}

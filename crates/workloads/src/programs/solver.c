@@ -1,0 +1,75 @@
+/* solver — "Newton-Raphson iterative solver" (Table 2): root finding
+ * over a family of cubic polynomials plus Newton square roots. */
+
+double coeff_a[40];
+double coeff_b[40];
+double coeff_c[40];
+
+double fabs_(double x) {
+    return x < 0.0 ? -x : x;
+}
+
+/* f(x) = x^3 + a x^2 + b x + c */
+double f(double x, double a, double b, double c) {
+    return ((x + a) * x + b) * x + c;
+}
+
+double fprime(double x, double a, double b) {
+    return (3.0 * x + 2.0 * a) * x + b;
+}
+
+double newton_root(double a, double b, double c) {
+    /* Start above every root: the cubic is monotone there, so Newton
+     * descends to the largest (only) real root without oscillation. */
+    double x = 30.0;
+    int iter = 0;
+    while (iter < 100) {
+        double fx = f(x, a, b, c);
+        double d = fprime(x, a, b);
+        double step;
+        if (fabs_(fx) < 1e-12) break;
+        if (fabs_(d) < 1e-9) d = 1.0;
+        step = fx / d;
+        x = x - step;
+        if (fabs_(step) < 1e-13) break;
+        iter++;
+    }
+    return x;
+}
+
+double newton_sqrt(double v) {
+    double x = v > 1.0 ? v / 2.0 : 1.0;
+    int iter = 0;
+    if (v <= 0.0) return 0.0;
+    while (iter < 40) {
+        double nx = 0.5 * (x + v / x);
+        if (fabs_(nx - x) < 1e-12) break;
+        x = nx;
+        iter++;
+    }
+    return x;
+}
+
+int main(void) {
+    int i;
+    double total = 0.0;
+    /* Build polynomials with a known root at r = i/4 + 1:
+     * (x - r)(x^2 + x + 2) = x^3 + (1-r)x^2 + (2-r)x - 2r */
+    for (i = 0; i < 40; i++) {
+        double r = (double)i / 4.0 + 1.0;
+        coeff_a[i] = 1.0 - r;
+        coeff_b[i] = 2.0 - r;
+        coeff_c[i] = -2.0 * r;
+    }
+    for (i = 0; i < 40; i++) {
+        double root = newton_root(coeff_a[i], coeff_b[i], coeff_c[i]);
+        double want = (double)i / 4.0 + 1.0;
+        total = total + fabs_(root - want);
+        total = total + fabs_(newton_sqrt(want * want) - want);
+    }
+    {
+        int chk = (int)(total * 1000000.0);
+        if (chk < 0) chk = -chk;
+        return chk < 100 ? 3131 : chk & 0x7FFF;
+    }
+}

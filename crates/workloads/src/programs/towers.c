@@ -1,0 +1,30 @@
+/* towers — "The Stanford towers of Hanoi program" (Table 2). */
+
+int moves = 0;
+int pegs[3];
+
+void move_disc(int from, int to) {
+    pegs[from]--;
+    pegs[to]++;
+    moves++;
+}
+
+void hanoi(int n, int from, int to, int via) {
+    if (n == 1) {
+        move_disc(from, to);
+        return;
+    }
+    hanoi(n - 1, from, via, to);
+    move_disc(from, to);
+    hanoi(n - 1, via, to, from);
+}
+
+int main(void) {
+    pegs[0] = 14;
+    pegs[1] = 0;
+    pegs[2] = 0;
+    hanoi(14, 0, 2, 1);
+    /* 2^14 - 1 = 16383 moves; all discs on peg 2. */
+    if (pegs[2] != 14) return -1;
+    return moves & 0x7FFF; /* 16383 */
+}

@@ -1,0 +1,191 @@
+/* whetstone — "The synthetic floating point benchmark" (Table 2): the
+ * classic module structure (array elements, conditional jumps, integer
+ * arithmetic, trig and transcendental functions) with the standard
+ * functions implemented as polynomial/series approximations. */
+
+double e1[5];
+double t = 0.499975;
+double t1 = 0.50025;
+double t2 = 2.0;
+
+double my_abs(double x) { return x < 0.0 ? -x : x; }
+
+/* Range-reduced Taylor sine: adequate for |x| <= ~4 used here. */
+double my_sin(double x) {
+    double x2, term, sum;
+    int k;
+    while (x > 3.141592653589793) x = x - 6.283185307179586;
+    while (x < -3.141592653589793) x = x + 6.283185307179586;
+    x2 = x * x;
+    term = x;
+    sum = x;
+    for (k = 1; k <= 7; k++) {
+        term = -term * x2 / (double)((2 * k) * (2 * k + 1));
+        sum = sum + term;
+    }
+    return sum;
+}
+
+double my_cos(double x) {
+    return my_sin(x + 1.5707963267948966);
+}
+
+double my_atan(double x) {
+    /* atan via the identity for |x|>1 and a series otherwise. */
+    int invert = 0;
+    double x2, term, sum;
+    int k;
+    double sign = 1.0;
+    if (x < 0.0) { x = -x; sign = -1.0; }
+    if (x > 1.0) { x = 1.0 / x; invert = 1; }
+    x2 = x * x;
+    term = x;
+    sum = x;
+    for (k = 1; k <= 14; k++) {
+        term = -term * x2;
+        sum = sum + term / (double)(2 * k + 1);
+    }
+    if (invert) sum = 1.5707963267948966 - sum;
+    return sign * sum;
+}
+
+double my_exp(double x) {
+    double term = 1.0, sum = 1.0;
+    int k;
+    for (k = 1; k <= 16; k++) {
+        term = term * x / (double)k;
+        sum = sum + term;
+    }
+    return sum;
+}
+
+double my_log(double x) {
+    /* ln(x) via atanh series around 1: x in (0.5, 2) after scaling. */
+    double scale = 0.0;
+    double y, y2, term, sum;
+    int k;
+    if (x <= 0.0) return 0.0;
+    while (x > 1.5) { x = x / 2.718281828459045; scale = scale + 1.0; }
+    while (x < 0.6) { x = x * 2.718281828459045; scale = scale - 1.0; }
+    y = (x - 1.0) / (x + 1.0);
+    y2 = y * y;
+    term = y;
+    sum = y;
+    for (k = 1; k <= 12; k++) {
+        term = term * y2;
+        sum = sum + term / (double)(2 * k + 1);
+    }
+    return 2.0 * sum + scale;
+}
+
+double my_sqrt(double v) {
+    double x;
+    int iter;
+    if (v <= 0.0) return 0.0;
+    x = v > 1.0 ? v / 2.0 : 1.0;
+    for (iter = 0; iter < 30; iter++) {
+        double nx = 0.5 * (x + v / x);
+        if (my_abs(nx - x) < 1e-13) break;
+        x = nx;
+    }
+    return x;
+}
+
+void pa(double *e) {
+    int j;
+    for (j = 0; j < 6; j++) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+    }
+}
+
+void p0(double *x, double *y, double *z) {
+    *x = t * (*z + *y);
+    *y = t * (*x + *z);
+    *z = t * (*x + *y);
+}
+
+int main(void) {
+    int n1 = 10, n2 = 12, n4 = 30, n6 = 20, n7 = 8, n8 = 60, n10 = 0, n11 = 30;
+    double x1, x2, x3, x4, x, y, z;
+    int i, j;
+    double chk = 0.0;
+
+    /* Module 1: simple identifiers */
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 0; i < n1; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+    chk = chk + x1 + x2 + x3 + x4;
+
+    /* Module 2: array elements */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < n2; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+    chk = chk + e1[0] + e1[1] + e1[2] + e1[3];
+
+    /* Module 3: array as parameter */
+    for (i = 0; i < n4; i++) pa(e1);
+    chk = chk + e1[3];
+
+    /* Module 4: conditional jumps */
+    j = 1;
+    for (i = 0; i < n6; i++) {
+        if (j == 1) j = 2; else j = 3;
+        if (j > 2) j = 0; else j = 1;
+        if (j < 1) j = 1; else j = 0;
+    }
+    chk = chk + (double)j;
+
+    /* Module 6: integer arithmetic */
+    j = 1;
+    {
+        int k = 2, l = 3;
+        for (i = 0; i < n8; i++) {
+            j = j * (k - j) * (l - k);
+            k = l * k - (l - j) * k;
+            l = (l - k) * (k + j);
+            e1[l - 2] = (double)(j + k + l);
+            e1[k - 2] = (double)(j * k * l);
+        }
+    }
+    chk = chk + e1[0] + e1[1];
+
+    /* Module 7: trig functions */
+    x = 0.5; y = 0.5;
+    for (i = 0; i < n7; i++) {
+        x = t * my_atan(t2 * my_sin(x) * my_cos(x) / (my_cos(x + y) + my_cos(x - y) - 1.0));
+        y = t * my_atan(t2 * my_sin(y) * my_cos(y) / (my_cos(x + y) + my_cos(x - y) - 1.0));
+    }
+    chk = chk + x + y;
+
+    /* Module 8: procedure calls */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < n8; i++) p0(&x, &y, &z);
+    chk = chk + z;
+
+    /* Module 10: integer arithmetic (paper keeps it empty: n10 = 0) */
+    for (i = 0; i < n10; i++) { j = j + 1; }
+
+    /* Module 11: standard functions */
+    x = 0.75;
+    for (i = 0; i < n11; i++) {
+        x = my_sqrt(my_exp(my_log(x) / t1));
+    }
+    chk = chk + x;
+
+    {
+        int out = (int)(chk * 1000.0);
+        if (out < 0) out = -out;
+        return out & 0x7FFF;
+    }
+}

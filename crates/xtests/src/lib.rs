@@ -1,0 +1,5 @@
+//! # d16-xtests — workspace-level integration tests
+//!
+//! This crate holds no library code; its `tests/` directory exercises the
+//! whole toolchain stack — compiler → assembler → linker → simulator →
+//! memory models → experiment harness — across crate boundaries.

@@ -1,0 +1,203 @@
+//! Property-based differential testing: random Mini-C programs are
+//! evaluated by a reference evaluator (host arithmetic with the machine's
+//! wrapping semantics) and by the full stack (compile → assemble → link →
+//! simulate) on every target. All answers must agree.
+
+use d16_cc::TargetSpec;
+use d16_sim::{Machine, NullSink, StopReason};
+use proptest::prelude::*;
+
+/// A tiny expression AST we can both print as Mini-C and evaluate.
+#[derive(Clone, Debug)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Shr(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+const NVARS: usize = 4;
+
+fn eval(e: &E, vars: &[i32; NVARS]) -> i32 {
+    match e {
+        E::Lit(v) => *v,
+        E::Var(i) => vars[*i],
+        E::Add(a, b) => eval(a, vars).wrapping_add(eval(b, vars)),
+        E::Sub(a, b) => eval(a, vars).wrapping_sub(eval(b, vars)),
+        E::Mul(a, b) => eval(a, vars).wrapping_mul(eval(b, vars)),
+        E::Div(a, b) => {
+            let (x, y) = (eval(a, vars), eval(b, vars));
+            // The runtime defines n/0 = 0; i32::MIN / -1 wraps.
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        E::Rem(a, b) => {
+            let (x, y) = (eval(a, vars), eval(b, vars));
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        E::And(a, b) => eval(a, vars) & eval(b, vars),
+        E::Or(a, b) => eval(a, vars) | eval(b, vars),
+        E::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
+        E::Shl(a, b) => {
+            let sh = (eval(b, vars) as u32) & 31;
+            ((eval(a, vars) as u32).wrapping_shl(sh)) as i32
+        }
+        E::Shr(a, b) => {
+            let sh = (eval(b, vars) as u32) & 31;
+            eval(a, vars).wrapping_shr(sh)
+        }
+        E::Neg(a) => eval(a, vars).wrapping_neg(),
+        E::Not(a) => !eval(a, vars),
+        E::Lt(a, b) => (eval(a, vars) < eval(b, vars)) as i32,
+        E::Eq(a, b) => (eval(a, vars) == eval(b, vars)) as i32,
+        E::Ternary(c, t, f) => {
+            if eval(c, vars) != 0 {
+                eval(t, vars)
+            } else {
+                eval(f, vars)
+            }
+        }
+    }
+}
+
+fn print_e(e: &E, out: &mut String) {
+    match e {
+        E::Lit(v) => out.push_str(&v.to_string()),
+        E::Var(i) => out.push_str(&format!("v{i}")),
+        E::Neg(a) => {
+            out.push_str("(- ");
+            print_e(a, out);
+            out.push(')');
+        }
+        E::Not(a) => {
+            out.push_str("(~");
+            print_e(a, out);
+            out.push(')');
+        }
+        E::Ternary(c, t, f) => {
+            out.push('(');
+            print_e(c, out);
+            out.push_str(" ? ");
+            print_e(t, out);
+            out.push_str(" : ");
+            print_e(f, out);
+            out.push(')');
+        }
+        _ => {
+            let (op, a, b) = match e {
+                E::Add(a, b) => ("+", a, b),
+                E::Sub(a, b) => ("-", a, b),
+                E::Mul(a, b) => ("*", a, b),
+                E::Div(a, b) => ("/", a, b),
+                E::Rem(a, b) => ("%", a, b),
+                E::And(a, b) => ("&", a, b),
+                E::Or(a, b) => ("|", a, b),
+                E::Xor(a, b) => ("^", a, b),
+                E::Shl(a, b) => ("<<", a, b),
+                E::Shr(a, b) => (">>", a, b),
+                E::Lt(a, b) => ("<", a, b),
+                E::Eq(a, b) => ("==", a, b),
+                _ => unreachable!(),
+            };
+            out.push('(');
+            print_e(a, out);
+            out.push_str(&format!(" {op} "));
+            print_e(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-512i32..512).prop_map(E::Lit),
+        (0usize..NVARS).prop_map(E::Var),
+        any::<i32>().prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| E::Ternary(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+fn program_for(e: &E, vars: &[i32; NVARS]) -> String {
+    let mut body = String::new();
+    for (i, v) in vars.iter().enumerate() {
+        body.push_str(&format!("    int v{i} = {v};\n"));
+    }
+    let mut expr = String::new();
+    print_e(e, &mut expr);
+    format!(
+        "int main(void) {{\n{body}    int r = {expr};\n    return (r & 0xFF) ^ ((r >> 8) & 0xFF) ^ ((r >> 16) & 0xFF) ^ ((r >> 24) & 0xFF);\n}}\n"
+    )
+}
+
+fn run_on(src: &str, spec: &TargetSpec) -> i32 {
+    let image = d16_cc::compile_to_image(&[src], spec)
+        .unwrap_or_else(|e| panic!("[{}] {e}\n{src}", spec.label()));
+    let mut m = Machine::load(&image);
+    match m.run(80_000_000, &mut NullSink) {
+        Ok(StopReason::Halted(v)) => v,
+        other => panic!("[{}] did not halt: {other:?}\n{src}", spec.label()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Host-evaluated expressions equal the simulated result on every
+    /// target configuration.
+    #[test]
+    fn random_expressions_agree(
+        e in arb_expr(),
+        vars in proptest::array::uniform4(any::<i32>()),
+    ) {
+        let want = eval(&e, &vars);
+        let folded = (want & 0xFF) ^ ((want >> 8) & 0xFF) ^ ((want >> 16) & 0xFF) ^ ((want >> 24) & 0xFF);
+        let src = program_for(&e, &vars);
+        for spec in [
+            TargetSpec::d16(),
+            TargetSpec::dlxe(),
+            TargetSpec::dlxe_restricted(true, true, true),
+        ] {
+            let got = run_on(&src, &spec);
+            prop_assert_eq!(got, folded, "target {}\n{}", spec.label(), src);
+        }
+    }
+}

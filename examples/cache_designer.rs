@@ -1,0 +1,92 @@
+//! Cache design exploration: how big an instruction cache does a 16-bit
+//! encoding save? Sweeps size, block size, associativity and wrap-around
+//! prefetch for one workload on both ISAs — the §4.1 methodology applied
+//! to a design question the paper's conclusion raises.
+//!
+//! ```text
+//! cargo run --release -p d16-core --example cache_designer [workload]
+//! ```
+
+use d16_cc::TargetSpec;
+use d16_isa::Isa;
+use d16_mem::{CacheConfig, CacheSystem};
+use d16_sim::{Machine, TraceRecorder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "assem".to_string());
+    let workload = d16_workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}` (see d16-workloads)"));
+    println!("workload: {} — {}\n", workload.name, workload.description);
+
+    // One functional run per ISA captures a trace; every cache geometry
+    // below replays it (the paper's dinero methodology).
+    let mut traces = Vec::new();
+    for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+        let image = d16_cc::compile_to_image(&[workload.source], &spec)?;
+        let mut machine = Machine::load(&image);
+        let mut rec = TraceRecorder::new();
+        machine.run(2_000_000_000, &mut rec)?;
+        traces.push((spec.isa, rec, *machine.stats()));
+    }
+
+    println!(
+        "{:<22} {:>12} {:>12}  {}",
+        "I-cache geometry", "D16 miss", "DLXe miss", "winner at equal cost"
+    );
+    for size in [512u32, 1024, 2048, 4096] {
+        for assoc in [1u32, 2] {
+            for prefetch in [true, false] {
+                let mut rates = Vec::new();
+                for (_, trace, _) in &traces {
+                    let cfg = CacheConfig {
+                        size,
+                        block: 32,
+                        sub_block: 8,
+                        assoc,
+                        wrap_prefetch: prefetch,
+                    };
+                    let mut cs = CacheSystem::new(cfg, cfg);
+                    trace.replay(&mut cs);
+                    rates.push(cs.icache().read_miss_ratio());
+                }
+                let label = format!(
+                    "{:>4}B {}-way{}",
+                    size,
+                    assoc,
+                    if prefetch { " +prefetch" } else { "" }
+                );
+                let winner = if rates[0] < rates[1] { "D16" } else { "DLXe" };
+                println!(
+                    "{:<22} {:>12.4} {:>12.4}  {}",
+                    label, rates[0], rates[1], winner
+                );
+            }
+        }
+    }
+
+    // The design question: what size does each ISA need for a target miss
+    // rate?
+    let target = 0.01;
+    println!("\nsmallest direct-mapped I-cache with miss rate < {target}:");
+    for (isa, trace, _) in &traces {
+        let mut answer = None;
+        for size in [256u32, 512, 1024, 2048, 4096, 8192, 16384] {
+            let cfg = CacheConfig::paper(size, 32);
+            let mut cs = CacheSystem::new(cfg, cfg);
+            trace.replay(&mut cs);
+            if cs.icache().read_miss_ratio() < target {
+                answer = Some(size);
+                break;
+            }
+        }
+        match answer {
+            Some(size) => println!("  {}: {} bytes", isa_name(*isa), size),
+            None => println!("  {}: more than 16K", isa_name(*isa)),
+        }
+    }
+    Ok(())
+}
+
+fn isa_name(isa: Isa) -> &'static str {
+    isa.name()
+}

@@ -1,0 +1,58 @@
+//! Memory-system trade-off: for *your* memory latency and bus width, which
+//! encoding is faster? Reproduces the paper's Section 4 decision procedure
+//! over the whole suite and prints the crossover.
+//!
+//! ```text
+//! cargo run --release -p d16-core --example memory_tradeoff [wait_states] [bus_bits]
+//! ```
+
+use d16_core::{base_specs, Suite};
+use d16_workloads::SUITE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wait: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let bus_bits: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let bus = bus_bits / 8;
+
+    eprintln!("measuring the suite on both machines...");
+    let all: Vec<_> = SUITE.iter().collect();
+    let suite = match Suite::collect_for(&all, &base_specs(), false) {
+        Ok(s) => s,
+        Err((w, t, e)) => {
+            eprintln!("failed for {w} on {t}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "\ncacheless machine, {bus_bits}-bit fetch bus, {wait} wait state(s):\n"
+    );
+    println!("{:<12} {:>14} {:>14} {:>8}", "program", "D16 cycles", "DLXe cycles", "winner");
+    let mut d16_wins = 0;
+    for w in suite.workloads() {
+        let d16 = suite.get(&w, "D16/16/2").cacheless_cycles(bus, wait);
+        let dlxe = suite.get(&w, "DLXe/32/3").cacheless_cycles(bus, wait);
+        let winner = if d16 <= dlxe { "D16" } else { "DLXe" };
+        if d16 <= dlxe {
+            d16_wins += 1;
+        }
+        println!("{:<12} {:>14} {:>14} {:>8}", w, d16, dlxe, winner);
+    }
+    println!("\nD16 wins {d16_wins}/{} workloads at this design point.", suite.workloads().len());
+
+    // Where is the crossover for this bus width?
+    println!("\ncrossover sweep (mean cycle ratio DLXe/D16 per wait state):");
+    for l in 0..=4u64 {
+        let mut ratio = 0.0;
+        let names = suite.workloads();
+        for w in &names {
+            let d16 = suite.get(w, "D16/16/2").cacheless_cycles(bus, l) as f64;
+            let dlxe = suite.get(w, "DLXe/32/3").cacheless_cycles(bus, l) as f64;
+            ratio += dlxe / d16;
+        }
+        ratio /= names.len() as f64;
+        let note = if ratio >= 1.0 { "D16 faster on average" } else { "DLXe faster on average" };
+        println!("  l={l}: {ratio:.3}  ({note})");
+    }
+}

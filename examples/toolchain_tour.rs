@@ -1,0 +1,83 @@
+//! Toolchain tour: watch one function travel the whole stack — Mini-C →
+//! optimized assembly for each encoding → binary → disassembly → execution
+//! — and see exactly where the 16-bit format pays (two-address moves,
+//! `ldc` literal pools, `r0` compare discipline) and where it wins (half
+//! the fetch bytes).
+//!
+//! ```text
+//! cargo run --release -p d16-core --example toolchain_tour
+//! ```
+
+use d16_cc::TargetSpec;
+use d16_isa::Isa;
+use d16_sim::{Machine, NullSink};
+
+const PROGRAM: &str = r#"
+int histogram[16];
+
+int saturate(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 100; i++) {
+        int bucket = saturate((i * 7) % 21, 0, 15);
+        histogram[bucket] += 1;
+    }
+    return histogram[0] + histogram[15] * 100;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+        println!("================ {} ================", spec.label());
+        let asm = d16_cc::compile_to_asm(&[PROGRAM], &spec)?;
+        // Show the `saturate` function's code: small enough to read.
+        let mut show = false;
+        for line in asm.lines() {
+            if line.starts_with("saturate:") {
+                show = true;
+            } else if show && !line.starts_with(' ') && !line.starts_with('$') {
+                break;
+            }
+            if show {
+                println!("{line}");
+            }
+        }
+
+        let image = d16_asm::build(spec.isa, &[&asm])?;
+        println!("\nbinary: {} text bytes, {} data bytes", image.text.len(), image.data.len());
+
+        // Disassemble the first instructions at the entry point.
+        println!("entry disassembly:");
+        let entry_off = (image.entry - image.text_base) as usize;
+        let ilen = spec.isa.insn_bytes() as usize;
+        for k in 0..6 {
+            let o = entry_off + k * ilen;
+            let insn = match spec.isa {
+                Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes(
+                    image.text[o..o + 2].try_into().unwrap(),
+                ))?,
+                Isa::Dlxe => d16_isa::dlxe::decode(u32::from_le_bytes(
+                    image.text[o..o + 4].try_into().unwrap(),
+                ))?,
+            };
+            println!("  {:#07x}: {}", image.text_base as usize + o, d16_isa::disassemble(&insn));
+        }
+
+        let mut machine = Machine::load(&image);
+        let stop = machine.run(1_000_000, &mut NullSink)?;
+        let s = machine.stats();
+        println!(
+            "\nran: exit {:?}, {} instructions, {} interlock cycles, {} fetch words\n",
+            stop.exit_status(),
+            s.insns,
+            s.interlocks,
+            s.ifetch_words
+        );
+    }
+    Ok(())
+}
