@@ -1,71 +1,82 @@
-//! Property tests: disassemble → assemble → decode is the identity over
-//! arbitrary in-envelope instructions, for both ISAs; and assembled layout
-//! always satisfies basic structural invariants.
+//! Property-style tests: disassemble → assemble → decode is the identity
+//! over arbitrary in-envelope instructions, for both ISAs; and assembled
+//! layout always satisfies basic structural invariants.
+//!
+//! Deterministic `d16-testkit` generators replace the original `proptest`
+//! strategies (offline builds, DESIGN.md §7).
 
 use d16_asm::{assemble, link};
 use d16_isa::{abi, AluOp, Cond, Gpr, Insn, Isa, MemWidth};
-use proptest::prelude::*;
+use d16_testkit::{cases, Rng};
 
-fn gpr(max: u8) -> impl Strategy<Value = Gpr> {
-    (0u8..max).prop_map(Gpr::new)
+fn gpr(rng: &mut Rng, max: u32) -> Gpr {
+    Gpr::new(rng.below(max) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Shra),
-    ]
-}
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Shra,
+];
 
 /// Instructions whose disassembly is position-independent (no PC-relative
 /// displacement), in the D16 envelope.
-fn d16_pi_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (alu_op(), gpr(16), gpr(16)).prop_map(|(op, rd, rs2)| Insn::Alu { op, rd, rs1: rd, rs2 }),
-        (gpr(16), -256i32..256).prop_map(|(rd, imm)| Insn::Mvi { rd, imm }),
-        (gpr(16), gpr(16), 0i32..32)
-            .prop_map(|(rd, base, d)| Insn::Ld { w: MemWidth::W, rd, base, disp: d * 4 }),
-        (gpr(16), gpr(16)).prop_map(|(rs, base)| Insn::St { w: MemWidth::B, rs, base, disp: 0 }),
-        (gpr(16), gpr(16)).prop_map(|(rs1, rs2)| Insn::Cmp {
-            cond: Cond::Ltu,
-            rd: abi::R0,
-            rs1,
-            rs2
-        }),
-        gpr(16).prop_map(|target| Insn::Jl { target }),
-        gpr(16).prop_map(|rd| Insn::Rdsr { rd }),
-        Just(Insn::Nop),
-    ]
+fn d16_pi_insn(rng: &mut Rng) -> Insn {
+    match rng.below(8) {
+        0 => {
+            let rd = gpr(rng, 16);
+            Insn::Alu { op: *rng.pick(&ALU_OPS), rd, rs1: rd, rs2: gpr(rng, 16) }
+        }
+        1 => Insn::Mvi { rd: gpr(rng, 16), imm: rng.range_i32(-256, 256) },
+        2 => Insn::Ld {
+            w: MemWidth::W,
+            rd: gpr(rng, 16),
+            base: gpr(rng, 16),
+            disp: rng.range_i32(0, 32) * 4,
+        },
+        3 => Insn::St { w: MemWidth::B, rs: gpr(rng, 16), base: gpr(rng, 16), disp: 0 },
+        4 => Insn::Cmp { cond: Cond::Ltu, rd: abi::R0, rs1: gpr(rng, 16), rs2: gpr(rng, 16) },
+        5 => Insn::Jl { target: gpr(rng, 16) },
+        6 => Insn::Rdsr { rd: gpr(rng, 16) },
+        _ => Insn::Nop,
+    }
 }
 
 /// Same idea for DLXe (wider registers, immediates, three-address).
-fn dlxe_pi_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (alu_op(), gpr(32), gpr(32), gpr(32))
-            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
-        (gpr(32), gpr(32), -32768i32..32768).prop_map(|(rd, rs1, imm)| Insn::AluI {
+fn dlxe_pi_insn(rng: &mut Rng) -> Insn {
+    match rng.below(6) {
+        0 => Insn::Alu {
+            op: *rng.pick(&ALU_OPS),
+            rd: gpr(rng, 32),
+            rs1: gpr(rng, 32),
+            rs2: gpr(rng, 32),
+        },
+        1 => Insn::AluI {
             op: AluOp::Add,
-            rd,
-            rs1,
-            imm
-        }),
-        (gpr(32), 0u32..65536).prop_map(|(rd, imm)| Insn::Lui { rd, imm }),
-        (gpr(32), gpr(32), gpr(32), 0usize..10).prop_map(|(rd, rs1, rs2, c)| Insn::Cmp {
-            cond: Cond::ALL[c],
-            rd,
-            rs1,
-            rs2
-        }),
-        (gpr(32), gpr(32), -32768i32..32768)
-            .prop_map(|(rd, base, disp)| Insn::Ld { w: MemWidth::Hu, rd, base, disp }),
-        gpr(32).prop_map(|target| Insn::J { target }),
-    ]
+            rd: gpr(rng, 32),
+            rs1: gpr(rng, 32),
+            imm: rng.range_i32(-32768, 32768),
+        },
+        2 => Insn::Lui { rd: gpr(rng, 32), imm: rng.below(65536) },
+        3 => Insn::Cmp {
+            cond: Cond::ALL[rng.below(10) as usize],
+            rd: gpr(rng, 32),
+            rs1: gpr(rng, 32),
+            rs2: gpr(rng, 32),
+        },
+        4 => Insn::Ld {
+            w: MemWidth::Hu,
+            rd: gpr(rng, 32),
+            base: gpr(rng, 32),
+            disp: rng.range_i32(-32768, 32768),
+        },
+        _ => Insn::J { target: gpr(rng, 32) },
+    }
 }
 
 fn roundtrip(isa: Isa, insns: &[Insn]) -> Vec<Insn> {
@@ -85,29 +96,36 @@ fn roundtrip(isa: Isa, insns: &[Insn]) -> Vec<Insn> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn d16_disasm_asm_roundtrip(insns in proptest::collection::vec(d16_pi_insn(), 1..60)) {
+#[test]
+fn d16_disasm_asm_roundtrip() {
+    cases(200, |case, rng| {
+        let n = 1 + rng.below(60) as usize;
+        let insns: Vec<Insn> = (0..n).map(|_| d16_pi_insn(rng)).collect();
         let back = roundtrip(Isa::D16, &insns);
-        prop_assert_eq!(back, insns);
-    }
+        assert_eq!(back, insns, "case {case}");
+    });
+}
 
-    #[test]
-    fn dlxe_disasm_asm_roundtrip(insns in proptest::collection::vec(dlxe_pi_insn(), 1..60)) {
+#[test]
+fn dlxe_disasm_asm_roundtrip() {
+    cases(200, |case, rng| {
+        let n = 1 + rng.below(60) as usize;
+        let insns: Vec<Insn> = (0..n).map(|_| dlxe_pi_insn(rng)).collect();
         let back: Vec<Insn> = roundtrip(Isa::Dlxe, &insns);
-        let want: Vec<Insn> =
-            insns.into_iter().map(d16_isa::dlxe::canonicalize).collect();
-        prop_assert_eq!(back, want);
-    }
+        let want: Vec<Insn> = insns.into_iter().map(d16_isa::dlxe::canonicalize).collect();
+        assert_eq!(back, want, "case {case}");
+    });
+}
 
-    /// Arbitrary data directives produce a segment whose size matches the
-    /// declared contents and whose labels are within bounds.
-    #[test]
-    fn data_layout_invariants(
-        words in proptest::collection::vec(any::<i32>(), 0..20),
-        bytes in proptest::collection::vec(any::<u8>(), 0..40),
-        space in 0u32..100,
-    ) {
+/// Arbitrary data directives produce a segment whose size matches the
+/// declared contents and whose labels are within bounds.
+#[test]
+fn data_layout_invariants() {
+    cases(200, |case, rng| {
+        let words: Vec<i32> =
+            (0..rng.below(20)).map(|_| rng.next_u32() as i32).collect();
+        let bytes: Vec<u8> = (0..rng.below(40)).map(|_| rng.below(256) as u8).collect();
+        let space = rng.below(100);
         let mut src = String::from(".data\nstart_label:\n");
         for w in &words {
             src.push_str(&format!(".word {w}\n"));
@@ -119,11 +137,11 @@ proptest! {
         src.push_str(&format!("tail_label:\n.space {space}\n"));
         let obj = assemble(Isa::D16, &src).expect("assemble");
         let expected = 4 * words.len() as u32 + bytes.len() as u32 + space;
-        prop_assert_eq!(obj.data.len() as u32, expected);
+        assert_eq!(obj.data.len() as u32, expected, "case {case}");
         let img = link(Isa::D16, &[obj]).expect("link");
         for label in ["start_label", "bytes_label", "tail_label"] {
             let a = img.symbol(label).unwrap();
-            prop_assert!(a >= img.data_base && a <= img.data_end());
+            assert!(a >= img.data_base && a <= img.data_end(), "case {case}: {label}");
         }
-    }
+    });
 }

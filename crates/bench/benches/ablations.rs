@@ -7,7 +7,7 @@
 //! Each target times the measurement *and* asserts the expected direction
 //! of the effect, so `cargo bench` validates the ablations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use d16_bench::harness::bench;
 use d16_cc::TargetSpec;
 use d16_mem::{CacheConfig, CacheSystem};
 use d16_sim::{Machine, NullSink, TraceRecorder};
@@ -22,78 +22,71 @@ fn run_insns(src: &str, spec: &TargetSpec) -> (u64, u64) {
 
 /// Delay-slot scheduling: with the scheduler off every slot is a `nop`;
 /// path length must grow.
-fn ablate_delay_slots(c: &mut Criterion) {
+fn ablate_delay_slots() {
     let w = d16_workloads::by_name("queens").unwrap();
-    c.bench_function("ablation_delay_slot_scheduling", |b| {
-        b.iter(|| {
-            let on = TargetSpec::d16();
-            let mut off = TargetSpec::d16();
-            off.schedule_delay_slots = false;
-            let (insns_on, nops_on) = run_insns(w.source, &on);
-            let (insns_off, nops_off) = run_insns(w.source, &off);
-            assert!(
-                insns_off > insns_on,
-                "unscheduled slots must lengthen the path: {insns_off} vs {insns_on}"
-            );
-            assert!(nops_off > nops_on);
-            black_box((insns_on, insns_off))
-        })
+    bench("ablation_delay_slot_scheduling", 10, || {
+        let on = TargetSpec::d16();
+        let mut off = TargetSpec::d16();
+        off.schedule_delay_slots = false;
+        let (insns_on, nops_on) = run_insns(w.source, &on);
+        let (insns_off, nops_off) = run_insns(w.source, &off);
+        assert!(
+            insns_off > insns_on,
+            "unscheduled slots must lengthen the path: {insns_off} vs {insns_on}"
+        );
+        assert!(nops_off > nops_on);
+        black_box((insns_on, insns_off))
     });
 }
 
 /// The cmpeqi extension: §3.3.3 estimates "up to 2 percent"; enabling it
 /// must never lengthen the path.
-fn ablate_cmpeqi(c: &mut Criterion) {
+fn ablate_cmpeqi() {
     let w = d16_workloads::by_name("assem").unwrap();
-    c.bench_function("ablation_cmpeqi_extension", |b| {
-        b.iter(|| {
-            let base = TargetSpec::d16();
-            let mut ext = TargetSpec::d16();
-            ext.cmpeqi = true;
-            let (insns_base, _) = run_insns(w.source, &base);
-            let (insns_ext, _) = run_insns(w.source, &ext);
-            assert!(
-                insns_ext <= insns_base,
-                "cmpeqi must not lengthen the path: {insns_ext} vs {insns_base}"
-            );
-            black_box((insns_base, insns_ext))
-        })
+    bench("ablation_cmpeqi_extension", 10, || {
+        let base = TargetSpec::d16();
+        let mut ext = TargetSpec::d16();
+        ext.cmpeqi = true;
+        let (insns_base, _) = run_insns(w.source, &base);
+        let (insns_ext, _) = run_insns(w.source, &ext);
+        assert!(
+            insns_ext <= insns_base,
+            "cmpeqi must not lengthen the path: {insns_ext} vs {insns_base}"
+        );
+        black_box((insns_base, insns_ext))
     });
 }
 
 /// Wrap-around prefetch: the paper's cache organization prefetches the
 /// next sub-block on read misses; turning it off must not reduce misses.
-fn ablate_prefetch(c: &mut Criterion) {
+fn ablate_prefetch() {
     let w = d16_workloads::by_name("latex").unwrap();
     let image = d16_cc::compile_to_image(&[w.source], &TargetSpec::d16()).unwrap();
     let mut m = Machine::load(&image);
     let mut rec = TraceRecorder::new();
     m.run(u64::MAX / 2, &mut rec).unwrap();
-    c.bench_function("ablation_wraparound_prefetch", |b| {
-        b.iter(|| {
-            let mk = |prefetch| CacheConfig {
-                size: 1024,
-                block: 32,
-                sub_block: 8,
-                assoc: 1,
-                wrap_prefetch: prefetch,
-            };
-            let mut with = CacheSystem::new(mk(true), mk(true));
-            rec.replay(&mut with);
-            let mut without = CacheSystem::new(mk(false), mk(false));
-            rec.replay(&mut without);
-            assert!(
-                with.icache().read_misses <= without.icache().read_misses,
-                "prefetch must not increase demand misses"
-            );
-            black_box((with.total_misses(), without.total_misses()))
-        })
+    bench("ablation_wraparound_prefetch", 10, || {
+        let mk = |prefetch| CacheConfig {
+            size: 1024,
+            block: 32,
+            sub_block: 8,
+            assoc: 1,
+            wrap_prefetch: prefetch,
+        };
+        let mut with = CacheSystem::new(mk(true), mk(true));
+        rec.replay(&mut with);
+        let mut without = CacheSystem::new(mk(false), mk(false));
+        rec.replay(&mut without);
+        assert!(
+            with.icache().read_misses <= without.icache().read_misses,
+            "prefetch must not increase demand misses"
+        );
+        black_box((with.total_misses(), without.total_misses()))
     });
 }
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = ablate_delay_slots, ablate_cmpeqi, ablate_prefetch
+fn main() {
+    ablate_delay_slots();
+    ablate_cmpeqi();
+    ablate_prefetch();
 }
-criterion_main!(ablations);

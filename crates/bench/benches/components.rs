@@ -1,15 +1,16 @@
 //! Component throughput benchmarks: the substrates the reproduction is
 //! built on — encoders, the pipeline interpreter, the cache simulator, and
-//! the compiler itself.
+//! the compiler itself. Plain `fn main()` on the in-repo harness
+//! (`d16_bench::harness`); run with `cargo bench -p d16-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use d16_bench::harness::{bench, bench_throughput};
 use d16_cc::TargetSpec;
 use d16_isa::{AluOp, Gpr, Insn, Isa};
 use d16_mem::CacheSystem;
 use d16_sim::{AccessSink, Machine, NullSink};
 use std::hint::black_box;
 
-fn bench_encoders(c: &mut Criterion) {
+fn bench_encoders() {
     let insns: Vec<Insn> = (0..1024)
         .map(|i| Insn::AluI {
             op: AluOp::Add,
@@ -18,108 +19,82 @@ fn bench_encoders(c: &mut Criterion) {
             imm: (i % 31) as i32,
         })
         .collect();
-    let mut g = c.benchmark_group("encoders");
-    g.throughput(Throughput::Elements(insns.len() as u64));
-    g.bench_function("d16_encode", |b| {
-        b.iter(|| {
-            for i in &insns {
-                black_box(d16_isa::d16::encode(black_box(i)).unwrap());
-            }
-        })
+    let n = insns.len() as u64;
+    bench_throughput("encoders/d16_encode", 200, n, || {
+        for i in &insns {
+            black_box(d16_isa::d16::encode(black_box(i)).unwrap());
+        }
     });
-    g.bench_function("dlxe_encode", |b| {
-        b.iter(|| {
-            for i in &insns {
-                black_box(d16_isa::dlxe::encode(black_box(i)).unwrap());
-            }
-        })
+    bench_throughput("encoders/dlxe_encode", 200, n, || {
+        for i in &insns {
+            black_box(d16_isa::dlxe::encode(black_box(i)).unwrap());
+        }
     });
-    g.bench_function("d16_decode", |b| {
-        let words: Vec<u16> = insns.iter().map(|i| d16_isa::d16::encode(i).unwrap()).collect();
-        b.iter(|| {
-            for w in &words {
-                black_box(d16_isa::d16::decode(black_box(*w)).unwrap());
-            }
-        })
+    let words: Vec<u16> = insns.iter().map(|i| d16_isa::d16::encode(i).unwrap()).collect();
+    bench_throughput("encoders/d16_decode", 200, n, || {
+        for w in &words {
+            black_box(d16_isa::d16::decode(black_box(*w)).unwrap());
+        }
     });
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let w = d16_workloads::by_name("towers").unwrap();
-    let mut g = c.benchmark_group("pipeline");
     for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
         let image = d16_cc::compile_to_image(&[w.source], &spec).unwrap();
         // Instruction count is fixed; report simulated instructions/sec.
         let mut probe = Machine::load(&image);
         probe.run(u64::MAX / 2, &mut NullSink).unwrap();
-        g.throughput(Throughput::Elements(probe.stats().insns));
-        g.bench_function(format!("towers_{}", spec.isa.name()), |b| {
-            b.iter_batched(
-                || Machine::load(&image),
-                |mut m| {
-                    m.run(u64::MAX / 2, &mut NullSink).unwrap();
-                    black_box(m.stats().insns)
-                },
-                BatchSize::SmallInput,
-            )
+        let insns = probe.stats().insns;
+        bench_throughput(&format!("pipeline/towers_{}", spec.isa.name()), 20, insns, || {
+            let mut m = Machine::load(&image);
+            m.run(u64::MAX / 2, &mut NullSink).unwrap();
+            black_box(m.stats().insns)
         });
     }
-    g.finish();
 }
 
-fn bench_cache_replay(c: &mut Criterion) {
+fn bench_cache_replay() {
     let w = d16_workloads::by_name("assem").unwrap();
     let image = d16_cc::compile_to_image(&[w.source], &TargetSpec::d16()).unwrap();
     let mut m = Machine::load(&image);
     let mut rec = d16_sim::TraceRecorder::new();
     m.run(u64::MAX / 2, &mut rec).unwrap();
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(rec.trace.len() as u64));
-    g.bench_function("replay_4k_paper_config", |b| {
-        b.iter(|| {
-            let mut cs = CacheSystem::paper(4096);
-            rec.replay(&mut cs);
-            black_box(cs.total_misses())
-        })
+    bench_throughput("cache/replay_4k_paper_config", 20, rec.len() as u64, || {
+        let mut cs = CacheSystem::paper(4096);
+        rec.replay(&mut cs);
+        black_box(cs.total_misses())
     });
-    g.finish();
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let w = d16_workloads::by_name("latex").unwrap();
-    let mut g = c.benchmark_group("compiler");
     for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
-        g.bench_function(format!("compile_latex_{}", spec.isa.name()), |b| {
-            b.iter(|| black_box(d16_cc::compile_to_asm(&[w.source], &spec).unwrap()))
+        bench(&format!("compiler/compile_latex_{}", spec.isa.name()), 20, || {
+            black_box(d16_cc::compile_to_asm(&[w.source], &spec).unwrap())
         });
     }
-    g.bench_function("assemble_link_latex_d16", |b| {
-        let asm = d16_cc::compile_to_asm(&[w.source], &TargetSpec::d16()).unwrap();
-        b.iter(|| black_box(d16_asm::build(Isa::D16, &[&asm]).unwrap()))
+    let asm = d16_cc::compile_to_asm(&[w.source], &TargetSpec::d16()).unwrap();
+    bench("compiler/assemble_link_latex_d16", 20, || {
+        black_box(d16_asm::build(Isa::D16, &[&asm]).unwrap())
     });
-    g.finish();
 }
 
-fn bench_fetch_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fetch_buffer");
+fn bench_fetch_buffer() {
     let addrs: Vec<u32> = (0..65536u32).map(|i| 0x1000 + (i * 2) % 8192).collect();
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("sequential_stream", |b| {
-        b.iter(|| {
-            let mut fb = d16_mem::FetchBuffer::new(8);
-            for &a in &addrs {
-                fb.fetch(a, 2);
-            }
-            black_box(fb.irequests)
-        })
+    bench_throughput("fetch_buffer/sequential_stream", 50, addrs.len() as u64, || {
+        let mut fb = d16_mem::FetchBuffer::new(8);
+        for &a in &addrs {
+            fb.fetch(a, 2);
+        }
+        black_box(fb.irequests)
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_encoders, bench_pipeline, bench_cache_replay, bench_compiler, bench_fetch_buffer
+fn main() {
+    bench_encoders();
+    bench_pipeline();
+    bench_cache_replay();
+    bench_compiler();
+    bench_fetch_buffer();
 }
-criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Table/figure regeneration benchmarks: one Criterion target per family
-//! of paper results, each timing the full regeneration pipeline (compile →
-//! run → derive rows) on a representative subset so `cargo bench` doubles
-//! as a continuous check that every experiment still produces sane values.
+//! Table/figure regeneration benchmarks: one target per family of paper
+//! results, each timing the full regeneration pipeline (compile → run →
+//! derive rows) on a representative subset so `cargo bench` doubles as a
+//! continuous check that every experiment still produces sane values.
 //!
 //! The full-suite regeneration lives in the `repro` binary
-//! (`cargo run --release -p d16-bench --bin repro -- --all`).
+//! (`cargo run --release -p d16-bench --bin repro -- --all`), which also
+//! emits the machine-readable `BENCH_repro.json` timing report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use d16_bench::harness::bench;
 use d16_core::{base_specs, experiments as ex, standard_specs, Suite};
 use std::hint::black_box;
 
@@ -17,64 +18,58 @@ fn subset(names: &[&str], full_grid: bool, traces: bool) -> Suite {
 }
 
 /// Figures 4/5 and Tables 6/7: density and path length.
-fn bench_density_and_path(c: &mut Criterion) {
-    c.bench_function("fig4_fig5_density_path_subset", |b| {
-        b.iter(|| {
-            let suite = subset(&["towers", "queens", "grep"], true, false);
-            let density = ex::fig4_relative_density(&suite);
-            let path = ex::fig5_path_length(&suite);
-            assert!(ex::average(&density) > 1.0, "DLXe must be bigger");
-            assert!(ex::average(&path) < 1.0, "DLXe path must be shorter");
-            black_box((density, path))
-        })
+fn bench_density_and_path() {
+    bench("fig4_fig5_density_path_subset", 10, || {
+        let suite = subset(&["towers", "queens", "grep"], true, false);
+        let density = ex::fig4_relative_density(&suite);
+        let path = ex::fig5_path_length(&suite);
+        assert!(ex::average(&density) > 1.0, "DLXe must be bigger");
+        assert!(ex::average(&path) < 1.0, "DLXe path must be shorter");
+        black_box((density, path))
     });
 }
 
 /// Figures 6-12, Tables 3/5: the feature-ablation grid.
-fn bench_feature_grid(c: &mut Criterion) {
-    c.bench_function("feature_grid_subset", |b| {
-        b.iter(|| {
-            let suite = subset(&["bubblesort", "dhrystone"], true, false);
-            let size = ex::code_size_grid(&suite);
-            let path = ex::path_length_grid(&suite);
-            let traffic = ex::table3_data_traffic(&suite);
-            black_box((size, path, traffic))
-        })
+fn bench_feature_grid() {
+    bench("feature_grid_subset", 10, || {
+        let suite = subset(&["bubblesort", "dhrystone"], true, false);
+        let size = ex::code_size_grid(&suite);
+        let path = ex::path_length_grid(&suite);
+        let traffic = ex::table3_data_traffic(&suite);
+        black_box((size, path, traffic))
     });
 }
 
 /// Figures 14/15, Tables 11/12: the cacheless memory sweep.
-fn bench_cacheless(c: &mut Criterion) {
-    c.bench_function("cacheless_cpi_subset", |b| {
-        b.iter(|| {
-            let suite = subset(&["pi", "towers"], false, false);
-            let f14 = ex::fig14_cacheless_cpi(&suite, 4);
-            let f15 = ex::fig15_fetch_saturation(&suite, 4);
-            let t11 = ex::table11_12_cycle_ratios(&suite, 4);
-            // Nonzero latency must erode the DLXe advantage.
-            assert!(t11.iter().all(|r| r.ratios[3] > r.ratios[0]));
-            black_box((f14, f15, t11))
-        })
+fn bench_cacheless() {
+    bench("cacheless_cpi_subset", 10, || {
+        let suite = subset(&["pi", "towers"], false, false);
+        let f14 = ex::fig14_cacheless_cpi(&suite, 4);
+        let f15 = ex::fig15_fetch_saturation(&suite, 4);
+        let t11 = ex::table11_12_cycle_ratios(&suite, 4);
+        // Nonzero latency must erode the DLXe advantage.
+        assert!(t11.iter().all(|r| r.ratios[3] > r.ratios[0]));
+        black_box((f14, f15, t11))
     });
 }
 
-/// Figures 16-19, Tables 13-16: the cache experiments.
-fn bench_cache_experiments(c: &mut Criterion) {
-    c.bench_function("cache_experiments_assem", |b| {
-        b.iter(|| {
-            let suite = subset(&["assem"], true, true);
-            let f16 = ex::fig16_icache_miss(&suite, "assem");
-            let f17 = ex::fig17_18_cache_cpi(&suite, "assem", 4096);
-            let f19 = ex::fig19_cache_traffic(&suite, "assem");
-            let grid = ex::miss_rate_grid(&suite, "assem");
-            black_box((f16, f17, f19, grid))
-        })
+/// Figures 16-19, Tables 13-16: the cache experiments. All four families
+/// extract from the suite's memoized single-pass grid replay, so this
+/// also times the `CacheBank` path.
+fn bench_cache_experiments() {
+    bench("cache_experiments_assem", 10, || {
+        let suite = subset(&["assem"], true, true);
+        let f16 = ex::fig16_icache_miss(&suite, "assem").expect("fig16");
+        let f17 = ex::fig17_18_cache_cpi(&suite, "assem", 4096).expect("fig17/18");
+        let f19 = ex::fig19_cache_traffic(&suite, "assem").expect("fig19");
+        let grid = ex::miss_rate_grid(&suite, "assem").expect("grid");
+        black_box((f16, f17, f19, grid))
     });
 }
 
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_density_and_path, bench_feature_grid, bench_cacheless, bench_cache_experiments
+fn main() {
+    bench_density_and_path();
+    bench_feature_grid();
+    bench_cacheless();
+    bench_cache_experiments();
 }
-criterion_main!(tables);

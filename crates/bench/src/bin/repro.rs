@@ -4,14 +4,40 @@
 //! repro --all                # everything (the default)
 //! repro --fig 4              # one figure
 //! repro --table 11           # one table
+//! repro --jobs 4             # worker threads (default: all cores)
+//! repro --smoke              # tiny 2-workload x 2-target run
+//! repro --bench-json FILE    # write a machine-readable timing report
 //! repro --list               # what is available
 //! ```
 //!
 //! Output is plain text, one block per table/figure, in the paper's
-//! numbering. See EXPERIMENTS.md for paper-vs-measured commentary.
+//! numbering. See EXPERIMENTS.md for paper-vs-measured commentary and the
+//! README's Performance section for how to read the `--bench-json` report
+//! (`BENCH_repro.json`).
 
+use d16_bench::json::Json;
 use d16_core::report::{f2, f3, pct, Table};
-use d16_core::{experiments as ex, Suite};
+use d16_core::{base_specs, default_jobs, experiments as ex, Suite};
+use d16_isa::Isa;
+use d16_workloads::Workload;
+use std::time::Instant;
+
+/// The value following a value-taking flag, or a clean usage error.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    let v = flag_value(args, i, flag);
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: invalid value `{v}`");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +45,9 @@ fn main() {
     let mut tables: Vec<u32> = Vec::new();
     let mut fpu_sweep = false;
     let mut all = args.is_empty();
+    let mut smoke = false;
+    let mut jobs = default_jobs();
+    let mut bench_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,13 +57,18 @@ fn main() {
                 return;
             }
             "--fpu-sweep" => fpu_sweep = true,
-            "--fig" => {
-                i += 1;
-                figs.push(args[i].parse().expect("figure number"));
+            "--smoke" => smoke = true,
+            "--fig" => figs.push(parsed_flag(&args, &mut i, "--fig")),
+            "--table" => tables.push(parsed_flag(&args, &mut i, "--table")),
+            "--jobs" => {
+                jobs = parsed_flag(&args, &mut i, "--jobs");
+                if jobs == 0 {
+                    eprintln!("--jobs must be at least 1");
+                    std::process::exit(2);
+                }
             }
-            "--table" => {
-                i += 1;
-                tables.push(args[i].parse().expect("table number"));
+            "--bench-json" => {
+                bench_json = Some(flag_value(&args, &mut i, "--bench-json").to_string());
             }
             other => {
                 eprintln!("unknown argument `{other}` (try --list)");
@@ -43,21 +77,72 @@ fn main() {
         }
         i += 1;
     }
+    if smoke && all {
+        eprintln!("--smoke collects only 2 workloads x 2 targets; it cannot serve --all");
+        std::process::exit(2);
+    }
     if all {
         figs = vec![4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
         tables = vec![3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+    } else if smoke && figs.is_empty() && tables.is_empty() {
+        // Everything derivable from the two unrestricted targets and the
+        // one collected cache benchmark.
+        figs = vec![4, 5, 16, 17, 18, 19];
+        tables = vec![13, 14];
     }
 
-    eprintln!("collecting the measurement grid (15 workloads x 5 targets)...");
-    let start = std::time::Instant::now();
-    let suite = match Suite::collect() {
+    // --- collect (the timed, parallel phase) ---------------------------
+    let smoke_workloads: Vec<&Workload> = ["towers", "assem"]
+        .iter()
+        .map(|n| d16_workloads::by_name(n).expect("smoke workload"))
+        .collect();
+    let collect = |jobs: usize| {
+        if smoke {
+            Suite::collect_for_jobs(&smoke_workloads, &base_specs(), true, jobs)
+        } else {
+            Suite::collect_jobs(jobs)
+        }
+    };
+    if smoke {
+        eprintln!("collecting the smoke grid (2 workloads x 2 targets, {jobs} jobs)...");
+    } else {
+        eprintln!("collecting the measurement grid (15 workloads x 5 targets, {jobs} jobs)...");
+    }
+    let start = Instant::now();
+    let suite = match collect(jobs) {
         Ok(s) => s,
-        Err((w, t, e)) => {
-            eprintln!("measurement failed for {w} on {t}: {e}");
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
             std::process::exit(1);
         }
     };
-    eprintln!("collected in {:.1}s", start.elapsed().as_secs_f64());
+    let collect_ns = start.elapsed().as_nanos();
+    eprintln!("collected in {:.1}s", collect_ns as f64 / 1e9);
+
+    // --- warm the single-pass cache grids (the other timed phase) ------
+    let trace_keys: Vec<(String, Isa)> = suite
+        .traces
+        .keys()
+        .map(|(w, isa)| {
+            (w.clone(), if isa == "D16" { Isa::D16 } else { Isa::Dlxe })
+        })
+        .collect();
+    let start = Instant::now();
+    for (w, isa) in &trace_keys {
+        if let Err(e) = suite.cache_grid(w, *isa) {
+            eprintln!("cache grid failed for ({w}, {isa}): {e}");
+            std::process::exit(1);
+        }
+    }
+    let grid_ns = start.elapsed().as_nanos();
+    if !trace_keys.is_empty() {
+        eprintln!(
+            "cache grids ({} traces x {} configs) in {:.1}s",
+            trace_keys.len(),
+            ex::cache_grid_configs().len(),
+            grid_ns as f64 / 1e9
+        );
+    }
 
     for f in &figs {
         print_fig(&suite, *f);
@@ -67,6 +152,40 @@ fn main() {
     }
     if fpu_sweep || all {
         print_fpu_sweep();
+    }
+
+    if let Some(path) = bench_json {
+        let sweeps: Vec<Json> = trace_keys
+            .iter()
+            .map(|(w, isa)| {
+                let t = suite.trace(w, *isa);
+                Json::obj()
+                    .with("workload", w.as_str())
+                    .with("isa", isa.name())
+                    .with("records", t.len())
+                    .with("memory_bytes", t.memory_bytes())
+                    .with("replays", t.replay_count())
+            })
+            .collect();
+        let report = Json::obj()
+            .with("schema", "bench_repro/1")
+            .with("smoke", smoke)
+            .with("jobs", jobs)
+            .with("cells", suite.cells.len())
+            .with("traces", suite.traces.len())
+            .with("collect_ns", collect_ns)
+            .with(
+                "cache_grid",
+                Json::obj()
+                    .with("ns", grid_ns)
+                    .with("configs", ex::cache_grid_configs().len())
+                    .with("sweeps", sweeps),
+            );
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }
 
@@ -101,6 +220,8 @@ fn print_list() {
     println!("figures: 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19");
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
+    println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
+    println!("         --bench-json FILE (machine-readable timing report)");
 }
 
 fn ratio_table(title: &str, rows: &[ex::RatioRow]) -> String {
@@ -191,14 +312,19 @@ fn print_fig(suite: &Suite, n: u32) {
         16 => {
             let mut out = String::new();
             for w in d16_workloads::cache_benchmarks() {
-                let mut t = Table::new(
-                    &format!("Figure 16: I-cache miss rates, {}", w.name),
-                    &["size", "D16", "DLXe"],
-                );
-                for p in ex::fig16_icache_miss(suite, w.name) {
-                    t.row(vec![format!("{}K", p.size / 1024), f3(p.d16), f3(p.dlxe)]);
+                match ex::fig16_icache_miss(suite, w.name) {
+                    Ok(points) => {
+                        let mut t = Table::new(
+                            &format!("Figure 16: I-cache miss rates, {}", w.name),
+                            &["size", "D16", "DLXe"],
+                        );
+                        for p in points {
+                            t.row(vec![format!("{}K", p.size / 1024), f3(p.d16), f3(p.dlxe)]);
+                        }
+                        out.push_str(&t.render());
+                    }
+                    Err(e) => out.push_str(&format!("Figure 16, {}: skipped ({e})\n\n", w.name)),
                 }
-                out.push_str(&t.render());
             }
             out
         }
@@ -206,33 +332,49 @@ fn print_fig(suite: &Suite, n: u32) {
             let size = if n == 17 { 4096 } else { 16384 };
             let mut out = String::new();
             for w in d16_workloads::cache_benchmarks() {
-                let mut t = Table::new(
-                    &format!("Figure {n}: CPI with {}K I+D caches, {}", size / 1024, w.name),
-                    &["miss penalty", "DLXe", "D16", "D16 normalized"],
-                );
-                for p in ex::fig17_18_cache_cpi(suite, w.name, size) {
-                    t.row(vec![
-                        p.penalty.to_string(),
-                        f2(p.dlxe_cpi),
-                        f2(p.d16_cpi),
-                        f2(p.d16_normalized),
-                    ]);
+                match ex::fig17_18_cache_cpi(suite, w.name, size) {
+                    Ok(points) => {
+                        let mut t = Table::new(
+                            &format!(
+                                "Figure {n}: CPI with {}K I+D caches, {}",
+                                size / 1024,
+                                w.name
+                            ),
+                            &["miss penalty", "DLXe", "D16", "D16 normalized"],
+                        );
+                        for p in points {
+                            t.row(vec![
+                                p.penalty.to_string(),
+                                f2(p.dlxe_cpi),
+                                f2(p.d16_cpi),
+                                f2(p.d16_normalized),
+                            ]);
+                        }
+                        out.push_str(&t.render());
+                    }
+                    Err(e) => {
+                        out.push_str(&format!("Figure {n}, {}: skipped ({e})\n\n", w.name))
+                    }
                 }
-                out.push_str(&t.render());
             }
             out
         }
         19 => {
             let mut out = String::new();
             for w in d16_workloads::cache_benchmarks() {
-                let mut t = Table::new(
-                    &format!("Figure 19: instruction traffic (words/cycle), {}", w.name),
-                    &["size", "DLXe", "D16"],
-                );
-                for p in ex::fig19_cache_traffic(suite, w.name) {
-                    t.row(vec![format!("{}K", p.size / 1024), f3(p.dlxe), f3(p.d16)]);
+                match ex::fig19_cache_traffic(suite, w.name) {
+                    Ok(points) => {
+                        let mut t = Table::new(
+                            &format!("Figure 19: instruction traffic (words/cycle), {}", w.name),
+                            &["size", "DLXe", "D16"],
+                        );
+                        for p in points {
+                            t.row(vec![format!("{}K", p.size / 1024), f3(p.dlxe), f3(p.d16)]);
+                        }
+                        out.push_str(&t.render());
+                    }
+                    Err(e) => out.push_str(&format!("Figure 19, {}: skipped ({e})\n\n", w.name)),
                 }
-                out.push_str(&t.render());
             }
             out
         }
@@ -387,23 +529,28 @@ fn print_table(suite: &Suite, n: u32) {
                 15 => "ipl",
                 _ => "latex",
             };
-            let mut t = Table::new(
-                &format!("Table {n}: cache miss rates for {w}"),
-                &["size", "block", "I D16", "I DLXe", "R D16", "R DLXe", "W D16", "W DLXe"],
-            );
-            for r in ex::miss_rate_grid(suite, w) {
-                t.row(vec![
-                    format!("{}K", r.size / 1024),
-                    r.block.to_string(),
-                    f3(r.insn.0),
-                    f3(r.insn.1),
-                    f3(r.read.0),
-                    f3(r.read.1),
-                    f3(r.write.0),
-                    f3(r.write.1),
-                ]);
+            match ex::miss_rate_grid(suite, w) {
+                Ok(rows) => {
+                    let mut t = Table::new(
+                        &format!("Table {n}: cache miss rates for {w}"),
+                        &["size", "block", "I D16", "I DLXe", "R D16", "R DLXe", "W D16", "W DLXe"],
+                    );
+                    for r in rows {
+                        t.row(vec![
+                            format!("{}K", r.size / 1024),
+                            r.block.to_string(),
+                            f3(r.insn.0),
+                            f3(r.insn.1),
+                            f3(r.read.0),
+                            f3(r.read.1),
+                            f3(r.write.0),
+                            f3(r.write.1),
+                        ]);
+                    }
+                    t.render()
+                }
+                Err(e) => format!("Table {n}, {w}: skipped ({e})\n"),
             }
-            t.render()
         }
         other => format!("no table {other} in the paper's evaluation\n"),
     };

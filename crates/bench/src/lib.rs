@@ -1,9 +1,313 @@
 //! # d16-bench — benchmarks and the reproduction harness
 //!
 //! * `repro` (binary): regenerates every table and figure of the paper —
-//!   `cargo run --release -p d16-bench --bin repro -- --all`.
+//!   `cargo run --release -p d16-bench --bin repro -- --all`. With
+//!   `--bench-json <path>` it also writes a machine-readable timing
+//!   report (`BENCH_repro.json`) covering end-to-end suite collection and
+//!   cache-grid regeneration.
 //! * `checksums` (binary): prints each workload's pinned checksum.
 //! * `benches/components.rs`: encoder/pipeline/cache/compiler throughput.
 //! * `benches/paper_tables.rs`: per-table regeneration timing + sanity.
 //! * `benches/ablations.rs`: design-choice ablations with asserted effect
 //!   directions (delay-slot scheduling, `cmpeqi`, wrap-around prefetch).
+//!
+//! The benches use the in-repo [`harness`] below instead of an external
+//! framework so the workspace builds offline with no registry access
+//! (DESIGN.md §7); each bench is a plain `fn main()` with
+//! `harness = false`.
+
+pub mod harness {
+    //! A deliberately small wall-clock timing harness: warm up, run a
+    //! fixed number of timed iterations, report min / mean / max. The
+    //! point is stable, machine-readable numbers with zero dependencies,
+    //! not statistical rigor — for that, profile the `repro` binary.
+
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// One benchmark's timing summary. Durations are nanoseconds per
+    /// iteration; `throughput_elems` (when set) lets reports derive
+    /// elements/second.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        pub name: String,
+        pub iters: u32,
+        pub min_ns: u128,
+        pub mean_ns: u128,
+        pub max_ns: u128,
+        pub throughput_elems: Option<u64>,
+    }
+
+    impl Measurement {
+        /// Elements per second at the mean iteration time, if a
+        /// throughput was declared.
+        pub fn elems_per_sec(&self) -> Option<f64> {
+            let n = self.throughput_elems?;
+            if self.mean_ns == 0 {
+                return None;
+            }
+            Some(n as f64 * 1e9 / self.mean_ns as f64)
+        }
+    }
+
+    /// Times `f` over `iters` iterations (plus one untimed warm-up),
+    /// printing a one-line summary and returning the measurement. The
+    /// closure's result is `black_box`ed so the work is not optimized
+    /// away.
+    pub fn bench<T>(name: &str, iters: u32, f: impl FnMut() -> T) -> Measurement {
+        let m = quiet_bench(name, iters, f);
+        print_line(&m);
+        m
+    }
+
+    /// Like [`bench`] but tags the measurement with an element count so
+    /// the summary line includes a throughput figure.
+    pub fn bench_throughput<T>(
+        name: &str,
+        iters: u32,
+        elems: u64,
+        f: impl FnMut() -> T,
+    ) -> Measurement {
+        let mut m = quiet_bench(name, iters, f);
+        m.throughput_elems = Some(elems);
+        print_line(&m);
+        m
+    }
+
+    /// [`bench`] without the summary line, for callers that render their
+    /// own report (the `repro` binary's JSON output).
+    pub fn quiet_bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+        assert!(iters > 0, "iters must be positive");
+        black_box(f());
+        let mut min = u128::MAX;
+        let mut max = 0u128;
+        let mut total = 0u128;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        Measurement {
+            name: name.to_string(),
+            iters,
+            min_ns: min,
+            mean_ns: total / u128::from(iters),
+            max_ns: max,
+            throughput_elems: None,
+        }
+    }
+
+    fn print_line(m: &Measurement) {
+        let fmt = |ns: u128| -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.3} s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.3} ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.3} us", ns as f64 / 1e3)
+            } else {
+                format!("{ns} ns")
+            }
+        };
+        match m.elems_per_sec() {
+            Some(eps) => println!(
+                "{:<44} {:>12}/iter  (min {:>12}, {} iters, {:.2} Melem/s)",
+                m.name,
+                fmt(m.mean_ns),
+                fmt(m.min_ns),
+                m.iters,
+                eps / 1e6
+            ),
+            None => println!(
+                "{:<44} {:>12}/iter  (min {:>12}, {} iters)",
+                m.name,
+                fmt(m.mean_ns),
+                fmt(m.min_ns),
+                m.iters
+            ),
+        }
+    }
+}
+
+pub mod json {
+    //! A minimal JSON value + serializer, enough for `BENCH_repro.json`.
+    //! Numbers are emitted via Rust's `Display` for `f64`/`u64`/`i64`
+    //! (non-finite floats become `null`, as JSON has no NaN/Inf).
+
+    use std::fmt;
+
+    /// A JSON value. Object keys keep insertion order.
+    #[derive(Clone, Debug)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn obj() -> Json {
+            Json::Obj(Vec::new())
+        }
+
+        /// Appends a key/value pair; builder-style.
+        pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+            match &mut self {
+                Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+                _ => panic!("Json::with on a non-object"),
+            }
+            self
+        }
+
+        /// Serializes with no insignificant whitespace.
+        pub fn to_string_compact(&self) -> String {
+            self.to_string()
+        }
+    }
+
+    impl From<bool> for Json {
+        fn from(v: bool) -> Json {
+            Json::Bool(v)
+        }
+    }
+    impl From<f64> for Json {
+        fn from(v: f64) -> Json {
+            Json::Num(v)
+        }
+    }
+    impl From<u32> for Json {
+        fn from(v: u32) -> Json {
+            Json::Num(f64::from(v))
+        }
+    }
+    impl From<u64> for Json {
+        fn from(v: u64) -> Json {
+            Json::Num(v as f64)
+        }
+    }
+    impl From<usize> for Json {
+        fn from(v: usize) -> Json {
+            Json::Num(v as f64)
+        }
+    }
+    impl From<u128> for Json {
+        fn from(v: u128) -> Json {
+            Json::Num(v as f64)
+        }
+    }
+    impl From<&str> for Json {
+        fn from(v: &str) -> Json {
+            Json::Str(v.to_string())
+        }
+    }
+    impl From<String> for Json {
+        fn from(v: String) -> Json {
+            Json::Str(v)
+        }
+    }
+    impl From<Vec<Json>> for Json {
+        fn from(v: Vec<Json>) -> Json {
+            Json::Arr(v)
+        }
+    }
+
+    impl fmt::Display for Json {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Json::Null => write!(f, "null"),
+                Json::Bool(b) => write!(f, "{b}"),
+                Json::Num(n) => {
+                    if n.is_finite() {
+                        // Integral values print without a trailing ".0" so
+                        // counters read as integers.
+                        if n.fract() == 0.0 && n.abs() < 9e15 {
+                            write!(f, "{}", *n as i64)
+                        } else {
+                            write!(f, "{n}")
+                        }
+                    } else {
+                        write!(f, "null")
+                    }
+                }
+                Json::Str(s) => {
+                    write!(f, "\"")?;
+                    for c in s.chars() {
+                        match c {
+                            '"' => write!(f, "\\\"")?,
+                            '\\' => write!(f, "\\\\")?,
+                            '\n' => write!(f, "\\n")?,
+                            '\r' => write!(f, "\\r")?,
+                            '\t' => write!(f, "\\t")?,
+                            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                            c => write!(f, "{c}")?,
+                        }
+                    }
+                    write!(f, "\"")
+                }
+                Json::Arr(items) => {
+                    write!(f, "[")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, "]")
+                }
+                Json::Obj(pairs) => {
+                    write!(f, "{{")?;
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+    }
+
+    /// A [`super::harness::Measurement`] as a JSON object.
+    pub fn measurement(m: &crate::harness::Measurement) -> Json {
+        let mut j = Json::obj()
+            .with("name", m.name.as_str())
+            .with("iters", m.iters)
+            .with("min_ns", m.min_ns)
+            .with("mean_ns", m.mean_ns)
+            .with("max_ns", m.max_ns);
+        if let Some(n) = m.throughput_elems {
+            j = j.with("throughput_elems", n);
+        }
+        j
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn escapes_and_shapes() {
+            let j = Json::obj()
+                .with("s", "a\"b\\c\nd")
+                .with("n", 42u64)
+                .with("f", 1.5f64)
+                .with("b", true)
+                .with("a", vec![Json::Null, Json::Num(3.0)]);
+            assert_eq!(
+                j.to_string(),
+                r#"{"s":"a\"b\\c\nd","n":42,"f":1.5,"b":true,"a":[null,3]}"#
+            );
+        }
+
+        #[test]
+        fn non_finite_is_null() {
+            assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        }
+    }
+}

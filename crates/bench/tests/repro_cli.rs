@@ -1,6 +1,8 @@
-//! Smoke tests for the `repro` command-line interface (argument handling
-//! only — the full regeneration is exercised by `--all` in release runs
-//! and by the criterion benches).
+//! Tests for the `repro` command-line interface: argument handling, plus
+//! one real end-to-end pass through `--smoke` (2 workloads x 2 targets,
+//! the cache grid on the one collected benchmark, and the `--bench-json`
+//! timing report). The full regeneration is exercised by `--all` in
+//! release runs.
 
 use std::process::Command;
 
@@ -24,4 +26,69 @@ fn unknown_flag_is_rejected() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown argument"));
+}
+
+#[test]
+fn smoke_rejects_all() {
+    let out = repro().args(["--smoke", "--all"]).output().expect("run repro");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = repro().args(["--jobs", "0", "--list"]).output().expect("run repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn missing_flag_value_is_rejected() {
+    for flag in ["--jobs", "--fig", "--table", "--bench-json"] {
+        let out = repro().arg(flag).output().expect("run repro");
+        assert!(!out.status.success(), "{flag} without a value must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("requires a value"), "{flag}: {err}");
+    }
+}
+
+#[test]
+fn non_numeric_flag_value_is_rejected() {
+    for flag in ["--jobs", "--fig", "--table"] {
+        let out = repro().args([flag, "banana"]).output().expect("run repro");
+        assert!(!out.status.success(), "{flag} banana must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid value"), "{flag}: {err}");
+    }
+}
+
+#[test]
+fn smoke_regenerates_and_reports_timing() {
+    let json_path = std::env::temp_dir().join(format!("bench_repro_{}.json", std::process::id()));
+    let out = repro()
+        .args(["--smoke", "--jobs", "2", "--bench-json"])
+        .arg(&json_path)
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The smoke set: headline figures plus the cache experiments for the
+    // one collected benchmark; the other cache benchmarks are skipped
+    // with a note, never silently.
+    assert!(text.contains("Figure 4"), "{text}");
+    assert!(text.contains("Figure 16: I-cache miss rates, assem"), "{text}");
+    assert!(text.contains("Table 14: cache miss rates for assem"), "{text}");
+    assert!(text.contains("Figure 16, ipl: skipped"), "{text}");
+
+    let report = std::fs::read_to_string(&json_path).expect("bench json written");
+    std::fs::remove_file(&json_path).ok();
+    for needle in [
+        "\"schema\":\"bench_repro/1\"",
+        "\"smoke\":true",
+        "\"jobs\":2",
+        "\"collect_ns\":",
+        "\"cache_grid\":",
+        "\"replays\":1",
+    ] {
+        assert!(report.contains(needle), "missing {needle} in {report}");
+    }
 }

@@ -5,7 +5,7 @@
 //! the paper (see DESIGN.md §5 for the index).
 
 use crate::measure::{build, Measurement};
-use crate::suite::Suite;
+use crate::suite::{Suite, SuiteError};
 use d16_cc::TargetSpec;
 use d16_isa::{EncodingParams, Insn, Isa};
 use d16_mem::{CacheConfig, CacheSystem};
@@ -406,11 +406,66 @@ pub fn table11_12_cycle_ratios(suite: &Suite, bus_bytes: u32) -> Vec<CycleRatioR
 // Cache experiments (Figures 16-19, Tables 13-16)
 // ------------------------------------------------------------------------
 
+/// Cache sizes of the paper's sweeps (Figures 16/19, Tables 14–16).
+pub const GRID_SIZES: [u32; 5] = [1024, 2048, 4096, 8192, 16384];
+
+/// Block sizes of the Tables 14–16 grids.
+pub const GRID_BLOCKS: [u32; 4] = [8, 16, 32, 64];
+
+/// Every cache configuration any experiment replays: the size × block
+/// grid of Tables 14–16, which also contains (at block 32) every point of
+/// Figures 16–19. One [`Suite::cache_grid`] sweep of a trace warms all of
+/// them at once.
+pub fn cache_grid_configs() -> Vec<CacheConfig> {
+    let mut out = Vec::with_capacity(GRID_SIZES.len() * GRID_BLOCKS.len());
+    for size in GRID_SIZES {
+        for block in GRID_BLOCKS {
+            out.push(CacheConfig {
+                size,
+                block,
+                sub_block: 8.min(block),
+                assoc: 1,
+                wrap_prefetch: true,
+            });
+        }
+    }
+    out
+}
+
+/// Index of a (size, block) point within [`cache_grid_configs`].
+///
+/// # Panics
+///
+/// Panics if the point is not on the grid.
+pub fn cache_grid_index(size: u32, block: u32) -> usize {
+    let si = GRID_SIZES.iter().position(|&s| s == size).unwrap_or_else(|| {
+        panic!("cache size {size} is not on the experiment grid {GRID_SIZES:?}")
+    });
+    let bi = GRID_BLOCKS.iter().position(|&b| b == block).unwrap_or_else(|| {
+        panic!("block size {block} is not on the experiment grid {GRID_BLOCKS:?}")
+    });
+    si * GRID_BLOCKS.len() + bi
+}
+
 /// Replays a recorded trace through the paper's split I/D caches.
-pub fn replay_cache(suite: &Suite, workload: &str, isa: Isa, icfg: CacheConfig, dcfg: CacheConfig) -> CacheSystem {
+///
+/// This is the legacy one-configuration-per-sweep path; the experiments
+/// read from the single-pass [`Suite::cache_grid`] instead, and a test
+/// asserts the two agree bit-for-bit.
+///
+/// # Errors
+///
+/// [`SuiteError::MissingTrace`] if the trace was never recorded.
+pub fn replay_cache(
+    suite: &Suite,
+    workload: &str,
+    isa: Isa,
+    icfg: CacheConfig,
+    dcfg: CacheConfig,
+) -> Result<CacheSystem, SuiteError> {
     let mut cs = CacheSystem::new(icfg, dcfg);
-    suite.trace(workload, isa).replay(&mut cs);
-    cs
+    suite.try_trace(workload, isa)?.replay(&mut cs);
+    Ok(cs)
 }
 
 /// One miss-rate point for Figure 16.
@@ -425,23 +480,24 @@ pub struct Fig16Point {
 }
 
 /// Figure 16: instruction-cache miss rates for 1K–16K caches.
-pub fn fig16_icache_miss(suite: &Suite, workload: &str) -> Vec<Fig16Point> {
-    [1024u32, 2048, 4096, 8192, 16384]
+///
+/// # Errors
+///
+/// [`SuiteError::MissingTrace`] if a needed trace was never recorded.
+pub fn fig16_icache_miss(suite: &Suite, workload: &str) -> Result<Vec<Fig16Point>, SuiteError> {
+    let d16 = suite.cache_grid(workload, Isa::D16)?;
+    let dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
+    Ok(GRID_SIZES
         .into_iter()
         .map(|size| {
-            let rate = |isa| {
-                let cs = replay_cache(
-                    suite,
-                    workload,
-                    isa,
-                    CacheConfig::paper(size, 32),
-                    CacheConfig::paper(size, 32),
-                );
-                cs.icache().read_miss_ratio()
-            };
-            Fig16Point { size, d16: rate(Isa::D16), dlxe: rate(Isa::Dlxe) }
+            let i = cache_grid_index(size, 32);
+            Fig16Point {
+                size,
+                d16: d16[i].icache().read_miss_ratio(),
+                dlxe: dlxe[i].icache().read_miss_ratio(),
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// One CPI point for Figures 17/18.
@@ -458,24 +514,22 @@ pub struct Fig17Point {
 }
 
 /// Figures 17 (4K caches) and 18 (16K): CPI against miss penalty.
-pub fn fig17_18_cache_cpi(suite: &Suite, workload: &str, cache_size: u32) -> Vec<Fig17Point> {
-    let d16_m = suite.get(workload, D16);
-    let dlxe_m = suite.get(workload, DLXE);
-    let cs_d16 = replay_cache(
-        suite,
-        workload,
-        Isa::D16,
-        CacheConfig::paper(cache_size, 32),
-        CacheConfig::paper(cache_size, 32),
-    );
-    let cs_dlxe = replay_cache(
-        suite,
-        workload,
-        Isa::Dlxe,
-        CacheConfig::paper(cache_size, 32),
-        CacheConfig::paper(cache_size, 32),
-    );
-    [4u64, 8, 12, 16]
+///
+/// # Errors
+///
+/// [`SuiteError`] if a needed cell or trace is absent.
+pub fn fig17_18_cache_cpi(
+    suite: &Suite,
+    workload: &str,
+    cache_size: u32,
+) -> Result<Vec<Fig17Point>, SuiteError> {
+    let d16_m = suite.try_get(workload, D16)?;
+    let dlxe_m = suite.try_get(workload, DLXE)?;
+    let i = cache_grid_index(cache_size, 32);
+    let grid_d16 = suite.cache_grid(workload, Isa::D16)?;
+    let grid_dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
+    let (cs_d16, cs_dlxe) = (&grid_d16[i], &grid_dlxe[i]);
+    Ok([4u64, 8, 12, 16]
         .into_iter()
         .map(|penalty| Fig17Point {
             penalty,
@@ -484,7 +538,7 @@ pub fn fig17_18_cache_cpi(suite: &Suite, workload: &str, cache_size: u32) -> Vec
             d16_normalized: cs_d16.cycles(&d16_m.stats, penalty) as f64
                 / dlxe_m.stats.insns as f64,
         })
-        .collect()
+        .collect())
 }
 
 /// One traffic point for Figure 19.
@@ -500,28 +554,26 @@ pub struct Fig19Point {
 
 /// Figure 19: instruction traffic (words/cycle) across cache sizes at a
 /// miss penalty of four cycles.
-pub fn fig19_cache_traffic(suite: &Suite, workload: &str) -> Vec<Fig19Point> {
-    [1024u32, 2048, 4096, 8192, 16384]
+///
+/// # Errors
+///
+/// [`SuiteError`] if a needed cell or trace is absent.
+pub fn fig19_cache_traffic(suite: &Suite, workload: &str) -> Result<Vec<Fig19Point>, SuiteError> {
+    let d16_m = suite.try_get(workload, D16)?;
+    let dlxe_m = suite.try_get(workload, DLXE)?;
+    let grid_d16 = suite.cache_grid(workload, Isa::D16)?;
+    let grid_dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
+    Ok(GRID_SIZES
         .into_iter()
         .map(|size| {
-            let point = |isa, target: &str| {
-                let m = suite.get(workload, target);
-                let cs = replay_cache(
-                    suite,
-                    workload,
-                    isa,
-                    CacheConfig::paper(size, 32),
-                    CacheConfig::paper(size, 32),
-                );
-                cs.itraffic_words_per_cycle(&m.stats, 4)
-            };
+            let i = cache_grid_index(size, 32);
             Fig19Point {
                 size,
-                dlxe: point(Isa::Dlxe, DLXE),
-                d16: point(Isa::D16, D16),
+                dlxe: grid_dlxe[i].itraffic_words_per_cycle(&dlxe_m.stats, 4),
+                d16: grid_d16[i].itraffic_words_per_cycle(&d16_m.stats, 4),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One row of the Tables 14–16 miss-rate grids.
@@ -541,18 +593,19 @@ pub struct MissGridRow {
 
 /// Tables 14–16: miss-rate grids over cache size × block size for one
 /// cache benchmark.
-pub fn miss_rate_grid(suite: &Suite, workload: &str) -> Vec<MissGridRow> {
+///
+/// # Errors
+///
+/// [`SuiteError::MissingTrace`] if a needed trace was never recorded.
+pub fn miss_rate_grid(suite: &Suite, workload: &str) -> Result<Vec<MissGridRow>, SuiteError> {
+    let grid_d16 = suite.cache_grid(workload, Isa::D16)?;
+    let grid_dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
     let mut out = Vec::new();
-    for size in [1024u32, 2048, 4096, 8192, 16384] {
-        for block in [8u32, 16, 32, 64] {
-            let rates = |isa| {
-                let cfg = CacheConfig { size, block, sub_block: 8.min(block), assoc: 1, wrap_prefetch: true };
-                let cs = replay_cache(suite, workload, isa, cfg, cfg);
-                let (i, r, w) = cs.miss_rates_per_access();
-                (i, r, w)
-            };
-            let d16 = rates(Isa::D16);
-            let dlxe = rates(Isa::Dlxe);
+    for size in GRID_SIZES {
+        for block in GRID_BLOCKS {
+            let i = cache_grid_index(size, block);
+            let d16 = grid_d16[i].miss_rates_per_access();
+            let dlxe = grid_dlxe[i].miss_rates_per_access();
             out.push(MissGridRow {
                 size,
                 block,
@@ -562,7 +615,7 @@ pub fn miss_rate_grid(suite: &Suite, workload: &str) -> Vec<MissGridRow> {
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Table 13: traffic and interlocks for the cache benchmarks.
@@ -584,12 +637,13 @@ pub struct Table13Row {
     pub writes: u64,
 }
 
-/// Computes Table 13.
+/// Computes Table 13. Cache benchmarks not collected into `suite` (e.g.
+/// in a `--smoke` run) are omitted from the rows.
 pub fn table13_cache_traffic(suite: &Suite) -> Vec<Table13Row> {
     let mut out = Vec::new();
     for w in d16_workloads::cache_benchmarks() {
         for (isa, target) in [("D16", D16), ("DLXe", DLXE)] {
-            let m = suite.get(w.name, target);
+            let Ok(m) = suite.try_get(w.name, target) else { continue };
             out.push(Table13Row {
                 workload: w.name.to_string(),
                 isa,

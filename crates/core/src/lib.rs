@@ -21,7 +21,7 @@ pub mod report;
 pub mod suite;
 
 pub use measure::{build, measure, Measurement, MeasureError};
-pub use suite::{base_specs, standard_specs, Suite};
+pub use suite::{base_specs, default_jobs, standard_specs, Suite, SuiteError};
 
 #[cfg(test)]
 mod tests {
@@ -62,7 +62,7 @@ mod tests {
     fn cache_replay_smoke() {
         let ws = [d16_workloads::by_name("assem").unwrap()];
         let suite = Suite::collect_for(&ws, &base_specs(), true).unwrap();
-        let miss = experiments::fig16_icache_miss(&suite, "assem");
+        let miss = experiments::fig16_icache_miss(&suite, "assem").unwrap();
         // Bigger caches never miss more; D16 misses at most as often as
         // DLXe at equal size (its working set is half the bytes).
         for pair in miss.windows(2) {
@@ -75,7 +75,7 @@ mod tests {
         let dlxe_mean: f64 = miss.iter().map(|p| p.dlxe).sum::<f64>() / miss.len() as f64;
         assert!(d16_mean <= dlxe_mean + 1e-9, "{d16_mean} vs {dlxe_mean}");
         assert!(miss[0].d16 <= miss[0].dlxe + 1e-9, "1K: {} vs {}", miss[0].d16, miss[0].dlxe);
-        let t = experiments::fig19_cache_traffic(&suite, "assem");
+        let t = experiments::fig19_cache_traffic(&suite, "assem").unwrap();
         let t_d16: f64 = t.iter().map(|p| p.d16).sum();
         let t_dlxe: f64 = t.iter().map(|p| p.dlxe).sum();
         assert!(t_d16 <= t_dlxe + 1e-9, "D16 I-traffic should be lower overall");

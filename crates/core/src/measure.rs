@@ -180,7 +180,7 @@ mod tests {
         let (m, trace) = measure(w, &TargetSpec::d16(), true).unwrap();
         let t = trace.unwrap();
         let fetches =
-            t.trace.iter().filter(|a| matches!(a, d16_sim::Access::Fetch(..))).count() as u64;
+            t.iter().filter(|a| matches!(a, d16_sim::Access::Fetch(..))).count() as u64;
         assert_eq!(fetches, m.stats.insns);
     }
 }

@@ -1,12 +1,24 @@
 //! Collecting the full measurement grid: every workload on every target
 //! configuration, plus access traces for the cache benchmarks.
+//!
+//! Collection fans the independent (workload, target) cells over a scoped
+//! worker pool ([`Suite::collect_for_jobs`]); results are assembled in
+//! work-item order, so the collected suite is byte-identical no matter how
+//! many threads ran. Recorded traces feed the cache experiments through a
+//! per-(workload, ISA) memoized single-pass grid replay
+//! ([`Suite::cache_grid`]), so the full 20-configuration cache study walks
+//! each trace exactly once.
 
 use crate::measure::{measure, Measurement, MeasureError};
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
+use d16_mem::{CacheBank, CacheSystem};
 use d16_sim::TraceRecorder;
 use d16_workloads::{Workload, SUITE};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The five configurations of the paper's grid (Tables 6–7):
 /// `D16/16/2, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3`.
@@ -25,6 +37,72 @@ pub fn base_specs() -> [TargetSpec; 2] {
     [TargetSpec::d16(), TargetSpec::dlxe()]
 }
 
+/// The number of worker threads [`Suite::collect`] uses by default.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Everything that can go wrong collecting or querying a [`Suite`].
+#[derive(Debug)]
+pub enum SuiteError {
+    /// A (workload, target) cell failed to build or run.
+    Measure {
+        /// Workload name.
+        workload: String,
+        /// Target label.
+        target: String,
+        /// The underlying failure.
+        source: MeasureError,
+    },
+    /// A workload exited with different checksums on different targets.
+    ChecksumMismatch {
+        /// Workload name.
+        workload: String,
+        /// Exit value on the first target.
+        expected: i32,
+        /// The disagreeing exit value.
+        got: i32,
+    },
+    /// A queried (workload, target) measurement was never collected.
+    MissingCell {
+        /// Workload name.
+        workload: String,
+        /// Target label.
+        target: String,
+    },
+    /// A queried (workload, ISA) trace was never recorded.
+    MissingTrace {
+        /// Workload name.
+        workload: String,
+        /// ISA name.
+        isa: String,
+    },
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Measure { workload, target, source } => {
+                write!(f, "measuring ({workload}, {target}): {source}")
+            }
+            SuiteError::ChecksumMismatch { workload, expected, got } => {
+                write!(f, "workload {workload}: targets disagree on the checksum ({expected} vs {got})")
+            }
+            SuiteError::MissingCell { workload, target } => {
+                write!(f, "cell ({workload}, {target}) not collected")
+            }
+            SuiteError::MissingTrace { workload, isa } => {
+                write!(f, "trace ({workload}, {isa}) not recorded (trace collection off, or not a cache benchmark)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// One collected cell, before assembly into the maps.
+type CellResult = Result<(Measurement, Option<TraceRecorder>), SuiteError>;
+
 /// The whole measurement grid.
 #[derive(Clone, Debug, Default)]
 pub struct Suite {
@@ -32,89 +110,215 @@ pub struct Suite {
     pub cells: BTreeMap<(String, String), Measurement>,
     /// `(workload, ISA name) -> trace`, for the cache benchmarks.
     pub traces: BTreeMap<(String, String), TraceRecorder>,
+    /// Memoized single-pass cache-grid replays, keyed like `traces`.
+    /// Shared across clones: the underlying cells and traces are
+    /// immutable once collected, so the replay results are too.
+    grid_memo: Arc<Mutex<BTreeMap<(String, String), Arc<Vec<CacheSystem>>>>>,
 }
 
 impl Suite {
-    /// Measures the given workloads under the given specs. Traces are
-    /// recorded for cache-benchmark workloads on the two unrestricted
-    /// machines when `trace_cache` is set.
+    /// Measures the given workloads under the given specs on `jobs`
+    /// worker threads. Traces are recorded for cache-benchmark workloads
+    /// on the two unrestricted machines when `trace_cache` is set.
+    ///
+    /// The (workload, spec) cells are independent, so they fan out over a
+    /// scoped thread pool; cells are assembled — and the reported error
+    /// chosen — in work-item order, making the result identical for every
+    /// `jobs` value.
     ///
     /// # Errors
     ///
-    /// Returns the failing (workload, target) pair with its error.
-    pub fn collect_for(
+    /// Returns the first failing cell (in work-item order) or the first
+    /// cross-target checksum disagreement.
+    pub fn collect_for_jobs(
         workloads: &[&Workload],
         specs: &[TargetSpec],
         trace_cache: bool,
-    ) -> Result<Suite, (String, String, MeasureError)> {
-        let mut suite = Suite::default();
-        for w in workloads {
-            for spec in specs {
-                let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
-                let want_trace = trace_cache && w.cache_benchmark && unrestricted;
-                let (m, trace) = measure(w, spec, want_trace)
-                    .map_err(|e| (w.name.to_string(), spec.label(), e))?;
-                if let Some(t) = trace {
-                    suite.traces.insert((w.name.to_string(), spec.isa.name().to_string()), t);
+        jobs: usize,
+    ) -> Result<Suite, SuiteError> {
+        let items: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|w| (0..specs.len()).map(move |s| (w, s)))
+            .collect();
+        let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
+            let w = workloads[wi];
+            let spec = &specs[si];
+            let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
+            let want_trace = trace_cache && w.cache_benchmark && unrestricted;
+            measure(w, spec, want_trace).map_err(|e| SuiteError::Measure {
+                workload: w.name.to_string(),
+                target: spec.label(),
+                source: e,
+            })
+        };
+
+        let jobs = jobs.max(1).min(items.len().max(1));
+        let mut results: Vec<Option<CellResult>> = Vec::new();
+        results.resize_with(items.len(), || None);
+        if jobs == 1 {
+            for (slot, item) in results.iter_mut().zip(&items) {
+                *slot = Some(run_cell(item));
+            }
+        } else {
+            // Work-stealing over a shared index; each worker keeps its
+            // finished cells locally and the main thread files them by
+            // index after the scope joins, so no ordering is lost.
+            let next = AtomicUsize::new(0);
+            let finished = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local: Vec<(usize, CellResult)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = items.get(i) else { break };
+                                local.push((i, run_cell(item)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(items.len());
+                for h in handles {
+                    all.extend(h.join().expect("collection worker panicked"));
                 }
-                suite.cells.insert((w.name.to_string(), spec.label()), m);
+                all
+            });
+            for (i, r) in finished {
+                results[i] = Some(r);
             }
         }
+
+        let mut suite = Suite::default();
+        for (&(wi, si), result) in items.iter().zip(results) {
+            let (m, trace) = result.expect("cell not collected")?;
+            let w = workloads[wi];
+            if let Some(t) = trace {
+                suite.traces.insert((w.name.to_string(), specs[si].isa.name().to_string()), t);
+            }
+            suite.cells.insert((w.name.to_string(), specs[si].label()), m);
+        }
+
         // Cross-target checksum agreement: the joint correctness gate.
         for w in workloads {
-            let mut exits: Vec<(String, i32)> = suite
+            let exits: Vec<i32> = suite
                 .cells
                 .iter()
                 .filter(|((name, _), _)| name == w.name)
-                .map(|((_, t), m)| (t.clone(), m.exit))
+                .map(|(_, m)| m.exit)
                 .collect();
-            exits.dedup_by_key(|(_, e)| *e);
-            if exits.iter().map(|(_, e)| e).collect::<std::collections::BTreeSet<_>>().len() > 1
-            {
-                return Err((
-                    w.name.to_string(),
-                    "all".into(),
-                    MeasureError::WrongChecksum {
-                        expected: exits[0].1,
-                        got: exits[1].1,
-                    },
-                ));
+            if let Some(&bad) = exits.iter().find(|&&e| e != exits[0]) {
+                return Err(SuiteError::ChecksumMismatch {
+                    workload: w.name.to_string(),
+                    expected: exits[0],
+                    got: bad,
+                });
             }
         }
         Ok(suite)
     }
 
-    /// Measures the full paper grid: all fifteen workloads on all five
-    /// configurations, with cache-benchmark traces.
+    /// [`Suite::collect_for_jobs`] with the default worker count.
     ///
     /// # Errors
     ///
-    /// See [`Suite::collect_for`].
-    pub fn collect() -> Result<Suite, (String, String, MeasureError)> {
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_for(
+        workloads: &[&Workload],
+        specs: &[TargetSpec],
+        trace_cache: bool,
+    ) -> Result<Suite, SuiteError> {
+        Self::collect_for_jobs(workloads, specs, trace_cache, default_jobs())
+    }
+
+    /// Measures the full paper grid: all fifteen workloads on all five
+    /// configurations, with cache-benchmark traces, on `jobs` threads.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_jobs(jobs: usize) -> Result<Suite, SuiteError> {
         let all: Vec<&Workload> = SUITE.iter().collect();
-        Self::collect_for(&all, &standard_specs(), true)
+        Self::collect_for_jobs(&all, &standard_specs(), true, jobs)
+    }
+
+    /// Measures the full paper grid with the default worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect() -> Result<Suite, SuiteError> {
+        Self::collect_jobs(default_jobs())
+    }
+
+    /// The measurement for one cell.
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::MissingCell`] naming the absent pair.
+    pub fn try_get(&self, workload: &str, target: &str) -> Result<&Measurement, SuiteError> {
+        self.cells.get(&(workload.to_string(), target.to_string())).ok_or_else(|| {
+            SuiteError::MissingCell { workload: workload.to_string(), target: target.to_string() }
+        })
     }
 
     /// The measurement for one cell.
     ///
     /// # Panics
     ///
-    /// Panics if the cell was not collected.
+    /// Panics if the cell was not collected, naming the missing pair.
     pub fn get(&self, workload: &str, target: &str) -> &Measurement {
-        self.cells
-            .get(&(workload.to_string(), target.to_string()))
-            .unwrap_or_else(|| panic!("cell ({workload}, {target}) not collected"))
+        self.try_get(workload, target).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The trace for a cache benchmark on an unrestricted machine.
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::MissingTrace`] naming the absent pair.
+    pub fn try_trace(&self, workload: &str, isa: Isa) -> Result<&TraceRecorder, SuiteError> {
+        self.traces.get(&(workload.to_string(), isa.name().to_string())).ok_or_else(|| {
+            SuiteError::MissingTrace {
+                workload: workload.to_string(),
+                isa: isa.name().to_string(),
+            }
+        })
     }
 
     /// The trace for a cache benchmark on an unrestricted machine.
     ///
     /// # Panics
     ///
-    /// Panics if the trace was not recorded.
+    /// Panics if the trace was not recorded, naming the missing pair.
     pub fn trace(&self, workload: &str, isa: Isa) -> &TraceRecorder {
-        self.traces
-            .get(&(workload.to_string(), isa.name().to_string()))
-            .unwrap_or_else(|| panic!("trace ({workload}, {isa}) not recorded"))
+        self.try_trace(workload, isa).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The cache-grid systems for one (workload, ISA) trace: every
+    /// configuration of [`crate::experiments::cache_grid_configs`], warmed
+    /// by a *single* shared sweep of the recorded trace through a
+    /// [`CacheBank`] and memoized. Figures 16–19 and Tables 13–16 all
+    /// read from this; index with
+    /// [`crate::experiments::cache_grid_index`].
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::MissingTrace`] if the trace was never recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memo lock is poisoned (a prior replay panicked).
+    pub fn cache_grid(&self, workload: &str, isa: Isa) -> Result<Arc<Vec<CacheSystem>>, SuiteError> {
+        let key = (workload.to_string(), isa.name().to_string());
+        let mut memo = self.grid_memo.lock().expect("grid memo poisoned");
+        if let Some(v) = memo.get(&key) {
+            return Ok(Arc::clone(v));
+        }
+        let trace = self.try_trace(workload, isa)?;
+        let mut bank = CacheBank::symmetric(&crate::experiments::cache_grid_configs());
+        trace.replay(&mut bank);
+        let systems = Arc::new(bank.into_systems());
+        memo.insert(key, Arc::clone(&systems));
+        Ok(systems)
     }
 
     /// Workload names present, in collection order.
@@ -149,5 +353,25 @@ mod tests {
         assert_eq!(suite.cells.len(), 2);
         assert_eq!(suite.get("towers", "D16/16/2").exit, 16383);
         assert_eq!(suite.workloads(), vec!["towers".to_string()]);
+    }
+
+    #[test]
+    fn missing_cells_are_named() {
+        let suite = Suite::default();
+        let e = suite.try_get("towers", "D16/16/2").unwrap_err();
+        assert!(
+            matches!(&e, SuiteError::MissingCell { workload, target }
+                if workload == "towers" && target == "D16/16/2"),
+            "{e:?}"
+        );
+        assert_eq!(e.to_string(), "cell (towers, D16/16/2) not collected");
+        let e = suite.try_trace("assem", Isa::D16).unwrap_err();
+        assert!(
+            matches!(&e, SuiteError::MissingTrace { workload, isa }
+                if workload == "assem" && isa == "D16"),
+            "{e:?}"
+        );
+        assert!(e.to_string().contains("assem"), "{e}");
+        assert!(suite.cache_grid("assem", Isa::D16).is_err());
     }
 }

@@ -1,174 +1,187 @@
-//! Property-based tests over the instruction encodings: arbitrary
+//! Property-style tests over the instruction encodings: arbitrary
 //! well-formed instructions round-trip through both encoders, the
 //! disassembler agrees with decode, and condition algebra holds.
+//!
+//! Deterministic `d16-testkit` generators replace the original `proptest`
+//! strategies (offline builds, DESIGN.md §7); the 16-bit decode spaces are
+//! now covered *exhaustively* rather than sampled.
 
 use d16_isa::{
     abi, d16, dlxe, AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, Insn, MemWidth, Prec,
 };
-use proptest::prelude::*;
+use d16_testkit::{cases, Rng};
 
-fn gpr16() -> impl Strategy<Value = Gpr> {
-    (0u8..16).prop_map(Gpr::new)
+fn gpr16(rng: &mut Rng) -> Gpr {
+    Gpr::new(rng.below(16) as u8)
 }
 
-fn fpr16() -> impl Strategy<Value = Fpr> {
-    (0u8..16).prop_map(Fpr::new)
+fn fpr16(rng: &mut Rng) -> Fpr {
+    Fpr::new(rng.below(16) as u8)
 }
 
-fn fpr16_even() -> impl Strategy<Value = Fpr> {
-    (0u8..8).prop_map(|n| Fpr::new(n * 2))
+fn fpr16_even(rng: &mut Rng) -> Fpr {
+    Fpr::new((rng.below(8) * 2) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Shra),
-    ]
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Shra,
+];
+
+const D16_CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ltu, Cond::Le, Cond::Leu];
+
+/// An arbitrary instruction inside the D16 envelope.
+fn d16_insn(rng: &mut Rng) -> Insn {
+    match rng.below(17) {
+        0 => {
+            let rd = gpr16(rng);
+            Insn::Alu { op: *rng.pick(&ALU_OPS), rd, rs1: rd, rs2: gpr16(rng) }
+        }
+        1 => {
+            let rd = gpr16(rng);
+            Insn::AluI { op: AluOp::Add, rd, rs1: rd, imm: rng.range_i32(0, 32) }
+        }
+        2 => Insn::Mvi { rd: gpr16(rng), imm: rng.range_i32(-256, 256) },
+        3 => Insn::Cmp {
+            cond: *rng.pick(&D16_CONDS),
+            rd: abi::R0,
+            rs1: gpr16(rng),
+            rs2: gpr16(rng),
+        },
+        4 => Insn::Ld {
+            w: MemWidth::W,
+            rd: gpr16(rng),
+            base: gpr16(rng),
+            disp: rng.range_i32(0, 32) * 4,
+        },
+        5 => Insn::St {
+            w: MemWidth::W,
+            rs: gpr16(rng),
+            base: gpr16(rng),
+            disp: rng.range_i32(0, 32) * 4,
+        },
+        6 => Insn::Ld { w: MemWidth::Bu, rd: gpr16(rng), base: gpr16(rng), disp: 0 },
+        7 => Insn::Ldc { rd: gpr16(rng), disp: rng.range_i32(0, 256) * 4 },
+        8 => Insn::Br { disp: rng.range_i32(-512, 512) * 2 },
+        9 => Insn::Bc { neg: rng.bool(), rs: abi::R0, disp: rng.range_i32(-512, 512) * 2 },
+        10 => Insn::J { target: gpr16(rng) },
+        11 => Insn::Jl { target: gpr16(rng) },
+        12 => {
+            let fd = fpr16_even(rng);
+            Insn::FAlu { op: FpOp::Mul, prec: Prec::D, fd, fs1: fd, fs2: fpr16_even(rng) }
+        }
+        13 => Insn::FCmp { cond: FpCond::Lt, prec: Prec::S, fs1: fpr16(rng), fs2: fpr16(rng) },
+        14 => Insn::Mtf { fd: fpr16(rng), rs: gpr16(rng) },
+        15 => Insn::Mff { rd: gpr16(rng), fs: fpr16(rng) },
+        16 => Insn::Cvt { op: CvtOp::Si2Sf, fd: fpr16(rng), fs: fpr16(rng) },
+        _ => Insn::Rdsr { rd: gpr16(rng) },
+    }
 }
 
-fn d16_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ltu),
-        Just(Cond::Le),
-        Just(Cond::Leu),
-    ]
-}
-
-/// Arbitrary instructions inside the D16 envelope.
-fn d16_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (alu_op(), gpr16(), gpr16())
-            .prop_map(|(op, rd, rs2)| Insn::Alu { op, rd, rs1: rd, rs2 }),
-        (gpr16(), 0i32..32).prop_map(|(rd, imm)| Insn::AluI {
-            op: AluOp::Add,
-            rd,
-            rs1: rd,
-            imm
-        }),
-        (gpr16(), -256i32..256).prop_map(|(rd, imm)| Insn::Mvi { rd, imm }),
-        (d16_cond(), gpr16(), gpr16())
-            .prop_map(|(cond, rs1, rs2)| Insn::Cmp { cond, rd: abi::R0, rs1, rs2 }),
-        (gpr16(), gpr16(), 0i32..32)
-            .prop_map(|(rd, base, d)| Insn::Ld { w: MemWidth::W, rd, base, disp: d * 4 }),
-        (gpr16(), gpr16(), 0i32..32)
-            .prop_map(|(rs, base, d)| Insn::St { w: MemWidth::W, rs, base, disp: d * 4 }),
-        (gpr16(), gpr16()).prop_map(|(rd, base)| Insn::Ld {
-            w: MemWidth::Bu,
-            rd,
-            base,
-            disp: 0
-        }),
-        (gpr16(), 0i32..256).prop_map(|(rd, d)| Insn::Ldc { rd, disp: d * 4 }),
-        (-512i32..512).prop_map(|d| Insn::Br { disp: d * 2 }),
-        (any::<bool>(), -512i32..512)
-            .prop_map(|(neg, d)| Insn::Bc { neg, rs: abi::R0, disp: d * 2 }),
-        gpr16().prop_map(|target| Insn::J { target }),
-        gpr16().prop_map(|target| Insn::Jl { target }),
-        (fpr16_even(), fpr16_even()).prop_map(|(fd, fs2)| Insn::FAlu {
-            op: FpOp::Mul,
-            prec: Prec::D,
-            fd,
-            fs1: fd,
-            fs2
-        }),
-        (fpr16(), fpr16()).prop_map(|(fs1, fs2)| Insn::FCmp {
-            cond: FpCond::Lt,
-            prec: Prec::S,
-            fs1,
-            fs2
-        }),
-        (fpr16(), gpr16()).prop_map(|(fd, rs)| Insn::Mtf { fd, rs }),
-        (gpr16(), fpr16()).prop_map(|(rd, fs)| Insn::Mff { rd, fs }),
-        (fpr16(), fpr16()).prop_map(|(fd, fs)| Insn::Cvt { op: CvtOp::Si2Sf, fd, fs }),
-        gpr16().prop_map(|rd| Insn::Rdsr { rd }),
-    ]
-}
-
-proptest! {
-    /// Every D16-expressible instruction round-trips bit-exactly.
-    #[test]
-    fn d16_roundtrip(insn in d16_insn()) {
+/// Every D16-expressible instruction round-trips bit-exactly.
+#[test]
+fn d16_roundtrip() {
+    cases(4000, |case, rng| {
+        let insn = d16_insn(rng);
         let w = d16::encode(&insn).expect("in-envelope instruction must encode");
         let back = d16::decode(w).expect("encoded word must decode");
-        prop_assert_eq!(back, insn);
-    }
+        assert_eq!(back, insn, "case {case}: {insn:?}");
+    });
+}
 
-    /// The same instructions are also DLXe-expressible (D16 is the more
-    /// constrained format) — except for its `ldc` literal load and for
-    /// branch displacements at halfword granularity, which only exist
-    /// because D16 instructions are two bytes.
-    #[test]
-    fn d16_envelope_is_inside_dlxe(insn in d16_insn()) {
-        let halfword_branch = matches!(
-            insn,
-            Insn::Br { disp } | Insn::Bc { disp, .. } if disp % 4 != 0
-        );
+/// The same instructions are also DLXe-expressible (D16 is the more
+/// constrained format) — except for its `ldc` literal load and for branch
+/// displacements at halfword granularity, which only exist because D16
+/// instructions are two bytes.
+#[test]
+fn d16_envelope_is_inside_dlxe() {
+    cases(4000, |case, rng| {
+        let insn = d16_insn(rng);
+        let halfword_branch =
+            matches!(insn, Insn::Br { disp } | Insn::Bc { disp, .. } if disp % 4 != 0);
         if matches!(insn, Insn::Ldc { .. }) {
-            prop_assert!(dlxe::encode(&insn).is_err(), "ldc is D16-only");
+            assert!(dlxe::encode(&insn).is_err(), "case {case}: ldc is D16-only");
         } else if halfword_branch {
-            prop_assert!(dlxe::encode(&insn).is_err(), "halfword reach is D16-only");
+            assert!(dlxe::encode(&insn).is_err(), "case {case}: halfword reach is D16-only");
         } else {
-            let w = dlxe::encode(&insn).expect("DLXe is a superset here");
+            let w = dlxe::encode(&insn)
+                .unwrap_or_else(|e| panic!("case {case}: DLXe is a superset here: {e:?}"));
             let back = dlxe::decode(w).expect("decode");
-            prop_assert_eq!(back, dlxe::canonicalize(insn));
+            assert_eq!(back, dlxe::canonicalize(insn), "case {case}");
         }
-    }
+    });
+}
 
-    /// Decode is total-or-error on random halfwords and agrees with
-    /// re-encoding.
-    #[test]
-    fn d16_decode_reencode(word in any::<u16>()) {
+/// Decode is total-or-error on *every* halfword and agrees with
+/// re-encoding (exhaustive over the 16-bit space).
+#[test]
+fn d16_decode_reencode() {
+    for word in 0..=u16::MAX {
         if let Ok(insn) = d16::decode(word) {
             let w2 = d16::encode(&insn).expect("decoded instruction re-encodes");
-            prop_assert_eq!(d16::decode(w2).unwrap(), insn);
+            assert_eq!(d16::decode(w2).unwrap(), insn, "word {word:#06x}");
         }
     }
+}
 
-    /// Same for random 32-bit words on DLXe.
-    #[test]
-    fn dlxe_decode_reencode(word in any::<u32>()) {
+/// Same for random 32-bit words on DLXe (the space is too big to
+/// exhaust).
+#[test]
+fn dlxe_decode_reencode() {
+    cases(200_000, |_, rng| {
+        let word = rng.next_u32();
         if let Ok(insn) = dlxe::decode(word) {
             let w2 = dlxe::encode(&insn).expect("decoded instruction re-encodes");
-            prop_assert_eq!(dlxe::decode(w2).unwrap(), insn);
+            assert_eq!(dlxe::decode(w2).unwrap(), insn, "word {word:#010x}");
         }
-    }
+    });
+}
 
-    /// Condition algebra: negation complements, swapping commutes.
-    #[test]
-    fn cond_algebra(a in any::<u32>(), b in any::<u32>(), idx in 0usize..10) {
-        let c = Cond::ALL[idx];
-        prop_assert_ne!(c.eval(a, b), c.negated().eval(a, b));
-        prop_assert_eq!(c.eval(a, b), c.swapped().eval(b, a));
-        prop_assert_eq!(c.negated().negated(), c);
-        prop_assert_eq!(c.swapped().swapped(), c);
-    }
+/// Condition algebra: negation complements, swapping commutes.
+#[test]
+fn cond_algebra() {
+    cases(10_000, |case, rng| {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        let c = *rng.pick(&Cond::ALL);
+        assert_ne!(c.eval(a, b), c.negated().eval(a, b), "case {case}: {c:?}");
+        assert_eq!(c.eval(a, b), c.swapped().eval(b, a), "case {case}: {c:?}");
+        assert_eq!(c.negated().negated(), c);
+        assert_eq!(c.swapped().swapped(), c);
+    });
+}
 
-    /// ALU evaluation matches two's-complement reference semantics.
-    #[test]
-    fn alu_reference(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
-        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
-        prop_assert_eq!(AluOp::Shl.eval(a, b), a.wrapping_shl(b & 31));
-        prop_assert_eq!(AluOp::Shra.eval(a, b), ((a as i32) >> (b & 31)) as u32);
-    }
+/// ALU evaluation matches two's-complement reference semantics.
+#[test]
+fn alu_reference() {
+    cases(10_000, |case, rng| {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b), "case {case}");
+        assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b), "case {case}");
+        assert_eq!(AluOp::Shl.eval(a, b), a.wrapping_shl(b & 31), "case {case}");
+        assert_eq!(AluOp::Shra.eval(a, b), ((a as i32) >> (b & 31)) as u32, "case {case}");
+    });
+}
 
-    /// Disassembly of any decodable D16 word is accepted structurally
-    /// (non-empty, starts with a known mnemonic character class).
-    #[test]
-    fn disasm_nonempty(word in any::<u16>()) {
+/// Disassembly of any decodable D16 word is accepted structurally
+/// (non-empty, starts with a known mnemonic character class) — exhaustive.
+#[test]
+fn disasm_nonempty() {
+    for word in 0..=u16::MAX {
         if let Ok(insn) = d16::decode(word) {
             let text = d16_isa::disassemble(&insn);
-            prop_assert!(!text.is_empty());
-            prop_assert!(text.chars().next().unwrap().is_ascii_lowercase());
+            assert!(!text.is_empty(), "word {word:#06x}");
+            assert!(
+                text.chars().next().unwrap().is_ascii_lowercase(),
+                "word {word:#06x}: {text}"
+            );
         }
     }
 }

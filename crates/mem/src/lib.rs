@@ -7,8 +7,12 @@
 //!   (Figures 14–15, Tables 11–12).
 //! * [`Cache`] / [`CacheSystem`] — dinero-equivalent sub-blocked caches
 //!   with wrap-around prefetch, split I/D (Figures 16–19, Tables 13–16).
+//! * [`CacheBank`] — a single-pass multi-configuration evaluator: one
+//!   trace sweep drives any number of `CacheSystem`s at once, which is
+//!   how the experiment harness regenerates every cache figure from
+//!   exactly one replay per trace.
 //!
-//! Both consume the access stream of `d16-sim`'s pipeline via the
+//! All of them consume the access stream of `d16-sim`'s pipeline via the
 //! [`d16_sim::AccessSink`] trait, so one functional run can drive any
 //! number of memory-system configurations through a recorded trace.
 //!
@@ -29,10 +33,12 @@
 //! assert_eq!(cs.icache().read_misses, 1);
 //! ```
 
+mod bank;
 mod cache;
 mod fetch;
 mod system;
 
+pub use bank::CacheBank;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use fetch::FetchBuffer;
 pub use system::CacheSystem;

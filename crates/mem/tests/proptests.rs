@@ -1,30 +1,36 @@
-//! Property tests on the memory models: accounting identities, inclusion
-//! monotonicity, and fetch-buffer conservation laws.
+//! Property-style tests on the memory models: accounting identities,
+//! inclusion monotonicity, fetch-buffer conservation laws, and the
+//! single-pass/serial replay equivalence of [`CacheBank`].
+//!
+//! Deterministic `d16-testkit` generators replace the original `proptest`
+//! strategies (offline builds, DESIGN.md §7).
 
-use d16_mem::{Cache, CacheConfig, CacheSystem, FetchBuffer};
-use d16_sim::AccessSink;
-use proptest::prelude::*;
+use d16_mem::{Cache, CacheBank, CacheConfig, CacheSystem, FetchBuffer};
+use d16_sim::{AccessSink, TraceRecorder};
+use d16_testkit::{cases, Rng};
 
-fn config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..4, 0u32..3, 0u32..2, any::<bool>()).prop_map(|(s, b, a, p)| CacheConfig {
-        size: 1024 << s,
-        block: 16 << b,
+fn config(rng: &mut Rng) -> CacheConfig {
+    CacheConfig {
+        size: 1024 << rng.below(4),
+        block: 16 << rng.below(3),
         sub_block: 8,
-        assoc: 1 << a,
-        wrap_prefetch: p,
-    })
+        assoc: 1 << rng.below(2),
+        wrap_prefetch: rng.bool(),
+    }
 }
 
-fn addr_stream() -> impl Strategy<Value = Vec<(u32, bool)>> {
-    // Mixed strided and random accesses over a 64K region; bool = write.
-    proptest::collection::vec((0u32..16384, any::<bool>()), 1..600)
-        .prop_map(|v| v.into_iter().map(|(a, w)| (a * 4, w)).collect())
+/// Mixed strided and random accesses over a 64K region; bool = write.
+fn addr_stream(rng: &mut Rng) -> Vec<(u32, bool)> {
+    let n = 1 + rng.below(600) as usize;
+    (0..n).map(|_| (rng.below(16384) * 4, rng.bool())).collect()
 }
 
-proptest! {
-    /// Hits + misses == accesses, misses <= accesses, ratios in [0, 1].
-    #[test]
-    fn cache_accounting(cfg in config(), stream in addr_stream()) {
+/// Hits + misses == accesses, misses <= accesses, ratios in [0, 1].
+#[test]
+fn cache_accounting() {
+    cases(200, |case, rng| {
+        let cfg = config(rng);
+        let stream = addr_stream(rng);
         let mut c = Cache::new(cfg);
         for (a, w) in &stream {
             if *w {
@@ -34,38 +40,54 @@ proptest! {
             }
         }
         let s = *c.stats();
-        prop_assert_eq!(s.accesses(), stream.len() as u64);
-        prop_assert!(s.read_misses <= s.reads);
-        prop_assert!(s.write_misses <= s.writes);
-        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+        assert_eq!(s.accesses(), stream.len() as u64, "case {case}");
+        assert!(s.read_misses <= s.reads, "case {case}");
+        assert!(s.write_misses <= s.writes, "case {case}");
+        assert!((0.0..=1.0).contains(&s.miss_ratio()), "case {case}");
         // Demand traffic only flows on read misses; each brings at most
         // two sub-blocks (demand + prefetch).
-        prop_assert!(s.demand_bytes_in <= s.read_misses * cfg.sub_block as u64);
-        prop_assert!(s.prefetch_bytes_in <= s.read_misses * cfg.sub_block as u64);
-    }
+        assert!(s.demand_bytes_in <= s.read_misses * u64::from(cfg.sub_block), "case {case}");
+        assert!(s.prefetch_bytes_in <= s.read_misses * u64::from(cfg.sub_block), "case {case}");
+    });
+}
 
-    /// Repeating the same stream twice never increases the second pass's
-    /// misses beyond the first (warm cache).
-    #[test]
-    fn warm_pass_not_worse(cfg in config(), stream in addr_stream()) {
+/// Repeating the same stream twice never increases the second pass's
+/// misses beyond the first (warm cache).
+#[test]
+fn warm_pass_not_worse() {
+    cases(200, |case, rng| {
+        let cfg = config(rng);
+        let stream = addr_stream(rng);
         let mut c1 = Cache::new(cfg);
         for (a, w) in &stream {
-            if *w { c1.write(*a); } else { c1.read(*a); }
+            if *w {
+                c1.write(*a);
+            } else {
+                c1.read(*a);
+            }
         }
         let cold = c1.stats().misses();
         for (a, w) in &stream {
-            if *w { c1.write(*a); } else { c1.read(*a); }
+            if *w {
+                c1.write(*a);
+            } else {
+                c1.read(*a);
+            }
         }
         let warm = c1.stats().misses() - cold;
-        prop_assert!(warm <= cold);
-    }
+        assert!(warm <= cold, "case {case}: warm {warm} > cold {cold}");
+    });
+}
 
-    /// A repeated-loop access pattern misses monotonically less as the
-    /// cache doubles (true for looping patterns in direct-mapped caches;
-    /// random single-pass streams can violate this via conflict luck, so
-    /// the property is stated over loops).
-    #[test]
-    fn loops_like_bigger_caches(seed in proptest::collection::vec(0u32..2048, 1..128)) {
+/// A repeated-loop access pattern misses monotonically less as the cache
+/// doubles (true for looping patterns in direct-mapped caches; random
+/// single-pass streams can violate this via conflict luck, so the
+/// property is stated over loops).
+#[test]
+fn loops_like_bigger_caches() {
+    cases(100, |case, rng| {
+        let n = 1 + rng.below(128) as usize;
+        let seed: Vec<u32> = (0..n).map(|_| rng.below(2048)).collect();
         let mut last = u64::MAX;
         for size in [1024u32, 2048, 4096, 8192] {
             let mut c = Cache::new(CacheConfig::paper(size, 32));
@@ -74,31 +96,37 @@ proptest! {
                     c.read(a * 4);
                 }
             }
-            prop_assert!(c.stats().misses() <= last);
+            assert!(c.stats().misses() <= last, "case {case}, size {size}");
             last = c.stats().misses();
         }
-    }
+    });
+}
 
-    /// Fetch-buffer conservation: requests never exceed fetches, and a
-    /// sequential stream of `n` halfwords over a `k`-wide bus makes
-    /// ceil(n / k) requests.
-    #[test]
-    fn fetch_buffer_conservation(n in 1u32..2000, shift in 0u32..2) {
-        let bus = 4u32 << shift; // 4 or 8 bytes
+/// Fetch-buffer conservation: requests never exceed fetches, and a
+/// sequential stream of `n` halfwords over a `k`-wide bus makes
+/// ceil(n / k) requests.
+#[test]
+fn fetch_buffer_conservation() {
+    cases(300, |case, rng| {
+        let n = 1 + rng.below(2000);
+        let bus = 4u32 << rng.below(2); // 4 or 8 bytes
         let mut fb = FetchBuffer::new(bus);
         for i in 0..n {
             fb.fetch(0x1000 + i * 2, 2);
         }
-        prop_assert_eq!(fb.instructions, n as u64);
-        prop_assert!(fb.irequests <= n as u64);
+        assert_eq!(fb.instructions, u64::from(n), "case {case}");
+        assert!(fb.irequests <= u64::from(n), "case {case}");
         let k = bus / 2;
-        let expected = (n + k - 1) / k;
-        prop_assert_eq!(fb.irequests, expected as u64);
-    }
+        let expected = n.div_ceil(k);
+        assert_eq!(fb.irequests, u64::from(expected), "case {case}");
+    });
+}
 
-    /// The split system routes fetches and data to different caches.
-    #[test]
-    fn split_system_routing(stream in addr_stream()) {
+/// The split system routes fetches and data to different caches.
+#[test]
+fn split_system_routing() {
+    cases(200, |case, rng| {
+        let stream = addr_stream(rng);
         let mut cs = CacheSystem::paper(2048);
         let mut fetches = 0u64;
         let mut reads = 0u64;
@@ -115,8 +143,47 @@ proptest! {
                 reads += 1;
             }
         }
-        prop_assert_eq!(cs.icache().reads, fetches);
-        prop_assert_eq!(cs.dcache().reads, reads);
-        prop_assert_eq!(cs.dcache().writes, writes);
-    }
+        assert_eq!(cs.icache().reads, fetches, "case {case}");
+        assert_eq!(cs.dcache().reads, reads, "case {case}");
+        assert_eq!(cs.dcache().writes, writes, "case {case}");
+    });
+}
+
+/// The differential gate for the single-pass engine: feeding a random
+/// trace through a [`CacheBank`] of N configurations must produce, for
+/// every member, statistics bit-identical to a dedicated serial replay of
+/// the same trace through that configuration alone.
+#[test]
+fn bank_single_pass_equals_serial_replays() {
+    cases(60, |case, rng| {
+        // A random trace with all three access kinds and mixed widths.
+        let mut trace = TraceRecorder::new();
+        let n = 200 + rng.below(2000);
+        let mut pc = 0x1000u32;
+        for _ in 0..n {
+            match rng.below(4) {
+                0 | 1 => {
+                    trace.fetch(pc, if rng.bool() { 2 } else { 4 });
+                    // Mostly sequential with occasional branches, like a
+                    // real instruction stream.
+                    pc = if rng.below(8) == 0 { rng.below(16384) * 2 } else { pc + 4 };
+                }
+                2 => trace.read(rng.below(16384) * 4, *rng.pick(&[1u8, 2, 4])),
+                _ => trace.write(rng.below(16384) * 4, *rng.pick(&[1u8, 2, 4])),
+            }
+        }
+        // A random set of 1-6 distinct-ish configurations.
+        let ncfg = 1 + rng.below(6) as usize;
+        let cfgs: Vec<CacheConfig> = (0..ncfg).map(|_| config(rng)).collect();
+
+        let mut bank = CacheBank::symmetric(&cfgs);
+        trace.replay(&mut bank);
+
+        for (cfg, banked) in cfgs.iter().zip(bank.systems()) {
+            let mut solo = CacheSystem::new(*cfg, *cfg);
+            trace.replay(&mut solo);
+            assert_eq!(banked.icache(), solo.icache(), "case {case}, cfg {cfg:?}");
+            assert_eq!(banked.dcache(), solo.dcache(), "case {case}, cfg {cfg:?}");
+        }
+    });
 }

@@ -1,6 +1,8 @@
 //! Memory-access observation: the interface between the pipeline and the
 //! memory-system models in `d16-mem`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Receives every memory reference the pipeline makes, in program order.
 ///
 /// Cache and fetch-buffer models implement this to measure traffic and miss
@@ -51,15 +53,56 @@ impl Access {
             Access::Fetch(_, b) | Access::Read(_, b) | Access::Write(_, b) => *b,
         }
     }
+
+    fn kind(&self) -> usize {
+        match self {
+            Access::Fetch(..) => 0,
+            Access::Read(..) => 1,
+            Access::Write(..) => 2,
+        }
+    }
+}
+
+// Header-byte layout: bits 0-1 kind, bits 2-3 width code, bits 4-5 address
+// tag. Widths are restricted to {1, 2, 4, 8} — everything the pipeline and
+// the fetch-buffer models emit.
+const WIDTHS: [u8; 4] = [1, 2, 4, 8];
+
+const TAG_SEQ: u8 = 0; // addr == next expected address for this kind
+const TAG_D8: u8 = 1; // i8 delta from the expected address
+const TAG_D16: u8 = 2; // i16 delta (little-endian)
+const TAG_ABS: u8 = 3; // absolute u32 (little-endian)
+
+fn width_code(bytes: u8) -> u8 {
+    match bytes {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        other => panic!("unencodable access width {other} (expected 1, 2, 4, or 8)"),
+    }
 }
 
 /// Records the full access trace for later replay through several cache
 /// configurations — one functional run, many memory-system experiments,
 /// exactly how the paper drove `dinero`.
-#[derive(Clone, Debug, Default)]
+///
+/// Storage is a delta-compressed byte stream, not a `Vec` of [`Access`]:
+/// each record is one header byte plus 0–4 address bytes, keyed off the
+/// previous access of the same kind. Instruction streams are mostly
+/// sequential and data streams mostly local, so real traces land near one
+/// to two bytes per reference instead of the eight an enum vector costs —
+/// see [`TraceRecorder::memory_bytes`]. The recorder also counts replays
+/// ([`TraceRecorder::replay_count`]) so experiments can assert a trace was
+/// swept exactly once.
+#[derive(Debug, Default)]
 pub struct TraceRecorder {
-    /// The recorded references in program order.
-    pub trace: Vec<Access>,
+    bytes: Vec<u8>,
+    len: usize,
+    /// Expected next address per kind (previous addr + previous width);
+    /// mirrors the decoder's state.
+    next: [u32; 3],
+    replays: AtomicU64,
 }
 
 impl TraceRecorder {
@@ -68,27 +111,141 @@ impl TraceRecorder {
         Self::default()
     }
 
-    /// Replays the trace into another sink.
+    /// Number of recorded references.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of storage the encoded trace occupies (excluding unused
+    /// capacity) — the figure the compact representation optimizes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// How many times [`TraceRecorder::replay`] has run over this trace.
+    pub fn replay_count(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Appends one reference to the trace.
+    pub fn push(&mut self, a: Access) {
+        let kind = a.kind();
+        let (addr, bytes) = (a.addr(), a.bytes());
+        let header = kind as u8 | (width_code(bytes) << 2);
+        let delta = addr.wrapping_sub(self.next[kind]) as i32;
+        if delta == 0 {
+            self.bytes.push(header | (TAG_SEQ << 4));
+        } else if let Ok(d) = i8::try_from(delta) {
+            self.bytes.push(header | (TAG_D8 << 4));
+            self.bytes.push(d as u8);
+        } else if let Ok(d) = i16::try_from(delta) {
+            self.bytes.push(header | (TAG_D16 << 4));
+            self.bytes.extend_from_slice(&d.to_le_bytes());
+        } else {
+            self.bytes.push(header | (TAG_ABS << 4));
+            self.bytes.extend_from_slice(&addr.to_le_bytes());
+        }
+        self.next[kind] = addr.wrapping_add(u32::from(bytes));
+        self.len += 1;
+    }
+
+    /// The recorded references, decoded in program order.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter { bytes: &self.bytes, pos: 0, next: [0; 3] }
+    }
+
+    /// Replays the trace into another sink and bumps the replay counter.
     pub fn replay(&self, sink: &mut impl AccessSink) {
-        for a in &self.trace {
-            match *a {
+        for a in self.iter() {
+            match a {
                 Access::Fetch(addr, b) => sink.fetch(addr, b),
                 Access::Read(addr, b) => sink.read(addr, b),
                 Access::Write(addr, b) => sink.write(addr, b),
             }
         }
+        self.replays.fetch_add(1, Ordering::Relaxed);
     }
 }
 
+impl Clone for TraceRecorder {
+    fn clone(&self) -> Self {
+        TraceRecorder {
+            bytes: self.bytes.clone(),
+            len: self.len,
+            next: self.next,
+            replays: AtomicU64::new(self.replay_count()),
+        }
+    }
+}
+
+/// Equality is over the recorded references only; the replay counter is
+/// bookkeeping, not trace content.
+impl PartialEq for TraceRecorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.bytes == other.bytes
+    }
+}
+impl Eq for TraceRecorder {}
+
 impl AccessSink for TraceRecorder {
     fn fetch(&mut self, addr: u32, bytes: u8) {
-        self.trace.push(Access::Fetch(addr, bytes));
+        self.push(Access::Fetch(addr, bytes));
     }
     fn read(&mut self, addr: u32, bytes: u8) {
-        self.trace.push(Access::Read(addr, bytes));
+        self.push(Access::Read(addr, bytes));
     }
     fn write(&mut self, addr: u32, bytes: u8) {
-        self.trace.push(Access::Write(addr, bytes));
+        self.push(Access::Write(addr, bytes));
+    }
+}
+
+/// Decoding iterator over a [`TraceRecorder`]'s byte stream.
+#[derive(Clone, Debug)]
+pub struct TraceIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    next: [u32; 3],
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let header = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        let kind = usize::from(header & 0x3);
+        let bytes = WIDTHS[usize::from((header >> 2) & 0x3)];
+        let addr = match (header >> 4) & 0x3 {
+            TAG_SEQ => self.next[kind],
+            TAG_D8 => {
+                let d = self.bytes[self.pos] as i8;
+                self.pos += 1;
+                self.next[kind].wrapping_add(d as u32)
+            }
+            TAG_D16 => {
+                let d = i16::from_le_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]);
+                self.pos += 2;
+                self.next[kind].wrapping_add(d as u32)
+            }
+            _ => {
+                let a = u32::from_le_bytes(
+                    self.bytes[self.pos..self.pos + 4].try_into().unwrap(),
+                );
+                self.pos += 4;
+                a
+            }
+        };
+        self.next[kind] = addr.wrapping_add(u32::from(bytes));
+        Some(match kind {
+            0 => Access::Fetch(addr, bytes),
+            1 => Access::Read(addr, bytes),
+            _ => Access::Write(addr, bytes),
+        })
     }
 }
 
@@ -104,9 +261,60 @@ mod tests {
         r.write(0x2004, 1);
         let mut out = TraceRecorder::new();
         r.replay(&mut out);
-        assert_eq!(out.trace, r.trace);
-        assert_eq!(r.trace[1], Access::Read(0x2000, 2));
-        assert_eq!(r.trace[1].addr(), 0x2000);
-        assert_eq!(r.trace[2].bytes(), 1);
+        assert_eq!(out, r);
+        let v: Vec<Access> = r.iter().collect();
+        assert_eq!(v[1], Access::Read(0x2000, 2));
+        assert_eq!(v[1].addr(), 0x2000);
+        assert_eq!(v[2].bytes(), 1);
+        assert_eq!(r.replay_count(), 1);
+        assert_eq!(out.replay_count(), 0);
+    }
+
+    #[test]
+    fn encoding_roundtrips_every_tag() {
+        let records = [
+            Access::Fetch(0, 2),            // seq from reset state
+            Access::Fetch(2, 2),            // seq
+            Access::Fetch(100, 2),          // i8 delta
+            Access::Fetch(40_000, 4),       // i16 delta
+            Access::Fetch(0xDEAD_0000, 4),  // absolute
+            Access::Read(0xDEAD_0010, 4),   // per-kind state: independent of fetches
+            Access::Read(0xDEAD_0014, 8),   // seq
+            Access::Write(0xDEAD_0012, 1),  // write state independent of reads
+            Access::Write(0, 2),            // absolute backwards
+            Access::Read(0xDEAD_0000, 1),   // negative i8/i16 delta path
+        ];
+        let mut r = TraceRecorder::new();
+        for a in records {
+            r.push(a);
+        }
+        assert_eq!(r.iter().collect::<Vec<_>>(), records);
+        assert_eq!(r.len(), records.len());
+    }
+
+    #[test]
+    fn sequential_stream_is_about_one_byte_per_record() {
+        let mut r = TraceRecorder::new();
+        for i in 0..10_000u32 {
+            r.fetch(0x1000 + i * 2, 2);
+        }
+        // First record pays a delta; the rest are single header bytes.
+        assert!(r.memory_bytes() <= 10_000 + 4, "{} bytes", r.memory_bytes());
+        assert_eq!(r.len(), 10_000);
+        let decoded: Vec<Access> = r.iter().collect();
+        assert_eq!(decoded[9_999], Access::Fetch(0x1000 + 9_999 * 2, 2));
+    }
+
+    #[test]
+    fn clone_preserves_trace_and_counter() {
+        let mut r = TraceRecorder::new();
+        r.fetch(8, 4);
+        r.replay(&mut NullSink);
+        let c = r.clone();
+        assert_eq!(c, r);
+        assert_eq!(c.replay_count(), 1);
+        c.replay(&mut NullSink);
+        assert_eq!(c.replay_count(), 2);
+        assert_eq!(r.replay_count(), 1, "clones count replays independently");
     }
 }

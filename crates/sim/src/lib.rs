@@ -30,7 +30,7 @@ mod access;
 mod machine;
 mod stats;
 
-pub use access::{Access, AccessSink, NullSink, TraceRecorder};
+pub use access::{Access, AccessSink, NullSink, TraceIter, TraceRecorder};
 pub use machine::{FpuLatency, Machine, SimError};
 pub use stats::{ExecStats, StopReason};
 
@@ -345,9 +345,9 @@ v:      .word 3, 0
         let mut m = Machine::load(&image);
         let mut rec = TraceRecorder::new();
         m.run(100, &mut rec).unwrap();
-        let fetches = rec.trace.iter().filter(|a| matches!(a, Access::Fetch(..))).count();
-        let reads = rec.trace.iter().filter(|a| matches!(a, Access::Read(..))).count();
-        let writes = rec.trace.iter().filter(|a| matches!(a, Access::Write(..))).count();
+        let fetches = rec.iter().filter(|a| matches!(a, Access::Fetch(..))).count();
+        let reads = rec.iter().filter(|a| matches!(a, Access::Read(..))).count();
+        let writes = rec.iter().filter(|a| matches!(a, Access::Write(..))).count();
         assert_eq!(fetches as u64, m.stats().insns);
         assert_eq!(reads as u64, m.stats().loads);
         assert_eq!(writes as u64, m.stats().stores);

@@ -1,0 +1,150 @@
+//! # d16-testkit — deterministic property-test support
+//!
+//! The repository's property-style tests originally used `proptest`, and
+//! its benches used `criterion`. Both are external crates, and this
+//! repository must build and test in fully offline environments with no
+//! registry access (DESIGN.md §7). This crate replaces the part of those
+//! libraries we actually used: a small, fast, *deterministic* PRNG plus a
+//! case-runner, so every test is reproducible from a fixed seed and
+//! failures print the case number that produced them.
+//!
+//! ```
+//! use d16_testkit::{cases, Rng};
+//!
+//! let mut rng = Rng::new(42);
+//! let x = rng.below(10);
+//! assert!(x < 10);
+//!
+//! cases(100, |case, rng| {
+//!     let a = rng.next_u32();
+//!     assert_eq!(a ^ a, 0, "case {case}");
+//! });
+//! ```
+
+/// A SplitMix64 pseudo-random generator: tiny, fast, and statistically
+/// solid for test-input generation (it is the seeding generator of choice
+/// for xoshiro-family PRNGs).
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "Rng::below(0)");
+        // Lemire's multiply-shift reduction; the bias is < 2^-32 and
+        // irrelevant for test generation.
+        ((u64::from(self.next_u32()) * u64::from(n)) >> 32) as u32
+    }
+
+    /// A uniformly random value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i64 - lo as i64) as u64;
+        let off = (u128::from(self.next_u64()) * u128::from(span) >> 64) as i64;
+        (lo as i64 + off) as i32
+    }
+
+    /// A uniformly random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u32) as usize]
+    }
+}
+
+/// Runs `f` for `n` independent cases, each with its own seeded generator.
+/// The case index is passed so assertion messages can name the failing
+/// case; re-running the test replays the identical inputs.
+pub fn cases(n: usize, mut f: impl FnMut(usize, &mut Rng)) {
+    for case in 0..n {
+        // Decorrelate streams: a fixed base xor a mixed case index.
+        let mut rng = Rng::new(0xD16_CAFE ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        f(case, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+            let v = r.range_i32(-5, 6);
+            assert!((-5..6).contains(&v));
+        }
+        // Both endpoints of a range are reachable.
+        let mut seen = [false; 11];
+        for _ in 0..10_000 {
+            seen[(r.range_i32(-5, 6) + 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let xs = [1, 2, 3, 4];
+        let mut r = Rng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[*r.pick(&xs) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cases_passes_distinct_rngs() {
+        let mut firsts = Vec::new();
+        cases(32, |_, rng| firsts.push(rng.next_u64()));
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 32, "case streams must differ");
+    }
+}

@@ -1,11 +1,14 @@
-//! Property-based differential testing: random Mini-C programs are
+//! Property-style differential testing: random Mini-C programs are
 //! evaluated by a reference evaluator (host arithmetic with the machine's
 //! wrapping semantics) and by the full stack (compile → assemble → link →
 //! simulate) on every target. All answers must agree.
+//!
+//! Deterministic `d16-testkit` generators replace the original `proptest`
+//! strategies (offline builds, DESIGN.md §7).
 
 use d16_cc::TargetSpec;
 use d16_sim::{Machine, NullSink, StopReason};
-use proptest::prelude::*;
+use d16_testkit::{cases, Rng};
 
 /// A tiny expression AST we can both print as Mini-C and evaluate.
 #[derive(Clone, Debug)]
@@ -128,32 +131,39 @@ fn print_e(e: &E, out: &mut String) {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-512i32..512).prop_map(E::Lit),
-        (0usize..NVARS).prop_map(E::Var),
-        any::<i32>().prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            inner.clone().prop_map(|a| E::Not(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::Ternary(Box::new(c), Box::new(t), Box::new(f))),
-        ]
-    })
+fn leaf(rng: &mut Rng) -> E {
+    match rng.below(3) {
+        0 => E::Lit(rng.range_i32(-512, 512)),
+        1 => E::Var(rng.below(NVARS as u32) as usize),
+        _ => E::Lit(rng.next_u32() as i32),
+    }
+}
+
+/// A random expression of bounded depth (matching the original strategy's
+/// recursion limit of 4).
+fn arb_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(5) == 0 {
+        return leaf(rng);
+    }
+    let bx = |rng: &mut Rng, d| Box::new(arb_expr(rng, d));
+    let d = depth - 1;
+    match rng.below(15) {
+        0 => E::Add(bx(rng, d), bx(rng, d)),
+        1 => E::Sub(bx(rng, d), bx(rng, d)),
+        2 => E::Mul(bx(rng, d), bx(rng, d)),
+        3 => E::Div(bx(rng, d), bx(rng, d)),
+        4 => E::Rem(bx(rng, d), bx(rng, d)),
+        5 => E::And(bx(rng, d), bx(rng, d)),
+        6 => E::Or(bx(rng, d), bx(rng, d)),
+        7 => E::Xor(bx(rng, d), bx(rng, d)),
+        8 => E::Shl(bx(rng, d), bx(rng, d)),
+        9 => E::Shr(bx(rng, d), bx(rng, d)),
+        10 => E::Lt(bx(rng, d), bx(rng, d)),
+        11 => E::Eq(bx(rng, d), bx(rng, d)),
+        12 => E::Neg(bx(rng, d)),
+        13 => E::Not(bx(rng, d)),
+        _ => E::Ternary(bx(rng, d), bx(rng, d), bx(rng, d)),
+    }
 }
 
 fn program_for(e: &E, vars: &[i32; NVARS]) -> String {
@@ -178,18 +188,21 @@ fn run_on(src: &str, spec: &TargetSpec) -> i32 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    /// Host-evaluated expressions equal the simulated result on every
-    /// target configuration.
-    #[test]
-    fn random_expressions_agree(
-        e in arb_expr(),
-        vars in proptest::array::uniform4(any::<i32>()),
-    ) {
+/// Host-evaluated expressions equal the simulated result on every target
+/// configuration.
+#[test]
+fn random_expressions_agree() {
+    cases(48, |case, rng| {
+        let e = arb_expr(rng, 4);
+        let vars = [
+            rng.next_u32() as i32,
+            rng.next_u32() as i32,
+            rng.next_u32() as i32,
+            rng.next_u32() as i32,
+        ];
         let want = eval(&e, &vars);
-        let folded = (want & 0xFF) ^ ((want >> 8) & 0xFF) ^ ((want >> 16) & 0xFF) ^ ((want >> 24) & 0xFF);
+        let folded =
+            (want & 0xFF) ^ ((want >> 8) & 0xFF) ^ ((want >> 16) & 0xFF) ^ ((want >> 24) & 0xFF);
         let src = program_for(&e, &vars);
         for spec in [
             TargetSpec::d16(),
@@ -197,7 +210,7 @@ proptest! {
             TargetSpec::dlxe_restricted(true, true, true),
         ] {
             let got = run_on(&src, &spec);
-            prop_assert_eq!(got, folded, "target {}\n{}", spec.label(), src);
+            assert_eq!(got, folded, "case {case}, target {}\n{}", spec.label(), src);
         }
-    }
+    });
 }

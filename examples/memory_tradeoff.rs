@@ -19,8 +19,8 @@ fn main() {
     let all: Vec<_> = SUITE.iter().collect();
     let suite = match Suite::collect_for(&all, &base_specs(), false) {
         Ok(s) => s,
-        Err((w, t, e)) => {
-            eprintln!("failed for {w} on {t}: {e}");
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
             std::process::exit(1);
         }
     };
