@@ -195,7 +195,9 @@ impl<'a> Cursor<'a> {
             };
             let n = match self.next() {
                 Some(Tok::Num(n)) => n,
-                other => return Err(self.err(format!("expected a number after `.`, got {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected a number after `.`, got {other:?}")))
+                }
             };
             return Ok(Expr::Here(if neg { -n } else { n }));
         }
@@ -218,9 +220,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn addend(&mut self) -> Result<i64, AsmError> {
-        if self.eat_punct('+') {
-            self.num()
-        } else if matches!(self.peek(), Some(Tok::Punct('-'))) {
+        if self.eat_punct('+') || matches!(self.peek(), Some(Tok::Punct('-'))) {
             self.num()
         } else {
             Ok(0)
@@ -229,11 +229,8 @@ impl<'a> Cursor<'a> {
 
     /// Parses `disp(base)` or `(base)`.
     fn mem_operand(&mut self) -> Result<(Expr, Gpr), AsmError> {
-        let disp = if matches!(self.peek(), Some(Tok::Punct('('))) {
-            Expr::Num(0)
-        } else {
-            self.expr()?
-        };
+        let disp =
+            if matches!(self.peek(), Some(Tok::Punct('('))) { Expr::Num(0) } else { self.expr()? };
         self.punct('(')?;
         let base = self.gpr()?;
         self.punct(')')?;
@@ -296,11 +293,7 @@ impl Parser {
                 while c.eat_punct(',') {
                     v.push(c.num()?);
                 }
-                self.items.push(if d == ".half" {
-                    Item::Half(v)
-                } else {
-                    Item::Byte(v)
-                });
+                self.items.push(if d == ".half" { Item::Half(v) } else { Item::Byte(v) });
             }
             ".ascii" | ".asciiz" => {
                 let mut s = match c.next() {
@@ -479,8 +472,7 @@ impl Parser {
                 let (cond, imm_form) = match rest.strip_suffix('i') {
                     Some(base) if cond_from(base).is_some() => (cond_from(base).unwrap(), true),
                     _ => (
-                        cond_from(rest)
-                            .ok_or_else(|| c.err(format!("unknown mnemonic `{m}`")))?,
+                        cond_from(rest).ok_or_else(|| c.err(format!("unknown mnemonic `{m}`")))?,
                         false,
                     ),
                 };
@@ -501,10 +493,7 @@ impl Parser {
                     let b = c.gpr()?;
                     if c.eat_punct(',') {
                         let rs2 = c.gpr()?;
-                        self.push_insn(
-                            line,
-                            ITpl::Ready(Insn::Cmp { cond, rd: a, rs1: b, rs2 }),
-                        );
+                        self.push_insn(line, ITpl::Ready(Insn::Cmp { cond, rd: a, rs1: b, rs2 }));
                     } else {
                         // Two-operand D16 form: destination implicitly r0.
                         self.push_insn(
@@ -546,9 +535,12 @@ impl Parser {
                 } else {
                     let disp = c.expr()?;
                     match disp {
-                        Expr::Here(n) => self
-                            .push_insn(line, ITpl::Ready(Insn::Ldc { rd, disp: n as i32 })),
-                        other => return Err(c.err(format!("ldc takes =literal or .+n, got {other:?}"))),
+                        Expr::Here(n) => {
+                            self.push_insn(line, ITpl::Ready(Insn::Ldc { rd, disp: n as i32 }))
+                        }
+                        other => {
+                            return Err(c.err(format!("ldc takes =literal or .+n, got {other:?}")))
+                        }
                     }
                 }
             }
@@ -580,10 +572,7 @@ impl Parser {
                 let rs = c.gpr()?;
                 c.comma()?;
                 let target = c.gpr()?;
-                self.push_insn(
-                    line,
-                    ITpl::Ready(Insn::Jc { neg: m == "jnz", rs, target }),
-                );
+                self.push_insn(line, ITpl::Ready(Insn::Jc { neg: m == "jnz", rs, target }));
             }
             "si2sf" | "si2df" | "sf2df" | "df2sf" | "sf2si" | "df2si" => {
                 let op = match m {
@@ -675,10 +664,7 @@ impl Parser {
                             self.push_insn(line, ITpl::Ready(Insn::Mvi { rd, imm: v }));
                         } else {
                             let u = v as u32;
-                            self.push_insn(
-                                line,
-                                ITpl::Ready(Insn::Lui { rd, imm: u >> 16 }),
-                            );
+                            self.push_insn(line, ITpl::Ready(Insn::Lui { rd, imm: u >> 16 }));
                             if u & 0xffff != 0 {
                                 self.push_insn(
                                     line,
@@ -876,8 +862,7 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
     for (i, item) in p.items.iter().enumerate() {
         // `.bss` content is only reachable via `.comm`, which emits nothing,
         // so the active section is always text or data here.
-        let buf: &mut Vec<u8> =
-            if sect == Section::Text { &mut text } else { &mut data };
+        let buf: &mut Vec<u8> = if sect == Section::Text { &mut text } else { &mut data };
         match item {
             Item::Label(_) | Item::Comm(..) => {}
             Item::SetSection(s) => sect = *s,
@@ -925,7 +910,7 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
                 pad_to(buf, 8);
                 buf.extend_from_slice(&f.to_bits().to_le_bytes());
             }
-            Item::Space(n) => buf.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Item::Space(n) => buf.extend(std::iter::repeat_n(0u8, *n as usize)),
             Item::Align(a) => pad_to(buf, *a),
             Item::Pool => {
                 if !pool_layout[&i].is_empty() {
@@ -950,13 +935,18 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
             }
             Item::Insn(line, tpl) => {
                 let site = buf.len() as u32;
-                let (insn, reloc) = resolve_insn(isa, tpl, site, ilen, &obj.symbols, &lit_off, *line)?;
-                let bytes = d16_isa::encode_bytes(isa, &insn).map_err(|e| AsmError::Line {
-                    line: *line,
-                    msg: e.to_string(),
-                })?;
+                let (insn, reloc) =
+                    resolve_insn(isa, tpl, site, ilen, &obj.symbols, &lit_off, *line)?;
+                let bytes = d16_isa::encode_bytes(isa, &insn)
+                    .map_err(|e| AsmError::Line { line: *line, msg: e.to_string() })?;
                 if let Some((kind, symbol, addend)) = reloc {
-                    obj.relocs.push(Reloc { section: Section::Text, offset: site, kind, symbol, addend });
+                    obj.relocs.push(Reloc {
+                        section: Section::Text,
+                        offset: site,
+                        kind,
+                        symbol,
+                        addend,
+                    });
                 }
                 buf.extend_from_slice(&bytes);
             }
@@ -972,7 +962,7 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
 }
 
 fn pad_to(buf: &mut Vec<u8>, a: u32) {
-    while buf.len() as u32 % a != 0 {
+    while !(buf.len() as u32).is_multiple_of(a) {
         buf.push(0);
     }
 }
@@ -1042,7 +1032,9 @@ fn resolve_insn(
                 other => return Err(err(format!("unresolvable immediate {other:?}"))),
             };
             if reloc.is_some() && isa == Isa::D16 {
-                return Err(err("hi/lo/gprel relocations require 16-bit fields (DLXe only)".into()));
+                return Err(
+                    err("hi/lo/gprel relocations require 16-bit fields (DLXe only)".into()),
+                );
             }
             let insn = match shape {
                 ImmShape::AluI { op, rd, rs1 } => Insn::AluI { op: *op, rd: *rd, rs1: *rs1, imm },
@@ -1051,12 +1043,8 @@ fn resolve_insn(
                 ImmShape::CmpI { cond, rd, rs1 } => {
                     Insn::CmpI { cond: *cond, rd: *rd, rs1: *rs1, imm }
                 }
-                ImmShape::Ld { w, rd, base } => {
-                    Insn::Ld { w: *w, rd: *rd, base: *base, disp: imm }
-                }
-                ImmShape::St { w, rs, base } => {
-                    Insn::St { w: *w, rs: *rs, base: *base, disp: imm }
-                }
+                ImmShape::Ld { w, rd, base } => Insn::Ld { w: *w, rd: *rd, base: *base, disp: imm },
+                ImmShape::St { w, rs, base } => Insn::St { w: *w, rs: *rs, base: *base, disp: imm },
             };
             Ok((insn, reloc))
         }
@@ -1083,7 +1071,10 @@ loop:   subi r2, r2, 1
         assert_eq!(obj.symbols["loop"].offset, 4);
         // The bz encodes backwards to `loop`.
         let w = u16::from_le_bytes([obj.text[8], obj.text[9]]);
-        assert_eq!(d16_isa::d16::decode(w).unwrap(), Insn::Bc { neg: false, rs: abi::R0, disp: -6 });
+        assert_eq!(
+            d16_isa::d16::decode(w).unwrap(),
+            Insn::Bc { neg: false, rs: abi::R0, disp: -6 }
+        );
     }
 
     #[test]
@@ -1249,8 +1240,7 @@ g:      .word 6
             Insn::Trap { code: TrapCode::PutInt },
             Insn::Nop,
         ];
-        let text: String =
-            insns.iter().map(|i| format!("{}\n", d16_isa::disassemble(i))).collect();
+        let text: String = insns.iter().map(|i| format!("{}\n", d16_isa::disassemble(i))).collect();
         let obj = assemble(Isa::D16, &text).unwrap();
         for (k, insn) in insns.iter().enumerate() {
             let w = u16::from_le_bytes([obj.text[2 * k], obj.text[2 * k + 1]]);

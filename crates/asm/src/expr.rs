@@ -2,7 +2,6 @@
 
 use crate::object::AsmError;
 
-
 /// A symbolic operand expression, as written in an immediate field.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Expr {
@@ -132,9 +131,7 @@ pub fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, AsmError> {
                 // Directive name, or the location dot.
                 let start = i;
                 i += 1;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 if i == start + 1 {

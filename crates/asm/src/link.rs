@@ -15,7 +15,9 @@
 //! | `__heap_base`  | end of bss (first free heap byte) |
 //! | `__mem_top`    | top of simulated memory (initial stack pointer) |
 
-use crate::object::{AsmError, Image, Object, Reloc, RelocKind, Section, Symbol, MEM_TOP, TEXT_BASE};
+use crate::object::{
+    AsmError, Image, Object, Reloc, RelocKind, Section, Symbol, MEM_TOP, TEXT_BASE,
+};
 use d16_isa::Isa;
 use std::collections::HashMap;
 
@@ -127,11 +129,7 @@ pub fn link(isa: Isa, objects: &[Object]) -> Result<Image, AsmError> {
         }
     }
 
-    let entry = symbols
-        .get("_start")
-        .or_else(|| symbols.get("main"))
-        .copied()
-        .unwrap_or(TEXT_BASE);
+    let entry = symbols.get("_start").or_else(|| symbols.get("main")).copied().unwrap_or(TEXT_BASE);
 
     Ok(Image {
         isa,
@@ -153,7 +151,8 @@ fn apply_reloc(
     value: u32,
     gp: u32,
 ) -> Result<(), AsmError> {
-    let overflow = |v: i64| AsmError::RelocOverflow { symbol: r.symbol.clone(), kind: r.kind, value: v };
+    let overflow =
+        |v: i64| AsmError::RelocOverflow { symbol: r.symbol.clone(), kind: r.kind, value: v };
     match r.kind {
         RelocKind::Abs32 => {
             buf[off..off + 4].copy_from_slice(&value.to_le_bytes());
@@ -192,7 +191,7 @@ fn apply_reloc(
 mod tests {
     use super::*;
     use crate::assemble::assemble;
-    use d16_isa::{abi, Gpr, Insn};
+    use d16_isa::{abi, Insn};
 
     fn word_at(img: &Image, addr: u32) -> u32 {
         let o = (addr - img.text_base) as usize;
@@ -201,11 +200,8 @@ mod tests {
 
     #[test]
     fn links_two_units_with_cross_calls() {
-        let a = assemble(
-            Isa::Dlxe,
-            "_start: jal helper\n nop\n trap 0\n.data\nshared: .word 42\n",
-        )
-        .unwrap();
+        let a = assemble(Isa::Dlxe, "_start: jal helper\n nop\n trap 0\n.data\nshared: .word 42\n")
+            .unwrap();
         let b = assemble(
             Isa::Dlxe,
             "helper: ld r2, gprel(shared)(r13)\n nop\n ret\n.data\nother: .word helper\n",

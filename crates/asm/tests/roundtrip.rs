@@ -89,9 +89,7 @@ fn roundtrip(isa: Isa, insns: &[Insn]) -> Vec<Insn> {
         .chunks_exact(ilen)
         .map(|c| match isa {
             Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).unwrap(),
-            Isa::Dlxe => {
-                d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap()
-            }
+            Isa::Dlxe => d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap(),
         })
         .collect()
 }
@@ -122,8 +120,7 @@ fn dlxe_disasm_asm_roundtrip() {
 #[test]
 fn data_layout_invariants() {
     cases(200, |case, rng| {
-        let words: Vec<i32> =
-            (0..rng.below(20)).map(|_| rng.next_u32() as i32).collect();
+        let words: Vec<i32> = (0..rng.below(20)).map(|_| rng.next_u32() as i32).collect();
         let bytes: Vec<u8> = (0..rng.below(40)).map(|_| rng.below(256) as u8).collect();
         let space = rng.below(100);
         let mut src = String::from(".data\nstart_label:\n");

@@ -16,7 +16,7 @@ fn bench_encoders() {
             op: AluOp::Add,
             rd: Gpr::new((i % 12 + 2) as u8),
             rs1: Gpr::new((i % 12 + 2) as u8),
-            imm: (i % 31) as i32,
+            imm: (i % 31),
         })
         .collect();
     let n = insns.len() as u64;

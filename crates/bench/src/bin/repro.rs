@@ -7,15 +7,23 @@
 //! repro --jobs 4             # worker threads (default: all cores)
 //! repro --smoke              # tiny 2-workload x 2-target run
 //! repro --bench-json FILE    # write a machine-readable timing report
+//! repro --metrics-json FILE  # write the deterministic telemetry dump
 //! repro --list               # what is available
 //! ```
 //!
 //! Output is plain text, one block per table/figure, in the paper's
-//! numbering. See EXPERIMENTS.md for paper-vs-measured commentary and the
-//! README's Performance section for how to read the `--bench-json` report
-//! (`BENCH_repro.json`).
+//! numbering. See EXPERIMENTS.md for paper-vs-measured commentary, the
+//! `bench_repro/2` schema of the two JSON reports, and the README's
+//! Performance section for how to read `BENCH_repro.json`.
+//!
+//! Both JSON reports share the schema tag; they differ in kind. The
+//! `--metrics-json` dump is the deterministic projection (counters and
+//! span counts — byte-identical for every `--jobs N`, CI diffs it); the
+//! `--bench-json` report adds the wall-clock half (phase timings, span
+//! histograms, per-cell wall times).
 
 use d16_bench::json::Json;
+use d16_bench::report;
 use d16_core::report::{f2, f3, pct, Table};
 use d16_core::{base_specs, default_jobs, experiments as ex, Suite};
 use d16_isa::Isa;
@@ -39,6 +47,18 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str)
     })
 }
 
+/// Rejects an output path whose parent directory does not exist — up
+/// front, before minutes of collection are spent, naming the flag and the
+/// missing directory.
+fn ensure_parent_dir(flag: &str, path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() && !dir.is_dir() {
+            eprintln!("{flag}: parent directory `{}` does not exist", dir.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<u32> = Vec::new();
@@ -48,6 +68,7 @@ fn main() {
     let mut smoke = false;
     let mut jobs = default_jobs();
     let mut bench_json: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,6 +91,9 @@ fn main() {
             "--bench-json" => {
                 bench_json = Some(flag_value(&args, &mut i, "--bench-json").to_string());
             }
+            "--metrics-json" => {
+                metrics_json = Some(flag_value(&args, &mut i, "--metrics-json").to_string());
+            }
             other => {
                 eprintln!("unknown argument `{other}` (try --list)");
                 std::process::exit(2);
@@ -80,6 +104,12 @@ fn main() {
     if smoke && all {
         eprintln!("--smoke collects only 2 workloads x 2 targets; it cannot serve --all");
         std::process::exit(2);
+    }
+    if let Some(p) = &bench_json {
+        ensure_parent_dir("--bench-json", p);
+    }
+    if let Some(p) = &metrics_json {
+        ensure_parent_dir("--metrics-json", p);
     }
     if all {
         figs = vec![4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
@@ -123,9 +153,7 @@ fn main() {
     let trace_keys: Vec<(String, Isa)> = suite
         .traces
         .keys()
-        .map(|(w, isa)| {
-            (w.clone(), if isa == "D16" { Isa::D16 } else { Isa::Dlxe })
-        })
+        .map(|(w, isa)| (w.clone(), if isa == "D16" { Isa::D16 } else { Isa::Dlxe }))
         .collect();
     let start = Instant::now();
     for (w, isa) in &trace_keys {
@@ -154,6 +182,20 @@ fn main() {
         print_fpu_sweep();
     }
 
+    // Telemetry snapshot: every grid the run needed is warm by now, so
+    // the registry holds the sim counters, the per-config cache counters,
+    // and both phase spans.
+    let tele = suite.telemetry();
+
+    if let Some(path) = metrics_json {
+        let doc = report::metrics_json(&tele, smoke, suite.cells.len(), suite.traces.len());
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
     if let Some(path) = bench_json {
         let sweeps: Vec<Json> = trace_keys
             .iter()
@@ -167,8 +209,19 @@ fn main() {
                     .with("replays", t.replay_count())
             })
             .collect();
+        let cells: Vec<Json> = suite
+            .cell_wall_ns
+            .iter()
+            .map(|((w, target), ns)| {
+                Json::obj()
+                    .with("workload", w.as_str())
+                    .with("target", target.as_str())
+                    .with("wall_ns", *ns)
+            })
+            .collect();
         let report = Json::obj()
-            .with("schema", "bench_repro/1")
+            .with("schema", "bench_repro/2")
+            .with("kind", "timing")
             .with("smoke", smoke)
             .with("jobs", jobs)
             .with("cells", suite.cells.len())
@@ -180,7 +233,10 @@ fn main() {
                     .with("ns", grid_ns)
                     .with("configs", ex::cache_grid_configs().len())
                     .with("sweeps", sweeps),
-            );
+            )
+            .with("counters", report::counters_json(&tele))
+            .with("spans", report::spans_json(&tele))
+            .with("cell_wall_ns", cells);
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);
@@ -221,7 +277,8 @@ fn print_list() {
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
-    println!("         --bench-json FILE (machine-readable timing report)");
+    println!("         --bench-json FILE (machine-readable timing report),");
+    println!("         --metrics-json FILE (deterministic telemetry dump)");
 }
 
 fn ratio_table(title: &str, rows: &[ex::RatioRow]) -> String {
@@ -234,10 +291,7 @@ fn ratio_table(title: &str, rows: &[ex::RatioRow]) -> String {
 }
 
 fn grid_table(title: &str, rows: &[ex::GridRow]) -> String {
-    let mut t = Table::new(
-        title,
-        &["program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"],
-    );
+    let mut t = Table::new(title, &["program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"]);
     for r in rows {
         t.row(vec![
             r.workload.clone(),
@@ -252,7 +306,10 @@ fn grid_table(title: &str, rows: &[ex::GridRow]) -> String {
 
 fn print_fig(suite: &Suite, n: u32) {
     let out = match n {
-        4 => ratio_table("Figure 4: D16 relative density (DLXe/D16)", &ex::fig4_relative_density(suite)),
+        4 => ratio_table(
+            "Figure 4: D16 relative density (DLXe/D16)",
+            &ex::fig4_relative_density(suite),
+        ),
         5 => ratio_table("Figure 5: DLXe path length (D16 = 1.0)", &ex::fig5_path_length(suite)),
         6 | 8 | 11 => grid_table(
             &format!("Figure {n}: code size vs D16 = 1.0 (feature grid)"),
@@ -352,9 +409,7 @@ fn print_fig(suite: &Suite, n: u32) {
                         }
                         out.push_str(&t.render());
                     }
-                    Err(e) => {
-                        out.push_str(&format!("Figure {n}, {}: skipped ({e})\n\n", w.name))
-                    }
+                    Err(e) => out.push_str(&format!("Figure {n}, {}: skipped ({e})\n\n", w.name)),
                 }
             }
             out
@@ -425,8 +480,13 @@ fn print_table(suite: &Suite, n: u32) {
             }
             t.render()
         }
-        6 => grid_table("Table 6: code size /density summary (ratios vs D16)", &ex::code_size_grid(suite)),
-        7 => grid_table("Table 7: path length summary (ratios vs D16)", &ex::path_length_grid(suite)),
+        6 => grid_table(
+            "Table 6: code size /density summary (ratios vs D16)",
+            &ex::code_size_grid(suite),
+        ),
+        7 => {
+            grid_table("Table 7: path length summary (ratios vs D16)", &ex::path_length_grid(suite))
+        }
         8 => {
             let mut t = Table::new(
                 "Table 8: path length and instruction traffic (words)",
@@ -444,10 +504,8 @@ fn print_table(suite: &Suite, n: u32) {
             t.render()
         }
         9 => {
-            let mut t = Table::new(
-                "Table 9: total loads and stores",
-                &["program", "D16", "DLXe", "%"],
-            );
+            let mut t =
+                Table::new("Table 9: total loads and stores", &["program", "D16", "DLXe", "%"]);
             for r in ex::appendix_tables(suite) {
                 let p = (r.dlxe_mem_ops as f64 / r.d16_mem_ops as f64 - 1.0) * 100.0;
                 t.row(vec![
@@ -523,7 +581,7 @@ fn print_table(suite: &Suite, n: u32) {
             }
             t.render()
         }
-        14 | 15 | 16 => {
+        14..=16 => {
             let w = match n {
                 14 => "assem",
                 15 => "ipl",

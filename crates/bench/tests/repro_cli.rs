@@ -43,7 +43,7 @@ fn zero_jobs_is_rejected() {
 
 #[test]
 fn missing_flag_value_is_rejected() {
-    for flag in ["--jobs", "--fig", "--table", "--bench-json"] {
+    for flag in ["--jobs", "--fig", "--table", "--bench-json", "--metrics-json"] {
         let out = repro().arg(flag).output().expect("run repro");
         assert!(!out.status.success(), "{flag} without a value must fail");
         let err = String::from_utf8_lossy(&out.stderr);
@@ -59,6 +59,55 @@ fn non_numeric_flag_value_is_rejected() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("invalid value"), "{flag}: {err}");
     }
+}
+
+#[test]
+fn missing_parent_dir_fails_fast_with_exit_2() {
+    // The bad path must be rejected up front — before any collection —
+    // not after minutes of measurement. Both JSON flags get the check.
+    for flag in ["--bench-json", "--metrics-json"] {
+        let start = std::time::Instant::now();
+        let out = repro()
+            .args(["--smoke", flag, "/nonexistent-d16-dir/report.json"])
+            .output()
+            .expect("run repro");
+        let elapsed = start.elapsed();
+        assert_eq!(out.status.code(), Some(2), "{flag} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(flag)
+                && err.contains("/nonexistent-d16-dir")
+                && err.contains("does not exist"),
+            "{flag} must name the flag and the missing directory: {err}"
+        );
+        assert!(!err.contains("collecting"), "must fail before collection starts: {err}");
+        assert!(elapsed.as_secs() < 5, "{flag}: failed after {elapsed:?}, not up front");
+    }
+}
+
+#[test]
+fn metrics_json_is_identical_across_job_counts() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("metrics_j1_{}.json", std::process::id()));
+    let p2 = dir.join(format!("metrics_j2_{}.json", std::process::id()));
+    for (jobs, path) in [("1", &p1), ("2", &p2)] {
+        let out = repro()
+            .args(["--smoke", "--jobs", jobs, "--metrics-json"])
+            .arg(path)
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let m1 = std::fs::read_to_string(&p1).expect("jobs=1 metrics");
+    let m2 = std::fs::read_to_string(&p2).expect("jobs=2 metrics");
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+    assert_eq!(m1, m2, "metrics dump must be byte-identical for every --jobs");
+    for needle in ["\"schema\":\"bench_repro/2\"", "\"kind\":\"metrics\"", "\"span_counts\":"] {
+        assert!(m1.contains(needle), "missing {needle} in {m1}");
+    }
+    assert!(!m1.contains("\"jobs\""), "worker count must not leak into the metrics dump");
+    assert!(!m1.contains("_ns\""), "wall-clock must not leak into the metrics dump");
 }
 
 #[test]
@@ -82,12 +131,18 @@ fn smoke_regenerates_and_reports_timing() {
     let report = std::fs::read_to_string(&json_path).expect("bench json written");
     std::fs::remove_file(&json_path).ok();
     for needle in [
-        "\"schema\":\"bench_repro/1\"",
+        "\"schema\":\"bench_repro/2\"",
+        "\"kind\":\"timing\"",
         "\"smoke\":true",
         "\"jobs\":2",
         "\"collect_ns\":",
         "\"cache_grid\":",
         "\"replays\":1",
+        "\"counters\":",
+        "\"spans\":",
+        "\"suite.collect.cell\":",
+        "\"cell_wall_ns\":",
+        "\"hist_log2_ns\":",
     ] {
         assert!(report.contains(needle), "missing {needle} in {report}");
     }

@@ -144,7 +144,7 @@ pub enum Expr {
     /// `sizeof(type)` or `sizeof expr`.
     SizeofTy(Ty),
     /// `sizeof expr`.
-    SizeofExpr(Box<E>),
+    SizeofVal(Box<E>),
 }
 
 /// An initializer.

@@ -97,13 +97,7 @@ impl BinOp {
                     a.wrapping_rem(b)
                 }
             }
-            BinOp::UDiv => {
-                if ub == 0 {
-                    0
-                } else {
-                    (ua / ub) as i32
-                }
-            }
+            BinOp::UDiv => ua.checked_div(ub).unwrap_or(0) as i32,
             BinOp::URem => {
                 if ub == 0 {
                     0
@@ -491,12 +485,7 @@ mod tests {
 
     #[test]
     fn def_use_sets() {
-        let i = Inst::Bin {
-            op: BinOp::Add,
-            rd: VReg(3),
-            a: VReg(1),
-            b: Operand::Reg(VReg(2)),
-        };
+        let i = Inst::Bin { op: BinOp::Add, rd: VReg(3), a: VReg(1), b: Operand::Reg(VReg(2)) };
         assert_eq!(i.def(), Some(VReg(3)));
         assert_eq!(i.uses(), vec![VReg(1), VReg(2)]);
         let s = Inst::Store { w: MemWidth::W, rs: VReg(4), base: Base::Reg(VReg(5)), off: 0 };
@@ -511,7 +500,11 @@ mod tests {
             funcs: vec![],
             bss: vec![],
             data: vec![
-                DataItem { name: "a".into(), align: 1, chunks: vec![DataChunk::Bytes(vec![1, 2, 3])] },
+                DataItem {
+                    name: "a".into(),
+                    align: 1,
+                    chunks: vec![DataChunk::Bytes(vec![1, 2, 3])],
+                },
                 DataItem { name: "b".into(), align: 4, chunks: vec![DataChunk::Word(7)] },
                 DataItem { name: "c".into(), align: 8, chunks: vec![DataChunk::Zero(8)] },
             ],

@@ -14,13 +14,12 @@
 //!   GPRs with `mtf`/`mff`, and doubles occupy register pairs.
 
 use crate::ir::{
-    Base, BinOp, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc, Module, Operand,
-    Term, VReg,
+    Base, BinOp, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc, Module, Operand, Term,
+    VReg,
 };
 use crate::mach::{DefUse, MBlock, MFunc, MInsn, MTerm, MemAddr, FR, R};
 use crate::target::TargetSpec;
-use d16_isa::{abi, AluOp, Cond, CvtOp, EncodingParams, FpOp, Isa, MemWidth, Prec,
-    TrapCode, UnOp};
+use d16_isa::{abi, AluOp, Cond, CvtOp, EncodingParams, FpOp, Isa, MemWidth, Prec, TrapCode, UnOp};
 use std::collections::HashMap;
 
 /// Output of selection: machine functions plus data items appended by the
@@ -326,11 +325,7 @@ impl<'a, 'c> Sel<'a, 'c> {
 
     /// Global-symbol gp offset (whole-program layout is known).
     fn gp_offset(&self, sym: &str) -> i32 {
-        *self
-            .cx
-            .goff
-            .get(sym)
-            .unwrap_or_else(|| panic!("unknown global `{sym}`")) as i32
+        *self.cx.goff.get(sym).unwrap_or_else(|| panic!("unknown global `{sym}`")) as i32
     }
 
     /// Materializes `sym+off` into a fresh register.
@@ -678,10 +673,7 @@ impl<'a, 'c> Sel<'a, 'c> {
                     )
                 } else {
                     let t = self.addr_of_global(sym, off);
-                    (
-                        MemAddr::BaseDisp { base: t, disp: 0 },
-                        MemAddr::BaseDisp { base: t, disp: 4 },
-                    )
+                    (MemAddr::BaseDisp { base: t, disp: 0 }, MemAddr::BaseDisp { base: t, disp: 4 })
                 }
             }
             Base::Reg(v) => {
@@ -696,10 +688,7 @@ impl<'a, 'c> Sel<'a, 'c> {
                     )
                 } else {
                     let t = self.add_to_reg(r, off);
-                    (
-                        MemAddr::BaseDisp { base: t, disp: 0 },
-                        MemAddr::BaseDisp { base: t, disp: 4 },
-                    )
+                    (MemAddr::BaseDisp { base: t, disp: 0 }, MemAddr::BaseDisp { base: t, disp: 4 })
                 }
             }
         }
@@ -809,8 +798,7 @@ impl<'a, 'c> Sel<'a, 'c> {
         if let Operand::Imm(imm) = b {
             let ok = self.cx.params.cmp_imm
                 && (-32768..=32767).contains(imm)
-                && (self.isa() == Isa::Dlxe
-                    || (cond == Cond::Eq && (0..=31).contains(imm)));
+                && (self.isa() == Isa::Dlxe || (cond == Cond::Eq && (0..=31).contains(imm)));
             if ok {
                 let ra = self.mi(a);
                 self.consume(a);
@@ -1039,28 +1027,21 @@ impl<'a, 'c> Sel<'a, 'c> {
                         self.consume(*v);
                         // Branch directly on a zero/non-zero test when the
                         // target supports it.
-                        let zero_test = matches!(b, Operand::Imm(0))
-                            && matches!(cond, Cond::Eq | Cond::Ne);
+                        let zero_test =
+                            matches!(b, Operand::Imm(0)) && matches!(cond, Cond::Eq | Cond::Ne);
                         if zero_test {
                             let ra = self.mi(*a);
                             self.consume(*a);
                             let neg = *cond == Cond::Ne;
                             if self.isa() == Isa::D16 {
-                                self.emit(MInsn::Un {
-                                    op: UnOp::Mv,
-                                    rd: R::P(abi::R0),
-                                    rs: ra,
-                                });
+                                self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::R0), rs: ra });
                                 MTerm::Bc { neg, rs: R::P(abi::R0), t, f }
                             } else {
                                 MTerm::Bc { neg, rs: ra, t, f }
                             }
                         } else {
-                            let dest = if self.isa() == Isa::D16 {
-                                R::P(abi::R0)
-                            } else {
-                                self.mf.vint()
-                            };
+                            let dest =
+                                if self.isa() == Isa::D16 { R::P(abi::R0) } else { self.mf.vint() };
                             self.lower_cmp_into(*cond, dest, *a, b);
                             MTerm::Bc { neg: true, rs: dest, t, f }
                         }

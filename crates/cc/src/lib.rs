@@ -161,8 +161,10 @@ mod tests {
     #[test]
     fn arithmetic_and_precedence() {
         run_all("int main(void) { return (2 + 3 * 4 - 1) / 2; }", 6);
-        run_all("int main(void) { int a = 10, b = 3; return a % b + (a << 2) + (a >> 1); }",
-            1 + 40 + 5);
+        run_all(
+            "int main(void) { int a = 10, b = 3; return a % b + (a << 2) + (a >> 1); }",
+            1 + 40 + 5,
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use crate::ast::{Expr, Func, Init, Program, Stmt, Ty, E};
 use crate::ir::{
-    Base, BinOp, Block, BlockId, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc,
-    Module, Operand, SlotId, Term, VReg,
+    Base, BinOp, Block, BlockId, Class, CvtKind, DataChunk, DataItem, FBinOp, Inst, IrFunc, Module,
+    Operand, SlotId, Term, VReg,
 };
 use crate::token::CError;
 use d16_isa::{Cond, FpCond, MemWidth};
@@ -526,8 +526,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                 Ok(())
             }
             Stmt::Break(line) => {
-                let target =
-                    *self.breaks.last().ok_or_else(|| err(*line, "break outside loop"))?;
+                let target = *self.breaks.last().ok_or_else(|| err(*line, "break outside loop"))?;
                 self.set_term(Term::Jmp(target));
                 Ok(())
             }
@@ -564,10 +563,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
             }
         } else {
             let v = self.vreg(class_of(ty));
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert(name.to_string(), Binding::Reg(v, ty.clone()));
+            self.scopes.last_mut().unwrap().insert(name.to_string(), Binding::Reg(v, ty.clone()));
             if let Some(Init::Expr(e)) = init {
                 let (rv, rty) = self.rvalue(e)?;
                 let rv = self.convert(rv, &rty, ty, line)?;
@@ -661,9 +657,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                 self.lower_cond(b, t, f)
             }
             Expr::Unary("!", inner) => self.lower_cond(inner, f, t),
-            Expr::Binary(op, a, b)
-                if matches!(*op, "==" | "!=" | "<" | ">" | "<=" | ">=") =>
-            {
+            Expr::Binary(op, a, b) if matches!(*op, "==" | "!=" | "<" | ">" | "<=" | ">=") => {
                 let v = self.relational(op, a, b, e.line, true)?;
                 self.set_term(Term::Br { v, t, f });
                 Ok(())
@@ -679,12 +673,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                         let r = self.vreg(Class::Int);
                         self.emit(Inst::FCmp { cond: FpCond::Eq, rd: r, a: v, b: z });
                         let inv = self.vreg(Class::Int);
-                        self.emit(Inst::Bin {
-                            op: BinOp::Xor,
-                            rd: inv,
-                            a: r,
-                            b: Operand::Imm(1),
-                        });
+                        self.emit(Inst::Bin { op: BinOp::Xor, rd: inv, a: r, b: Operand::Imm(1) });
                         inv
                     }
                 };
@@ -801,11 +790,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
             let v = self.convert(v, &ty, pty, line)?;
             avs.push(v);
         }
-        self.emit(Inst::Call {
-            func: name.to_string(),
-            args: avs,
-            ret: ret.map(|(v, _)| v),
-        });
+        self.emit(Inst::Call { func: name.to_string(), args: avs, ret: ret.map(|(v, _)| v) });
         Ok(())
     }
 
@@ -832,10 +817,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                 self.emit(Inst::Addr { rd, base: Base::Global(label), off: 0 });
                 Ok((rd, Ty::Ptr(Box::new(Ty::Char))))
             }
-            Expr::Ident(_)
-            | Expr::Index(..)
-            | Expr::Member(..)
-            | Expr::Unary("*", _) => {
+            Expr::Ident(_) | Expr::Index(..) | Expr::Member(..) | Expr::Unary("*", _) => {
                 let place = self.place(e)?;
                 self.load_place(place, line)
             }
@@ -967,7 +949,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                 self.emit(Inst::MovI { rd, v: t.size(&self.structs()) as i32 });
                 Ok((rd, Ty::Int))
             }
-            Expr::SizeofExpr(inner) => {
+            Expr::SizeofVal(inner) => {
                 // Arrays (and structs) must not decay under sizeof: try to
                 // resolve the operand as a place first.
                 let save_blocks = self.f.blocks.clone();
@@ -1005,17 +987,21 @@ impl<'l, 'a> FnLower<'l, 'a> {
         rd
     }
 
-    fn binary(&mut self, op: &'static str, a: &E, b: &E, line: usize) -> Result<(VReg, Ty), CError> {
+    fn binary(
+        &mut self,
+        op: &'static str,
+        a: &E,
+        b: &E,
+        line: usize,
+    ) -> Result<(VReg, Ty), CError> {
         match op {
             "&&" | "||" => {
                 // Value context: produce 0/1 through control flow.
                 let tb = self.new_block();
                 let fb = self.new_block();
                 let join = self.new_block();
-                let e = E {
-                    kind: Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone())),
-                    line,
-                };
+                let e =
+                    E { kind: Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone())), line };
                 let rd = self.vreg(Class::Int);
                 self.lower_cond(&e, tb, fb)?;
                 self.cur = tb.0 as usize;
@@ -1057,12 +1043,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                     vb
                 } else {
                     let s = self.vreg(Class::Int);
-                    self.emit(Inst::Bin {
-                        op: BinOp::Mul,
-                        rd: s,
-                        a: vb,
-                        b: Operand::Imm(size),
-                    });
+                    self.emit(Inst::Bin { op: BinOp::Mul, rd: s, a: vb, b: Operand::Imm(size) });
                     s
                 };
                 let rd = self.vreg(Class::Int);
@@ -1079,12 +1060,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                         return Ok((diff, Ty::Int));
                     }
                     let rd = self.vreg(Class::Int);
-                    self.emit(Inst::Bin {
-                        op: BinOp::Div,
-                        rd,
-                        a: diff,
-                        b: Operand::Imm(size),
-                    });
+                    self.emit(Inst::Bin { op: BinOp::Div, rd, a: diff, b: Operand::Imm(size) });
                     return Ok((rd, Ty::Int));
                 }
             }
@@ -1097,12 +1073,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                     va
                 } else {
                     let sreg = self.vreg(Class::Int);
-                    self.emit(Inst::Bin {
-                        op: BinOp::Mul,
-                        rd: sreg,
-                        a: va,
-                        b: Operand::Imm(size),
-                    });
+                    self.emit(Inst::Bin { op: BinOp::Mul, rd: sreg, a: va, b: Operand::Imm(size) });
                     sreg
                 };
                 let rd = self.vreg(Class::Int);
@@ -1200,9 +1171,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                 } else {
                     match self.place(obj)? {
                         Place::Mem(b, o, t) => (b, o, t),
-                        Place::Reg(..) => {
-                            return Err(err(line, ". on a non-addressable value"))
-                        }
+                        Place::Reg(..) => return Err(err(line, ". on a non-addressable value")),
                     }
                 };
                 let si = match sty {
@@ -1231,8 +1200,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
             Ok(Place::Mem(b, o, Ty::Array(elem, _))) => (b, o, (*elem).clone()),
             Ok(Place::Mem(b, o, Ty::Ptr(elem))) => {
                 // Load the pointer value first.
-                let (pv, _) =
-                    self.load_place(Place::Mem(b, o, Ty::Ptr(elem.clone())), line)?;
+                let (pv, _) = self.load_place(Place::Mem(b, o, Ty::Ptr(elem.clone())), line)?;
                 (Base::Reg(pv), 0, (*elem).clone())
             }
             Ok(Place::Reg(v, Ty::Ptr(elem))) => (Base::Reg(v), 0, (*elem).clone()),
@@ -1397,7 +1365,7 @@ fn collect_addressed(body: &[Stmt]) -> HashSet<String> {
             }
             Expr::Call(_, args) => args.iter().for_each(|a| walk_e(a, set)),
             Expr::Member(a, _, _) => walk_e(a, set),
-            Expr::Cast(_, a) | Expr::SizeofExpr(a) => walk_e(a, set),
+            Expr::Cast(_, a) | Expr::SizeofVal(a) => walk_e(a, set),
             _ => {}
         }
     }

@@ -264,7 +264,9 @@ impl MInsn {
                 du.fuses.push(*fs1);
                 du.fuses.push(*fs2);
             }
-            MInsn::FNeg { fd, fs, .. } | MInsn::FCvt { fd, fs, .. } | MInsn::FMov { fd, fs, .. } => {
+            MInsn::FNeg { fd, fs, .. }
+            | MInsn::FCvt { fd, fs, .. }
+            | MInsn::FMov { fd, fs, .. } => {
                 du.fdefs.push(*fd);
                 du.fuses.push(*fs);
             }

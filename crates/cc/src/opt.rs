@@ -150,8 +150,7 @@ fn local_value_numbering(f: &mut IrFunc) {
                 );
                 if identity {
                     inst = Inst::Mov { rd: *rd, rs: *a };
-                } else if matches!((op, c), (BinOp::And, 0)) || matches!((op, c), (BinOp::Mul, 0))
-                {
+                } else if matches!((op, c), (BinOp::And, 0)) || matches!((op, c), (BinOp::Mul, 0)) {
                     inst = Inst::MovI { rd: *rd, v: 0 };
                 } else if matches!((op, c), (BinOp::Mul, 1))
                     || matches!((op, c), (BinOp::Div, 1))
@@ -339,11 +338,9 @@ fn remove_unreachable(f: &mut IrFunc) {
         let mut b = b;
         b.term = match b.term {
             Term::Jmp(t) => Term::Jmp(BlockId(remap[t.0 as usize])),
-            Term::Br { v, t, f: fb } => Term::Br {
-                v,
-                t: BlockId(remap[t.0 as usize]),
-                f: BlockId(remap[fb.0 as usize]),
-            },
+            Term::Br { v, t, f: fb } => {
+                Term::Br { v, t: BlockId(remap[t.0 as usize]), f: BlockId(remap[fb.0 as usize]) }
+            }
             r => r,
         };
         f.blocks.push(b);
@@ -571,10 +568,7 @@ mod tests {
         local_value_numbering(&mut f);
         dce(&mut f);
         // Everything folds to a single constant move of 26.
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::MovI { rd: VReg(3), v: 26 })));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::MovI { rd: VReg(3), v: 26 })));
         assert_eq!(f.blocks[0].insts.len(), 1, "{:?}", f.blocks[0].insts);
     }
 
@@ -626,11 +620,13 @@ mod tests {
     #[test]
     fn strength_reduction_shapes() {
         let v = |n| VReg(n);
-        let mk = |op, c| one_block_func(
-            vec![Inst::Bin { op, rd: v(1), a: v(0), b: Operand::Imm(c) }],
-            Term::Ret(Some(v(1))),
-            2,
-        );
+        let mk = |op, c| {
+            one_block_func(
+                vec![Inst::Bin { op, rd: v(1), a: v(0), b: Operand::Imm(c) }],
+                Term::Ret(Some(v(1))),
+                2,
+            )
+        };
         let mut f = mk(BinOp::Mul, 8);
         strength_reduce(&mut f);
         assert!(matches!(
@@ -642,7 +638,10 @@ mod tests {
         strength_reduce(&mut f);
         legalize_muldiv(&mut f);
         assert!(
-            f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Call { func, .. } if func == "__mulsi3")),
+            f.blocks[0]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Call { func, .. } if func == "__mulsi3")),
             "non-pattern multiplies go to the runtime: {:?}",
             f.blocks[0].insts
         );
@@ -684,6 +683,9 @@ mod tests {
         strength_reduce(&mut f);
         assert_eq!(f.blocks[0].insts.len(), 2);
         // 9*a for a=7 is 63: shl 3 -> 56, +7.
-        assert!(matches!(f.blocks[0].insts[0], Inst::Bin { op: BinOp::Shl, b: Operand::Imm(3), .. }));
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shl, b: Operand::Imm(3), .. }
+        ));
     }
 }

@@ -211,9 +211,7 @@ impl<'a> P<'a> {
         while self.eat_p("[") {
             let n = match self.bump() {
                 Tok::Int(n) if n > 0 && n <= u32::MAX as i64 => n as u32,
-                other => {
-                    return Err(self.err(format!("expected array size, found {other}")))
-                }
+                other => return Err(self.err(format!("expected array size, found {other}"))),
             };
             self.expect_p("]")?;
             dims.push(n);
@@ -245,8 +243,7 @@ impl<'a> P<'a> {
             self.bump();
             let mut params = Vec::new();
             if !self.eat_p(")") {
-                if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::P(")"))
-                {
+                if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::P(")")) {
                     self.bump();
                     self.bump();
                 } else {
@@ -339,11 +336,8 @@ impl<'a> P<'a> {
                 let cond = self.expression()?;
                 self.expect_p(")")?;
                 let then = Box::new(self.statement()?);
-                let els = if self.eat_kw(Kw::Else) {
-                    Some(Box::new(self.statement()?))
-                } else {
-                    None
-                };
+                let els =
+                    if self.eat_kw(Kw::Else) { Some(Box::new(self.statement()?)) } else { None };
                 Ok(Stmt::If(cond, then, els))
             }
             Tok::Kw(Kw::While) => {
@@ -379,11 +373,17 @@ impl<'a> P<'a> {
                     self.expect_p(";")?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond =
-                    if matches!(self.peek(), Tok::P(";")) { None } else { Some(self.expression()?) };
+                let cond = if matches!(self.peek(), Tok::P(";")) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
                 self.expect_p(";")?;
-                let step =
-                    if matches!(self.peek(), Tok::P(")")) { None } else { Some(self.expression()?) };
+                let step = if matches!(self.peek(), Tok::P(")")) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
                 self.expect_p(")")?;
                 Ok(Stmt::For(init, cond, step, Box::new(self.statement()?)))
             }
@@ -460,39 +460,33 @@ impl<'a> P<'a> {
             let t = self.expression()?;
             self.expect_p(":")?;
             let f = self.ternary()?;
-            return Ok(E {
-                kind: Expr::Ternary(Box::new(cond), Box::new(t), Box::new(f)),
-                line,
-            });
+            return Ok(E { kind: Expr::Ternary(Box::new(cond), Box::new(t), Box::new(f)), line });
         }
         Ok(cond)
     }
 
     fn binary(&mut self, min_prec: u8) -> Result<E, CError> {
         let mut lhs = self.unary()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                Tok::P(p) => match *p {
-                    "||" => ("||", 1),
-                    "&&" => ("&&", 2),
-                    "|" => ("|", 3),
-                    "^" => ("^", 4),
-                    "&" => ("&", 5),
-                    "==" => ("==", 6),
-                    "!=" => ("!=", 6),
-                    "<" => ("<", 7),
-                    ">" => (">", 7),
-                    "<=" => ("<=", 7),
-                    ">=" => (">=", 7),
-                    "<<" => ("<<", 8),
-                    ">>" => (">>", 8),
-                    "+" => ("+", 9),
-                    "-" => ("-", 9),
-                    "*" => ("*", 10),
-                    "/" => ("/", 10),
-                    "%" => ("%", 10),
-                    _ => break,
-                },
+        while let Tok::P(p) = self.peek() {
+            let (op, prec) = match *p {
+                "||" => ("||", 1),
+                "&&" => ("&&", 2),
+                "|" => ("|", 3),
+                "^" => ("^", 4),
+                "&" => ("&", 5),
+                "==" => ("==", 6),
+                "!=" => ("!=", 6),
+                "<" => ("<", 7),
+                ">" => (">", 7),
+                "<=" => ("<=", 7),
+                ">=" => (">=", 7),
+                "<<" => ("<<", 8),
+                ">>" => (">>", 8),
+                "+" => ("+", 9),
+                "-" => ("-", 9),
+                "*" => ("*", 10),
+                "/" => ("/", 10),
+                "%" => ("%", 10),
                 _ => break,
             };
             if prec < min_prec {
@@ -552,7 +546,7 @@ impl<'a> P<'a> {
                     self.expect_p(")")?;
                     Ok(E { kind: Expr::SizeofTy(ty), line })
                 } else {
-                    Ok(E { kind: Expr::SizeofExpr(Box::new(self.unary()?)), line })
+                    Ok(E { kind: Expr::SizeofVal(Box::new(self.unary()?)), line })
                 }
             }
             Tok::P("(") => {
@@ -728,10 +722,7 @@ double g(int n) {
     #[test]
     fn multidim_arrays() {
         let p = parse("int m[3][5]; int f(void) { return m[1][2]; }").unwrap();
-        assert_eq!(
-            p.globals[0].ty,
-            Ty::Array(Box::new(Ty::Array(Box::new(Ty::Int), 5)), 3)
-        );
+        assert_eq!(p.globals[0].ty, Ty::Array(Box::new(Ty::Array(Box::new(Ty::Int), 5)), 3));
     }
 
     #[test]
@@ -757,8 +748,7 @@ double g(int n) {
 
     #[test]
     fn unsigned_types() {
-        let p = parse("unsigned a; unsigned int b; int f(unsigned x) { return (int)x; }")
-            .unwrap();
+        let p = parse("unsigned a; unsigned int b; int f(unsigned x) { return (int)x; }").unwrap();
         assert_eq!(p.globals[0].ty, Ty::Uint);
         assert_eq!(p.globals[1].ty, Ty::Uint);
         assert_eq!(p.funcs[0].params[0].1, Ty::Uint);

@@ -123,16 +123,16 @@ fn allocate_int(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 
                 adj[b as usize].insert(a);
             }
         };
-        for bi in 0..nb {
-            let mut live: HashSet<u32> = live_out[bi].clone();
-            let mut live_phys: u32 = term_phys_uses(&mf.blocks[bi].term, mf);
-            term_uses_int(&mf.blocks[bi].term, mf, |v| {
+        for (block, lo) in mf.blocks.iter().zip(&live_out) {
+            let mut live: HashSet<u32> = lo.clone();
+            let mut live_phys: u32 = term_phys_uses(&block.term, mf);
+            term_uses_int(&block.term, mf, |v| {
                 live.insert(v);
             });
             // Track phys liveness for the few physical uses at terms: none
             // besides allocatable argument registers near calls; handled
             // inside the instruction walk below.
-            for inst in mf.blocks[bi].insts.iter().rev() {
+            for inst in block.insts.iter().rev() {
                 let du = inst.def_use(&caller, &fp_caller);
                 // A move's source does not interfere with its destination.
                 let move_pair = match inst {
@@ -471,10 +471,10 @@ fn allocate_fp(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
         let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); nv];
         let mut phys_conflicts: Vec<u32> = vec![0; nv]; // bit = pair index
         let mut use_counts: Vec<u32> = vec![0; nv];
-        for bi in 0..nb {
-            let mut live: HashSet<u32> = live_out[bi].clone();
+        for (block, lo) in mf.blocks.iter().zip(&live_out) {
+            let mut live: HashSet<u32> = lo.clone();
             let mut live_phys: u32 = 0;
-            for inst in mf.blocks[bi].insts.iter().rev() {
+            for inst in block.insts.iter().rev() {
                 let du = inst.def_use(&caller, &fp_caller);
                 let move_pair = match inst {
                     MInsn::FMov { fd, fs, .. } => Some((*fd, *fs)),
@@ -697,13 +697,7 @@ fn emit_fp_reload(
     }
 }
 
-fn emit_fp_store(
-    out: &mut Vec<MInsn>,
-    mf: &mut MFunc,
-    t: FR,
-    slot: crate::ir::SlotId,
-    prec: Prec,
-) {
+fn emit_fp_store(out: &mut Vec<MInsn>, mf: &mut MFunc, t: FR, slot: crate::ir::SlotId, prec: Prec) {
     let t1 = mf.vint();
     out.push(MInsn::Mff { rd: t1, fs: t, hi: false });
     out.push(MInsn::St { w: MemWidth::W, rs: t1, addr: MemAddr::SpSlot { slot, extra: 0 } });

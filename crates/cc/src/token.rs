@@ -173,7 +173,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CError> {
                         i += 1;
                     }
                     let mut is_float = false;
-                    if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    if i < b.len()
+                        && b[i] == b'.'
+                        && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
                         is_float = true;
                         i += 1;
                         while i < b.len() && b[i].is_ascii_digit() {
@@ -245,19 +248,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CError> {
                 let mut s = Vec::new();
                 loop {
                     match b.get(i) {
-                        None | Some(b'\n') => {
-                            return Err(err(line, "unterminated string".into()))
-                        }
+                        None | Some(b'\n') => return Err(err(line, "unterminated string".into())),
                         Some(b'"') => {
                             i += 1;
                             break;
                         }
                         Some(b'\\') => {
                             i += 1;
-                            let v = escape(
-                                *b.get(i).ok_or_else(|| err(line, "bad escape".into()))?,
-                            )
-                            .ok_or_else(|| err(line, "bad escape".into()))?;
+                            let v =
+                                escape(*b.get(i).ok_or_else(|| err(line, "bad escape".into()))?)
+                                    .ok_or_else(|| err(line, "bad escape".into()))?;
                             s.push(v);
                             i += 1;
                         }
@@ -273,8 +273,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CError> {
                 // Multi-char operators, longest first.
                 const OPS: [&str; 35] = [
                     "<<=", ">>=", "...", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=",
-                    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--", "+", "-", "*",
-                    "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+                    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--", "+", "-", "*", "/",
+                    "%", "&", "|", "^", "~", "!", "<", ">", "=",
                 ];
                 const SINGLE: &[u8] = b"(){}[];,.?:";
                 let rest = &src[i..];

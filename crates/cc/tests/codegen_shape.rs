@@ -18,11 +18,7 @@ fn function_body(asm: &str, name: &str) -> Vec<String> {
             capture = true;
             continue;
         }
-        if capture
-            && !line.starts_with(' ')
-            && !line.starts_with('$')
-            && !line.trim().is_empty()
-        {
+        if capture && !line.starts_with(' ') && !line.starts_with('$') && !line.trim().is_empty() {
             break;
         }
         if capture {
@@ -103,7 +99,9 @@ fn delay_slots_follow_every_control_transfer() {
     let lines: Vec<&str> = off
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.ends_with(':') && !l.starts_with('.') && !l.starts_with(';'))
+        .filter(|l| {
+            !l.is_empty() && !l.ends_with(':') && !l.starts_with('.') && !l.starts_with(';')
+        })
         .collect();
     for (i, l) in lines.iter().enumerate() {
         let is_control = l.starts_with("br ")
@@ -132,7 +130,8 @@ fn two_address_shapes_on_restricted_targets() {
                     let args: Vec<&str> = rest.split(',').map(str::trim).collect();
                     if args.len() == 3 {
                         assert_eq!(
-                            args[0], args[1],
+                            args[0],
+                            args[1],
                             "two-address shape violated [{}]: {t}",
                             spec.label()
                         );
@@ -190,10 +189,7 @@ fn gp_window_used_for_early_scalars_on_d16() {
 int hot = 1;
 int main(void) { int i, s = 0; for (i = 0; i < 4; i++) s += hot; return s; }";
     let asm = asm_for(src, &TargetSpec::d16());
-    assert!(
-        asm.contains("(r13)"),
-        "early scalar globals should be gp-relative on D16:\n{asm}"
-    );
+    assert!(asm.contains("(r13)"), "early scalar globals should be gp-relative on D16:\n{asm}");
 }
 
 #[test]

@@ -220,7 +220,7 @@ fn logical_value_materialization() {
              int x = (a && 7) + (b || 0) + !b + !!a;
              return x;
          }",
-        1 + 0 + 1 + 1,
+        1 + 1 + 1,
     );
 }
 

@@ -115,22 +115,10 @@ pub fn table5_summary(suite: &Suite) -> BTreeMap<String, (f64, f64)> {
         rows.iter().map(pick).sum::<f64>() / rows.len() as f64
     };
     let mut out = BTreeMap::new();
-    out.insert(
-        "DLXe/16/2".into(),
-        (avg(&size, |r| r.dlxe_16_2), avg(&path, |r| r.dlxe_16_2)),
-    );
-    out.insert(
-        "DLXe/16/3".into(),
-        (avg(&size, |r| r.dlxe_16_3), avg(&path, |r| r.dlxe_16_3)),
-    );
-    out.insert(
-        "DLXe/32/2".into(),
-        (avg(&size, |r| r.dlxe_32_2), avg(&path, |r| r.dlxe_32_2)),
-    );
-    out.insert(
-        "DLXe/32/3".into(),
-        (avg(&size, |r| r.dlxe_32_3), avg(&path, |r| r.dlxe_32_3)),
-    );
+    out.insert("DLXe/16/2".into(), (avg(&size, |r| r.dlxe_16_2), avg(&path, |r| r.dlxe_16_2)));
+    out.insert("DLXe/16/3".into(), (avg(&size, |r| r.dlxe_16_3), avg(&path, |r| r.dlxe_16_3)));
+    out.insert("DLXe/32/2".into(), (avg(&size, |r| r.dlxe_32_2), avg(&path, |r| r.dlxe_32_2)));
+    out.insert("DLXe/32/3".into(), (avg(&size, |r| r.dlxe_32_3), avg(&path, |r| r.dlxe_32_3)));
     out
 }
 
@@ -241,17 +229,10 @@ pub fn table4_immediate_profile() -> Result<Table4, (String, String)> {
             .chunks_exact(4)
             .map(|c| d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).ok())
             .collect();
-        let mut sink = ClassifySink {
-            decoded,
-            text_base: image.text_base,
-            cmp: 0,
-            alu: 0,
-            mem: 0,
-            total: 0,
-        };
+        let mut sink =
+            ClassifySink { decoded, text_base: image.text_base, cmp: 0, alu: 0, mem: 0, total: 0 };
         let mut m = Machine::load(&image);
-        m.run(crate::measure::FUEL, &mut sink)
-            .map_err(|e| (w.name.to_string(), e.to_string()))?;
+        m.run(crate::measure::FUEL, &mut sink).map_err(|e| (w.name.to_string(), e.to_string()))?;
         let t = sink.total as f64;
         acc.cmp_imm_pct += sink.cmp as f64 / t * 100.0;
         acc.alu_imm_pct += sink.alu as f64 / t * 100.0;
@@ -365,7 +346,7 @@ pub fn fig15_fetch_saturation(suite: &Suite, bus_bytes: u32) -> Vec<Fig15Point> 
                     } else {
                         m.ireq_bus32
                     }
-                } ;
+                };
                 d += ireq(dlxe) as f64 / dlxe.cacheless_cycles(bus_bytes, l) as f64;
                 s += ireq(d16) as f64 / d16.cacheless_cycles(bus_bytes, l) as f64;
             }
@@ -535,8 +516,7 @@ pub fn fig17_18_cache_cpi(
             penalty,
             dlxe_cpi: cs_dlxe.cycles(&dlxe_m.stats, penalty) as f64 / dlxe_m.stats.insns as f64,
             d16_cpi: cs_d16.cycles(&d16_m.stats, penalty) as f64 / d16_m.stats.insns as f64,
-            d16_normalized: cs_d16.cycles(&d16_m.stats, penalty) as f64
-                / dlxe_m.stats.insns as f64,
+            d16_normalized: cs_d16.cycles(&d16_m.stats, penalty) as f64 / dlxe_m.stats.insns as f64,
         })
         .collect())
 }
@@ -739,13 +719,7 @@ pub fn fpu_latency_sweep(workload: &str) -> Result<Vec<FpuSweepPoint>, String> {
     let dlxe_image = build(w, &TargetSpec::dlxe()).map_err(|e| e.to_string())?;
     let mut out = Vec::new();
     for mul in [1u64, 2, 4, 8, 16] {
-        let lat = d16_sim::FpuLatency {
-            add: 2,
-            mul,
-            div_s: mul * 3,
-            div_d: mul * 3 + 4,
-            cvt: 2,
-        };
+        let lat = d16_sim::FpuLatency { add: 2, mul, div_s: mul * 3, div_d: mul * 3 + 4, cvt: 2 };
         let run = |image: &d16_asm::Image| -> Result<(u64, f64), String> {
             let mut m = Machine::load(image);
             m.set_fpu_latency(lat);

@@ -20,7 +20,7 @@ pub mod measure;
 pub mod report;
 pub mod suite;
 
-pub use measure::{build, measure, Measurement, MeasureError};
+pub use measure::{build, measure, MeasureError, Measurement};
 pub use suite::{base_specs, default_jobs, standard_specs, Suite, SuiteError};
 
 #[cfg(test)]

@@ -30,6 +30,10 @@ pub struct Measurement {
     pub ireq_bus32: u64,
     /// Fetch-buffer requests for a 64-bit bus (`k` = 4 D16 / 2 DLXe).
     pub ireq_bus64: u64,
+    /// The pipeline's [`d16_sim::SIM_SCHEMA`] telemetry block (per-stage
+    /// and per-interlock-class counters). Deterministic — it counts
+    /// events, not time — so it may appear in diffed output.
+    pub tele: d16_telemetry::Counters,
 }
 
 impl Measurement {
@@ -151,6 +155,7 @@ pub fn measure(
         stats: *machine.stats(),
         ireq_bus32: fb32.irequests,
         ireq_bus64: fb64.irequests,
+        tele: machine.telemetry().clone(),
     };
     Ok((m, want_trace.then_some(rec)))
 }
@@ -179,8 +184,7 @@ mod tests {
         let w = d16_workloads::by_name("ackermann").unwrap();
         let (m, trace) = measure(w, &TargetSpec::d16(), true).unwrap();
         let t = trace.unwrap();
-        let fetches =
-            t.iter().filter(|a| matches!(a, d16_sim::Access::Fetch(..))).count() as u64;
+        let fetches = t.iter().filter(|a| matches!(a, d16_sim::Access::Fetch(..))).count() as u64;
         assert_eq!(fetches, m.stats.insns);
     }
 }

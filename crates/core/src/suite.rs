@@ -9,11 +9,12 @@
 //! ([`Suite::cache_grid`]), so the full 20-configuration cache study walks
 //! each trace exactly once.
 
-use crate::measure::{measure, Measurement, MeasureError};
+use crate::measure::{measure, MeasureError, Measurement};
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
 use d16_mem::{CacheBank, CacheSystem};
 use d16_sim::TraceRecorder;
+use d16_telemetry::{timed, Registry};
 use d16_workloads::{Workload, SUITE};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -86,7 +87,10 @@ impl fmt::Display for SuiteError {
                 write!(f, "measuring ({workload}, {target}): {source}")
             }
             SuiteError::ChecksumMismatch { workload, expected, got } => {
-                write!(f, "workload {workload}: targets disagree on the checksum ({expected} vs {got})")
+                write!(
+                    f,
+                    "workload {workload}: targets disagree on the checksum ({expected} vs {got})"
+                )
             }
             SuiteError::MissingCell { workload, target } => {
                 write!(f, "cell ({workload}, {target}) not collected")
@@ -103,6 +107,9 @@ impl std::error::Error for SuiteError {}
 /// One collected cell, before assembly into the maps.
 type CellResult = Result<(Measurement, Option<TraceRecorder>), SuiteError>;
 
+/// Memoized cache-grid replays, keyed like [`Suite::traces`].
+type GridMemo = Arc<Mutex<BTreeMap<(String, String), Arc<Vec<CacheSystem>>>>>;
+
 /// The whole measurement grid.
 #[derive(Clone, Debug, Default)]
 pub struct Suite {
@@ -110,10 +117,20 @@ pub struct Suite {
     pub cells: BTreeMap<(String, String), Measurement>,
     /// `(workload, ISA name) -> trace`, for the cache benchmarks.
     pub traces: BTreeMap<(String, String), TraceRecorder>,
+    /// Wall time spent measuring each cell, keyed like `cells`.
+    /// Wall-clock: reporting only, never part of diffed output (the
+    /// per-cell [`Measurement`]s stay timing-free so their rendering is
+    /// deterministic).
+    pub cell_wall_ns: BTreeMap<(String, String), u64>,
     /// Memoized single-pass cache-grid replays, keyed like `traces`.
     /// Shared across clones: the underlying cells and traces are
     /// immutable once collected, so the replay results are too.
-    grid_memo: Arc<Mutex<BTreeMap<(String, String), Arc<Vec<CacheSystem>>>>>,
+    grid_memo: GridMemo,
+    /// Merged telemetry: pipeline counters absorbed in work-item order at
+    /// assembly (deterministic for every `jobs`), plus collection and
+    /// cache-sweep phase spans. Shared across clones, like `grid_memo`,
+    /// because [`Suite::cache_grid`] appends through `&self`.
+    tele: Arc<Mutex<Registry>>,
 }
 
 impl Suite {
@@ -136,9 +153,8 @@ impl Suite {
         trace_cache: bool,
         jobs: usize,
     ) -> Result<Suite, SuiteError> {
-        let items: Vec<(usize, usize)> = (0..workloads.len())
-            .flat_map(|w| (0..specs.len()).map(move |s| (w, s)))
-            .collect();
+        let items: Vec<(usize, usize)> =
+            (0..workloads.len()).flat_map(|w| (0..specs.len()).map(move |s| (w, s))).collect();
         let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
             let w = workloads[wi];
             let spec = &specs[si];
@@ -152,11 +168,13 @@ impl Suite {
         };
 
         let jobs = jobs.max(1).min(items.len().max(1));
-        let mut results: Vec<Option<CellResult>> = Vec::new();
+        // Each slot holds the cell result plus the wall time spent
+        // measuring it (the "suite.collect.cell" span).
+        let mut results: Vec<Option<(CellResult, u64)>> = Vec::new();
         results.resize_with(items.len(), || None);
         if jobs == 1 {
             for (slot, item) in results.iter_mut().zip(&items) {
-                *slot = Some(run_cell(item));
+                *slot = Some(timed(|| run_cell(item)));
             }
         } else {
             // Work-stealing over a shared index; each worker keeps its
@@ -167,11 +185,11 @@ impl Suite {
                 let handles: Vec<_> = (0..jobs)
                     .map(|_| {
                         scope.spawn(|| {
-                            let mut local: Vec<(usize, CellResult)> = Vec::new();
+                            let mut local: Vec<(usize, (CellResult, u64))> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(item) = items.get(i) else { break };
-                                local.push((i, run_cell(item)));
+                                local.push((i, timed(|| run_cell(item))));
                             }
                             local
                         })
@@ -189,14 +207,22 @@ impl Suite {
         }
 
         let mut suite = Suite::default();
+        let mut reg = Registry::new();
         for (&(wi, si), result) in items.iter().zip(results) {
-            let (m, trace) = result.expect("cell not collected")?;
+            let (result, wall_ns) = result.expect("cell not collected");
+            let (m, trace) = result?;
             let w = workloads[wi];
+            // Absorbing here — in work-item order, after the pool joined —
+            // is what makes the merged counters identical for every `jobs`.
+            reg.absorb("sim", &m.tele);
+            reg.record_span("suite.collect.cell", wall_ns);
             if let Some(t) = trace {
                 suite.traces.insert((w.name.to_string(), specs[si].isa.name().to_string()), t);
             }
+            suite.cell_wall_ns.insert((w.name.to_string(), specs[si].label()), wall_ns);
             suite.cells.insert((w.name.to_string(), specs[si].label()), m);
         }
+        *suite.tele.lock().expect("telemetry lock poisoned") = reg;
 
         // Cross-target checksum agreement: the joint correctness gate.
         for w in workloads {
@@ -277,10 +303,7 @@ impl Suite {
     /// [`SuiteError::MissingTrace`] naming the absent pair.
     pub fn try_trace(&self, workload: &str, isa: Isa) -> Result<&TraceRecorder, SuiteError> {
         self.traces.get(&(workload.to_string(), isa.name().to_string())).ok_or_else(|| {
-            SuiteError::MissingTrace {
-                workload: workload.to_string(),
-                isa: isa.name().to_string(),
-            }
+            SuiteError::MissingTrace { workload: workload.to_string(), isa: isa.name().to_string() }
         })
     }
 
@@ -307,7 +330,11 @@ impl Suite {
     /// # Panics
     ///
     /// Panics if the memo lock is poisoned (a prior replay panicked).
-    pub fn cache_grid(&self, workload: &str, isa: Isa) -> Result<Arc<Vec<CacheSystem>>, SuiteError> {
+    pub fn cache_grid(
+        &self,
+        workload: &str,
+        isa: Isa,
+    ) -> Result<Arc<Vec<CacheSystem>>, SuiteError> {
         let key = (workload.to_string(), isa.name().to_string());
         let mut memo = self.grid_memo.lock().expect("grid memo poisoned");
         if let Some(v) = memo.get(&key) {
@@ -315,10 +342,27 @@ impl Suite {
         }
         let trace = self.try_trace(workload, isa)?;
         let mut bank = CacheBank::symmetric(&crate::experiments::cache_grid_configs());
-        trace.replay(&mut bank);
+        let ((), sweep_ns) = timed(|| trace.replay(&mut bank));
+        {
+            let mut reg = self.tele.lock().expect("telemetry lock poisoned");
+            reg.record_span("suite.cache_grid.sweep", sweep_ns);
+            bank.export_telemetry(&mut reg, &format!("grid.{workload}.{}", isa.name()));
+        }
         let systems = Arc::new(bank.into_systems());
         memo.insert(key, Arc::clone(&systems));
         Ok(systems)
+    }
+
+    /// A snapshot of the suite's merged telemetry: `sim.*` pipeline
+    /// counters (absorbed in work-item order), `grid.*` per-configuration
+    /// cache counters (one block per swept trace), and the
+    /// `suite.collect.cell` / `suite.cache_grid.sweep` phase spans.
+    ///
+    /// Counters and span *counts* are deterministic; span durations are
+    /// wall-clock. Grids sweep lazily, so warm every trace you want
+    /// reported (see [`Suite::cache_grid`]) before snapshotting.
+    pub fn telemetry(&self) -> Registry {
+        self.tele.lock().expect("telemetry lock poisoned").clone()
     }
 
     /// Workload names present, in collection order.
@@ -340,10 +384,7 @@ mod tests {
     #[test]
     fn specs_cover_the_grid() {
         let labels: Vec<String> = standard_specs().iter().map(|s| s.label()).collect();
-        assert_eq!(
-            labels,
-            vec!["D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"]
-        );
+        assert_eq!(labels, vec!["D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"]);
     }
 
     #[test]

@@ -25,15 +25,15 @@ fn cell(workload: &str, target: &str, size: u64, insns: u64, interlocks: u64) ->
         // six tenths as many words for D16 (k=2 with branch waste).
         ireq_bus32: if target.starts_with("D16") { insns * 6 / 10 } else { insns },
         ireq_bus64: if target.starts_with("D16") { insns * 3 / 10 } else { insns / 2 },
+        tele: d16_telemetry::Counters::new(&d16_sim::SIM_SCHEMA),
     }
 }
 
 fn synthetic_suite() -> Suite {
     let mut suite = Suite::default();
-    for (w, d16_size, d16_insns, dlxe_size, dlxe_insns) in [
-        ("alpha", 1000u64, 100_000u64, 1500u64, 85_000u64),
-        ("beta", 2000, 400_000, 3200, 340_000),
-    ] {
+    for (w, d16_size, d16_insns, dlxe_size, dlxe_insns) in
+        [("alpha", 1000u64, 100_000u64, 1500u64, 85_000u64), ("beta", 2000, 400_000, 3200, 340_000)]
+    {
         for (target, size, insns) in [
             ("D16/16/2", d16_size, d16_insns),
             ("DLXe/16/2", dlxe_size + 100, dlxe_insns + 8000),
@@ -41,9 +41,10 @@ fn synthetic_suite() -> Suite {
             ("DLXe/32/2", dlxe_size + 40, dlxe_insns + 3000),
             ("DLXe/32/3", dlxe_size, dlxe_insns),
         ] {
-            suite
-                .cells
-                .insert((w.to_string(), target.to_string()), cell(w, target, size, insns, insns / 10));
+            suite.cells.insert(
+                (w.to_string(), target.to_string()),
+                cell(w, target, size, insns, insns / 10),
+            );
         }
     }
     suite

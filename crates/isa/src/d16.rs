@@ -127,8 +127,7 @@ fn cvt_index(op: CvtOp) -> u16 {
 }
 
 fn cvt_from_index(i: u16) -> CvtOp {
-    [CvtOp::Si2Sf, CvtOp::Si2Df, CvtOp::Sf2Df, CvtOp::Df2Sf, CvtOp::Sf2Si, CvtOp::Df2Si]
-        [i as usize]
+    [CvtOp::Si2Sf, CvtOp::Si2Df, CvtOp::Sf2Df, CvtOp::Df2Sf, CvtOp::Sf2Si, CvtOp::Df2Si][i as usize]
 }
 
 fn gpr4(r: Gpr) -> Result<u16, EncodeError> {
@@ -267,11 +266,7 @@ pub fn encode(insn: &Insn) -> Result<u16, EncodeError> {
         Insn::St { w, rs, base, disp } => match w {
             MemWidth::W => {
                 check_mem_disp(disp)?;
-                Ok(0b11 << 14
-                    | 1 << 13
-                    | ((disp as u16) / 4) << 8
-                    | gpr4(base)? << 4
-                    | gpr4(rs)?)
+                Ok(0b11 << 14 | 1 << 13 | ((disp as u16) / 4) << 8 | gpr4(base)? << 4 | gpr4(rs)?)
             }
             _ => {
                 if disp != 0 {
@@ -286,10 +281,10 @@ pub fn encode(insn: &Insn) -> Result<u16, EncodeError> {
             }
         },
         Insn::Ldc { rd, disp } => {
-            if disp < 0 || disp > MAX_LDC_DISP || disp % 4 != 0 {
+            if !(0..=MAX_LDC_DISP).contains(&disp) || disp % 4 != 0 {
                 return Err(EncodeError::DisplacementOutOfRange(disp));
             }
-            Ok(0b100_0 << 12 | ((disp as u16) / 4) << 4 | gpr4(rd)?)
+            Ok(0b1000 << 12 | ((disp as u16) / 4) << 4 | gpr4(rd)?)
         }
         Insn::Br { disp } => encode_branch(0, disp),
         Insn::Bc { neg, rs, disp } => {
@@ -362,7 +357,7 @@ pub fn encode(insn: &Insn) -> Result<u16, EncodeError> {
 }
 
 fn check_mem_disp(disp: i32) -> Result<(), EncodeError> {
-    if disp < 0 || disp > MAX_MEM_DISP || disp % 4 != 0 {
+    if !(0..=MAX_MEM_DISP).contains(&disp) || disp % 4 != 0 {
         Err(EncodeError::DisplacementOutOfRange(disp))
     } else {
         Ok(())
@@ -436,12 +431,9 @@ pub fn decode(word: u16) -> Result<Insn, DecodeError> {
             NEG => Insn::Un { op: UnOp::Neg, rd: rx, rs: ry },
             INV => Insn::Un { op: UnOp::Inv, rd: rx, rs: ry },
             MV => Insn::Un { op: UnOp::Mv, rd: rx, rs: ry },
-            _ if (CMP_BASE..CMP_BASE + 6).contains(&op) => Insn::Cmp {
-                cond: cond_from_index(op - CMP_BASE),
-                rd: abi::R0,
-                rs1: rx,
-                rs2: ry,
-            },
+            _ if (CMP_BASE..CMP_BASE + 6).contains(&op) => {
+                Insn::Cmp { cond: cond_from_index(op - CMP_BASE), rd: abi::R0, rs1: rx, rs2: ry }
+            }
             J => Insn::J { target: ry },
             JZ => Insn::Jc { neg: false, rs: abi::R0, target: ry },
             JNZ => Insn::Jc { neg: true, rs: abi::R0, target: ry },
@@ -499,8 +491,7 @@ pub fn decode(word: u16) -> Result<Insn, DecodeError> {
             }
             _ if (CVT_BASE..CVT_BASE + 6).contains(&op) => {
                 let cvt = cvt_from_index(op - CVT_BASE);
-                if (cvt.dst_is_double() && !fx.is_even())
-                    || (cvt.src_is_double() && !fy.is_even())
+                if (cvt.dst_is_double() && !fx.is_even()) || (cvt.src_is_double() && !fy.is_even())
                 {
                     return Err(ill());
                 }
@@ -537,9 +528,9 @@ pub fn decode(word: u16) -> Result<Insn, DecodeError> {
     let op = (word >> 8) & 0xf;
     match op {
         0 if word == 0 => Ok(Insn::Nop),
-        1 => TrapCode::from_code((word & 0xff) as u8)
-            .map(|code| Insn::Trap { code })
-            .ok_or_else(ill),
+        1 => {
+            TrapCode::from_code((word & 0xff) as u8).map(|code| Insn::Trap { code }).ok_or_else(ill)
+        }
         2 => Ok(Insn::Rdsr { rd: rx }),
         _ => Err(ill()),
     }
@@ -649,13 +640,8 @@ mod tests {
     fn rejects_dlxe_only_shapes() {
         assert!(encode(&Insn::Lui { rd: Gpr::new(1), imm: 5 }).is_err());
         assert!(encode(&Insn::Jdisp { link: true, disp: 0 }).is_err());
-        assert!(encode(&Insn::AluI {
-            op: AluOp::And,
-            rd: Gpr::new(1),
-            rs1: Gpr::new(1),
-            imm: 1
-        })
-        .is_err());
+        assert!(encode(&Insn::AluI { op: AluOp::And, rd: Gpr::new(1), rs1: Gpr::new(1), imm: 1 })
+            .is_err());
         assert!(encode(&Insn::Cmp {
             cond: Cond::Gt,
             rd: abi::R0,

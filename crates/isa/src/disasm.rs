@@ -88,10 +88,7 @@ mod tests {
         let cases: Vec<(Insn, &str)> = vec![
             (Insn::Alu { op: AluOp::Xor, rd: r(1), rs1: r(1), rs2: r(2) }, "xor r1, r1, r2"),
             (Insn::Mvi { rd: r(3), imm: -7 }, "mvi r3, -7"),
-            (
-                Insn::Cmp { cond: Cond::Ltu, rd: abi::R0, rs1: r(4), rs2: r(5) },
-                "cmpltu r0, r4, r5",
-            ),
+            (Insn::Cmp { cond: Cond::Ltu, rd: abi::R0, rs1: r(4), rs2: r(5) }, "cmpltu r0, r4, r5"),
             (Insn::Ld { w: MemWidth::W, rd: r(2), base: abi::SP, disp: 8 }, "ld r2, 8(r15)"),
             (Insn::St { w: MemWidth::B, rs: r(2), base: r(3), disp: 0 }, "stb r2, 0(r3)"),
             (Insn::Br { disp: -10 }, "br .-10"),

@@ -131,14 +131,8 @@ fn fpop_index(op: FpOp) -> u32 {
 
 const FPOP_TABLE: [FpOp; 4] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div];
 const FCOND_TABLE: [FpCond; 3] = [FpCond::Eq, FpCond::Lt, FpCond::Le];
-const CVT_TABLE: [CvtOp; 6] = [
-    CvtOp::Si2Sf,
-    CvtOp::Si2Df,
-    CvtOp::Sf2Df,
-    CvtOp::Df2Sf,
-    CvtOp::Sf2Si,
-    CvtOp::Df2Si,
-];
+const CVT_TABLE: [CvtOp; 6] =
+    [CvtOp::Si2Sf, CvtOp::Si2Df, CvtOp::Sf2Df, CvtOp::Df2Sf, CvtOp::Sf2Si, CvtOp::Df2Si];
 
 fn fcond_index(c: FpCond) -> u32 {
     match c {
@@ -237,12 +231,9 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
         Insn::Cmp { cond, rd, rs1, rs2 } => {
             Ok(rtype(g(rs1), g(rs2), g(rd), func::CMP_BASE + cond_index(cond)))
         }
-        Insn::CmpI { cond, rd, rs1, imm } => Ok(itype(
-            opc::CMPI_BASE + cond_index(cond),
-            g(rs1),
-            g(rd),
-            check_simm(imm)?,
-        )),
+        Insn::CmpI { cond, rd, rs1, imm } => {
+            Ok(itype(opc::CMPI_BASE + cond_index(cond), g(rs1), g(rd), check_simm(imm)?))
+        }
         Insn::Ld { w, rd, base, disp } => {
             let opcode = match w {
                 MemWidth::W => opc::LD,
@@ -419,8 +410,7 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             }
             _ if (CVT_BASE..CVT_BASE + 6).contains(&f) => {
                 let cvt = CVT_TABLE[(f - CVT_BASE) as usize];
-                if (cvt.dst_is_double() && !fd.is_even())
-                    || (cvt.src_is_double() && !fs1.is_even())
+                if (cvt.dst_is_double() && !fd.is_even()) || (cvt.src_is_double() && !fs1.is_even())
                 {
                     return Err(ill());
                 }
@@ -486,7 +476,9 @@ pub fn canonicalize(insn: Insn) -> Insn {
     match insn {
         Insn::Br { disp } => Insn::Jdisp { link: false, disp },
         Insn::AluI { op: AluOp::Add, rd, rs1, imm } if rs1 == abi::R0 => Insn::Mvi { rd, imm },
-        Insn::Alu { op: AluOp::Add, rd, rs1, rs2 } if rs2 == abi::R0 && (rd != abi::R0 || rs1 != abi::R0) => {
+        Insn::Alu { op: AluOp::Add, rd, rs1, rs2 }
+            if rs2 == abi::R0 && (rd != abi::R0 || rs1 != abi::R0) =>
+        {
             Insn::Un { op: UnOp::Mv, rd, rs: rs1 }
         }
         Insn::Alu { op: AluOp::Add, rd, rs1, rs2 }
@@ -555,13 +547,8 @@ mod tests {
     fn canonical_forms() {
         // mvi == addi rd, r0
         let w = encode(&Insn::Mvi { rd: Gpr::new(5), imm: 7 }).unwrap();
-        let w2 = encode(&Insn::AluI {
-            op: AluOp::Add,
-            rd: Gpr::new(5),
-            rs1: abi::R0,
-            imm: 7,
-        })
-        .unwrap();
+        let w2 =
+            encode(&Insn::AluI { op: AluOp::Add, rd: Gpr::new(5), rs1: abi::R0, imm: 7 }).unwrap();
         assert_eq!(w, w2);
         // br == j
         assert_eq!(
@@ -581,17 +568,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_immediates() {
         assert!(encode(&Insn::Mvi { rd: Gpr::new(1), imm: 32768 }).is_err());
-        assert!(encode(&Insn::AluI {
-            op: AluOp::And,
-            rd: Gpr::new(1),
-            rs1: Gpr::new(1),
-            imm: -1
-        })
-        .is_err());
-        assert!(
-            encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: 40000 })
-                .is_err()
-        );
+        assert!(encode(&Insn::AluI { op: AluOp::And, rd: Gpr::new(1), rs1: Gpr::new(1), imm: -1 })
+            .is_err());
+        assert!(encode(&Insn::Ld { w: MemWidth::W, rd: Gpr::new(1), base: abi::SP, disp: 40000 })
+            .is_err());
         assert!(encode(&Insn::Bc { neg: false, rs: abi::R0, disp: 2 }).is_err());
     }
 
@@ -609,7 +589,6 @@ mod tests {
     #[test]
     fn decode_rejects_reserved() {
         assert!(decode(63 << 26).is_err());
-        assert!(decode(1234 & 0x7ff | 700).is_err() || true); // see sweep below
         // R-type reserved func
         assert!(decode(0x7ff).is_err());
     }

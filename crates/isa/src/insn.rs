@@ -121,10 +121,7 @@ impl Insn {
 
     /// Whether this instruction executes in the floating-point unit.
     pub fn is_fpu(&self) -> bool {
-        matches!(
-            self,
-            Insn::FAlu { .. } | Insn::FNeg { .. } | Insn::FCmp { .. } | Insn::Cvt { .. }
-        )
+        matches!(self, Insn::FAlu { .. } | Insn::FNeg { .. } | Insn::FCmp { .. } | Insn::Cvt { .. })
     }
 
     /// The GPR written by this instruction, if any. Used by the pipeline's

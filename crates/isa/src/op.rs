@@ -164,10 +164,7 @@ impl Cond {
 
     /// Whether the condition is part of the D16 compare set.
     pub const fn in_d16(self) -> bool {
-        matches!(
-            self,
-            Cond::Eq | Cond::Ne | Cond::Lt | Cond::Ltu | Cond::Le | Cond::Leu
-        )
+        matches!(self, Cond::Eq | Cond::Ne | Cond::Lt | Cond::Ltu | Cond::Le | Cond::Leu)
     }
 
     /// Evaluates the condition on 32-bit operands.

@@ -5,11 +5,11 @@
 //! the immediate-profile experiment (Table 4) counts dynamic DLXe
 //! instructions whose operands exceed the D16 fields.
 
-use crate::insn::{Insn, Isa};
-use crate::op::{AluOp, MemWidth};
 use crate::d16;
 #[cfg(test)]
 use crate::dlxe;
+use crate::insn::{Insn, Isa};
+use crate::op::{AluOp, MemWidth};
 
 /// The expressive limits of one instruction format.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -85,9 +85,7 @@ impl EncodingParams {
     pub fn alu_imm_fits(&self, op: AluOp, imm: i32) -> bool {
         match op {
             AluOp::Shl | AluOp::Shr | AluOp::Shra => (0..=31).contains(&imm),
-            AluOp::And | AluOp::Or | AluOp::Xor => {
-                self.logical_imm && (0..=65535).contains(&imm)
-            }
+            AluOp::And | AluOp::Or | AluOp::Xor => self.logical_imm && (0..=65535).contains(&imm),
             _ => self.alu_imm.0 <= imm && imm <= self.alu_imm.1,
         }
     }
@@ -107,8 +105,7 @@ impl EncodingParams {
         match *insn {
             Insn::CmpI { .. } => Some(ImmOverflow::CompareImmediate),
             Insn::AluI { op, imm, .. } => {
-                if d.alu_imm_fits(op, imm) && !matches!(op, AluOp::And | AluOp::Or | AluOp::Xor)
-                {
+                if d.alu_imm_fits(op, imm) && !matches!(op, AluOp::And | AluOp::Or | AluOp::Xor) {
                     None
                 } else {
                     Some(ImmOverflow::AluImmediate)

@@ -112,7 +112,7 @@ impl Fpr {
 
     /// Whether this register can name a double-precision pair.
     pub const fn is_even(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 }
 

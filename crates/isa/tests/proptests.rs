@@ -6,9 +6,7 @@
 //! strategies (offline builds, DESIGN.md §7); the 16-bit decode spaces are
 //! now covered *exhaustively* rather than sampled.
 
-use d16_isa::{
-    abi, d16, dlxe, AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, Insn, MemWidth, Prec,
-};
+use d16_isa::{abi, d16, dlxe, AluOp, Cond, CvtOp, FpCond, FpOp, Fpr, Gpr, Insn, MemWidth, Prec};
 use d16_testkit::{cases, Rng};
 
 fn gpr16(rng: &mut Rng) -> Gpr {
@@ -48,12 +46,9 @@ fn d16_insn(rng: &mut Rng) -> Insn {
             Insn::AluI { op: AluOp::Add, rd, rs1: rd, imm: rng.range_i32(0, 32) }
         }
         2 => Insn::Mvi { rd: gpr16(rng), imm: rng.range_i32(-256, 256) },
-        3 => Insn::Cmp {
-            cond: *rng.pick(&D16_CONDS),
-            rd: abi::R0,
-            rs1: gpr16(rng),
-            rs2: gpr16(rng),
-        },
+        3 => {
+            Insn::Cmp { cond: *rng.pick(&D16_CONDS), rd: abi::R0, rs1: gpr16(rng), rs2: gpr16(rng) }
+        }
         4 => Insn::Ld {
             w: MemWidth::W,
             rd: gpr16(rng),
@@ -178,10 +173,7 @@ fn disasm_nonempty() {
         if let Ok(insn) = d16::decode(word) {
             let text = d16_isa::disassemble(&insn);
             assert!(!text.is_empty(), "word {word:#06x}");
-            assert!(
-                text.chars().next().unwrap().is_ascii_lowercase(),
-                "word {word:#06x}: {text}"
-            );
+            assert!(text.chars().next().unwrap().is_ascii_lowercase(), "word {word:#06x}: {text}");
         }
     }
 }

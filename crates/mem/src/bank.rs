@@ -16,17 +16,33 @@
 use crate::cache::CacheConfig;
 use crate::system::CacheSystem;
 use d16_sim::AccessSink;
+use d16_telemetry::{Counters, Registry};
+
+d16_telemetry::counter_schema! {
+    /// Sweep-level counters: how many accesses one single-pass replay fed
+    /// to every member system. Counted once per access, not per member,
+    /// so they measure the trace, not the bank width.
+    pub BANK_SCHEMA / BankCounter {
+        /// Instruction fetches swept.
+        Fetches => "sweep.fetches",
+        /// Data reads swept.
+        Reads => "sweep.reads",
+        /// Data writes swept.
+        Writes => "sweep.writes",
+    }
+}
 
 /// N independent split-cache systems fed by one access stream.
 #[derive(Clone, Debug)]
 pub struct CacheBank {
     systems: Vec<CacheSystem>,
+    tele: Counters,
 }
 
 impl CacheBank {
     /// Builds a bank from pre-constructed systems.
     pub fn new(systems: Vec<CacheSystem>) -> Self {
-        CacheBank { systems }
+        CacheBank { systems, tele: Counters::new(&BANK_SCHEMA) }
     }
 
     /// Builds a bank of symmetric systems (equal I and D configuration),
@@ -37,7 +53,7 @@ impl CacheBank {
     ///
     /// Panics on an invalid configuration (see [`CacheConfig::validate`]).
     pub fn symmetric(configs: &[CacheConfig]) -> Self {
-        CacheBank { systems: configs.iter().map(|c| CacheSystem::new(*c, *c)).collect() }
+        Self::new(configs.iter().map(|c| CacheSystem::new(*c, *c)).collect())
     }
 
     /// Number of member systems.
@@ -60,22 +76,43 @@ impl CacheBank {
     pub fn into_systems(self) -> Vec<CacheSystem> {
         self.systems
     }
+
+    /// The [`BANK_SCHEMA`] sweep counters (all zeros with telemetry
+    /// compiled out).
+    pub fn telemetry(&self) -> &Counters {
+        &self.tele
+    }
+
+    /// Dumps the sweep counters plus every member system's per-cache
+    /// counters into `reg`: sweep counters under `<prefix>.*`, member
+    /// counters under `<prefix>.cfg.<label>.{icache,dcache}.*` (systems
+    /// with identical geometry merge into one entry). A no-op with
+    /// telemetry compiled out.
+    pub fn export_telemetry(&self, reg: &mut Registry, prefix: &str) {
+        reg.absorb(prefix, &self.tele);
+        for s in &self.systems {
+            s.export_telemetry(reg, &format!("{prefix}.cfg.{}", s.label()));
+        }
+    }
 }
 
 impl AccessSink for CacheBank {
     fn fetch(&mut self, addr: u32, bytes: u8) {
+        self.tele.bump(BankCounter::Fetches);
         for s in &mut self.systems {
             s.fetch(addr, bytes);
         }
     }
 
     fn read(&mut self, addr: u32, bytes: u8) {
+        self.tele.bump(BankCounter::Reads);
         for s in &mut self.systems {
             s.read(addr, bytes);
         }
     }
 
     fn write(&mut self, addr: u32, bytes: u8) {
+        self.tele.bump(BankCounter::Writes);
         for s in &mut self.systems {
             s.write(addr, bytes);
         }
@@ -90,8 +127,7 @@ mod tests {
     fn bank_members_match_dedicated_systems() {
         let cfgs = [CacheConfig::paper(1024, 32), CacheConfig::paper(4096, 32)];
         let mut bank = CacheBank::symmetric(&cfgs);
-        let mut solo: Vec<CacheSystem> =
-            cfgs.iter().map(|c| CacheSystem::new(*c, *c)).collect();
+        let mut solo: Vec<CacheSystem> = cfgs.iter().map(|c| CacheSystem::new(*c, *c)).collect();
         for i in 0..2000u32 {
             let a = (i * 52) % 8192;
             match i % 3 {
@@ -112,6 +148,38 @@ mod tests {
         for (b, s) in bank.systems().iter().zip(&solo) {
             assert_eq!(b.icache(), s.icache());
             assert_eq!(b.dcache(), s.dcache());
+        }
+    }
+
+    #[test]
+    fn bank_telemetry_counts_sweep_and_exports_per_config() {
+        let cfgs = [CacheConfig::paper(1024, 32), CacheConfig::paper(4096, 32)];
+        let mut bank = CacheBank::symmetric(&cfgs);
+        for i in 0..300u32 {
+            let a = (i * 20) % 4096;
+            bank.fetch(a, 4);
+            if i % 2 == 0 {
+                bank.read(a, 4);
+            } else {
+                bank.write(a, 4);
+            }
+        }
+        for s in bank.systems() {
+            s.reconciles().unwrap();
+        }
+        let mut reg = d16_telemetry::Registry::new();
+        bank.export_telemetry(&mut reg, "grid");
+        if d16_telemetry::ENABLED {
+            assert_eq!(bank.telemetry().get(BankCounter::Fetches), 300);
+            assert_eq!(reg.counter("grid.sweep.fetches"), Some(300));
+            assert_eq!(
+                reg.counter("grid.cfg.1024B.b32.s8.a1.icache.read.hits").unwrap()
+                    + reg.counter("grid.cfg.1024B.b32.s8.a1.icache.read.misses").unwrap(),
+                300
+            );
+            assert!(reg.counter("grid.cfg.4096B.b32.s8.a1.dcache.write.misses").is_some());
+        } else {
+            assert!(reg.is_empty());
         }
     }
 

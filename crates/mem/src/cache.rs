@@ -17,6 +17,32 @@
 //! * Miss counts are demand misses only; prefetched sub-blocks count as
 //!   traffic but not as misses.
 
+use d16_telemetry::Counters;
+
+d16_telemetry::counter_schema! {
+    /// Per-cache hit/miss/traffic counters, bumped by [`Cache`] on every
+    /// access. They mirror [`CacheStats`] exactly (hits are counted
+    /// explicitly rather than derived) so a dump can be reconciled against
+    /// the aggregates; traffic is counted in sub-blocks here and in bytes
+    /// there.
+    pub MEM_SCHEMA / MemCounter {
+        /// Demand reads that hit.
+        ReadHits => "read.hits",
+        /// Demand reads that missed (tag or sub-block miss).
+        ReadMisses => "read.misses",
+        /// Writes that hit a valid sub-block.
+        WriteHits => "write.hits",
+        /// Writes that missed (allocated by write-validate).
+        WriteMisses => "write.misses",
+        /// Sub-blocks fetched on demand.
+        DemandFetches => "demand.sub_blocks",
+        /// Sub-blocks fetched by wrap-around prefetch.
+        Prefetches => "prefetch.sub_blocks",
+        /// Dirty sub-blocks written back (evictions and flushes).
+        Writebacks => "writeback.sub_blocks",
+    }
+}
+
 /// Cache geometry and policy.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
@@ -69,6 +95,17 @@ impl CacheConfig {
             ));
         }
         Ok(())
+    }
+
+    /// A stable, filesystem- and JSON-key-safe label for this geometry,
+    /// e.g. `4096B.b32.s8.a1` (plus `.np` when prefetch is disabled).
+    /// Used to key per-configuration telemetry dumps.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}B.b{}.s{}.a{}", self.size, self.block, self.sub_block, self.assoc);
+        if !self.wrap_prefetch {
+            s.push_str(".np");
+        }
+        s
     }
 
     fn sets(&self) -> u32 {
@@ -158,6 +195,7 @@ pub struct Cache {
     lines: Vec<Line>, // sets * assoc
     tick: u64,
     stats: CacheStats,
+    tele: Counters,
 }
 
 impl Cache {
@@ -175,6 +213,7 @@ impl Cache {
             lines: (0..n).map(|_| Line { tag: 0, valid: 0, dirty: 0, lru: 0 }).collect(),
             tick: 0,
             stats: CacheStats::default(),
+            tele: Counters::new(&MEM_SCHEMA),
         }
     }
 
@@ -188,12 +227,21 @@ impl Cache {
         &self.stats
     }
 
+    /// The [`MEM_SCHEMA`] telemetry block (all zeros with telemetry
+    /// compiled out).
+    pub fn telemetry(&self) -> &Counters {
+        &self.tele
+    }
+
     /// Performs a read access; returns whether it hit.
     pub fn read(&mut self, addr: u32) -> bool {
         self.stats.reads += 1;
         let hit = self.touch(addr, false);
-        if !hit {
+        if hit {
+            self.tele.bump(MemCounter::ReadHits);
+        } else {
             self.stats.read_misses += 1;
+            self.tele.bump(MemCounter::ReadMisses);
         }
         hit
     }
@@ -202,8 +250,11 @@ impl Cache {
     pub fn write(&mut self, addr: u32) -> bool {
         self.stats.writes += 1;
         let hit = self.touch(addr, true);
-        if !hit {
+        if hit {
+            self.tele.bump(MemCounter::WriteHits);
+        } else {
             self.stats.write_misses += 1;
+            self.tele.bump(MemCounter::WriteMisses);
         }
         hit
     }
@@ -233,11 +284,13 @@ impl Cache {
             // Tag hit, sub-block miss: demand-fetch + wrap-around prefetch.
             way.valid |= 1 << sub;
             self.stats.demand_bytes_in += cfg.sub_block as u64;
+            self.tele.bump(MemCounter::DemandFetches);
             if cfg.wrap_prefetch && cfg.subs_per_block() > 1 {
                 let nxt = (sub + 1) % cfg.subs_per_block();
                 if way.valid & (1 << nxt) == 0 {
                     way.valid |= 1 << nxt;
                     self.stats.prefetch_bytes_in += cfg.sub_block as u64;
+                    self.tele.bump(MemCounter::Prefetches);
                 }
             }
             return false;
@@ -250,6 +303,7 @@ impl Cache {
             .expect("at least one way");
         let dirty_subs = victim.dirty.count_ones() as u64;
         self.stats.bytes_out += dirty_subs * cfg.sub_block as u64;
+        self.tele.add(MemCounter::Writebacks, dirty_subs);
         victim.tag = tag;
         victim.valid = 1 << sub;
         victim.dirty = 0;
@@ -258,19 +312,62 @@ impl Cache {
             victim.dirty = 1 << sub;
         } else {
             self.stats.demand_bytes_in += cfg.sub_block as u64;
+            self.tele.bump(MemCounter::DemandFetches);
             if cfg.wrap_prefetch && cfg.subs_per_block() > 1 {
                 let nxt = (sub + 1) % cfg.subs_per_block();
                 victim.valid |= 1 << nxt;
                 self.stats.prefetch_bytes_in += cfg.sub_block as u64;
+                self.tele.bump(MemCounter::Prefetches);
             }
         }
         false
+    }
+
+    /// Checks that the telemetry block agrees with [`CacheStats`]:
+    /// hits + misses partition the accesses and the sub-block traffic
+    /// counters scale to the byte aggregates. Trivially passes with
+    /// telemetry compiled out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the failing identity and both sides.
+    pub fn reconciles(&self) -> Result<(), String> {
+        if !d16_telemetry::ENABLED {
+            return Ok(());
+        }
+        let eq = |what: &str, counter: u64, aggregate: u64| {
+            if counter == aggregate {
+                Ok(())
+            } else {
+                Err(format!("{what}: counter {counter} != aggregate {aggregate}"))
+            }
+        };
+        let t = &self.tele;
+        let s = &self.stats;
+        let sb = self.cfg.sub_block as u64;
+        eq(
+            "read hits + misses",
+            t.get(MemCounter::ReadHits) + t.get(MemCounter::ReadMisses),
+            s.reads,
+        )?;
+        eq("read.misses", t.get(MemCounter::ReadMisses), s.read_misses)?;
+        eq(
+            "write hits + misses",
+            t.get(MemCounter::WriteHits) + t.get(MemCounter::WriteMisses),
+            s.writes,
+        )?;
+        eq("write.misses", t.get(MemCounter::WriteMisses), s.write_misses)?;
+        eq("demand bytes", t.get(MemCounter::DemandFetches) * sb, s.demand_bytes_in)?;
+        eq("prefetch bytes", t.get(MemCounter::Prefetches) * sb, s.prefetch_bytes_in)?;
+        eq("writeback bytes", t.get(MemCounter::Writebacks) * sb, s.bytes_out)?;
+        Ok(())
     }
 
     /// Invalidates all contents, keeping the statistics.
     pub fn flush(&mut self) {
         let dirty: u64 = self.lines.iter().map(|l| l.dirty.count_ones() as u64).sum();
         self.stats.bytes_out += dirty * self.cfg.sub_block as u64;
+        self.tele.add(MemCounter::Writebacks, dirty);
         for l in &mut self.lines {
             l.valid = 0;
             l.dirty = 0;
@@ -284,7 +381,13 @@ mod tests {
 
     fn small() -> Cache {
         // 256 B direct-mapped, 32 B blocks, 8 B sub-blocks.
-        Cache::new(CacheConfig { size: 256, block: 32, sub_block: 8, assoc: 1, wrap_prefetch: true })
+        Cache::new(CacheConfig {
+            size: 256,
+            block: 32,
+            sub_block: 8,
+            assoc: 1,
+            wrap_prefetch: true,
+        })
     }
 
     #[test]
@@ -407,10 +510,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_reconciles_with_stats() {
+        let mut c = small();
+        for i in 0..4000u32 {
+            let a = (i * 52) % 4096;
+            if i % 3 == 0 {
+                c.write(a);
+            } else {
+                c.read(a);
+            }
+        }
+        c.flush();
+        c.reconciles().unwrap();
+        if d16_telemetry::ENABLED {
+            use d16_telemetry::CounterId;
+            assert_eq!(c.telemetry().get(MemCounter::ReadMisses), c.stats().read_misses);
+            assert_eq!(MEM_SCHEMA.len(), 7);
+            assert_eq!(MemCounter::ReadHits.index(), 0);
+        }
+    }
+
+    #[test]
+    fn config_labels_are_stable() {
+        assert_eq!(CacheConfig::paper(4096, 32).label(), "4096B.b32.s8.a1");
+        let np = CacheConfig { size: 128, block: 16, sub_block: 8, assoc: 2, wrap_prefetch: false };
+        assert_eq!(np.label(), "128B.b16.s8.a2.np");
+    }
+
+    #[test]
     fn bigger_cache_never_misses_more_on_loops() {
         // A looping access pattern: miss count must not increase with size.
-        let pattern: Vec<u32> =
-            (0..10).flat_map(|_| (0..2048u32).step_by(4)).collect();
+        let pattern: Vec<u32> = (0..10).flat_map(|_| (0..2048u32).step_by(4)).collect();
         let mut last = u64::MAX;
         for size in [1024, 2048, 4096, 8192] {
             let mut c = Cache::new(CacheConfig::paper(size, 32));

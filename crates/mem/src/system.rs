@@ -7,6 +7,7 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use d16_sim::{AccessSink, ExecStats};
+use d16_telemetry::Registry;
 
 /// Separate on-chip instruction and data caches (the paper's organization).
 #[derive(Clone, Debug)]
@@ -42,6 +43,48 @@ impl CacheSystem {
         self.dcache.stats()
     }
 
+    /// Instruction-cache configuration.
+    pub fn iconfig(&self) -> &CacheConfig {
+        self.icache.config()
+    }
+
+    /// Data-cache configuration.
+    pub fn dconfig(&self) -> &CacheConfig {
+        self.dcache.config()
+    }
+
+    /// A stable label for the system's geometry: the shared
+    /// [`CacheConfig::label`] when I and D agree (the paper's symmetric
+    /// configurations), `i<label>.d<label>` otherwise.
+    pub fn label(&self) -> String {
+        let (i, d) = (self.icache.config(), self.dcache.config());
+        if i == d {
+            i.label()
+        } else {
+            format!("i{}.d{}", i.label(), d.label())
+        }
+    }
+
+    /// Dumps both caches' telemetry blocks into `reg` under
+    /// `<prefix>.icache.*` / `<prefix>.dcache.*`. A no-op with telemetry
+    /// compiled out.
+    pub fn export_telemetry(&self, reg: &mut Registry, prefix: &str) {
+        reg.absorb(&format!("{prefix}.icache"), self.icache.telemetry());
+        reg.absorb(&format!("{prefix}.dcache"), self.dcache.telemetry());
+    }
+
+    /// Checks both caches' telemetry against their aggregate statistics
+    /// (see [`Cache::reconciles`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing identity, tagged with the cache side.
+    pub fn reconciles(&self) -> Result<(), String> {
+        self.icache.reconciles().map_err(|e| format!("icache: {e}"))?;
+        self.dcache.reconciles().map_err(|e| format!("dcache: {e}"))?;
+        Ok(())
+    }
+
     /// Demand misses across both caches.
     pub fn total_misses(&self) -> u64 {
         self.icache.stats().misses() + self.dcache.stats().misses()
@@ -60,8 +103,7 @@ impl CacheSystem {
     /// Instruction-side memory traffic in 32-bit words per cycle
     /// (Figure 19's measure).
     pub fn itraffic_words_per_cycle(&self, stats: &ExecStats, miss_penalty: u64) -> f64 {
-        let bytes =
-            self.icache.stats().demand_bytes_in + self.icache.stats().prefetch_bytes_in;
+        let bytes = self.icache.stats().demand_bytes_in + self.icache.stats().prefetch_bytes_in;
         (bytes as f64 / 4.0) / self.cycles(stats, miss_penalty) as f64
     }
 

@@ -233,9 +233,7 @@ impl Iterator for TraceIter<'_> {
                 self.next[kind].wrapping_add(d as u32)
             }
             _ => {
-                let a = u32::from_le_bytes(
-                    self.bytes[self.pos..self.pos + 4].try_into().unwrap(),
-                );
+                let a = u32::from_le_bytes(self.bytes[self.pos..self.pos + 4].try_into().unwrap());
                 self.pos += 4;
                 a
             }
@@ -273,16 +271,16 @@ mod tests {
     #[test]
     fn encoding_roundtrips_every_tag() {
         let records = [
-            Access::Fetch(0, 2),            // seq from reset state
-            Access::Fetch(2, 2),            // seq
-            Access::Fetch(100, 2),          // i8 delta
-            Access::Fetch(40_000, 4),       // i16 delta
-            Access::Fetch(0xDEAD_0000, 4),  // absolute
-            Access::Read(0xDEAD_0010, 4),   // per-kind state: independent of fetches
-            Access::Read(0xDEAD_0014, 8),   // seq
-            Access::Write(0xDEAD_0012, 1),  // write state independent of reads
-            Access::Write(0, 2),            // absolute backwards
-            Access::Read(0xDEAD_0000, 1),   // negative i8/i16 delta path
+            Access::Fetch(0, 2),           // seq from reset state
+            Access::Fetch(2, 2),           // seq
+            Access::Fetch(100, 2),         // i8 delta
+            Access::Fetch(40_000, 4),      // i16 delta
+            Access::Fetch(0xDEAD_0000, 4), // absolute
+            Access::Read(0xDEAD_0010, 4),  // per-kind state: independent of fetches
+            Access::Read(0xDEAD_0014, 8),  // seq
+            Access::Write(0xDEAD_0012, 1), // write state independent of reads
+            Access::Write(0, 2),           // absolute backwards
+            Access::Read(0xDEAD_0000, 1),  // negative i8/i16 delta path
         ];
         let mut r = TraceRecorder::new();
         for a in records {

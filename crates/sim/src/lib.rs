@@ -32,7 +32,7 @@ mod stats;
 
 pub use access::{Access, AccessSink, NullSink, TraceIter, TraceRecorder};
 pub use machine::{FpuLatency, Machine, SimError};
-pub use stats::{ExecStats, StopReason};
+pub use stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
 
 #[cfg(test)]
 mod tests {

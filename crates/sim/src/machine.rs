@@ -9,9 +9,10 @@
 //! pipeline with full forwarding.
 
 use crate::access::AccessSink;
-use crate::stats::{ExecStats, StopReason};
+use crate::stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
 use d16_asm::Image;
 use d16_isa::{abi, CvtOp, Gpr, Insn, Isa, MemWidth, Prec, TrapCode};
+use d16_telemetry::Counters;
 use std::fmt;
 
 /// FPU operation latencies in cycles, configurable per experiment.
@@ -120,6 +121,7 @@ pub struct Machine {
     halted: Option<i32>,
     console: Vec<u8>,
     stats: ExecStats,
+    tele: Counters,
     lat: FpuLatency,
     // Scoreboard for interlock accounting.
     t: u64,
@@ -181,6 +183,7 @@ impl Machine {
             halted: None,
             console: Vec::new(),
             stats: ExecStats::default(),
+            tele: Counters::new(&SIM_SCHEMA),
             lat: FpuLatency::default(),
             t: 0,
             gpr_ready: [0; 32],
@@ -232,6 +235,15 @@ impl Machine {
         &self.stats
     }
 
+    /// Per-stage and per-interlock-class telemetry counters
+    /// ([`crate::stats::SIM_SCHEMA`]). Empty when the `telemetry`
+    /// feature is compiled out; when present the counters reconcile
+    /// exactly with [`Machine::stats`] (see
+    /// [`ExecStats::reconciles_with`]).
+    pub fn telemetry(&self) -> &Counters {
+        &self.tele
+    }
+
     /// Console output so far (bytes written via `trap 1`/`trap 2`).
     pub fn console(&self) -> &[u8] {
         &self.console
@@ -273,7 +285,8 @@ impl Machine {
     pub fn step(&mut self, sink: &mut impl AccessSink) -> Result<(), SimError> {
         let pc = self.pc;
         let ilen = self.isa.insn_bytes();
-        if pc < self.text_base || pc >= self.text_end || (pc - self.text_base) % ilen != 0 {
+        if pc < self.text_base || pc >= self.text_end || !(pc - self.text_base).is_multiple_of(ilen)
+        {
             return Err(SimError::PcOutOfText { pc });
         }
         let insn = self.decoded[((pc - self.text_base) / ilen) as usize]
@@ -284,9 +297,40 @@ impl Machine {
         let word = pc & !3;
         if self.last_fetch_word != Some(word) {
             self.stats.ifetch_words += 1;
+            self.tele.bump(SimCounter::IfWords);
             self.last_fetch_word = Some(word);
         }
         self.stats.insns += 1;
+        self.tele.bump(SimCounter::IfInsns);
+        self.tele.bump(SimCounter::IdInsns);
+        // Stage-occupancy class: the stage that does this instruction's
+        // real work (the classes partition the instruction stream).
+        self.tele.bump(match insn {
+            Insn::Alu { .. }
+            | Insn::AluI { .. }
+            | Insn::Un { .. }
+            | Insn::Mvi { .. }
+            | Insn::Lui { .. }
+            | Insn::Cmp { .. }
+            | Insn::CmpI { .. } => SimCounter::ExAlu,
+            Insn::Ld { .. } | Insn::Ldc { .. } => SimCounter::MemLoads,
+            Insn::St { .. } => SimCounter::MemStores,
+            Insn::Br { .. }
+            | Insn::Bc { .. }
+            | Insn::J { .. }
+            | Insn::Jc { .. }
+            | Insn::Jl { .. }
+            | Insn::Jdisp { .. } => SimCounter::ExControl,
+            Insn::FAlu { .. }
+            | Insn::FNeg { .. }
+            | Insn::FCmp { .. }
+            | Insn::Cvt { .. }
+            | Insn::Mtf { .. }
+            | Insn::Mff { .. }
+            | Insn::Rdsr { .. } => SimCounter::ExFpu,
+            Insn::Trap { .. } => SimCounter::ExSys,
+            Insn::Nop => SimCounter::ExNop,
+        });
 
         self.account_interlocks(&insn);
 
@@ -319,6 +363,7 @@ impl Machine {
                 let v = self.load_data(addr, w, pc, sink)?;
                 self.stats.loads += 1;
                 self.set_gpr(rd, v);
+                self.tele.bump(SimCounter::WbGpr);
                 self.gpr_ready[rd.index()] = self.t + 1; // one load delay slot
             }
             Insn::Ldc { rd, disp } => {
@@ -326,6 +371,7 @@ impl Machine {
                 let v = self.load_data(addr, MemWidth::W, pc, sink)?;
                 self.stats.loads += 1;
                 self.set_gpr(rd, v);
+                self.tele.bump(SimCounter::WbGpr);
                 self.gpr_ready[rd.index()] = self.t + 1;
             }
             Insn::St { w, rs, base, disp } => {
@@ -347,6 +393,7 @@ impl Machine {
                 let dest = self.gpr(t);
                 let link = self.isa.link_reg();
                 self.set_gpr(link, pc + 2 * ilen);
+                self.tele.bump(SimCounter::WbGpr);
                 self.gpr_ready[link.index()] = self.t;
                 target = Some(Some(dest));
             }
@@ -354,6 +401,7 @@ impl Machine {
                 if link {
                     let lr = self.isa.link_reg();
                     self.set_gpr(lr, pc + 2 * ilen);
+                    self.tele.bump(SimCounter::WbGpr);
                     self.gpr_ready[lr.index()] = self.t;
                 }
                 target = Some(Some(add_disp(pc + ilen, disp)));
@@ -450,6 +498,7 @@ impl Machine {
             }
             Insn::Mtf { fd, rs } => {
                 self.fpr[fd.index()] = self.gpr(rs);
+                self.tele.bump(SimCounter::WbFpr);
                 self.fpr_ready[fd.index()] = self.t + 1;
             }
             Insn::Mff { rd, fs } => {
@@ -483,6 +532,9 @@ impl Machine {
             self.stats.branches += 1;
             if t.is_some() {
                 self.stats.taken_branches += 1;
+                self.tele.bump(SimCounter::CtlTaken);
+            } else {
+                self.tele.bump(SimCounter::CtlUntaken);
             }
             self.pending_target = Some(t.unwrap_or(pc + 2 * ilen));
             self.pc = pc + ilen;
@@ -497,10 +549,12 @@ impl Machine {
     /// ALU-class result: ready immediately via forwarding.
     fn write_int(&mut self, rd: Gpr, v: u32) {
         self.set_gpr(rd, v);
+        self.tele.bump(SimCounter::WbGpr);
         self.gpr_ready[rd.index()] = self.t;
     }
 
     fn finish_fpu(&mut self, fd: d16_isa::Fpr, prec: Prec, lat: u64) {
+        self.tele.bump(SimCounter::WbFpr);
         // `self.t` is already the next issue time, so an immediately
         // dependent instruction stalls `lat - 1` cycles (full forwarding).
         let done = self.t + lat - 1;
@@ -524,6 +578,10 @@ impl Machine {
     }
 
     /// Computes and accounts interlock stalls for `insn`, then issues it.
+    /// The stall is attributed to a telemetry class: delayed load, FPU
+    /// result register, FPU unit busy, or FP status register (on equal
+    /// readiness the earlier-checked class wins — result, busy, status —
+    /// which is deterministic).
     fn account_interlocks(&mut self, insn: &Insn) {
         let mut load_need = 0u64;
         for r in insn.use_gprs().into_iter().flatten() {
@@ -532,41 +590,50 @@ impl Machine {
             }
         }
         let mut fpu_need = 0u64;
-        let track_fpr = |ready: &[u64; 32], r: d16_isa::Fpr, d: bool, need: &mut u64| {
-            *need = (*need).max(ready[r.index()]);
+        let mut fpu_src = FpuStall::Result;
+        let mut raise = |v: u64, src: FpuStall| {
+            if v > fpu_need {
+                fpu_need = v;
+                fpu_src = src;
+            }
+        };
+        let pair_ready = |ready: &[u64; 32], r: d16_isa::Fpr, d: bool| -> u64 {
+            let v = ready[r.index()];
             if d {
-                *need = (*need).max(ready[r.index() | 1]);
+                v.max(ready[r.index() | 1])
+            } else {
+                v
             }
         };
         match *insn {
             Insn::FAlu { prec, fs1, fs2, .. } => {
                 let d = prec == Prec::D;
-                track_fpr(&self.fpr_ready, fs1, d, &mut fpu_need);
-                track_fpr(&self.fpr_ready, fs2, d, &mut fpu_need);
-                fpu_need = fpu_need.max(self.fpu_free);
+                raise(pair_ready(&self.fpr_ready, fs1, d), FpuStall::Result);
+                raise(pair_ready(&self.fpr_ready, fs2, d), FpuStall::Result);
+                raise(self.fpu_free, FpuStall::Busy);
             }
             Insn::FNeg { prec, fs, .. } => {
-                track_fpr(&self.fpr_ready, fs, prec == Prec::D, &mut fpu_need);
-                fpu_need = fpu_need.max(self.fpu_free);
+                raise(pair_ready(&self.fpr_ready, fs, prec == Prec::D), FpuStall::Result);
+                raise(self.fpu_free, FpuStall::Busy);
             }
             Insn::FCmp { prec, fs1, fs2, .. } => {
                 let d = prec == Prec::D;
-                track_fpr(&self.fpr_ready, fs1, d, &mut fpu_need);
-                track_fpr(&self.fpr_ready, fs2, d, &mut fpu_need);
-                fpu_need = fpu_need.max(self.fpu_free);
+                raise(pair_ready(&self.fpr_ready, fs1, d), FpuStall::Result);
+                raise(pair_ready(&self.fpr_ready, fs2, d), FpuStall::Result);
+                raise(self.fpu_free, FpuStall::Busy);
             }
             Insn::Cvt { op, fs, .. } => {
-                track_fpr(&self.fpr_ready, fs, op.src_is_double(), &mut fpu_need);
-                fpu_need = fpu_need.max(self.fpu_free);
+                raise(pair_ready(&self.fpr_ready, fs, op.src_is_double()), FpuStall::Result);
+                raise(self.fpu_free, FpuStall::Busy);
             }
             Insn::Mtf { fd, .. } => {
                 // The FPU must be free to accept the transfer.
-                track_fpr(&self.fpr_ready, fd, false, &mut fpu_need);
+                raise(pair_ready(&self.fpr_ready, fd, false), FpuStall::Result);
             }
             Insn::Mff { fs, .. } => {
-                track_fpr(&self.fpr_ready, fs, false, &mut fpu_need);
+                raise(pair_ready(&self.fpr_ready, fs, false), FpuStall::Result);
             }
-            Insn::Rdsr { .. } => fpu_need = fpu_need.max(self.fpsr_ready),
+            Insn::Rdsr { .. } => raise(self.fpsr_ready, FpuStall::Status),
             _ => {}
         }
         let need = load_need.max(fpu_need);
@@ -575,8 +642,17 @@ impl Machine {
             self.stats.interlocks += stall;
             if fpu_need >= load_need {
                 self.stats.fpu_interlocks += stall;
+                let (events, cycles) = match fpu_src {
+                    FpuStall::Result => (SimCounter::FpuResultEvents, SimCounter::FpuResultCycles),
+                    FpuStall::Busy => (SimCounter::FpuBusyEvents, SimCounter::FpuBusyCycles),
+                    FpuStall::Status => (SimCounter::FpuStatusEvents, SimCounter::FpuStatusCycles),
+                };
+                self.tele.bump(events);
+                self.tele.add(cycles, stall);
             } else {
                 self.stats.load_interlocks += stall;
+                self.tele.bump(SimCounter::LoadEvents);
+                self.tele.add(SimCounter::LoadCycles, stall);
             }
             self.t += stall;
         }
@@ -587,7 +663,7 @@ impl Machine {
         if addr as u64 + bytes as u64 > self.mem.len() as u64 {
             return Err(SimError::OutOfBounds { addr, pc });
         }
-        if addr % bytes as u32 != 0 {
+        if !addr.is_multiple_of(bytes as u32) {
             return Err(SimError::Unaligned { addr, bytes, pc });
         }
         Ok(addr as usize)
@@ -606,9 +682,7 @@ impl Machine {
         Ok(match w {
             MemWidth::B => self.mem[a] as i8 as i32 as u32,
             MemWidth::Bu => self.mem[a] as u32,
-            MemWidth::H => {
-                i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i32 as u32
-            }
+            MemWidth::H => i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i32 as u32,
             MemWidth::Hu => u16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as u32,
             MemWidth::W => u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()),
         })
@@ -641,11 +715,23 @@ impl Machine {
     /// Reads a word of simulated memory (for tests and workload checksums).
     pub fn peek_word(&self, addr: u32) -> Option<u32> {
         let a = addr as usize;
-        if addr % 4 != 0 || a + 4 > self.mem.len() {
+        if !addr.is_multiple_of(4) || a + 4 > self.mem.len() {
             return None;
         }
         Some(u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
     }
+}
+
+/// Which FPU resource an interlock stall is waiting on; used to pick the
+/// telemetry counter class in [`Machine::account_interlocks`].
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum FpuStall {
+    /// An FPU result register is not yet written back.
+    Result,
+    /// The non-pipelined FPU is still executing an earlier operation.
+    Busy,
+    /// The FP status register is not yet valid (`rdsr`).
+    Status,
 }
 
 fn add_disp(base: u32, disp: i32) -> u32 {

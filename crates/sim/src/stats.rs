@@ -1,4 +1,66 @@
-//! Execution statistics: the raw measurements behind the paper's tables.
+//! Execution statistics: the raw measurements behind the paper's tables,
+//! plus the statically registered pipeline telemetry schema.
+
+use d16_telemetry::Counters;
+
+d16_telemetry::counter_schema! {
+    /// Per-pipeline-stage and per-interlock-class counters, bumped by
+    /// [`crate::Machine`] as it executes. Stage occupancy counters
+    /// (`stage.*`) partition the instruction stream by the stage that
+    /// does the instruction's real work; interlock counters split the
+    /// [`ExecStats::interlocks`] aggregate by stall cause, as
+    /// `.events` (stall occurrences) and `.cycles` (cycles lost, which
+    /// reconcile exactly with the aggregates — see
+    /// [`ExecStats::reconciles_with`]).
+    pub SIM_SCHEMA / SimCounter {
+        /// Instructions fetched (== `ExecStats::insns`).
+        IfInsns => "stage.if.insns",
+        /// 32-bit words the fetch buffer pulled (== `ifetch_words`).
+        IfWords => "stage.if.words",
+        /// Instructions decoded (== `insns`; the interpreter never
+        /// fetches without decoding).
+        IdInsns => "stage.id.insns",
+        /// Integer ALU / compare / move-immediate instructions.
+        ExAlu => "stage.ex.alu",
+        /// Control transfers (branches, jumps, calls).
+        ExControl => "stage.ex.control",
+        /// FPU instructions, including transfers and status reads.
+        ExFpu => "stage.ex.fpu",
+        /// Explicit nops (unfilled delay slots).
+        ExNop => "stage.ex.nop",
+        /// System traps (halt, console, instruction-count).
+        ExSys => "stage.ex.sys",
+        /// Loads, including D16 literal-pool `ldc` (== `loads`).
+        MemLoads => "stage.mem.loads",
+        /// Stores (== `stores`).
+        MemStores => "stage.mem.stores",
+        /// Integer register writebacks (including discarded DLXe `r0`
+        /// writes, which still occupy the stage).
+        WbGpr => "stage.wb.gpr",
+        /// FP register writebacks.
+        WbFpr => "stage.wb.fpr",
+        /// Delayed-load stall occurrences.
+        LoadEvents => "interlock.load.events",
+        /// Delayed-load stall cycles (== `load_interlocks`).
+        LoadCycles => "interlock.load.cycles",
+        /// Stalls waiting on an FPU result register.
+        FpuResultEvents => "interlock.fpu.result.events",
+        /// Cycles waiting on an FPU result register.
+        FpuResultCycles => "interlock.fpu.result.cycles",
+        /// Stalls waiting for the non-pipelined FPU to drain.
+        FpuBusyEvents => "interlock.fpu.busy.events",
+        /// Cycles waiting for the non-pipelined FPU to drain.
+        FpuBusyCycles => "interlock.fpu.busy.cycles",
+        /// Stalls waiting on the FP status register (`rdsr`).
+        FpuStatusEvents => "interlock.fpu.status.events",
+        /// Cycles waiting on the FP status register.
+        FpuStatusCycles => "interlock.fpu.status.cycles",
+        /// Taken control transfers (== `taken_branches`).
+        CtlTaken => "control.taken",
+        /// Untaken (fall-through) control transfers.
+        CtlUntaken => "control.untaken",
+    }
+}
 
 /// Counters accumulated by the pipeline while executing a program.
 ///
@@ -53,6 +115,58 @@ impl ExecStats {
     pub fn base_cycles(&self) -> u64 {
         self.insns + self.interlocks
     }
+
+    /// Checks that a [`SIM_SCHEMA`] counter block agrees with these
+    /// aggregates: stage-occupancy counters partition `insns`, memory
+    /// counters match `loads`/`stores`, and the per-class interlock
+    /// cycles sum back to `interlocks`. Returns the first violated
+    /// identity by name.
+    ///
+    /// With telemetry compiled out every counter reads 0 and nothing can
+    /// be reconciled; the check trivially passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the failing identity and both sides.
+    pub fn reconciles_with(&self, tele: &Counters) -> Result<(), String> {
+        if !d16_telemetry::ENABLED {
+            return Ok(());
+        }
+        let eq = |what: &str, counter: u64, aggregate: u64| {
+            if counter == aggregate {
+                Ok(())
+            } else {
+                Err(format!("{what}: counter {counter} != aggregate {aggregate}"))
+            }
+        };
+        eq("stage.if.insns", tele.get(SimCounter::IfInsns), self.insns)?;
+        eq("stage.if.words", tele.get(SimCounter::IfWords), self.ifetch_words)?;
+        eq("stage.id.insns", tele.get(SimCounter::IdInsns), self.insns)?;
+        eq("stage.mem.loads", tele.get(SimCounter::MemLoads), self.loads)?;
+        eq("stage.mem.stores", tele.get(SimCounter::MemStores), self.stores)?;
+        eq("stage.ex.nop", tele.get(SimCounter::ExNop), self.nops)?;
+        eq("control.taken", tele.get(SimCounter::CtlTaken), self.taken_branches)?;
+        eq(
+            "control.taken + control.untaken",
+            tele.get(SimCounter::CtlTaken) + tele.get(SimCounter::CtlUntaken),
+            self.branches,
+        )?;
+        let stage_sum = tele.get(SimCounter::ExAlu)
+            + tele.get(SimCounter::ExControl)
+            + tele.get(SimCounter::ExFpu)
+            + tele.get(SimCounter::ExNop)
+            + tele.get(SimCounter::ExSys)
+            + tele.get(SimCounter::MemLoads)
+            + tele.get(SimCounter::MemStores);
+        eq("stage classes partition insns", stage_sum, self.insns)?;
+        eq("interlock.load.cycles", tele.get(SimCounter::LoadCycles), self.load_interlocks)?;
+        let fpu_cycles = tele.get(SimCounter::FpuResultCycles)
+            + tele.get(SimCounter::FpuBusyCycles)
+            + tele.get(SimCounter::FpuStatusCycles);
+        eq("interlock.fpu.*.cycles", fpu_cycles, self.fpu_interlocks)?;
+        eq("interlock cycles sum", tele.get(SimCounter::LoadCycles) + fpu_cycles, self.interlocks)?;
+        Ok(())
+    }
 }
 
 /// Why execution stopped.
@@ -80,13 +194,7 @@ mod tests {
 
     #[test]
     fn rates_and_sums() {
-        let s = ExecStats {
-            insns: 100,
-            loads: 7,
-            stores: 3,
-            interlocks: 12,
-            ..Default::default()
-        };
+        let s = ExecStats { insns: 100, loads: 7, stores: 3, interlocks: 12, ..Default::default() };
         assert_eq!(s.mem_ops(), 10);
         assert!((s.interlock_rate() - 0.12).abs() < 1e-12);
         assert_eq!(s.base_cycles(), 112);

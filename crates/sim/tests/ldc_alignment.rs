@@ -54,8 +54,7 @@ _start: ldc r2, =111
 }
 
 #[test]
-fn shared_literal_resolves_from_both_alignments ()
-{
+fn shared_literal_resolves_from_both_alignments() {
     // The same literal referenced from two differently-aligned sites
     // shares one pool slot; both displacements must land on it.
     let m = run("

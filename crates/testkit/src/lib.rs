@@ -67,7 +67,7 @@ impl Rng {
     pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
         assert!(lo < hi, "empty range {lo}..{hi}");
         let span = (hi as i64 - lo as i64) as u64;
-        let off = (u128::from(self.next_u64()) * u128::from(span) >> 64) as i64;
+        let off = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as i64;
         (lo as i64 + off) as i32
     }
 

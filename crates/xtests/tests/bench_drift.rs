@@ -1,0 +1,94 @@
+//! Bench drift gate: a fresh in-process regeneration must agree with the
+//! checked-in `BENCH_repro.json` on everything deterministic — grid
+//! shape, trace records, replay counts, and the full telemetry counter
+//! dump. Timings are machine-local and only reported, never asserted.
+//!
+//! `#[ignore]` because it collects the full 15x5 grid (~15 s in release,
+//! far slower in debug). CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p d16-xtests --test bench_drift -- --ignored
+//! ```
+
+use d16_bench::json::Json;
+use d16_core::{experiments as ex, Suite};
+use d16_isa::Isa;
+
+fn checked_in_report() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+    let text = std::fs::read_to_string(path).expect("read checked-in BENCH_repro.json");
+    Json::parse(&text).expect("parse BENCH_repro.json")
+}
+
+fn u(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("numeric field `{key}`"))
+}
+
+#[test]
+#[ignore = "full-grid regeneration; run with --release -- --ignored (CI does)"]
+fn fresh_run_matches_checked_in_bench_report() {
+    let pinned = checked_in_report();
+    assert_eq!(pinned.get("schema").and_then(Json::as_str), Some("bench_repro/2"));
+    assert!(
+        matches!(pinned.get("smoke"), Some(Json::Bool(false))),
+        "the pinned report must come from a full --all run"
+    );
+
+    let t0 = std::time::Instant::now();
+    let suite = Suite::collect_jobs(d16_core::default_jobs()).expect("collect full grid");
+    let collect_ns = t0.elapsed().as_nanos() as u64;
+
+    // --- counts: exact -------------------------------------------------
+    assert_eq!(u(&pinned, "cells"), suite.cells.len() as u64, "cell count drifted");
+    assert_eq!(u(&pinned, "traces"), suite.traces.len() as u64, "trace count drifted");
+
+    let grid = pinned.get("cache_grid").expect("cache_grid object");
+    assert_eq!(u(grid, "configs"), ex::cache_grid_configs().len() as u64, "config count drifted");
+    let sweeps = grid.get("sweeps").and_then(Json::as_arr).expect("sweeps array");
+    assert_eq!(sweeps.len(), suite.traces.len(), "sweep count drifted");
+    for s in sweeps {
+        let w = s.get("workload").and_then(Json::as_str).expect("workload");
+        let isa =
+            if s.get("isa").and_then(Json::as_str) == Some("D16") { Isa::D16 } else { Isa::Dlxe };
+        suite.cache_grid(w, isa).expect("warm grid");
+        let trace = suite.trace(w, isa);
+        assert_eq!(u(s, "records"), trace.len() as u64, "({w}, {}) records drifted", isa.name());
+        assert_eq!(
+            u(s, "memory_bytes"),
+            trace.memory_bytes() as u64,
+            "({w}, {}) trace memory drifted",
+            isa.name()
+        );
+        assert_eq!(u(s, "replays"), 1, "single-pass replay regressed for ({w}, {})", isa.name());
+    }
+
+    // --- telemetry counters: exact (they count events, not time) -------
+    if d16_telemetry::ENABLED {
+        let reg = suite.telemetry();
+        let pinned_counters = pinned
+            .get("counters")
+            .and_then(Json::as_obj)
+            .expect("counters object in the checked-in report");
+        let fresh: Vec<(String, u64)> = reg.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(
+            pinned_counters.len(),
+            fresh.len(),
+            "counter set drifted: {} pinned vs {} fresh",
+            pinned_counters.len(),
+            fresh.len()
+        );
+        for ((pk, pv), (fk, fv)) in pinned_counters.iter().zip(&fresh) {
+            assert_eq!(pk, fk, "counter name drifted");
+            assert_eq!(pv.as_u64(), Some(*fv), "counter `{pk}` drifted");
+        }
+    }
+
+    // --- timings: advisory only ----------------------------------------
+    let pinned_collect = u(&pinned, "collect_ns");
+    let ratio = collect_ns as f64 / pinned_collect as f64;
+    eprintln!(
+        "collect: fresh {:.2}s vs pinned {:.2}s ({ratio:.2}x) — advisory, machines differ",
+        collect_ns as f64 / 1e9,
+        pinned_collect as f64 / 1e9,
+    );
+}

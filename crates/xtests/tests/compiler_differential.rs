@@ -204,11 +204,9 @@ fn random_expressions_agree() {
         let folded =
             (want & 0xFF) ^ ((want >> 8) & 0xFF) ^ ((want >> 16) & 0xFF) ^ ((want >> 24) & 0xFF);
         let src = program_for(&e, &vars);
-        for spec in [
-            TargetSpec::d16(),
-            TargetSpec::dlxe(),
-            TargetSpec::dlxe_restricted(true, true, true),
-        ] {
+        for spec in
+            [TargetSpec::d16(), TargetSpec::dlxe(), TargetSpec::dlxe_restricted(true, true, true)]
+        {
             let got = run_on(&src, &spec);
             assert_eq!(got, folded, "case {case}, target {}\n{}", spec.label(), src);
         }

@@ -12,8 +12,8 @@ fn check_workload(name: &str) {
     let w = d16_workloads::by_name(name).unwrap();
     let mut exits: Vec<(String, i32)> = Vec::new();
     for spec in standard_specs() {
-        let (m, _) = measure(w, &spec, false)
-            .unwrap_or_else(|e| panic!("{name} on {}: {e}", spec.label()));
+        let (m, _) =
+            measure(w, &spec, false).unwrap_or_else(|e| panic!("{name} on {}: {e}", spec.label()));
         exits.push((spec.label(), m.exit));
     }
     let first = exits[0].1;
@@ -39,8 +39,8 @@ macro_rules! workload_tests {
 }
 
 workload_tests!(
-    ackermann, assem, bubblesort, queens, quicksort, towers, grep, linpack, matrix,
-    dhrystone, pi, solver, latex, ipl, whetstone
+    ackermann, assem, bubblesort, queens, quicksort, towers, grep, linpack, matrix, dhrystone, pi,
+    solver, latex, ipl, whetstone
 );
 
 #[test]

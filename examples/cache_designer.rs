@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "{:<22} {:>12} {:>12}  {}",
-        "I-cache geometry", "D16 miss", "DLXe miss", "winner at equal cost"
+        "{:<22} {:>12} {:>12}  winner at equal cost",
+        "I-cache geometry", "D16 miss", "DLXe miss"
     );
     for size in [512u32, 1024, 2048, 4096] {
         for assoc in [1u32, 2] {
@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if prefetch { " +prefetch" } else { "" }
                 );
                 let winner = if rates[0] < rates[1] { "D16" } else { "DLXe" };
-                println!(
-                    "{:<22} {:>12.4} {:>12.4}  {}",
-                    label, rates[0], rates[1], winner
-                );
+                println!("{:<22} {:>12.4} {:>12.4}  {}", label, rates[0], rates[1], winner);
             }
         }
     }

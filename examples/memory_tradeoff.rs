@@ -25,9 +25,7 @@ fn main() {
         }
     };
 
-    println!(
-        "\ncacheless machine, {bus_bits}-bit fetch bus, {wait} wait state(s):\n"
-    );
+    println!("\ncacheless machine, {bus_bits}-bit fetch bus, {wait} wait state(s):\n");
     println!("{:<12} {:>14} {:>14} {:>8}", "program", "D16 cycles", "DLXe cycles", "winner");
     let mut d16_wins = 0;
     for w in suite.workloads() {

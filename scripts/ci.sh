@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# The CI gate suite. Run everything with no arguments, or name the gates
+# to run: fmt clippy build test smoke determinism drift.
+#
+#   ./scripts/ci.sh                  # all gates, in order
+#   ./scripts/ci.sh fmt clippy       # just the static gates
+#
+# Every gate is offline: the workspace has no external dependencies, so
+# `--locked --offline` must always succeed. The determinism gate is the
+# heart of the suite — it reruns the full experiment grid at two worker
+# counts and requires the rendered tables, the checked-in results.txt,
+# and the telemetry metrics dump to agree byte for byte.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+gate_fmt() {
+    step "rustfmt (--check)"
+    cargo fmt --all --check
+}
+
+gate_clippy() {
+    step "clippy (deny warnings, all targets)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+gate_build() {
+    # The no-default-features build compiles telemetry out entirely —
+    # build it first so the default build below leaves target/release
+    # with the telemetry-enabled binaries the later gates exercise.
+    step "release build, telemetry compiled out"
+    cargo build --release --locked --offline --workspace --no-default-features
+    step "release build"
+    cargo build --release --locked --offline --workspace
+}
+
+gate_test() {
+    step "unit + integration tests"
+    cargo test -q
+}
+
+gate_smoke() {
+    step "repro --smoke"
+    ./target/release/repro --smoke >/dev/null
+}
+
+gate_determinism() {
+    step "determinism: --jobs 1 vs --jobs 4, stdout + metrics byte-identical"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    ./target/release/repro --all --jobs 1 --metrics-json "$tmp/m1.json" >"$tmp/out1.txt"
+    ./target/release/repro --all --jobs 4 --metrics-json "$tmp/m4.json" >"$tmp/out4.txt"
+    cmp "$tmp/out1.txt" "$tmp/out4.txt"
+    cmp "$tmp/m1.json" "$tmp/m4.json"
+    step "determinism: --all output matches checked-in results.txt"
+    cmp "$tmp/out1.txt" results.txt
+}
+
+gate_drift() {
+    step "bench drift: fresh grid vs checked-in BENCH_repro.json"
+    cargo test --release -p d16-xtests --test bench_drift -- --ignored
+}
+
+ALL_GATES=(fmt clippy build test smoke determinism drift)
+gates=("${@:-${ALL_GATES[@]}}")
+for g in "${gates[@]}"; do
+    case "$g" in
+    fmt | clippy | build | test | smoke | determinism | drift) "gate_$g" ;;
+    *)
+        echo "unknown gate: $g (expected: ${ALL_GATES[*]})" >&2
+        exit 2
+        ;;
+    esac
+done
+
+printf '\nall gates green: %s\n' "${gates[*]}"
