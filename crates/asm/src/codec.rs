@@ -1,0 +1,94 @@
+//! Persistence codec for linked [`Image`]s (the `d16-store` artifact).
+//!
+//! The encoding is deterministic — symbols are written in sorted order
+//! even though the in-memory table is a `HashMap` — so the same image
+//! always produces the same bytes, and equal keys imply equal entries
+//! no matter which process committed first.
+
+use crate::object::Image;
+use d16_isa::Isa;
+use d16_store::{Reader, Writer};
+
+/// Serializes an image.
+#[must_use]
+pub fn encode_image(img: &Image) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(img.isa.name());
+    w.u32(img.text_base);
+    w.bytes(&img.text);
+    w.u32(img.data_base);
+    w.bytes(&img.data);
+    w.u32(img.bss_size);
+    w.u32(img.entry);
+    let mut symbols: Vec<(&String, &u32)> = img.symbols.iter().collect();
+    symbols.sort();
+    w.u64(symbols.len() as u64);
+    for (name, addr) in symbols {
+        w.str(name);
+        w.u32(*addr);
+    }
+    w.into_bytes()
+}
+
+/// Deserializes an image; `None` on any structural damage.
+#[must_use]
+pub fn decode_image(bytes: &[u8]) -> Option<Image> {
+    let mut r = Reader::new(bytes);
+    let isa_name = r.str()?;
+    let isa = *Isa::ALL.iter().find(|i| i.name() == isa_name)?;
+    let text_base = r.u32()?;
+    let text = r.bytes()?.to_vec();
+    let data_base = r.u32()?;
+    let data = r.bytes()?.to_vec();
+    let bss_size = r.u32()?;
+    let entry = r.u32()?;
+    let nsyms = usize::try_from(r.u64()?).ok()?;
+    let mut symbols = std::collections::HashMap::with_capacity(nsyms.min(1 << 16));
+    for _ in 0..nsyms {
+        let name = r.str()?.to_string();
+        let addr = r.u32()?;
+        symbols.insert(name, addr);
+    }
+    r.finish()?;
+    Some(Image { isa, text_base, text, data_base, data, bss_size, entry, symbols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn image_roundtrips() {
+        let img =
+            build(Isa::Dlxe, &["_start: jal f\nnop\ntrap 0\n.data\nw: .word 7\n", "f: ret\n"])
+                .unwrap();
+        let bytes = encode_image(&img);
+        let back = decode_image(&bytes).unwrap();
+        assert_eq!(back.isa, img.isa);
+        assert_eq!(back.text, img.text);
+        assert_eq!(back.data, img.data);
+        assert_eq!((back.text_base, back.data_base), (img.text_base, img.data_base));
+        assert_eq!((back.bss_size, back.entry), (img.bss_size, img.entry));
+        assert_eq!(back.symbols, img.symbols);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let img =
+            build(Isa::D16, &["_start: mvi r2, 1\ntrap 0\na: nop\nb: nop\nc: nop\n"]).unwrap();
+        assert_eq!(encode_image(&img), encode_image(&img.clone()));
+    }
+
+    #[test]
+    fn damage_decodes_to_none() {
+        let img = build(Isa::D16, &["_start: trap 0\n"]).unwrap();
+        let bytes = encode_image(&img);
+        for cut in 0..bytes.len() {
+            assert!(decode_image(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut junk = bytes;
+        junk[0] ^= 0xFF; // mangles the ISA-name length prefix
+        assert!(decode_image(&junk).is_none());
+    }
+}

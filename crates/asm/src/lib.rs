@@ -20,6 +20,7 @@
 //! ```
 
 mod assemble;
+pub mod codec;
 mod expr;
 mod link;
 mod object;
@@ -29,6 +30,26 @@ pub use link::link;
 pub use object::{AsmError, Image, Object, Reloc, RelocKind, Section, Symbol, MEM_TOP, TEXT_BASE};
 
 use d16_isa::Isa;
+use d16_store::{CacheKey, StableHasher};
+
+/// Version tag folded into every [`build_key`]. Bump whenever the
+/// assembler, linker, or image encoding changes observable output, so
+/// stale `d16-store` entries from older toolchains stop matching.
+pub const TOOLCHAIN_TAG: &str = "d16-asm/1";
+
+/// Content key for the image `build(isa, units)` would produce: a stable
+/// hash of the toolchain tag, target ISA, and every source unit in order.
+/// Equal keys mean byte-identical images, so the linked artifact can be
+/// served from a `d16_store::Store` instead of reassembled.
+#[must_use]
+pub fn build_key(isa: Isa, units: &[&str]) -> CacheKey {
+    let mut h = StableHasher::new("d16-asm.build");
+    h.field_str(TOOLCHAIN_TAG).field_str(isa.name()).field_u64(units.len() as u64);
+    for unit in units {
+        h.field_str(unit);
+    }
+    h.finish()
+}
 
 /// Convenience: assemble several units and link them in one call.
 ///
@@ -50,5 +71,16 @@ mod tests {
         let img = build(Isa::Dlxe, &["_start: jal f\nnop\ntrap 0\n", "f: ret\n"]).unwrap();
         assert!(img.symbol("f").is_some());
         assert_eq!(img.entry, img.symbol("_start").unwrap());
+    }
+
+    #[test]
+    fn build_key_separates_inputs() {
+        let units = ["_start: trap 0\n", "f: ret\n"];
+        let base = build_key(Isa::D16, &units);
+        assert_eq!(base, build_key(Isa::D16, &units));
+        assert_ne!(base, build_key(Isa::Dlxe, &units));
+        assert_ne!(base, build_key(Isa::D16, &["_start: trap 0\n"]));
+        // Unit boundaries matter: concatenation must not collide.
+        assert_ne!(base, build_key(Isa::D16, &["_start: trap 0\nf: ret\n"]));
     }
 }

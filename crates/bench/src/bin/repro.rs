@@ -6,6 +6,10 @@
 //! repro --table 11           # one table
 //! repro --jobs 4             # worker threads (default: all cores)
 //! repro --smoke              # tiny 2-workload x 2-target run
+//! repro --only towers,assem  # collect only the named workloads
+//! repro --store DIR          # incremental: reuse artifacts across runs
+//! repro --no-store           # override an earlier --store
+//! repro --store-verify       # integrity-sweep the store before running
 //! repro --bench-json FILE    # write a machine-readable timing report
 //! repro --metrics-json FILE  # write the deterministic telemetry dump
 //! repro --list               # what is available
@@ -20,14 +24,19 @@
 //! `--metrics-json` dump is the deterministic projection (counters and
 //! span counts — byte-identical for every `--jobs N`, CI diffs it); the
 //! `--bench-json` report adds the wall-clock half (phase timings, span
-//! histograms, per-cell wall times).
+//! histograms, per-cell wall times). Store hit/miss accounting rides
+//! only in the timing report and on stderr: a warm `--store` run's
+//! stdout and `--metrics-json` are byte-identical to a cold run's.
 
 use d16_bench::json::Json;
 use d16_bench::report;
 use d16_core::report::{f2, f3, pct, Table};
+use d16_core::suite::standard_specs;
 use d16_core::{base_specs, default_jobs, experiments as ex, Suite};
 use d16_isa::Isa;
+use d16_store::Store;
 use d16_workloads::Workload;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The value following a value-taking flag, or a clean usage error.
@@ -69,6 +78,10 @@ fn main() {
     let mut jobs = default_jobs();
     let mut bench_json: Option<String> = None;
     let mut metrics_json: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut no_store = false;
+    let mut store_verify = false;
+    let mut only: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,6 +92,15 @@ fn main() {
             }
             "--fpu-sweep" => fpu_sweep = true,
             "--smoke" => smoke = true,
+            "--store" => store_dir = Some(flag_value(&args, &mut i, "--store").to_string()),
+            "--no-store" => no_store = true,
+            "--store-verify" => store_verify = true,
+            "--only" => only.extend(
+                flag_value(&args, &mut i, "--only")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            ),
             "--fig" => figs.push(parsed_flag(&args, &mut i, "--fig")),
             "--table" => tables.push(parsed_flag(&args, &mut i, "--table")),
             "--jobs" => {
@@ -105,6 +127,27 @@ fn main() {
         eprintln!("--smoke collects only 2 workloads x 2 targets; it cannot serve --all");
         std::process::exit(2);
     }
+    if !only.is_empty() && (smoke || all) {
+        eprintln!("--only picks its own workloads; it cannot combine with --smoke or --all");
+        std::process::exit(2);
+    }
+    let only_workloads: Vec<&Workload> = only
+        .iter()
+        .map(|name| {
+            d16_workloads::by_name(name).unwrap_or_else(|| {
+                let valid: Vec<&str> = d16_workloads::SUITE.iter().map(|w| w.name).collect();
+                eprintln!("--only: unknown workload `{name}`; valid names: {}", valid.join(" "));
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if no_store {
+        store_dir = None;
+    }
+    if store_verify && store_dir.is_none() {
+        eprintln!("--store-verify needs a store (pass --store DIR)");
+        std::process::exit(2);
+    }
     if let Some(p) = &bench_json {
         ensure_parent_dir("--bench-json", p);
     }
@@ -119,6 +162,34 @@ fn main() {
         // one collected cache benchmark.
         figs = vec![4, 5, 16, 17, 18, 19];
         tables = vec![13, 14];
+    } else if !only.is_empty() && figs.is_empty() && tables.is_empty() {
+        // Everything derivable from the filtered grid. Table 4 re-runs
+        // the whole suite outside the grid, so it stays out of a
+        // filtered run unless asked for by number.
+        figs = vec![4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
+        tables = vec![3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+    }
+
+    // --- open the artifact store (incremental runs) --------------------
+    let store: Option<Arc<Store>> = store_dir.as_ref().map(|dir| match Store::open(dir.as_str()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("--store {dir}: {e}");
+            std::process::exit(2);
+        }
+    });
+    if store_verify {
+        let s = store.as_ref().expect("checked above");
+        match s.verify() {
+            Ok(r) => eprintln!(
+                "store verify: {} scanned, {} ok, {} evicted, {} temps removed",
+                r.scanned, r.ok, r.evicted, r.temps_removed
+            ),
+            Err(e) => {
+                eprintln!("--store-verify: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     // --- collect (the timed, parallel phase) ---------------------------
@@ -128,13 +199,32 @@ fn main() {
         .collect();
     let collect = |jobs: usize| {
         if smoke {
-            Suite::collect_for_jobs(&smoke_workloads, &base_specs(), true, jobs)
+            Suite::collect_for_jobs_stored(
+                &smoke_workloads,
+                &base_specs(),
+                true,
+                jobs,
+                store.clone(),
+            )
+        } else if !only_workloads.is_empty() {
+            Suite::collect_for_jobs_stored(
+                &only_workloads,
+                &standard_specs(),
+                true,
+                jobs,
+                store.clone(),
+            )
         } else {
-            Suite::collect_jobs(jobs)
+            Suite::collect_jobs_stored(jobs, store.clone())
         }
     };
     if smoke {
         eprintln!("collecting the smoke grid (2 workloads x 2 targets, {jobs} jobs)...");
+    } else if !only_workloads.is_empty() {
+        eprintln!(
+            "collecting the filtered grid ({} workloads x 5 targets, {jobs} jobs)...",
+            only_workloads.len()
+        );
     } else {
         eprintln!("collecting the measurement grid (15 workloads x 5 targets, {jobs} jobs)...");
     }
@@ -176,10 +266,21 @@ fn main() {
         print_fig(&suite, *f);
     }
     for t in &tables {
-        print_table(&suite, *t);
+        print_table(&suite, *t, store.as_deref());
     }
     if fpu_sweep || all {
-        print_fpu_sweep();
+        print_fpu_sweep(store.as_deref());
+    }
+
+    // Store accounting goes to stderr and the timing report only; the
+    // diffable outputs (stdout, --metrics-json) stay store-free so warm
+    // runs match cold runs byte for byte.
+    if let Some(s) = &store {
+        let st = s.stats();
+        eprintln!(
+            "store: {} hits, {} misses, {} writes, {} corrupt evicted",
+            st.hit, st.miss, st.write, st.corrupt_evicted
+        );
     }
 
     // Telemetry snapshot: every grid the run needed is warm by now, so
@@ -236,6 +337,15 @@ fn main() {
             )
             .with("counters", report::counters_json(&tele))
             .with("spans", report::spans_json(&tele))
+            .with("store", {
+                let st = store.as_ref().map(|s| s.stats()).unwrap_or_default();
+                Json::obj()
+                    .with("enabled", store.is_some())
+                    .with("hit", st.hit)
+                    .with("miss", st.miss)
+                    .with("write", st.write)
+                    .with("corrupt_evicted", st.corrupt_evicted)
+            })
             .with("cell_wall_ns", cells);
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("writing {path}: {e}");
@@ -247,9 +357,9 @@ fn main() {
 
 /// Extension beyond the paper: how sensitive is the comparison to the FPU
 /// ("math unit") latency the prototype interface fixes?
-fn print_fpu_sweep() {
+fn print_fpu_sweep(store: Option<&Store>) {
     for w in ["whetstone", "linpack"] {
-        match ex::fpu_latency_sweep(w) {
+        match ex::fpu_latency_sweep_stored(w, store) {
             Ok(points) => {
                 let mut t = Table::new(
                     &format!("Extension: FPU-latency sensitivity, {w} (base cycles)"),
@@ -277,6 +387,9 @@ fn print_list() {
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
+    println!("         --only W[,W...] (collect only the named workloads),");
+    println!("         --store DIR (incremental artifact store), --no-store,");
+    println!("         --store-verify (integrity-sweep the store first),");
     println!("         --bench-json FILE (machine-readable timing report),");
     println!("         --metrics-json FILE (deterministic telemetry dump)");
 }
@@ -438,7 +551,7 @@ fn print_fig(suite: &Suite, n: u32) {
     println!("{out}");
 }
 
-fn print_table(suite: &Suite, n: u32) {
+fn print_table(suite: &Suite, n: u32, store: Option<&Store>) {
     let out = match n {
         3 => {
             let mut t = Table::new(
@@ -456,7 +569,7 @@ fn print_table(suite: &Suite, n: u32) {
             t.row(vec!["AVERAGE".into(), pct(a / nrows), pct(b / nrows)]);
             t.render()
         }
-        4 => match ex::table4_immediate_profile() {
+        4 => match ex::table4_immediate_profile_stored(store) {
             Ok(t4) => {
                 let mut t = Table::new(
                     "Table 4: average immediate-field instruction frequencies",

@@ -1,0 +1,124 @@
+//! CLI tests for the artifact store and workload filter: a warm `--store`
+//! run's diffable outputs must be byte-identical to the cold run's, store
+//! damage must degrade to recomputation, and the new flags must fail
+//! clean (exit 2, named cause) on misuse.
+
+use d16_testkit::TempDir;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn warm_store_run_is_byte_identical_and_survives_corruption() {
+    let dir = TempDir::new("store-cli");
+    let store = dir.path().join("store");
+    let run = |tag: &str| {
+        let metrics = dir.path().join(format!("m_{tag}.json"));
+        let out = repro()
+            .args(["--only", "towers", "--store"])
+            .arg(&store)
+            .arg("--metrics-json")
+            .arg(&metrics)
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "{tag} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (out.stdout, std::fs::read_to_string(metrics).expect("metrics written"), out.stderr)
+    };
+
+    let (cold_out, cold_metrics, cold_err) = run("cold");
+    assert!(String::from_utf8_lossy(&cold_err).contains("misses"), "cold run reports misses");
+
+    let (warm_out, warm_metrics, warm_err) = run("warm");
+    assert_eq!(cold_out, warm_out, "stdout must be byte-identical cold vs warm");
+    assert_eq!(cold_metrics, warm_metrics, "metrics dump must be byte-identical cold vs warm");
+    let warm_err = String::from_utf8_lossy(&warm_err);
+    assert!(warm_err.contains(" 0 misses"), "warm run is all hits: {warm_err}");
+    for leak in ["store.hit", "store.miss", "store.write", "corrupt_evicted"] {
+        assert!(
+            !cold_metrics.contains(leak),
+            "store accounting ({leak}) must not leak into the metrics dump"
+        );
+    }
+
+    // Flip bytes in the middle of one committed cell: the third run must
+    // notice, evict, recompute, and still match byte for byte.
+    let entry = walk_one_entry(&store.join("cell"));
+    let mut raw = std::fs::read(&entry).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    std::fs::write(&entry, raw).unwrap();
+
+    let (third_out, third_metrics, third_err) = run("corrupt");
+    assert_eq!(cold_out, third_out, "stdout must survive store corruption");
+    assert_eq!(cold_metrics, third_metrics, "metrics must survive store corruption");
+    let third_err = String::from_utf8_lossy(&third_err);
+    assert!(third_err.contains("1 corrupt evicted"), "eviction reported: {third_err}");
+}
+
+/// The first `.bin` entry under a store kind directory.
+fn walk_one_entry(kind_dir: &std::path::Path) -> std::path::PathBuf {
+    let mut stack = vec![kind_dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for e in std::fs::read_dir(&d).expect("read store dir") {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "bin") {
+                return p;
+            }
+        }
+    }
+    panic!("no committed entries under {}", kind_dir.display());
+}
+
+#[test]
+fn only_rejects_unknown_workloads_with_the_valid_list() {
+    let out = repro().args(["--only", "towers,bogus"]).output().expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown workload `bogus`"), "{err}");
+    for name in ["ackermann", "towers", "whetstone"] {
+        assert!(err.contains(name), "valid names listed: {err}");
+    }
+}
+
+#[test]
+fn only_conflicts_with_smoke_and_all() {
+    for extra in ["--smoke", "--all"] {
+        let out = repro().args(["--only", "towers", extra]).output().expect("run repro");
+        assert_eq!(out.status.code(), Some(2), "{extra}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--only"), "{extra}");
+    }
+}
+
+#[test]
+fn store_verify_requires_a_store() {
+    let out = repro().arg("--store-verify").output().expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store DIR"));
+}
+
+#[test]
+fn store_flags_require_values() {
+    for flag in ["--store", "--only"] {
+        let out = repro().arg(flag).output().expect("run repro");
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"), "{flag}");
+    }
+}
+
+#[test]
+fn no_store_overrides_store() {
+    let dir = TempDir::new("no-store");
+    let store = dir.path().join("never-created");
+    let out = repro()
+        .args(["--only", "towers", "--no-store", "--store"])
+        .arg(&store)
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(!store.exists(), "--no-store must win regardless of flag order");
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("store:"), "no accounting line");
+}

@@ -43,6 +43,12 @@ pub use target::TargetSpec;
 pub use token::CError;
 
 use d16_asm::{AsmError, Image};
+use d16_store::{CacheKey, StableHasher, Store};
+
+/// Version tag folded into every [`build_key`]. Bump whenever the
+/// compiler changes observable output for any input, so stale
+/// `d16-store` entries from older toolchains stop matching.
+pub const TOOLCHAIN_TAG: &str = "d16-cc/1";
 
 /// Compiles Mini-C sources (plus the runtime library) to one assembly
 /// unit for the given target.
@@ -118,6 +124,54 @@ impl std::error::Error for BuildError {}
 pub fn compile_to_image(sources: &[&str], spec: &TargetSpec) -> Result<Image, BuildError> {
     let asm = compile_to_asm(sources, spec).map_err(BuildError::Compile)?;
     d16_asm::build(spec.isa, &[&asm]).map_err(|e| BuildError::Assemble(e, asm))
+}
+
+/// Content key for the image [`compile_to_image`] would produce: a stable
+/// hash of both toolchain tags, every [`TargetSpec`] knob, the runtime
+/// library, and every source in order. Equal keys mean byte-identical
+/// images.
+#[must_use]
+pub fn build_key(sources: &[&str], spec: &TargetSpec) -> CacheKey {
+    let mut h = StableHasher::new("d16-cc.build");
+    h.field_str(TOOLCHAIN_TAG)
+        .field_str(d16_asm::TOOLCHAIN_TAG)
+        .field_str(&spec.knob_tag())
+        .field_str(RUNTIME_C)
+        .field_u64(sources.len() as u64);
+    for src in sources {
+        h.field_str(src);
+    }
+    h.finish()
+}
+
+/// Store kind under which linked images are filed (shared with the
+/// `d16-core` measurement layer, which needs images for trace decoding).
+pub const IMAGE_KIND: &str = "image";
+
+/// [`compile_to_image`] through a `d16-store`: serves the linked image
+/// from `store` when an intact entry exists for [`build_key`], otherwise
+/// compiles and commits the result. With `store` `None` this is exactly
+/// `compile_to_image`.
+///
+/// # Errors
+///
+/// Same as [`compile_to_image`]; store failures never surface (a damaged
+/// or unwritable store degrades to recompilation).
+pub fn compile_to_image_stored(
+    sources: &[&str],
+    spec: &TargetSpec,
+    store: Option<&Store>,
+) -> Result<Image, BuildError> {
+    let Some(store) = store else {
+        return compile_to_image(sources, spec);
+    };
+    let key = build_key(sources, spec);
+    if let Some(img) = store.get_with(IMAGE_KIND, key, d16_asm::codec::decode_image) {
+        return Ok(img);
+    }
+    let img = compile_to_image(sources, spec)?;
+    store.put(IMAGE_KIND, key, &d16_asm::codec::encode_image(&img));
+    Ok(img)
 }
 
 #[cfg(test)]
@@ -473,6 +527,36 @@ int main(void) { return work(32) & 0xFF; }";
             d16.text.len(),
             dlxe.text.len()
         );
+    }
+
+    #[test]
+    fn stored_compile_serves_identical_images() {
+        let dir = d16_testkit::TempDir::new("cc-store");
+        let store = d16_store::Store::open(dir.path()).unwrap();
+        let src = "int main(void) { return 6 * 7; }";
+        for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+            let cold = compile_to_image_stored(&[src], &spec, Some(&store)).unwrap();
+            let warm = compile_to_image_stored(&[src], &spec, Some(&store)).unwrap();
+            let direct = compile_to_image(&[src], &spec).unwrap();
+            assert_eq!(warm.text, cold.text);
+            assert_eq!(warm.data, cold.data);
+            assert_eq!(warm.text, direct.text, "cached image matches a fresh compile");
+            assert_eq!(warm.symbols, direct.symbols);
+        }
+        let s = store.stats();
+        assert_eq!((s.hit, s.miss, s.write), (2, 2, 2));
+
+        // Damage one entry: the next lookup recompiles instead of serving it.
+        let key = build_key(&[src], &TargetSpec::d16());
+        let path = store.entry_path(IMAGE_KIND, key);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let again = compile_to_image_stored(&[src], &TargetSpec::d16(), Some(&store)).unwrap();
+        let direct = compile_to_image(&[src], &TargetSpec::d16()).unwrap();
+        assert_eq!(again.text, direct.text);
+        assert_eq!(store.stats().corrupt_evicted, 1);
     }
 
     #[test]

@@ -75,6 +75,22 @@ impl TargetSpec {
         format!("{}/{}/{}", self.isa.name(), regs, ops)
     }
 
+    /// Every code-generation knob as a stable string, for cache-key
+    /// derivation. Unlike [`TargetSpec::label`] this covers *all* fields —
+    /// two specs with equal knob tags generate identical code, so a
+    /// `d16-store` entry keyed on it can be served for either.
+    pub fn knob_tag(&self) -> String {
+        format!(
+            "isa={};regs16={};two_addr={};d16_imm={};cmpeqi={};sched_ds={}",
+            self.isa.name(),
+            self.small_regfile,
+            self.two_address,
+            self.d16_immediates,
+            self.cmpeqi,
+            self.schedule_delay_slots,
+        )
+    }
+
     /// Effective encoding limits for instruction selection: the real ISA's
     /// limits, further clamped when `d16_immediates` is set.
     pub fn params(&self) -> EncodingParams {
@@ -176,6 +192,21 @@ mod tests {
         assert_eq!(TargetSpec::d16().label(), "D16/16/2");
         assert_eq!(TargetSpec::dlxe().label(), "DLXe/32/3");
         assert_eq!(TargetSpec::dlxe_restricted(true, true, false).label(), "DLXe/16/2");
+    }
+
+    #[test]
+    fn knob_tags_separate_every_field() {
+        // `label()` collapses cmpeqi and delay-slot scheduling; the knob
+        // tag must not, or the store would serve stale code across them.
+        let base = TargetSpec::dlxe_restricted(true, true, false);
+        let mut cmpeqi = base.clone();
+        cmpeqi.cmpeqi = true;
+        let mut nosched = base.clone();
+        nosched.schedule_delay_slots = false;
+        assert_eq!(base.label(), cmpeqi.label());
+        assert_ne!(base.knob_tag(), cmpeqi.knob_tag());
+        assert_ne!(base.knob_tag(), nosched.knob_tag());
+        assert_eq!(base.knob_tag(), base.clone().knob_tag());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! the `repro` binary renders them as text. Figure/table numbering follows
 //! the paper (see DESIGN.md §5 for the index).
 
-use crate::measure::{build, Measurement};
+use crate::measure::Measurement;
 use crate::suite::{Suite, SuiteError};
 use d16_cc::TargetSpec;
 use d16_isa::{EncodingParams, Insn, Isa};
@@ -219,30 +219,67 @@ impl AccessSink for ClassifySink {
 ///
 /// Propagates build/run failures with the workload name.
 pub fn table4_immediate_profile() -> Result<Table4, (String, String)> {
+    table4_immediate_profile_stored(None)
+}
+
+/// [`table4_immediate_profile`] through an optional `d16-store`: each
+/// workload's raw classification counts are cached, and the averaged
+/// percentages are recomputed from them identically either way.
+///
+/// # Errors
+///
+/// Propagates build/run failures with the workload name.
+pub fn table4_immediate_profile_stored(
+    store: Option<&d16_store::Store>,
+) -> Result<Table4, (String, String)> {
     let spec = TargetSpec::dlxe_restricted(true, true, false);
     let mut acc = Table4::default();
     let mut n = 0usize;
     for w in SUITE {
-        let image = build(w, &spec).map_err(|e| (w.name.to_string(), e.to_string()))?;
-        let decoded: Vec<Option<Insn>> = image
-            .text
-            .chunks_exact(4)
-            .map(|c| d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).ok())
-            .collect();
-        let mut sink =
-            ClassifySink { decoded, text_base: image.text_base, cmp: 0, alu: 0, mem: 0, total: 0 };
-        let mut m = Machine::load(&image);
-        m.run(crate::measure::FUEL, &mut sink).map_err(|e| (w.name.to_string(), e.to_string()))?;
-        let t = sink.total as f64;
-        acc.cmp_imm_pct += sink.cmp as f64 / t * 100.0;
-        acc.alu_imm_pct += sink.alu as f64 / t * 100.0;
-        acc.mem_disp_pct += sink.mem as f64 / t * 100.0;
+        let (cmp, alu, mem, total) = table4_counts(w, &spec, store)?;
+        let t = total as f64;
+        acc.cmp_imm_pct += cmp as f64 / t * 100.0;
+        acc.alu_imm_pct += alu as f64 / t * 100.0;
+        acc.mem_disp_pct += mem as f64 / t * 100.0;
         n += 1;
     }
     acc.cmp_imm_pct /= n as f64;
     acc.alu_imm_pct /= n as f64;
     acc.mem_disp_pct /= n as f64;
     Ok(acc)
+}
+
+/// One workload's `(cmp, alu, mem, total)` classification counts on the
+/// restricted machine, served from the store when possible.
+fn table4_counts(
+    w: &d16_workloads::Workload,
+    spec: &TargetSpec,
+    store: Option<&d16_store::Store>,
+) -> Result<(u64, u64, u64, u64), (String, String)> {
+    let at = store.map(|s| (s, crate::stored::table4_key(w)));
+    if let Some((s, key)) = at {
+        if let Some(counts) =
+            s.get_with(crate::stored::TABLE4_KIND, key, crate::stored::decode_table4)
+        {
+            return Ok(counts);
+        }
+    }
+    let image = crate::measure::build_stored(w, spec, store)
+        .map_err(|e| (w.name.to_string(), e.to_string()))?;
+    let decoded: Vec<Option<Insn>> = image
+        .text
+        .chunks_exact(4)
+        .map(|c| d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).ok())
+        .collect();
+    let mut sink =
+        ClassifySink { decoded, text_base: image.text_base, cmp: 0, alu: 0, mem: 0, total: 0 };
+    let mut m = Machine::load(&image);
+    m.run(crate::measure::FUEL, &mut sink).map_err(|e| (w.name.to_string(), e.to_string()))?;
+    let counts = (sink.cmp, sink.alu, sink.mem, sink.total);
+    if let Some((s, key)) = at {
+        s.put(crate::stored::TABLE4_KIND, key, &crate::stored::encode_table4(counts));
+    }
+    Ok(counts)
 }
 
 /// Figure 13: instruction traffic and static size, DLXe/D16 (tests
@@ -714,9 +751,30 @@ pub struct FpuSweepPoint {
 ///
 /// Propagates build/run failures with a description.
 pub fn fpu_latency_sweep(workload: &str) -> Result<Vec<FpuSweepPoint>, String> {
+    fpu_latency_sweep_stored(workload, None)
+}
+
+/// [`fpu_latency_sweep`] through an optional `d16-store`: the five sweep
+/// points are cached per workload, with rates restored bit-exactly.
+///
+/// # Errors
+///
+/// Propagates build/run failures with a description.
+pub fn fpu_latency_sweep_stored(
+    workload: &str,
+    store: Option<&d16_store::Store>,
+) -> Result<Vec<FpuSweepPoint>, String> {
     let w = d16_workloads::by_name(workload).ok_or_else(|| format!("no workload {workload}"))?;
-    let d16_image = build(w, &TargetSpec::d16()).map_err(|e| e.to_string())?;
-    let dlxe_image = build(w, &TargetSpec::dlxe()).map_err(|e| e.to_string())?;
+    let at = store.map(|s| (s, crate::stored::fpu_key(w)));
+    if let Some((s, key)) = at {
+        if let Some(points) = s.get_with(crate::stored::FPU_KIND, key, crate::stored::decode_fpu) {
+            return Ok(points);
+        }
+    }
+    let d16_image =
+        crate::measure::build_stored(w, &TargetSpec::d16(), store).map_err(|e| e.to_string())?;
+    let dlxe_image =
+        crate::measure::build_stored(w, &TargetSpec::dlxe(), store).map_err(|e| e.to_string())?;
     let mut out = Vec::new();
     for mul in [1u64, 2, 4, 8, 16] {
         let lat = d16_sim::FpuLatency { add: 2, mul, div_s: mul * 3, div_d: mul * 3 + 4, cvt: 2 };
@@ -729,6 +787,9 @@ pub fn fpu_latency_sweep(workload: &str) -> Result<Vec<FpuSweepPoint>, String> {
         let (d16_cycles, d16_rate) = run(&d16_image)?;
         let (dlxe_cycles, dlxe_rate) = run(&dlxe_image)?;
         out.push(FpuSweepPoint { mul_latency: mul, d16_cycles, dlxe_cycles, d16_rate, dlxe_rate });
+    }
+    if let Some((s, key)) = at {
+        s.put(crate::stored::FPU_KIND, key, &crate::stored::encode_fpu(&out));
     }
     Ok(out)
 }

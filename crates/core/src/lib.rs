@@ -18,9 +18,10 @@
 pub mod experiments;
 pub mod measure;
 pub mod report;
+pub mod stored;
 pub mod suite;
 
-pub use measure::{build, measure, MeasureError, Measurement};
+pub use measure::{build, build_stored, measure, measure_stored, MeasureError, Measurement};
 pub use suite::{base_specs, default_jobs, standard_specs, Suite, SuiteError};
 
 #[cfg(test)]

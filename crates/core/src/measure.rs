@@ -1,8 +1,9 @@
 //! Building, running and measuring one workload on one target.
 
 use d16_asm::Image;
-use d16_cc::{compile_to_image, BuildError, TargetSpec};
+use d16_cc::{compile_to_image_stored, BuildError, TargetSpec};
 use d16_sim::{AccessSink, ExecStats, Machine, StopReason, TraceRecorder};
+use d16_store::Store;
 use d16_workloads::Workload;
 use std::fmt;
 
@@ -88,7 +89,21 @@ impl std::error::Error for MeasureError {}
 ///
 /// Propagates toolchain diagnostics.
 pub fn build(w: &Workload, spec: &TargetSpec) -> Result<Image, MeasureError> {
-    compile_to_image(&[w.source], spec).map_err(MeasureError::Build)
+    build_stored(w, spec, None)
+}
+
+/// [`build`] through an optional `d16-store` (linked images are served
+/// from the `image` kind when an intact entry exists).
+///
+/// # Errors
+///
+/// Propagates toolchain diagnostics.
+pub fn build_stored(
+    w: &Workload,
+    spec: &TargetSpec,
+    store: Option<&Store>,
+) -> Result<Image, MeasureError> {
+    compile_to_image_stored(&[w.source], spec, store).map_err(MeasureError::Build)
 }
 
 /// A sink that feeds several sinks at once.
@@ -124,8 +139,54 @@ pub fn measure(
     spec: &TargetSpec,
     want_trace: bool,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
-    let image = build(w, spec)?;
-    let mut machine = Machine::load(&image);
+    measure_stored(w, spec, want_trace, None)
+}
+
+/// [`measure`] through an optional `d16-store`: an intact cached cell is
+/// served without compiling or simulating anything; a miss (or a damaged
+/// entry, which the store evicts) recomputes and commits the cell — and
+/// the linked image — for the next run.
+///
+/// A served cell is *complete*: measurement, telemetry block, and (when
+/// `want_trace`) the full access trace are bit-identical to a cold
+/// computation, and the pinned checksum is re-verified at decode time.
+///
+/// # Errors
+///
+/// Same failure modes as [`measure`]; store damage is never an error.
+pub fn measure_stored(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+    store: Option<&Store>,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    let key = store.map(|s| {
+        let key = crate::stored::cell_key(w, spec, want_trace);
+        (s, key)
+    });
+    if let Some((s, key)) = key {
+        if let Some(cell) =
+            s.get_with(crate::stored::CELL_KIND, key, |b| crate::stored::decode_cell(b, w, spec))
+        {
+            return Ok(cell);
+        }
+    }
+    let image = build_stored(w, spec, store)?;
+    let (m, trace) = run(w, spec, &image, want_trace)?;
+    if let Some((s, k)) = key {
+        s.put(crate::stored::CELL_KIND, k, &crate::stored::encode_cell(&m, trace.as_ref()));
+    }
+    Ok((m, trace))
+}
+
+/// Runs an already-built image and assembles the [`Measurement`].
+fn run(
+    w: &Workload,
+    spec: &TargetSpec,
+    image: &Image,
+    want_trace: bool,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    let mut machine = Machine::load(image);
     let mut fb32 = d16_mem::FetchBuffer::new(4);
     let mut fb64 = d16_mem::FetchBuffer::new(8);
     let mut rec = TraceRecorder::new();

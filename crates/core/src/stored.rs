@@ -1,0 +1,440 @@
+//! Cache keys and codecs for the harness's `d16-store` artifacts.
+//!
+//! Four artifact kinds ride in the store:
+//!
+//! * `image` — linked binaries, written by `d16-cc` (see
+//!   [`d16_cc::compile_to_image_stored`]).
+//! * `cell` — one (workload, target) [`Measurement`] plus its optional
+//!   recorded access trace.
+//! * `grid` — one (workload, ISA) cache-grid sweep: per-configuration
+//!   aggregate statistics, from which every counter is rebuilt.
+//! * `table4` / `fpu` — the two experiments that re-run workloads
+//!   outside the suite grid (immediate-class counts, FPU-latency
+//!   points).
+//!
+//! Every key folds in [`CORE_TAG`] (bump when the simulator, memory
+//! models, or these codecs change observable results), the relevant
+//! toolchain keys (so source or codegen changes retire entries), and —
+//! for records that carry telemetry counter blocks — the compile-time
+//! telemetry mode, because a block dumped in one mode cannot be
+//! restored in the other.
+//!
+//! Restores are *complete*: a warm run's measurements, traces, grids,
+//! and derived tables are bit-identical to a cold run's, so caching can
+//! never change a paper-facing number (DESIGN.md §6).
+
+use crate::measure::Measurement;
+use d16_cc::TargetSpec;
+use d16_isa::Isa;
+use d16_mem::{CacheConfig, CacheStats, CacheSystem, BANK_SCHEMA};
+use d16_sim::{ExecStats, TraceRecorder, SIM_SCHEMA};
+use d16_store::{CacheKey, Reader, StableHasher, Writer};
+use d16_telemetry::Counters;
+use d16_workloads::Workload;
+
+/// Version tag for everything the harness persists: simulator and
+/// memory-model behavior, the codecs below, and the grid configuration
+/// set. Bump it whenever any of those changes observable numbers, and
+/// every stale entry stops matching at once.
+pub const CORE_TAG: &str = "d16-core/1";
+
+/// Store kind for (workload, target) measurement cells.
+pub const CELL_KIND: &str = "cell";
+
+/// Store kind for (workload, ISA) cache-grid sweeps.
+pub const GRID_KIND: &str = "grid";
+
+/// Store kind for per-workload Table 4 immediate-class counts.
+pub const TABLE4_KIND: &str = "table4";
+
+/// Store kind for per-workload FPU-latency sweep points.
+pub const FPU_KIND: &str = "fpu";
+
+// ---------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------
+
+/// Key of one measurement cell: the image it runs (which already covers
+/// source text, every codegen knob, and both toolchain tags) plus what
+/// the run records.
+pub fn cell_key(w: &Workload, spec: &TargetSpec, want_trace: bool) -> CacheKey {
+    let mut h = StableHasher::new("d16-core.cell");
+    h.field_str(CORE_TAG)
+        .field_bool(d16_telemetry::ENABLED)
+        .field_key(d16_cc::build_key(&[w.source], spec))
+        .field_str(w.name)
+        .field_bool(want_trace);
+    h.finish()
+}
+
+/// Key of one cache-grid sweep: the unrestricted image whose trace is
+/// swept, plus a fingerprint of every configuration on the grid.
+pub fn grid_key(w: &Workload, isa: Isa) -> CacheKey {
+    let spec = match isa {
+        Isa::D16 => TargetSpec::d16(),
+        Isa::Dlxe => TargetSpec::dlxe(),
+    };
+    let mut h = StableHasher::new("d16-core.grid");
+    h.field_str(CORE_TAG)
+        .field_bool(d16_telemetry::ENABLED)
+        .field_key(d16_cc::build_key(&[w.source], &spec))
+        .field_str(w.name);
+    let configs = crate::experiments::cache_grid_configs();
+    h.field_u64(configs.len() as u64);
+    for c in &configs {
+        h.field_u32(c.size)
+            .field_u32(c.block)
+            .field_u32(c.sub_block)
+            .field_u32(c.assoc)
+            .field_bool(c.wrap_prefetch);
+    }
+    h.finish()
+}
+
+/// Key of one workload's Table 4 classification counts (always measured
+/// on `DLXe/16/2`; the counts are plain integers, so the telemetry mode
+/// does not enter).
+pub fn table4_key(w: &Workload) -> CacheKey {
+    let spec = TargetSpec::dlxe_restricted(true, true, false);
+    let mut h = StableHasher::new("d16-core.table4");
+    h.field_str(CORE_TAG).field_key(d16_cc::build_key(&[w.source], &spec)).field_str(w.name);
+    h.finish()
+}
+
+/// Key of one workload's FPU-latency sweep (runs both unrestricted
+/// images over the fixed latency ladder).
+pub fn fpu_key(w: &Workload) -> CacheKey {
+    let mut h = StableHasher::new("d16-core.fpu");
+    h.field_str(CORE_TAG)
+        .field_key(d16_cc::build_key(&[w.source], &TargetSpec::d16()))
+        .field_key(d16_cc::build_key(&[w.source], &TargetSpec::dlxe()))
+        .field_str(w.name);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Cell records
+// ---------------------------------------------------------------------
+
+/// Serializes one measured cell and its optional trace.
+#[must_use]
+pub fn encode_cell(m: &Measurement, trace: Option<&TraceRecorder>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.i32(m.exit).u64(m.size_bytes).u64(m.text_bytes);
+    let s = &m.stats;
+    w.u64(s.insns)
+        .u64(s.loads)
+        .u64(s.stores)
+        .u64(s.interlocks)
+        .u64(s.load_interlocks)
+        .u64(s.fpu_interlocks)
+        .u64(s.ifetch_words)
+        .u64(s.branches)
+        .u64(s.taken_branches)
+        .u64(s.nops);
+    w.u64(m.ireq_bus32).u64(m.ireq_bus64);
+    write_counter_values(&mut w, &m.tele);
+    match trace {
+        Some(t) => {
+            w.bool(true).u64(t.len() as u64).bytes(t.encoded_bytes());
+        }
+        None => {
+            w.bool(false);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a cell record; `None` on any structural damage,
+/// including a trace that fails the [`TraceRecorder::from_encoded`]
+/// validation walk or a counter block from the other telemetry mode.
+#[must_use]
+pub fn decode_cell(
+    bytes: &[u8],
+    w: &Workload,
+    spec: &TargetSpec,
+) -> Option<(Measurement, Option<TraceRecorder>)> {
+    let mut r = Reader::new(bytes);
+    let exit = r.i32()?;
+    let size_bytes = r.u64()?;
+    let text_bytes = r.u64()?;
+    let stats = ExecStats {
+        insns: r.u64()?,
+        loads: r.u64()?,
+        stores: r.u64()?,
+        interlocks: r.u64()?,
+        load_interlocks: r.u64()?,
+        fpu_interlocks: r.u64()?,
+        ifetch_words: r.u64()?,
+        branches: r.u64()?,
+        taken_branches: r.u64()?,
+        nops: r.u64()?,
+    };
+    let ireq_bus32 = r.u64()?;
+    let ireq_bus64 = r.u64()?;
+    let tele = read_counter_values(&mut r, &SIM_SCHEMA)?;
+    let trace = if r.bool()? {
+        let len = usize::try_from(r.u64()?).ok()?;
+        let raw = r.bytes()?.to_vec();
+        Some(TraceRecorder::from_encoded(raw, len).ok()?)
+    } else {
+        None
+    };
+    r.finish()?;
+    // The record was validated against the pinned checksum when it was
+    // written, but re-check: a record that disagrees cannot be served.
+    if let Some(expected) = w.expected {
+        if exit != expected {
+            return None;
+        }
+    }
+    let m = Measurement {
+        workload: w.name,
+        target: spec.label(),
+        exit,
+        size_bytes,
+        text_bytes,
+        stats,
+        ireq_bus32,
+        ireq_bus64,
+        tele,
+    };
+    Some((m, trace))
+}
+
+// ---------------------------------------------------------------------
+// Grid records
+// ---------------------------------------------------------------------
+
+/// Serializes a swept cache grid: the sweep-level counters plus each
+/// system's configurations and aggregate statistics. Per-cache telemetry
+/// is *not* stored — [`d16_mem::Cache::from_stats`] rebuilds it from the
+/// aggregates, reconciled by construction.
+#[must_use]
+pub fn encode_grid(systems: &[CacheSystem], sweep: &Counters) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_counter_values(&mut w, sweep);
+    w.u64(systems.len() as u64);
+    for s in systems {
+        write_cache_half(&mut w, s.iconfig(), s.icache());
+        write_cache_half(&mut w, s.dconfig(), s.dcache());
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a grid record into its systems and sweep counters;
+/// `None` on structural damage or statistics [`CacheSystem::from_stats`]
+/// rejects as inconsistent.
+#[must_use]
+pub fn decode_grid(bytes: &[u8]) -> Option<(Vec<CacheSystem>, Counters)> {
+    let mut r = Reader::new(bytes);
+    let sweep = read_counter_values(&mut r, &BANK_SCHEMA)?;
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut systems = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let (icfg, istats) = read_cache_half(&mut r)?;
+        let (dcfg, dstats) = read_cache_half(&mut r)?;
+        systems.push(CacheSystem::from_stats(icfg, istats, dcfg, dstats).ok()?);
+    }
+    r.finish()?;
+    Some((systems, sweep))
+}
+
+fn write_cache_half(w: &mut Writer, cfg: &CacheConfig, stats: &CacheStats) {
+    w.u32(cfg.size).u32(cfg.block).u32(cfg.sub_block).u32(cfg.assoc).bool(cfg.wrap_prefetch);
+    w.u64(stats.reads)
+        .u64(stats.read_misses)
+        .u64(stats.writes)
+        .u64(stats.write_misses)
+        .u64(stats.demand_bytes_in)
+        .u64(stats.prefetch_bytes_in)
+        .u64(stats.bytes_out);
+}
+
+fn read_cache_half(r: &mut Reader<'_>) -> Option<(CacheConfig, CacheStats)> {
+    let cfg = CacheConfig {
+        size: r.u32()?,
+        block: r.u32()?,
+        sub_block: r.u32()?,
+        assoc: r.u32()?,
+        wrap_prefetch: r.bool()?,
+    };
+    let stats = CacheStats {
+        reads: r.u64()?,
+        read_misses: r.u64()?,
+        writes: r.u64()?,
+        write_misses: r.u64()?,
+        demand_bytes_in: r.u64()?,
+        prefetch_bytes_in: r.u64()?,
+        bytes_out: r.u64()?,
+    };
+    Some((cfg, stats))
+}
+
+// ---------------------------------------------------------------------
+// Table 4 and FPU-sweep records
+// ---------------------------------------------------------------------
+
+/// Serializes one workload's Table 4 classification counts
+/// `(cmp, alu, mem, total)`.
+#[must_use]
+pub fn encode_table4(counts: (u64, u64, u64, u64)) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(counts.0).u64(counts.1).u64(counts.2).u64(counts.3);
+    w.into_bytes()
+}
+
+/// Deserializes Table 4 counts; `None` on structural damage or counts
+/// that exceed their own total.
+#[must_use]
+pub fn decode_table4(bytes: &[u8]) -> Option<(u64, u64, u64, u64)> {
+    let mut r = Reader::new(bytes);
+    let counts = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    r.finish()?;
+    let (cmp, alu, mem, total) = counts;
+    if cmp.checked_add(alu)?.checked_add(mem)? > total || total == 0 {
+        return None;
+    }
+    Some(counts)
+}
+
+/// Serializes an FPU-latency sweep (rates ride as IEEE-754 bit patterns,
+/// so the restore is bit-exact).
+#[must_use]
+pub fn encode_fpu(points: &[crate::experiments::FpuSweepPoint]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(points.len() as u64);
+    for p in points {
+        w.u64(p.mul_latency)
+            .u64(p.d16_cycles)
+            .u64(p.dlxe_cycles)
+            .u64(p.d16_rate.to_bits())
+            .u64(p.dlxe_rate.to_bits());
+    }
+    w.into_bytes()
+}
+
+/// Deserializes an FPU-latency sweep; `None` on structural damage.
+#[must_use]
+pub fn decode_fpu(bytes: &[u8]) -> Option<Vec<crate::experiments::FpuSweepPoint>> {
+    let mut r = Reader::new(bytes);
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut points = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        points.push(crate::experiments::FpuSweepPoint {
+            mul_latency: r.u64()?,
+            d16_cycles: r.u64()?,
+            dlxe_cycles: r.u64()?,
+            d16_rate: f64::from_bits(r.u64()?),
+            dlxe_rate: f64::from_bits(r.u64()?),
+        });
+    }
+    r.finish()?;
+    Some(points)
+}
+
+// ---------------------------------------------------------------------
+// Counter blocks
+// ---------------------------------------------------------------------
+
+fn write_counter_values(w: &mut Writer, c: &Counters) {
+    let vals = c.values();
+    w.u64(vals.len() as u64);
+    for &v in vals {
+        w.u64(v);
+    }
+}
+
+fn read_counter_values(
+    r: &mut Reader<'_>,
+    schema: &'static d16_telemetry::Schema,
+) -> Option<Counters> {
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut vals = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        vals.push(r.u64()?);
+    }
+    Counters::from_values(schema, &vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+
+    #[test]
+    fn cell_roundtrips_with_and_without_trace() {
+        let w = d16_workloads::by_name("towers").unwrap();
+        for (spec, want_trace) in
+            [(TargetSpec::d16(), true), (TargetSpec::dlxe_restricted(true, true, false), false)]
+        {
+            let (m, trace) = measure(w, &spec, want_trace).unwrap();
+            let bytes = encode_cell(&m, trace.as_ref());
+            let (back, back_trace) = decode_cell(&bytes, w, &spec).unwrap();
+            assert_eq!(back.exit, m.exit);
+            assert_eq!(back.target, m.target);
+            assert_eq!((back.size_bytes, back.text_bytes), (m.size_bytes, m.text_bytes));
+            assert_eq!(back.stats, m.stats);
+            assert_eq!((back.ireq_bus32, back.ireq_bus64), (m.ireq_bus32, m.ireq_bus64));
+            assert_eq!(back.tele.values(), m.tele.values());
+            assert_eq!(back_trace, trace, "trace restores bit-identically");
+        }
+    }
+
+    #[test]
+    fn cell_decode_rejects_damage_and_wrong_checksum() {
+        let w = d16_workloads::by_name("towers").unwrap();
+        let spec = TargetSpec::d16();
+        let (m, t) = measure(w, &spec, true).unwrap();
+        let bytes = encode_cell(&m, t.as_ref());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_cell(&bytes[..cut], w, &spec).is_none(), "cut at {cut}");
+        }
+        // A record whose exit disagrees with the pinned checksum must
+        // not be served, even if structurally intact.
+        let mut wrong = m.clone();
+        wrong.exit += 1;
+        let bad = encode_cell(&wrong, t.as_ref());
+        assert!(decode_cell(&bad, w, &spec).is_none());
+    }
+
+    #[test]
+    fn keys_separate_cells_and_artifact_kinds() {
+        let towers = d16_workloads::by_name("towers").unwrap();
+        let queens = d16_workloads::by_name("queens").unwrap();
+        let d16 = TargetSpec::d16();
+        let base = cell_key(towers, &d16, false);
+        assert_eq!(base, cell_key(towers, &d16, false));
+        assert_ne!(base, cell_key(towers, &d16, true), "trace recording changes the record");
+        assert_ne!(base, cell_key(queens, &d16, false));
+        assert_ne!(base, cell_key(towers, &TargetSpec::dlxe(), false));
+        assert_ne!(grid_key(towers, Isa::D16), grid_key(towers, Isa::Dlxe));
+        assert_ne!(table4_key(towers), table4_key(queens));
+        assert_ne!(fpu_key(towers), fpu_key(queens));
+    }
+
+    #[test]
+    fn grid_roundtrips_bit_identically() {
+        let w = d16_workloads::by_name("towers").unwrap();
+        let (_, trace) = measure(w, &TargetSpec::d16(), true).unwrap();
+        let mut bank =
+            d16_mem::CacheBank::symmetric(&crate::experiments::cache_grid_configs()[..4]);
+        trace.unwrap().replay(&mut bank);
+        let sweep = bank.telemetry().clone();
+        let systems = bank.into_systems();
+        let bytes = encode_grid(&systems, &sweep);
+        let (back, back_sweep) = decode_grid(&bytes).unwrap();
+        assert_eq!(back.len(), systems.len());
+        for (b, s) in back.iter().zip(&systems) {
+            assert_eq!(b.iconfig(), s.iconfig());
+            assert_eq!(b.icache(), s.icache());
+            assert_eq!(b.dcache(), s.dcache());
+            b.reconciles().unwrap();
+        }
+        assert_eq!(back_sweep.values(), sweep.values());
+        // Structural damage decodes to None, never a bad grid.
+        for cut in [0, 9, bytes.len() - 1] {
+            assert!(decode_grid(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+}

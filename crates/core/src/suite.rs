@@ -9,11 +9,12 @@
 //! ([`Suite::cache_grid`]), so the full 20-configuration cache study walks
 //! each trace exactly once.
 
-use crate::measure::{measure, MeasureError, Measurement};
+use crate::measure::{measure_stored, MeasureError, Measurement};
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
 use d16_mem::{CacheBank, CacheSystem};
 use d16_sim::TraceRecorder;
+use d16_store::Store;
 use d16_telemetry::{timed, Registry};
 use d16_workloads::{Workload, SUITE};
 use std::collections::BTreeMap;
@@ -131,6 +132,9 @@ pub struct Suite {
     /// cache-sweep phase spans. Shared across clones, like `grid_memo`,
     /// because [`Suite::cache_grid`] appends through `&self`.
     tele: Arc<Mutex<Registry>>,
+    /// The artifact store this suite was collected through, if any;
+    /// retained so [`Suite::cache_grid`] can serve and commit grid sweeps.
+    store: Option<Arc<Store>>,
 }
 
 impl Suite {
@@ -153,6 +157,30 @@ impl Suite {
         trace_cache: bool,
         jobs: usize,
     ) -> Result<Suite, SuiteError> {
+        Self::collect_for_jobs_stored(workloads, specs, trace_cache, jobs, None)
+    }
+
+    /// [`Suite::collect_for_jobs`] through an optional artifact store:
+    /// intact cached cells (and their traces) are served without
+    /// recompiling or re-simulating; misses and damaged entries recompute
+    /// and commit. The store rides along in the suite so lazy grid sweeps
+    /// ([`Suite::cache_grid`]) go through it too.
+    ///
+    /// Served cells are bit-identical to computed ones — assembly order,
+    /// telemetry absorption, span recording and the checksum gate all run
+    /// the same either way — so every diffable output of a warm run
+    /// matches a cold one byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_for_jobs_stored(
+        workloads: &[&Workload],
+        specs: &[TargetSpec],
+        trace_cache: bool,
+        jobs: usize,
+        store: Option<Arc<Store>>,
+    ) -> Result<Suite, SuiteError> {
         let items: Vec<(usize, usize)> =
             (0..workloads.len()).flat_map(|w| (0..specs.len()).map(move |s| (w, s))).collect();
         let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
@@ -160,7 +188,7 @@ impl Suite {
             let spec = &specs[si];
             let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
             let want_trace = trace_cache && w.cache_benchmark && unrestricted;
-            measure(w, spec, want_trace).map_err(|e| SuiteError::Measure {
+            measure_stored(w, spec, want_trace, store.as_deref()).map_err(|e| SuiteError::Measure {
                 workload: w.name.to_string(),
                 target: spec.label(),
                 source: e,
@@ -206,7 +234,7 @@ impl Suite {
             }
         }
 
-        let mut suite = Suite::default();
+        let mut suite = Suite { store: store.clone(), ..Suite::default() };
         let mut reg = Registry::new();
         for (&(wi, si), result) in items.iter().zip(results) {
             let (result, wall_ns) = result.expect("cell not collected");
@@ -263,8 +291,20 @@ impl Suite {
     ///
     /// See [`Suite::collect_for_jobs`].
     pub fn collect_jobs(jobs: usize) -> Result<Suite, SuiteError> {
+        Self::collect_jobs_stored(jobs, None)
+    }
+
+    /// [`Suite::collect_jobs`] through an optional artifact store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_jobs_stored(
+        jobs: usize,
+        store: Option<Arc<Store>>,
+    ) -> Result<Suite, SuiteError> {
         let all: Vec<&Workload> = SUITE.iter().collect();
-        Self::collect_for_jobs(&all, &standard_specs(), true, jobs)
+        Self::collect_for_jobs_stored(&all, &standard_specs(), true, jobs, store)
     }
 
     /// Measures the full paper grid with the default worker count.
@@ -341,12 +381,45 @@ impl Suite {
             return Ok(Arc::clone(v));
         }
         let trace = self.try_trace(workload, isa)?;
+        let prefix = format!("grid.{workload}.{}", isa.name());
+
+        // A stored sweep carries the finished systems plus the bank's
+        // sweep counters, so the registry ends up with exactly the
+        // entries a live replay's `export_telemetry` would have written.
+        let stored_at = self.store.as_deref().and_then(|s| {
+            d16_workloads::by_name(workload).map(|w| (s, crate::stored::grid_key(w, isa)))
+        });
+        if let Some((s, gkey)) = stored_at {
+            let (hit, load_ns) =
+                timed(|| s.get_with(crate::stored::GRID_KIND, gkey, crate::stored::decode_grid));
+            if let Some((systems, sweep)) = hit {
+                {
+                    let mut reg = self.tele.lock().expect("telemetry lock poisoned");
+                    reg.record_span("suite.cache_grid.sweep", load_ns);
+                    reg.absorb(&prefix, &sweep);
+                    for sys in &systems {
+                        sys.export_telemetry(&mut reg, &format!("{prefix}.cfg.{}", sys.label()));
+                    }
+                }
+                let systems = Arc::new(systems);
+                memo.insert(key, Arc::clone(&systems));
+                return Ok(systems);
+            }
+        }
+
         let mut bank = CacheBank::symmetric(&crate::experiments::cache_grid_configs());
         let ((), sweep_ns) = timed(|| trace.replay(&mut bank));
         {
             let mut reg = self.tele.lock().expect("telemetry lock poisoned");
             reg.record_span("suite.cache_grid.sweep", sweep_ns);
-            bank.export_telemetry(&mut reg, &format!("grid.{workload}.{}", isa.name()));
+            bank.export_telemetry(&mut reg, &prefix);
+        }
+        if let Some((s, gkey)) = stored_at {
+            s.put(
+                crate::stored::GRID_KIND,
+                gkey,
+                &crate::stored::encode_grid(bank.systems(), bank.telemetry()),
+            );
         }
         let systems = Arc::new(bank.into_systems());
         memo.insert(key, Arc::clone(&systems));

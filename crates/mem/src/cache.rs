@@ -363,6 +363,53 @@ impl Cache {
         Ok(())
     }
 
+    /// Rebuilds a cache whose aggregate statistics — and therefore every
+    /// figure the experiments derive — equal a previously measured run:
+    /// the `d16-store` restore path. Contents start cold (restored
+    /// systems are read for their results, not swept further), and the
+    /// telemetry block is reconstructed from the aggregates via the same
+    /// identities [`Cache::reconciles`] checks, so a restored cache
+    /// reconciles by construction.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid geometry or internally inconsistent statistics
+    /// (more misses than accesses, byte traffic not a multiple of the
+    /// sub-block) — the shapes a damaged persisted record would take.
+    pub fn from_stats(cfg: CacheConfig, stats: CacheStats) -> Result<Cache, String> {
+        cfg.validate()?;
+        if cfg.subs_per_block() > 64 {
+            return Err(format!("block {} has more than 64 sub-blocks", cfg.block));
+        }
+        if stats.read_misses > stats.reads {
+            return Err(format!("{} read misses > {} reads", stats.read_misses, stats.reads));
+        }
+        if stats.write_misses > stats.writes {
+            return Err(format!("{} write misses > {} writes", stats.write_misses, stats.writes));
+        }
+        let sb = u64::from(cfg.sub_block);
+        for (what, bytes) in [
+            ("demand", stats.demand_bytes_in),
+            ("prefetch", stats.prefetch_bytes_in),
+            ("writeback", stats.bytes_out),
+        ] {
+            if bytes % sb != 0 {
+                return Err(format!("{what} traffic {bytes} is not whole sub-blocks of {sb}"));
+            }
+        }
+        let mut c = Cache::new(cfg);
+        c.stats = stats;
+        c.tele.add(MemCounter::ReadHits, stats.reads - stats.read_misses);
+        c.tele.add(MemCounter::ReadMisses, stats.read_misses);
+        c.tele.add(MemCounter::WriteHits, stats.writes - stats.write_misses);
+        c.tele.add(MemCounter::WriteMisses, stats.write_misses);
+        c.tele.add(MemCounter::DemandFetches, stats.demand_bytes_in / sb);
+        c.tele.add(MemCounter::Prefetches, stats.prefetch_bytes_in / sb);
+        c.tele.add(MemCounter::Writebacks, stats.bytes_out / sb);
+        debug_assert!(c.reconciles().is_ok());
+        Ok(c)
+    }
+
     /// Invalidates all contents, keeping the statistics.
     pub fn flush(&mut self) {
         let dirty: u64 = self.lines.iter().map(|l| l.dirty.count_ones() as u64).sum();
@@ -528,6 +575,42 @@ mod tests {
             assert_eq!(MEM_SCHEMA.len(), 7);
             assert_eq!(MemCounter::ReadHits.index(), 0);
         }
+    }
+
+    #[test]
+    fn from_stats_restores_results_and_reconciles() {
+        let mut c = small();
+        for i in 0..4000u32 {
+            let a = (i * 52) % 4096;
+            if i % 3 == 0 {
+                c.write(a);
+            } else {
+                c.read(a);
+            }
+        }
+        let restored = Cache::from_stats(*c.config(), *c.stats()).unwrap();
+        assert_eq!(restored.stats(), c.stats());
+        assert_eq!(restored.config(), c.config());
+        restored.reconciles().unwrap();
+        if d16_telemetry::ENABLED {
+            assert_eq!(
+                restored.telemetry().iter().collect::<Vec<_>>(),
+                c.telemetry().iter().collect::<Vec<_>>(),
+                "telemetry rebuilt exactly from the aggregates"
+            );
+        }
+    }
+
+    #[test]
+    fn from_stats_rejects_inconsistent_records() {
+        let cfg = CacheConfig::paper(4096, 32);
+        let more_misses_than_reads =
+            CacheStats { reads: 1, read_misses: 2, ..CacheStats::default() };
+        assert!(Cache::from_stats(cfg, more_misses_than_reads).is_err());
+        let ragged_traffic = CacheStats { demand_bytes_in: 7, ..CacheStats::default() };
+        assert!(Cache::from_stats(cfg, ragged_traffic).is_err());
+        let bad_cfg = CacheConfig { size: 100, ..cfg };
+        assert!(Cache::from_stats(bad_cfg, CacheStats::default()).is_err());
     }
 
     #[test]

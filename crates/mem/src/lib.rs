@@ -38,7 +38,7 @@ mod cache;
 mod fetch;
 mod system;
 
-pub use bank::CacheBank;
+pub use bank::{BankCounter, CacheBank, BANK_SCHEMA};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use fetch::FetchBuffer;
 pub use system::CacheSystem;

@@ -53,6 +53,24 @@ impl CacheSystem {
         self.dcache.config()
     }
 
+    /// Rebuilds a system from persisted configurations and statistics
+    /// (see [`Cache::from_stats`] — the `d16-store` restore path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates either cache's rejection, tagged with the side.
+    pub fn from_stats(
+        icfg: CacheConfig,
+        istats: CacheStats,
+        dcfg: CacheConfig,
+        dstats: CacheStats,
+    ) -> Result<Self, String> {
+        Ok(CacheSystem {
+            icache: Cache::from_stats(icfg, istats).map_err(|e| format!("icache: {e}"))?,
+            dcache: Cache::from_stats(dcfg, dstats).map_err(|e| format!("dcache: {e}"))?,
+        })
+    }
+
     /// A stable label for the system's geometry: the shared
     /// [`CacheConfig::label`] when I and D agree (the paper's symmetric
     /// configurations), `i<label>.d<label>` otherwise.

@@ -159,6 +159,66 @@ impl TraceRecorder {
         TraceIter { bytes: &self.bytes, pos: 0, next: [0; 3] }
     }
 
+    /// The delta-compressed encoding, for persistence. Rebuild with
+    /// [`TraceRecorder::from_encoded`].
+    pub fn encoded_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a recorder from bytes captured by
+    /// [`TraceRecorder::encoded_bytes`] holding `len` references.
+    ///
+    /// The stream is fully walked up front — recovering the encoder's
+    /// per-kind address state and validating every record — so a
+    /// truncated or damaged stream is rejected here instead of
+    /// panicking inside a later [`TraceRecorder::replay`]. The replay
+    /// counter starts at zero: replays of the restored copy are new
+    /// work.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed record, or a record-count
+    /// mismatch.
+    pub fn from_encoded(bytes: Vec<u8>, len: usize) -> Result<TraceRecorder, String> {
+        let mut pos = 0usize;
+        let mut next = [0u32; 3];
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let header = bytes[pos];
+            pos += 1;
+            let kind = usize::from(header & 0x3);
+            if kind > 2 {
+                return Err(format!("record {count}: invalid access kind"));
+            }
+            let width = WIDTHS[usize::from((header >> 2) & 0x3)];
+            let extra = match (header >> 4) & 0x3 {
+                TAG_SEQ => 0,
+                TAG_D8 => 1,
+                TAG_D16 => 2,
+                _ => 4,
+            };
+            let Some(operand) = bytes.get(pos..pos + extra) else {
+                return Err(format!("record {count}: truncated operand"));
+            };
+            let addr = match (header >> 4) & 0x3 {
+                TAG_SEQ => next[kind],
+                TAG_D8 => next[kind].wrapping_add(operand[0] as i8 as u32),
+                TAG_D16 => {
+                    let d = i16::from_le_bytes([operand[0], operand[1]]);
+                    next[kind].wrapping_add(d as u32)
+                }
+                _ => u32::from_le_bytes(operand.try_into().expect("4-byte operand")),
+            };
+            pos += extra;
+            next[kind] = addr.wrapping_add(u32::from(width));
+            count += 1;
+        }
+        if count != len {
+            return Err(format!("stream holds {count} records, expected {len}"));
+        }
+        Ok(TraceRecorder { bytes, len, next, replays: AtomicU64::new(0) })
+    }
+
     /// Replays the trace into another sink and bumps the replay counter.
     pub fn replay(&self, sink: &mut impl AccessSink) {
         for a in self.iter() {
@@ -301,6 +361,45 @@ mod tests {
         assert_eq!(r.len(), 10_000);
         let decoded: Vec<Access> = r.iter().collect();
         assert_eq!(decoded[9_999], Access::Fetch(0x1000 + 9_999 * 2, 2));
+    }
+
+    #[test]
+    fn encoded_bytes_roundtrip_restores_trace_and_state() {
+        let mut r = TraceRecorder::new();
+        for a in [
+            Access::Fetch(0x1000, 2),
+            Access::Fetch(0x1002, 2),
+            Access::Read(0xDEAD_0000, 4),
+            Access::Write(0x80, 1),
+            Access::Fetch(0x4000, 4),
+        ] {
+            r.push(a);
+        }
+        r.replay(&mut NullSink);
+        let restored = TraceRecorder::from_encoded(r.encoded_bytes().to_vec(), r.len()).unwrap();
+        assert_eq!(restored, r, "trace content equal");
+        assert_eq!(restored.replay_count(), 0, "replays are bookkeeping, not content");
+        // The recovered encoder state appends identically to the original.
+        let (mut a, mut b) = (r, restored);
+        a.push(Access::Fetch(0x4004, 4));
+        b.push(Access::Fetch(0x4004, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_encoded_rejects_damage() {
+        let mut r = TraceRecorder::new();
+        r.fetch(0x1000, 4);
+        r.read(0xDEAD_0000, 4); // absolute: carries a 4-byte operand
+        let bytes = r.encoded_bytes().to_vec();
+        // Wrong record count.
+        assert!(TraceRecorder::from_encoded(bytes.clone(), 3).is_err());
+        // Truncated mid-operand.
+        assert!(TraceRecorder::from_encoded(bytes[..bytes.len() - 1].to_vec(), 2).is_err());
+        // An invalid access kind (header & 3 == 3).
+        assert!(TraceRecorder::from_encoded(vec![0x03], 1).is_err());
+        // The pristine stream still decodes.
+        assert!(TraceRecorder::from_encoded(bytes, 2).is_ok());
     }
 
     #[test]

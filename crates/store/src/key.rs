@@ -1,0 +1,181 @@
+//! Stable content hashing: how artifacts are addressed.
+//!
+//! A [`CacheKey`] is a 128-bit FNV-1a digest over *length-prefixed*
+//! fields, seeded by a domain string. The length prefixes make the
+//! hash injective over field boundaries (`("ab", "c")` and `("a", "bc")`
+//! hash differently), and the domain string keeps keys from different
+//! artifact producers from colliding even over identical inputs.
+//!
+//! The hash is defined by this module alone — no `std::hash`, no
+//! platform-dependent layout — so a key computed today addresses the
+//! same artifact on any machine and any future build that keeps the
+//! producers' toolchain tags unchanged.
+
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A content address: the finished digest of a [`StableHasher`].
+///
+/// Ordered and hashable so keys can index in-memory maps; displayed as
+/// 32 lowercase hex digits, which is also the on-disk file stem.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// The key as 32 lowercase hex digits (the on-disk file stem).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Little-endian bytes, for feeding one key into another hasher
+    /// (composite artifacts hash the keys of their inputs, not the
+    /// inputs themselves).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a/128 over length-prefixed fields.
+///
+/// ```
+/// use d16_store::StableHasher;
+///
+/// let mut h = StableHasher::new("example.artifact");
+/// h.field_str("source text");
+/// h.field_u64(42);
+/// let key = h.finish();
+/// assert_eq!(key.hex().len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl StableHasher {
+    /// Starts a hash for the given artifact domain.
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut h = StableHasher { state: FNV_OFFSET };
+        h.field_bytes(domain.as_bytes());
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one byte-string field (length-prefixed).
+    pub fn field_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+        self
+    }
+
+    /// Hashes one string field.
+    pub fn field_str(&mut self, s: &str) -> &mut Self {
+        self.field_bytes(s.as_bytes())
+    }
+
+    /// Hashes one `u64` field.
+    pub fn field_u64(&mut self, v: u64) -> &mut Self {
+        self.field_bytes(&v.to_le_bytes())
+    }
+
+    /// Hashes one `u32` field.
+    pub fn field_u32(&mut self, v: u32) -> &mut Self {
+        self.field_bytes(&v.to_le_bytes())
+    }
+
+    /// Hashes one boolean field.
+    pub fn field_bool(&mut self, v: bool) -> &mut Self {
+        self.field_bytes(&[u8::from(v)])
+    }
+
+    /// Hashes another artifact's key as a field.
+    pub fn field_key(&mut self, key: CacheKey) -> &mut Self {
+        self.field_bytes(&key.to_bytes())
+    }
+
+    /// The finished 128-bit content address.
+    #[must_use]
+    pub fn finish(&self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+/// FNV-1a/64 of a byte string: the envelope payload digest.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let key = |src: &str| {
+            let mut h = StableHasher::new("test");
+            h.field_str(src);
+            h.finish()
+        };
+        assert_eq!(key("abc"), key("abc"));
+        assert_ne!(key("abc"), key("abd"));
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = StableHasher::new("test");
+        a.field_str("ab").field_str("c");
+        let mut b = StableHasher::new("test");
+        b.field_str("a").field_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domains_separate_identical_inputs() {
+        let mut a = StableHasher::new("cell");
+        a.field_u64(7);
+        let mut b = StableHasher::new("grid");
+        b.field_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_32_lowercase_digits() {
+        let k = StableHasher::new("x").finish();
+        let h = k.hex();
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(h, k.to_string());
+        assert_eq!(CacheKey(u128::from_le_bytes(k.to_bytes())), k);
+    }
+
+    #[test]
+    fn fnv64_known_answer() {
+        // FNV-1a test vectors: empty string and "a".
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

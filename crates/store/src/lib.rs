@@ -1,0 +1,427 @@
+//! # d16-store — content-addressed artifacts for incremental runs
+//!
+//! Every expensive product of the experiment pipeline — compiled images,
+//! per-cell [`Measurement`] rows, recorded access traces, cache-grid
+//! sweeps — is a pure function of (source text, target knobs, toolchain
+//! version). This crate persists those products on disk keyed by a
+//! stable content hash of exactly those inputs, so a rerun recomputes
+//! only what actually changed.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Never serve damaged data.** Every entry is wrapped in a
+//!    checksummed envelope (magic, format version, payload length,
+//!    FNV-1a/64 digest). A truncated write, a flipped bit, or a
+//!    foreign-format file fails the envelope check; the entry is
+//!    evicted, counted in `corrupt_evicted`, and the artifact is
+//!    silently recomputed. A cache can lose entries; it must not lie.
+//! 2. **Atomic commit.** Writes go to a per-process temp file in the
+//!    entry's directory and are published with `rename`, which replaces
+//!    atomically on POSIX. Concurrent `--jobs N` workers — or two whole
+//!    `repro` processes sharing one store — race only on who commits a
+//!    byte-identical entry last.
+//! 3. **Best-effort by construction.** A failed read is a miss; a
+//!    failed write is skipped. The store can accelerate a run, never
+//!    fail one: every error path degrades to recomputation.
+//!
+//! Keys come from [`StableHasher`] (see `key.rs`): a domain string plus
+//! length-prefixed fields, hashed with FNV-1a/128. Producers include
+//! their own toolchain tag in the key material, so bumping a tag when
+//! codegen changes retires every stale entry at once — nothing is ever
+//! mutated in place.
+//!
+//! [`Measurement`]: ../d16_core/measure/struct.Measurement.html
+
+mod key;
+mod wire;
+
+pub use key::{fnv64, CacheKey, StableHasher};
+pub use wire::{Reader, Writer};
+
+use d16_telemetry::Registry;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk entry format version; part of every envelope. Bump on any
+/// envelope-layout change so old stores read as misses, not garbage.
+pub const FORMAT: u32 = 1;
+
+/// Envelope magic: identifies a d16-store entry file.
+pub const MAGIC: [u8; 4] = *b"d16s";
+
+/// Envelope header size: magic + format + payload length + digest.
+const HEADER: usize = 4 + 4 + 8 + 8;
+
+/// Operation counters, updated atomically so concurrent workers can
+/// share one [`Store`]. These are *store* telemetry, deliberately kept
+/// out of the experiment registry: the `--metrics-json` dump must stay
+/// byte-identical between cold and warm runs (see DESIGN.md §6), so
+/// hit/miss counts only ever appear in the timing (non-diffed) half of
+/// a report.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    hit: AtomicU64,
+    miss: AtomicU64,
+    write: AtomicU64,
+    corrupt_evicted: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreStats`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Entries served from disk.
+    pub hit: u64,
+    /// Lookups that found nothing servable (includes evictions).
+    pub miss: u64,
+    /// Entries committed.
+    pub write: u64,
+    /// Entries evicted because the envelope or payload failed to check.
+    pub corrupt_evicted: u64,
+}
+
+impl StatsSnapshot {
+    /// `(name, value)` pairs in [`d16_telemetry::STORE_SCHEMA`] order.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 4] {
+        let names = d16_telemetry::STORE_SCHEMA.names();
+        [
+            (names[0], self.hit),
+            (names[1], self.miss),
+            (names[2], self.write),
+            (names[3], self.corrupt_evicted),
+        ]
+    }
+}
+
+/// What [`Store::verify`] found and did.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct VerifyReport {
+    /// Entry files scanned.
+    pub scanned: u64,
+    /// Entries whose envelope checked out.
+    pub ok: u64,
+    /// Entries evicted (bad envelope; also bumps `corrupt_evicted`).
+    pub evicted: u64,
+    /// Abandoned commit temp files removed (a crashed writer's leavings;
+    /// harmless — lookups never read them — but worth sweeping).
+    pub temps_removed: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory.
+///
+/// Layout: `root/<kind>/<first two hex digits>/<32 hex digits>.bin`,
+/// one checksummed envelope per entry. The two-digit fanout keeps
+/// directories small; `kind` separates artifact namespaces (`image`,
+/// `cell`, `grid`, ...) for selective wiping and inspection.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    stats: StoreStats,
+    seq: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the root directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store { root, stats: StoreStats::default(), seq: AtomicU64::new(0) })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path of an entry (whether or not it exists).
+    #[must_use]
+    pub fn entry_path(&self, kind: &str, key: CacheKey) -> PathBuf {
+        let hex = key.hex();
+        self.root.join(kind).join(&hex[..2]).join(format!("{hex}.bin"))
+    }
+
+    /// Looks up an entry and decodes it. `decode` returning `None` is
+    /// treated exactly like a bad checksum: the file cannot be what the
+    /// key promises, so it is evicted and the lookup is a miss.
+    pub fn get_with<T>(
+        &self,
+        kind: &str,
+        key: CacheKey,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let path = self.entry_path(kind, key);
+        let Ok(data) = fs::read(&path) else {
+            self.stats.miss.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match unwrap_envelope(&data).and_then(decode) {
+            Some(v) => {
+                self.stats.hit.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                self.stats.miss.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Commits an entry: envelope, temp file, atomic rename. Best
+    /// effort — on any I/O failure the entry is simply not cached (and
+    /// the temp file removed if it got that far).
+    pub fn put(&self, kind: &str, key: CacheKey, payload: &[u8]) {
+        let path = self.entry_path(kind, key);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        if fs::write(&tmp, wrap_envelope(payload)).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.stats.write.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the operation counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hit: self.stats.hit.load(Ordering::Relaxed),
+            miss: self.stats.miss.load(Ordering::Relaxed),
+            write: self.stats.write.load(Ordering::Relaxed),
+            corrupt_evicted: self.stats.corrupt_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Dumps the operation counters into a registry as `store.*` (the
+    /// [`d16_telemetry::STORE_SCHEMA`] names). Callers must keep this
+    /// out of any cold-vs-warm diffed registry — see [`StoreStats`].
+    pub fn export_telemetry(&self, reg: &mut Registry) {
+        for (name, v) in self.stats().named() {
+            reg.add_counter(format!("store.{name}"), v);
+        }
+    }
+
+    /// Scans every entry, evicting any whose envelope fails to check
+    /// and sweeping abandoned commit temp files. Lookups do the same
+    /// check per entry anyway; `verify` exists to front-load it
+    /// (`repro --store-verify`) and to report what a store holds.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on directory-walk I/O errors, not on bad entries.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut rep = VerifyReport::default();
+        let mut dirs = vec![self.root.clone()];
+        while let Some(dir) = dirs.pop() {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if entry.file_type()?.is_dir() {
+                    dirs.push(path);
+                    continue;
+                }
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.contains(".tmp.") {
+                    if fs::remove_file(&path).is_ok() {
+                        rep.temps_removed += 1;
+                    }
+                    continue;
+                }
+                if !name.ends_with(".bin") {
+                    continue;
+                }
+                rep.scanned += 1;
+                let ok = fs::read(&path).ok().as_deref().and_then(unwrap_envelope).is_some();
+                if ok {
+                    rep.ok += 1;
+                } else if fs::remove_file(&path).is_ok() {
+                    rep.evicted += 1;
+                    self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(rep)
+    }
+}
+
+/// Wraps a payload in the checksummed envelope.
+#[must_use]
+pub fn wrap_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Checks an envelope, returning the payload only if the magic, format
+/// version, length, and digest all agree.
+#[must_use]
+pub fn unwrap_envelope(data: &[u8]) -> Option<&[u8]> {
+    let header = data.get(..HEADER)?;
+    if header[..4] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(header[4..8].try_into().ok()?) != FORMAT {
+        return None;
+    }
+    let len = usize::try_from(u64::from_le_bytes(header[8..16].try_into().ok()?)).ok()?;
+    let digest = u64::from_le_bytes(header[16..HEADER].try_into().ok()?);
+    let payload = data.get(HEADER..)?;
+    if payload.len() != len || fnv64(payload) != digest {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d16_testkit::TempDir;
+
+    fn key(n: u64) -> CacheKey {
+        let mut h = StableHasher::new("test");
+        h.field_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn roundtrip_hit_and_miss() {
+        let dir = TempDir::new("roundtrip");
+        let store = Store::open(dir.path()).unwrap();
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())), None);
+        store.put("cell", key(1), b"payload");
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())).unwrap(), b"payload");
+        assert_eq!(store.get_with("other-kind", key(1), |b| Some(b.to_vec())), None);
+        let s = store.stats();
+        assert_eq!((s.hit, s.miss, s.write, s.corrupt_evicted), (1, 2, 1, 0));
+    }
+
+    #[test]
+    fn decode_failure_counts_as_corruption() {
+        let dir = TempDir::new("decode");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("cell", key(1), b"not what the codec wants");
+        assert_eq!(store.get_with("cell", key(1), |_| None::<()>), None);
+        assert_eq!(store.stats().corrupt_evicted, 1);
+        assert!(!store.entry_path("cell", key(1)).exists(), "evicted from disk");
+    }
+
+    #[test]
+    fn envelope_rejects_each_kind_of_damage() {
+        let good = wrap_envelope(b"abc");
+        assert_eq!(unwrap_envelope(&good), Some(&b"abc"[..]));
+        // Truncation, anywhere.
+        for cut in 0..good.len() {
+            assert_eq!(unwrap_envelope(&good[..cut]), None, "cut at {cut}");
+        }
+        // A flipped bit, anywhere.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(unwrap_envelope(&bad), None, "flip at {i}");
+        }
+        // Wrong format version.
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&(FORMAT + 1).to_le_bytes());
+        assert_eq!(unwrap_envelope(&bad), None);
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert_eq!(unwrap_envelope(&bad), None);
+    }
+
+    #[test]
+    fn put_replaces_atomically_and_leaves_no_temps() {
+        let dir = TempDir::new("replace");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("image", key(2), b"v1");
+        store.put("image", key(2), b"v2");
+        assert_eq!(store.get_with("image", key(2), |b| Some(b.to_vec())).unwrap(), b"v2");
+        let rep = store.verify().unwrap();
+        assert_eq!((rep.scanned, rep.ok, rep.evicted, rep.temps_removed), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn verify_evicts_corrupt_and_sweeps_temps() {
+        let dir = TempDir::new("verify");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("cell", key(1), b"ok");
+        store.put("cell", key(2), b"damaged soon");
+        let victim = store.entry_path("cell", key(2));
+        let mut raw = fs::read(&victim).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&victim, raw).unwrap();
+        // A crashed writer's abandoned temp file.
+        let crashed = victim.with_file_name(format!("{}.tmp.999.0", key(2).hex()));
+        fs::write(&crashed, b"partial").unwrap();
+
+        let rep = store.verify().unwrap();
+        assert_eq!((rep.scanned, rep.ok, rep.evicted, rep.temps_removed), (2, 1, 1, 1));
+        assert!(!victim.exists());
+        assert!(!crashed.exists());
+        assert_eq!(store.stats().corrupt_evicted, 1);
+        // The good entry still serves.
+        assert!(store.get_with("cell", key(1), |b| Some(b.to_vec())).is_some());
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_key_are_safe() {
+        let dir = TempDir::new("concurrent");
+        let store = Store::open(dir.path()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        store.put("cell", key(7), b"same bytes from everyone");
+                        let got = store.get_with("cell", key(7), |b| Some(b.to_vec()));
+                        if let Some(b) = got {
+                            assert_eq!(b, b"same bytes from everyone");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().corrupt_evicted, 0);
+        let rep = store.verify().unwrap();
+        assert_eq!(rep.evicted, 0);
+    }
+
+    #[test]
+    fn export_telemetry_uses_store_prefix() {
+        let dir = TempDir::new("tele");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("cell", key(1), b"x");
+        store.get_with("cell", key(1), |b| Some(b.len()));
+        let mut reg = Registry::new();
+        store.export_telemetry(&mut reg);
+        assert_eq!(reg.counter("store.hit"), Some(1));
+        assert_eq!(reg.counter("store.miss"), Some(0));
+        assert_eq!(reg.counter("store.write"), Some(1));
+        assert_eq!(reg.counter("store.corrupt_evicted"), Some(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! A minimal little-endian payload codec for store entries.
+//!
+//! Every artifact codec (images, cell records, grid sweeps) is built on
+//! these two types so the byte layout is defined in exactly one place:
+//! fixed-width little-endian integers, length-prefixed byte strings, and
+//! one-byte option flags. [`Reader`] methods return `Option` so a decode
+//! of a structurally damaged payload degrades to `None` — which the
+//! store counts as corruption — instead of panicking.
+
+/// Builds a payload.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty payload.
+    #[must_use]
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The finished payload bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Decodes a payload built by [`Writer`]. Every method returns `None`
+/// once the input runs short or violates the expected shape.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Option<i32> {
+        Some(i32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a boolean byte (anything but 0/1 is malformed).
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    /// Succeeds only if the whole payload was consumed — trailing bytes
+    /// mean the payload is not what the codec expected.
+    pub fn finish(self) -> Option<()> {
+        (self.pos == self.buf.len()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xDEAD_BEEF).u64(u64::MAX).i32(-5).bool(true).bytes(b"xy").str("hëllo");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.i32(), Some(-5));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.bytes(), Some(&b"xy"[..]));
+        assert_eq!(r.str(), Some("hëllo"));
+        assert_eq!(r.finish(), Some(()));
+    }
+
+    #[test]
+    fn short_input_is_none_not_panic() {
+        let mut w = Writer::new();
+        w.u64(3).str("abc");
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            // Whatever partial reads succeed, the sequence must fail
+            // before producing both fields and finishing cleanly.
+            let full = r.u64().is_some() && r.str().is_some() && r.finish().is_some();
+            assert!(!full, "cut at {cut} decoded fully");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.finish(), None);
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut r = Reader::new(&[9]);
+        assert_eq!(r.bool(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_none() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let buf = w.into_bytes();
+        assert_eq!(Reader::new(&buf).bytes(), None);
+    }
+}

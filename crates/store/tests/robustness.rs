@@ -1,0 +1,149 @@
+//! Store robustness: every way an on-disk entry can be damaged must
+//! degrade to a clean miss — recompute, re-commit, carry on — with the
+//! right counters bumped. Nothing here may panic or serve bad bytes.
+
+use d16_store::{CacheKey, StableHasher, Store};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "d16-store-robust-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::create_dir_all(&d).unwrap();
+        TestDir(d)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn key(n: u64) -> CacheKey {
+    let mut h = StableHasher::new("robustness");
+    h.field_u64(n);
+    h.finish()
+}
+
+const PAYLOAD: &[u8] = b"a perfectly good artifact payload";
+
+/// Decode used by every test: accepts exactly `PAYLOAD`.
+fn decode(b: &[u8]) -> Option<Vec<u8>> {
+    (b == PAYLOAD).then(|| b.to_vec())
+}
+
+/// Damages the committed entry file with `f`, then checks the store
+/// (a) refuses to serve it, (b) counts one eviction and one miss,
+/// (c) accepts a recompute-and-recommit, and (d) serves the fresh copy.
+fn damaged_entry_recovers(tag: &str, f: impl FnOnce(&mut Vec<u8>)) {
+    let dir = TestDir::new(tag);
+    let store = Store::open(&dir.0).unwrap();
+    store.put("cell", key(1), PAYLOAD);
+    let path = store.entry_path("cell", key(1));
+    let mut raw = fs::read(&path).unwrap();
+    f(&mut raw);
+    fs::write(&path, raw).unwrap();
+
+    assert_eq!(store.get_with("cell", key(1), decode), None, "{tag}: must not serve");
+    let s = store.stats();
+    assert_eq!(s.corrupt_evicted, 1, "{tag}: eviction counted");
+    assert_eq!(s.miss, 1, "{tag}: miss counted");
+    assert!(!path.exists(), "{tag}: damaged entry evicted from disk");
+
+    // The caller recomputes and re-commits; the store serves it again.
+    store.put("cell", key(1), PAYLOAD);
+    assert_eq!(store.get_with("cell", key(1), decode).unwrap(), PAYLOAD, "{tag}: recovered");
+    let s = store.stats();
+    assert_eq!((s.hit, s.corrupt_evicted), (1, 1), "{tag}: clean after recovery");
+}
+
+#[test]
+fn truncated_envelope_recomputes() {
+    damaged_entry_recovers("truncate", |raw| {
+        raw.truncate(raw.len() / 2);
+    });
+}
+
+#[test]
+fn truncated_to_zero_bytes_recomputes() {
+    // The limit case of a crash during the temp write that somehow got
+    // renamed: an empty file under the final name.
+    damaged_entry_recovers("empty", |raw| raw.clear());
+}
+
+#[test]
+fn bit_flipped_payload_recomputes() {
+    damaged_entry_recovers("bitflip", |raw| {
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+    });
+}
+
+#[test]
+fn bit_flipped_header_recomputes() {
+    damaged_entry_recovers("bitflip-header", |raw| {
+        raw[9] ^= 0x80; // inside the length field
+    });
+}
+
+#[test]
+fn wrong_version_tag_recomputes() {
+    damaged_entry_recovers("version", |raw| {
+        raw[4..8].copy_from_slice(&(d16_store::FORMAT + 7).to_le_bytes());
+    });
+}
+
+#[test]
+fn wrong_magic_recomputes() {
+    damaged_entry_recovers("magic", |raw| {
+        raw[..4].copy_from_slice(b"NOPE");
+    });
+}
+
+#[test]
+fn crash_mid_commit_is_a_plain_miss() {
+    // Simulated crash between the temp write and the rename: the temp
+    // file exists, the final name does not. A lookup must see a plain
+    // miss (nothing corrupt was *published*), a recompute must commit
+    // fine alongside the stale temp, and verify must sweep the temp.
+    let dir = TestDir::new("crash");
+    let store = Store::open(&dir.0).unwrap();
+    let path = store.entry_path("cell", key(1));
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let tmp = path.with_file_name(format!("{}.tmp.4242.0", key(1).hex()));
+    fs::write(&tmp, &d16_store::wrap_envelope(PAYLOAD)[..10]).unwrap();
+
+    assert_eq!(store.get_with("cell", key(1), decode), None);
+    let s = store.stats();
+    assert_eq!((s.miss, s.corrupt_evicted), (1, 0), "unpublished temp is a miss, not corruption");
+
+    store.put("cell", key(1), PAYLOAD);
+    assert_eq!(store.get_with("cell", key(1), decode).unwrap(), PAYLOAD);
+    assert!(tmp.exists(), "lookups and commits ignore the stale temp");
+
+    let rep = store.verify().unwrap();
+    assert_eq!(rep.temps_removed, 1);
+    assert_eq!(rep.evicted, 0);
+    assert!(!tmp.exists(), "verify swept the crash leavings");
+    assert!(path.exists(), "the committed entry survived verify");
+}
+
+#[test]
+fn unreadable_store_directory_degrades_to_misses() {
+    // A store whose directory tree vanished underneath it: every get is
+    // a miss, every put a no-op, nothing panics.
+    let dir = TestDir::new("vanish");
+    let store = Store::open(dir.0.join("sub")).unwrap();
+    fs::remove_dir_all(&dir.0).unwrap();
+    assert_eq!(store.get_with("cell", key(1), decode), None);
+    assert_eq!(store.stats().miss, 1);
+}

@@ -125,6 +125,26 @@ macro_rules! counter_schema {
     };
 }
 
+counter_schema! {
+    /// Artifact-store operation counters (`d16-store`), registered here
+    /// so the `store.*` names are enumerable like every other
+    /// subsystem's. The store counts with its own atomics (it must
+    /// count even with telemetry compiled out — cache behavior is not
+    /// a measurement) and renders through these names; the counts stay
+    /// out of the experiment registry so cold and warm `--metrics-json`
+    /// dumps remain byte-identical (DESIGN.md §6).
+    pub STORE_SCHEMA / StoreCounter {
+        /// Entries served from disk.
+        Hit => "hit",
+        /// Lookups that found nothing servable.
+        Miss => "miss",
+        /// Entries committed.
+        Write => "write",
+        /// Entries evicted for failing the envelope or payload check.
+        CorruptEvicted => "corrupt_evicted",
+    }
+}
+
 // ---------------------------------------------------------------------
 // Counter blocks (the hot path)
 // ---------------------------------------------------------------------
@@ -200,6 +220,37 @@ impl Counters {
         #[cfg(feature = "enabled")]
         for (a, b) in self.vals.iter_mut().zip(&other.vals) {
             *a += *b;
+        }
+    }
+
+    /// Raw values in schema order — the persistence projection (see
+    /// `d16-store`). Empty with telemetry compiled out, mirroring
+    /// [`Counters::iter`].
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        #[cfg(feature = "enabled")]
+        {
+            &self.vals
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            &[]
+        }
+    }
+
+    /// Rebuilds a block from values captured by [`Counters::values`].
+    /// Returns `None` on a length mismatch — which is what a dump from
+    /// the *other* telemetry mode looks like, so persisted blocks never
+    /// silently cross the enabled/disabled boundary.
+    #[must_use]
+    pub fn from_values(schema: &'static Schema, vals: &[u64]) -> Option<Counters> {
+        #[cfg(feature = "enabled")]
+        {
+            (vals.len() == schema.len()).then(|| Counters { schema, vals: vals.to_vec() })
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            vals.is_empty().then(|| Counters::new(schema))
         }
     }
 
@@ -440,6 +491,29 @@ mod tests {
             assert_eq!(b.get(TestCounter::Beta), 0);
             assert_eq!(b.iter().count(), 0);
         }
+    }
+
+    #[test]
+    fn values_roundtrip_through_from_values() {
+        let mut a = Counters::new(&TEST_SCHEMA);
+        a.add(TestCounter::Alpha, 3);
+        a.add(TestCounter::Beta, 9);
+        let vals = a.values().to_vec();
+        let b = Counters::from_values(&TEST_SCHEMA, &vals).unwrap();
+        assert_eq!(b.get(TestCounter::Alpha), a.get(TestCounter::Alpha));
+        assert_eq!(b.get(TestCounter::Beta), a.get(TestCounter::Beta));
+        if ENABLED {
+            assert_eq!(vals, vec![3, 9]);
+            assert!(Counters::from_values(&TEST_SCHEMA, &[1]).is_none(), "length checked");
+        } else {
+            assert!(vals.is_empty());
+            assert!(Counters::from_values(&TEST_SCHEMA, &[1, 2]).is_none(), "cross-mode dump");
+        }
+    }
+
+    #[test]
+    fn store_schema_names() {
+        assert_eq!(STORE_SCHEMA.names(), &["hit", "miss", "write", "corrupt_evicted"]);
     }
 
     #[test]

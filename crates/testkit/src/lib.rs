@@ -86,6 +86,42 @@ impl Rng {
     }
 }
 
+/// A process-unique scratch directory under the system temp dir, removed
+/// on drop. Replaces the `tempfile` crate for store and CLI tests (same
+/// offline constraint as the PRNG above).
+#[derive(Debug)]
+pub struct TempDir {
+    path: std::path::PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<tmp>/<label>-<pid>-<n>`, unique within and across
+    /// concurrently running test processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(label: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("d16-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 /// Runs `f` for `n` independent cases, each with its own seeded generator.
 /// The case index is passed so assertion messages can name the failing
 /// case; re-running the test replays the identical inputs.

@@ -59,7 +59,9 @@ fn fresh_run_matches_checked_in_bench_report() {
             "({w}, {}) trace memory drifted",
             isa.name()
         );
-        assert_eq!(u(s, "replays"), 1, "single-pass replay regressed for ({w}, {})", isa.name());
+        // A cold run replays each trace exactly once; a warm --store run
+        // serves the grid without replaying at all. Both are single-pass.
+        assert!(u(s, "replays") <= 1, "single-pass replay regressed for ({w}, {})", isa.name());
     }
 
     // --- telemetry counters: exact (they count events, not time) -------

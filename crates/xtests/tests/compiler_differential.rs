@@ -188,6 +188,42 @@ fn run_on(src: &str, spec: &TargetSpec) -> i32 {
     }
 }
 
+/// One expression checked against the reference evaluator on every
+/// target, the same way the random cases are.
+fn check_case(e: &E, vars: [i32; NVARS]) {
+    let want = eval(e, &vars);
+    let folded =
+        (want & 0xFF) ^ ((want >> 8) & 0xFF) ^ ((want >> 16) & 0xFF) ^ ((want >> 24) & 0xFF);
+    let src = program_for(e, &vars);
+    for spec in
+        [TargetSpec::d16(), TargetSpec::dlxe(), TargetSpec::dlxe_restricted(true, true, true)]
+    {
+        let got = run_on(&src, &spec);
+        assert_eq!(got, folded, "target {}\n{}", spec.label(), src);
+    }
+}
+
+/// Past shrunken counterexamples (from the original proptest seed file),
+/// pinned as explicit deterministic cases so they re-run everywhere the
+/// generators do.
+#[test]
+fn regression_not_of_xor_with_negated_literal() {
+    // Once shrank to: Not(Xor(Neg(Lit(-1)), Lit(0))), vars = [0, 0, 0, 0]
+    let e = E::Not(Box::new(E::Xor(Box::new(E::Neg(Box::new(E::Lit(-1)))), Box::new(E::Lit(0)))));
+    check_case(&e, [0, 0, 0, 0]);
+}
+
+#[test]
+fn regression_rem_by_comparison_result() {
+    // Once shrank to: Rem(Lit(-4), Eq(Lit(348233286), Lit(230))),
+    // vars = [-884507048, -1948711067, 1204876439, 1965064460]
+    let e = E::Rem(
+        Box::new(E::Lit(-4)),
+        Box::new(E::Eq(Box::new(E::Lit(348_233_286)), Box::new(E::Lit(230)))),
+    );
+    check_case(&e, [-884_507_048, -1_948_711_067, 1_204_876_439, 1_965_064_460]);
+}
+
 /// Host-evaluated expressions equal the simulated result on every target
 /// configuration.
 #[test]

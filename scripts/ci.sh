@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The CI gate suite. Run everything with no arguments, or name the gates
-# to run: fmt clippy build test smoke determinism drift.
+# to run: fmt clippy build test smoke determinism store drift.
 #
 #   ./scripts/ci.sh                  # all gates, in order
 #   ./scripts/ci.sh fmt clippy       # just the static gates
@@ -58,16 +58,47 @@ gate_determinism() {
     cmp "$tmp/out1.txt" results.txt
 }
 
+gate_store() {
+    step "store: cold run, then warm run against the same --store"
+    local tmp t0 cold_ns warm_ns
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    t0=$(date +%s%N)
+    ./target/release/repro --all --store "$tmp/store" \
+        --metrics-json "$tmp/m_cold.json" >"$tmp/cold.txt"
+    cold_ns=$(($(date +%s%N) - t0))
+    t0=$(date +%s%N)
+    ./target/release/repro --all --store "$tmp/store" \
+        --metrics-json "$tmp/m_warm.json" >"$tmp/warm.txt" 2>"$tmp/err_warm.txt"
+    warm_ns=$(($(date +%s%N) - t0))
+    step "store: warm outputs byte-identical to cold (stdout, results.txt, metrics)"
+    cmp "$tmp/cold.txt" "$tmp/warm.txt"
+    cmp "$tmp/m_cold.json" "$tmp/m_warm.json"
+    cmp "$tmp/cold.txt" results.txt
+    grep -q ' 0 misses' "$tmp/err_warm.txt"
+    step "store: warm run at least 3x faster (cold ${cold_ns}ns, warm ${warm_ns}ns)"
+    [ $((warm_ns * 3)) -le "$cold_ns" ]
+    step "store: corrupt one entry; third run recomputes and still matches"
+    local victim
+    victim=$(find "$tmp/store/cell" -name '*.bin' | sort | head -n 1)
+    printf 'XXXX' | dd of="$victim" bs=1 seek=40 conv=notrunc status=none
+    ./target/release/repro --all --store "$tmp/store" \
+        --metrics-json "$tmp/m_third.json" >"$tmp/third.txt" 2>"$tmp/err_third.txt"
+    cmp "$tmp/cold.txt" "$tmp/third.txt"
+    cmp "$tmp/m_cold.json" "$tmp/m_third.json"
+    grep -q '1 corrupt evicted' "$tmp/err_third.txt"
+}
+
 gate_drift() {
     step "bench drift: fresh grid vs checked-in BENCH_repro.json"
     cargo test --release -p d16-xtests --test bench_drift -- --ignored
 }
 
-ALL_GATES=(fmt clippy build test smoke determinism drift)
+ALL_GATES=(fmt clippy build test smoke determinism store drift)
 gates=("${@:-${ALL_GATES[@]}}")
 for g in "${gates[@]}"; do
     case "$g" in
-    fmt | clippy | build | test | smoke | determinism | drift) "gate_$g" ;;
+    fmt | clippy | build | test | smoke | determinism | store | drift) "gate_$g" ;;
     *)
         echo "unknown gate: $g (expected: ${ALL_GATES[*]})" >&2
         exit 2
