@@ -469,9 +469,9 @@ impl Parser {
             }
             _ if m.starts_with("cmp") => {
                 let rest = &m[3..];
-                let (cond, imm_form) = match rest.strip_suffix('i') {
-                    Some(base) if cond_from(base).is_some() => (cond_from(base).unwrap(), true),
-                    _ => (
+                let (cond, imm_form) = match rest.strip_suffix('i').and_then(cond_from) {
+                    Some(cond) => (cond, true),
+                    None => (
                         cond_from(rest).ok_or_else(|| c.err(format!("unknown mnemonic `{m}`")))?,
                         false,
                     ),

@@ -158,7 +158,7 @@ fn apply_reloc(
             buf[off..off + 4].copy_from_slice(&value.to_le_bytes());
         }
         RelocKind::Hi16 | RelocKind::Lo16 | RelocKind::GpRel16 => {
-            let word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let word = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"));
             let field = match r.kind {
                 RelocKind::Hi16 => value >> 16,
                 RelocKind::Lo16 => value & 0xffff,
@@ -174,7 +174,7 @@ fn apply_reloc(
             buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
         }
         RelocKind::J26 => {
-            let word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let word = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"));
             let disp = value as i64 - (site_addr as i64 + 4);
             if disp % 4 != 0 || !(-(1i64 << 27)..(1i64 << 27)).contains(&disp) {
                 return Err(overflow(disp));

@@ -73,9 +73,9 @@ fn ablate_prefetch() {
             assoc: 1,
             wrap_prefetch: prefetch,
         };
-        let mut with = CacheSystem::new(mk(true), mk(true));
+        let mut with = CacheSystem::new(mk(true), mk(true)).unwrap();
         rec.replay(&mut with);
-        let mut without = CacheSystem::new(mk(false), mk(false));
+        let mut without = CacheSystem::new(mk(false), mk(false)).unwrap();
         rec.replay(&mut without);
         assert!(
             with.icache().read_misses <= without.icache().read_misses,

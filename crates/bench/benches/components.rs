@@ -61,7 +61,7 @@ fn bench_cache_replay() {
     let mut rec = d16_sim::TraceRecorder::new();
     m.run(u64::MAX / 2, &mut rec).unwrap();
     bench_throughput("cache/replay_4k_paper_config", 20, rec.len() as u64, || {
-        let mut cs = CacheSystem::paper(4096);
+        let mut cs = CacheSystem::paper(4096).unwrap();
         rec.replay(&mut cs);
         black_box(cs.total_misses())
     });

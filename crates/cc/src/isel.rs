@@ -325,7 +325,7 @@ impl<'a, 'c> Sel<'a, 'c> {
 
     /// Global-symbol gp offset (whole-program layout is known).
     fn gp_offset(&self, sym: &str) -> i32 {
-        *self.cx.goff.get(sym).unwrap_or_else(|| panic!("unknown global `{sym}`")) as i32
+        self.cx.goff.get(sym).copied().expect("globals laid out before isel") as i32
     }
 
     /// Materializes `sym+off` into a fresh register.

@@ -20,7 +20,7 @@
 //!     &TargetSpec::d16(),
 //! )?;
 //! assert!(asm.contains("main:"));
-//! # Ok::<(), d16_cc::CError>(())
+//! # Ok::<(), d16_cc::BuildError>(())
 //! ```
 
 mod ast;
@@ -38,6 +38,7 @@ mod token;
 
 pub use ast::{Program, Ty};
 pub use parser::{parse, parse_into};
+pub use regalloc::RegAllocError;
 pub use runtime::RUNTIME_C;
 pub use target::TargetSpec;
 pub use token::CError;
@@ -58,18 +59,21 @@ pub const TOOLCHAIN_TAG: &str = "d16-cc/1";
 ///
 /// # Errors
 ///
-/// Returns the first lexical, syntax, or type error.
-pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, CError> {
+/// Returns the first lexical, syntax, or type error as
+/// [`BuildError::Compile`]; a register allocation that fails to converge
+/// (a compiler bug, or the `regalloc-diverge` failpoint) surfaces as
+/// [`BuildError::RegAlloc`] instead of a panic.
+pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, BuildError> {
     let mut prog = Program::default();
     for src in sources {
-        parser::parse_into(&mut prog, src)?;
+        parser::parse_into(&mut prog, src).map_err(BuildError::Compile)?;
     }
-    parser::parse_into(&mut prog, RUNTIME_C)?;
+    parser::parse_into(&mut prog, RUNTIME_C).map_err(BuildError::Compile)?;
     if prog.func("main").is_none() {
-        return Err(CError { line: 0, msg: "no `main` function".into() });
+        return Err(BuildError::Compile(CError { line: 0, msg: "no `main` function".into() }));
     }
     let debug = std::env::var_os("D16CC_DEBUG").is_some();
-    let mut module = lower::lower(&prog)?;
+    let mut module = lower::lower(&prog).map_err(BuildError::Compile)?;
     if debug {
         eprintln!("[d16cc] lowered {} functions", module.funcs.len());
     }
@@ -86,7 +90,7 @@ pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, CEr
         if debug {
             eprintln!("[d16cc] allocating {}", mf.name);
         }
-        let info = regalloc::allocate(&mut mf, spec);
+        let info = regalloc::allocate(&mut mf, spec).map_err(BuildError::RegAlloc)?;
         funcs.push((mf, info));
     }
     if debug {
@@ -100,6 +104,8 @@ pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, CEr
 pub enum BuildError {
     /// Compiler diagnostics.
     Compile(CError),
+    /// Register allocation failed to converge.
+    RegAlloc(RegAllocError),
     /// Assembler or linker diagnostics (with the offending assembly kept
     /// for debugging).
     Assemble(AsmError, String),
@@ -109,12 +115,21 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::RegAlloc(e) => write!(f, "register allocation error: {e}"),
             BuildError::Assemble(e, _) => write!(f, "assemble error: {e}"),
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Compile(e) => Some(e),
+            BuildError::RegAlloc(e) => Some(e),
+            BuildError::Assemble(e, _) => Some(e),
+        }
+    }
+}
 
 /// Compiles, assembles and links sources into a loadable image.
 ///
@@ -122,7 +137,7 @@ impl std::error::Error for BuildError {}
 ///
 /// Returns a [`BuildError`] wrapping the failing stage's diagnostic.
 pub fn compile_to_image(sources: &[&str], spec: &TargetSpec) -> Result<Image, BuildError> {
-    let asm = compile_to_asm(sources, spec).map_err(BuildError::Compile)?;
+    let asm = compile_to_asm(sources, spec)?;
     d16_asm::build(spec.isa, &[&asm]).map_err(|e| BuildError::Assemble(e, asm))
 }
 
@@ -564,6 +579,9 @@ int main(void) { return work(32) & 0xFF; }";
         let e = compile_to_asm(&["int main(void) { return x; }"], &TargetSpec::d16());
         assert!(e.is_err());
         let e = compile_to_asm(&["int f(void) { return 1; }"], &TargetSpec::d16());
-        assert!(e.unwrap_err().msg.contains("main"));
+        match e {
+            Err(BuildError::Compile(c)) => assert!(c.msg.contains("main")),
+            other => panic!("expected a compile error, got {other:?}"),
+        }
     }
 }

@@ -556,14 +556,17 @@ impl<'l, 'a> FnLower<'l, 'a> {
             let slot = self.f.new_slot(ty.size(&structs).max(4), ty.align(&structs).max(4));
             self.scopes
                 .last_mut()
-                .unwrap()
+                .expect("scope stack")
                 .insert(name.to_string(), Binding::Slot(slot, ty.clone()));
             if let Some(init) = init {
                 self.init_slot(slot, ty, init, line)?;
             }
         } else {
             let v = self.vreg(class_of(ty));
-            self.scopes.last_mut().unwrap().insert(name.to_string(), Binding::Reg(v, ty.clone()));
+            self.scopes
+                .last_mut()
+                .expect("scope stack")
+                .insert(name.to_string(), Binding::Reg(v, ty.clone()));
             if let Some(Init::Expr(e)) = init {
                 let (rv, rty) = self.rvalue(e)?;
                 let rv = self.convert(rv, &rty, ty, line)?;

@@ -14,6 +14,37 @@ use crate::target::TargetSpec;
 use d16_isa::{Fpr, Gpr, MemWidth, Prec, UnOp};
 use std::collections::{HashMap, HashSet};
 
+/// Register allocation failed to converge for one function: after the
+/// round limit, spilling still left an uncolorable interference graph.
+/// Reachable only with a register class narrower than a single
+/// instruction needs (or under the `regalloc-diverge` failpoint), but a
+/// compiler bug of that shape must surface as a reported build failure,
+/// not a process abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegAllocError {
+    /// The function being allocated.
+    pub func: String,
+    /// The register class that failed (`"integer"` or `"FP"`).
+    pub class: &'static str,
+    /// How many spill-and-retry rounds ran before giving up.
+    pub rounds: u32,
+}
+
+impl std::fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} register allocation did not converge for `{}` after {} rounds",
+            self.class, self.func, self.rounds
+        )
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Spill-and-retry rounds before allocation gives up.
+const MAX_ROUNDS: u32 = 16;
+
 /// Which callee-saved registers the allocation used (the prologue must
 /// save them).
 #[derive(Clone, Debug, Default)]
@@ -30,16 +61,20 @@ pub struct AllocInfo {
 
 /// Allocates registers in place.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if allocation cannot converge (would indicate a register class
-/// with fewer physical registers than a single instruction needs).
-pub fn allocate(mf: &mut MFunc, spec: &TargetSpec) -> AllocInfo {
+/// Returns [`RegAllocError`] if allocation cannot converge (would
+/// indicate a register class with fewer physical registers than a single
+/// instruction needs).
+pub fn allocate(mf: &mut MFunc, spec: &TargetSpec) -> Result<AllocInfo, RegAllocError> {
+    if d16_testkit::faults::armed_for("regalloc-diverge", &mf.name) {
+        return Err(RegAllocError { func: mf.name.clone(), class: "integer", rounds: MAX_ROUNDS });
+    }
     let mut info = AllocInfo::default();
     // FP first: FP spill code introduces integer temporaries.
-    info.fp_spills = allocate_fp(mf, spec, &mut info);
-    info.int_spills = allocate_int(mf, spec, &mut info);
-    info
+    info.fp_spills = allocate_fp(mf, spec, &mut info)?;
+    info.int_spills = allocate_int(mf, spec, &mut info)?;
+    Ok(info)
 }
 
 // ---------------------------------------------------------------------------
@@ -57,7 +92,11 @@ fn r_id(r: R) -> Option<usize> {
     }
 }
 
-fn allocate_int(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
+fn allocate_int(
+    mf: &mut MFunc,
+    spec: &TargetSpec,
+    info: &mut AllocInfo,
+) -> Result<u32, RegAllocError> {
     let caller = spec.caller_saved();
     let fp_caller = spec.fp_caller_saved();
     let allocatable = spec.int_regs();
@@ -66,7 +105,7 @@ fn allocate_int(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 
     let k = allocatable.len();
     let mut total_spills = 0u32;
 
-    for _round in 0..16 {
+    for _round in 0..MAX_ROUNDS {
         let nv = int_ids(mf);
         if std::env::var_os("D16CC_DEBUG").is_some() {
             eprintln!("[regalloc int] {} round {} nv={}", mf.name, _round, nv);
@@ -250,12 +289,12 @@ fn allocate_int(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 
                     info.used_callee.push(u);
                 }
             }
-            return total_spills;
+            return Ok(total_spills);
         }
         total_spills += spilled.len() as u32;
         spill_int(mf, &spilled);
     }
-    panic!("integer register allocation did not converge for `{}`", mf.name);
+    Err(RegAllocError { func: mf.name.clone(), class: "integer", rounds: MAX_ROUNDS })
 }
 
 fn term_uses_int(term: &MTerm, _mf: &MFunc, mut f: impl FnMut(u32)) {
@@ -413,9 +452,13 @@ fn spill_int(mf: &mut MFunc, spilled: &[u32]) {
 // FP allocation (pair units)
 // ---------------------------------------------------------------------------
 
-fn allocate_fp(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
+fn allocate_fp(
+    mf: &mut MFunc,
+    spec: &TargetSpec,
+    info: &mut AllocInfo,
+) -> Result<u32, RegAllocError> {
     if mf.nvirt_fp == 0 {
-        return 0;
+        return Ok(0);
     }
     let caller = spec.caller_saved();
     let fp_caller = spec.fp_caller_saved();
@@ -425,7 +468,7 @@ fn allocate_fp(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
     let k = allocatable.len();
     let mut total_spills = 0u32;
 
-    for _round in 0..16 {
+    for _round in 0..MAX_ROUNDS {
         let nv = mf.nvirt_fp as usize;
         if std::env::var_os("D16CC_DEBUG").is_some() {
             eprintln!("[regalloc fp] {} round {} nv={}", mf.name, _round, nv);
@@ -583,12 +626,12 @@ fn allocate_fp(mf: &mut MFunc, spec: &TargetSpec, info: &mut AllocInfo) -> u32 {
                     info.used_fp_callee.push(u);
                 }
             }
-            return total_spills;
+            return Ok(total_spills);
         }
         total_spills += spilled.len() as u32;
         spill_fp(mf, &spilled);
     }
-    panic!("FP register allocation did not converge for `{}`", mf.name);
+    Err(RegAllocError { func: mf.name.clone(), class: "FP", rounds: MAX_ROUNDS })
 }
 
 fn rewrite_fp(mf: &mut MFunc, color: &[Option<Fpr>]) {

@@ -35,14 +35,20 @@ pub fn average(rows: &[RatioRow]) -> f64 {
     mean(rows)
 }
 
+/// The (D16, unrestricted DLXe) cell pair for one workload, or `None`
+/// when either cell was skipped — report functions drop such workloads
+/// rather than aborting a degraded sweep.
+fn pair<'a>(suite: &'a Suite, w: &str) -> Option<(&'a Measurement, &'a Measurement)> {
+    Some((suite.try_get(w, D16).ok()?, suite.try_get(w, DLXE).ok()?))
+}
+
 fn ratio_rows(suite: &Suite, f: impl Fn(&Measurement, &Measurement) -> f64) -> Vec<RatioRow> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let d16 = suite.get(&w, D16);
-            let dlxe = suite.get(&w, DLXE);
-            RatioRow { workload: w, value: f(d16, dlxe) }
+        .filter_map(|w| {
+            let (d16, dlxe) = pair(suite, &w)?;
+            Some(RatioRow { value: f(d16, dlxe), workload: w })
         })
         .collect()
 }
@@ -80,16 +86,16 @@ fn grid_rows(suite: &Suite, f: impl Fn(&Measurement) -> f64) -> Vec<GridRow> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let base = f(suite.get(&w, D16));
-            let r = |t: &str| f(suite.get(&w, t)) / base;
-            GridRow {
-                workload: w.clone(),
-                dlxe_16_2: r("DLXe/16/2"),
-                dlxe_16_3: r("DLXe/16/3"),
-                dlxe_32_2: r("DLXe/32/2"),
-                dlxe_32_3: r("DLXe/32/3"),
-            }
+        .filter_map(|w| {
+            let base = f(suite.try_get(&w, D16).ok()?);
+            let r = |t: &str| Some(f(suite.try_get(&w, t).ok()?) / base);
+            Some(GridRow {
+                dlxe_16_2: r("DLXe/16/2")?,
+                dlxe_16_3: r("DLXe/16/3")?,
+                dlxe_32_2: r("DLXe/32/2")?,
+                dlxe_32_3: r("DLXe/32/3")?,
+                workload: w,
+            })
         })
         .collect()
 }
@@ -139,15 +145,15 @@ pub fn table3_data_traffic(suite: &Suite) -> Vec<Table3Row> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let base = suite.get(&w, DLXE).stats.mem_ops() as f64;
-            let d16 = suite.get(&w, D16).stats.mem_ops() as f64;
-            let r16 = suite.get(&w, "DLXe/16/3").stats.mem_ops() as f64;
-            Table3Row {
+        .filter_map(|w| {
+            let base = suite.try_get(&w, DLXE).ok()?.stats.mem_ops() as f64;
+            let d16 = suite.try_get(&w, D16).ok()?.stats.mem_ops() as f64;
+            let r16 = suite.try_get(&w, "DLXe/16/3").ok()?.stats.mem_ops() as f64;
+            Some(Table3Row {
                 workload: w,
                 d16_pct: (d16 / base - 1.0) * 100.0,
                 dlxe16_pct: (r16 / base - 1.0) * 100.0,
-            }
+            })
         })
         .collect()
 }
@@ -159,10 +165,10 @@ pub fn fig10_immediate_speedup(suite: &Suite) -> Vec<RatioRow> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let d16 = suite.get(&w, D16).stats.insns as f64;
-            let r = suite.get(&w, "DLXe/16/2").stats.insns as f64;
-            RatioRow { workload: w, value: d16 / r }
+        .filter_map(|w| {
+            let d16 = suite.try_get(&w, D16).ok()?.stats.insns as f64;
+            let r = suite.try_get(&w, "DLXe/16/2").ok()?.stats.insns as f64;
+            Some(RatioRow { workload: w, value: d16 / r })
         })
         .collect()
 }
@@ -269,7 +275,9 @@ fn table4_counts(
     let decoded: Vec<Option<Insn>> = image
         .text
         .chunks_exact(4)
-        .map(|c| d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).ok())
+        .map(|c| {
+            d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))).ok()
+        })
         .collect();
     let mut sink =
         ClassifySink { decoded, text_base: image.text_base, cmp: 0, alu: 0, mem: 0, total: 0 };
@@ -299,14 +307,13 @@ pub fn fig13_traffic_vs_density(suite: &Suite) -> Vec<Fig13Row> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let d16 = suite.get(&w, D16);
-            let dlxe = suite.get(&w, DLXE);
-            Fig13Row {
+        .filter_map(|w| {
+            let (d16, dlxe) = pair(suite, &w)?;
+            Some(Fig13Row {
                 workload: w,
                 traffic_ratio: dlxe.stats.ifetch_words as f64 / d16.stats.ifetch_words as f64,
                 size_ratio: dlxe.size_bytes as f64 / d16.size_bytes as f64,
-            }
+            })
         })
         .collect()
 }
@@ -330,22 +337,20 @@ pub struct Fig14Point {
 
 /// Figure 14: normalized CPI without a cache, for a 32- or 64-bit bus.
 pub fn fig14_cacheless_cpi(suite: &Suite, bus_bytes: u32) -> Vec<Fig14Point> {
+    let pairs: Vec<_> = suite.workloads().iter().filter_map(|w| pair(suite, w)).collect();
     (0..=3)
         .map(|l| {
             let mut dlxe_cpi = 0.0;
             let mut d16_cpi = 0.0;
             let mut d16_norm = 0.0;
-            let names = suite.workloads();
-            for w in &names {
-                let d16 = suite.get(w, D16);
-                let dlxe = suite.get(w, DLXE);
+            for &(d16, dlxe) in &pairs {
                 let dc = dlxe.cacheless_cycles(bus_bytes, l) as f64;
                 let sc = d16.cacheless_cycles(bus_bytes, l) as f64;
                 dlxe_cpi += dc / dlxe.stats.insns as f64;
                 d16_cpi += sc / d16.stats.insns as f64;
                 d16_norm += sc / dlxe.stats.insns as f64;
             }
-            let n = names.len() as f64;
+            let n = pairs.len() as f64;
             Fig14Point {
                 wait_states: l,
                 dlxe_cpi: dlxe_cpi / n,
@@ -369,14 +374,12 @@ pub struct Fig15Point {
 
 /// Computes Figure 15 for a bus width.
 pub fn fig15_fetch_saturation(suite: &Suite, bus_bytes: u32) -> Vec<Fig15Point> {
+    let pairs: Vec<_> = suite.workloads().iter().filter_map(|w| pair(suite, w)).collect();
     (0..=3)
         .map(|l| {
             let mut d = 0.0;
             let mut s = 0.0;
-            let names = suite.workloads();
-            for w in &names {
-                let d16 = suite.get(w, D16);
-                let dlxe = suite.get(w, DLXE);
+            for &(d16, dlxe) in &pairs {
                 let ireq = |m: &Measurement| {
                     if bus_bytes >= 8 {
                         m.ireq_bus64
@@ -387,7 +390,7 @@ pub fn fig15_fetch_saturation(suite: &Suite, bus_bytes: u32) -> Vec<Fig15Point> 
                 d += ireq(dlxe) as f64 / dlxe.cacheless_cycles(bus_bytes, l) as f64;
                 s += ireq(d16) as f64 / d16.cacheless_cycles(bus_bytes, l) as f64;
             }
-            let n = names.len() as f64;
+            let n = pairs.len() as f64;
             Fig15Point { wait_states: l, dlxe: d / n, d16: s / n }
         })
         .collect()
@@ -407,15 +410,14 @@ pub fn table11_12_cycle_ratios(suite: &Suite, bus_bytes: u32) -> Vec<CycleRatioR
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let d16 = suite.get(&w, D16);
-            let dlxe = suite.get(&w, DLXE);
+        .filter_map(|w| {
+            let (d16, dlxe) = pair(suite, &w)?;
             let mut ratios = [0.0; 4];
             for (i, r) in ratios.iter_mut().enumerate() {
                 *r = dlxe.cacheless_cycles(bus_bytes, i as u64) as f64
                     / d16.cacheless_cycles(bus_bytes, i as u64) as f64;
             }
-            CycleRatioRow { workload: w, ratios }
+            Some(CycleRatioRow { workload: w, ratios })
         })
         .collect()
 }
@@ -452,17 +454,21 @@ pub fn cache_grid_configs() -> Vec<CacheConfig> {
 
 /// Index of a (size, block) point within [`cache_grid_configs`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the point is not on the grid.
-pub fn cache_grid_index(size: u32, block: u32) -> usize {
-    let si = GRID_SIZES.iter().position(|&s| s == size).unwrap_or_else(|| {
-        panic!("cache size {size} is not on the experiment grid {GRID_SIZES:?}")
-    });
-    let bi = GRID_BLOCKS.iter().position(|&b| b == block).unwrap_or_else(|| {
-        panic!("block size {block} is not on the experiment grid {GRID_BLOCKS:?}")
-    });
-    si * GRID_BLOCKS.len() + bi
+/// [`SuiteError::OffGrid`] when the point is not a swept configuration
+/// (also forced by the `off-grid-config` failpoint, which simulates a
+/// report asking for a cache point the sweep never warmed).
+pub fn cache_grid_index(size: u32, block: u32) -> Result<usize, SuiteError> {
+    if d16_testkit::faults::armed("off-grid-config").is_some() {
+        return Err(SuiteError::OffGrid { size, block });
+    }
+    let si = GRID_SIZES.iter().position(|&s| s == size);
+    let bi = GRID_BLOCKS.iter().position(|&b| b == block);
+    match (si, bi) {
+        (Some(si), Some(bi)) => Ok(si * GRID_BLOCKS.len() + bi),
+        _ => Err(SuiteError::OffGrid { size, block }),
+    }
 }
 
 /// Replays a recorded trace through the paper's split I/D caches.
@@ -481,7 +487,8 @@ pub fn replay_cache(
     icfg: CacheConfig,
     dcfg: CacheConfig,
 ) -> Result<CacheSystem, SuiteError> {
-    let mut cs = CacheSystem::new(icfg, dcfg);
+    let mut cs = CacheSystem::new(icfg, dcfg)
+        .map_err(|source| SuiteError::Config { context: "cache replay".to_string(), source })?;
     suite.try_trace(workload, isa)?.replay(&mut cs);
     Ok(cs)
 }
@@ -505,17 +512,16 @@ pub struct Fig16Point {
 pub fn fig16_icache_miss(suite: &Suite, workload: &str) -> Result<Vec<Fig16Point>, SuiteError> {
     let d16 = suite.cache_grid(workload, Isa::D16)?;
     let dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
-    Ok(GRID_SIZES
-        .into_iter()
-        .map(|size| {
-            let i = cache_grid_index(size, 32);
-            Fig16Point {
-                size,
-                d16: d16[i].icache().read_miss_ratio(),
-                dlxe: dlxe[i].icache().read_miss_ratio(),
-            }
-        })
-        .collect())
+    let mut out = Vec::with_capacity(GRID_SIZES.len());
+    for size in GRID_SIZES {
+        let i = cache_grid_index(size, 32)?;
+        out.push(Fig16Point {
+            size,
+            d16: d16[i].icache().read_miss_ratio(),
+            dlxe: dlxe[i].icache().read_miss_ratio(),
+        });
+    }
+    Ok(out)
 }
 
 /// One CPI point for Figures 17/18.
@@ -543,7 +549,7 @@ pub fn fig17_18_cache_cpi(
 ) -> Result<Vec<Fig17Point>, SuiteError> {
     let d16_m = suite.try_get(workload, D16)?;
     let dlxe_m = suite.try_get(workload, DLXE)?;
-    let i = cache_grid_index(cache_size, 32);
+    let i = cache_grid_index(cache_size, 32)?;
     let grid_d16 = suite.cache_grid(workload, Isa::D16)?;
     let grid_dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
     let (cs_d16, cs_dlxe) = (&grid_d16[i], &grid_dlxe[i]);
@@ -580,17 +586,16 @@ pub fn fig19_cache_traffic(suite: &Suite, workload: &str) -> Result<Vec<Fig19Poi
     let dlxe_m = suite.try_get(workload, DLXE)?;
     let grid_d16 = suite.cache_grid(workload, Isa::D16)?;
     let grid_dlxe = suite.cache_grid(workload, Isa::Dlxe)?;
-    Ok(GRID_SIZES
-        .into_iter()
-        .map(|size| {
-            let i = cache_grid_index(size, 32);
-            Fig19Point {
-                size,
-                dlxe: grid_dlxe[i].itraffic_words_per_cycle(&dlxe_m.stats, 4),
-                d16: grid_d16[i].itraffic_words_per_cycle(&d16_m.stats, 4),
-            }
-        })
-        .collect())
+    let mut out = Vec::with_capacity(GRID_SIZES.len());
+    for size in GRID_SIZES {
+        let i = cache_grid_index(size, 32)?;
+        out.push(Fig19Point {
+            size,
+            dlxe: grid_dlxe[i].itraffic_words_per_cycle(&dlxe_m.stats, 4),
+            d16: grid_d16[i].itraffic_words_per_cycle(&d16_m.stats, 4),
+        });
+    }
+    Ok(out)
 }
 
 /// One row of the Tables 14–16 miss-rate grids.
@@ -620,7 +625,7 @@ pub fn miss_rate_grid(suite: &Suite, workload: &str) -> Result<Vec<MissGridRow>,
     let mut out = Vec::new();
     for size in GRID_SIZES {
         for block in GRID_BLOCKS {
-            let i = cache_grid_index(size, block);
+            let i = cache_grid_index(size, block)?;
             let d16 = grid_d16[i].miss_rates_per_access();
             let dlxe = grid_dlxe[i].miss_rates_per_access();
             out.push(MissGridRow {
@@ -703,10 +708,9 @@ pub fn appendix_tables(suite: &Suite) -> Vec<AppendixRow> {
     suite
         .workloads()
         .into_iter()
-        .map(|w| {
-            let d16 = suite.get(&w, D16);
-            let dlxe = suite.get(&w, DLXE);
-            AppendixRow {
+        .filter_map(|w| {
+            let (d16, dlxe) = pair(suite, &w)?;
+            Some(AppendixRow {
                 workload: w,
                 d16_insns: d16.stats.insns,
                 dlxe_insns: dlxe.stats.insns,
@@ -716,7 +720,7 @@ pub fn appendix_tables(suite: &Suite) -> Vec<AppendixRow> {
                 dlxe_mem_ops: dlxe.stats.mem_ops(),
                 d16_interlocks: d16.stats.interlocks,
                 dlxe_interlocks: dlxe.stats.interlocks,
-            }
+            })
         })
         .collect()
 }

@@ -22,7 +22,7 @@ pub mod stored;
 pub mod suite;
 
 pub use measure::{build, build_stored, measure, measure_stored, MeasureError, Measurement};
-pub use suite::{base_specs, default_jobs, standard_specs, Suite, SuiteError};
+pub use suite::{base_specs, default_jobs, standard_specs, Skip, Suite, SuiteError};
 
 #[cfg(test)]
 mod tests {
@@ -81,6 +81,6 @@ mod tests {
         let t_dlxe: f64 = t.iter().map(|p| p.dlxe).sum();
         assert!(t_d16 <= t_dlxe + 1e-9, "D16 I-traffic should be lower overall");
         assert!(t[0].d16 <= t[0].dlxe + 1e-9, "1K traffic");
-        let _ = suite.trace("assem", Isa::D16);
+        let _ = suite.try_trace("assem", Isa::D16).unwrap();
     }
 }

@@ -66,6 +66,9 @@ pub enum MeasureError {
         /// Observed value.
         got: i32,
     },
+    /// The recorded access trace is unusable (malformed access or a
+    /// stream that does not round-trip through the trace codec).
+    Trace(String),
 }
 
 impl fmt::Display for MeasureError {
@@ -77,11 +80,20 @@ impl fmt::Display for MeasureError {
             MeasureError::WrongChecksum { expected, got } => {
                 write!(f, "checksum mismatch: expected {expected}, got {got}")
             }
+            MeasureError::Trace(e) => write!(f, "access trace: {e}"),
         }
     }
 }
 
-impl std::error::Error for MeasureError {}
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Build(e) => Some(e),
+            MeasureError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Compiles a workload for a target.
 ///
@@ -207,6 +219,27 @@ fn run(
             return Err(MeasureError::WrongChecksum { expected, got: exit });
         }
     }
+    let trace = if want_trace {
+        // Failpoint: a sink handed an access with a width the trace codec
+        // cannot represent. The recorder poisons itself rather than
+        // panicking; surface that here as a skippable cell error.
+        if d16_testkit::faults::armed_for("bad-access-width", w.name) {
+            rec.read(0x1000, 3);
+        }
+        if let Some(e) = rec.error() {
+            return Err(MeasureError::Trace(e.to_string()));
+        }
+        // Revalidate the stream through the codec — the same path a
+        // store-served trace takes — so a truncated stream (failpoint
+        // `trace-truncate=<workload>`) is caught at measurement time.
+        let mut bytes = rec.encoded_bytes().to_vec();
+        if d16_testkit::faults::armed_for("trace-truncate", w.name) {
+            bytes.pop();
+        }
+        Some(TraceRecorder::from_encoded(bytes, rec.len()).map_err(MeasureError::Trace)?)
+    } else {
+        None
+    };
     let m = Measurement {
         workload: w.name,
         target: spec.label(),
@@ -218,7 +251,7 @@ fn run(
         ireq_bus64: fb64.irequests,
         tele: machine.telemetry().clone(),
     };
-    Ok((m, want_trace.then_some(rec)))
+    Ok((m, trace))
 }
 
 #[cfg(test)]

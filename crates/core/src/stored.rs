@@ -418,7 +418,7 @@ mod tests {
         let w = d16_workloads::by_name("towers").unwrap();
         let (_, trace) = measure(w, &TargetSpec::d16(), true).unwrap();
         let mut bank =
-            d16_mem::CacheBank::symmetric(&crate::experiments::cache_grid_configs()[..4]);
+            d16_mem::CacheBank::symmetric(&crate::experiments::cache_grid_configs()[..4]).unwrap();
         trace.unwrap().replay(&mut bank);
         let sweep = bank.telemetry().clone();
         let systems = bank.into_systems();

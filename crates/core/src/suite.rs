@@ -79,6 +79,27 @@ pub enum SuiteError {
         /// ISA name.
         isa: String,
     },
+    /// A cache configuration was rejected while setting up a replay.
+    Config {
+        /// What was being configured (e.g. `cache grid`).
+        context: String,
+        /// The rejection.
+        source: d16_mem::ConfigError,
+    },
+    /// A requested (size, block) point is not on the experiment grid.
+    OffGrid {
+        /// Requested cache size in bytes.
+        size: u32,
+        /// Requested block size in bytes.
+        block: u32,
+    },
+    /// Every cell of a collection failed, so the suite would be empty.
+    NothingCollected {
+        /// How many cells were attempted.
+        attempted: usize,
+        /// The first failure, in work-item order.
+        first: String,
+    },
 }
 
 impl fmt::Display for SuiteError {
@@ -99,11 +120,48 @@ impl fmt::Display for SuiteError {
             SuiteError::MissingTrace { workload, isa } => {
                 write!(f, "trace ({workload}, {isa}) not recorded (trace collection off, or not a cache benchmark)")
             }
+            SuiteError::Config { context, source } => {
+                write!(f, "{context}: {source}")
+            }
+            SuiteError::OffGrid { size, block } => {
+                write!(f, "cache point (size {size}, block {block}) is not on the experiment grid")
+            }
+            SuiteError::NothingCollected { attempted, first } => {
+                write!(f, "all {attempted} cells failed to collect; first error: {first}")
+            }
         }
     }
 }
 
-impl std::error::Error for SuiteError {}
+impl std::error::Error for SuiteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuiteError::Measure { source, .. } => Some(source),
+            SuiteError::Config { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One cell (or workload) left out of a degraded collection: the run
+/// completed, reported its results, and recorded why this part is
+/// missing. `target` is `*` when a whole workload was dropped (a
+/// cross-target checksum disagreement poisons every cell it touched).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Skip {
+    /// Workload name.
+    pub workload: String,
+    /// Target label, or `*` for the whole workload.
+    pub target: String,
+    /// The rendered failure that caused the skip.
+    pub reason: String,
+}
+
+impl fmt::Display for Skip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}): {}", self.workload, self.target, self.reason)
+    }
+}
 
 /// One collected cell, before assembly into the maps.
 type CellResult = Result<(Measurement, Option<TraceRecorder>), SuiteError>;
@@ -123,6 +181,11 @@ pub struct Suite {
     /// per-cell [`Measurement`]s stay timing-free so their rendering is
     /// deterministic).
     pub cell_wall_ns: BTreeMap<(String, String), u64>,
+    /// Cells dropped from a degraded collection, in work-item order
+    /// (deterministic for every `jobs` value). Empty on a clean run;
+    /// reports filter rows whose cells are missing, so one failing cell
+    /// costs its rows, not the sweep.
+    pub skipped: Vec<Skip>,
     /// Memoized single-pass cache-grid replays, keyed like `traces`.
     /// Shared across clones: the underlying cells and traces are
     /// immutable once collected, so the replay results are too.
@@ -143,14 +206,18 @@ impl Suite {
     /// on the two unrestricted machines when `trace_cache` is set.
     ///
     /// The (workload, spec) cells are independent, so they fan out over a
-    /// scoped thread pool; cells are assembled — and the reported error
-    /// chosen — in work-item order, making the result identical for every
-    /// `jobs` value.
+    /// scoped thread pool; cells are assembled — and any skips recorded —
+    /// in work-item order, making the result identical for every `jobs`
+    /// value.
+    ///
+    /// A failing cell does not fail the collection: it is dropped and
+    /// recorded in [`Suite::skipped`], and a cross-target checksum
+    /// disagreement drops the whole offending workload the same way, so
+    /// one bad cell degrades a sweep instead of killing it.
     ///
     /// # Errors
     ///
-    /// Returns the first failing cell (in work-item order) or the first
-    /// cross-target checksum disagreement.
+    /// [`SuiteError::NothingCollected`] only when *every* cell failed.
     pub fn collect_for_jobs(
         workloads: &[&Workload],
         specs: &[TargetSpec],
@@ -238,8 +305,18 @@ impl Suite {
         let mut reg = Registry::new();
         for (&(wi, si), result) in items.iter().zip(results) {
             let (result, wall_ns) = result.expect("cell not collected");
-            let (m, trace) = result?;
             let w = workloads[wi];
+            let (m, trace) = match result {
+                Ok(cell) => cell,
+                Err(e) => {
+                    suite.skipped.push(Skip {
+                        workload: w.name.to_string(),
+                        target: specs[si].label(),
+                        reason: e.to_string(),
+                    });
+                    continue;
+                }
+            };
             // Absorbing here — in work-item order, after the pool joined —
             // is what makes the merged counters identical for every `jobs`.
             reg.absorb("sim", &m.tele);
@@ -253,6 +330,8 @@ impl Suite {
         *suite.tele.lock().expect("telemetry lock poisoned") = reg;
 
         // Cross-target checksum agreement: the joint correctness gate.
+        // A disagreement means the workload's cells cannot be trusted on
+        // *any* target, so the whole workload degrades to a skip.
         for w in workloads {
             let exits: Vec<i32> = suite
                 .cells
@@ -261,12 +340,28 @@ impl Suite {
                 .map(|(_, m)| m.exit)
                 .collect();
             if let Some(&bad) = exits.iter().find(|&&e| e != exits[0]) {
-                return Err(SuiteError::ChecksumMismatch {
+                let reason = SuiteError::ChecksumMismatch {
                     workload: w.name.to_string(),
                     expected: exits[0],
                     got: bad,
+                }
+                .to_string();
+                suite.cells.retain(|(name, _), _| name != w.name);
+                suite.traces.retain(|(name, _), _| name != w.name);
+                suite.cell_wall_ns.retain(|(name, _), _| name != w.name);
+                suite.skipped.push(Skip {
+                    workload: w.name.to_string(),
+                    target: "*".to_string(),
+                    reason,
                 });
             }
+        }
+
+        if suite.cells.is_empty() && !suite.skipped.is_empty() {
+            return Err(SuiteError::NothingCollected {
+                attempted: items.len(),
+                first: suite.skipped[0].to_string(),
+            });
         }
         Ok(suite)
     }
@@ -332,6 +427,11 @@ impl Suite {
     /// # Panics
     ///
     /// Panics if the cell was not collected, naming the missing pair.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on skipped cells; use `try_get` so a degraded \
+                suite can be reported instead of aborting"
+    )]
     pub fn get(&self, workload: &str, target: &str) -> &Measurement {
         self.try_get(workload, target).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -352,6 +452,11 @@ impl Suite {
     /// # Panics
     ///
     /// Panics if the trace was not recorded, naming the missing pair.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on skipped traces; use `try_trace` so a degraded \
+                suite can be reported instead of aborting"
+    )]
     pub fn trace(&self, workload: &str, isa: Isa) -> &TraceRecorder {
         self.try_trace(workload, isa).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -407,7 +512,8 @@ impl Suite {
             }
         }
 
-        let mut bank = CacheBank::symmetric(&crate::experiments::cache_grid_configs());
+        let mut bank = CacheBank::symmetric(&crate::experiments::cache_grid_configs())
+            .map_err(|source| SuiteError::Config { context: "cache grid".to_string(), source })?;
         let ((), sweep_ns) = timed(|| trace.replay(&mut bank));
         {
             let mut reg = self.tele.lock().expect("telemetry lock poisoned");
@@ -465,8 +571,39 @@ mod tests {
         let ws = [d16_workloads::by_name("towers").unwrap()];
         let suite = Suite::collect_for(&ws, &base_specs(), false).unwrap();
         assert_eq!(suite.cells.len(), 2);
-        assert_eq!(suite.get("towers", "D16/16/2").exit, 16383);
+        assert!(suite.skipped.is_empty(), "{:?}", suite.skipped);
+        assert_eq!(suite.try_get("towers", "D16/16/2").unwrap().exit, 16383);
         assert_eq!(suite.workloads(), vec!["towers".to_string()]);
+    }
+
+    #[test]
+    fn failing_cells_degrade_to_skips() {
+        // A wrong pinned checksum fails every cell of this workload at
+        // measurement time; the good workload must still collect.
+        let bad = Workload {
+            name: "towers-bad",
+            source: d16_workloads::by_name("towers").unwrap().source,
+            description: "towers with a wrong pinned checksum",
+            expected: Some(-1),
+            cache_benchmark: false,
+            floating: false,
+        };
+        let good = d16_workloads::by_name("queens").unwrap();
+        let suite = Suite::collect_for(&[&bad, good], &base_specs(), false).unwrap();
+        assert_eq!(suite.cells.len(), 2, "queens cells survive");
+        assert_eq!(suite.workloads(), vec!["queens".to_string()]);
+        assert_eq!(suite.skipped.len(), 2, "{:?}", suite.skipped);
+        for (skip, target) in suite.skipped.iter().zip(["D16/16/2", "DLXe/32/3"]) {
+            assert_eq!(skip.workload, "towers-bad");
+            assert_eq!(skip.target, target);
+            assert!(skip.reason.contains("checksum mismatch"), "{}", skip.reason);
+        }
+
+        // When every cell fails, collection reports the first error
+        // instead of returning an empty suite.
+        let e = Suite::collect_for(&[&bad], &base_specs(), false).unwrap_err();
+        assert!(matches!(&e, SuiteError::NothingCollected { attempted: 2, .. }), "{e:?}");
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
     }
 
     #[test]

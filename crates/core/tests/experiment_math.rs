@@ -84,7 +84,7 @@ fn grid_is_normalized_to_d16() {
 #[test]
 fn cacheless_cycles_follow_paper_formula() {
     let suite = synthetic_suite();
-    let m = suite.get("alpha", "D16/16/2");
+    let m = suite.try_get("alpha", "D16/16/2").unwrap();
     // Cycles = IC + Interlocks + l * (IReq + DReq).
     let base = m.stats.insns + m.stats.interlocks;
     assert_eq!(m.cacheless_cycles(4, 0), base);

@@ -44,7 +44,7 @@ fn cache_experiments_replay_each_trace_once() {
     ex::miss_rate_grid(&suite, "assem").unwrap();
     for isa in [Isa::D16, Isa::Dlxe] {
         assert_eq!(
-            suite.trace("assem", isa).replay_count(),
+            suite.try_trace("assem", isa).unwrap().replay_count(),
             1,
             "every figure and table must come out of one {isa:?} sweep"
         );

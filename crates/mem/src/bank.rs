@@ -13,7 +13,7 @@
 //! so per-config statistics are bit-identical to N serial replays (a
 //! differential test in `tests/proptests.rs` asserts this).
 
-use crate::cache::CacheConfig;
+use crate::cache::{CacheConfig, ConfigError};
 use crate::system::CacheSystem;
 use d16_sim::AccessSink;
 use d16_telemetry::{Counters, Registry};
@@ -49,11 +49,14 @@ impl CacheBank {
     /// one per entry of `configs` — the shape every experiment in the
     /// paper uses.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an invalid configuration (see [`CacheConfig::validate`]).
-    pub fn symmetric(configs: &[CacheConfig]) -> Self {
-        Self::new(configs.iter().map(|c| CacheSystem::new(*c, *c)).collect())
+    /// Rejects the first invalid configuration (see
+    /// [`CacheConfig::validate`]).
+    pub fn symmetric(configs: &[CacheConfig]) -> Result<Self, ConfigError> {
+        let systems =
+            configs.iter().map(|c| CacheSystem::new(*c, *c)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(systems))
     }
 
     /// Number of member systems.
@@ -126,8 +129,9 @@ mod tests {
     #[test]
     fn bank_members_match_dedicated_systems() {
         let cfgs = [CacheConfig::paper(1024, 32), CacheConfig::paper(4096, 32)];
-        let mut bank = CacheBank::symmetric(&cfgs);
-        let mut solo: Vec<CacheSystem> = cfgs.iter().map(|c| CacheSystem::new(*c, *c)).collect();
+        let mut bank = CacheBank::symmetric(&cfgs).unwrap();
+        let mut solo: Vec<CacheSystem> =
+            cfgs.iter().map(|c| CacheSystem::new(*c, *c).unwrap()).collect();
         for i in 0..2000u32 {
             let a = (i * 52) % 8192;
             match i % 3 {
@@ -154,7 +158,7 @@ mod tests {
     #[test]
     fn bank_telemetry_counts_sweep_and_exports_per_config() {
         let cfgs = [CacheConfig::paper(1024, 32), CacheConfig::paper(4096, 32)];
-        let mut bank = CacheBank::symmetric(&cfgs);
+        let mut bank = CacheBank::symmetric(&cfgs).unwrap();
         for i in 0..300u32 {
             let a = (i * 20) % 4096;
             bank.fetch(a, 4);
@@ -185,7 +189,7 @@ mod tests {
 
     #[test]
     fn empty_bank_is_a_null_sink() {
-        let mut bank = CacheBank::symmetric(&[]);
+        let mut bank = CacheBank::symmetric(&[]).unwrap();
         assert!(bank.is_empty());
         assert_eq!(bank.len(), 0);
         bank.fetch(0, 4);

@@ -43,6 +43,26 @@ d16_telemetry::counter_schema! {
     }
 }
 
+/// A rejected cache geometry: the offending configuration's label and
+/// the first violated constraint. Returned by [`CacheConfig::validate`]
+/// and every constructor that takes a configuration, so an off-grid or
+/// corrupted geometry surfaces as a reportable error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Label of the rejected geometry (see [`CacheConfig::label`]).
+    pub config: String,
+    /// The first violated constraint, in prose.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cache config {}: {}", self.config, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Cache geometry and policy.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
@@ -69,13 +89,14 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fail = |reason: String| ConfigError { config: self.label(), reason };
         let pow2 = |v: u32, what: &str| {
             if v.is_power_of_two() {
                 Ok(())
             } else {
-                Err(format!("{what} {v} is not a power of two"))
+                Err(fail(format!("{what} {v} is not a power of two")))
             }
         };
         pow2(self.size, "size")?;
@@ -83,16 +104,22 @@ impl CacheConfig {
         pow2(self.sub_block, "sub-block")?;
         pow2(self.assoc, "associativity")?;
         if self.sub_block < 4 || self.sub_block > self.block {
-            return Err(format!(
+            return Err(fail(format!(
                 "sub-block {} must be in 4..=block ({})",
                 self.sub_block, self.block
-            ));
+            )));
         }
         if self.block * self.assoc > self.size {
-            return Err(format!(
+            return Err(fail(format!(
                 "size {} too small for {}-way blocks of {}",
                 self.size, self.assoc, self.block
-            ));
+            )));
+        }
+        if self.subs_per_block() > 64 {
+            return Err(fail(format!(
+                "block {} holds more than 64 sub-blocks of {} (validity bitmap limit)",
+                self.block, self.sub_block
+            )));
         }
         Ok(())
     }
@@ -201,20 +228,19 @@ pub struct Cache {
 impl Cache {
     /// Builds a cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`CacheConfig::validate`].
-    pub fn new(cfg: CacheConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("bad cache config: {e}"));
-        assert!(cfg.subs_per_block() <= 64, "validity bitmap supports up to 64 sub-blocks");
+    /// Rejects a configuration that fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let n = (cfg.sets() * cfg.assoc) as usize;
-        Cache {
+        Ok(Cache {
             cfg,
             lines: (0..n).map(|_| Line { tag: 0, valid: 0, dirty: 0, lru: 0 }).collect(),
             tick: 0,
             stats: CacheStats::default(),
             tele: Counters::new(&MEM_SCHEMA),
-        }
+        })
     }
 
     /// The configuration.
@@ -377,10 +403,7 @@ impl Cache {
     /// (more misses than accesses, byte traffic not a multiple of the
     /// sub-block) — the shapes a damaged persisted record would take.
     pub fn from_stats(cfg: CacheConfig, stats: CacheStats) -> Result<Cache, String> {
-        cfg.validate()?;
-        if cfg.subs_per_block() > 64 {
-            return Err(format!("block {} has more than 64 sub-blocks", cfg.block));
-        }
+        cfg.validate().map_err(|e| e.to_string())?;
         if stats.read_misses > stats.reads {
             return Err(format!("{} read misses > {} reads", stats.read_misses, stats.reads));
         }
@@ -397,7 +420,7 @@ impl Cache {
                 return Err(format!("{what} traffic {bytes} is not whole sub-blocks of {sb}"));
             }
         }
-        let mut c = Cache::new(cfg);
+        let mut c = Cache::new(cfg).map_err(|e| e.to_string())?;
         c.stats = stats;
         c.tele.add(MemCounter::ReadHits, stats.reads - stats.read_misses);
         c.tele.add(MemCounter::ReadMisses, stats.read_misses);
@@ -435,6 +458,7 @@ mod tests {
             assoc: 1,
             wrap_prefetch: true,
         })
+        .unwrap()
     }
 
     #[test]
@@ -463,7 +487,8 @@ mod tests {
             sub_block: 8,
             assoc: 1,
             wrap_prefetch: false,
-        });
+        })
+        .unwrap();
         assert!(!c.read(0));
         assert!(!c.read(8), "no prefetch: next sub-block misses");
         assert_eq!(c.stats().prefetch_bytes_in, 0);
@@ -486,7 +511,8 @@ mod tests {
             sub_block: 8,
             assoc: 2,
             wrap_prefetch: true,
-        });
+        })
+        .unwrap();
         assert!(!c.read(0));
         assert!(!c.read(256));
         assert!(c.read(0), "both fit in a 2-way set");
@@ -554,6 +580,13 @@ mod tests {
         assert!(CacheConfig { size: 64, block: 64, sub_block: 8, assoc: 2, wrap_prefetch: true }
             .validate()
             .is_err());
+        // More than 64 sub-blocks per block overflows the validity bitmap.
+        let wide =
+            CacheConfig { size: 4096, block: 1024, sub_block: 4, assoc: 1, wrap_prefetch: true };
+        let err = wide.validate().unwrap_err();
+        assert!(err.reason.contains("64 sub-blocks"), "{err}");
+        assert_eq!(err.config, wide.label());
+        assert!(Cache::new(wide).is_err());
     }
 
     #[test]
@@ -626,7 +659,7 @@ mod tests {
         let pattern: Vec<u32> = (0..10).flat_map(|_| (0..2048u32).step_by(4)).collect();
         let mut last = u64::MAX;
         for size in [1024, 2048, 4096, 8192] {
-            let mut c = Cache::new(CacheConfig::paper(size, 32));
+            let mut c = Cache::new(CacheConfig::paper(size, 32)).unwrap();
             for &a in &pattern {
                 c.read(a);
             }

@@ -28,7 +28,7 @@
 //! assert_eq!(fb.irequests, 2);
 //!
 //! // The paper's 4K direct-mapped split caches.
-//! let mut cs = CacheSystem::paper(4096);
+//! let mut cs = CacheSystem::paper(4096).unwrap();
 //! cs.fetch(0x1000, 2);
 //! assert_eq!(cs.icache().read_misses, 1);
 //! ```
@@ -39,6 +39,6 @@ mod fetch;
 mod system;
 
 pub use bank::{BankCounter, CacheBank, BANK_SCHEMA};
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheStats, ConfigError};
 pub use fetch::FetchBuffer;
 pub use system::CacheSystem;

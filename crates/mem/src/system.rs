@@ -5,7 +5,7 @@
 //! Cycles = IC + Interlocks + MissPenalty * (IMiss + RMiss + WMiss)
 //! ```
 
-use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheStats, ConfigError};
 use d16_sim::{AccessSink, ExecStats};
 use d16_telemetry::Registry;
 
@@ -20,16 +20,21 @@ impl CacheSystem {
     /// Builds a system with the given instruction and data cache
     /// configurations.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an invalid configuration (see [`CacheConfig::validate`]).
-    pub fn new(icfg: CacheConfig, dcfg: CacheConfig) -> Self {
-        CacheSystem { icache: Cache::new(icfg), dcache: Cache::new(dcfg) }
+    /// Rejects an invalid configuration (see [`CacheConfig::validate`]).
+    pub fn new(icfg: CacheConfig, dcfg: CacheConfig) -> Result<Self, ConfigError> {
+        Ok(CacheSystem { icache: Cache::new(icfg)?, dcache: Cache::new(dcfg)? })
     }
 
     /// Builds the paper's symmetric configuration: equal-size direct-mapped
     /// I and D caches with 32-byte blocks and 8-byte sub-blocks.
-    pub fn paper(size: u32) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a `size` the paper geometry cannot realize (not a power of
+    /// two, or smaller than one 32-byte block).
+    pub fn paper(size: u32) -> Result<Self, ConfigError> {
         Self::new(CacheConfig::paper(size, 32), CacheConfig::paper(size, 32))
     }
 
@@ -157,7 +162,7 @@ mod tests {
 
     #[test]
     fn split_caches_do_not_interfere() {
-        let mut s = CacheSystem::paper(1024);
+        let mut s = CacheSystem::paper(1024).unwrap();
         s.fetch(0x1000, 4);
         s.read(0x1000, 4); // same address, different cache
         assert_eq!(s.icache().reads, 1);
@@ -168,7 +173,7 @@ mod tests {
 
     #[test]
     fn cpi_composition() {
-        let mut s = CacheSystem::paper(1024);
+        let mut s = CacheSystem::paper(1024).unwrap();
         for a in (0x1000..0x1100).step_by(4) {
             s.fetch(a, 4);
         }
@@ -182,7 +187,7 @@ mod tests {
 
     #[test]
     fn traffic_counts_prefetch() {
-        let mut s = CacheSystem::paper(1024);
+        let mut s = CacheSystem::paper(1024).unwrap();
         s.fetch(0x1000, 4);
         let stats = ExecStats { insns: 1, ..Default::default() };
         // One demand sub-block (8B) + one prefetch (8B) = 4 words.

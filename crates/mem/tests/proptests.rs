@@ -31,7 +31,7 @@ fn cache_accounting() {
     cases(200, |case, rng| {
         let cfg = config(rng);
         let stream = addr_stream(rng);
-        let mut c = Cache::new(cfg);
+        let mut c = Cache::new(cfg).unwrap();
         for (a, w) in &stream {
             if *w {
                 c.write(*a);
@@ -58,7 +58,7 @@ fn warm_pass_not_worse() {
     cases(200, |case, rng| {
         let cfg = config(rng);
         let stream = addr_stream(rng);
-        let mut c1 = Cache::new(cfg);
+        let mut c1 = Cache::new(cfg).unwrap();
         for (a, w) in &stream {
             if *w {
                 c1.write(*a);
@@ -90,7 +90,7 @@ fn loops_like_bigger_caches() {
         let seed: Vec<u32> = (0..n).map(|_| rng.below(2048)).collect();
         let mut last = u64::MAX;
         for size in [1024u32, 2048, 4096, 8192] {
-            let mut c = Cache::new(CacheConfig::paper(size, 32));
+            let mut c = Cache::new(CacheConfig::paper(size, 32)).unwrap();
             for _ in 0..4 {
                 for a in &seed {
                     c.read(a * 4);
@@ -127,7 +127,7 @@ fn fetch_buffer_conservation() {
 fn split_system_routing() {
     cases(200, |case, rng| {
         let stream = addr_stream(rng);
-        let mut cs = CacheSystem::paper(2048);
+        let mut cs = CacheSystem::paper(2048).unwrap();
         let mut fetches = 0u64;
         let mut reads = 0u64;
         let mut writes = 0u64;
@@ -176,11 +176,11 @@ fn bank_single_pass_equals_serial_replays() {
         let ncfg = 1 + rng.below(6) as usize;
         let cfgs: Vec<CacheConfig> = (0..ncfg).map(|_| config(rng)).collect();
 
-        let mut bank = CacheBank::symmetric(&cfgs);
+        let mut bank = CacheBank::symmetric(&cfgs).unwrap();
         trace.replay(&mut bank);
 
         for (cfg, banked) in cfgs.iter().zip(bank.systems()) {
-            let mut solo = CacheSystem::new(*cfg, *cfg);
+            let mut solo = CacheSystem::new(*cfg, *cfg).unwrap();
             trace.replay(&mut solo);
             assert_eq!(banked.icache(), solo.icache(), "case {case}, cfg {cfg:?}");
             assert_eq!(banked.dcache(), solo.dcache(), "case {case}, cfg {cfg:?}");

@@ -73,13 +73,13 @@ const TAG_D8: u8 = 1; // i8 delta from the expected address
 const TAG_D16: u8 = 2; // i16 delta (little-endian)
 const TAG_ABS: u8 = 3; // absolute u32 (little-endian)
 
-fn width_code(bytes: u8) -> u8 {
+fn width_code(bytes: u8) -> Option<u8> {
     match bytes {
-        1 => 0,
-        2 => 1,
-        4 => 2,
-        8 => 3,
-        other => panic!("unencodable access width {other} (expected 1, 2, 4, or 8)"),
+        1 => Some(0),
+        2 => Some(1),
+        4 => Some(2),
+        8 => Some(3),
+        _ => None,
     }
 }
 
@@ -103,6 +103,11 @@ pub struct TraceRecorder {
     /// mirrors the decoder's state.
     next: [u32; 3],
     replays: AtomicU64,
+    /// First unencodable reference seen, if any. A recorder fed a width
+    /// outside {1, 2, 4, 8} is *poisoned*: the bad record is dropped and
+    /// the description kept, so the measurement layer reports a typed
+    /// error instead of the process aborting mid-sweep.
+    error: Option<String>,
 }
 
 impl TraceRecorder {
@@ -132,11 +137,30 @@ impl TraceRecorder {
         self.replays.load(Ordering::Relaxed)
     }
 
+    /// The first unencodable reference this recorder was fed, if any.
+    /// A poisoned trace must not be measured or persisted; see
+    /// [`TraceRecorder::push`].
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
     /// Appends one reference to the trace.
+    ///
+    /// A reference whose width is outside {1, 2, 4, 8} — nothing the
+    /// pipeline or the fetch-buffer models emit — cannot be encoded. It
+    /// is dropped and the recorder poisoned ([`TraceRecorder::error`])
+    /// rather than panicking inside a sweep.
     pub fn push(&mut self, a: Access) {
         let kind = a.kind();
         let (addr, bytes) = (a.addr(), a.bytes());
-        let header = kind as u8 | (width_code(bytes) << 2);
+        let Some(code) = width_code(bytes) else {
+            if self.error.is_none() {
+                self.error =
+                    Some(format!("unencodable access width {bytes} (expected 1, 2, 4, or 8)"));
+            }
+            return;
+        };
+        let header = kind as u8 | (code << 2);
         let delta = addr.wrapping_sub(self.next[kind]) as i32;
         if delta == 0 {
             self.bytes.push(header | (TAG_SEQ << 4));
@@ -216,7 +240,7 @@ impl TraceRecorder {
         if count != len {
             return Err(format!("stream holds {count} records, expected {len}"));
         }
-        Ok(TraceRecorder { bytes, len, next, replays: AtomicU64::new(0) })
+        Ok(TraceRecorder { bytes, len, next, replays: AtomicU64::new(0), error: None })
     }
 
     /// Replays the trace into another sink and bumps the replay counter.
@@ -239,6 +263,7 @@ impl Clone for TraceRecorder {
             len: self.len,
             next: self.next,
             replays: AtomicU64::new(self.replay_count()),
+            error: self.error.clone(),
         }
     }
 }
@@ -293,7 +318,9 @@ impl Iterator for TraceIter<'_> {
                 self.next[kind].wrapping_add(d as u32)
             }
             _ => {
-                let a = u32::from_le_bytes(self.bytes[self.pos..self.pos + 4].try_into().unwrap());
+                let a = u32::from_le_bytes(
+                    self.bytes[self.pos..self.pos + 4].try_into().expect("4-byte slice"),
+                );
                 self.pos += 4;
                 a
             }
@@ -400,6 +427,24 @@ mod tests {
         assert!(TraceRecorder::from_encoded(vec![0x03], 1).is_err());
         // The pristine stream still decodes.
         assert!(TraceRecorder::from_encoded(bytes, 2).is_ok());
+    }
+
+    #[test]
+    fn bad_width_poisons_instead_of_panicking() {
+        let mut r = TraceRecorder::new();
+        r.fetch(0x1000, 4);
+        assert!(r.error().is_none());
+        r.read(0x2000, 3); // nothing in the encoding for width 3
+        let msg = r.error().expect("recorder is poisoned");
+        assert!(msg.contains("width 3"), "{msg}");
+        // The bad record is dropped; the good prefix is intact, and the
+        // first error sticks.
+        r.write(0x3000, 5);
+        assert!(r.error().unwrap().contains("width 3"));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![Access::Fetch(0x1000, 4)]);
+        let c = r.clone();
+        assert!(c.error().is_some(), "poison survives cloning");
     }
 
     #[test]

@@ -266,13 +266,15 @@ impl Machine {
     /// Returns the first [`SimError`] the program raises.
     pub fn run(&mut self, fuel: u64, sink: &mut impl AccessSink) -> Result<StopReason, SimError> {
         let end = self.stats.insns + fuel;
-        while self.halted.is_none() {
+        loop {
+            if let Some(v) = self.halted {
+                return Ok(StopReason::Halted(v));
+            }
             if self.stats.insns >= end {
                 return Ok(StopReason::OutOfFuel);
             }
             self.step(sink)?;
         }
-        Ok(StopReason::Halted(self.halted.unwrap()))
     }
 
     /// Executes a single instruction (a delay-slot instruction counts as
@@ -684,7 +686,7 @@ impl Machine {
             MemWidth::Bu => self.mem[a] as u32,
             MemWidth::H => i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i32 as u32,
             MemWidth::Hu => u16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as u32,
-            MemWidth::W => u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()),
+            MemWidth::W => u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("4-byte slice")),
         })
     }
 
@@ -718,7 +720,7 @@ impl Machine {
         if !addr.is_multiple_of(4) || a + 4 > self.mem.len() {
             return None;
         }
-        Some(u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
+        Some(u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("4-byte slice")))
     }
 }
 

@@ -66,6 +66,7 @@ pub struct StoreStats {
     miss: AtomicU64,
     write: AtomicU64,
     corrupt_evicted: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreStats`].
@@ -79,18 +80,22 @@ pub struct StatsSnapshot {
     pub write: u64,
     /// Entries evicted because the envelope or payload failed to check.
     pub corrupt_evicted: u64,
+    /// Lookups or commits abandoned on a filesystem error, each one
+    /// degraded to recomputation (the `store-io` failpoint lands here).
+    pub io_errors: u64,
 }
 
 impl StatsSnapshot {
     /// `(name, value)` pairs in [`d16_telemetry::STORE_SCHEMA`] order.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, u64); 4] {
+    pub fn named(&self) -> [(&'static str, u64); 5] {
         let names = d16_telemetry::STORE_SCHEMA.names();
         [
             (names[0], self.hit),
             (names[1], self.miss),
             (names[2], self.write),
             (names[3], self.corrupt_evicted),
+            (names[4], self.io_errors),
         ]
     }
 }
@@ -156,10 +161,23 @@ impl Store {
         key: CacheKey,
         decode: impl FnOnce(&[u8]) -> Option<T>,
     ) -> Option<T> {
-        let path = self.entry_path(kind, key);
-        let Ok(data) = fs::read(&path) else {
+        if d16_testkit::faults::armed_for("store-io", kind) {
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             self.stats.miss.fetch_add(1, Ordering::Relaxed);
             return None;
+        }
+        let path = self.entry_path(kind, key);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(e) => {
+                // An absent entry is the normal cold-store miss; any other
+                // failure is an I/O error worth accounting separately.
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.stats.miss.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
         };
         match unwrap_envelope(&data).and_then(decode) {
             Some(v) => {
@@ -179,9 +197,14 @@ impl Store {
     /// effort — on any I/O failure the entry is simply not cached (and
     /// the temp file removed if it got that far).
     pub fn put(&self, kind: &str, key: CacheKey, payload: &[u8]) {
+        if d16_testkit::faults::armed_for("store-io", kind) {
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let path = self.entry_path(kind, key);
         let Some(dir) = path.parent() else { return };
         if fs::create_dir_all(dir).is_err() {
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let tmp = dir.join(format!(
@@ -192,10 +215,12 @@ impl Store {
         ));
         if fs::write(&tmp, wrap_envelope(payload)).is_err() {
             let _ = fs::remove_file(&tmp);
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
         if fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.stats.write.fetch_add(1, Ordering::Relaxed);
@@ -209,6 +234,7 @@ impl Store {
             miss: self.stats.miss.load(Ordering::Relaxed),
             write: self.stats.write.load(Ordering::Relaxed),
             corrupt_evicted: self.stats.corrupt_evicted.load(Ordering::Relaxed),
+            io_errors: self.stats.io_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -423,5 +449,25 @@ mod tests {
         assert_eq!(reg.counter("store.miss"), Some(0));
         assert_eq!(reg.counter("store.write"), Some(1));
         assert_eq!(reg.counter("store.corrupt_evicted"), Some(0));
+        assert_eq!(reg.counter("store.io_errors"), Some(0));
+    }
+
+    #[test]
+    fn fs_errors_count_and_degrade_to_misses() {
+        let dir = TempDir::new("io-errors");
+        let store = Store::open(dir.path()).unwrap();
+        // A directory squatting on the entry path: reads fail with
+        // something other than NotFound, and the atomic rename in `put`
+        // cannot replace it.
+        let squatted = store.entry_path("cell", key(9));
+        fs::create_dir_all(&squatted).unwrap();
+        assert_eq!(store.get_with("cell", key(9), |b| Some(b.to_vec())), None);
+        store.put("cell", key(9), b"doomed");
+        let s = store.stats();
+        assert_eq!((s.miss, s.io_errors), (1, 2));
+        assert_eq!(s.write, 0, "failed commit not counted as a write");
+        // The store still serves other keys.
+        store.put("cell", key(10), b"fine");
+        assert!(store.get_with("cell", key(10), |b| Some(b.to_vec())).is_some());
     }
 }

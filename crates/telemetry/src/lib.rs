@@ -142,6 +142,9 @@ counter_schema! {
         Write => "write",
         /// Entries evicted for failing the envelope or payload check.
         CorruptEvicted => "corrupt_evicted",
+        /// Lookups or commits abandoned on a filesystem error (each one
+        /// degraded to recomputation).
+        IoErrors => "io_errors",
     }
 }
 
@@ -513,7 +516,7 @@ mod tests {
 
     #[test]
     fn store_schema_names() {
-        assert_eq!(STORE_SCHEMA.names(), &["hit", "miss", "write", "corrupt_evicted"]);
+        assert_eq!(STORE_SCHEMA.names(), &["hit", "miss", "write", "corrupt_evicted", "io_errors"]);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! });
 //! ```
 
+pub mod faults;
+
 /// A SplitMix64 pseudo-random generator: tiny, fast, and statistically
 /// solid for test-input generation (it is the seeding generator of choice
 /// for xoshiro-family PRNGs).

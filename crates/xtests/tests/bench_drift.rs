@@ -51,7 +51,7 @@ fn fresh_run_matches_checked_in_bench_report() {
         let isa =
             if s.get("isa").and_then(Json::as_str) == Some("D16") { Isa::D16 } else { Isa::Dlxe };
         suite.cache_grid(w, isa).expect("warm grid");
-        let trace = suite.trace(w, isa);
+        let trace = suite.try_trace(w, isa).expect("trace recorded");
         assert_eq!(u(s, "records"), trace.len() as u64, "({w}, {}) records drifted", isa.name());
         assert_eq!(
             u(s, "memory_bytes"),

@@ -76,7 +76,7 @@ fn cache_grid_counters_reconcile_and_cover_every_config() {
         assert_eq!(reg.counter(&key), Some(sys.icache().read_misses), "{key}");
     }
     // The sweep fed each trace record exactly once regardless of width.
-    let trace = suite.trace("assem", Isa::D16);
+    let trace = suite.try_trace("assem", Isa::D16).expect("trace recorded");
     let swept: u64 = ["fetches", "reads", "writes"]
         .iter()
         .map(|k| reg.counter(&format!("grid.assem.D16.sweep.{k}")).unwrap_or(0))

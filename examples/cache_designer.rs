@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         assoc,
                         wrap_prefetch: prefetch,
                     };
-                    let mut cs = CacheSystem::new(cfg, cfg);
+                    let mut cs = CacheSystem::new(cfg, cfg)?;
                     trace.replay(&mut cs);
                     rates.push(cs.icache().read_miss_ratio());
                 }
@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut answer = None;
         for size in [256u32, 512, 1024, 2048, 4096, 8192, 16384] {
             let cfg = CacheConfig::paper(size, 32);
-            let mut cs = CacheSystem::new(cfg, cfg);
+            let mut cs = CacheSystem::new(cfg, cfg)?;
             trace.replay(&mut cs);
             if cs.icache().read_miss_ratio() < target {
                 answer = Some(size);
