@@ -252,14 +252,17 @@ impl Parser {
     fn parse_line(&mut self, raw: &str, line: usize) -> Result<(), AsmError> {
         let toks = tokenize(raw, line)?;
         let mut c = Cursor { toks: &toks, pos: 0, line };
-        // Leading label(s).
+        // Leading label(s). Register-shaped names (`f0:`, `r15:`) are
+        // labels too: no statement begins with a register followed by
+        // `:`, so reserving them would only reject valid programs. Note
+        // the one ambiguous *use* site — `j`/`jal`/`jd` resolve a GPR
+        // name as the register, never a label (the compiler suffixes
+        // GPR-shaped C identifiers with `$` for exactly this reason).
         while c.toks.len() >= c.pos + 2 {
             if let (Tok::Ident(name), Tok::Punct(':')) = (&c.toks[c.pos], &c.toks[c.pos + 1]) {
-                if parse_gpr(name).is_none() && parse_fpr(name).is_none() {
-                    self.items.push(Item::Label(name.clone()));
-                    c.pos += 2;
-                    continue;
-                }
+                self.items.push(Item::Label(name.clone()));
+                c.pos += 2;
+                continue;
             }
             break;
         }
@@ -555,6 +558,10 @@ impl Parser {
                 self.push_insn(line, ITpl::Branch { neg: Some(m == "bnz"), rs, target });
             }
             "j" | "jal" | "jd" => {
+                // Ambiguity rule: a GPR name here is always the register
+                // (indirect jump), never a label, even if such a label is
+                // defined. Symbol emitters must avoid GPR-shaped names
+                // for direct targets.
                 if matches!(c.peek(), Some(Tok::Ident(s)) if parse_gpr(s).is_some()) {
                     let target = c.gpr()?;
                     let t = if m == "jal" { Insn::Jl { target } } else { Insn::J { target } };
@@ -1202,6 +1209,19 @@ g:      .word 6
     fn duplicate_labels_rejected() {
         let e = assemble(Isa::D16, "x: nop\nx: nop\n").unwrap_err();
         assert!(matches!(e, AsmError::DuplicateSymbol(_)));
+    }
+
+    #[test]
+    fn register_shaped_labels_are_labels() {
+        // `f0` is a valid C function name; the compiler emits it verbatim
+        // as a label. Register-shaped names must define and resolve like
+        // any other symbol on both targets.
+        for isa in [Isa::D16, Isa::Dlxe] {
+            let obj = assemble(isa, "j2: nop\nf0: nop\nr15: nop\nla r3, f0\nla r4, r15\n")
+                .unwrap_or_else(|e| panic!("{isa:?}: {e}"));
+            assert!(obj.symbols.contains_key("f0"), "{isa:?}");
+            assert!(obj.symbols.contains_key("r15"), "{isa:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! The full assemble → disassemble → reassemble oracle over the complete
+//! 64K D16 encoding space: every decodable word's disassembly must be
+//! accepted back by the assembler and reassemble to exactly the same
+//! bytes.
+//!
+//! PC-relative branches disassemble as `.+N` / `.-N`, so each instruction
+//! is surrounded by enough `nop` sled that every expressible displacement
+//! (±1 KiB) stays inside the text segment; one big unit keeps this a
+//! single assemble + link pass instead of 45 000 of them.
+
+use d16_asm::{assemble, link};
+use d16_isa::{d16, Isa};
+
+#[test]
+fn d16_every_decodable_word_survives_disasm_text_roundtrip() {
+    const SLED: usize = 512; // nops on each side: covers BR_RANGE (±1024 bytes)
+    let mut words = Vec::new();
+    let mut text = String::new();
+    for _ in 0..SLED {
+        text.push_str("        nop\n");
+    }
+    for w in 0..=u16::MAX {
+        if let Ok(insn) = d16::decode(w) {
+            words.push(w);
+            text.push_str("        ");
+            text.push_str(&d16_isa::disassemble(&insn));
+            text.push('\n');
+        }
+    }
+    for _ in 0..SLED {
+        text.push_str("        nop\n");
+    }
+    let obj = assemble(Isa::D16, &text).expect("every disassembly must reassemble");
+    let image = link(Isa::D16, &[obj]).expect("link");
+    assert_eq!(image.text.len(), (words.len() + 2 * SLED) * 2);
+    for (k, w) in words.iter().enumerate() {
+        let off = (SLED + k) * 2;
+        let got = u16::from_le_bytes([image.text[off], image.text[off + 1]]);
+        assert_eq!(
+            got,
+            *w,
+            "word {w:#06x} ({}) reassembled as {got:#06x}",
+            d16_isa::disassemble(&d16::decode(*w).unwrap())
+        );
+    }
+}

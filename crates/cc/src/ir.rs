@@ -75,42 +75,26 @@ impl BinOp {
         matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
     }
 
-    /// Constant evaluation with the machine's wrapping semantics.
-    /// Division by zero yields zero (the runtime helpers do the same).
+    /// Constant evaluation with the machine's semantics, delegated to
+    /// [`d16_isa::sem`] so the folder, the simulator's ALU and the runtime
+    /// helpers cannot drift apart: shift counts masked to five bits,
+    /// division by zero yielding zero, signed overflow wrapping.
     pub fn eval(self, a: i32, b: i32) -> i32 {
-        let (ua, ub) = (a as u32, b as u32);
+        use d16_isa::sem;
         match self {
-            BinOp::Add => a.wrapping_add(b),
-            BinOp::Sub => a.wrapping_sub(b),
-            BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a.wrapping_div(b)
-                }
-            }
-            BinOp::Rem => {
-                if b == 0 {
-                    0
-                } else {
-                    a.wrapping_rem(b)
-                }
-            }
-            BinOp::UDiv => ua.checked_div(ub).unwrap_or(0) as i32,
-            BinOp::URem => {
-                if ub == 0 {
-                    0
-                } else {
-                    (ua % ub) as i32
-                }
-            }
+            BinOp::Add => sem::add(a, b),
+            BinOp::Sub => sem::sub(a, b),
+            BinOp::Mul => sem::mul(a, b),
+            BinOp::Div => sem::div(a, b),
+            BinOp::Rem => sem::rem(a, b),
+            BinOp::UDiv => sem::udiv(a as u32, b as u32) as i32,
+            BinOp::URem => sem::urem(a as u32, b as u32) as i32,
             BinOp::And => a & b,
             BinOp::Or => a | b,
             BinOp::Xor => a ^ b,
-            BinOp::Shl => ua.wrapping_shl(ub & 31) as i32,
-            BinOp::Shr => ua.wrapping_shr(ub & 31) as i32,
-            BinOp::Sar => a.wrapping_shr(ub & 31),
+            BinOp::Shl => sem::shl(a, b),
+            BinOp::Shr => sem::shr(a, b),
+            BinOp::Sar => sem::sar(a, b),
         }
     }
 }

@@ -49,10 +49,27 @@ use d16_store::{CacheKey, StableHasher, Store};
 /// Version tag folded into every [`build_key`]. Bump whenever the
 /// compiler changes observable output for any input, so stale
 /// `d16-store` entries from older toolchains stop matching.
-pub const TOOLCHAIN_TAG: &str = "d16-cc/1";
+pub const TOOLCHAIN_TAG: &str = "d16-cc/2";
+
+/// How much of the optimizer pipeline to run.
+///
+/// Differential testing compiles every program at both levels: a
+/// miscompile in an optimization pass shows up as an `O0`/`O2`
+/// disagreement, while a bug in lowering, selection, allocation or
+/// emission shows up at both levels against the reference interpreter.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OptLevel {
+    /// Legalization only (multiply/divide become runtime calls — neither
+    /// ISA has the instructions, so this much is mandatory); no folding,
+    /// CSE, branch folding, DCE or strength reduction.
+    O0,
+    /// The full optimization pipeline.
+    #[default]
+    O2,
+}
 
 /// Compiles Mini-C sources (plus the runtime library) to one assembly
-/// unit for the given target.
+/// unit for the given target, at the default [`OptLevel::O2`].
 ///
 /// Sources share one global namespace; user sources come first so their
 /// globals occupy the start of the data segment (the D16 gp window).
@@ -64,6 +81,19 @@ pub const TOOLCHAIN_TAG: &str = "d16-cc/1";
 /// (a compiler bug, or the `regalloc-diverge` failpoint) surfaces as
 /// [`BuildError::RegAlloc`] instead of a panic.
 pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, BuildError> {
+    compile_to_asm_with(sources, spec, OptLevel::O2)
+}
+
+/// [`compile_to_asm`] with an explicit [`OptLevel`].
+///
+/// # Errors
+///
+/// Same as [`compile_to_asm`].
+pub fn compile_to_asm_with(
+    sources: &[&str],
+    spec: &TargetSpec,
+    opt: OptLevel,
+) -> Result<String, BuildError> {
     let mut prog = Program::default();
     for src in sources {
         parser::parse_into(&mut prog, src).map_err(BuildError::Compile)?;
@@ -77,7 +107,10 @@ pub fn compile_to_asm(sources: &[&str], spec: &TargetSpec) -> Result<String, Bui
     if debug {
         eprintln!("[d16cc] lowered {} functions", module.funcs.len());
     }
-    opt::optimize(&mut module);
+    match opt {
+        OptLevel::O0 => opt::legalize_only(&mut module),
+        OptLevel::O2 => opt::optimize(&mut module),
+    }
     if debug {
         eprintln!("[d16cc] optimized");
     }
@@ -137,7 +170,20 @@ impl std::error::Error for BuildError {
 ///
 /// Returns a [`BuildError`] wrapping the failing stage's diagnostic.
 pub fn compile_to_image(sources: &[&str], spec: &TargetSpec) -> Result<Image, BuildError> {
-    let asm = compile_to_asm(sources, spec)?;
+    compile_to_image_with(sources, spec, OptLevel::O2)
+}
+
+/// [`compile_to_image`] with an explicit [`OptLevel`].
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] wrapping the failing stage's diagnostic.
+pub fn compile_to_image_with(
+    sources: &[&str],
+    spec: &TargetSpec,
+    opt: OptLevel,
+) -> Result<Image, BuildError> {
+    let asm = compile_to_asm_with(sources, spec, opt)?;
     d16_asm::build(spec.isa, &[&asm]).map_err(|e| BuildError::Assemble(e, asm))
 }
 
@@ -583,5 +629,143 @@ int main(void) { return work(32) & 0xFF; }";
             Err(BuildError::Compile(c)) => assert!(c.msg.contains("main")),
             other => panic!("expected a compile error, got {other:?}"),
         }
+    }
+
+    /// `O0` (legalize-only) must produce runnable code on every target
+    /// that agrees with the optimized build — including multiplies and
+    /// divides, which only exist as runtime calls.
+    #[test]
+    fn o0_pipeline_matches_o2() {
+        let src = "
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main(void) {
+    int a = fib(10) * 3;      /* 165 */
+    int b = (a / 7) % 10;     /* 3 */
+    return a % 100 + b;       /* 68 */
+}";
+        for spec in [
+            TargetSpec::d16(),
+            TargetSpec::dlxe(),
+            TargetSpec::dlxe_restricted(true, true, false),
+            TargetSpec::dlxe_restricted(false, true, false),
+        ] {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let image = compile_to_image_with(&[src], &spec, opt)
+                    .unwrap_or_else(|e| panic!("[{} {opt:?}] {e}", spec.label()));
+                let mut m = Machine::load(&image);
+                match m.run(200_000_000, &mut NullSink) {
+                    Ok(StopReason::Halted(v)) => {
+                        assert_eq!(v, 68, "[{} {opt:?}]", spec.label())
+                    }
+                    other => panic!("[{} {opt:?}] {other:?}", spec.label()),
+                }
+            }
+        }
+    }
+
+    /// Functions and globals named like registers must build and run on
+    /// every target. `jal r15` on DLXe means an indirect jump through the
+    /// register, so the compiler suffixes GPR-shaped identifiers with `$`
+    /// when emitting symbols; without that, calling a function named
+    /// `r15` jumped through whatever the register held.
+    #[test]
+    fn register_shaped_identifiers_build_everywhere() {
+        let src = "
+int r15(int n) { return n + 4; }
+int f0(void) { return 7; }
+int r2 = 5;
+int main(void) { return r15(f0()) + r2; }";
+        for spec in
+            [TargetSpec::d16(), TargetSpec::dlxe(), TargetSpec::dlxe_restricted(true, true, false)]
+        {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let image = compile_to_image_with(&[src], &spec, opt)
+                    .unwrap_or_else(|e| panic!("[{} {opt:?}] {e}", spec.label()));
+                let mut m = Machine::load(&image);
+                match m.run(10_000_000, &mut NullSink) {
+                    Ok(StopReason::Halted(v)) => {
+                        assert_eq!(v, 16, "[{} {opt:?}]", spec.label())
+                    }
+                    other => panic!("[{} {opt:?}] {other:?}", spec.label()),
+                }
+            }
+        }
+    }
+
+    /// The global-initializer folder and the IR constant folder must agree
+    /// with the machine on oversized and negative shift counts: the
+    /// hardware masks the count to five bits, so `1 << 32 == 1` and
+    /// `1 << -1 == 1 << 31`. Each global is compared against the same
+    /// expression computed from runtime-opaque values, exercising both the
+    /// `lower.rs` fold (globals) and the `opt.rs`/`ir.rs` fold (locals).
+    #[test]
+    fn shift_counts_mask_to_five_bits_on_every_fold_path() {
+        run_all(
+            "
+int g_over = 1 << 32;
+int g_33 = 1 << 33;
+int g_neg = 1 << -1;
+int g_sar = (-8) >> 32;
+int volatile_looking; /* keeps main from folding entirely */
+int main(void) {
+    int one = 1, m8 = -8, c32 = 32, c33 = 33, cm1 = -1;
+    volatile_looking = one;
+    if (g_over != (one << c32)) return 1;
+    if (g_33 != (one << c33)) return 2;
+    if (g_neg != (one << cm1)) return 3;
+    if (g_sar != (m8 >> c32)) return 4;
+    if (g_over != 1) return 5;
+    if (g_33 != 2) return 6;
+    if (g_sar != -8) return 7;
+    return 0;
+}",
+            0,
+        );
+        // g_neg == 1 << 31 == INT_MIN: check its bit pattern via unsigned.
+        run_all(
+            "
+int g_neg = 1 << -1;
+int main(void) { unsigned u = g_neg; return (u >> 28) == 8; }",
+            1,
+        );
+    }
+
+    /// Division and remainder edges must agree three ways: the constant
+    /// folder (globals and locals), the runtime helpers `__divsi3` and
+    /// `__modsi3` (reached via runtime-opaque operands), and the documented
+    /// contract in `d16_isa::sem` (`n/0 == 0`, `INT_MIN / -1 == INT_MIN`,
+    /// `INT_MIN % -1 == 0`).
+    #[test]
+    fn div_rem_edges_agree_between_folder_and_runtime() {
+        run_all(
+            "
+int g_dz = 5 / 0;
+int g_rz = 5 % 0;
+int g_min_div = (-2147483647 - 1) / -1;
+int g_min_rem = (-2147483647 - 1) % -1;
+int main(void) {
+    int five = 5, zero = 0, min = -2147483647 - 1, m1 = -1;
+    if (g_dz != five / zero) return 1;
+    if (g_rz != five % zero) return 2;
+    if (g_min_div != min / m1) return 3;
+    if (g_min_rem != min % m1) return 4;
+    if (g_dz != 0) return 5;
+    if (g_rz != 0) return 6;
+    if (g_min_div != min) return 7;
+    if (g_min_rem != 0) return 8;
+    return 0;
+}",
+            0,
+        );
+        // Unsigned division by zero is zero too, on both paths.
+        run_all(
+            "
+int main(void) {
+    unsigned a = 123, z = 0;
+    unsigned q = a / z, r = a % z;
+    return q + r;
+}",
+            0,
+        );
     }
 }

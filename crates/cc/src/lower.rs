@@ -14,6 +14,28 @@ use crate::token::CError;
 use d16_isa::{Cond, FpCond, MemWidth};
 use std::collections::{HashMap, HashSet};
 
+/// The assembly symbol for a user identifier.
+///
+/// GPR-shaped names (`r0`..`r15`/`r31`) collide with the register operand
+/// of the assembler's `j`/`jal`/`jd`: `jal r15` is an indirect jump
+/// through the register, never a call to a label named `r15`. A C function
+/// with such a name would silently call through whatever the register
+/// holds. Suffix those identifiers with `$` — valid in assembly symbols,
+/// impossible in C identifiers — so emitted symbols are never ambiguous.
+/// Every IR name (functions, call targets, globals, symbol references)
+/// passes through here, so definitions and uses stay consistent.
+fn asm_symbol(name: &str) -> String {
+    let gpr_shaped = name
+        .strip_prefix('r')
+        .and_then(|d| d.parse::<u8>().ok())
+        .is_some_and(|n| d16_isa::Gpr::try_new(n).is_some());
+    if gpr_shaped {
+        format!("{name}$")
+    } else {
+        name.to_string()
+    }
+}
+
 /// Lowers a checked program to an IR module.
 ///
 /// # Errors
@@ -43,7 +65,7 @@ pub fn lower(prog: &Program) -> Result<Module, CError> {
     for g in &prog.globals {
         if g.init.is_none() {
             let size = g.ty.size(&prog.structs).max(1);
-            lw.module.bss.push(crate::ir::BssItem { name: g.name.clone(), size });
+            lw.module.bss.push(crate::ir::BssItem { name: asm_symbol(&g.name), size });
         } else {
             let item = lw.lower_global(g)?;
             lw.module.data.push(item);
@@ -110,7 +132,7 @@ impl<'a> Lower<'a> {
             None => chunks.push(DataChunk::Zero(g.ty.size(structs))),
             Some(init) => self.const_init(&g.ty, init, g.line, &mut chunks)?,
         }
-        Ok(DataItem { name: g.name.clone(), align, chunks })
+        Ok(DataItem { name: asm_symbol(&g.name), align, chunks })
     }
 
     /// Emits constant-initializer chunks for a value of type `ty`.
@@ -210,11 +232,11 @@ impl<'a> Lower<'a> {
                     Ok(DataChunk::WordSym(label, 0))
                 }
                 Expr::Ident(name) if self.globals.contains_key(name) => {
-                    Ok(DataChunk::WordSym(name.clone(), 0))
+                    Ok(DataChunk::WordSym(asm_symbol(name), 0))
                 }
                 Expr::Unary("&", inner) => match &inner.kind {
                     Expr::Ident(name) if self.globals.contains_key(name) => {
-                        Ok(DataChunk::WordSym(name.clone(), 0))
+                        Ok(DataChunk::WordSym(asm_symbol(name), 0))
                     }
                     _ => Err(err(e.line, "unsupported constant address")),
                 },
@@ -224,26 +246,34 @@ impl<'a> Lower<'a> {
         }
     }
 
+    /// Folds a constant initializer expression with the machine's 32-bit
+    /// semantics ([`d16_isa::sem`]): shift counts masked to five bits,
+    /// division by zero yielding zero, signed overflow wrapping. A bare
+    /// literal passes through unwrapped (it may name a `u32` bit pattern),
+    /// but every operator truncates its operands to i32 and sign-extends
+    /// its result, so a folded initializer holds exactly the bits the same
+    /// expression would compute at run time.
     fn const_int(&self, e: &E) -> Result<i64, CError> {
+        use d16_isa::sem;
         match &e.kind {
             Expr::Int(v) => Ok(*v),
-            Expr::Unary("-", inner) => Ok(-self.const_int(inner)?),
-            Expr::Unary("~", inner) => Ok(!self.const_int(inner)?),
+            Expr::Unary("-", inner) => Ok(sem::sub(0, self.const_int(inner)? as i32) as i64),
+            Expr::Unary("~", inner) => Ok(!(self.const_int(inner)? as i32) as i64),
             Expr::Binary(op, a, b) => {
-                let (a, b) = (self.const_int(a)?, self.const_int(b)?);
+                let (a, b) = (self.const_int(a)? as i32, self.const_int(b)? as i32);
                 Ok(match *op {
-                    "+" => a.wrapping_add(b),
-                    "-" => a.wrapping_sub(b),
-                    "*" => a.wrapping_mul(b),
-                    "/" if b != 0 => a / b,
-                    "%" if b != 0 => a % b,
-                    "<<" => a.wrapping_shl(b as u32),
-                    ">>" => a.wrapping_shr(b as u32),
+                    "+" => sem::add(a, b),
+                    "-" => sem::sub(a, b),
+                    "*" => sem::mul(a, b),
+                    "/" => sem::div(a, b),
+                    "%" => sem::rem(a, b),
+                    "<<" => sem::shl(a, b),
+                    ">>" => sem::sar(a, b),
                     "&" => a & b,
                     "|" => a | b,
                     "^" => a ^ b,
                     _ => return Err(err(e.line, "not a constant expression")),
-                })
+                } as i64)
             }
             Expr::SizeofTy(t) => Ok(t.size(&self.prog.structs) as i64),
             Expr::Cast(_, inner) => self.const_int(inner),
@@ -291,7 +321,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
     fn run(lw: &'l mut Lower<'a>, src: &Func) -> Result<IrFunc, CError> {
         let addressed = collect_addressed(&src.body);
         let mut f = IrFunc {
-            name: src.name.clone(),
+            name: asm_symbol(&src.name),
             params: Vec::new(),
             ret_class: if src.ret == Ty::Void { None } else { Some(class_of(&src.ret)) },
             blocks: vec![Block { insts: Vec::new(), term: Term::Ret(None) }],
@@ -793,7 +823,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
             let v = self.convert(v, &ty, pty, line)?;
             avs.push(v);
         }
-        self.emit(Inst::Call { func: name.to_string(), args: avs, ret: ret.map(|(v, _)| v) });
+        self.emit(Inst::Call { func: asm_symbol(name), args: avs, ret: ret.map(|(v, _)| v) });
         Ok(())
     }
 
@@ -1149,7 +1179,7 @@ impl<'l, 'a> FnLower<'l, 'a> {
                     });
                 }
                 if let Some(ty) = self.lw.globals.get(name) {
-                    return Ok(Place::Mem(Base::Global(name.clone()), 0, ty.clone()));
+                    return Ok(Place::Mem(Base::Global(asm_symbol(name)), 0, ty.clone()));
                 }
                 Err(err(line, format!("undefined variable `{name}`")))
             }

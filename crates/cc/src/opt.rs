@@ -11,6 +11,17 @@
 use crate::ir::{BinOp, BlockId, Inst, IrFunc, Module, Operand, Term, VReg};
 use std::collections::HashMap;
 
+/// Runs only the mandatory legalization over every function: multiplies
+/// and divides become runtime-library calls, nothing else changes. This is
+/// the `O0` pipeline — instruction selection has no multiply or divide
+/// patterns (neither ISA has the instructions), so legalization cannot be
+/// skipped, but every optimization proper can.
+pub fn legalize_only(module: &mut Module) {
+    for f in &mut module.funcs {
+        legalize_muldiv(f);
+    }
+}
+
 /// Runs the full pipeline over every function.
 pub fn optimize(module: &mut Module) {
     for f in &mut module.funcs {

@@ -422,20 +422,6 @@ impl Suite {
         })
     }
 
-    /// The measurement for one cell.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cell was not collected, naming the missing pair.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on skipped cells; use `try_get` so a degraded \
-                suite can be reported instead of aborting"
-    )]
-    pub fn get(&self, workload: &str, target: &str) -> &Measurement {
-        self.try_get(workload, target).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// The trace for a cache benchmark on an unrestricted machine.
     ///
     /// # Errors
@@ -445,20 +431,6 @@ impl Suite {
         self.traces.get(&(workload.to_string(), isa.name().to_string())).ok_or_else(|| {
             SuiteError::MissingTrace { workload: workload.to_string(), isa: isa.name().to_string() }
         })
-    }
-
-    /// The trace for a cache benchmark on an unrestricted machine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace was not recorded, naming the missing pair.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on skipped traces; use `try_trace` so a degraded \
-                suite can be reported instead of aborting"
-    )]
-    pub fn trace(&self, workload: &str, isa: Isa) -> &TraceRecorder {
-        self.try_trace(workload, isa).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The cache-grid systems for one (workload, ISA) trace: every

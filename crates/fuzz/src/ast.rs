@@ -1,0 +1,436 @@
+//! The generated-program AST and its Mini-C pretty-printer.
+//!
+//! The fuzzer owns a small typed AST rather than generating C text
+//! directly: the reference interpreter walks the same tree the printer
+//! renders, so the two cannot disagree about what was generated, and the
+//! shrinker can delta-reduce structurally instead of by text surgery.
+//!
+//! Everything about the shape guarantees well-definedness on the target
+//! machine ([`d16_isa::sem`]):
+//!
+//! * array lengths are powers of two and every index is rendered as
+//!   `arr[(e) & (len - 1)]`, so accesses are in bounds by construction;
+//! * loop counters come from a dedicated pool (`iv0`, `iv1`, ...) that
+//!   assignments never target, so loops terminate by construction;
+//! * function calls appear only as whole statements (`x3 = f1(...)`),
+//!   never nested inside compound expressions, so C's unspecified operand
+//!   evaluation order can never be observed — every other expression is
+//!   side-effect free;
+//! * pointers are bound once, to the base of a named array, and only
+//!   indexed (`ptr0[(e) & mask]`) — the supported subset, with no
+//!   pointer arithmetic that could leave the object.
+//!
+//! Shift counts, division by zero and signed overflow are deliberately
+//! *not* constrained: those follow the machine contract and are exactly
+//! what the differential oracles are hunting for.
+
+use std::fmt::Write as _;
+
+/// A whole generated program.
+#[derive(Clone, Debug)]
+pub struct Prog {
+    /// Global scalars `g0, g1, ...`, each with a constant-expression
+    /// initializer (exercising the compiler's global-initializer folder).
+    pub globals: Vec<CExpr>,
+    /// Global arrays `ga0, ga1, ...`; the value is the power-of-two
+    /// length. Zero-initialized (`.bss`).
+    pub arrays: Vec<u32>,
+    /// Helper functions `f0, f1, ...`; `fN` may only call `fM` for
+    /// `M < N`, so the call graph is acyclic.
+    pub funcs: Vec<Func>,
+    /// `main` — may call any helper. Its body ends with `Ret` of a
+    /// checksum expression over the program's state.
+    pub main: Func,
+}
+
+/// A constant initializer expression (folded at compile time).
+#[derive(Clone, Debug)]
+pub enum CExpr {
+    /// Literal.
+    Lit(i32),
+    /// `-e` or `~e`.
+    Un(&'static str, Box<CExpr>),
+    /// One of `+ - * / % << >> & | ^`.
+    Bin(&'static str, Box<CExpr>, Box<CExpr>),
+}
+
+/// One function.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Parameter count (`p0, p1, ...`, all `int`).
+    pub nparams: usize,
+    /// Scalar locals `x0, x1, ...`, all declared `= 0` up front so the
+    /// shrinker can drop any assignment without creating an
+    /// uninitialized read.
+    pub nlocals: usize,
+    /// Loop-counter pool `iv0, iv1, ...` (one per loop statement).
+    pub nloopvars: usize,
+    /// Local arrays `la0, la1, ...` (power-of-two lengths), zero-filled
+    /// by an init loop before the body runs.
+    pub local_arrays: Vec<u32>,
+    /// Pointer locals `ptr0, ptr1, ...`, each bound to an array base.
+    pub ptrs: Vec<PtrTarget>,
+    /// Body; execution always reaches a `Ret`.
+    pub body: Vec<Stmt>,
+}
+
+/// What a pointer local is bound to.
+#[derive(Copy, Clone, Debug)]
+pub enum PtrTarget {
+    /// `int *ptrK = gaI;`
+    GlobalArr(usize),
+    /// `int *ptrK = laI;`
+    LocalArr(usize),
+}
+
+/// An indexable object.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ArrRef {
+    /// Global array `gaI`.
+    GlobalArr(usize),
+    /// Local array `laI` of the current function.
+    LocalArr(usize),
+    /// Pointer local `ptrI` of the current function.
+    Ptr(usize),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `lv = e;`
+    Assign(LValue, Expr),
+    /// `xI = fK(args);` — the only place calls occur.
+    CallAssign(usize, usize, Vec<Expr>),
+    /// `if (c) { .. } else { .. }` (else may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for (ivV = 0; ivV < count; ivV++) { .. }`
+    For {
+        /// Loop-counter slot.
+        var: usize,
+        /// Trip count (small, positive).
+        count: i32,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `ivV = count; while (ivV > 0) { ivV = ivV - 1; .. }`
+    While {
+        /// Loop-counter slot.
+        var: usize,
+        /// Trip count (small, positive).
+        count: i32,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;` — generated only inside loop bodies.
+    Break,
+    /// `return e;`
+    Ret(Expr),
+}
+
+/// Assignable places.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// Scalar local `xI`.
+    Local(usize),
+    /// Global scalar `gI`.
+    Global(usize),
+    /// `arr[(e) & mask]`.
+    Index(ArrRef, Expr),
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UOp {
+    /// `-e`
+    Neg,
+    /// `~e`
+    Not,
+    /// `!e`
+    LNot,
+}
+
+/// Binary arithmetic operators (all with machine semantics).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic on `int`)
+    Sar,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+impl BOp {
+    /// The C spelling.
+    pub fn c(self) -> &'static str {
+        match self {
+            BOp::Add => "+",
+            BOp::Sub => "-",
+            BOp::Mul => "*",
+            BOp::Div => "/",
+            BOp::Rem => "%",
+            BOp::Shl => "<<",
+            BOp::Sar => ">>",
+            BOp::And => "&",
+            BOp::Or => "|",
+            BOp::Xor => "^",
+        }
+    }
+}
+
+/// Comparison operators (result 0 or 1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum COp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl COp {
+    /// The C spelling.
+    pub fn c(self) -> &'static str {
+        match self {
+            COp::Eq => "==",
+            COp::Ne => "!=",
+            COp::Lt => "<",
+            COp::Le => "<=",
+            COp::Gt => ">",
+            COp::Ge => ">=",
+        }
+    }
+}
+
+/// Expressions. Side-effect free: calls are statements, not expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Literal.
+    Lit(i32),
+    /// Scalar local `xI`.
+    Local(usize),
+    /// Parameter `pI`.
+    Param(usize),
+    /// Loop counter `ivI` (read-only in bodies).
+    LoopVar(usize),
+    /// Global scalar `gI`.
+    Global(usize),
+    /// `arr[(e) & mask]`.
+    Index(ArrRef, Box<Expr>),
+    /// Unary op.
+    Un(UOp, Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BOp, Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(COp, Box<Expr>, Box<Expr>),
+    /// `&&` (true) / `||` (false); both operands are pure, so
+    /// short-circuiting is unobservable.
+    Logic(bool, Box<Expr>, Box<Expr>),
+}
+
+impl Prog {
+    /// The array length behind an [`ArrRef`], resolving pointers through
+    /// the given function's bindings.
+    pub fn arr_len(&self, f: &Func, r: ArrRef) -> u32 {
+        match r {
+            ArrRef::GlobalArr(i) => self.arrays[i],
+            ArrRef::LocalArr(i) => f.local_arrays[i],
+            ArrRef::Ptr(i) => match f.ptrs[i] {
+                PtrTarget::GlobalArr(g) => self.arrays[g],
+                PtrTarget::LocalArr(l) => f.local_arrays[l],
+            },
+        }
+    }
+
+    /// Renders the program as Mini-C source.
+    pub fn to_c(&self) -> String {
+        let mut s = String::new();
+        for (i, init) in self.globals.iter().enumerate() {
+            let _ = writeln!(s, "int g{i} = {};", cexpr_c(init));
+        }
+        for (i, len) in self.arrays.iter().enumerate() {
+            let _ = writeln!(s, "int ga{i}[{len}];");
+        }
+        if !self.globals.is_empty() || !self.arrays.is_empty() {
+            s.push('\n');
+        }
+        for (i, f) in self.funcs.iter().enumerate() {
+            self.func_c(&mut s, f, &format!("f{i}"));
+            s.push('\n');
+        }
+        self.func_c(&mut s, &self.main, "main");
+        s
+    }
+
+    fn func_c(&self, s: &mut String, f: &Func, name: &str) {
+        let params = if f.nparams == 0 {
+            "void".to_string()
+        } else {
+            (0..f.nparams).map(|i| format!("int p{i}")).collect::<Vec<_>>().join(", ")
+        };
+        let _ = writeln!(s, "int {name}({params}) {{");
+        for i in 0..f.nlocals {
+            let _ = writeln!(s, "    int x{i} = 0;");
+        }
+        for i in 0..f.nloopvars {
+            let _ = writeln!(s, "    int iv{i} = 0;");
+        }
+        for (i, len) in f.local_arrays.iter().enumerate() {
+            let _ = writeln!(s, "    int la{i}[{len}];");
+        }
+        for (i, t) in f.ptrs.iter().enumerate() {
+            let target = match t {
+                PtrTarget::GlobalArr(g) => format!("ga{g}"),
+                PtrTarget::LocalArr(l) => format!("la{l}"),
+            };
+            let _ = writeln!(s, "    int *ptr{i} = {target};");
+        }
+        // Zero-fill the local arrays (C locals are uninitialized). The
+        // fill loop borrows loop-counter slot conventions with a name the
+        // generator never touches.
+        if !f.local_arrays.is_empty() {
+            let _ = writeln!(s, "    int zi = 0;");
+            for (i, len) in f.local_arrays.iter().enumerate() {
+                let _ = writeln!(s, "    for (zi = 0; zi < {len}; zi++) la{i}[zi] = 0;");
+            }
+        }
+        for st in &f.body {
+            self.stmt_c(s, f, st, 1);
+        }
+        let _ = writeln!(s, "}}");
+    }
+
+    fn stmt_c(&self, s: &mut String, f: &Func, st: &Stmt, depth: usize) {
+        let pad = "    ".repeat(depth);
+        match st {
+            Stmt::Assign(lv, e) => {
+                let lhs = match lv {
+                    LValue::Local(i) => format!("x{i}"),
+                    LValue::Global(i) => format!("g{i}"),
+                    LValue::Index(r, idx) => self.index_c(f, *r, idx),
+                };
+                let _ = writeln!(s, "{pad}{lhs} = {};", self.expr_c(f, e));
+            }
+            Stmt::CallAssign(dst, func, args) => {
+                let a = args.iter().map(|e| self.expr_c(f, e)).collect::<Vec<_>>().join(", ");
+                let _ = writeln!(s, "{pad}x{dst} = f{func}({a});");
+            }
+            Stmt::If(c, t, e) => {
+                let _ = writeln!(s, "{pad}if ({}) {{", self.expr_c(f, c));
+                for st in t {
+                    self.stmt_c(s, f, st, depth + 1);
+                }
+                if e.is_empty() {
+                    let _ = writeln!(s, "{pad}}}");
+                } else {
+                    let _ = writeln!(s, "{pad}}} else {{");
+                    for st in e {
+                        self.stmt_c(s, f, st, depth + 1);
+                    }
+                    let _ = writeln!(s, "{pad}}}");
+                }
+            }
+            Stmt::For { var, count, body } => {
+                let _ = writeln!(s, "{pad}for (iv{var} = 0; iv{var} < {count}; iv{var}++) {{");
+                for st in body {
+                    self.stmt_c(s, f, st, depth + 1);
+                }
+                let _ = writeln!(s, "{pad}}}");
+            }
+            Stmt::While { var, count, body } => {
+                let _ = writeln!(s, "{pad}iv{var} = {count};");
+                let _ = writeln!(s, "{pad}while (iv{var} > 0) {{");
+                let _ = writeln!(s, "{pad}    iv{var} = iv{var} - 1;");
+                for st in body {
+                    self.stmt_c(s, f, st, depth + 1);
+                }
+                let _ = writeln!(s, "{pad}}}");
+            }
+            Stmt::Break => {
+                let _ = writeln!(s, "{pad}break;");
+            }
+            Stmt::Ret(e) => {
+                let _ = writeln!(s, "{pad}return {};", self.expr_c(f, e));
+            }
+        }
+    }
+
+    fn index_c(&self, f: &Func, r: ArrRef, idx: &Expr) -> String {
+        let name = match r {
+            ArrRef::GlobalArr(i) => format!("ga{i}"),
+            ArrRef::LocalArr(i) => format!("la{i}"),
+            ArrRef::Ptr(i) => format!("ptr{i}"),
+        };
+        let mask = self.arr_len(f, r) - 1;
+        format!("{name}[({}) & {mask}]", self.expr_c(f, idx))
+    }
+
+    fn expr_c(&self, f: &Func, e: &Expr) -> String {
+        match e {
+            Expr::Lit(v) => lit_c(*v),
+            Expr::Local(i) => format!("x{i}"),
+            Expr::Param(i) => format!("p{i}"),
+            Expr::LoopVar(i) => format!("iv{i}"),
+            Expr::Global(i) => format!("g{i}"),
+            Expr::Index(r, idx) => self.index_c(f, *r, idx),
+            Expr::Un(op, a) => {
+                let o = match op {
+                    UOp::Neg => "-",
+                    UOp::Not => "~",
+                    UOp::LNot => "!",
+                };
+                format!("{o}({})", self.expr_c(f, a))
+            }
+            Expr::Bin(op, a, b) => {
+                format!("({} {} {})", self.expr_c(f, a), op.c(), self.expr_c(f, b))
+            }
+            Expr::Cmp(op, a, b) => {
+                format!("({} {} {})", self.expr_c(f, a), op.c(), self.expr_c(f, b))
+            }
+            Expr::Logic(and, a, b) => {
+                let o = if *and { "&&" } else { "||" };
+                format!("({} {o} {})", self.expr_c(f, a), self.expr_c(f, b))
+            }
+        }
+    }
+}
+
+/// Renders a literal. `i32::MIN` has no negative-literal spelling in C
+/// (`-2147483648` is unary minus applied to an out-of-`int` constant), so
+/// it is printed as the canonical `(-2147483647 - 1)`.
+fn lit_c(v: i32) -> String {
+    if v == i32::MIN {
+        "(-2147483647 - 1)".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn cexpr_c(e: &CExpr) -> String {
+    match e {
+        CExpr::Lit(v) => lit_c(*v),
+        CExpr::Un(op, a) => format!("{op}({})", cexpr_c(a)),
+        CExpr::Bin(op, a, b) => format!("({} {op} {})", cexpr_c(a), cexpr_c(b)),
+    }
+}

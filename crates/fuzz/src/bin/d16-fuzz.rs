@@ -1,0 +1,178 @@
+//! Differential-fuzzing CLI.
+//!
+//! ```text
+//! d16-fuzz --seed 1 --count 500          # fixed-seed budget run
+//! d16-fuzz --seed 1 --count 1 --emit     # print the generated program
+//! d16-fuzz --replay crates/xtests/corpus # re-check committed reproducers
+//! ```
+//!
+//! Exit status: 0 when every oracle agreed, 1 on any divergence, 2 on
+//! usage or I/O errors.
+
+use d16_fuzz::{case_seed, oracle, run_case, CaseResult};
+use d16_testkit::Rng;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    count: u64,
+    emit: bool,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 1, count: 100, emit: false, replay: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                args.count = v.parse().map_err(|_| format!("bad count: {v}"))?;
+            }
+            "--emit" => args.emit = true,
+            "--replay" => {
+                args.replay = Some(it.next().ok_or("--replay needs a directory")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: d16-fuzz [--seed S] [--count N] [--emit] [--replay DIR]".to_string()
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dir) = &args.replay {
+        return replay(Path::new(dir));
+    }
+    budget_run(&args)
+}
+
+fn budget_run(args: &Args) -> ExitCode {
+    let grid = oracle::grid().len();
+    println!(
+        "d16-fuzz: seed {} count {} ({} target/opt combinations per case)",
+        args.seed, args.count, grid
+    );
+    let (mut ok, mut skipped) = (0u64, 0u64);
+    let mut failed = Vec::new();
+    for case in 0..args.count {
+        let seed = case_seed(args.seed, case);
+        if args.emit {
+            let mut rng = Rng::new(seed);
+            let prog = d16_fuzz::gen::program(&mut rng);
+            println!("// case {case} seed {seed:#x}");
+            println!("{}", prog.to_c());
+            continue;
+        }
+        match run_case(seed) {
+            CaseResult::Ok => ok += 1,
+            CaseResult::Skipped(why) => {
+                skipped += 1;
+                eprintln!("case {case}: skipped ({why})");
+            }
+            CaseResult::Failed { source, reference, divergence } => {
+                eprintln!("case {case} (seed {seed:#x}): DIVERGENCE {divergence}");
+                eprintln!("minimized reproducer (expect: {reference}):");
+                eprintln!("{source}");
+                failed.push(case);
+            }
+        }
+        if (case + 1) % 100 == 0 {
+            println!("  .. {}/{} cases", case + 1, args.count);
+        }
+    }
+    if args.emit {
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "d16-fuzz: {ok} ok, {skipped} skipped, {} diverged of {} cases",
+        failed.len(),
+        args.count
+    );
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!("failing cases: {failed:?}");
+        ExitCode::FAILURE
+    }
+}
+
+/// Re-checks every committed reproducer: each `.c` file in `dir` carries
+/// an `// expect: N` header giving its reference exit status; all targets
+/// and opt levels must produce exactly that value.
+fn replay(dir: &Path) -> ExitCode {
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect(),
+        Err(e) => {
+            eprintln!("d16-fuzz: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("d16-fuzz: no .c files in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut bad = 0usize;
+    for path in &entries {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("d16-fuzz: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let Some(expect) = expected_value(&src) else {
+            eprintln!("{}: missing `// expect: N` header", path.display());
+            bad += 1;
+            continue;
+        };
+        match oracle::check_source(&src, expect) {
+            oracle::Outcome::Ok => println!("{}: ok (expect {expect})", path.display()),
+            oracle::Outcome::TooLarge(why) => {
+                eprintln!("{}: did not fit: {why}", path.display());
+                bad += 1;
+            }
+            oracle::Outcome::Diverged(d) => {
+                eprintln!("{}: DIVERGENCE {d}", path.display());
+                bad += 1;
+            }
+        }
+    }
+    println!("d16-fuzz: replayed {} reproducers, {bad} failed", entries.len());
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses the `// expect: N` header of a corpus file.
+fn expected_value(src: &str) -> Option<i32> {
+    for line in src.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// expect:") {
+            return rest.trim().parse().ok();
+        }
+    }
+    None
+}

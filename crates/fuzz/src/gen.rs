@@ -1,0 +1,406 @@
+//! The whole-program generator.
+//!
+//! Grammar coverage: nested `if`/`while`/`for` (with guarded `break`),
+//! function calls of varying arity through an acyclic call graph, global
+//! and local arrays, pointers to array bases, and expression trees biased
+//! toward the div/rem/shift edge cases the machine contract defines
+//! (`d16_isa::sem`). Global scalars get constant-expression initializers,
+//! exercising the compiler's initializer folder against the same edges.
+//!
+//! Two budgets shape every program:
+//!
+//! * a **size** budget keeps any single straight-line block small enough
+//!   that D16's ±1 KiB conditional-branch reach is never exceeded, even
+//!   at `O0` where nothing is folded away;
+//! * a **cost** model bounds *dynamic* work: each statement is charged
+//!   its estimated execution count (enclosing loop trip counts multiply,
+//!   and a call site is charged its callee's whole cost), so a chain of
+//!   calls inside nested loops cannot compound into an unbounded run.
+
+use crate::ast::{ArrRef, BOp, CExpr, COp, Expr, Func, LValue, Prog, PtrTarget, Stmt, UOp};
+use d16_testkit::Rng;
+
+/// Interesting literals: shift-count and overflow edges, masks, and the
+/// boundaries of D16's immediate fields (5-bit ALU, 9-bit mvi).
+const EDGE: [i32; 18] = [
+    0,
+    1,
+    -1,
+    2,
+    3,
+    7,
+    15,
+    16,
+    31,
+    32,
+    33,
+    -31,
+    255,
+    256,
+    -256,
+    i32::MAX,
+    i32::MIN,
+    0x5555_5555u32 as i32,
+];
+
+/// Per-function cap on estimated dynamic statement executions.
+const FUNC_COST_CAP: u64 = 6_000;
+/// Cap for `main` (which additionally pays each callee's cost).
+const MAIN_COST_CAP: u64 = 30_000;
+
+/// Generates one random program from the given RNG state.
+pub fn program(rng: &mut Rng) -> Prog {
+    let nglobals = 1 + rng.below(4) as usize;
+    let narrays = 1 + rng.below(3) as usize;
+    let globals = (0..nglobals).map(|_| cexpr(rng, 3)).collect();
+    let arrays = (0..narrays).map(|_| 1u32 << (2 + rng.below(4))).collect();
+
+    let mut prog = Prog { globals, arrays, funcs: Vec::new(), main: empty_func(0) };
+    let nfuncs = 1 + rng.below(4) as usize;
+    let mut costs: Vec<u64> = Vec::new();
+    for i in 0..nfuncs {
+        let nparams = rng.below(4) as usize;
+        let (f, cost) = function(rng, &prog, &costs[..i], nparams, FUNC_COST_CAP);
+        prog.funcs.push(f);
+        costs.push(cost);
+    }
+    let (mut main, _) = function(rng, &prog, &costs, 0, MAIN_COST_CAP);
+    // Replace the trailing return with a checksum over the program's
+    // observable state, so a wrong value anywhere tends to reach the exit
+    // status.
+    main.body.pop();
+    let sum = checksum_expr(&prog, &main);
+    main.body.push(Stmt::Ret(sum));
+    prog.main = main;
+    prog
+}
+
+fn empty_func(nparams: usize) -> Func {
+    Func {
+        nparams,
+        nlocals: 1,
+        nloopvars: 0,
+        local_arrays: Vec::new(),
+        ptrs: Vec::new(),
+        body: vec![Stmt::Ret(Expr::Lit(0))],
+    }
+}
+
+/// A constant-expression tree for a global initializer.
+fn cexpr(rng: &mut Rng, depth: u32) -> CExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return CExpr::Lit(lit(rng));
+    }
+    match rng.below(12) {
+        0 => CExpr::Un("-", Box::new(cexpr(rng, depth - 1))),
+        1 => CExpr::Un("~", Box::new(cexpr(rng, depth - 1))),
+        n => {
+            let op = ["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"][(n - 2) as usize];
+            CExpr::Bin(op, Box::new(cexpr(rng, depth - 1)), Box::new(cexpr(rng, depth - 1)))
+        }
+    }
+}
+
+fn lit(rng: &mut Rng) -> i32 {
+    match rng.below(4) {
+        0 => *rng.pick(&EDGE),
+        1 => rng.range_i32(-16, 17),
+        2 => rng.range_i32(-1024, 1025),
+        _ => rng.next_u32() as i32,
+    }
+}
+
+/// Everything the statement/expression generators need to know about the
+/// function under construction.
+struct Ctx<'a> {
+    prog: &'a Prog,
+    callee_costs: &'a [u64],
+    nparams: usize,
+    nlocals: usize,
+    local_arrays: Vec<u32>,
+    ptrs: Vec<PtrTarget>,
+    /// Loop counters allocated so far; each loop takes a fresh one.
+    nloopvars: usize,
+    /// Loop counters of the loops currently enclosing the generation
+    /// point (readable in expressions).
+    live_loopvars: Vec<usize>,
+    /// Estimated dynamic cost spent so far.
+    cost: u64,
+    cost_cap: u64,
+}
+
+/// Generates a function body. `callee_costs` lists the cost of every
+/// callable function (lower-indexed ones); an empty slice means no calls.
+fn function(
+    rng: &mut Rng,
+    prog: &Prog,
+    callee_costs: &[u64],
+    nparams: usize,
+    cost_cap: u64,
+) -> (Func, u64) {
+    let nlocals = 2 + rng.below(4) as usize;
+    let local_arrays: Vec<u32> = (0..rng.below(3)).map(|_| 1u32 << (2 + rng.below(3))).collect();
+    let mut ptrs = Vec::new();
+    for _ in 0..rng.below(3) {
+        ptrs.push(if !local_arrays.is_empty() && rng.bool() {
+            PtrTarget::LocalArr(rng.below(local_arrays.len() as u32) as usize)
+        } else {
+            PtrTarget::GlobalArr(rng.below(prog.arrays.len() as u32) as usize)
+        });
+    }
+    let mut cx = Ctx {
+        prog,
+        callee_costs,
+        nparams,
+        nlocals,
+        local_arrays,
+        ptrs,
+        nloopvars: 0,
+        live_loopvars: Vec::new(),
+        cost: 0,
+        cost_cap,
+    };
+    let nstmts = 2 + rng.below(6) as usize;
+    let mut body = block(rng, &mut cx, nstmts, 0, 1);
+    body.push(Stmt::Ret(expr(rng, &mut cx, 3)));
+    let f = Func {
+        nparams,
+        nlocals: cx.nlocals,
+        nloopvars: cx.nloopvars,
+        local_arrays: cx.local_arrays.clone(),
+        ptrs: cx.ptrs.clone(),
+        body,
+    };
+    (f, cx.cost.max(1))
+}
+
+/// Generates a statement block. `mult` is the product of enclosing loop
+/// trip counts (for cost accounting); `depth` the structural nesting
+/// depth (capped so straight-line spans stay within D16 branch reach).
+fn block(rng: &mut Rng, cx: &mut Ctx, nstmts: usize, depth: u32, mult: u64) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for _ in 0..nstmts {
+        if cx.cost >= cx.cost_cap {
+            break;
+        }
+        if let Some(st) = stmt(rng, cx, depth, mult) {
+            out.push(st);
+        }
+    }
+    out
+}
+
+fn stmt(rng: &mut Rng, cx: &mut Ctx, depth: u32, mult: u64) -> Option<Stmt> {
+    let in_loop = !cx.live_loopvars.is_empty();
+    let roll = rng.below(10);
+    match roll {
+        // Plain assignment to a scalar or an array/pointer element.
+        0..=3 => {
+            cx.cost += mult;
+            let e = expr(rng, cx, 3);
+            Some(Stmt::Assign(lvalue(rng, cx), e))
+        }
+        // Call (only if there is something to call and budget remains).
+        4 => {
+            if cx.callee_costs.is_empty() {
+                cx.cost += mult;
+                let e = expr(rng, cx, 3);
+                return Some(Stmt::Assign(lvalue(rng, cx), e));
+            }
+            let idx = rng.below(cx.callee_costs.len() as u32) as usize;
+            let callee_cost = cx.callee_costs[idx];
+            if cx.cost + mult * (callee_cost + 1) > cx.cost_cap {
+                cx.cost += mult;
+                let e = expr(rng, cx, 2);
+                return Some(Stmt::Assign(lvalue(rng, cx), e));
+            }
+            cx.cost += mult * (callee_cost + 1);
+            let arity = cx.prog.funcs[idx].nparams;
+            let args = (0..arity).map(|_| expr(rng, cx, 2)).collect();
+            let dst = rng.below(cx.nlocals as u32) as usize;
+            Some(Stmt::CallAssign(dst, idx, args))
+        }
+        // If / if-else.
+        5 | 6 => {
+            cx.cost += mult;
+            if depth >= 3 {
+                let e = expr(rng, cx, 3);
+                return Some(Stmt::Assign(lvalue(rng, cx), e));
+            }
+            let c = expr(rng, cx, 3);
+            let tn = sub_len(rng, depth);
+            let t = block(rng, cx, tn, depth + 1, mult);
+            let e = if rng.bool() {
+                let en = sub_len(rng, depth);
+                block(rng, cx, en, depth + 1, mult)
+            } else {
+                Vec::new()
+            };
+            Some(Stmt::If(c, t, e))
+        }
+        // Loops. Capped at two levels of loop nesting: the loop's
+        // back-branch spans its whole body, and D16's `br` reaches only
+        // ±1 KiB — deeper nests routinely blow that at O0.
+        7 | 8 => {
+            if depth >= 2 {
+                cx.cost += mult;
+                let e = expr(rng, cx, 3);
+                return Some(Stmt::Assign(lvalue(rng, cx), e));
+            }
+            let count = 1 + rng.below(8) as i32;
+            let var = cx.nloopvars;
+            cx.nloopvars += 1;
+            cx.cost += mult; // loop setup
+            cx.live_loopvars.push(var);
+            let bn = sub_len(rng, depth);
+            let body = block(rng, cx, bn, depth + 1, mult * count as u64);
+            cx.live_loopvars.pop();
+            Some(if roll == 7 {
+                Stmt::For { var, count, body }
+            } else {
+                Stmt::While { var, count, body }
+            })
+        }
+        // Guarded break (loops only; otherwise another assignment).
+        _ => {
+            cx.cost += mult;
+            if in_loop && depth < 4 {
+                let c = expr(rng, cx, 2);
+                Some(Stmt::If(c, vec![Stmt::Break], Vec::new()))
+            } else {
+                let e = expr(rng, cx, 3);
+                Some(Stmt::Assign(lvalue(rng, cx), e))
+            }
+        }
+    }
+}
+
+/// Statements in a nested block: shrinks with depth so the code span a
+/// loop back-branch or `if` skip must cross stays inside D16 reach.
+fn sub_len(rng: &mut Rng, depth: u32) -> usize {
+    if depth == 0 {
+        1 + rng.below(3) as usize
+    } else {
+        1 + rng.below(2) as usize
+    }
+}
+
+fn lvalue(rng: &mut Rng, cx: &mut Ctx) -> LValue {
+    match rng.below(5) {
+        0 | 1 => LValue::Local(rng.below(cx.nlocals as u32) as usize),
+        2 => LValue::Global(rng.below(cx.prog.globals.len() as u32) as usize),
+        _ => match arr_ref(rng, cx) {
+            Some(r) => LValue::Index(r, expr(rng, cx, 2)),
+            None => LValue::Local(rng.below(cx.nlocals as u32) as usize),
+        },
+    }
+}
+
+fn arr_ref(rng: &mut Rng, cx: &Ctx) -> Option<ArrRef> {
+    let mut choices = Vec::new();
+    for i in 0..cx.prog.arrays.len() {
+        choices.push(ArrRef::GlobalArr(i));
+    }
+    for i in 0..cx.local_arrays.len() {
+        choices.push(ArrRef::LocalArr(i));
+    }
+    for i in 0..cx.ptrs.len() {
+        choices.push(ArrRef::Ptr(i));
+    }
+    if choices.is_empty() {
+        None
+    } else {
+        Some(*rng.pick(&choices))
+    }
+}
+
+fn expr(rng: &mut Rng, cx: &mut Ctx, depth: u32) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        return leaf(rng, cx);
+    }
+    match rng.below(16) {
+        0 => Expr::Un(UOp::Neg, Box::new(expr(rng, cx, depth - 1))),
+        1 => Expr::Un(UOp::Not, Box::new(expr(rng, cx, depth - 1))),
+        2 => Expr::Un(UOp::LNot, Box::new(expr(rng, cx, depth - 1))),
+        3 => Expr::Cmp(
+            *rng.pick(&[COp::Eq, COp::Ne, COp::Lt, COp::Le, COp::Gt, COp::Ge]),
+            Box::new(expr(rng, cx, depth - 1)),
+            Box::new(expr(rng, cx, depth - 1)),
+        ),
+        4 => Expr::Logic(
+            rng.bool(),
+            Box::new(expr(rng, cx, depth - 1)),
+            Box::new(expr(rng, cx, depth - 1)),
+        ),
+        n => {
+            // Bias toward the operators with interesting edge semantics.
+            let op = [
+                BOp::Add,
+                BOp::Sub,
+                BOp::Mul,
+                BOp::Div,
+                BOp::Rem,
+                BOp::Shl,
+                BOp::Sar,
+                BOp::Div,
+                BOp::Shl,
+                BOp::And,
+                BOp::Or,
+            ][(n - 5) as usize];
+            Expr::Bin(op, Box::new(expr(rng, cx, depth - 1)), Box::new(expr(rng, cx, depth - 1)))
+        }
+    }
+}
+
+fn leaf(rng: &mut Rng, cx: &mut Ctx) -> Expr {
+    for _ in 0..4 {
+        match rng.below(7) {
+            0 => return Expr::Lit(lit(rng)),
+            1 => return Expr::Local(rng.below(cx.nlocals as u32) as usize),
+            2 if cx.nparams > 0 => return Expr::Param(rng.below(cx.nparams as u32) as usize),
+            3 => return Expr::Global(rng.below(cx.prog.globals.len() as u32) as usize),
+            4 if !cx.live_loopvars.is_empty() => {
+                let i = rng.below(cx.live_loopvars.len() as u32) as usize;
+                return Expr::LoopVar(cx.live_loopvars[i]);
+            }
+            5 => {
+                if let Some(r) = arr_ref(rng, cx) {
+                    let idx = if rng.bool() {
+                        Expr::Lit(rng.range_i32(0, 16))
+                    } else {
+                        Expr::Local(rng.below(cx.nlocals as u32) as usize)
+                    };
+                    return Expr::Index(r, Box::new(idx));
+                }
+            }
+            _ => return Expr::Lit(rng.range_i32(-8, 9)),
+        }
+    }
+    Expr::Lit(1)
+}
+
+/// A checksum expression folding the observable program state: every
+/// global scalar, three probes into every global array, and the scalar
+/// locals of `main`.
+fn checksum_expr(prog: &Prog, main: &Func) -> Expr {
+    let mut acc = Expr::Lit(0);
+    let mix = |a: Expr, e: Expr| {
+        Expr::Bin(
+            BOp::Add,
+            Box::new(Expr::Bin(BOp::Mul, Box::new(a), Box::new(Expr::Lit(31)))),
+            Box::new(e),
+        )
+    };
+    for i in 0..prog.globals.len() {
+        acc = mix(acc, Expr::Global(i));
+    }
+    for (i, len) in prog.arrays.iter().enumerate() {
+        for probe in [0i32, (len / 2) as i32, (len - 1) as i32] {
+            acc = mix(acc, Expr::Index(ArrRef::GlobalArr(i), Box::new(Expr::Lit(probe))));
+        }
+    }
+    for i in 0..main.nlocals {
+        acc = mix(acc, Expr::Local(i));
+    }
+    acc
+}

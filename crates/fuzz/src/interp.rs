@@ -1,0 +1,280 @@
+//! The reference interpreter: executes a generated [`Prog`] directly on
+//! the AST with the machine's documented semantics ([`d16_isa::sem`]).
+//!
+//! This is oracle #1 of the differential harness. It shares *no* code
+//! with the compiler's constant folder or the simulator's ALU beyond the
+//! one normative `sem` module, so a divergence between interpreter and
+//! machine is a genuine disagreement about program meaning, not a shared
+//! bug. Fuel-limited as a backstop, although generated programs terminate
+//! by construction.
+
+use crate::ast::{ArrRef, BOp, CExpr, COp, Expr, Func, LValue, Prog, PtrTarget, Stmt, UOp};
+use d16_isa::sem;
+
+/// Abstract-step budget: generated programs stay far below this (the
+/// generator's cost model caps dynamic work), so exhaustion indicates a
+/// generator bug rather than a long-running program.
+pub const FUEL: u64 = 20_000_000;
+
+/// Why interpretation stopped without a value.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// The fuel budget ran out.
+    OutOfFuel,
+}
+
+struct Frame {
+    params: Vec<i32>,
+    locals: Vec<i32>,
+    loopvars: Vec<i32>,
+    arrays: Vec<Vec<i32>>,
+}
+
+enum Flow {
+    Normal,
+    Broke,
+    Returned(i32),
+}
+
+struct Interp<'a> {
+    prog: &'a Prog,
+    globals: Vec<i32>,
+    garrays: Vec<Vec<i32>>,
+    fuel: u64,
+}
+
+/// Runs a program and returns `main`'s value — the machine exit status.
+///
+/// # Errors
+///
+/// [`InterpError::OutOfFuel`] if the step budget is exhausted.
+pub fn run(prog: &Prog) -> Result<i32, InterpError> {
+    let globals = prog.globals.iter().map(eval_cexpr).collect();
+    let garrays = prog.arrays.iter().map(|&len| vec![0i32; len as usize]).collect();
+    let mut it = Interp { prog, globals, garrays, fuel: FUEL };
+    match it.call(&prog.main, Vec::new())? {
+        Flow::Returned(v) => Ok(v),
+        // A function body always ends in `Ret`, but a shrunk program may
+        // have lost it; fall back to 0 like a C `main` without a return.
+        _ => Ok(0),
+    }
+}
+
+/// Evaluates a constant initializer — the reference for what the
+/// compiler's global-initializer folder must produce.
+pub fn eval_cexpr(e: &CExpr) -> i32 {
+    match e {
+        CExpr::Lit(v) => *v,
+        CExpr::Un("-", a) => sem::sub(0, eval_cexpr(a)),
+        CExpr::Un(_, a) => !eval_cexpr(a),
+        CExpr::Bin(op, a, b) => {
+            let (a, b) = (eval_cexpr(a), eval_cexpr(b));
+            match *op {
+                "+" => sem::add(a, b),
+                "-" => sem::sub(a, b),
+                "*" => sem::mul(a, b),
+                "/" => sem::div(a, b),
+                "%" => sem::rem(a, b),
+                "<<" => sem::shl(a, b),
+                ">>" => sem::sar(a, b),
+                "&" => a & b,
+                "|" => a | b,
+                _ => a ^ b,
+            }
+        }
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn call(&mut self, f: &'a Func, params: Vec<i32>) -> Result<Flow, InterpError> {
+        let mut frame = Frame {
+            params,
+            locals: vec![0; f.nlocals],
+            loopvars: vec![0; f.nloopvars],
+            arrays: f.local_arrays.iter().map(|&len| vec![0i32; len as usize]).collect(),
+        };
+        self.exec_block(f, &mut frame, &f.body)
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        if self.fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        f: &'a Func,
+        fr: &mut Frame,
+        stmts: &'a [Stmt],
+    ) -> Result<Flow, InterpError> {
+        for st in stmts {
+            match self.exec(f, fr, st)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, f: &'a Func, fr: &mut Frame, st: &'a Stmt) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match st {
+            Stmt::Assign(lv, e) => {
+                let v = self.eval(f, fr, e)?;
+                match lv {
+                    LValue::Local(i) => fr.locals[*i] = v,
+                    LValue::Global(i) => self.globals[*i] = v,
+                    LValue::Index(r, idx) => {
+                        let i = self.index(f, fr, *r, idx)?;
+                        *self.slot(f, fr, *r, i) = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::CallAssign(dst, func, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(f, fr, a)?);
+                }
+                let callee = &self.prog.funcs[*func];
+                let v = match self.call(callee, vals)? {
+                    Flow::Returned(v) => v,
+                    _ => 0,
+                };
+                fr.locals[*dst] = v;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, t, e) => {
+                if self.eval(f, fr, c)? != 0 {
+                    self.exec_block(f, fr, t)
+                } else {
+                    self.exec_block(f, fr, e)
+                }
+            }
+            Stmt::For { var, count, body } => {
+                fr.loopvars[*var] = 0;
+                while fr.loopvars[*var] < *count {
+                    self.tick()?;
+                    match self.exec_block(f, fr, body)? {
+                        Flow::Normal => {}
+                        Flow::Broke => break,
+                        ret @ Flow::Returned(_) => return Ok(ret),
+                    }
+                    fr.loopvars[*var] += 1;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { var, count, body } => {
+                fr.loopvars[*var] = *count;
+                while fr.loopvars[*var] > 0 {
+                    self.tick()?;
+                    fr.loopvars[*var] -= 1;
+                    match self.exec_block(f, fr, body)? {
+                        Flow::Normal => {}
+                        Flow::Broke => break,
+                        ret @ Flow::Returned(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Broke),
+            Stmt::Ret(e) => {
+                let v = self.eval(f, fr, e)?;
+                Ok(Flow::Returned(v))
+            }
+        }
+    }
+
+    /// The masked element index for an access.
+    fn index(
+        &mut self,
+        f: &'a Func,
+        fr: &mut Frame,
+        r: ArrRef,
+        idx: &'a Expr,
+    ) -> Result<usize, InterpError> {
+        let mask = (self.prog.arr_len(f, r) - 1) as i32;
+        Ok((self.eval(f, fr, idx)? & mask) as usize)
+    }
+
+    fn slot<'b>(&'b mut self, f: &Func, fr: &'b mut Frame, r: ArrRef, i: usize) -> &'b mut i32 {
+        match r {
+            ArrRef::GlobalArr(g) => &mut self.garrays[g][i],
+            ArrRef::LocalArr(l) => &mut fr.arrays[l][i],
+            ArrRef::Ptr(p) => match f.ptrs[p] {
+                PtrTarget::GlobalArr(g) => &mut self.garrays[g][i],
+                PtrTarget::LocalArr(l) => &mut fr.arrays[l][i],
+            },
+        }
+    }
+
+    fn eval(&mut self, f: &'a Func, fr: &mut Frame, e: &'a Expr) -> Result<i32, InterpError> {
+        self.tick()?;
+        Ok(match e {
+            Expr::Lit(v) => *v,
+            Expr::Local(i) => fr.locals[*i],
+            Expr::Param(i) => fr.params[*i],
+            Expr::LoopVar(i) => fr.loopvars[*i],
+            Expr::Global(i) => self.globals[*i],
+            Expr::Index(r, idx) => {
+                let i = self.index(f, fr, *r, idx)?;
+                *self.slot(f, fr, *r, i)
+            }
+            Expr::Un(op, a) => {
+                let a = self.eval(f, fr, a)?;
+                match op {
+                    UOp::Neg => sem::sub(0, a),
+                    UOp::Not => !a,
+                    UOp::LNot => i32::from(a == 0),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(f, fr, a)?;
+                let b = self.eval(f, fr, b)?;
+                match op {
+                    BOp::Add => sem::add(a, b),
+                    BOp::Sub => sem::sub(a, b),
+                    BOp::Mul => sem::mul(a, b),
+                    BOp::Div => sem::div(a, b),
+                    BOp::Rem => sem::rem(a, b),
+                    BOp::Shl => sem::shl(a, b),
+                    BOp::Sar => sem::sar(a, b),
+                    BOp::And => a & b,
+                    BOp::Or => a | b,
+                    BOp::Xor => a ^ b,
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let a = self.eval(f, fr, a)?;
+                let b = self.eval(f, fr, b)?;
+                i32::from(match op {
+                    COp::Eq => a == b,
+                    COp::Ne => a != b,
+                    COp::Lt => a < b,
+                    COp::Le => a <= b,
+                    COp::Gt => a > b,
+                    COp::Ge => a >= b,
+                })
+            }
+            Expr::Logic(and, a, b) => {
+                // Short-circuit like C; operands are pure, so this only
+                // matters for fuel accounting.
+                let a = self.eval(f, fr, a)?;
+                if *and {
+                    if a == 0 {
+                        0
+                    } else {
+                        i32::from(self.eval(f, fr, b)? != 0)
+                    }
+                } else if a != 0 {
+                    1
+                } else {
+                    i32::from(self.eval(f, fr, b)? != 0)
+                }
+            }
+        })
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-ISA differential fuzzer for the d16 toolchain.
+//!
+//! Generates whole Mini-C programs ([`gen`]), computes a reference value
+//! with an AST interpreter built on the normative [`d16_isa::sem`]
+//! contract ([`interp`]), and checks three oracles on every target ×
+//! opt-level combination ([`oracle`]): reference agreement, cross-target
+//! agreement, and instruction-encoding round-trip. Failures are
+//! auto-minimized by a delta-reducing shrinker ([`shrink`]) into small
+//! `.c` reproducers suitable for committing to `crates/xtests/corpus/`.
+//!
+//! Determinism: everything is keyed off a single `u64` seed. Case `i` of
+//! a budget run uses [`case_seed`]`(seed, i)`, so any failing case can be
+//! re-run in isolation.
+
+pub mod ast;
+pub mod gen;
+pub mod interp;
+pub mod oracle;
+pub mod shrink;
+
+use d16_testkit::Rng;
+
+/// The seed for case `case` of a budget run started from `seed`.
+///
+/// SplitMix64-style finalizer so consecutive cases get decorrelated
+/// streams.
+#[must_use]
+pub fn case_seed(seed: u64, case: u64) -> u64 {
+    let mut z = seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The result of one fuzz case.
+#[derive(Clone, Debug)]
+pub enum CaseResult {
+    /// All oracles agreed.
+    Ok,
+    /// The program tripped a static size limit or the interpreter fuel
+    /// cap; skipped, not a failure.
+    Skipped(String),
+    /// An oracle violation, with the minimized reproducer.
+    Failed {
+        /// The minimized source.
+        source: String,
+        /// The interpreter's value for the minimized source.
+        reference: i32,
+        /// The divergence on the minimized source.
+        divergence: oracle::Divergence,
+    },
+}
+
+/// Generates, checks, and (on failure) minimizes one case.
+#[must_use]
+pub fn run_case(seed: u64) -> CaseResult {
+    let mut rng = Rng::new(seed);
+    let prog = gen::program(&mut rng);
+    match oracle::check(&prog) {
+        oracle::Outcome::Ok => CaseResult::Ok,
+        oracle::Outcome::TooLarge(why) => CaseResult::Skipped(why),
+        oracle::Outcome::Diverged(_) => {
+            let small = shrink::minimize(prog);
+            let reference = interp::run(&small).unwrap_or(0);
+            let divergence = match oracle::check(&small) {
+                oracle::Outcome::Diverged(d) => *d,
+                // The shrinker only accepts divergent candidates, so the
+                // final program must still diverge; defend anyway.
+                _ => oracle::Divergence::Build {
+                    target: "?".into(),
+                    opt: d16_cc::OptLevel::O2,
+                    error: "shrinker lost the divergence".into(),
+                },
+            };
+            CaseResult::Failed { source: small.to_c(), reference, divergence }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_decorrelated() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        let c = case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, case_seed(1, 0));
+    }
+
+    #[test]
+    fn generator_interpreter_and_targets_agree_on_a_smoke_batch() {
+        let mut failures = Vec::new();
+        for case in 0..12 {
+            match run_case(case_seed(0xd16f_u64, case)) {
+                CaseResult::Ok | CaseResult::Skipped(_) => {}
+                CaseResult::Failed { source, divergence, .. } => {
+                    failures.push(format!("case {case}: {divergence}\n{source}"));
+                }
+            }
+        }
+        assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn shrinker_keeps_a_healthy_program_intact() {
+        // minimize() only accepts candidates that still diverge; on a
+        // correct program no candidate is ever kept, so it must return
+        // the input unchanged (and terminate).
+        use ast::{CExpr, Expr, Func, LValue, Prog, Stmt};
+        let prog = Prog {
+            globals: vec![CExpr::Lit(3)],
+            arrays: vec![4],
+            funcs: Vec::new(),
+            main: Func {
+                nparams: 0,
+                nlocals: 1,
+                nloopvars: 1,
+                local_arrays: Vec::new(),
+                ptrs: Vec::new(),
+                body: vec![
+                    Stmt::For {
+                        var: 0,
+                        count: 3,
+                        body: vec![Stmt::Assign(
+                            LValue::Local(0),
+                            Expr::Bin(
+                                ast::BOp::Add,
+                                Box::new(Expr::Local(0)),
+                                Box::new(Expr::LoopVar(0)),
+                            ),
+                        )],
+                    },
+                    Stmt::Ret(Expr::Bin(
+                        ast::BOp::Add,
+                        Box::new(Expr::Local(0)),
+                        Box::new(Expr::Global(0)),
+                    )),
+                ],
+            },
+        };
+        assert_eq!(interp::run(&prog), Ok(6));
+        let small = shrink::minimize(prog.clone());
+        assert_eq!(small.to_c(), prog.to_c());
+    }
+}

@@ -1,0 +1,211 @@
+//! The differential oracles.
+//!
+//! For each program, three independent checks:
+//!
+//! 1. **Reference agreement** — the exit status on every target at every
+//!    opt level must equal the reference interpreter's value.
+//! 2. **Cross-target agreement** — implied by (1), but reported
+//!    distinctly: two targets disagreeing with each other is a stronger
+//!    signal than both disagreeing with the interpreter (which could be
+//!    an interpreter bug).
+//! 3. **Encoding round-trip** — every instruction word in every compiled
+//!    image must decode and re-encode byte-identically (D16) or to a
+//!    stable canonical form (DLXe). This re-checks the exhaustive
+//!    `isa`-level property on exactly the words real codegen emits.
+
+use crate::ast::Prog;
+use crate::interp;
+use d16_cc::{compile_to_image_with, BuildError, OptLevel, TargetSpec};
+use d16_sim::{Machine, NullSink, StopReason};
+
+/// Simulator fuel per run — orders of magnitude above what the
+/// generator's cost model permits, so exhaustion means a codegen bug that
+/// turned a terminating program into a non-terminating one.
+pub const SIM_FUEL: u64 = 100_000_000;
+
+/// The targets × opt levels every program runs on.
+pub fn grid() -> Vec<(TargetSpec, OptLevel)> {
+    let mut g = Vec::new();
+    for spec in d16_core::standard_specs() {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            g.push((spec.clone(), opt));
+        }
+    }
+    g
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug)]
+pub enum Divergence {
+    /// A target's exit status disagrees with the reference interpreter.
+    WrongValue {
+        /// Target label.
+        target: String,
+        /// Opt level.
+        opt: OptLevel,
+        /// What the machine returned.
+        got: i32,
+        /// What the interpreter computed.
+        want: i32,
+    },
+    /// The program failed to compile on one target (the generator only
+    /// emits valid Mini-C, so this is a compiler defect).
+    Build {
+        /// Target label.
+        target: String,
+        /// Opt level.
+        opt: OptLevel,
+        /// The error rendered.
+        error: String,
+    },
+    /// The machine did not halt (ran out of fuel or trapped).
+    BadStop {
+        /// Target label.
+        target: String,
+        /// Opt level.
+        opt: OptLevel,
+        /// Description of the stop.
+        stop: String,
+    },
+    /// An instruction word in the compiled image failed the
+    /// decode/re-encode round-trip.
+    Encoding {
+        /// Target label.
+        target: String,
+        /// Opt level.
+        opt: OptLevel,
+        /// Byte offset in the text segment.
+        offset: usize,
+        /// Description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::WrongValue { target, opt, got, want } => {
+                write!(f, "[{target} {opt:?}] exit {got}, reference {want}")
+            }
+            Divergence::Build { target, opt, error } => {
+                write!(f, "[{target} {opt:?}] build failed: {error}")
+            }
+            Divergence::BadStop { target, opt, stop } => {
+                write!(f, "[{target} {opt:?}] did not halt: {stop}")
+            }
+            Divergence::Encoding { target, opt, offset, detail } => {
+                write!(f, "[{target} {opt:?}] encoding roundtrip at text+{offset:#x}: {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of checking one program.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// All oracles agree everywhere.
+    Ok,
+    /// The program exceeded a static encoding limit (branch reach,
+    /// literal-pool displacement) the compiler does not relax; not a
+    /// correctness bug. The generator's budgets make this rare.
+    TooLarge(String),
+    /// An oracle violation, with the source that triggered it.
+    Diverged(Box<Divergence>),
+}
+
+/// Runs all oracles on a program's source text against a reference value.
+pub fn check_source(src: &str, reference: i32) -> Outcome {
+    for (spec, opt) in grid() {
+        let image = match compile_to_image_with(&[src], &spec, opt) {
+            Ok(i) => i,
+            Err(BuildError::Assemble(e, _)) if is_size_limit(&e.to_string()) => {
+                return Outcome::TooLarge(e.to_string());
+            }
+            Err(e) => {
+                return Outcome::Diverged(Box::new(Divergence::Build {
+                    target: spec.label(),
+                    opt,
+                    error: e.to_string(),
+                }));
+            }
+        };
+        if let Some(d) = encoding_roundtrip(&spec, opt, &image.text) {
+            return Outcome::Diverged(Box::new(d));
+        }
+        let mut m = Machine::load(&image);
+        match m.run(SIM_FUEL, &mut NullSink) {
+            Ok(StopReason::Halted(v)) => {
+                if v != reference {
+                    return Outcome::Diverged(Box::new(Divergence::WrongValue {
+                        target: spec.label(),
+                        opt,
+                        got: v,
+                        want: reference,
+                    }));
+                }
+            }
+            Ok(other) => {
+                return Outcome::Diverged(Box::new(Divergence::BadStop {
+                    target: spec.label(),
+                    opt,
+                    stop: format!("{other:?}"),
+                }));
+            }
+            Err(e) => {
+                return Outcome::Diverged(Box::new(Divergence::BadStop {
+                    target: spec.label(),
+                    opt,
+                    stop: format!("simulator error: {e} at pc {:#x}", m.pc()),
+                }));
+            }
+        }
+    }
+    Outcome::Ok
+}
+
+/// Runs all oracles on a generated program, using the interpreter for the
+/// reference value.
+pub fn check(prog: &Prog) -> Outcome {
+    let reference = match interp::run(prog) {
+        Ok(v) => v,
+        // Fuel exhaustion means the generator's cost model failed, not a
+        // compiler bug; treat like an oversized program.
+        Err(e) => return Outcome::TooLarge(format!("interpreter: {e:?}")),
+    };
+    check_source(&prog.to_c(), reference)
+}
+
+/// Whether an assembler diagnostic is a static size/reach limit rather
+/// than a correctness failure.
+fn is_size_limit(msg: &str) -> bool {
+    msg.contains("out of range") || msg.contains("does not fit")
+}
+
+/// Decode/re-encode every word of a DLXe text segment. D16 images are
+/// skipped here: their text interleaves literal-pool *data* words with
+/// instructions (`ldc` is PC-relative into text), which cannot be told
+/// apart without layout metadata — the D16 word space is instead covered
+/// completely by the exhaustive `isa`/`asm` tests. DLXe materializes
+/// constants with `mvhi`/`ori`, so its text is pure instructions.
+fn encoding_roundtrip(spec: &TargetSpec, opt: OptLevel, text: &[u8]) -> Option<Divergence> {
+    use d16_isa::{dlxe, Isa};
+    if spec.isa != Isa::Dlxe {
+        return None;
+    }
+    for (k, ch) in text.chunks_exact(4).enumerate() {
+        let w = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+        let detail = match dlxe::decode(w) {
+            Ok(insn) => match dlxe::encode(&insn) {
+                // Codegen emits canonical words, so byte identity holds
+                // on real output even though the DLXe decoder accepts
+                // redundant shapes.
+                Ok(w2) if w2 == w => continue,
+                Ok(w2) => format!("{w:#010x} -> {insn:?} -> {w2:#010x}"),
+                Err(e) => format!("{w:#010x} -> {insn:?} re-encode failed: {e}"),
+            },
+            Err(e) => format!("emitted word {w:#010x} does not decode: {e}"),
+        };
+        return Some(Divergence::Encoding { target: spec.label(), opt, offset: k * 4, detail });
+    }
+    None
+}

@@ -1,0 +1,485 @@
+//! The delta-reducing shrinker.
+//!
+//! Greedy structural reduction to a fixpoint: repeatedly propose a
+//! simpler program and keep it iff the oracle still reports a divergence
+//! (any divergence — a minimized reproducer that surfaces a *different*
+//! bug is just as valuable). Passes, in order of coarseness:
+//!
+//! 1. drop whole helper functions (rewriting their call sites to `x = 0;`)
+//! 2. drop statements, one at a time, innermost blocks last
+//! 3. replace loop statements with their bodies (run once)
+//! 4. simplify expressions: replace by a subexpression or a literal
+//! 5. simplify global initializers to plain literals; drop globals/arrays
+//!    is left to pass 1's call-site rewriting plus dead-code neutrality —
+//!    unreferenced declarations are harmless in a reproducer
+//! 6. shrink literals toward zero
+//!
+//! Every accepted candidate strictly reduces a size metric, so the loop
+//! terminates; a step budget bounds the worst case anyway.
+
+use crate::ast::{CExpr, Expr, LValue, Prog, Stmt};
+use crate::oracle::{check, Outcome};
+
+/// Upper bound on oracle evaluations during minimization.
+const BUDGET: usize = 3_000;
+
+/// Minimizes `prog` while `check` keeps reporting a divergence. Returns
+/// the smallest divergent program found.
+pub fn minimize(mut prog: Prog) -> Prog {
+    let mut budget = BUDGET;
+    let still_bad = |p: &Prog, budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        matches!(check(p), Outcome::Diverged(_))
+    };
+
+    loop {
+        let before = size(&prog);
+
+        // Pass 1: drop helper functions (highest index first, so callers
+        // of dropped functions are themselves candidates next round).
+        for i in (0..prog.funcs.len()).rev() {
+            let mut cand = prog.clone();
+            cand.funcs.remove(i);
+            for f in cand.funcs.iter_mut().skip(i).chain(std::iter::once(&mut cand.main)) {
+                retarget_calls(&mut f.body, i);
+            }
+            // Calls into the removed function from lower-indexed helpers
+            // cannot exist (acyclic by construction), but their indices
+            // are unchanged; only higher ones shifted down.
+            if still_bad(&cand, &mut budget) {
+                prog = cand;
+            }
+        }
+
+        // Pass 2 + 3: statement-level reduction per function.
+        for fi in 0..=prog.funcs.len() {
+            loop {
+                let body = body_of(&prog, fi).clone();
+                let mut improved = false;
+                let mut paths = Vec::new();
+                collect_stmt_paths(&body, &mut Vec::new(), &mut paths);
+                // Longest (innermost) paths first: removing a leaf keeps
+                // outer structure valid.
+                paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+                for path in paths {
+                    let mut cand = prog.clone();
+                    if remove_stmt(body_of_mut(&mut cand, fi), &path).is_none() {
+                        continue;
+                    }
+                    if still_bad(&cand, &mut budget) {
+                        prog = cand;
+                        improved = true;
+                        break;
+                    }
+                    // Loops: also try replacing the loop with its body.
+                    let mut cand = prog.clone();
+                    if unroll_once(body_of_mut(&mut cand, fi), &path)
+                        && still_bad(&cand, &mut budget)
+                    {
+                        prog = cand;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved || budget == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Pass 4 + 6: expression simplification per function.
+        for fi in 0..=prog.funcs.len() {
+            let mut site = 0;
+            loop {
+                let nsites = count_expr_sites(body_of(&prog, fi));
+                if site >= nsites {
+                    break;
+                }
+                let mut replaced = false;
+                for alt in expr_alternatives(body_of(&prog, fi), site) {
+                    let mut cand = prog.clone();
+                    replace_expr_site(body_of_mut(&mut cand, fi), site, alt);
+                    if size(&cand) < size(&prog) && still_bad(&cand, &mut budget) {
+                        prog = cand;
+                        replaced = true;
+                        break;
+                    }
+                }
+                if !replaced {
+                    site += 1;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Pass 5: flatten global initializers to their folded literal, or
+        // to zero.
+        for gi in 0..prog.globals.len() {
+            if matches!(prog.globals[gi], CExpr::Lit(0)) {
+                continue;
+            }
+            for v in [0, crate::interp::eval_cexpr(&prog.globals[gi])] {
+                if matches!(prog.globals[gi], CExpr::Lit(x) if x == v) {
+                    continue;
+                }
+                let mut cand = prog.clone();
+                cand.globals[gi] = CExpr::Lit(v);
+                if still_bad(&cand, &mut budget) {
+                    prog = cand;
+                    break;
+                }
+            }
+        }
+
+        if size(&prog) >= before || budget == 0 {
+            return prog;
+        }
+    }
+}
+
+/// A rough size metric: nodes in the whole program.
+fn size(p: &Prog) -> usize {
+    let mut n = 0;
+    for g in &p.globals {
+        n += cexpr_size(g);
+    }
+    n += p.arrays.len();
+    for f in p.funcs.iter().chain(std::iter::once(&p.main)) {
+        n += 1 + f.local_arrays.len() + f.ptrs.len();
+        n += stmts_size(&f.body);
+    }
+    n
+}
+
+fn cexpr_size(e: &CExpr) -> usize {
+    match e {
+        CExpr::Lit(v) => {
+            if *v == 0 {
+                1
+            } else {
+                2
+            }
+        }
+        CExpr::Un(_, a) => 1 + cexpr_size(a),
+        CExpr::Bin(_, a, b) => 1 + cexpr_size(a) + cexpr_size(b),
+    }
+}
+
+fn stmts_size(b: &[Stmt]) -> usize {
+    b.iter().map(stmt_size).sum()
+}
+
+fn stmt_size(s: &Stmt) -> usize {
+    match s {
+        Stmt::Assign(lv, e) => {
+            1 + expr_size(e)
+                + match lv {
+                    LValue::Index(_, i) => expr_size(i),
+                    _ => 0,
+                }
+        }
+        Stmt::CallAssign(_, _, args) => 1 + args.iter().map(expr_size).sum::<usize>(),
+        Stmt::If(c, t, e) => 1 + expr_size(c) + stmts_size(t) + stmts_size(e),
+        Stmt::For { body, .. } | Stmt::While { body, .. } => 2 + stmts_size(body),
+        Stmt::Break => 1,
+        Stmt::Ret(e) => 1 + expr_size(e),
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Lit(v) => {
+            if *v == 0 {
+                1
+            } else {
+                2
+            }
+        }
+        Expr::Local(_) | Expr::Param(_) | Expr::LoopVar(_) | Expr::Global(_) => 2,
+        Expr::Index(_, i) => 3 + expr_size(i),
+        Expr::Un(_, a) => 1 + expr_size(a),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) | Expr::Logic(_, a, b) => {
+            1 + expr_size(a) + expr_size(b)
+        }
+    }
+}
+
+fn body_of(p: &Prog, fi: usize) -> &Vec<Stmt> {
+    if fi < p.funcs.len() {
+        &p.funcs[fi].body
+    } else {
+        &p.main.body
+    }
+}
+
+fn body_of_mut(p: &mut Prog, fi: usize) -> &mut Vec<Stmt> {
+    if fi < p.funcs.len() {
+        &mut p.funcs[fi].body
+    } else {
+        &mut p.main.body
+    }
+}
+
+/// Rewrites calls after function `removed` was deleted: calls to it
+/// become `x = 0;`, calls to higher indices shift down by one.
+fn retarget_calls(body: &mut Vec<Stmt>, removed: usize) {
+    for st in body {
+        match st {
+            Stmt::CallAssign(dst, idx, _) => {
+                if *idx == removed {
+                    *st = Stmt::Assign(LValue::Local(*dst), Expr::Lit(0));
+                } else if *idx > removed {
+                    *idx -= 1;
+                }
+            }
+            Stmt::If(_, t, e) => {
+                retarget_calls(t, removed);
+                retarget_calls(e, removed);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => retarget_calls(body, removed),
+            _ => {}
+        }
+    }
+}
+
+/// Paths identify a statement by index chain through nested blocks. Each
+/// element is (index-in-block, which-subblock-to-descend): 0 = the
+/// statement itself at that index, 1 = then/loop-body, 2 = else.
+type Path = Vec<(usize, u8)>;
+
+fn collect_stmt_paths(block: &[Stmt], prefix: &mut Path, out: &mut Vec<Path>) {
+    for (i, st) in block.iter().enumerate() {
+        let mut here = prefix.clone();
+        here.push((i, 0));
+        out.push(here);
+        match st {
+            Stmt::If(_, t, e) => {
+                prefix.push((i, 1));
+                collect_stmt_paths(t, prefix, out);
+                prefix.pop();
+                prefix.push((i, 2));
+                collect_stmt_paths(e, prefix, out);
+                prefix.pop();
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                prefix.push((i, 1));
+                collect_stmt_paths(body, prefix, out);
+                prefix.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn subblock_mut(block: &mut [Stmt], step: (usize, u8)) -> Option<&mut Vec<Stmt>> {
+    let (i, which) = step;
+    match block.get_mut(i)? {
+        Stmt::If(_, t, e) => Some(if which == 1 { t } else { e }),
+        Stmt::For { body, .. } | Stmt::While { body, .. } if which == 1 => Some(body),
+        _ => None,
+    }
+}
+
+fn remove_stmt(block: &mut Vec<Stmt>, path: &Path) -> Option<Stmt> {
+    let (last, steps) = path.split_last()?;
+    let mut b = block;
+    for step in steps {
+        b = subblock_mut(b, *step)?;
+    }
+    let (i, _) = *last;
+    if i < b.len() {
+        // Never remove the final `Ret` of a top-level body; the
+        // interpreter tolerates it but it shrinks poorly.
+        Some(b.remove(i))
+    } else {
+        None
+    }
+}
+
+/// Replaces a loop at `path` with its body, to run exactly once.
+fn unroll_once(block: &mut Vec<Stmt>, path: &Path) -> bool {
+    let Some((last, steps)) = path.split_last() else { return false };
+    let mut b = block;
+    for step in steps {
+        match subblock_mut(b, *step) {
+            Some(x) => b = x,
+            None => return false,
+        }
+    }
+    let (i, _) = *last;
+    match b.get(i) {
+        Some(Stmt::For { body, .. }) | Some(Stmt::While { body, .. }) => {
+            // A `break` at the hoisted level would land outside any loop
+            // — invalid C the oracle would mistake for a compiler bug.
+            if has_loose_break(body) {
+                return false;
+            }
+            let inner = body.clone();
+            b.splice(i..=i, inner);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Whether a block contains a `break` not enclosed by a nested loop.
+fn has_loose_break(block: &[Stmt]) -> bool {
+    block.iter().any(|st| match st {
+        Stmt::Break => true,
+        Stmt::If(_, t, e) => has_loose_break(t) || has_loose_break(e),
+        _ => false,
+    })
+}
+
+/// Expression "sites" are every `Expr` slot in a body, numbered in
+/// traversal order; `count`, `get alternatives`, and `replace` all use
+/// the same traversal so indices agree.
+fn count_expr_sites(body: &[Stmt]) -> usize {
+    let mut n = 0;
+    for st in body {
+        visit_stmt_exprs(st, &mut |_| n += 1);
+    }
+    n
+}
+
+fn visit_stmt_exprs(st: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match st {
+        Stmt::Assign(lv, e) => {
+            if let LValue::Index(_, i) = lv {
+                visit_expr(i, f);
+            }
+            visit_expr(e, f);
+        }
+        Stmt::CallAssign(_, _, args) => {
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        Stmt::If(c, t, e) => {
+            visit_expr(c, f);
+            for st in t {
+                visit_stmt_exprs(st, f);
+            }
+            for st in e {
+                visit_stmt_exprs(st, f);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } => {
+            for st in body {
+                visit_stmt_exprs(st, f);
+            }
+        }
+        Stmt::Break => {}
+        Stmt::Ret(e) => visit_expr(e, f),
+    }
+}
+
+fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Index(_, i) => visit_expr(i, f),
+        Expr::Un(_, a) => visit_expr(a, f),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) | Expr::Logic(_, a, b) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+        }
+        _ => {}
+    }
+}
+
+/// Smaller candidate replacements for expression site `site`.
+fn expr_alternatives(body: &[Stmt], site: usize) -> Vec<Expr> {
+    let mut n = 0;
+    let mut found: Option<Expr> = None;
+    for st in body {
+        visit_stmt_exprs(st, &mut |e| {
+            if n == site && found.is_none() {
+                found = Some(e.clone());
+            }
+            n += 1;
+        });
+    }
+    let Some(e) = found else { return Vec::new() };
+    let mut alts = Vec::new();
+    match &e {
+        Expr::Lit(v) => {
+            for cand in [0, 1, v / 2, v >> 16] {
+                if cand != *v {
+                    alts.push(Expr::Lit(cand));
+                }
+            }
+        }
+        Expr::Un(_, a) => alts.push((**a).clone()),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) | Expr::Logic(_, a, b) => {
+            alts.push((**a).clone());
+            alts.push((**b).clone());
+            alts.push(Expr::Lit(0));
+            alts.push(Expr::Lit(1));
+        }
+        Expr::Index(..) => alts.push(Expr::Lit(0)),
+        _ => alts.push(Expr::Lit(0)),
+    }
+    alts
+}
+
+fn replace_expr_site(body: &mut [Stmt], site: usize, with: Expr) {
+    let mut n = 0;
+    for st in body {
+        replace_in_stmt(st, site, &with, &mut n);
+    }
+}
+
+fn replace_in_stmt(st: &mut Stmt, site: usize, with: &Expr, n: &mut usize) {
+    match st {
+        Stmt::Assign(lv, e) => {
+            if let LValue::Index(_, i) = lv {
+                replace_in_expr(i, site, with, n);
+            }
+            replace_in_expr(e, site, with, n);
+        }
+        Stmt::CallAssign(_, _, args) => {
+            for a in args {
+                replace_in_expr(a, site, with, n);
+            }
+        }
+        Stmt::If(c, t, e) => {
+            replace_in_expr(c, site, with, n);
+            for st in t {
+                replace_in_stmt(st, site, with, n);
+            }
+            for st in e {
+                replace_in_stmt(st, site, with, n);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } => {
+            for st in body {
+                replace_in_stmt(st, site, with, n);
+            }
+        }
+        Stmt::Break => {}
+        Stmt::Ret(e) => replace_in_expr(e, site, with, n),
+    }
+}
+
+fn replace_in_expr(e: &mut Expr, site: usize, with: &Expr, n: &mut usize) {
+    if *n == site {
+        *n += 1;
+        *e = with.clone();
+        return;
+    }
+    *n += 1;
+    match e {
+        Expr::Index(_, i) => replace_in_expr(i, site, with, n),
+        Expr::Un(_, a) => replace_in_expr(a, site, with, n),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) | Expr::Logic(_, a, b) => {
+            replace_in_expr(a, site, with, n);
+            replace_in_expr(b, site, with, n);
+        }
+        _ => {}
+    }
+}

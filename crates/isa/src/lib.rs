@@ -40,6 +40,7 @@ mod reg;
 
 pub mod d16;
 pub mod dlxe;
+pub mod sem;
 
 pub use disasm::disassemble;
 pub use insn::{Insn, Isa};

@@ -29,18 +29,20 @@ pub enum AluOp {
 }
 
 impl AluOp {
-    /// Evaluates the operation on 32-bit values with the simulator's
-    /// wrapping semantics. Shift counts use the low five bits.
+    /// Evaluates the operation on 32-bit values with the machine's wrapping
+    /// semantics as defined by [`crate::sem`]. Shift counts use the low
+    /// five bits.
     pub fn eval(self, a: u32, b: u32) -> u32 {
+        use crate::sem;
         match self {
-            AluOp::Add => a.wrapping_add(b),
-            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Add => sem::add(a as i32, b as i32) as u32,
+            AluOp::Sub => sem::sub(a as i32, b as i32) as u32,
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
-            AluOp::Shl => a.wrapping_shl(b & 31),
-            AluOp::Shr => a.wrapping_shr(b & 31),
-            AluOp::Shra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Shl => sem::shl(a as i32, b as i32) as u32,
+            AluOp::Shr => sem::shr(a as i32, b as i32) as u32,
+            AluOp::Shra => sem::sar(a as i32, b as i32) as u32,
         }
     }
 

@@ -1,0 +1,148 @@
+//! The machine's integer semantics, defined once.
+//!
+//! Every layer that evaluates integer arithmetic — the simulator's ALU
+//! ([`crate::AluOp::eval`]), the compiler's constant folder, the Mini-C
+//! runtime helpers (`__divsi3` and friends), and any reference evaluator or
+//! interpreter used for differential testing — must agree bit for bit, or a
+//! constant-folded program diverges from the same program computed at run
+//! time. This module is the single normative definition; all of those
+//! layers either call these helpers or pin themselves to them with tests.
+//!
+//! The contract, for 32-bit two's-complement values:
+//!
+//! * **Shifts** use the low five bits of the count (`count & 31`), like the
+//!   hardware shifter. A count of 32 shifts by 0; a count of -1 shifts
+//!   by 31. [`shr`] is logical (zero-filling), [`sar`] arithmetic
+//!   (sign-filling).
+//! * **Division and remainder by zero** return 0, for both the signed and
+//!   unsigned helpers. The machine has no divide trap; the runtime helpers
+//!   return 0 and the folder must match.
+//! * **Signed overflow** wraps: `i32::MIN / -1 == i32::MIN` and
+//!   `i32::MIN % -1 == 0`.
+
+/// Wrapping 32-bit addition.
+#[inline]
+pub fn add(a: i32, b: i32) -> i32 {
+    a.wrapping_add(b)
+}
+
+/// Wrapping 32-bit subtraction.
+#[inline]
+pub fn sub(a: i32, b: i32) -> i32 {
+    a.wrapping_sub(b)
+}
+
+/// Wrapping 32-bit multiplication (low half of the 64-bit product).
+#[inline]
+pub fn mul(a: i32, b: i32) -> i32 {
+    a.wrapping_mul(b)
+}
+
+/// Shift left; the count is masked to its low five bits.
+#[inline]
+pub fn shl(a: i32, count: i32) -> i32 {
+    ((a as u32) << (count as u32 & 31)) as i32
+}
+
+/// Logical (zero-filling) shift right; the count is masked to its low five
+/// bits.
+#[inline]
+pub fn shr(a: i32, count: i32) -> i32 {
+    ((a as u32) >> (count as u32 & 31)) as i32
+}
+
+/// Arithmetic (sign-filling) shift right; the count is masked to its low
+/// five bits.
+#[inline]
+pub fn sar(a: i32, count: i32) -> i32 {
+    a >> (count as u32 & 31)
+}
+
+/// Signed division: `n / 0 == 0`, `i32::MIN / -1` wraps to `i32::MIN`.
+#[inline]
+pub fn div(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+/// Signed remainder: `n % 0 == 0`, `i32::MIN % -1 == 0`.
+#[inline]
+pub fn rem(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_rem(b)
+    }
+}
+
+/// Unsigned division: `n / 0 == 0`.
+#[inline]
+pub fn udiv(a: u32, b: u32) -> u32 {
+    a.checked_div(b).unwrap_or(0)
+}
+
+/// Unsigned remainder: `n % 0 == 0`.
+#[inline]
+pub fn urem(a: u32, b: u32) -> u32 {
+    a.checked_rem(b).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_counts_use_low_five_bits() {
+        assert_eq!(shl(1, 32), 1, "count 32 masks to 0");
+        assert_eq!(shl(1, 33), 2, "count 33 masks to 1");
+        assert_eq!(shl(1, -1), i32::MIN, "count -1 masks to 31");
+        assert_eq!(shr(i32::MIN, 32), i32::MIN);
+        assert_eq!(shr(i32::MIN, -1), 1, "logical shift zero-fills");
+        assert_eq!(sar(i32::MIN, -1), -1, "arithmetic shift sign-fills");
+        assert_eq!(sar(-8, 1), -4);
+        assert_eq!(shr(-8, 1), 0x7fff_fffc);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(div(42, 0), 0);
+        assert_eq!(div(i32::MIN, 0), 0);
+        assert_eq!(rem(42, 0), 0);
+        assert_eq!(udiv(42, 0), 0);
+        assert_eq!(urem(42, 0), 0);
+    }
+
+    #[test]
+    fn signed_overflow_wraps() {
+        assert_eq!(div(i32::MIN, -1), i32::MIN);
+        assert_eq!(rem(i32::MIN, -1), 0);
+        assert_eq!(mul(i32::MIN, -1), i32::MIN);
+        assert_eq!(add(i32::MAX, 1), i32::MIN);
+        assert_eq!(sub(i32::MIN, 1), i32::MAX);
+    }
+
+    #[test]
+    fn ordinary_arithmetic() {
+        assert_eq!(div(7, 2), 3);
+        assert_eq!(div(-7, 2), -3, "division truncates toward zero");
+        assert_eq!(rem(-7, 2), -1, "remainder takes the dividend's sign");
+        assert_eq!(udiv(0xffff_fff0, 16), 0x0fff_ffff);
+        assert_eq!(urem(0xffff_ffff, 10), 5);
+    }
+
+    #[test]
+    fn agrees_with_alu_eval() {
+        // The simulator's ALU must implement the same contract.
+        use crate::AluOp;
+        for (a, b) in [(1i32, 33i32), (i32::MIN, -1), (-8, 1), (0x1234_5678, 40), (5, 0)] {
+            assert_eq!(AluOp::Shl.eval(a as u32, b as u32), shl(a, b) as u32);
+            assert_eq!(AluOp::Shr.eval(a as u32, b as u32), shr(a, b) as u32);
+            assert_eq!(AluOp::Shra.eval(a as u32, b as u32), sar(a, b) as u32);
+            assert_eq!(AluOp::Add.eval(a as u32, b as u32), add(a, b) as u32);
+            assert_eq!(AluOp::Sub.eval(a as u32, b as u32), sub(a, b) as u32);
+        }
+    }
+}

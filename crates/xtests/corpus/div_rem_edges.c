@@ -1,0 +1,36 @@
+// Division edge cases have defined machine semantics: n / 0 == 0,
+// n % 0 == 0, and INT_MIN / -1 wraps to INT_MIN (INT_MIN % -1 == 0).
+// The folder, the runtime helpers, and the simulator must agree; the
+// globals fold at compile time while main recomputes each value through
+// the runtime division helpers.
+// expect: 6
+int g_dz = 5 / 0;
+int g_rz = 5 % 0;
+int g_min_div = (-2147483647 - 1) / -1;
+int g_min_rem = (-2147483647 - 1) % -1;
+
+int main(void) {
+    int z = 0;
+    int m = 0;
+    int ok = 0;
+    m = -2147483647 - 1;
+    if (g_dz == 5 / z) {
+        ok = ok + 1;
+    }
+    if (g_rz == 5 % z) {
+        ok = ok + 1;
+    }
+    if (g_min_div == m / -1) {
+        ok = ok + 1;
+    }
+    if (g_min_rem == m % -1) {
+        ok = ok + 1;
+    }
+    if (g_min_div == m) {
+        ok = ok + 1;
+    }
+    if (g_dz == 0) {
+        ok = ok + 1;
+    }
+    return ok;
+}

@@ -1,0 +1,20 @@
+// Found by d16-fuzz (every generated program tripped it): the assembler
+// refused to define labels that look like register names, so any C
+// function named like an FPR (f0..f15) or GPR (r0..r15) failed to
+// assemble with "unknown mnemonic `f0`". Labels are unambiguous at
+// statement head; the parser now accepts them.
+// expect: 12
+int f0(void) {
+    return 7;
+}
+
+int r15(int p0) {
+    return p0 + 4;
+}
+
+int main(void) {
+    int x = 0;
+    x = f0();
+    x = r15(x + 1);
+    return x;
+}

@@ -1,0 +1,32 @@
+// Shift counts use only their low five bits on every evaluation path:
+// the global-initializer folder, O2 constant folding, and the machine
+// shifter must agree. Pre-fix, the compiler's folder used the host
+// language's shift semantics for counts >= 32 or negative, so a folded
+// shift disagreed with the same shift computed at run time.
+// expect: 4
+int g_over = 1 << 32;
+int g_33 = 1 << 33;
+int g_neg = 1 << -13;
+int g_sar = (-8) >> 32;
+
+int main(void) {
+    int s = 0;
+    int ok = 0;
+    s = 32;
+    if (g_over == (1 << s)) {
+        ok = ok + 1;
+    }
+    s = 33;
+    if (g_33 == (1 << s)) {
+        ok = ok + 1;
+    }
+    s = -13;
+    if (g_neg == (1 << s)) {
+        ok = ok + 1;
+    }
+    s = 32;
+    if (g_sar == ((-8) >> s)) {
+        ok = ok + 1;
+    }
+    return ok;
+}

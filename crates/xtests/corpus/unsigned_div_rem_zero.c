@@ -1,0 +1,15 @@
+// The unsigned division helpers share the divide-by-zero contract with
+// the signed ones: both quotient and remainder are 0.
+// expect: 2
+int main(void) {
+    unsigned a = 7;
+    unsigned z = 0;
+    int ok = 0;
+    if (a / z == 0) {
+        ok = ok + 1;
+    }
+    if (a % z == 0) {
+        ok = ok + 1;
+    }
+    return ok;
+}

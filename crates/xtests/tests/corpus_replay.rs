@@ -1,0 +1,54 @@
+//! Replays the miscompile corpus: every minimized reproducer in
+//! `crates/xtests/corpus/` once exposed a real toolchain bug. Each file
+//! carries a `// expect: N` header with its reference exit status; the
+//! program must compile and return exactly that value on every standard
+//! target at both opt levels (the same oracle grid `d16-fuzz` uses).
+//!
+//! To add an entry: take the minimized source printed by
+//! `d16-fuzz --seed S --count N` on a divergence, prepend a comment
+//! naming the bug and the `// expect:` header, and drop it here. See
+//! `crates/xtests/tests/README.md`.
+
+use d16_fuzz::oracle::{check_source, Outcome};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn expected_value(src: &str) -> Option<i32> {
+    src.lines()
+        .find_map(|l| l.trim().strip_prefix("// expect:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn every_corpus_reproducer_passes_all_targets_and_opt_levels() {
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus must not be empty");
+
+    let mut failures = Vec::new();
+    for path in &paths {
+        let src = std::fs::read_to_string(path).unwrap();
+        let Some(expect) = expected_value(&src) else {
+            failures.push(format!("{}: missing `// expect: N` header", path.display()));
+            continue;
+        };
+        match check_source(&src, expect) {
+            Outcome::Ok => {}
+            Outcome::TooLarge(why) => {
+                failures.push(format!("{}: did not fit: {why}", path.display()));
+            }
+            Outcome::Diverged(d) => {
+                failures.push(format!("{}: {d}", path.display()));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The CI gate suite. Run everything with no arguments, or name the gates
-# to run: fmt clippy build test smoke determinism store faults panics drift.
+# to run: fmt clippy build test smoke determinism store faults panics
+# drift fuzz.
 #
 #   ./scripts/ci.sh                  # all gates, in order
 #   ./scripts/ci.sh fmt clippy       # just the static gates
@@ -123,7 +124,7 @@ gate_panics() {
     # few reviewed exceptions (currently the #[deprecated] accessors).
     step "panics: grep gate over library crate sources"
     local bad=0 crate f hits
-    for crate in core cc sim asm mem store; do
+    for crate in core cc sim asm mem store fuzz; do
         for f in crates/$crate/src/*.rs; do
             # Strip everything from the first top-level #[cfg(test)] on:
             # test modules may panic freely.
@@ -147,11 +148,24 @@ gate_drift() {
     cargo test --release -p d16-xtests --test bench_drift -- --ignored
 }
 
-ALL_GATES=(fmt clippy build test smoke determinism store faults panics drift)
+gate_fuzz() {
+    # Differential fuzzing on a fixed seed: 500 generated whole programs,
+    # each run on every standard target at O0 and O2 against the
+    # reference interpreter plus the encoding round-trip oracle. Fully
+    # deterministic — a failure prints a minimized reproducer. Then every
+    # committed miscompile reproducer in crates/xtests/corpus replays.
+    step "fuzz: fixed-seed differential budget (500 programs x 10 configs)"
+    cargo build --release --locked --offline -p d16-fuzz
+    ./target/release/d16-fuzz --seed 20260806 --count 500
+    step "fuzz: corpus replay"
+    ./target/release/d16-fuzz --replay crates/xtests/corpus
+}
+
+ALL_GATES=(fmt clippy build test smoke determinism store faults panics drift fuzz)
 gates=("${@:-${ALL_GATES[@]}}")
 for g in "${gates[@]}"; do
     case "$g" in
-    fmt | clippy | build | test | smoke | determinism | store | faults | panics | drift) "gate_$g" ;;
+    fmt | clippy | build | test | smoke | determinism | store | faults | panics | drift | fuzz) "gate_$g" ;;
     *)
         echo "unknown gate: $g (expected: ${ALL_GATES[*]})" >&2
         exit 2
