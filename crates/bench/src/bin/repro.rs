@@ -7,6 +7,7 @@
 //! repro --jobs 4             # worker threads (default: all cores)
 //! repro --smoke              # tiny 2-workload x 2-target run
 //! repro --only towers,assem  # collect only the named workloads
+//! repro --engine interp      # per-instruction engine (default: blocks)
 //! repro --store DIR          # incremental: reuse artifacts across runs
 //! repro --no-store           # override an earlier --store
 //! repro --store-verify       # integrity-sweep the store before running
@@ -17,8 +18,14 @@
 //!
 //! Output is plain text, one block per table/figure, in the paper's
 //! numbering. See EXPERIMENTS.md for paper-vs-measured commentary, the
-//! `bench_repro/2` schema of the two JSON reports, and the README's
+//! `bench_repro/3` schema of the two JSON reports, and the README's
 //! Performance section for how to read `BENCH_repro.json`.
+//!
+//! `--engine` selects the simulator's execution engine (the block-caching
+//! `blocks` default or the per-instruction `interp` reference). The two
+//! are observationally identical — stdout and `--metrics-json` are
+//! byte-for-byte the same either way — so the flag only moves the timing
+//! numbers; the timing report records which engine ran.
 //!
 //! Both JSON reports share the schema tag; they differ in kind. The
 //! `--metrics-json` dump is the deterministic projection (counters and
@@ -40,7 +47,7 @@ use d16_bench::json::Json;
 use d16_bench::report;
 use d16_core::report::{f2, f3, pct, Table};
 use d16_core::suite::standard_specs;
-use d16_core::{base_specs, default_jobs, experiments as ex, Suite};
+use d16_core::{base_specs, default_jobs, experiments as ex, Engine, Suite};
 use d16_isa::Isa;
 use d16_store::Store;
 use d16_workloads::Workload;
@@ -90,6 +97,7 @@ fn main() {
     let mut no_store = false;
     let mut store_verify = false;
     let mut only: Vec<String> = Vec::new();
+    let mut engine = Engine::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,6 +117,13 @@ fn main() {
                     .filter(|s| !s.is_empty())
                     .map(str::to_string),
             ),
+            "--engine" => {
+                let v = flag_value(&args, &mut i, "--engine");
+                engine = Engine::parse(v).unwrap_or_else(|| {
+                    eprintln!("--engine: unknown engine `{v}` (blocks or interp)");
+                    std::process::exit(2);
+                });
+            }
             "--fig" => figs.push(parsed_flag(&args, &mut i, "--fig")),
             "--table" => tables.push(parsed_flag(&args, &mut i, "--table")),
             "--jobs" => {
@@ -226,23 +241,25 @@ fn main() {
     };
     let collect = |jobs: usize| {
         if smoke {
-            Suite::collect_for_jobs_stored(
+            Suite::collect_for_jobs_stored_with(
                 &smoke_workloads,
                 &base_specs(),
                 true,
                 jobs,
                 store.clone(),
+                engine,
             )
         } else if !only_workloads.is_empty() {
-            Suite::collect_for_jobs_stored(
+            Suite::collect_for_jobs_stored_with(
                 &only_workloads,
                 &standard_specs(),
                 true,
                 jobs,
                 store.clone(),
+                engine,
             )
         } else {
-            Suite::collect_jobs_stored(jobs, store.clone())
+            Suite::collect_jobs_stored_with(jobs, store.clone(), engine)
         }
     };
     if smoke {
@@ -376,9 +393,10 @@ fn main() {
             })
             .collect();
         let report = Json::obj()
-            .with("schema", "bench_repro/2")
+            .with("schema", "bench_repro/3")
             .with("kind", "timing")
             .with("smoke", smoke)
+            .with("engine", engine.name())
             .with("jobs", jobs)
             .with("cells", suite.cells.len())
             .with("traces", suite.traces.len())
@@ -472,6 +490,7 @@ fn print_list() {
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
     println!("         --only W[,W...] (collect only the named workloads),");
+    println!("         --engine blocks|interp (execution engine, default blocks),");
     println!("         --store DIR (incremental artifact store), --no-store,");
     println!("         --store-verify (integrity-sweep the store first),");
     println!("         --bench-json FILE (machine-readable timing report),");

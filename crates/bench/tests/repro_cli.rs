@@ -103,11 +103,43 @@ fn metrics_json_is_identical_across_job_counts() {
     std::fs::remove_file(&p1).ok();
     std::fs::remove_file(&p2).ok();
     assert_eq!(m1, m2, "metrics dump must be byte-identical for every --jobs");
-    for needle in ["\"schema\":\"bench_repro/2\"", "\"kind\":\"metrics\"", "\"span_counts\":"] {
+    for needle in ["\"schema\":\"bench_repro/3\"", "\"kind\":\"metrics\"", "\"span_counts\":"] {
         assert!(m1.contains(needle), "missing {needle} in {m1}");
     }
     assert!(!m1.contains("\"jobs\""), "worker count must not leak into the metrics dump");
+    assert!(!m1.contains("\"engine\""), "engine choice must not leak into the metrics dump");
     assert!(!m1.contains("_ns\""), "wall-clock must not leak into the metrics dump");
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let out = repro().args(["--engine", "jit", "--list"]).output().expect("run repro");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--engine") && err.contains("jit"), "{err}");
+}
+
+#[test]
+fn engines_produce_identical_diffable_output() {
+    // The whole point of the block engine: same stdout, same metrics
+    // dump, byte for byte — only the wall clock moves.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut outputs = Vec::new();
+    for eng in ["interp", "blocks"] {
+        let path = dir.join(format!("metrics_{eng}_{pid}.json"));
+        let out = repro()
+            .args(["--smoke", "--engine", eng, "--metrics-json"])
+            .arg(&path)
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let metrics = std::fs::read_to_string(&path).expect("metrics written");
+        std::fs::remove_file(&path).ok();
+        outputs.push((out.stdout, metrics));
+    }
+    assert_eq!(outputs[0].0, outputs[1].0, "stdout must not depend on the engine");
+    assert_eq!(outputs[0].1, outputs[1].1, "metrics dump must not depend on the engine");
 }
 
 #[test]
@@ -131,9 +163,10 @@ fn smoke_regenerates_and_reports_timing() {
     let report = std::fs::read_to_string(&json_path).expect("bench json written");
     std::fs::remove_file(&json_path).ok();
     for needle in [
-        "\"schema\":\"bench_repro/2\"",
+        "\"schema\":\"bench_repro/3\"",
         "\"kind\":\"timing\"",
         "\"smoke\":true",
+        "\"engine\":\"blocks\"",
         "\"jobs\":2",
         "\"collect_ns\":",
         "\"cache_grid\":",

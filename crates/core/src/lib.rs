@@ -21,7 +21,11 @@ pub mod report;
 pub mod stored;
 pub mod suite;
 
-pub use measure::{build, build_stored, measure, measure_stored, MeasureError, Measurement};
+pub use d16_sim::Engine;
+pub use measure::{
+    build, build_stored, measure, measure_stored, measure_stored_with, measure_with, MeasureError,
+    Measurement,
+};
 pub use suite::{base_specs, default_jobs, standard_specs, Skip, Suite, SuiteError};
 
 #[cfg(test)]

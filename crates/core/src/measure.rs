@@ -2,7 +2,7 @@
 
 use d16_asm::Image;
 use d16_cc::{compile_to_image_stored, BuildError, TargetSpec};
-use d16_sim::{AccessSink, ExecStats, Machine, StopReason, TraceRecorder};
+use d16_sim::{AccessSink, Engine, ExecStats, Machine, StopReason, TraceRecorder};
 use d16_store::Store;
 use d16_workloads::Workload;
 use std::fmt;
@@ -118,7 +118,10 @@ pub fn build_stored(
     compile_to_image_stored(&[w.source], spec, store).map_err(MeasureError::Build)
 }
 
-/// A sink that feeds several sinks at once.
+/// A sink that feeds several sinks at once. General-purpose (dynamic)
+/// fan-out; the measurement hot path uses the monomorphized
+/// [`MeasureSink`] instead so the access callbacks inline into the
+/// execution engine.
 pub struct Tee<'a>(pub Vec<&'a mut dyn AccessSink>);
 
 impl AccessSink for Tee<'_> {
@@ -139,6 +142,44 @@ impl AccessSink for Tee<'_> {
     }
 }
 
+/// The concrete sink stack of one measurement run: both fetch-buffer bus
+/// models plus the optional trace recorder, statically dispatched.
+/// Replacing the `dyn`-based [`Tee`] here keeps every access a direct
+/// (inlinable) call, which matters now that the block engine has removed
+/// the decode overhead around it.
+struct MeasureSink<'a> {
+    fb32: &'a mut d16_mem::FetchBuffer,
+    fb64: &'a mut d16_mem::FetchBuffer,
+    rec: Option<&'a mut TraceRecorder>,
+}
+
+impl AccessSink for MeasureSink<'_> {
+    #[inline]
+    fn fetch(&mut self, addr: u32, bytes: u8) {
+        self.fb32.fetch(addr, bytes);
+        self.fb64.fetch(addr, bytes);
+        if let Some(r) = &mut self.rec {
+            r.fetch(addr, bytes);
+        }
+    }
+    #[inline]
+    fn read(&mut self, addr: u32, bytes: u8) {
+        self.fb32.read(addr, bytes);
+        self.fb64.read(addr, bytes);
+        if let Some(r) = &mut self.rec {
+            r.read(addr, bytes);
+        }
+    }
+    #[inline]
+    fn write(&mut self, addr: u32, bytes: u8) {
+        self.fb32.write(addr, bytes);
+        self.fb64.write(addr, bytes);
+        if let Some(r) = &mut self.rec {
+            r.write(addr, bytes);
+        }
+    }
+}
+
 /// Builds, runs and measures one cell; optionally records the full access
 /// trace (for the cache experiments).
 ///
@@ -152,6 +193,22 @@ pub fn measure(
     want_trace: bool,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
     measure_stored(w, spec, want_trace, None)
+}
+
+/// [`measure`] under an explicit execution engine ([`Engine::Blocks`] is
+/// the default everywhere; [`Engine::Interp`] exists for A/B timing and
+/// differential checking — the results are byte-identical by contract).
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn measure_with(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+    engine: Engine,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    measure_stored_with(w, spec, want_trace, None, engine)
 }
 
 /// [`measure`] through an optional `d16-store`: an intact cached cell is
@@ -172,6 +229,24 @@ pub fn measure_stored(
     want_trace: bool,
     store: Option<&Store>,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    measure_stored_with(w, spec, want_trace, store, Engine::default())
+}
+
+/// [`measure_stored`] under an explicit execution engine. The engine is
+/// deliberately *not* part of the store cell key: both engines produce
+/// byte-identical cells, so a cell computed under one engine may be
+/// served to a run using the other.
+///
+/// # Errors
+///
+/// See [`measure_stored`].
+pub fn measure_stored_with(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+    store: Option<&Store>,
+    engine: Engine,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
     let key = store.map(|s| {
         let key = crate::stored::cell_key(w, spec, want_trace);
         (s, key)
@@ -184,7 +259,7 @@ pub fn measure_stored(
         }
     }
     let image = build_stored(w, spec, store)?;
-    let (m, trace) = run(w, spec, &image, want_trace)?;
+    let (m, trace) = run(w, spec, &image, want_trace, engine)?;
     if let Some((s, k)) = key {
         s.put(crate::stored::CELL_KIND, k, &crate::stored::encode_cell(&m, trace.as_ref()));
     }
@@ -197,18 +272,16 @@ fn run(
     spec: &TargetSpec,
     image: &Image,
     want_trace: bool,
+    engine: Engine,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
     let mut machine = Machine::load(image);
     let mut fb32 = d16_mem::FetchBuffer::new(4);
     let mut fb64 = d16_mem::FetchBuffer::new(8);
     let mut rec = TraceRecorder::new();
     let stop = {
-        let mut sinks: Vec<&mut dyn AccessSink> = vec![&mut fb32, &mut fb64];
-        if want_trace {
-            sinks.push(&mut rec);
-        }
-        let mut tee = Tee(sinks);
-        machine.run(FUEL, &mut tee).map_err(MeasureError::Sim)?
+        let mut sink =
+            MeasureSink { fb32: &mut fb32, fb64: &mut fb64, rec: want_trace.then_some(&mut rec) };
+        machine.run_with(engine, FUEL, &mut sink).map_err(MeasureError::Sim)?
     };
     let exit = match stop {
         StopReason::Halted(v) => v,
@@ -271,6 +344,21 @@ mod tests {
         assert!(d16.ireq_bus32 < d16.stats.insns);
         assert_eq!(dlxe.ireq_bus32, dlxe.stats.insns, "k=1 for DLXe on a 32-bit bus");
         assert!(d16.ireq_bus64 <= d16.ireq_bus32);
+    }
+
+    #[test]
+    fn engines_measure_identically() {
+        let w = d16_workloads::by_name("towers").unwrap();
+        for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+            let (a, ta) = measure_with(w, &spec, true, Engine::Interp).unwrap();
+            let (b, tb) = measure_with(w, &spec, true, Engine::Blocks).unwrap();
+            assert_eq!(a.exit, b.exit);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.ireq_bus32, b.ireq_bus32);
+            assert_eq!(a.ireq_bus64, b.ireq_bus64);
+            assert_eq!(a.tele.values(), b.tele.values());
+            assert_eq!(ta.unwrap().encoded_bytes(), tb.unwrap().encoded_bytes());
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! ([`Suite::cache_grid`]), so the full 20-configuration cache study walks
 //! each trace exactly once.
 
-use crate::measure::{measure_stored, MeasureError, Measurement};
+use crate::measure::{measure_stored_with, MeasureError, Measurement};
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
 use d16_mem::{CacheBank, CacheSystem};
+use d16_sim::Engine;
 use d16_sim::TraceRecorder;
 use d16_store::Store;
 use d16_telemetry::{timed, Registry};
@@ -248,6 +249,31 @@ impl Suite {
         jobs: usize,
         store: Option<Arc<Store>>,
     ) -> Result<Suite, SuiteError> {
+        Self::collect_for_jobs_stored_with(
+            workloads,
+            specs,
+            trace_cache,
+            jobs,
+            store,
+            Engine::default(),
+        )
+    }
+
+    /// [`Suite::collect_for_jobs_stored`] under an explicit execution
+    /// engine. Both engines yield byte-identical suites; the choice only
+    /// changes how long collection takes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_for_jobs_stored_with(
+        workloads: &[&Workload],
+        specs: &[TargetSpec],
+        trace_cache: bool,
+        jobs: usize,
+        store: Option<Arc<Store>>,
+        engine: Engine,
+    ) -> Result<Suite, SuiteError> {
         let items: Vec<(usize, usize)> =
             (0..workloads.len()).flat_map(|w| (0..specs.len()).map(move |s| (w, s))).collect();
         let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
@@ -255,10 +281,12 @@ impl Suite {
             let spec = &specs[si];
             let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
             let want_trace = trace_cache && w.cache_benchmark && unrestricted;
-            measure_stored(w, spec, want_trace, store.as_deref()).map_err(|e| SuiteError::Measure {
-                workload: w.name.to_string(),
-                target: spec.label(),
-                source: e,
+            measure_stored_with(w, spec, want_trace, store.as_deref(), engine).map_err(|e| {
+                SuiteError::Measure {
+                    workload: w.name.to_string(),
+                    target: spec.label(),
+                    source: e,
+                }
             })
         };
 
@@ -398,8 +426,21 @@ impl Suite {
         jobs: usize,
         store: Option<Arc<Store>>,
     ) -> Result<Suite, SuiteError> {
+        Self::collect_jobs_stored_with(jobs, store, Engine::default())
+    }
+
+    /// [`Suite::collect_jobs_stored`] under an explicit execution engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_jobs_stored_with(
+        jobs: usize,
+        store: Option<Arc<Store>>,
+        engine: Engine,
+    ) -> Result<Suite, SuiteError> {
         let all: Vec<&Workload> = SUITE.iter().collect();
-        Self::collect_for_jobs_stored(&all, &standard_specs(), true, jobs, store)
+        Self::collect_for_jobs_stored_with(&all, &standard_specs(), true, jobs, store, engine)
     }
 
     /// Measures the full paper grid with the default worker count.

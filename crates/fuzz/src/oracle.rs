@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! For each program, three independent checks:
+//! For each program, four independent checks:
 //!
 //! 1. **Reference agreement** — the exit status on every target at every
 //!    opt level must equal the reference interpreter's value.
@@ -12,11 +12,17 @@
 //!    image must decode and re-encode byte-identically (D16) or to a
 //!    stable canonical form (DLXe). This re-checks the exhaustive
 //!    `isa`-level property on exactly the words real codegen emits.
+//! 4. **Engine agreement** — the block-caching execution engine and the
+//!    per-instruction interpreter must agree on the stop result, the
+//!    pipeline statistics, and an order-sensitive checksum of the entire
+//!    access stream, on every image the other oracles compile. Generated
+//!    programs reach block shapes (computed branches, tight self-loops,
+//!    faults) the curated suite never produces.
 
 use crate::ast::Prog;
 use crate::interp;
 use d16_cc::{compile_to_image_with, BuildError, OptLevel, TargetSpec};
-use d16_sim::{Machine, NullSink, StopReason};
+use d16_sim::{ChecksumSink, Engine, Machine, StopReason};
 
 /// Simulator fuel per run — orders of magnitude above what the
 /// generator's cost model permits, so exhaustion means a codegen bug that
@@ -79,6 +85,16 @@ pub enum Divergence {
         /// Description.
         detail: String,
     },
+    /// The two execution engines disagreed on the same image: stop
+    /// result, pipeline statistics, or the access-stream checksum.
+    EngineMismatch {
+        /// Target label.
+        target: String,
+        /// Opt level.
+        opt: OptLevel,
+        /// Which observable diverged, with both sides rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -95,6 +111,9 @@ impl std::fmt::Display for Divergence {
             }
             Divergence::Encoding { target, opt, offset, detail } => {
                 write!(f, "[{target} {opt:?}] encoding roundtrip at text+{offset:#x}: {detail}")
+            }
+            Divergence::EngineMismatch { target, opt, detail } => {
+                write!(f, "[{target} {opt:?}] engines disagree: {detail}")
             }
         }
     }
@@ -132,8 +151,42 @@ pub fn check_source(src: &str, reference: i32) -> Outcome {
         if let Some(d) = encoding_roundtrip(&spec, opt, &image.text) {
             return Outcome::Diverged(Box::new(d));
         }
+        // Oracle 4: run the image under both execution engines and demand
+        // identical observable behavior before trusting either for the
+        // reference comparison. Stop results are compared through Debug
+        // (a SimError's rendered position is part of the contract), the
+        // access streams through an order-sensitive checksum.
         let mut m = Machine::load(&image);
-        match m.run(SIM_FUEL, &mut NullSink) {
+        let mut interp_sink = ChecksumSink::default();
+        let interp_run = m.run_with(Engine::Interp, SIM_FUEL, &mut interp_sink);
+        let mut mb = Machine::load(&image);
+        let mut blocks_sink = ChecksumSink::default();
+        let blocks_run = mb.run_with(Engine::Blocks, SIM_FUEL, &mut blocks_sink);
+        let mismatch = if format!("{interp_run:?}") != format!("{blocks_run:?}") {
+            Some(format!("stop: interp {interp_run:?}, blocks {blocks_run:?}"))
+        } else if m.stats() != mb.stats() {
+            Some(format!("stats: interp {:?}, blocks {:?}", m.stats(), mb.stats()))
+        } else if (interp_sink.count(), interp_sink.digest())
+            != (blocks_sink.count(), blocks_sink.digest())
+        {
+            Some(format!(
+                "access stream: interp {} accesses digest {:#018x}, blocks {} accesses digest {:#018x}",
+                interp_sink.count(),
+                interp_sink.digest(),
+                blocks_sink.count(),
+                blocks_sink.digest()
+            ))
+        } else {
+            None
+        };
+        if let Some(detail) = mismatch {
+            return Outcome::Diverged(Box::new(Divergence::EngineMismatch {
+                target: spec.label(),
+                opt,
+                detail,
+            }));
+        }
+        match interp_run {
             Ok(StopReason::Halted(v)) => {
                 if v != reference {
                     return Outcome::Diverged(Box::new(Divergence::WrongValue {

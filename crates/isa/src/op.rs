@@ -32,6 +32,7 @@ impl AluOp {
     /// Evaluates the operation on 32-bit values with the machine's wrapping
     /// semantics as defined by [`crate::sem`]. Shift counts use the low
     /// five bits.
+    #[inline]
     pub fn eval(self, a: u32, b: u32) -> u32 {
         use crate::sem;
         match self {
@@ -95,6 +96,7 @@ pub enum UnOp {
 
 impl UnOp {
     /// Evaluates the operation.
+    #[inline]
     pub fn eval(self, a: u32) -> u32 {
         match self {
             UnOp::Neg => (a as i32).wrapping_neg() as u32,
@@ -170,6 +172,7 @@ impl Cond {
     }
 
     /// Evaluates the condition on 32-bit operands.
+    #[inline]
     pub fn eval(self, a: u32, b: u32) -> bool {
         let (sa, sb) = (a as i32, b as i32);
         match self {
@@ -354,6 +357,7 @@ pub enum FpCond {
 
 impl FpCond {
     /// Evaluates the condition. Any comparison with a NaN is false.
+    #[inline]
     pub fn eval(self, a: f64, b: f64) -> bool {
         match self {
             FpCond::Eq => a == b,

@@ -62,6 +62,7 @@ impl FetchBuffer {
 }
 
 impl AccessSink for FetchBuffer {
+    #[inline]
     fn fetch(&mut self, addr: u32, _bytes: u8) {
         self.instructions += 1;
         let block = addr & !(self.bus_bytes - 1);
@@ -71,10 +72,12 @@ impl AccessSink for FetchBuffer {
         }
     }
 
+    #[inline]
     fn read(&mut self, _addr: u32, _bytes: u8) {
         self.drequests += 1;
     }
 
+    #[inline]
     fn write(&mut self, _addr: u32, _bytes: u8) {
         self.drequests += 1;
     }

@@ -23,9 +23,74 @@ pub trait AccessSink {
 pub struct NullSink;
 
 impl AccessSink for NullSink {
+    #[inline]
     fn fetch(&mut self, _addr: u32, _bytes: u8) {}
+    #[inline]
     fn read(&mut self, _addr: u32, _bytes: u8) {}
+    #[inline]
     fn write(&mut self, _addr: u32, _bytes: u8) {}
+}
+
+/// Order-sensitive FNV-1a digest of the access stream — kind, address,
+/// and width of every reference, in program order. Two runs that feed a
+/// `ChecksumSink` the same checksum made the same references in the same
+/// order; the fuzzer's engine oracle uses this to compare the interpreter
+/// and the block engine without storing either trace.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChecksumSink {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for ChecksumSink {
+    fn default() -> Self {
+        ChecksumSink { hash: 0xcbf2_9ce4_8422_2325, count: 0 }
+    }
+}
+
+impl ChecksumSink {
+    /// A fresh digest.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The digest over everything absorbed so far.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of references absorbed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[inline]
+    fn absorb(&mut self, kind: u8, addr: u32, bytes: u8) {
+        let word = u64::from(kind) << 40 | u64::from(bytes) << 32 | u64::from(addr);
+        for shift in [0u32, 16, 32] {
+            self.hash ^= (word >> shift) & 0xffff;
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+        self.count += 1;
+    }
+}
+
+impl AccessSink for ChecksumSink {
+    #[inline]
+    fn fetch(&mut self, addr: u32, bytes: u8) {
+        self.absorb(0, addr, bytes);
+    }
+    #[inline]
+    fn read(&mut self, addr: u32, bytes: u8) {
+        self.absorb(1, addr, bytes);
+    }
+    #[inline]
+    fn write(&mut self, addr: u32, bytes: u8) {
+        self.absorb(2, addr, bytes);
+    }
 }
 
 /// One recorded memory reference.
@@ -278,12 +343,15 @@ impl PartialEq for TraceRecorder {
 impl Eq for TraceRecorder {}
 
 impl AccessSink for TraceRecorder {
+    #[inline]
     fn fetch(&mut self, addr: u32, bytes: u8) {
         self.push(Access::Fetch(addr, bytes));
     }
+    #[inline]
     fn read(&mut self, addr: u32, bytes: u8) {
         self.push(Access::Read(addr, bytes));
     }
+    #[inline]
     fn write(&mut self, addr: u32, bytes: u8) {
         self.push(Access::Write(addr, bytes));
     }

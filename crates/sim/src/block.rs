@@ -1,0 +1,960 @@
+//! Basic-block discovery and micro-op lowering for the block engine.
+//!
+//! A *block* is a straight-line run of instructions starting at some PC
+//! and ending at the first control transfer (including its delay slot
+//! when that is lowerable), the first non-lowerable instruction, the end
+//! of the text segment, or [`MAX_BLOCK_LEN`]. Lowering happens once per
+//! entry PC: operands are pre-resolved (register file slots as raw
+//! indices, immediates pre-cast, PC-relative targets and `ldc` literal
+//! addresses pre-computed), and everything about the block that does not
+//! depend on machine state is pre-aggregated so the dispatch loop in
+//! [`crate::engine`] can account for a whole block with a handful of
+//! adds instead of per-instruction counter traffic.
+//!
+//! The lowered (hot) set covers the integer ALU, compares, moves, loads
+//! and stores, and all control transfers. FPU instructions, traps, and
+//! undecodable words are *not* lowered — they terminate the block and
+//! execute through [`crate::Machine::step`], which stays the normative
+//! semantics.
+
+use crate::machine::Machine;
+use d16_isa::{AluOp, Cond, Gpr, Insn, Isa, MemWidth, UnOp};
+
+/// Write-discard register-file slot: DLXe `r0` as a *destination* lowers
+/// to this, making the hardwired-zero write a plain array store.
+pub(crate) const SCRATCH_REG: u8 = 32;
+/// Permanent-zero register-file slot: DLXe `r0` as a *source* lowers to
+/// this; also used for "no source" in static interlock metadata (its
+/// ready time is never written, so it never stalls anything).
+pub(crate) const ZERO_REG: u8 = 33;
+
+/// Longest lowered block in micro-ops. Bounds compile latency and keeps
+/// the fuel fast-path check (`remaining >= len`) conservative.
+pub(crate) const MAX_BLOCK_LEN: usize = 64;
+
+/// One lowered micro-operation. Register fields are raw register-file
+/// slot indices (see [`SCRATCH_REG`]/[`ZERO_REG`]); immediates are
+/// pre-cast to the `u32` the ALU consumes; control targets that are
+/// statically known are pre-computed byte addresses.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Uop {
+    /// `rd <- rs1 op rs2`.
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `rd <- rs1 op imm`.
+    AluI { op: AluOp, rd: u8, rs1: u8, imm: u32 },
+    /// `rd <- op rs`.
+    Un { op: UnOp, rd: u8, rs: u8 },
+    /// `rd <- imm` (from `Mvi`, or `Lui` with the shift pre-applied).
+    MovImm { rd: u8, imm: u32 },
+    /// `rd <- (rs1 cond rs2) ? ~0 : 0`.
+    Cmp { cond: Cond, rd: u8, rs1: u8, rs2: u8 },
+    /// `rd <- (rs1 cond imm) ? ~0 : 0`.
+    CmpI { cond: Cond, rd: u8, rs1: u8, imm: u32 },
+    /// `rd <- mem[rs(base) + disp]`; the effective address is dynamic, so
+    /// faults are pre-checked at dispatch (bailing to the interpreter).
+    Ld { w: MemWidth, rd: u8, base: u8, disp: u32 },
+    /// D16 `ldc` with its literal-pool address pre-computed *and*
+    /// pre-validated at lowering time — this micro-op cannot fault.
+    LdAbs { rd: u8, addr: u32 },
+    /// `mem[base + disp] <- rs`; faults pre-checked like [`Uop::Ld`].
+    St { w: MemWidth, rs: u8, base: u8, disp: u32 },
+    /// Unconditional PC-relative branch (also linkless `Jdisp`), target
+    /// pre-computed.
+    Br { target: u32 },
+    /// Conditional branch with both outcomes pre-computed.
+    Bc { neg: bool, rs: u8, taken: u32, fall: u32 },
+    /// Register-indirect jump.
+    Jr { target: u8 },
+    /// Conditional register-indirect jump.
+    Jc { neg: bool, rs: u8, target: u8, fall: u32 },
+    /// Jump-and-link through a register; the link value is static.
+    Jl { target: u8, link: u8, link_val: u32 },
+    /// `Jdisp` with link: static target and static link value.
+    Jal { target: u32, link: u8, link_val: u32 },
+    /// No operation.
+    Nop,
+}
+
+/// A micro-op plus its statically known pipeline behavior: `stall` is set
+/// iff the *previous* micro-op in the block is a load whose destination
+/// this one reads, which is the only way a lowered instruction can
+/// interlock (one delay slot, full forwarding — every non-load result is
+/// ready at issue time). Such a stall is always exactly one cycle.
+///
+/// Because every stall after the first micro-op is static, the cycle
+/// count at which each step completes is static too: `cum` is the number
+/// of cycles from block entry through the end of this step (issue cycles
+/// plus static stalls). At dispatch the engine adds the one dynamic
+/// quantity — the first micro-op's scoreboard stall — to the block's
+/// entry time and every step's clock is `entry + dynamic + cum`, so the
+/// hot loop carries no cycle arithmetic at all.
+///
+/// `Step` is the *lowering-time* form; what the block actually stores is
+/// the packed [`XStep`] each step encodes to.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Step {
+    pub uop: Uop,
+    pub stall: bool,
+    pub cum: u32,
+}
+
+/// Flat execution opcodes: the [`Uop`] variant *and* everything it used
+/// to dispatch on at run time — ALU operation, compare condition, memory
+/// width, branch-sense flag — baked into a single byte at lowering time.
+/// Executing a `Uop` costs two data-dependent dispatches (the variant
+/// jump table, then `AluOp::eval`/`Cond::eval`'s inner match on an op
+/// loaded from memory); executing an opcode costs one. The numeric
+/// layout is grouped so the cold accounting paths can classify with
+/// range patterns (see [`xtally`]).
+pub(crate) mod opc {
+    // 0..=7: ALU register-register, base + `alu_sel`.
+    pub const ALU_RR: u8 = 0;
+    // 8..=15: ALU register-immediate, base + `alu_sel`.
+    pub const ALU_RI: u8 = 8;
+    // 16..=25: compare register-register, base + `cond_sel`.
+    pub const CMP_RR: u8 = 16;
+    // 26..=35: compare register-immediate, base + `cond_sel`.
+    pub const CMP_RI: u8 = 26;
+    // Named members of the four groups, for the engine's match patterns.
+    pub const ADD_RR: u8 = ALU_RR;
+    pub const SUB_RR: u8 = ALU_RR + 1;
+    pub const AND_RR: u8 = ALU_RR + 2;
+    pub const OR_RR: u8 = ALU_RR + 3;
+    pub const XOR_RR: u8 = ALU_RR + 4;
+    pub const SHL_RR: u8 = ALU_RR + 5;
+    pub const SHR_RR: u8 = ALU_RR + 6;
+    pub const SHRA_RR: u8 = ALU_RR + 7;
+    pub const ADD_RI: u8 = ALU_RI;
+    pub const SUB_RI: u8 = ALU_RI + 1;
+    pub const AND_RI: u8 = ALU_RI + 2;
+    pub const OR_RI: u8 = ALU_RI + 3;
+    pub const XOR_RI: u8 = ALU_RI + 4;
+    pub const SHL_RI: u8 = ALU_RI + 5;
+    pub const SHR_RI: u8 = ALU_RI + 6;
+    pub const SHRA_RI: u8 = ALU_RI + 7;
+    pub const EQ_RR: u8 = CMP_RR;
+    pub const NE_RR: u8 = CMP_RR + 1;
+    pub const LT_RR: u8 = CMP_RR + 2;
+    pub const LTU_RR: u8 = CMP_RR + 3;
+    pub const LE_RR: u8 = CMP_RR + 4;
+    pub const LEU_RR: u8 = CMP_RR + 5;
+    pub const GT_RR: u8 = CMP_RR + 6;
+    pub const GTU_RR: u8 = CMP_RR + 7;
+    pub const GE_RR: u8 = CMP_RR + 8;
+    pub const GEU_RR: u8 = CMP_RR + 9;
+    pub const EQ_RI: u8 = CMP_RI;
+    pub const NE_RI: u8 = CMP_RI + 1;
+    pub const LT_RI: u8 = CMP_RI + 2;
+    pub const LTU_RI: u8 = CMP_RI + 3;
+    pub const LE_RI: u8 = CMP_RI + 4;
+    pub const LEU_RI: u8 = CMP_RI + 5;
+    pub const GT_RI: u8 = CMP_RI + 6;
+    pub const GTU_RI: u8 = CMP_RI + 7;
+    pub const GE_RI: u8 = CMP_RI + 8;
+    pub const GEU_RI: u8 = CMP_RI + 9;
+    pub const NEG: u8 = 36;
+    pub const INV: u8 = 37;
+    pub const MV: u8 = 38;
+    pub const MOVI: u8 = 39;
+    pub const LD_B: u8 = 40;
+    pub const LD_BU: u8 = 41;
+    pub const LD_H: u8 = 42;
+    pub const LD_HU: u8 = 43;
+    pub const LD_W: u8 = 44;
+    pub const LD_ABS: u8 = 45;
+    pub const ST_B: u8 = 46;
+    pub const ST_H: u8 = 47;
+    pub const ST_W: u8 = 48;
+    pub const BR: u8 = 49;
+    /// `Bc`, taken when the register is zero (`neg == false`).
+    pub const BC_Z: u8 = 50;
+    /// `Bc`, taken when the register is non-zero (`neg == true`).
+    pub const BC_NZ: u8 = 51;
+    pub const JR: u8 = 52;
+    pub const JC_Z: u8 = 53;
+    pub const JC_NZ: u8 = 54;
+    pub const JL: u8 = 55;
+    pub const JAL: u8 = 56;
+    pub const NOP: u8 = 57;
+
+    // ---- Fused pairs ----
+    //
+    // One packed step standing for two consecutive instructions (see
+    // `fuse_pair`): the dominant adjacent pairs in the suite traces —
+    // the compilers' 2-address `mv`+op idiom and branch/delay-slot
+    // tails — each retire with a single dispatch. `unfuse` maps a fused
+    // code back to its two component codes; everything cold (tallies,
+    // bail prefix sums) goes through it, so the hot arms are the only
+    // place the pairing is spelled out twice.
+    // 58..=65: ALU register-immediate, then `Mv` (base + `alu_sel`).
+    pub const ALU_RI_MV: u8 = 58;
+    // 66..=73: `Mv`, then ALU register-immediate (base + `alu_sel`).
+    pub const MV_ALU_RI: u8 = 66;
+    // 74..=81: ALU register-register, then `Mv` (base + `alu_sel`).
+    pub const ALU_RR_MV: u8 = 74;
+    // 82..=89: `Mv`, then ALU register-register (base + `alu_sel`).
+    pub const MV_ALU_RR: u8 = 82;
+    // 90..=97: ALU register-immediate, then `Br` (base + `alu_sel`).
+    pub const ALU_RI_BR: u8 = 90;
+    /// `Br` with a `Nop` delay slot.
+    pub const BR_NOP: u8 = 98;
+    /// Zero-taken `Bc` with a `Nop` delay slot.
+    pub const BC_Z_NOP: u8 = 99;
+    /// Nonzero-taken `Bc` with a `Nop` delay slot.
+    pub const BC_NZ_NOP: u8 = 100;
+    /// `Br` with a `Mv` delay slot.
+    pub const BR_MV: u8 = 101;
+    /// Two consecutive `Mv`s.
+    pub const MV_MV: u8 = 102;
+    /// `Mv`, then a nonzero-taken `Bc`.
+    pub const MV_BC_NZ: u8 = 103;
+    // Named members of the five fused ALU groups, for match patterns.
+    pub const ADD_RI_MV: u8 = ALU_RI_MV;
+    pub const SUB_RI_MV: u8 = ALU_RI_MV + 1;
+    pub const AND_RI_MV: u8 = ALU_RI_MV + 2;
+    pub const OR_RI_MV: u8 = ALU_RI_MV + 3;
+    pub const XOR_RI_MV: u8 = ALU_RI_MV + 4;
+    pub const SHL_RI_MV: u8 = ALU_RI_MV + 5;
+    pub const SHR_RI_MV: u8 = ALU_RI_MV + 6;
+    pub const SHRA_RI_MV: u8 = ALU_RI_MV + 7;
+    pub const ADD_MV_RI: u8 = MV_ALU_RI;
+    pub const SUB_MV_RI: u8 = MV_ALU_RI + 1;
+    pub const AND_MV_RI: u8 = MV_ALU_RI + 2;
+    pub const OR_MV_RI: u8 = MV_ALU_RI + 3;
+    pub const XOR_MV_RI: u8 = MV_ALU_RI + 4;
+    pub const SHL_MV_RI: u8 = MV_ALU_RI + 5;
+    pub const SHR_MV_RI: u8 = MV_ALU_RI + 6;
+    pub const SHRA_MV_RI: u8 = MV_ALU_RI + 7;
+    pub const ADD_RR_MV: u8 = ALU_RR_MV;
+    pub const SUB_RR_MV: u8 = ALU_RR_MV + 1;
+    pub const AND_RR_MV: u8 = ALU_RR_MV + 2;
+    pub const OR_RR_MV: u8 = ALU_RR_MV + 3;
+    pub const XOR_RR_MV: u8 = ALU_RR_MV + 4;
+    pub const SHL_RR_MV: u8 = ALU_RR_MV + 5;
+    pub const SHR_RR_MV: u8 = ALU_RR_MV + 6;
+    pub const SHRA_RR_MV: u8 = ALU_RR_MV + 7;
+    pub const ADD_MV_RR: u8 = MV_ALU_RR;
+    pub const SUB_MV_RR: u8 = MV_ALU_RR + 1;
+    pub const AND_MV_RR: u8 = MV_ALU_RR + 2;
+    pub const OR_MV_RR: u8 = MV_ALU_RR + 3;
+    pub const XOR_MV_RR: u8 = MV_ALU_RR + 4;
+    pub const SHL_MV_RR: u8 = MV_ALU_RR + 5;
+    pub const SHR_MV_RR: u8 = MV_ALU_RR + 6;
+    pub const SHRA_MV_RR: u8 = MV_ALU_RR + 7;
+    pub const ADD_RI_BR: u8 = ALU_RI_BR;
+    pub const SUB_RI_BR: u8 = ALU_RI_BR + 1;
+    pub const AND_RI_BR: u8 = ALU_RI_BR + 2;
+    pub const OR_RI_BR: u8 = ALU_RI_BR + 3;
+    pub const XOR_RI_BR: u8 = ALU_RI_BR + 4;
+    pub const SHL_RI_BR: u8 = ALU_RI_BR + 5;
+    pub const SHR_RI_BR: u8 = ALU_RI_BR + 6;
+    pub const SHRA_RI_BR: u8 = ALU_RI_BR + 7;
+    // Inclusive ends of the five fused ALU groups, for range patterns.
+    pub const ALU_RI_MV_END: u8 = ALU_RI_MV + 7;
+    pub const MV_ALU_RI_END: u8 = MV_ALU_RI + 7;
+    pub const ALU_RR_MV_END: u8 = ALU_RR_MV + 7;
+    pub const MV_ALU_RR_END: u8 = MV_ALU_RR + 7;
+    pub const ALU_RI_BR_END: u8 = ALU_RI_BR + 7;
+}
+
+/// The two component opcodes of a fused code, `None` for plain codes.
+pub(crate) fn unfuse(code: u8) -> Option<(u8, u8)> {
+    Some(match code {
+        opc::ALU_RI_MV..=opc::ALU_RI_MV_END => (opc::ALU_RI + (code - opc::ALU_RI_MV), opc::MV),
+        opc::MV_ALU_RI..=opc::MV_ALU_RI_END => (opc::MV, opc::ALU_RI + (code - opc::MV_ALU_RI)),
+        opc::ALU_RR_MV..=opc::ALU_RR_MV_END => (opc::ALU_RR + (code - opc::ALU_RR_MV), opc::MV),
+        opc::MV_ALU_RR..=opc::MV_ALU_RR_END => (opc::MV, opc::ALU_RR + (code - opc::MV_ALU_RR)),
+        opc::ALU_RI_BR..=opc::ALU_RI_BR_END => (opc::ALU_RI + (code - opc::ALU_RI_BR), opc::BR),
+        opc::BR_NOP => (opc::BR, opc::NOP),
+        opc::BC_Z_NOP => (opc::BC_Z, opc::NOP),
+        opc::BC_NZ_NOP => (opc::BC_NZ, opc::NOP),
+        opc::BR_MV => (opc::BR, opc::MV),
+        opc::MV_MV => (opc::MV, opc::MV),
+        opc::MV_BC_NZ => (opc::MV, opc::BC_NZ),
+        _ => return None,
+    })
+}
+
+/// Instructions a packed step retires: 2 for fused pairs, else 1.
+pub(crate) fn step_width(code: u8) -> u32 {
+    1 + u32::from(unfuse(code).is_some())
+}
+
+/// Offset of an [`AluOp`] within the `ALU_RR`/`ALU_RI` opcode groups.
+fn alu_sel(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Shra => 7,
+    }
+}
+
+/// Offset of a [`Cond`] within the `CMP_RR`/`CMP_RI` opcode groups.
+fn cond_sel(cond: Cond) -> u8 {
+    match cond {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ltu => 3,
+        Cond::Le => 4,
+        Cond::Leu => 5,
+        Cond::Gt => 6,
+        Cond::Gtu => 7,
+        Cond::Ge => 8,
+        Cond::Geu => 9,
+    }
+}
+
+/// The packed execution form of a [`Step`]: one 16-byte record the
+/// dispatch loop consumes with a single flat jump on `code` and no
+/// further data-dependent branching. Operand meaning per opcode group:
+///
+/// | group            | `a`     | `b`     | `c`   | `imm`      | `aux`      |
+/// |------------------|---------|---------|-------|------------|------------|
+/// | `ALU_RR`/`CMP_RR`| rd      | rs1     | rs2   | —          | —          |
+/// | `ALU_RI`/`CMP_RI`| rd      | rs1     | —     | imm        | —          |
+/// | `NEG`/`INV`/`MV` | rd      | rs      | —     | —          | —          |
+/// | `MOVI`           | rd      | —       | —     | imm        | —          |
+/// | `LD_*`           | rd      | base    | —     | disp       | —          |
+/// | `LD_ABS`         | rd      | —       | —     | addr       | —          |
+/// | `ST_*`           | rs      | base    | —     | disp       | —          |
+/// | `BR`             | —       | —       | —     | target     | —          |
+/// | `BC_Z`/`BC_NZ`   | rs      | —       | —     | taken      | fall       |
+/// | `JR`             | target  | —       | —     | —          | —          |
+/// | `JC_Z`/`JC_NZ`   | rs      | target  | —     | —          | fall       |
+/// | `JL`             | target  | link    | —     | link_val   | —          |
+/// | `JAL`            | link    | —       | —     | target     | link_val   |
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct XStep {
+    pub code: u8,
+    pub a: u8,
+    pub b: u8,
+    pub c: u8,
+    pub imm: u32,
+    pub aux: u32,
+    /// See [`Step::stall`]; read only on the cold bail path.
+    pub stall: bool,
+    /// See [`Step::cum`]; `2 * MAX_BLOCK_LEN` fits a byte.
+    pub cum: u8,
+}
+
+const _: () = assert!(2 * MAX_BLOCK_LEN <= u8::MAX as usize);
+
+/// Packs one analyzed [`Step`] into its execution form.
+fn encode(s: &Step) -> XStep {
+    let mut x = XStep {
+        code: opc::NOP,
+        a: 0,
+        b: 0,
+        c: 0,
+        imm: 0,
+        aux: 0,
+        stall: s.stall,
+        cum: s.cum as u8,
+    };
+    match s.uop {
+        Uop::Alu { op, rd, rs1, rs2 } => {
+            x.code = opc::ALU_RR + alu_sel(op);
+            (x.a, x.b, x.c) = (rd, rs1, rs2);
+        }
+        Uop::AluI { op, rd, rs1, imm } => {
+            x.code = opc::ALU_RI + alu_sel(op);
+            (x.a, x.b, x.imm) = (rd, rs1, imm);
+        }
+        Uop::Un { op, rd, rs } => {
+            x.code = match op {
+                UnOp::Neg => opc::NEG,
+                UnOp::Inv => opc::INV,
+                UnOp::Mv => opc::MV,
+            };
+            (x.a, x.b) = (rd, rs);
+        }
+        Uop::MovImm { rd, imm } => {
+            x.code = opc::MOVI;
+            (x.a, x.imm) = (rd, imm);
+        }
+        Uop::Cmp { cond, rd, rs1, rs2 } => {
+            x.code = opc::CMP_RR + cond_sel(cond);
+            (x.a, x.b, x.c) = (rd, rs1, rs2);
+        }
+        Uop::CmpI { cond, rd, rs1, imm } => {
+            x.code = opc::CMP_RI + cond_sel(cond);
+            (x.a, x.b, x.imm) = (rd, rs1, imm);
+        }
+        Uop::Ld { w, rd, base, disp } => {
+            x.code = match w {
+                MemWidth::B => opc::LD_B,
+                MemWidth::Bu => opc::LD_BU,
+                MemWidth::H => opc::LD_H,
+                MemWidth::Hu => opc::LD_HU,
+                MemWidth::W => opc::LD_W,
+            };
+            (x.a, x.b, x.imm) = (rd, base, disp);
+        }
+        Uop::LdAbs { rd, addr } => {
+            x.code = opc::LD_ABS;
+            (x.a, x.imm) = (rd, addr);
+        }
+        Uop::St { w, rs, base, disp } => {
+            // Unsigned widths store the same bits as signed ones.
+            x.code = match w {
+                MemWidth::B | MemWidth::Bu => opc::ST_B,
+                MemWidth::H | MemWidth::Hu => opc::ST_H,
+                MemWidth::W => opc::ST_W,
+            };
+            (x.a, x.b, x.imm) = (rs, base, disp);
+        }
+        Uop::Br { target } => {
+            x.code = opc::BR;
+            x.imm = target;
+        }
+        Uop::Bc { neg, rs, taken, fall } => {
+            x.code = if neg { opc::BC_NZ } else { opc::BC_Z };
+            (x.a, x.imm, x.aux) = (rs, taken, fall);
+        }
+        Uop::Jr { target } => {
+            x.code = opc::JR;
+            x.a = target;
+        }
+        Uop::Jc { neg, rs, target, fall } => {
+            x.code = if neg { opc::JC_NZ } else { opc::JC_Z };
+            (x.a, x.b, x.aux) = (rs, target, fall);
+        }
+        Uop::Jl { target, link, link_val } => {
+            x.code = opc::JL;
+            (x.a, x.b, x.imm) = (target, link, link_val);
+        }
+        Uop::Jal { target, link, link_val } => {
+            x.code = opc::JAL;
+            (x.a, x.imm, x.aux) = (link, target, link_val);
+        }
+        Uop::Nop => x.code = opc::NOP,
+    }
+    x
+}
+
+/// How control leaves a completed block.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum BlockExit {
+    /// No control transfer: the next PC is the instruction after the
+    /// block.
+    FallThrough,
+    /// The block ends with a control micro-op whose delay slot was not
+    /// lowerable: the machine's `pending_target` is left set and the
+    /// delay-slot instruction executes through the interpreter.
+    PendingAtEnd,
+    /// The block ends with a control micro-op followed by its lowered
+    /// delay slot: the next PC is the pending target.
+    TakePending,
+}
+
+/// Statically known accounting for a run of micro-ops: the per-class
+/// instruction counts the interpreter bumps one at a time, pre-summed so
+/// the engine adds them per block (or per bailed-out prefix) instead.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub(crate) struct Tally {
+    /// `stage.ex.alu` instructions.
+    pub ex_alu: u64,
+    /// Control transfers (0 or 1 per block; always last, or before the
+    /// delay slot).
+    pub ex_control: u64,
+    /// Explicit nops.
+    pub ex_nop: u64,
+    /// Loads (`Ld` + `LdAbs`).
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Integer writebacks (`stage.wb.gpr`), discarded DLXe `r0` writes
+    /// included.
+    pub wb_gpr: u64,
+    /// Control transfers that are statically taken (`Br`/`Jr`/`Jl`/`Jal`).
+    pub static_taken: u64,
+}
+
+/// Classifies `steps` the way [`crate::Machine::step`] classifies
+/// instructions, summed.
+pub(crate) fn tally(steps: &[Step]) -> Tally {
+    let mut t = Tally::default();
+    for s in steps {
+        match s.uop {
+            Uop::Alu { .. }
+            | Uop::AluI { .. }
+            | Uop::Un { .. }
+            | Uop::MovImm { .. }
+            | Uop::Cmp { .. }
+            | Uop::CmpI { .. } => {
+                t.ex_alu += 1;
+                t.wb_gpr += 1;
+            }
+            Uop::Ld { .. } | Uop::LdAbs { .. } => {
+                t.loads += 1;
+                t.wb_gpr += 1;
+            }
+            Uop::St { .. } => t.stores += 1,
+            Uop::Br { .. } | Uop::Jr { .. } => {
+                t.ex_control += 1;
+                t.static_taken += 1;
+            }
+            Uop::Jl { .. } | Uop::Jal { .. } => {
+                t.ex_control += 1;
+                t.static_taken += 1;
+                t.wb_gpr += 1;
+            }
+            Uop::Bc { .. } | Uop::Jc { .. } => t.ex_control += 1,
+            Uop::Nop => t.ex_nop += 1,
+        }
+    }
+    t
+}
+
+/// [`tally`] over the packed execution form, for the bail path (which
+/// only has the block's [`XStep`]s). The opcode space is laid out in
+/// class-contiguous ranges so this stays a handful of range tests;
+/// `lower_block` debug-asserts it agrees with [`tally`] on every block.
+fn classify(code: u8, t: &mut Tally) {
+    match code {
+        opc::ALU_RR..=opc::MOVI => {
+            t.ex_alu += 1;
+            t.wb_gpr += 1;
+        }
+        opc::LD_B..=opc::LD_ABS => {
+            t.loads += 1;
+            t.wb_gpr += 1;
+        }
+        opc::ST_B..=opc::ST_W => t.stores += 1,
+        opc::BR | opc::JR => {
+            t.ex_control += 1;
+            t.static_taken += 1;
+        }
+        opc::JL | opc::JAL => {
+            t.ex_control += 1;
+            t.static_taken += 1;
+            t.wb_gpr += 1;
+        }
+        opc::BC_Z | opc::BC_NZ | opc::JC_Z | opc::JC_NZ => t.ex_control += 1,
+        _ => t.ex_nop += 1,
+    }
+}
+
+pub(crate) fn xtally(steps: &[XStep]) -> Tally {
+    let mut t = Tally::default();
+    for s in steps {
+        match unfuse(s.code) {
+            Some((first, second)) => {
+                classify(first, &mut t);
+                classify(second, &mut t);
+            }
+            None => classify(s.code, &mut t),
+        }
+    }
+    t
+}
+
+/// Per-block copy propagation: rewrites micro-op *sources* so a value
+/// flowing through a `Mv` is read from its origin slot instead of the
+/// copy. Values are identical by construction (every slot write is a
+/// plain array store, hardwired-zero included via [`SCRATCH_REG`]), so
+/// nothing observable moves — but the engine's hottest latency chain, a
+/// `Mv` store immediately reloaded by the consumer (the compilers'
+/// 2-address idiom), becomes two independent reads of the origin slot.
+///
+/// Runs *after* stall marking and the cycle/tally/`first_srcs` sums:
+/// interlocks are architectural, so they must see the written registers,
+/// not the renamed ones.
+fn propagate_copies(steps: &mut [Step]) {
+    // `canon[s]` holds a slot whose current value equals slot `s`'s; the
+    // map is kept canonical (`canon[canon[s]] == canon[s]`), so a write
+    // to `d` resets every entry pointing at `d` in one sweep.
+    let mut canon: [u8; 64] = core::array::from_fn(|i| i as u8);
+    let r = |canon: &[u8; 64], s: &mut u8| *s = canon[*s as usize];
+    for step in steps {
+        let write = |canon: &mut [u8; 64], d: u8| {
+            for (x, c) in canon.iter_mut().enumerate() {
+                if *c == d {
+                    *c = x as u8;
+                }
+            }
+            canon[d as usize] = d;
+        };
+        match &mut step.uop {
+            Uop::Un { op: UnOp::Mv, rd, rs } => {
+                r(&canon, rs);
+                let (rd, src) = (*rd, *rs);
+                write(&mut canon, rd);
+                if src != rd {
+                    canon[rd as usize] = src;
+                }
+            }
+            Uop::Alu { rd, rs1, rs2, .. } | Uop::Cmp { rd, rs1, rs2, .. } => {
+                r(&canon, rs1);
+                r(&canon, rs2);
+                write(&mut canon, *rd);
+            }
+            Uop::AluI { rd, rs1, .. } | Uop::CmpI { rd, rs1, .. } => {
+                r(&canon, rs1);
+                write(&mut canon, *rd);
+            }
+            Uop::Un { rd, rs, .. } => {
+                r(&canon, rs);
+                write(&mut canon, *rd);
+            }
+            Uop::MovImm { rd, .. } | Uop::LdAbs { rd, .. } => write(&mut canon, *rd),
+            Uop::Ld { rd, base, .. } => {
+                r(&canon, base);
+                write(&mut canon, *rd);
+            }
+            Uop::St { rs, base, .. } => {
+                r(&canon, rs);
+                r(&canon, base);
+            }
+            Uop::Bc { rs, .. } => r(&canon, rs),
+            Uop::Jc { rs, target, .. } => {
+                r(&canon, rs);
+                r(&canon, target);
+            }
+            Uop::Jr { target } => r(&canon, target),
+            Uop::Jl { target, link, .. } => {
+                r(&canon, target);
+                write(&mut canon, *link);
+            }
+            Uop::Jal { link, .. } => write(&mut canon, *link),
+            Uop::Br { .. } | Uop::Nop => {}
+        }
+    }
+}
+
+/// Fuses adjacent micro-op pairs into single packed steps, greedily and
+/// left to right. Only pairs whose components cannot fault are fused, so
+/// a [`Bail`](super::engine) index always lands on a plain step; the
+/// second component can never carry a static interlock either (it would
+/// need a load immediately before it — the first component, never a
+/// load), so one `stall` flag and the second component's `cum` describe
+/// the pair exactly.
+fn fuse(packed: Vec<XStep>) -> Vec<XStep> {
+    let mut out = Vec::with_capacity(packed.len());
+    let mut i = 0;
+    while i < packed.len() {
+        if i + 1 < packed.len() {
+            if let Some(f) = fuse_pair(&packed[i], &packed[i + 1]) {
+                out.push(f);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(packed[i]);
+        i += 1;
+    }
+    out
+}
+
+/// The pair table behind [`fuse`]: the traces' hottest adjacent pairs
+/// (the 2-address `mv`+ALU idiom and branch/delay-slot block tails),
+/// re-packed into one `XStep`. Operand layout per family is documented
+/// on the arm in `exec_block`; the second component's registers ride in
+/// whatever fields the first leaves free (`c`/`aux`, byte-packed for
+/// register-register pairs).
+fn fuse_pair(x: &XStep, y: &XStep) -> Option<XStep> {
+    let f = |code: u8, a: u8, b: u8, c: u8, imm: u32, aux: u32| {
+        // No fusable first component is a load, so the second component
+        // can never be the stalling side of a load-use pair.
+        debug_assert!(!y.stall, "second fusion component stalls without a load before it");
+        Some(XStep { code, a, b, c, imm, aux, stall: x.stall, cum: y.cum })
+    };
+    match (x.code, y.code) {
+        (opc::ALU_RI..=opc::SHRA_RI, opc::MV) => {
+            f(opc::ALU_RI_MV + (x.code - opc::ALU_RI), x.a, x.b, y.a, x.imm, u32::from(y.b))
+        }
+        (opc::MV, opc::ALU_RI..=opc::SHRA_RI) => {
+            f(opc::MV_ALU_RI + (y.code - opc::ALU_RI), x.a, x.b, y.a, y.imm, u32::from(y.b))
+        }
+        (opc::ALU_RR..=opc::SHRA_RR, opc::MV) => {
+            let pack = u32::from(y.a) | u32::from(y.b) << 8;
+            f(opc::ALU_RR_MV + (x.code - opc::ALU_RR), x.a, x.b, x.c, 0, pack)
+        }
+        (opc::MV, opc::ALU_RR..=opc::SHRA_RR) => {
+            let pack = u32::from(y.b) | u32::from(y.c) << 8;
+            f(opc::MV_ALU_RR + (y.code - opc::ALU_RR), x.a, x.b, y.a, 0, pack)
+        }
+        (opc::ALU_RI..=opc::SHRA_RI, opc::BR) => {
+            f(opc::ALU_RI_BR + (x.code - opc::ALU_RI), x.a, x.b, 0, x.imm, y.imm)
+        }
+        (opc::BR, opc::NOP) => f(opc::BR_NOP, 0, 0, 0, x.imm, 0),
+        (opc::BC_Z, opc::NOP) => f(opc::BC_Z_NOP, x.a, 0, 0, x.imm, x.aux),
+        (opc::BC_NZ, opc::NOP) => f(opc::BC_NZ_NOP, x.a, 0, 0, x.imm, x.aux),
+        (opc::BR, opc::MV) => f(opc::BR_MV, y.a, y.b, 0, x.imm, 0),
+        (opc::MV, opc::MV) => f(opc::MV_MV, x.a, x.b, y.a, 0, u32::from(y.b)),
+        (opc::MV, opc::BC_NZ) => f(opc::MV_BC_NZ, x.a, x.b, y.a, y.imm, y.aux),
+        _ => None,
+    }
+}
+
+/// A lowered basic block plus everything about its execution that is
+/// known statically, pre-aggregated for batched accounting.
+#[derive(Clone, Debug)]
+pub(crate) struct Block {
+    /// PC of the first instruction.
+    pub start_pc: u32,
+    /// The packed micro-ops, in program order. Fused steps ([`unfuse`])
+    /// retire two instructions, so this can be shorter than [`Block::len`].
+    pub steps: Box<[XStep]>,
+    /// Instructions the block retires (components of fused steps count).
+    pub n_insns: u32,
+    pub exit: BlockExit,
+    /// Mapped source slots of the first micro-op, for the one dynamic
+    /// interlock check a block needs ([`ZERO_REG`] when absent).
+    pub first_srcs: [u8; 2],
+    /// Per-class totals for a completed block.
+    pub totals: Tally,
+    /// Total cycles for a completed block before the dynamic first-step
+    /// stall: `steps.last().cum` (instruction issues plus static stalls).
+    pub cycles: u64,
+    /// Number of static ([`Step::stall`]) interlocks in the block; each
+    /// is exactly one cycle and one scoreboard event.
+    pub static_stalls: u64,
+    /// 32-bit instruction-word transitions after the first instruction:
+    /// the block's fetch-word count minus the dynamic first-word term.
+    pub words_after_first: u64,
+    /// Fetch word of the first instruction.
+    pub first_word: u32,
+    /// Fetch word of the last instruction.
+    pub last_word: u32,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.n_insns as usize
+    }
+}
+
+/// The GPR the micro-op writes with *load* timing, if any — the only
+/// writes whose ready times the engine must track (everything else is
+/// forwarded by issue time).
+fn load_dest(u: &Uop) -> Option<u8> {
+    match *u {
+        Uop::Ld { rd, .. } | Uop::LdAbs { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Mapped source slots of a micro-op, mirroring [`Insn::use_gprs`] over
+/// the lowered set ([`ZERO_REG`] pads absent operands).
+fn uop_srcs(u: &Uop) -> [u8; 2] {
+    match *u {
+        Uop::Alu { rs1, rs2, .. } | Uop::Cmp { rs1, rs2, .. } => [rs1, rs2],
+        Uop::AluI { rs1, .. } | Uop::CmpI { rs1, .. } => [rs1, ZERO_REG],
+        Uop::Un { rs, .. } => [rs, ZERO_REG],
+        Uop::Ld { base, .. } => [base, ZERO_REG],
+        Uop::St { rs, base, .. } => [rs, base],
+        Uop::Bc { rs, .. } => [rs, ZERO_REG],
+        Uop::Jr { target } | Uop::Jl { target, .. } => [target, ZERO_REG],
+        Uop::Jc { rs, target, .. } => [rs, target],
+        Uop::MovImm { .. } | Uop::LdAbs { .. } | Uop::Br { .. } | Uop::Jal { .. } | Uop::Nop => {
+            [ZERO_REG; 2]
+        }
+    }
+}
+
+/// Whether the micro-op is a control transfer (sets the pending target).
+fn is_control(u: &Uop) -> bool {
+    matches!(
+        u,
+        Uop::Br { .. }
+            | Uop::Bc { .. }
+            | Uop::Jr { .. }
+            | Uop::Jc { .. }
+            | Uop::Jl { .. }
+            | Uop::Jal { .. }
+    )
+}
+
+/// Lowers one instruction, or `None` if it is outside the hot set (FPU,
+/// traps, and — as a lowering-time fault check — an `ldc` whose static
+/// literal address would fault).
+fn lower_insn(m: &Machine, pc: u32, insn: &Insn) -> Option<Uop> {
+    let isa = m.isa;
+    let ilen = isa.insn_bytes();
+    let dlxe = isa == Isa::Dlxe;
+    let src = |r: Gpr| -> u8 {
+        if dlxe && r.index() == 0 {
+            ZERO_REG
+        } else {
+            r.index() as u8
+        }
+    };
+    let dst = |r: Gpr| -> u8 {
+        if dlxe && r.index() == 0 {
+            SCRATCH_REG
+        } else {
+            r.index() as u8
+        }
+    };
+    Some(match *insn {
+        Insn::Alu { op, rd, rs1, rs2 } => {
+            Uop::Alu { op, rd: dst(rd), rs1: src(rs1), rs2: src(rs2) }
+        }
+        Insn::AluI { op, rd, rs1, imm } => {
+            Uop::AluI { op, rd: dst(rd), rs1: src(rs1), imm: imm as u32 }
+        }
+        Insn::Un { op, rd, rs } => Uop::Un { op, rd: dst(rd), rs: src(rs) },
+        Insn::Mvi { rd, imm } => Uop::MovImm { rd: dst(rd), imm: imm as u32 },
+        Insn::Lui { rd, imm } => Uop::MovImm { rd: dst(rd), imm: imm << 16 },
+        Insn::Cmp { cond, rd, rs1, rs2 } => {
+            Uop::Cmp { cond, rd: dst(rd), rs1: src(rs1), rs2: src(rs2) }
+        }
+        Insn::CmpI { cond, rd, rs1, imm } => {
+            Uop::CmpI { cond, rd: dst(rd), rs1: src(rs1), imm: imm as u32 }
+        }
+        Insn::Ld { w, rd, base, disp } => {
+            Uop::Ld { w, rd: dst(rd), base: src(base), disp: disp as u32 }
+        }
+        Insn::Ldc { rd, disp } => {
+            let addr = ((pc + 2 + 3) & !3).wrapping_add(disp as u32);
+            // Pre-validate: a faulting literal load is left to the
+            // interpreter (ends the block), so `LdAbs` cannot fault.
+            if addr as u64 + 4 > m.mem.len() as u64 || !addr.is_multiple_of(4) {
+                return None;
+            }
+            Uop::LdAbs { rd: dst(rd), addr }
+        }
+        Insn::St { w, rs, base, disp } => {
+            Uop::St { w, rs: src(rs), base: src(base), disp: disp as u32 }
+        }
+        Insn::Br { disp } => Uop::Br { target: add_disp(pc + ilen, disp) },
+        Insn::Bc { neg, rs, disp } => {
+            Uop::Bc { neg, rs: src(rs), taken: add_disp(pc + ilen, disp), fall: pc + 2 * ilen }
+        }
+        Insn::J { target } => Uop::Jr { target: src(target) },
+        Insn::Jc { neg, rs, target } => {
+            Uop::Jc { neg, rs: src(rs), target: src(target), fall: pc + 2 * ilen }
+        }
+        Insn::Jl { target } => {
+            Uop::Jl { target: src(target), link: dst(isa.link_reg()), link_val: pc + 2 * ilen }
+        }
+        Insn::Jdisp { link: false, disp } => Uop::Br { target: add_disp(pc + ilen, disp) },
+        Insn::Jdisp { link: true, disp } => Uop::Jal {
+            target: add_disp(pc + ilen, disp),
+            link: dst(isa.link_reg()),
+            link_val: pc + 2 * ilen,
+        },
+        Insn::Nop => Uop::Nop,
+        // The cold set: FPU, transfers, status reads, and traps keep
+        // their interpreter semantics (latency model, console, halt).
+        Insn::FAlu { .. }
+        | Insn::FNeg { .. }
+        | Insn::FCmp { .. }
+        | Insn::Cvt { .. }
+        | Insn::Mtf { .. }
+        | Insn::Mff { .. }
+        | Insn::Rdsr { .. }
+        | Insn::Trap { .. } => return None,
+    })
+}
+
+fn add_disp(base: u32, disp: i32) -> u32 {
+    base.wrapping_add(disp as u32)
+}
+
+/// Discovers and lowers the block starting at `start_pc`, which must be
+/// a valid, aligned text address. Returns `None` when not even the first
+/// instruction is lowerable (the engine then marks the slot so the
+/// interpreter handles that PC permanently).
+pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
+    let ilen = m.isa.insn_bytes();
+    let mut steps: Vec<Step> = Vec::new();
+    let mut exit = BlockExit::FallThrough;
+    let mut pc = start_pc;
+    while steps.len() < MAX_BLOCK_LEN && pc < m.text_end {
+        let idx = ((pc - m.text_base) / ilen) as usize;
+        // An undecodable word ends the block; `step()` raises the fault.
+        let Some(insn) = m.decoded[idx] else { break };
+        let Some(uop) = lower_insn(m, pc, &insn) else { break };
+        let control = is_control(&uop);
+        steps.push(Step { uop, stall: false, cum: 0 });
+        pc += ilen;
+        if control {
+            // Lower the delay slot too when possible; a control transfer
+            // or non-lowerable instruction there is the interpreter's
+            // business (including the ControlInDelaySlot fault).
+            exit = BlockExit::PendingAtEnd;
+            if pc < m.text_end {
+                let didx = ((pc - m.text_base) / ilen) as usize;
+                if let Some(dinsn) = m.decoded[didx] {
+                    if let Some(duop) = lower_insn(m, pc, &dinsn) {
+                        if !is_control(&duop) {
+                            steps.push(Step { uop: duop, stall: false, cum: 0 });
+                            exit = BlockExit::TakePending;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+    }
+    if steps.is_empty() {
+        return None;
+    }
+
+    // Static load-use interlocks: only a load's destination read by the
+    // immediately following instruction can stall (see [`Step::stall`]).
+    for i in 1..steps.len() {
+        if let Some(d) = load_dest(&steps[i - 1].uop) {
+            if uop_srcs(&steps[i].uop).contains(&d) {
+                steps[i].stall = true;
+            }
+        }
+    }
+
+    // With the stalls known, every step's completion cycle is static
+    // (relative to block entry plus the one dynamic first-step stall).
+    let mut cum = 0u32;
+    let mut static_stalls = 0u64;
+    for s in &mut steps {
+        cum += 1 + u32::from(s.stall);
+        static_stalls += u64::from(s.stall);
+        s.cum = cum;
+    }
+
+    // With the architectural sums fixed, rename copied values back to
+    // their origin slots, then pack the steps into their execution form
+    // and fuse the hot adjacent pairs. All the per-instruction sums
+    // (tally, cycles, stalls, fetch words) are over the semantic steps,
+    // so neither rewrite changes them.
+    let first_srcs = uop_srcs(&steps[0].uop);
+    propagate_copies(&mut steps);
+    let packed = fuse(steps.iter().map(encode).collect());
+    debug_assert_eq!(tally(&steps), xtally(&packed), "opcode classification drifted");
+    debug_assert_eq!(
+        steps.len() as u32,
+        packed.iter().map(|s| step_width(s.code)).sum::<u32>(),
+        "fusion changed the retired-instruction count"
+    );
+    let mut b = Block {
+        start_pc,
+        exit,
+        n_insns: steps.len() as u32,
+        first_srcs,
+        totals: tally(&steps),
+        cycles: u64::from(cum),
+        static_stalls,
+        steps: packed.into_boxed_slice(),
+        words_after_first: 0,
+        first_word: start_pc & !3,
+        last_word: 0,
+    };
+    let mut prev_word = b.first_word;
+    for i in 1..steps.len() {
+        let w = (start_pc + i as u32 * ilen) & !3;
+        if w != prev_word {
+            b.words_after_first += 1;
+            prev_word = w;
+        }
+    }
+    b.last_word = prev_word;
+    Some(b)
+}

@@ -1,0 +1,945 @@
+//! The basic-block micro-op execution engine.
+//!
+//! [`crate::Machine::run`] decodes and dispatches every instruction on
+//! every dynamic execution. This module removes that per-instruction cost:
+//! the first time control reaches a PC, [`crate::block`] decodes forward
+//! to the block terminator once and lowers the run into a flat micro-op
+//! array; a direct-mapped cache (one slot per text instruction, so no
+//! conflicts ever evict) then dispatches the lowered block on every later
+//! visit with no decode, no operand resolution, and counter traffic
+//! batched to a handful of adds per block.
+//!
+//! The engine is an *optimization, not a second semantics*: everything
+//! rare — FPU instructions, traps, faults, delay slots that would not
+//! lower, fuel running out mid-block — falls back to
+//! [`crate::Machine::step`], the normative interpreter. The contract,
+//! enforced by the differential xtest and the fuzzer's fourth oracle, is
+//! observational identity: the same [`crate::Access`] stream bytes, the
+//! same [`crate::ExecStats`] and [`crate::SIM_SCHEMA`] telemetry, the
+//! same [`SimError`] at the same instruction, the same [`StopReason`].
+//!
+//! Two accounting techniques make the fast path fast while preserving
+//! that identity (counter *values* are compared, not bump order):
+//!
+//! - **Static pre-aggregation** — per-class instruction counts, writeback
+//!   counts, and fetch-word transitions of a block are computed at
+//!   lowering time ([`crate::block::Tally`]) and added once per completed
+//!   block. A block that bails out at micro-op `i` recomputes the same
+//!   sums over the executed prefix (`bail` is the cold path).
+//! - **Static interlock analysis** — with one load delay slot and full
+//!   forwarding, a lowered instruction can only ever stall for exactly
+//!   one cycle, and only when the *immediately preceding* micro-op is a
+//!   load producing one of its sources. That pair is known at lowering
+//!   time ([`crate::block::Step::stall`]); only a block's first micro-op
+//!   needs a dynamic scoreboard check (its predecessor ran in some other
+//!   block).
+
+use crate::access::AccessSink;
+use crate::block::{self, opc, Block, BlockExit};
+use crate::machine::Machine;
+use crate::stats::{SimCounter, StopReason};
+use crate::SimError;
+use d16_isa::{AluOp, Cond, Isa, UnOp};
+use d16_telemetry::Counters;
+
+/// Which execution engine drives a run (see [`crate::Machine::run_with`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The basic-block micro-op cache — the default engine.
+    #[default]
+    Blocks,
+    /// The per-instruction interpreter: the normative semantics the block
+    /// engine is differentially checked against.
+    Interp,
+}
+
+impl Engine {
+    /// CLI / report name (`"blocks"` / `"interp"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Blocks => "blocks",
+            Engine::Interp => "interp",
+        }
+    }
+
+    /// Parses a CLI / report name; inverse of [`Engine::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "blocks" => Some(Engine::Blocks),
+            "interp" => Some(Engine::Interp),
+            _ => None,
+        }
+    }
+}
+
+d16_telemetry::counter_schema! {
+    /// Block-engine mechanics counters. These count how the engine ran
+    /// (compiles, cache traffic, interpreter fallbacks), not what the
+    /// simulated program did, so — like `STORE_SCHEMA` — they stay out of
+    /// the experiment registry: `--metrics-json` must be byte-identical
+    /// across engines. Read them via
+    /// [`crate::Machine::engine_telemetry`].
+    pub ENGINE_SCHEMA / EngineCounter {
+        /// Blocks lowered into the cache.
+        BlocksCompiled => "blocks.compiled",
+        /// Micro-ops in those blocks.
+        UopsLowered => "uops.lowered",
+        /// Dispatches answered by the cache (a lowered block, or the
+        /// cached fact that this PC does not lower).
+        CacheHits => "cache.hits",
+        /// First visits to a PC (each triggers a lowering attempt).
+        CacheMisses => "cache.misses",
+        /// Instructions retired from micro-op arrays.
+        UopInsns => "insns.uop",
+        /// Instructions retired through the [`crate::Machine::step`]
+        /// fallback. `insns.uop + insns.fallback` equals
+        /// [`crate::ExecStats::insns`].
+        FallbackInsns => "insns.fallback",
+    }
+}
+
+/// Cache slot: PC not yet visited.
+const SLOT_NONE: u32 = u32::MAX;
+/// Cache slot: PC visited but not lowerable (FPU/trap/undecodable) —
+/// permanently the interpreter's.
+const SLOT_NO_BLOCK: u32 = u32::MAX - 1;
+
+/// The block cache plus its dispatch loop. One per [`Machine`], built
+/// lazily by [`Machine::run_blocks`] and kept across runs — the keying
+/// fields ([`Isa`], text extent, text checksum) only exist to detect a
+/// machine swap, since a machine's own text is immutable (stores into it
+/// fault).
+#[derive(Clone, Debug)]
+pub struct BlockEngine {
+    isa: Isa,
+    text_base: u32,
+    text_end: u32,
+    text_sum: u64,
+    /// Direct-mapped: one slot per text instruction ([`SLOT_NONE`],
+    /// [`SLOT_NO_BLOCK`], or an index into `blocks`).
+    slots: Vec<u32>,
+    blocks: Vec<Block>,
+    /// One-entry successor cache per block: the last `(next_pc, next_id)`
+    /// transition taken out of it. Chained dispatch checks this before
+    /// the `slots` lookup; entries are only ever observed after a PC
+    /// equality check, so a stale entry costs a refill, never a wrong
+    /// block.
+    chain: Vec<(u32, u32)>,
+    tele: Counters,
+}
+
+impl BlockEngine {
+    /// An empty cache keyed to `m`'s text.
+    #[must_use]
+    pub(crate) fn new(m: &Machine) -> Self {
+        BlockEngine {
+            isa: m.isa,
+            text_base: m.text_base,
+            text_end: m.text_end,
+            text_sum: text_checksum(m),
+            slots: vec![SLOT_NONE; m.decoded.len()],
+            blocks: Vec::new(),
+            chain: Vec::new(),
+            tele: Counters::new(&ENGINE_SCHEMA),
+        }
+    }
+
+    /// Whether the cache was built from `m`'s text.
+    pub(crate) fn matches(&self, m: &Machine) -> bool {
+        self.isa == m.isa
+            && self.text_base == m.text_base
+            && self.text_end == m.text_end
+            && self.text_sum == text_checksum(m)
+    }
+
+    /// The engine-mechanics counter block ([`ENGINE_SCHEMA`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &Counters {
+        &self.tele
+    }
+
+    /// Checks the engine's own counters against the machine's
+    /// architectural statistics (the engine-side analogue of
+    /// [`crate::ExecStats::reconciles_with`]): every retired instruction
+    /// is counted exactly once, as micro-op or fallback, and the cache
+    /// counters are internally consistent. Trivially `Ok` with telemetry
+    /// compiled out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first identity that fails.
+    pub fn reconciles_with(&self, stats: &crate::ExecStats) -> Result<(), String> {
+        if !d16_telemetry::ENABLED {
+            return Ok(());
+        }
+        let g = |c: EngineCounter| self.tele.get(c);
+        let uop = g(EngineCounter::UopInsns);
+        let fb = g(EngineCounter::FallbackInsns);
+        if uop + fb != stats.insns {
+            return Err(format!(
+                "insns.uop ({uop}) + insns.fallback ({fb}) != stats.insns ({})",
+                stats.insns
+            ));
+        }
+        let compiled = g(EngineCounter::BlocksCompiled);
+        if compiled != self.blocks.len() as u64 {
+            return Err(format!(
+                "blocks.compiled ({compiled}) != cached blocks ({})",
+                self.blocks.len()
+            ));
+        }
+        let lowered = g(EngineCounter::UopsLowered);
+        let in_cache: u64 = self.blocks.iter().map(|b| b.len() as u64).sum();
+        if lowered != in_cache {
+            return Err(format!("uops.lowered ({lowered}) != micro-ops in cache ({in_cache})"));
+        }
+        if g(EngineCounter::CacheMisses) < compiled {
+            return Err(format!(
+                "cache.misses ({}) < blocks.compiled ({compiled})",
+                g(EngineCounter::CacheMisses)
+            ));
+        }
+        Ok(())
+    }
+
+    /// The dispatch loop behind [`Machine::run_blocks`]; same contract as
+    /// [`Machine::run`].
+    ///
+    /// All whole-block accounting is summed into a stack-local [`Acc`]
+    /// across consecutive cache-served blocks and flushed to the
+    /// machine's counters only when the segment ends (a fallback, a
+    /// bail-out, or run exit). Counters are only ever *observed* at those
+    /// boundaries, so the values seen are identical to per-block
+    /// application — the flush just batches the memory traffic.
+    pub(crate) fn run(
+        &mut self,
+        m: &mut Machine,
+        fuel: u64,
+        sink: &mut impl AccessSink,
+    ) -> Result<StopReason, SimError> {
+        let end = m.stats.insns + fuel;
+        // `ilen` is 2 or 4: strength-reduce the per-dispatch slot-index
+        // division and the alignment remainder to a shift and a mask.
+        let shift = m.isa.insn_bytes().trailing_zeros();
+        let align_mask = m.isa.insn_bytes() - 1;
+        let mut acc = Acc::default();
+        // Block the previous iteration ran to completion, if any: its
+        // successor cache gets first crack at resolving the next PC.
+        let mut pred: Option<u32> = None;
+        loop {
+            if let Some(v) = m.halted {
+                acc.flush(m, &mut self.tele);
+                return Ok(StopReason::Halted(v));
+            }
+            let retired = m.stats.insns + acc.insns;
+            if retired >= end {
+                acc.flush(m, &mut self.tele);
+                return Ok(StopReason::OutOfFuel);
+            }
+            // A pending branch target means the next instruction is a
+            // delay slot the block engine did not lower (blocks swallow
+            // their own delay slots): one interpreter step, which also
+            // owns the ControlInDelaySlot fault.
+            if m.pending_target.is_some() {
+                pred = None;
+                acc.flush(m, &mut self.tele);
+                self.fallback_step(m, sink)?;
+                continue;
+            }
+            let pc = m.pc;
+            // Chained dispatch: when the completed predecessor has seen
+            // this exact transition before, its cached successor id
+            // stands in for the whole slot lookup below (the PC equality
+            // check subsumes the range/alignment checks — a cached PC
+            // was resolved through them when the entry was filled).
+            let chained = pred.and_then(|p| {
+                let (cpc, cid) = self.chain[p as usize];
+                (cpc == pc).then_some(cid)
+            });
+            let id = if let Some(id) = chained {
+                acc.hits += 1;
+                id
+            } else {
+                if pc < m.text_base || pc >= m.text_end || (pc - m.text_base) & align_mask != 0 {
+                    // Let the interpreter raise the canonical PcOutOfText.
+                    pred = None;
+                    acc.flush(m, &mut self.tele);
+                    self.fallback_step(m, sink)?;
+                    continue;
+                }
+                let idx = ((pc - m.text_base) >> shift) as usize;
+                let id = match self.slots[idx] {
+                    SLOT_NO_BLOCK => {
+                        pred = None;
+                        acc.hits += 1;
+                        acc.flush(m, &mut self.tele);
+                        self.fallback_step(m, sink)?;
+                        continue;
+                    }
+                    SLOT_NONE => {
+                        acc.misses += 1;
+                        match block::lower_block(m, pc) {
+                            Some(b) => {
+                                self.tele.bump(EngineCounter::BlocksCompiled);
+                                self.tele.add(EngineCounter::UopsLowered, b.len() as u64);
+                                let id = self.blocks.len() as u32;
+                                self.blocks.push(b);
+                                self.chain.push((u32::MAX, 0));
+                                self.slots[idx] = id;
+                                id
+                            }
+                            None => {
+                                self.slots[idx] = SLOT_NO_BLOCK;
+                                pred = None;
+                                acc.flush(m, &mut self.tele);
+                                self.fallback_step(m, sink)?;
+                                continue;
+                            }
+                        }
+                    }
+                    id => {
+                        acc.hits += 1;
+                        id
+                    }
+                };
+                if let Some(p) = pred {
+                    self.chain[p as usize] = (pc, id);
+                }
+                id
+            };
+            pred = None;
+            let b = &self.blocks[id as usize];
+            // The interpreter stops on the exact instruction where fuel
+            // runs out; a block is all-or-nothing, so when the remaining
+            // budget cannot cover it, finish the run one step at a time.
+            if end - retired < b.len() as u64 {
+                acc.flush(m, &mut self.tele);
+                self.fallback_step(m, sink)?;
+                continue;
+            }
+            loop {
+                match exec_block(m, b, &mut acc, sink) {
+                    Ok(()) => {
+                        // Self-loop fast path: a block whose exit lands
+                        // back on its own head (a single-block loop) can
+                        // re-enter directly — the dispatch-loop checks it
+                        // would re-run are all statically known to pass
+                        // except halt/pending/fuel, checked here.
+                        if m.pc == b.start_pc
+                            && m.pending_target.is_none()
+                            && m.halted.is_none()
+                            && end - (m.stats.insns + acc.insns) >= b.len() as u64
+                        {
+                            acc.hits += 1;
+                            continue;
+                        }
+                        pred = Some(id);
+                        break;
+                    }
+                    Err(why) => {
+                        acc.flush(m, &mut self.tele);
+                        let b = &self.blocks[id as usize];
+                        bail(m, b, &why, &mut self.tele, sink)?;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One interpreter step, with the retired-instruction delta (1, or 0
+    /// when the step faults before retiring) credited to the fallback
+    /// counter so `insns.uop + insns.fallback == stats.insns` holds
+    /// exactly.
+    fn fallback_step(
+        &mut self,
+        m: &mut Machine,
+        sink: &mut impl AccessSink,
+    ) -> Result<(), SimError> {
+        let before = m.stats.insns;
+        let r = m.step(sink);
+        self.tele.add(EngineCounter::FallbackInsns, m.stats.insns - before);
+        r
+    }
+}
+
+/// Segment accumulator: the whole-block accounting sums carried in
+/// registers/stack across consecutive cache-served blocks, flushed to
+/// the machine's (memory-resident, bounds-checked) counters only at
+/// segment boundaries. See [`BlockEngine::run`].
+#[derive(Default)]
+struct Acc {
+    /// Instructions retired from micro-op arrays this segment (also the
+    /// pending `insns.uop` delta).
+    insns: u64,
+    /// Per-class sums of those instructions.
+    tally: block::Tally,
+    /// Dynamic conditional-branch outcomes.
+    taken: u64,
+    untaken: u64,
+    /// Load-use interlocks: scoreboard events and stalled cycles.
+    stall_events: u64,
+    stall_cycles: u64,
+    /// Instruction-fetch word transitions.
+    words: u64,
+    /// Pending `cache.hits` / `cache.misses` deltas.
+    hits: u64,
+    misses: u64,
+}
+
+impl Acc {
+    /// Folds one completed block (with its dynamic entry stall `d` and
+    /// conditional-branch outcomes) into the segment sums.
+    #[inline]
+    fn absorb(&mut self, b: &Block, d: u64, taken: u64, untaken: u64) {
+        self.insns += b.len() as u64;
+        let tl = &b.totals;
+        self.tally.ex_alu += tl.ex_alu;
+        self.tally.ex_control += tl.ex_control;
+        self.tally.ex_nop += tl.ex_nop;
+        self.tally.loads += tl.loads;
+        self.tally.stores += tl.stores;
+        self.tally.wb_gpr += tl.wb_gpr;
+        self.tally.static_taken += tl.static_taken;
+        self.taken += taken;
+        self.untaken += untaken;
+        self.stall_events += b.static_stalls + u64::from(d > 0);
+        self.stall_cycles += b.static_stalls + d;
+    }
+
+    /// Applies the segment sums to the machine and engine counters and
+    /// resets. The values land exactly as per-block application would
+    /// have left them.
+    fn flush(&mut self, m: &mut Machine, tele: &mut Counters) {
+        if self.hits != 0 || self.misses != 0 {
+            tele.add(EngineCounter::CacheHits, self.hits);
+            tele.add(EngineCounter::CacheMisses, self.misses);
+        }
+        if self.insns > 0 {
+            apply_tally(m, self.insns, &self.tally, self.taken, self.untaken);
+            if self.stall_cycles > 0 {
+                m.stats.interlocks += self.stall_cycles;
+                m.stats.load_interlocks += self.stall_cycles;
+                m.tele.add(SimCounter::LoadEvents, self.stall_events);
+                m.tele.add(SimCounter::LoadCycles, self.stall_cycles);
+            }
+            m.stats.ifetch_words += self.words;
+            m.tele.add(SimCounter::IfWords, self.words);
+            tele.add(EngineCounter::UopInsns, self.insns);
+        }
+        *self = Acc::default();
+    }
+}
+
+/// Why [`exec_block`] could not complete: micro-op `i` would fault, with
+/// the partial-block state the settlement in [`bail`] needs.
+struct Bail {
+    i: usize,
+    d: u64,
+    pending: Option<u32>,
+    taken: u64,
+    untaken: u64,
+}
+
+/// FNV-1a over the text segment: the engine's staleness check for a
+/// machine swap. Not adversarial — a machine cannot modify its own text
+/// (stores into it raise [`SimError::WriteToText`]).
+fn text_checksum(m: &Machine) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in &m.mem[m.text_base as usize..m.text_end as usize] {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Masked register-file index. Lowered register slots are always below
+/// [`crate::machine::GPR_SLOTS`]; the mask (a no-op on valid slots)
+/// proves it to the optimizer, eliding the bounds check on the
+/// simulator's hottest array.
+macro_rules! slot {
+    ($r:expr) => {
+        ($r as usize) & (crate::machine::GPR_SLOTS - 1)
+    };
+}
+
+/// Executes one lowered block to completion, or bails to the interpreter
+/// at the first micro-op that would fault. Preconditions (the dispatch
+/// loop establishes them): not halted, no pending branch target, and
+/// enough fuel for the whole block.
+///
+/// The loop body carries no cycle arithmetic and no counter traffic:
+/// every step's clock is `base + Step::cum` with `base` fixed once at
+/// entry (the one dynamic scoreboard check), and all accounting lands in
+/// a handful of local adds ([`Acc::absorb`]) after the last micro-op
+/// retires. A would-fault micro-op returns [`Bail`]; the caller settles.
+fn exec_block(
+    m: &mut Machine,
+    b: &Block,
+    acc: &mut Acc,
+    sink: &mut impl AccessSink,
+) -> Result<(), Bail> {
+    let ilen = m.isa.insn_bytes();
+    // One dynamic interlock check per block: only the first micro-op can
+    // see a load delay from *outside* the block (see the module doc);
+    // every later stall is static and already folded into `Step::cum`.
+    let d = m.gpr_ready[slot!(b.first_srcs[0])]
+        .max(m.gpr_ready[slot!(b.first_srcs[1])])
+        .saturating_sub(m.t);
+    let base = m.t + d;
+    let mut pc = b.start_pc;
+    let mut pending: Option<u32> = None;
+    let (mut taken, mut untaken) = (0u64, 0u64);
+    for (i, s) in b.steps.iter().enumerate() {
+        // The arm bodies, shared across the opcode groups. Defined inside
+        // the loop so `m`/`s`/`pc`/`sink` are in scope at the definition
+        // site (macro hygiene resolves them there).
+        macro_rules! rr {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]);
+            }};
+        }
+        macro_rules! ri {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
+            }};
+        }
+        macro_rules! cmp_rr {
+            ($cond:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] =
+                    if $cond.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]) { u32::MAX } else { 0 };
+            }};
+        }
+        macro_rules! cmp_ri {
+            ($cond:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = if $cond.eval(m.gpr[slot!(s.b)], s.imm) { u32::MAX } else { 0 };
+            }};
+        }
+        macro_rules! un {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)]);
+            }};
+        }
+        // The memory arms run their fault pre-check before any sink traffic:
+        // `step()` redoes the full per-instruction sequence (fetch emission
+        // included) and then raises the canonical fault, so the engine must
+        // leave no trace of the bailing instruction behind — which is also
+        // why these arms emit their own fetch only after the check passes.
+        // Widths are powers of two; the and-mask alignment test avoids the
+        // hardware divide `%` costs with a runtime divisor.
+        macro_rules! ld {
+            ($bl:literal, $a:ident, $val:expr) => {{
+                let ea = m.gpr[slot!(s.b)].wrapping_add(s.imm);
+                if ea as u64 + $bl > m.mem.len() as u64 || ea & ($bl as u32 - 1) != 0 {
+                    return Err(Bail { i, d, pending, taken, untaken });
+                }
+                sink.fetch(pc, ilen as u8);
+                sink.read(ea, $bl as u8);
+                let $a = ea as usize;
+                m.gpr[slot!(s.a)] = $val;
+                // One load delay slot: ready the cycle after completion.
+                m.gpr_ready[slot!(s.a)] = base + u64::from(s.cum) + 1;
+            }};
+        }
+        macro_rules! st {
+            ($bl:literal, $a:ident, $v:ident, $put:expr) => {{
+                let ea = m.gpr[slot!(s.b)].wrapping_add(s.imm);
+                if ea as u64 + $bl > m.mem.len() as u64
+                    || ea & ($bl as u32 - 1) != 0
+                    || ea < m.data_base
+                {
+                    return Err(Bail { i, d, pending, taken, untaken });
+                }
+                sink.fetch(pc, ilen as u8);
+                sink.write(ea, $bl as u8);
+                let $a = ea as usize;
+                let $v = m.gpr[slot!(s.a)];
+                $put;
+            }};
+        }
+        // The fused-pair arm bodies (see `block::fuse_pair` for the
+        // operand packing): two fetches, two effects, one dispatch. The
+        // extra `pc += ilen` between the halves keeps the fetch stream
+        // byte-identical to the unfused steps; none of the fused
+        // components touch memory, so no other sink traffic moves.
+        macro_rules! ri_mv {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.c)] = m.gpr[slot!(s.aux)];
+            }};
+        }
+        macro_rules! mv_ri {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.c)] = $op.eval(m.gpr[slot!(s.aux)], s.imm);
+            }};
+        }
+        macro_rules! rr_mv {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]);
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.aux)] = m.gpr[slot!(s.aux >> 8)];
+            }};
+        }
+        macro_rules! mv_rr {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.c)] = $op.eval(m.gpr[slot!(s.aux)], m.gpr[slot!(s.aux >> 8)]);
+            }};
+        }
+        macro_rules! ri_br {
+            ($op:expr) => {{
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                pending = Some(s.aux);
+            }};
+        }
+        // One flat jump per micro-op: the opcode byte already encodes the
+        // ALU operation / condition / width / branch sense, so no arm
+        // re-dispatches on a second memory-loaded operand.
+        match s.code {
+            opc::ADD_RR => rr!(AluOp::Add),
+            opc::SUB_RR => rr!(AluOp::Sub),
+            opc::AND_RR => rr!(AluOp::And),
+            opc::OR_RR => rr!(AluOp::Or),
+            opc::XOR_RR => rr!(AluOp::Xor),
+            opc::SHL_RR => rr!(AluOp::Shl),
+            opc::SHR_RR => rr!(AluOp::Shr),
+            opc::SHRA_RR => rr!(AluOp::Shra),
+            opc::ADD_RI => ri!(AluOp::Add),
+            opc::SUB_RI => ri!(AluOp::Sub),
+            opc::AND_RI => ri!(AluOp::And),
+            opc::OR_RI => ri!(AluOp::Or),
+            opc::XOR_RI => ri!(AluOp::Xor),
+            opc::SHL_RI => ri!(AluOp::Shl),
+            opc::SHR_RI => ri!(AluOp::Shr),
+            opc::SHRA_RI => ri!(AluOp::Shra),
+            opc::EQ_RR => cmp_rr!(Cond::Eq),
+            opc::NE_RR => cmp_rr!(Cond::Ne),
+            opc::LT_RR => cmp_rr!(Cond::Lt),
+            opc::LTU_RR => cmp_rr!(Cond::Ltu),
+            opc::LE_RR => cmp_rr!(Cond::Le),
+            opc::LEU_RR => cmp_rr!(Cond::Leu),
+            opc::GT_RR => cmp_rr!(Cond::Gt),
+            opc::GTU_RR => cmp_rr!(Cond::Gtu),
+            opc::GE_RR => cmp_rr!(Cond::Ge),
+            opc::GEU_RR => cmp_rr!(Cond::Geu),
+            opc::EQ_RI => cmp_ri!(Cond::Eq),
+            opc::NE_RI => cmp_ri!(Cond::Ne),
+            opc::LT_RI => cmp_ri!(Cond::Lt),
+            opc::LTU_RI => cmp_ri!(Cond::Ltu),
+            opc::LE_RI => cmp_ri!(Cond::Le),
+            opc::LEU_RI => cmp_ri!(Cond::Leu),
+            opc::GT_RI => cmp_ri!(Cond::Gt),
+            opc::GTU_RI => cmp_ri!(Cond::Gtu),
+            opc::GE_RI => cmp_ri!(Cond::Ge),
+            opc::GEU_RI => cmp_ri!(Cond::Geu),
+            opc::NEG => un!(UnOp::Neg),
+            opc::INV => un!(UnOp::Inv),
+            opc::MV => un!(UnOp::Mv),
+            opc::MOVI => {
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = s.imm;
+            }
+            opc::LD_B => ld!(1u64, a, m.mem[a] as i8 as i32 as u32),
+            opc::LD_BU => ld!(1u64, a, m.mem[a] as u32),
+            opc::LD_H => ld!(2u64, a, i16::from_le_bytes([m.mem[a], m.mem[a + 1]]) as i32 as u32),
+            opc::LD_HU => ld!(2u64, a, u16::from_le_bytes([m.mem[a], m.mem[a + 1]]) as u32),
+            opc::LD_W => {
+                ld!(4u64, a, u32::from_le_bytes(m.mem[a..a + 4].try_into().expect("4-byte slice")))
+            }
+            opc::LD_ABS => {
+                // Pre-validated at lowering time: cannot fault.
+                sink.fetch(pc, ilen as u8);
+                sink.read(s.imm, 4);
+                let a = s.imm as usize;
+                m.gpr[slot!(s.a)] =
+                    u32::from_le_bytes(m.mem[a..a + 4].try_into().expect("4-byte slice"));
+                m.gpr_ready[slot!(s.a)] = base + u64::from(s.cum) + 1;
+            }
+            opc::ST_B => st!(1u64, a, v, m.mem[a] = v as u8),
+            opc::ST_H => {
+                st!(2u64, a, v, m.mem[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes()))
+            }
+            opc::ST_W => st!(4u64, a, v, m.mem[a..a + 4].copy_from_slice(&v.to_le_bytes())),
+            opc::BR => {
+                sink.fetch(pc, ilen as u8);
+                pending = Some(s.imm);
+            }
+            opc::BC_Z => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] == 0 {
+                    pending = Some(s.imm);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+            }
+            opc::BC_NZ => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] != 0 {
+                    pending = Some(s.imm);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+            }
+            opc::JR => {
+                sink.fetch(pc, ilen as u8);
+                pending = Some(m.gpr[slot!(s.a)]);
+            }
+            opc::JC_Z => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] == 0 {
+                    pending = Some(m.gpr[slot!(s.b)]);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+            }
+            opc::JC_NZ => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] != 0 {
+                    pending = Some(m.gpr[slot!(s.b)]);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+            }
+            opc::JL => {
+                // Read the target before writing the link — they may be
+                // the same register (the interpreter reads first too).
+                sink.fetch(pc, ilen as u8);
+                let dest = m.gpr[slot!(s.a)];
+                m.gpr[slot!(s.b)] = s.imm;
+                pending = Some(dest);
+            }
+            opc::JAL => {
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = s.aux;
+                pending = Some(s.imm);
+            }
+            opc::NOP => sink.fetch(pc, ilen as u8),
+            opc::ADD_RI_MV => ri_mv!(AluOp::Add),
+            opc::SUB_RI_MV => ri_mv!(AluOp::Sub),
+            opc::AND_RI_MV => ri_mv!(AluOp::And),
+            opc::OR_RI_MV => ri_mv!(AluOp::Or),
+            opc::XOR_RI_MV => ri_mv!(AluOp::Xor),
+            opc::SHL_RI_MV => ri_mv!(AluOp::Shl),
+            opc::SHR_RI_MV => ri_mv!(AluOp::Shr),
+            opc::SHRA_RI_MV => ri_mv!(AluOp::Shra),
+            opc::ADD_MV_RI => mv_ri!(AluOp::Add),
+            opc::SUB_MV_RI => mv_ri!(AluOp::Sub),
+            opc::AND_MV_RI => mv_ri!(AluOp::And),
+            opc::OR_MV_RI => mv_ri!(AluOp::Or),
+            opc::XOR_MV_RI => mv_ri!(AluOp::Xor),
+            opc::SHL_MV_RI => mv_ri!(AluOp::Shl),
+            opc::SHR_MV_RI => mv_ri!(AluOp::Shr),
+            opc::SHRA_MV_RI => mv_ri!(AluOp::Shra),
+            opc::ADD_RR_MV => rr_mv!(AluOp::Add),
+            opc::SUB_RR_MV => rr_mv!(AluOp::Sub),
+            opc::AND_RR_MV => rr_mv!(AluOp::And),
+            opc::OR_RR_MV => rr_mv!(AluOp::Or),
+            opc::XOR_RR_MV => rr_mv!(AluOp::Xor),
+            opc::SHL_RR_MV => rr_mv!(AluOp::Shl),
+            opc::SHR_RR_MV => rr_mv!(AluOp::Shr),
+            opc::SHRA_RR_MV => rr_mv!(AluOp::Shra),
+            opc::ADD_MV_RR => mv_rr!(AluOp::Add),
+            opc::SUB_MV_RR => mv_rr!(AluOp::Sub),
+            opc::AND_MV_RR => mv_rr!(AluOp::And),
+            opc::OR_MV_RR => mv_rr!(AluOp::Or),
+            opc::XOR_MV_RR => mv_rr!(AluOp::Xor),
+            opc::SHL_MV_RR => mv_rr!(AluOp::Shl),
+            opc::SHR_MV_RR => mv_rr!(AluOp::Shr),
+            opc::SHRA_MV_RR => mv_rr!(AluOp::Shra),
+            opc::ADD_RI_BR => ri_br!(AluOp::Add),
+            opc::SUB_RI_BR => ri_br!(AluOp::Sub),
+            opc::AND_RI_BR => ri_br!(AluOp::And),
+            opc::OR_RI_BR => ri_br!(AluOp::Or),
+            opc::XOR_RI_BR => ri_br!(AluOp::Xor),
+            opc::SHL_RI_BR => ri_br!(AluOp::Shl),
+            opc::SHR_RI_BR => ri_br!(AluOp::Shr),
+            opc::SHRA_RI_BR => ri_br!(AluOp::Shra),
+            opc::BR_NOP => {
+                sink.fetch(pc, ilen as u8);
+                pending = Some(s.imm);
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+            }
+            opc::BC_Z_NOP => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] == 0 {
+                    pending = Some(s.imm);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+            }
+            opc::BC_NZ_NOP => {
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.a)] != 0 {
+                    pending = Some(s.imm);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+            }
+            opc::BR_MV => {
+                sink.fetch(pc, ilen as u8);
+                pending = Some(s.imm);
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
+            }
+            opc::MV_MV => {
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.c)] = m.gpr[slot!(s.aux)];
+            }
+            opc::MV_BC_NZ => {
+                sink.fetch(pc, ilen as u8);
+                m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
+                pc += ilen;
+                sink.fetch(pc, ilen as u8);
+                if m.gpr[slot!(s.c)] != 0 {
+                    pending = Some(s.imm);
+                    taken += 1;
+                } else {
+                    pending = Some(s.aux);
+                    untaken += 1;
+                }
+            }
+            code => unreachable!("invalid packed opcode {code}"),
+        }
+        pc += ilen;
+    }
+
+    // Whole-block completion: fold the block's static sums and dynamic
+    // outcomes into the segment accumulator (local adds, no counter
+    // memory traffic) and advance the per-block architectural state.
+    acc.absorb(b, d, taken, untaken);
+    acc.words += b.words_after_first + u64::from(m.last_fetch_word != Some(b.first_word));
+    m.last_fetch_word = Some(b.last_word);
+    m.t = base + b.cycles;
+    match b.exit {
+        BlockExit::FallThrough => m.pc = pc,
+        BlockExit::PendingAtEnd => {
+            m.pending_target = pending;
+            m.pc = pc;
+        }
+        BlockExit::TakePending => {
+            m.pc = pending.expect("a TakePending block's control micro-op set the target");
+        }
+    }
+    Ok(())
+}
+
+/// Adds the per-class counts of `n` retired instructions summarized by
+/// `tl` (plus the dynamic conditional-branch outcomes) to the machine,
+/// exactly as `n` interpreter steps would have.
+fn apply_tally(m: &mut Machine, n: u64, tl: &block::Tally, taken: u64, untaken: u64) {
+    m.stats.insns += n;
+    m.stats.loads += tl.loads;
+    m.stats.stores += tl.stores;
+    m.stats.nops += tl.ex_nop;
+    m.stats.branches += tl.ex_control;
+    m.stats.taken_branches += tl.static_taken + taken;
+    m.tele.add(SimCounter::IfInsns, n);
+    m.tele.add(SimCounter::IdInsns, n);
+    m.tele.add(SimCounter::ExAlu, tl.ex_alu);
+    m.tele.add(SimCounter::ExControl, tl.ex_control);
+    m.tele.add(SimCounter::ExNop, tl.ex_nop);
+    m.tele.add(SimCounter::MemLoads, tl.loads);
+    m.tele.add(SimCounter::MemStores, tl.stores);
+    m.tele.add(SimCounter::WbGpr, tl.wb_gpr);
+    m.tele.add(SimCounter::CtlTaken, tl.static_taken + taken);
+    m.tele.add(SimCounter::CtlUntaken, untaken);
+}
+
+/// The cold path out of [`exec_block`]: micro-op `i` would fault. Settle
+/// the accounts for the `i` completed micro-ops (recomputing the prefix
+/// sums the completion path gets statically), restore the architectural
+/// PC/pending/scoreboard state, and hand the faulting instruction to
+/// [`Machine::step`], which re-derives and raises the canonical
+/// [`SimError`]. The faulting micro-op's own stall (static flag, or the
+/// dynamic entry stall when `i == 0`) is *not* settled here — `step()`
+/// rediscovers it from the scoreboard and accounts it before faulting,
+/// exactly as the interpreter would.
+#[cold]
+fn bail(
+    m: &mut Machine,
+    b: &Block,
+    why: &Bail,
+    tele: &mut Counters,
+    sink: &mut impl AccessSink,
+) -> Result<(), SimError> {
+    let Bail { i, d, pending, taken, untaken } = *why;
+    let ilen = m.isa.insn_bytes();
+    // `i` counts packed steps; fused steps retire two instructions, so
+    // every per-instruction prefix sum walks the step widths.
+    let n: u32 = b.steps[..i].iter().map(|s| block::step_width(s.code)).sum();
+    let prefix = block::xtally(&b.steps[..i]);
+    apply_tally(m, u64::from(n), &prefix, taken, untaken);
+    if i > 0 {
+        let stalls = b.steps[..i].iter().filter(|s| s.stall).count() as u64;
+        let cycles = stalls + d;
+        if cycles > 0 {
+            m.stats.interlocks += cycles;
+            m.stats.load_interlocks += cycles;
+            m.tele.add(SimCounter::LoadEvents, stalls + u64::from(d > 0));
+            m.tele.add(SimCounter::LoadCycles, cycles);
+        }
+        m.t += d + u64::from(b.steps[i - 1].cum);
+    }
+    let mut words = 0u64;
+    let mut prev = m.last_fetch_word;
+    for j in 0..n {
+        let w = (b.start_pc + j * ilen) & !3;
+        if prev != Some(w) {
+            words += 1;
+            prev = Some(w);
+        }
+    }
+    m.stats.ifetch_words += words;
+    m.tele.add(SimCounter::IfWords, words);
+    m.last_fetch_word = prev;
+    m.pending_target = pending;
+    m.pc = b.start_pc + n * ilen;
+    tele.add(EngineCounter::UopInsns, u64::from(n));
+    let before = m.stats.insns;
+    let r = m.step(sink);
+    tele.add(EngineCounter::FallbackInsns, m.stats.insns - before);
+    r
+}

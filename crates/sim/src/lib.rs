@@ -27,10 +27,13 @@
 //! ```
 
 mod access;
+mod block;
+mod engine;
 mod machine;
 mod stats;
 
-pub use access::{Access, AccessSink, NullSink, TraceIter, TraceRecorder};
+pub use access::{Access, AccessSink, ChecksumSink, NullSink, TraceIter, TraceRecorder};
+pub use engine::{BlockEngine, Engine, EngineCounter, ENGINE_SCHEMA};
 pub use machine::{FpuLatency, Machine, SimError};
 pub use stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
 
@@ -396,5 +399,271 @@ v:      .word 3, 0
         let src = "_start: nop\nnop\ntrap 3\nmv r2, r2\ntrap 0\n";
         let (_, stop) = run_prog(Isa::D16, src);
         assert_eq!(stop.exit_status(), Some(3), "count includes the trap itself");
+    }
+
+    // --- block engine: observational equivalence -----------------------
+
+    /// Runs `src` under both engines with the same fuel and asserts every
+    /// observable agrees: recorded trace bytes, statistics, telemetry,
+    /// console, halt state, and the stop reason or fault. Returns the
+    /// block-engine machine for further inspection.
+    fn assert_engines_agree(
+        isa: Isa,
+        src: &str,
+        fuel: u64,
+    ) -> (Machine, Result<StopReason, SimError>) {
+        let image = build(isa, &[src]).expect("assemble/link");
+        let mut mi = Machine::load(&image);
+        let mut ti = TraceRecorder::new();
+        let ri = mi.run(fuel, &mut ti);
+        let mut mb = Machine::load(&image);
+        let mut tb = TraceRecorder::new();
+        let rb = mb.run_blocks(fuel, &mut tb);
+        assert_eq!(ri, rb, "stop/fault disagree ({isa})");
+        assert_eq!(ti.len(), tb.len(), "trace length disagrees ({isa})");
+        assert_eq!(ti.encoded_bytes(), tb.encoded_bytes(), "trace bytes disagree ({isa})");
+        assert_eq!(mi.stats(), mb.stats(), "stats disagree ({isa})");
+        assert_eq!(mi.console(), mb.console(), "console disagrees ({isa})");
+        assert_eq!(mi.halted(), mb.halted(), "halt state disagrees ({isa})");
+        assert_eq!(
+            mi.telemetry().values(),
+            mb.telemetry().values(),
+            "sim telemetry disagrees ({isa})"
+        );
+        // A faulting step bumps its stage-class counter before the
+        // execute stage raises, so reconciliation only holds (for either
+        // engine) on clean runs. What matters here is that the engines
+        // agree — asserted above — and reconcile identically when the
+        // interpreter does.
+        if rb.is_ok() {
+            mb.stats().reconciles_with(mb.telemetry()).expect("stats reconcile");
+        }
+        (mb, rb)
+    }
+
+    /// Every program the interpreter tests above exercise, under both
+    /// engines: ALU, branches, calls, memory, subword, FPU fallbacks,
+    /// console traps, and D16/DLXe register conventions.
+    #[test]
+    fn engines_agree_on_interpreter_test_programs() {
+        let programs: &[&str] = &[
+            "_start: mvi r2, 42\ntrap 0\n",
+            "_start: mvi r2, 1\nbr over\naddi r2, r2, 10\naddi r2, r2, 20\nover: trap 0\n",
+            "_start: nop\nnop\nnop\nnop\nmvi r2, 0\ntrap 0\n",
+            "_start: nop\nnop\ntrap 3\nmv r2, r2\ntrap 0\n",
+            "
+_start: mvi r3, 1
+        mtf f2, r3
+        si2sf f2, f2
+        mvi r3, 2
+        mtf f4, r3
+        si2sf f4, f4
+        cmplt.sf f2, f4
+        rdsr r2
+        trap 0
+",
+        ];
+        for isa in Isa::ALL {
+            for src in programs {
+                let _ = assert_engines_agree(isa, src, 1_000_000);
+            }
+        }
+        let d16_only: &[&str] = &[
+            "
+_start: mvi r2, 0
+        mvi r4, 0
+        mvi r3, 10
+loop:   subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, loop
+        addi r2, r2, 1
+        trap 0
+",
+            "_start: ldc r2, =1234\naddi r2, r2, 1\ntrap 0\n",
+            "_start: ldc r9, =double_it\nmvi r2, 21\njl r9\nnop\ntrap 0\ndouble_it: add r2, r2\nret\nnop\n",
+            "_start: mvi r2, 'H'\ntrap 1\nmvi r2, 'i'\ntrap 1\nmvi r2, -42\ntrap 2\nmvi r2, 0\ntrap 0\n",
+        ];
+        for src in d16_only {
+            let _ = assert_engines_agree(Isa::D16, src, 1_000_000);
+        }
+        let dlxe_only: &[&str] = &[
+            "_start: la r9, v\nld r2, 0(r9)\naddi r2, r2, 1\ntrap 0\n.data\nv: .word 5\n",
+            "_start: la r9, v\nld r2, 0(r9)\nnop\naddi r2, r2, 1\ntrap 0\n.data\nv: .word 5\n",
+            "_start: la r9, buf\nli r3, 0x12345678\nst r3, 0(r9)\nldb r2, (r9)\ntrap 0\n.data\nbuf: .word 0\n",
+            "_start: mvi r0, 7\nmv r2, r0\ntrap 0\n",
+            "_start: mvi r2, 21\njal double_it\nnop\ntrap 0\ndouble_it: add r2, r2, r2\nret\nnop\n",
+        ];
+        for src in dlxe_only {
+            let _ = assert_engines_agree(Isa::Dlxe, src, 1_000_000);
+        }
+    }
+
+    /// Faults must surface at the same instruction with the same error
+    /// and identical prefix accounting — the mid-block bail path.
+    #[test]
+    fn engines_agree_on_faults() {
+        // Store into text, mid-block after completed micro-ops.
+        let _ = assert_engines_agree(
+            Isa::Dlxe,
+            "_start: mvi r9, 0\nla r9, _start\nst r9, 0(r9)\ntrap 0\n",
+            100,
+        );
+        // Misaligned load mid-block.
+        let _ = assert_engines_agree(
+            Isa::Dlxe,
+            "_start: la r9, v\naddi r9, r9, 2\nld r2, 0(r9)\ntrap 0\n.data\nv: .word 1\n",
+            100,
+        );
+        // Out-of-bounds store through a computed address.
+        let _ = assert_engines_agree(Isa::Dlxe, "_start: mvi r9, -4\nst r9, 0(r9)\ntrap 0\n", 100);
+        // PC running off the end of text (no trap).
+        let _ = assert_engines_agree(Isa::D16, "_start: mvi r2, 1\nnop\n", 100);
+    }
+
+    /// The interpreter stops mid-block when fuel runs out; the engine
+    /// must stop at exactly the same instruction with the same stats.
+    #[test]
+    fn engines_agree_when_fuel_expires_mid_block() {
+        let src = "_start: br _start\nnop\n";
+        for fuel in [1u64, 2, 3, 7, 1000, 1001] {
+            let (m, stop) = assert_engines_agree(Isa::D16, src, fuel);
+            assert_eq!(stop, Ok(StopReason::OutOfFuel));
+            assert_eq!(m.stats().insns, fuel);
+        }
+        // A straight-line program cut off mid-way through a long block.
+        let long = "_start: mvi r2, 0\nnop\nnop\nnop\nnop\nnop\nnop\nnop\ntrap 0\n";
+        for fuel in 1..=9u64 {
+            let _ = assert_engines_agree(Isa::D16, long, fuel);
+        }
+    }
+
+    /// Branching into the middle of an already-cached block must compile
+    /// (and cache) a second block at the interior PC, not misuse the
+    /// enclosing one.
+    #[test]
+    fn engines_agree_on_branch_into_middle_of_block() {
+        let src = "
+_start: mvi r2, 0
+        mvi r3, 2
+        br mid
+        nop
+head:   addi r2, r2, 1      ; first entry lowers the block at `head`
+mid:    addi r2, r2, 10     ; second entry starts here, inside it
+        subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, head
+        nop
+        trap 0
+";
+        let (m, stop) = assert_engines_agree(Isa::D16, src, 10_000);
+        assert_eq!(stop.map(|s| s.exit_status()), Ok(Some(21)));
+        if d16_telemetry::ENABLED {
+            let eng = m.engine_telemetry().expect("engine ran");
+            assert!(
+                eng.get(EngineCounter::BlocksCompiled) >= 2,
+                "interior entry compiles its own block"
+            );
+        }
+    }
+
+    /// A control transfer whose delay slot does not lower (an FPU
+    /// transfer) leaves `pending_target` set for the interpreter; a
+    /// control transfer *in* a delay slot is the interpreter's fault to
+    /// raise.
+    #[test]
+    fn engines_agree_on_delay_slot_edges() {
+        let _ = assert_engines_agree(
+            Isa::Dlxe,
+            "_start: mvi r3, 7\nbr over\nmtf f2, r3\nover: mff r2, f2\ntrap 0\n",
+            100,
+        );
+        let _ = assert_engines_agree(
+            Isa::D16,
+            "_start: br a\nnop\na: br b\nbr a\nb: mvi r2, 0\ntrap 0\n",
+            100,
+        );
+    }
+
+    /// The engine's own counters reconcile with the architectural
+    /// statistics, and the cache serves re-entries without recompiling.
+    #[test]
+    fn engine_counters_reconcile_and_cache_serves_reentries() {
+        let src = "
+_start: mvi r2, 0
+        mvi r4, 0
+        mvi r3, 50
+loop:   subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, loop
+        addi r2, r2, 1
+        trap 0
+";
+        let image = build(Isa::D16, &[src]).expect("assemble/link");
+        let mut m = Machine::load(&image);
+        let stop = m.run_blocks(1_000_000, &mut NullSink).expect("run");
+        assert_eq!(stop.exit_status(), Some(50));
+        let eng = m.engine.as_ref().expect("engine retained");
+        eng.reconciles_with(m.stats()).expect("engine counters reconcile");
+        if d16_telemetry::ENABLED {
+            let tele = eng.telemetry();
+            let hits = tele.get(EngineCounter::CacheHits);
+            let misses = tele.get(EngineCounter::CacheMisses);
+            assert!(
+                hits > misses,
+                "a 50-iteration loop is cache-hit dominated ({hits} vs {misses})"
+            );
+            assert!(
+                tele.get(EngineCounter::UopInsns) > tele.get(EngineCounter::FallbackInsns),
+                "hot path retires most instructions"
+            );
+            // A second run on the same machine reuses the cache.
+            let compiled = tele.get(EngineCounter::BlocksCompiled);
+            let mut m2 = Machine::load(&image);
+            m2.engine = m.engine.take();
+            m2.run_blocks(1_000_000, &mut NullSink).expect("rerun");
+            let tele2 = m2.engine_telemetry().expect("engine retained");
+            assert_eq!(
+                tele2.get(EngineCounter::BlocksCompiled),
+                compiled,
+                "second run compiles nothing new"
+            );
+        }
+    }
+
+    /// `run_with` selects engines; a stale engine (different machine
+    /// text) is rebuilt, not reused.
+    #[test]
+    fn run_with_selects_engine_and_stale_cache_is_rebuilt() {
+        let a = build(Isa::D16, &["_start: mvi r2, 1\ntrap 0\n"]).expect("assemble");
+        let b = build(Isa::D16, &["_start: mvi r2, 2\nnop\ntrap 0\n"]).expect("assemble");
+        let mut ma = Machine::load(&a);
+        ma.run_with(Engine::Blocks, 100, &mut NullSink).expect("run a");
+        let mut mb = Machine::load(&b);
+        mb.engine = ma.engine.take(); // transplant a stale cache
+        let stop = mb.run_with(Engine::Blocks, 100, &mut NullSink).expect("run b");
+        assert_eq!(stop.exit_status(), Some(2), "stale cache must not leak blocks");
+        let mut mc = Machine::load(&a);
+        let stop = mc.run_with(Engine::Interp, 100, &mut NullSink).expect("interp");
+        assert_eq!(stop.exit_status(), Some(1));
+        assert!(mc.engine.is_none(), "interp engine builds no cache");
+    }
+
+    /// The checksum sink distinguishes streams and agrees across engines.
+    #[test]
+    fn checksum_sink_digests_access_streams() {
+        let image =
+            build(Isa::D16, &["_start: ldc r2, =7\naddi r2, r2, 1\ntrap 0\n"]).expect("assemble");
+        let mut mi = Machine::load(&image);
+        let mut ci = ChecksumSink::new();
+        mi.run(100, &mut ci).expect("interp");
+        let mut mb = Machine::load(&image);
+        let mut cb = ChecksumSink::new();
+        mb.run_blocks(100, &mut cb).expect("blocks");
+        assert_eq!(ci.digest(), cb.digest());
+        assert_eq!(ci.count(), cb.count());
+        let mut other = ChecksumSink::new();
+        other.fetch(0, 2);
+        assert_ne!(other.digest(), ci.digest());
+        assert_ne!(ChecksumSink::new().digest(), ci.digest());
     }
 }

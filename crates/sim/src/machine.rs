@@ -104,32 +104,49 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// The integer register file is widened beyond the 32 architectural
+/// slots, for two block-engine reasons. Slots the architecture cannot
+/// name let lowering pre-resolve DLXe's hardwired `r0` instead of
+/// branching on the ISA per access: writes to slot
+/// [`crate::block::SCRATCH_REG`] are discarded and slot
+/// [`crate::block::ZERO_REG`] reads as a permanent zero. And rounding
+/// the file up to a power of two lets the engine's dispatch loop index
+/// it with a `& 63` mask, which the optimizer can prove in-bounds —
+/// the register file is the hottest array in the simulator and a
+/// per-access bounds check there is measurable. The interpreter only
+/// ever touches slots below 32; lowered micro-ops only 0..=33.
+pub(crate) const GPR_SLOTS: usize = 64;
+
 /// The simulated processor plus its memory.
 #[derive(Clone)]
 pub struct Machine {
-    isa: Isa,
-    mem: Vec<u8>,
-    text_base: u32,
-    text_end: u32,
-    data_base: u32,
-    decoded: Vec<Option<Insn>>,
-    gpr: [u32; 32],
+    pub(crate) isa: Isa,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) text_base: u32,
+    pub(crate) text_end: u32,
+    pub(crate) data_base: u32,
+    pub(crate) decoded: Vec<Option<Insn>>,
+    pub(crate) gpr: [u32; GPR_SLOTS],
     fpr: [u32; 32],
     fpsr: bool,
-    pc: u32,
-    pending_target: Option<u32>,
-    halted: Option<i32>,
+    pub(crate) pc: u32,
+    pub(crate) pending_target: Option<u32>,
+    pub(crate) halted: Option<i32>,
     console: Vec<u8>,
-    stats: ExecStats,
-    tele: Counters,
+    pub(crate) stats: ExecStats,
+    pub(crate) tele: Counters,
     lat: FpuLatency,
     // Scoreboard for interlock accounting.
-    t: u64,
-    gpr_ready: [u64; 32],
+    pub(crate) t: u64,
+    pub(crate) gpr_ready: [u64; GPR_SLOTS],
     fpr_ready: [u64; 32],
     fpsr_ready: u64,
     fpu_free: u64,
-    last_fetch_word: Option<u32>,
+    pub(crate) last_fetch_word: Option<u32>,
+    /// The basic-block micro-op cache, built lazily on the first
+    /// [`Machine::run_blocks`] call and kept across runs (text is
+    /// immutable once loaded: stores into it fault).
+    pub(crate) engine: Option<Box<crate::engine::BlockEngine>>,
 }
 
 impl fmt::Debug for Machine {
@@ -175,7 +192,7 @@ impl Machine {
             text_end: image.text_base + image.text.len() as u32,
             data_base: image.data_base,
             decoded,
-            gpr: [0; 32],
+            gpr: [0; GPR_SLOTS],
             fpr: [0; 32],
             fpsr: false,
             pc: image.entry,
@@ -186,11 +203,12 @@ impl Machine {
             tele: Counters::new(&SIM_SCHEMA),
             lat: FpuLatency::default(),
             t: 0,
-            gpr_ready: [0; 32],
+            gpr_ready: [0; GPR_SLOTS],
             fpr_ready: [0; 32],
             fpsr_ready: 0,
             fpu_free: 0,
             last_fetch_word: None,
+            engine: None,
         }
     }
 
@@ -259,7 +277,9 @@ impl Machine {
         self.halted
     }
 
-    /// Runs until halt or until `fuel` instructions have executed.
+    /// Runs until halt or until `fuel` instructions have executed, one
+    /// [`Machine::step`] at a time — the interpreter, which defines the
+    /// normative semantics (the block engine is checked against it).
     ///
     /// # Errors
     ///
@@ -275,6 +295,61 @@ impl Machine {
             }
             self.step(sink)?;
         }
+    }
+
+    /// Runs under the selected execution engine. [`crate::Engine::Interp`]
+    /// is [`Machine::run`]; [`crate::Engine::Blocks`] is
+    /// [`Machine::run_blocks`]. Both are observationally identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] the program raises.
+    pub fn run_with(
+        &mut self,
+        engine: crate::Engine,
+        fuel: u64,
+        sink: &mut impl AccessSink,
+    ) -> Result<StopReason, SimError> {
+        match engine {
+            crate::Engine::Interp => self.run(fuel, sink),
+            crate::Engine::Blocks => self.run_blocks(fuel, sink),
+        }
+    }
+
+    /// Runs under the basic-block micro-op engine (see [`crate::engine`]):
+    /// straight-line runs of instructions are decoded and lowered once,
+    /// then dispatched from a block cache with no per-instruction decode.
+    /// Rare instructions, faults, and fuel edges fall back to
+    /// [`Machine::step`], so the observable behavior — access stream,
+    /// statistics, telemetry, stop reason, faults — is identical to
+    /// [`Machine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] the program raises.
+    pub fn run_blocks(
+        &mut self,
+        fuel: u64,
+        sink: &mut impl AccessSink,
+    ) -> Result<StopReason, SimError> {
+        // Take the engine out of `self` so it and the machine can be
+        // borrowed disjointly; the cache persists across calls.
+        let mut eng = match self.engine.take() {
+            Some(e) if e.matches(self) => e,
+            _ => Box::new(crate::engine::BlockEngine::new(self)),
+        };
+        let r = eng.run(self, fuel, sink);
+        self.engine = Some(eng);
+        r
+    }
+
+    /// The block engine's counter block ([`crate::ENGINE_SCHEMA`]), if
+    /// [`Machine::run_blocks`] has run. These count engine mechanics
+    /// (compiles, cache hits, fallbacks), not architectural events, and
+    /// deliberately stay out of the experiment registry so measurement
+    /// output is engine-invariant.
+    pub fn engine_telemetry(&self) -> Option<&Counters> {
+        self.engine.as_deref().map(crate::engine::BlockEngine::telemetry)
     }
 
     /// Executes a single instruction (a delay-slot instruction counts as

@@ -5,8 +5,8 @@
 //! counts them with first-class, statically registered counters instead of
 //! ad-hoc fields, and wraps its phases (cell collection, cache-grid
 //! sweeps) in timed spans. The dump feeds `repro --metrics-json`
-//! (schema `bench_repro/2`), which CI diffs byte-for-byte across worker
-//! counts.
+//! (schema `bench_repro/3`), which CI diffs byte-for-byte across worker
+//! counts and execution engines.
 //!
 //! Design constraints, in order:
 //!

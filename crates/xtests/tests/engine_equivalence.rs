@@ -1,0 +1,58 @@
+//! Engine-equivalence gate: the block-caching engine must be
+//! *observationally identical* to the per-instruction interpreter on the
+//! real suite — same exit checksum, same pipeline statistics, same
+//! telemetry counter values, and the same access stream byte for byte
+//! (the recorded trace encodes every fetch/read/write in order, so a
+//! byte-equal encoding pins the engines to the same memory behavior at
+//! the same instruction boundaries).
+//!
+//! The fast default covers a representative subset on every target
+//! configuration; the `#[ignore]`d test sweeps every (workload, target)
+//! cell of the paper's grid and runs in CI release builds.
+
+use d16_cc::TargetSpec;
+use d16_core::{measure_with, standard_specs, Engine};
+use d16_workloads::Workload;
+
+/// Measures one cell under both engines and asserts every observable
+/// output is identical.
+fn assert_cell_identical(w: &Workload, spec: &TargetSpec) {
+    let label = format!("({}, {})", w.name, spec.label());
+    let (a, ta) = measure_with(w, spec, true, Engine::Interp)
+        .unwrap_or_else(|e| panic!("{label} interp: {e}"));
+    let (b, tb) = measure_with(w, spec, true, Engine::Blocks)
+        .unwrap_or_else(|e| panic!("{label} blocks: {e}"));
+    assert_eq!(a.exit, b.exit, "{label}: exit checksum");
+    assert_eq!(a.stats, b.stats, "{label}: pipeline statistics");
+    assert_eq!(a.size_bytes, b.size_bytes, "{label}: static size");
+    assert_eq!(a.ireq_bus32, b.ireq_bus32, "{label}: 32-bit bus requests");
+    assert_eq!(a.ireq_bus64, b.ireq_bus64, "{label}: 64-bit bus requests");
+    assert_eq!(a.tele.values(), b.tele.values(), "{label}: telemetry counters");
+    let (ta, tb) = (ta.expect("interp trace"), tb.expect("blocks trace"));
+    assert_eq!(ta.len(), tb.len(), "{label}: trace record count");
+    assert_eq!(ta.encoded_bytes(), tb.encoded_bytes(), "{label}: trace bytes");
+}
+
+#[test]
+fn engines_agree_on_subset_across_all_targets() {
+    // One recursive integer workload, one string/memory-heavy cache
+    // benchmark, one floating-point workload: together they exercise the
+    // hot micro-op set, the cold-op fallback (FPU), and both ISAs'
+    // delay-slot shapes on all five target configurations.
+    for name in ["queens", "assem", "whetstone"] {
+        let w = d16_workloads::by_name(name).expect("suite workload");
+        for spec in standard_specs() {
+            assert_cell_identical(w, &spec);
+        }
+    }
+}
+
+#[test]
+#[ignore = "full 15x5 grid under both engines; run with --release -- --ignored (CI does)"]
+fn engines_agree_on_every_cell() {
+    for w in d16_workloads::SUITE.iter() {
+        for spec in standard_specs() {
+            assert_cell_identical(w, &spec);
+        }
+    }
+}

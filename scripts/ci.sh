@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The CI gate suite. Run everything with no arguments, or name the gates
-# to run: fmt clippy build test smoke determinism store faults panics
-# drift fuzz.
+# to run: fmt clippy build test smoke determinism engine store faults
+# panics drift fuzz.
 #
 #   ./scripts/ci.sh                  # all gates, in order
 #   ./scripts/ci.sh fmt clippy       # just the static gates
@@ -57,6 +57,30 @@ gate_determinism() {
     cmp "$tmp/m1.json" "$tmp/m4.json"
     step "determinism: --all output matches checked-in results.txt"
     cmp "$tmp/out1.txt" results.txt
+}
+
+gate_engine() {
+    # The two execution engines must be observationally identical: the
+    # rendered tables and the deterministic metrics dump may not differ
+    # by a byte between the block-caching default and the per-instruction
+    # interpreter. The speedup itself is gated in-process (same machine,
+    # same build) by the bench_drift floor test.
+    step "engine: --engine blocks vs --engine interp, stdout + metrics byte-identical"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    ./target/release/repro --smoke --engine blocks \
+        --metrics-json "$tmp/m_blocks.json" >"$tmp/out_blocks.txt"
+    ./target/release/repro --smoke --engine interp \
+        --metrics-json "$tmp/m_interp.json" >"$tmp/out_interp.txt"
+    cmp "$tmp/out_blocks.txt" "$tmp/out_interp.txt"
+    cmp "$tmp/m_blocks.json" "$tmp/m_interp.json"
+    step "engine: --all --engine interp matches checked-in results.txt"
+    ./target/release/repro --all --engine interp >"$tmp/all_interp.txt"
+    cmp "$tmp/all_interp.txt" results.txt
+    step "engine: 4x best-of-3 speedup floor (block engine vs interpreter, in-process)"
+    cargo test --release --locked --offline -p d16-xtests --test bench_drift \
+        -- --ignored --exact block_engine_speedup_floor
 }
 
 gate_store() {
@@ -151,9 +175,10 @@ gate_drift() {
 gate_fuzz() {
     # Differential fuzzing on a fixed seed: 500 generated whole programs,
     # each run on every standard target at O0 and O2 against the
-    # reference interpreter plus the encoding round-trip oracle. Fully
-    # deterministic — a failure prints a minimized reproducer. Then every
-    # committed miscompile reproducer in crates/xtests/corpus replays.
+    # reference interpreter plus the encoding round-trip and
+    # engine-agreement (interp vs blocks) oracles. Fully deterministic —
+    # a failure prints a minimized reproducer. Then every committed
+    # miscompile reproducer in crates/xtests/corpus replays.
     step "fuzz: fixed-seed differential budget (500 programs x 10 configs)"
     cargo build --release --locked --offline -p d16-fuzz
     ./target/release/d16-fuzz --seed 20260806 --count 500
@@ -161,11 +186,11 @@ gate_fuzz() {
     ./target/release/d16-fuzz --replay crates/xtests/corpus
 }
 
-ALL_GATES=(fmt clippy build test smoke determinism store faults panics drift fuzz)
+ALL_GATES=(fmt clippy build test smoke determinism engine store faults panics drift fuzz)
 gates=("${@:-${ALL_GATES[@]}}")
 for g in "${gates[@]}"; do
     case "$g" in
-    fmt | clippy | build | test | smoke | determinism | store | faults | panics | drift | fuzz) "gate_$g" ;;
+    fmt | clippy | build | test | smoke | determinism | engine | store | faults | panics | drift | fuzz) "gate_$g" ;;
     *)
         echo "unknown gate: $g (expected: ${ALL_GATES[*]})" >&2
         exit 2
