@@ -205,8 +205,8 @@ fn main() {
         let s = store.as_ref().expect("checked above");
         match s.verify() {
             Ok(r) => eprintln!(
-                "store verify: {} scanned, {} ok, {} evicted, {} temps removed",
-                r.scanned, r.ok, r.evicted, r.temps_removed
+                "store verify: {} scanned, {} ok, {} evicted, {} temps removed, {} stale locks removed",
+                r.scanned, r.ok, r.evicted, r.temps_removed, r.locks_removed
             ),
             Err(e) => {
                 eprintln!("--store-verify: {e}");
@@ -353,6 +353,9 @@ fn main() {
             eprintln!("store: {} I/O errors (degraded to recomputation)", st.io_errors);
             store_io_degraded = true;
         }
+        if st.lock_contention > 0 {
+            eprintln!("store: {} lock contentions (degraded to recomputation)", st.lock_contention);
+        }
     }
 
     // Telemetry snapshot: every grid the run needed is warm by now, so
@@ -419,6 +422,7 @@ fn main() {
                     .with("write", st.write)
                     .with("corrupt_evicted", st.corrupt_evicted)
                     .with("io_errors", st.io_errors)
+                    .with("lock_contention", st.lock_contention)
             })
             .with(
                 "skipped",

@@ -1,0 +1,457 @@
+//! Corpus replay + load generation for `d16-serve`.
+//!
+//! ```text
+//! d16-loadgen --addr 127.0.0.1:8016 --corpus crates/serve/corpus \
+//!             --concurrency 8 --repeat 3 --out BENCH_serve.json \
+//!             --save-bodies /tmp/bodies --min-hit-ratio 0.9 \
+//!             --check-drift BENCH_serve.json --drift-factor 50
+//! d16-loadgen --reconcile metrics.json bench_cold.json bench_warm.json
+//! ```
+//!
+//! Replay mode fires every committed corpus request (times `--repeat`)
+//! at the configured concurrency, enforces each entry's expected
+//! status, asserts that repeated answers are byte-identical, and
+//! writes a `bench_serve/1` timing report (p50/p99 latency, reqs/sec,
+//! warm-hit ratio, per-status counts). Reconcile mode cross-checks a
+//! daemon's `--metrics-json` dump against the request totals of one or
+//! more replay reports — the serving twin of the repro's
+//! counter-reconciliation gates.
+//!
+//! Exit codes: 0 ok, 1 check failed, 2 user error.
+
+use d16_bench::json::Json;
+use d16_serve::http;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct CorpusEntry {
+    name: String,
+    expect_status: u16,
+    request: String,
+}
+
+struct Sample {
+    entry: usize,
+    status: u16,
+    wall_ns: u64,
+    cache: Option<String>,
+    body: Vec<u8>,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("d16-loadgen: {msg}");
+    std::process::exit(1);
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("d16-loadgen: {msg}");
+    eprintln!("usage: d16-loadgen --addr HOST:PORT --corpus DIR [--concurrency N]");
+    eprintln!("         [--repeat N] [--out FILE] [--save-bodies DIR]");
+    eprintln!("         [--min-hit-ratio F] [--check-drift FILE] [--drift-factor N]");
+    eprintln!("   or: d16-loadgen --reconcile METRICS.json BENCH.json...");
+    std::process::exit(2);
+}
+
+fn load_corpus(dir: &str) -> Vec<CorpusEntry> {
+    let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => usage_error(&format!("--corpus {dir}: {e}")),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => usage_error(&format!("{}: {e}", path.display())),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => usage_error(&format!("{}: {e}", path.display())),
+        };
+        let name = doc.get("name").and_then(Json::as_str);
+        let expect = doc.get("expect_status").and_then(Json::as_u64);
+        let request = doc.get("request");
+        let (Some(name), Some(expect), Some(request)) = (name, expect, request) else {
+            usage_error(&format!(
+                "{}: corpus entries need `name`, `expect_status`, `request`",
+                path.display()
+            ));
+        };
+        out.push(CorpusEntry {
+            name: name.to_string(),
+            expect_status: expect as u16,
+            request: format!("{request}"),
+        });
+    }
+    if out.is_empty() {
+        usage_error(&format!("--corpus {dir}: no .json entries"));
+    }
+    out
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn replay(
+    addr: &str,
+    corpus: &[CorpusEntry],
+    concurrency: usize,
+    repeat: usize,
+) -> (Vec<Sample>, u64) {
+    let plan: Vec<usize> = (0..repeat).flat_map(|_| 0..corpus.len()).collect();
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(plan.len()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&entry) = plan.get(i) else { return };
+                let req = &corpus[entry];
+                let s0 = Instant::now();
+                let resp = match http::request(addr, "POST", "/v1/run", req.request.as_bytes()) {
+                    Ok(r) => r,
+                    Err(e) => fail(&format!("{}: transport error: {e}", req.name)),
+                };
+                let sample = Sample {
+                    entry,
+                    status: resp.status,
+                    wall_ns: s0.elapsed().as_nanos() as u64,
+                    cache: resp.header("x-d16-cache").map(str::to_string),
+                    body: resp.body,
+                };
+                if let Ok(mut all) = samples.lock() {
+                    all.push(sample);
+                }
+            });
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let samples = samples.into_inner().unwrap_or_default();
+    (samples, wall_ns)
+}
+
+fn check_and_report(
+    corpus: &[CorpusEntry],
+    samples: &[Sample],
+    wall_ns: u64,
+    concurrency: usize,
+    repeat: usize,
+) -> (Json, f64) {
+    // Every sample must carry its entry's expected status.
+    for s in samples {
+        let want = corpus[s.entry].expect_status;
+        if s.status != want {
+            let body = String::from_utf8_lossy(&s.body);
+            fail(&format!(
+                "{}: expected status {want}, got {} (body: {})",
+                corpus[s.entry].name,
+                s.status,
+                body.trim()
+            ));
+        }
+    }
+    // Repeated answers must be byte-identical (the bodies are pure
+    // functions of the request; any drift is a serving bug).
+    for (i, entry) in corpus.iter().enumerate() {
+        let mut first: Option<&[u8]> = None;
+        for s in samples.iter().filter(|s| s.entry == i) {
+            match first {
+                None => first = Some(&s.body),
+                Some(f) if f != s.body.as_slice() => {
+                    fail(&format!("{}: answers differ between repeats", entry.name))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
+    for s in samples {
+        *status_counts.entry(s.status).or_insert(0) += 1;
+    }
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for s in samples.iter().filter(|s| s.status == 200) {
+        match s.cache.as_deref() {
+            Some("hit") => hits += 1,
+            _ => misses += 1,
+        }
+    }
+    let hit_ratio = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+    let mut lat: Vec<u64> = samples.iter().map(|s| s.wall_ns).collect();
+    lat.sort_unstable();
+    let secs = wall_ns as f64 / 1e9;
+    let reqs_per_sec = if secs > 0.0 { samples.len() as f64 / secs } else { 0.0 };
+    let mut status_obj = Json::obj();
+    for (code, n) in &status_counts {
+        status_obj = status_obj.with(&code.to_string(), *n);
+    }
+    let doc = Json::obj()
+        .with("schema", "bench_serve/1")
+        .with("kind", "timing")
+        .with("corpus", corpus.len())
+        .with("requests", samples.len())
+        .with("concurrency", concurrency)
+        .with("repeat", repeat)
+        .with("wall_ns", wall_ns)
+        .with("reqs_per_sec", reqs_per_sec)
+        .with("p50_ns", percentile(&lat, 0.50))
+        .with("p90_ns", percentile(&lat, 0.90))
+        .with("p99_ns", percentile(&lat, 0.99))
+        .with("max_ns", lat.last().copied().unwrap_or(0))
+        .with("warm_hit_ratio", hit_ratio)
+        .with("status", status_obj);
+    (doc, hit_ratio)
+}
+
+fn save_bodies(dir: &str, corpus: &[CorpusEntry], samples: &[Sample]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("--save-bodies {dir}: {e}"));
+    }
+    for (i, entry) in corpus.iter().enumerate() {
+        let Some(s) = samples.iter().find(|s| s.entry == i) else { continue };
+        let path = format!("{dir}/{}.json", entry.name);
+        if let Err(e) = std::fs::write(&path, &s.body) {
+            fail(&format!("{path}: {e}"));
+        }
+    }
+}
+
+fn u64_field(doc: &Json, name: &str, context: &str) -> u64 {
+    match doc.get(name).and_then(Json::as_u64) {
+        Some(v) => v,
+        None => fail(&format!("{context}: missing numeric `{name}`")),
+    }
+}
+
+fn check_drift(report: &Json, pinned_path: &str, factor: u64) {
+    let text = match std::fs::read_to_string(pinned_path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("--check-drift {pinned_path}: {e}")),
+    };
+    let pinned = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("--check-drift {pinned_path}: {e}")),
+    };
+    // The deterministic half must match exactly.
+    for field in ["schema", "kind"] {
+        let (a, b) =
+            (report.get(field).and_then(Json::as_str), pinned.get(field).and_then(Json::as_str));
+        if a != b {
+            fail(&format!("drift: `{field}` differs from {pinned_path}: {a:?} vs {b:?}"));
+        }
+    }
+    for field in ["corpus", "requests", "concurrency", "repeat"] {
+        let a = u64_field(report, field, "this run");
+        let b = u64_field(&pinned, field, pinned_path);
+        if a != b {
+            fail(&format!("drift: `{field}` differs from {pinned_path}: {a} vs {b}"));
+        }
+    }
+    let (a, b) = (report.get("status"), pinned.get("status"));
+    if format!("{:?}", a.map(ToString::to_string)) != format!("{:?}", b.map(ToString::to_string)) {
+        fail(&format!(
+            "drift: per-status counts differ from {pinned_path}: {:?} vs {:?}",
+            a.map(ToString::to_string),
+            b.map(ToString::to_string)
+        ));
+    }
+    // Latency is machine-dependent: gate only on a generous factor of
+    // the pinned p99, exactly like the bench-drift timing gate.
+    let p99 = u64_field(report, "p99_ns", "this run");
+    let pinned_p99 = u64_field(&pinned, "p99_ns", pinned_path);
+    if p99 > pinned_p99.saturating_mul(factor) {
+        fail(&format!(
+            "drift: p99 {p99}ns exceeds {factor}x the pinned {pinned_p99}ns ({pinned_path})"
+        ));
+    }
+    eprintln!(
+        "drift ok: p99 {p99}ns vs pinned {pinned_p99}ns (bound {}ns)",
+        pinned_p99.saturating_mul(factor)
+    );
+}
+
+fn counters_of(metrics: &Json, context: &str) -> BTreeMap<String, u64> {
+    let Some(counters) = metrics.get("counters").and_then(Json::as_obj) else {
+        fail(&format!("{context}: no `counters` object"));
+    };
+    counters.iter().filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n))).collect()
+}
+
+fn reconcile(metrics_path: &str, bench_paths: &[String]) {
+    let parse = |path: &str| -> Json {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("{path}: {e}")),
+        };
+        match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    };
+    let metrics = parse(metrics_path);
+    let counters = counters_of(&metrics, metrics_path);
+    let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+
+    let mut total = 0u64;
+    let mut by_status: BTreeMap<String, u64> = BTreeMap::new();
+    for path in bench_paths {
+        let bench = parse(path);
+        total += u64_field(&bench, "requests", path);
+        if let Some(statuses) = bench.get("status").and_then(Json::as_obj) {
+            for (code, n) in statuses {
+                if let Some(n) = n.as_u64() {
+                    *by_status.entry(code.clone()).or_insert(0) += n;
+                }
+            }
+        }
+    }
+    let status = |code: &str| by_status.get(code).copied().unwrap_or(0);
+
+    let shed = status("429");
+    let checks: &[(&str, u64, u64)] = &[
+        ("run_requests == sent - shed", counter("serve.run_requests"), total - shed),
+        ("ok == 200s", counter("serve.ok"), status("200")),
+        ("user_error == 400s", counter("serve.user_error"), status("400")),
+        ("compile_error == 422s", counter("serve.compile_error"), status("422")),
+        ("over_capacity == 429s", counter("serve.over_capacity"), shed),
+        ("internal_error == 500s", counter("serve.internal_error"), status("500")),
+        ("degraded == 503s", counter("serve.degraded"), status("503")),
+        (
+            "cache_hit + cache_miss == ok",
+            counter("serve.cache_hit") + counter("serve.cache_miss"),
+            counter("serve.ok"),
+        ),
+    ];
+    let mut bad = false;
+    for (what, daemon, loadgen) in checks {
+        if daemon == loadgen {
+            eprintln!("reconcile ok: {what} ({daemon})");
+        } else {
+            eprintln!("reconcile MISMATCH: {what}: daemon {daemon}, loadgen {loadgen}");
+            bad = true;
+        }
+    }
+    if bad {
+        fail("daemon counters do not reconcile with loadgen totals");
+    }
+    println!("reconciled {total} requests across {} report(s)", bench_paths.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut corpus_dir: Option<String> = None;
+    let mut concurrency = 1usize;
+    let mut repeat = 1usize;
+    let mut out: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut min_hit_ratio: Option<f64> = None;
+    let mut drift: Option<String> = None;
+    let mut drift_factor = 50u64;
+    let mut reconcile_metrics: Option<String> = None;
+    let mut reconcile_benches: Vec<String> = Vec::new();
+
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{flag} needs a value")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take(&args, &mut i, "--addr")),
+            "--corpus" => corpus_dir = Some(take(&args, &mut i, "--corpus")),
+            "--concurrency" => {
+                concurrency = take(&args, &mut i, "--concurrency")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--concurrency: not a number"));
+            }
+            "--repeat" => {
+                repeat = take(&args, &mut i, "--repeat")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--repeat: not a number"));
+            }
+            "--out" => out = Some(take(&args, &mut i, "--out")),
+            "--save-bodies" => save = Some(take(&args, &mut i, "--save-bodies")),
+            "--min-hit-ratio" => {
+                min_hit_ratio = Some(
+                    take(&args, &mut i, "--min-hit-ratio")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--min-hit-ratio: not a number")),
+                );
+            }
+            "--check-drift" => drift = Some(take(&args, &mut i, "--check-drift")),
+            "--drift-factor" => {
+                drift_factor = take(&args, &mut i, "--drift-factor")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--drift-factor: not a number"));
+            }
+            "--reconcile" => reconcile_metrics = Some(take(&args, &mut i, "--reconcile")),
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown flag {other}"));
+            }
+            other => reconcile_benches.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if let Some(metrics_path) = reconcile_metrics {
+        if reconcile_benches.is_empty() {
+            usage_error("--reconcile needs at least one bench report");
+        }
+        reconcile(&metrics_path, &reconcile_benches);
+        return;
+    }
+    let (Some(addr), Some(corpus_dir)) = (addr, corpus_dir) else {
+        usage_error("replay mode needs --addr and --corpus");
+    };
+    if !reconcile_benches.is_empty() {
+        usage_error("stray positional arguments (only --reconcile takes them)");
+    }
+    if repeat == 0 {
+        usage_error("--repeat must be at least 1");
+    }
+
+    let corpus = load_corpus(&corpus_dir);
+    let (samples, wall_ns) = replay(&addr, &corpus, concurrency, repeat);
+    if samples.len() != corpus.len() * repeat {
+        fail(&format!("lost samples: sent {}, recorded {}", corpus.len() * repeat, samples.len()));
+    }
+    let (report, hit_ratio) = check_and_report(&corpus, &samples, wall_ns, concurrency, repeat);
+    eprintln!(
+        "replayed {} requests ({} entries x {repeat}) at concurrency {concurrency}: hit ratio {hit_ratio:.3}",
+        samples.len(),
+        corpus.len(),
+    );
+    if let Some(dir) = save {
+        save_bodies(&dir, &corpus, &samples);
+        eprintln!("saved bodies to {dir}");
+    }
+    if let Some(floor) = min_hit_ratio {
+        if hit_ratio < floor {
+            fail(&format!("warm-hit ratio {hit_ratio:.3} below the {floor:.3} floor"));
+        }
+    }
+    if let Some(pinned) = drift {
+        check_drift(&report, &pinned, drift_factor);
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            fail(&format!("{path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+}

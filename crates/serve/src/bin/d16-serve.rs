@@ -1,0 +1,164 @@
+//! The experiment-service daemon.
+//!
+//! ```text
+//! d16-serve --addr 127.0.0.1:8016 --store /tmp/d16-store
+//! d16-serve --addr 127.0.0.1:0 --port-file /tmp/port \
+//!           --metrics-json metrics.json
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT or `POST /shutdown`, then drains the
+//! worker pool and (with `--metrics-json`) writes the final merged
+//! telemetry dump. Exit codes follow the repro contract: 0 ok, 1
+//! fatal, 2 user error.
+
+use d16_serve::{ServeConfig, Server};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handler(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub fn install() {}
+}
+
+fn usage() {
+    eprintln!("usage: d16-serve [options]");
+    eprintln!("  --addr HOST:PORT    bind address (default 127.0.0.1:0)");
+    eprintln!("  --port-file FILE    write the bound address to FILE");
+    eprintln!("  --workers N         worker threads (default: min(cpus, 4))");
+    eprintln!("  --queue N           connection queue cap (default workers*4)");
+    eprintln!("  --store DIR         response-cache store root");
+    eprintln!("  --max-body BYTES    request body cap (default 262144)");
+    eprintln!("  --timeout-ms N      per-request deadline (default 10000)");
+    eprintln!("  --fuel-cap N        max simulated instructions per request");
+    eprintln!("  --metrics-json FILE write the telemetry dump on shutdown");
+}
+
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    let raw = flag_value(args, i, flag);
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag}: cannot parse `{raw}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut queue_set = false;
+    let mut port_file: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = flag_value(&args, &mut i, "--addr").to_string(),
+            "--port-file" => port_file = Some(flag_value(&args, &mut i, "--port-file").to_string()),
+            "--workers" => cfg.workers = parsed_flag(&args, &mut i, "--workers"),
+            "--queue" => {
+                cfg.queue_cap = parsed_flag(&args, &mut i, "--queue");
+                queue_set = true;
+            }
+            "--store" => cfg.store_root = Some(flag_value(&args, &mut i, "--store").into()),
+            "--max-body" => cfg.max_body = parsed_flag(&args, &mut i, "--max-body"),
+            "--timeout-ms" => {
+                cfg.timeout = Duration::from_millis(parsed_flag(&args, &mut i, "--timeout-ms"));
+            }
+            "--fuel-cap" => cfg.fuel_cap = parsed_flag(&args, &mut i, "--fuel-cap"),
+            "--metrics-json" => {
+                metrics_json = Some(flag_value(&args, &mut i, "--metrics-json").to_string());
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if cfg.workers == 0 || cfg.fuel_cap == 0 || cfg.timeout.is_zero() {
+        eprintln!("--workers, --fuel-cap and --timeout-ms must be positive");
+        std::process::exit(2);
+    }
+    if !queue_set {
+        cfg.queue_cap = cfg.workers * 4;
+    }
+
+    sig::install();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("d16-serve: startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("d16-serve: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("d16-serve listening on {addr}");
+
+    // Wait for either the signal handler or an HTTP-initiated shutdown
+    // (`POST /shutdown` flips the same flag the server polls).
+    let flag = server.shutdown_flag();
+    while !flag.load(Ordering::SeqCst) {
+        if sig::SHUTDOWN.load(Ordering::SeqCst) {
+            flag.store(true, Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let metrics = server.join();
+    eprintln!("d16-serve: drained, shut down");
+    if let Some(path) = metrics_json {
+        if let Err(e) = std::fs::write(&path, format!("{metrics}\n")) {
+            eprintln!("d16-serve: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal HTTP/1.1 wire handling over `std::net` — just enough for a
+//! JSON POST service and its test clients. One request per connection
+//! (`Connection: close`), no chunked transfer, no keep-alive: every
+//! exchange is read-request / write-response / shutdown, which keeps
+//! the server loop and the failure modes trivially auditable.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Cap on the request line + headers; a header block bigger than this
+/// is rejected before any body is read.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method verb, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, as sent (no query parsing; the API doesn't use it).
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (includes read timeouts).
+    Io(std::io::Error),
+    /// The bytes are not the HTTP subset this server speaks.
+    Malformed(&'static str),
+    /// `Content-Length` exceeds the configured body cap.
+    BodyTooLarge {
+        /// The configured cap, for the error message.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream, enforcing the body cap.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, non-HTTP bytes, an unsupported
+/// construct (chunked transfer), or a body larger than `max_body`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::Malformed("header block too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) =
+        (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("bad header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let find = |n: &str| headers.iter().find(|(name, _)| name == n).map(|(_, v)| v.as_str());
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("transfer-encoding not supported"));
+    }
+    let content_length = match find("content-length") {
+        None => 0,
+        Some(v) => v.parse::<usize>().map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed("bytes past content-length"));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed("bytes past content-length"));
+        }
+    }
+    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and half-closes the stream. Extra
+/// headers ride after the fixed `Content-Type`/`Content-Length`/
+/// `Connection: close` trio.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller can only log them —
+/// the peer is gone).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let _ = stream.shutdown(Shutdown::Write);
+    Ok(())
+}
+
+/// A client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot client: connects, sends `method path` with `body`, reads
+/// the whole response (the server always closes). Used by `d16-loadgen`
+/// and the serve tests.
+///
+/// # Errors
+///
+/// Socket failures and non-HTTP responses surface as [`HttpError`].
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end =
+        find_head_end(&raw).ok_or(HttpError::Malformed("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or(HttpError::Malformed("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(Response { status, headers, body: raw[head_end + 4..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_cover_the_status_taxonomy() {
+        for s in [200, 400, 404, 422, 429, 500, 503] {
+            assert_ne!(reason(s), "Unknown", "{s}");
+        }
+    }
+
+    #[test]
+    fn head_end_finder() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

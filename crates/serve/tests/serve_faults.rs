@@ -1,0 +1,132 @@
+//! Subprocess fault-injection tests: boot the real `d16-serve` binary
+//! with `D16_FAILPOINTS` armed, pin the HTTP status each fault maps to,
+//! and prove the daemon keeps serving clean traffic afterwards.
+//!
+//! Every failpoint is armed *for a subject* (the request `tag`), so the
+//! same daemon serves both the faulted and the clean request — which is
+//! exactly the property worth testing: a fault degrades one request,
+//! never the process.
+
+use d16_bench::json::Json;
+use d16_serve::http;
+use d16_testkit::TempDir;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    _dir: TempDir,
+}
+
+impl Daemon {
+    /// Boots `d16-serve` with the given failpoint spec and extra flags,
+    /// and waits until `/healthz` answers.
+    fn boot(failpoints: &str, extra: &[&str]) -> Daemon {
+        let dir = TempDir::new("serve-faults");
+        let port_file = dir.path().join("port");
+        let child = Command::new(env!("CARGO_BIN_EXE_d16-serve"))
+            .args(["--addr", "127.0.0.1:0", "--port-file"])
+            .arg(&port_file)
+            .args(extra)
+            .env("D16_FAILPOINTS", failpoints)
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn d16-serve");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            assert!(Instant::now() < deadline, "daemon did not come up");
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let addr = text.trim().to_string();
+                if !addr.is_empty()
+                    && http::request(&addr, "GET", "/healthz", b"").is_ok_and(|r| r.status == 200)
+                {
+                    break addr;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Daemon { child, addr, _dir: dir }
+    }
+
+    fn post_run(&self, body: &str) -> http::Response {
+        http::request(&self.addr, "POST", "/v1/run", body.as_bytes()).expect("transport")
+    }
+
+    /// The daemon must still be alive and serving: `/healthz` answers
+    /// and a clean (untagged) run comes back 200.
+    fn assert_still_serving(&self) {
+        let health = http::request(&self.addr, "GET", "/healthz", b"").expect("transport");
+        assert_eq!(health.status, 200, "daemon died after the fault");
+        let clean = self.post_run(r#"{"workload":"towers"}"#);
+        assert_eq!(clean.status, 200, "{}", String::from_utf8_lossy(&clean.body));
+    }
+
+    /// Clean shutdown over HTTP; asserts exit code 0.
+    fn shutdown(mut self) {
+        let _ = http::request(&self.addr, "POST", "/shutdown", b"");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait().expect("wait") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exit: {status}");
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon did not exit after /shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn error_kind(resp: &http::Response) -> String {
+    Json::parse(std::str::from_utf8(&resp.body).expect("utf8"))
+        .expect("json")
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
+#[test]
+fn fuel_exhausted_fault_degrades_to_400() {
+    let daemon = Daemon::boot("serve-fuel-exhausted=faulted", &[]);
+    let resp = daemon.post_run(r#"{"workload":"towers","tag":"faulted"}"#);
+    assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(error_kind(&resp), "fuel_exhausted");
+    daemon.assert_still_serving();
+    daemon.shutdown();
+}
+
+#[test]
+fn store_contention_fault_degrades_to_503() {
+    let daemon = Daemon::boot("serve-store-contention=faulted", &[]);
+    let resp = daemon.post_run(r#"{"workload":"towers","tag":"faulted"}"#);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(error_kind(&resp), "store_contention");
+    daemon.assert_still_serving();
+    daemon.shutdown();
+}
+
+#[test]
+fn slow_worker_fault_trips_the_deadline_to_503() {
+    // A short deadline keeps the wedged worker's sleep (deadline + 50ms)
+    // from slowing the test; clean requests still finish well inside it.
+    let daemon = Daemon::boot("serve-slow-worker=faulted", &["--timeout-ms", "2000"]);
+    let resp = daemon.post_run(r#"{"workload":"towers","tag":"faulted"}"#);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(error_kind(&resp), "timeout");
+    daemon.assert_still_serving();
+    daemon.shutdown();
+}

@@ -1,0 +1,172 @@
+//! In-process integration tests: a real `Server` on a loopback port,
+//! driven through the crate's own HTTP client.
+
+use d16_bench::json::Json;
+use d16_serve::{http, ServeConfig, Server};
+use d16_testkit::TempDir;
+use std::time::Duration;
+
+fn cfg() -> ServeConfig {
+    ServeConfig { workers: 2, queue_cap: 8, ..ServeConfig::default() }
+}
+
+fn post_run(addr: &str, body: &str) -> http::Response {
+    http::request(addr, "POST", "/v1/run", body.as_bytes()).expect("transport")
+}
+
+fn body_json(resp: &http::Response) -> Json {
+    Json::parse(std::str::from_utf8(&resp.body).expect("utf8 body")).expect("json body")
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let server = Server::start(cfg()).expect("start");
+    let addr = server.addr().to_string();
+
+    let ok = http::request(&addr, "GET", "/healthz", b"").expect("transport");
+    assert_eq!(ok.status, 200);
+    assert!(matches!(body_json(&ok).get("ok"), Some(Json::Bool(true))));
+
+    let missing = http::request(&addr, "GET", "/nope", b"").expect("transport");
+    assert_eq!(missing.status, 404);
+    let doc = body_json(&missing);
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("not_found")
+    );
+    server.stop();
+}
+
+#[test]
+fn run_statuses_cover_the_taxonomy() {
+    let server = Server::start(cfg()).expect("start");
+    let addr = server.addr().to_string();
+
+    // 400: unparseable request.
+    let bad = post_run(&addr, "this is not json");
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        body_json(&bad).get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    // 422: toolchain diagnostics.
+    let broken = post_run(&addr, r#"{"source":"int main( {"}"#);
+    assert_eq!(broken.status, 422);
+    assert_eq!(
+        body_json(&broken).get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("compile_error")
+    );
+
+    // 200: a real run.
+    let ok = post_run(&addr, r#"{"workload":"towers"}"#);
+    assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+    let doc = body_json(&ok);
+    assert!(matches!(doc.get("ok"), Some(Json::Bool(true))));
+    assert!(doc.get("stats").and_then(|s| s.get("insns")).and_then(Json::as_u64).unwrap() > 0);
+    assert!(ok.header("x-d16-wall-ns").is_some());
+
+    let metrics = server.stop();
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("serve.run_requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(counters.get("serve.ok").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("serve.user_error").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("serve.compile_error").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn fuel_cap_exhaustion_is_a_user_error() {
+    let server = Server::start(ServeConfig { fuel_cap: 1_000, ..cfg() }).expect("start");
+    let addr = server.addr().to_string();
+    let resp = post_run(&addr, r#"{"workload":"towers"}"#);
+    assert_eq!(resp.status, 400);
+    assert_eq!(
+        body_json(&resp).get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("fuel_exhausted")
+    );
+    server.stop();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_up_front() {
+    let server = Server::start(ServeConfig { max_body: 64, ..cfg() }).expect("start");
+    let addr = server.addr().to_string();
+    let big = format!(r#"{{"workload":"towers","tag":"{}"}}"#, "x".repeat(100));
+    let resp = post_run(&addr, &big);
+    assert_eq!(resp.status, 400);
+    assert!(
+        String::from_utf8_lossy(&resp.body).contains("64-byte limit"),
+        "{}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    server.stop();
+}
+
+#[test]
+fn cold_and_warm_answers_are_byte_identical() {
+    let dir = TempDir::new("serve-http-store");
+    let server = Server::start(ServeConfig { store_root: Some(dir.path().to_path_buf()), ..cfg() })
+        .expect("start");
+    let addr = server.addr().to_string();
+
+    let cold = post_run(&addr, r#"{"workload":"towers","sweep":true}"#);
+    assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+    assert_eq!(cold.header("x-d16-cache"), Some("miss"));
+    let warm = post_run(&addr, r#"{"workload":"towers","sweep":true}"#);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-d16-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "a warm cache must never change an answer");
+
+    let metrics = server.stop();
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("serve.cache_hit").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("serve.cache_miss").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("store.write").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    use std::io::Write as _;
+    // One worker, a queue of one: occupy the worker with a half-sent
+    // request, park a second connection in the queue, and the third
+    // must be shed by the acceptor.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr().to_string();
+
+    let mut hold_worker = std::net::TcpStream::connect(&addr).expect("connect");
+    hold_worker.write_all(b"POST /v1/run HTTP/1.1\r\n").expect("write");
+    std::thread::sleep(Duration::from_millis(200)); // let the worker pick it up
+    let mut hold_queue = std::net::TcpStream::connect(&addr).expect("connect");
+    hold_queue.write_all(b"POST /v1/run HTTP/1.1\r\n").expect("write");
+    std::thread::sleep(Duration::from_millis(200)); // let the acceptor queue it
+
+    let shed = http::request(&addr, "GET", "/healthz", b"").expect("transport");
+    assert_eq!(shed.status, 429, "{}", String::from_utf8_lossy(&shed.body));
+    assert_eq!(
+        body_json(&shed).get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("over_capacity")
+    );
+
+    drop(hold_worker);
+    drop(hold_queue);
+    let metrics = server.stop();
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("serve.over_capacity").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn http_shutdown_route_stops_the_server() {
+    let server = Server::start(cfg()).expect("start");
+    let addr = server.addr().to_string();
+    let resp = http::request(&addr, "POST", "/shutdown", b"").expect("transport");
+    assert_eq!(resp.status, 200);
+    // join returns (rather than hanging) because /shutdown flipped the flag.
+    let metrics = server.join();
+    assert_eq!(metrics.get("kind").and_then(Json::as_str), Some("metrics"));
+}

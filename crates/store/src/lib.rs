@@ -15,14 +15,20 @@
 //!    foreign-format file fails the envelope check; the entry is
 //!    evicted, counted in `corrupt_evicted`, and the artifact is
 //!    silently recomputed. A cache can lose entries; it must not lie.
-//! 2. **Atomic commit.** Writes go to a per-process temp file in the
-//!    entry's directory and are published with `rename`, which replaces
-//!    atomically on POSIX. Concurrent `--jobs N` workers — or two whole
-//!    `repro` processes sharing one store — race only on who commits a
-//!    byte-identical entry last.
+//! 2. **Atomic commit, single writer.** Writes go to a per-process temp
+//!    file in the entry's directory and are published with `rename`,
+//!    which replaces atomically on POSIX. On top of that, every commit
+//!    — and every eviction — holds a per-entry lock file (created with
+//!    `O_EXCL`, retried with backoff, broken when stale), so concurrent
+//!    `--jobs N` workers, two whole `repro` processes, or a pool of
+//!    `d16-serve` daemons sharing one store serialize their mutations
+//!    of any single entry. Readers never lock: `rename` guarantees they
+//!    see either the old bytes or the new bytes, never a mix.
 //! 3. **Best-effort by construction.** A failed read is a miss; a
-//!    failed write is skipped. The store can accelerate a run, never
-//!    fail one: every error path degrades to recomputation.
+//!    failed write is skipped; a lock held past the retry budget is
+//!    counted in `lock_contention` and the mutation abandoned. The
+//!    store can accelerate a run, never fail or block one: every error
+//!    path degrades to recomputation.
 //!
 //! Keys come from [`StableHasher`] (see `key.rs`): a domain string plus
 //! length-prefixed fields, hashed with FNV-1a/128. Producers include
@@ -41,8 +47,10 @@ pub use wire::{Reader, Writer};
 use d16_telemetry::Registry;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// On-disk entry format version; part of every envelope. Bump on any
 /// envelope-layout change so old stores read as misses, not garbage.
@@ -53,6 +61,22 @@ pub const MAGIC: [u8; 4] = *b"d16s";
 
 /// Envelope header size: magic + format + payload length + digest.
 const HEADER: usize = 4 + 4 + 8 + 8;
+
+/// How long a commit waits for a contended entry lock before giving up
+/// and skipping the cache (≈ attempts × poll interval).
+const PUT_LOCK_ATTEMPTS: u32 = 250;
+
+/// How long an eviction waits. Much shorter: if someone holds the lock
+/// they are probably replacing the damaged entry anyway.
+const EVICT_LOCK_ATTEMPTS: u32 = 20;
+
+/// Poll interval between lock acquisition attempts.
+const LOCK_POLL: Duration = Duration::from_millis(1);
+
+/// A lock older than this is presumed abandoned by a crashed process
+/// and broken. Real holders keep a lock for one temp-file write plus a
+/// rename — microseconds to low milliseconds.
+const LOCK_STALE: Duration = Duration::from_secs(5);
 
 /// Operation counters, updated atomically so concurrent workers can
 /// share one [`Store`]. These are *store* telemetry, deliberately kept
@@ -67,6 +91,7 @@ pub struct StoreStats {
     write: AtomicU64,
     corrupt_evicted: AtomicU64,
     io_errors: AtomicU64,
+    lock_contention: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreStats`].
@@ -83,12 +108,15 @@ pub struct StatsSnapshot {
     /// Lookups or commits abandoned on a filesystem error, each one
     /// degraded to recomputation (the `store-io` failpoint lands here).
     pub io_errors: u64,
+    /// Commits or evictions abandoned because another writer held the
+    /// entry lock past the retry budget; degraded to recomputation.
+    pub lock_contention: u64,
 }
 
 impl StatsSnapshot {
     /// `(name, value)` pairs in [`d16_telemetry::STORE_SCHEMA`] order.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, u64); 5] {
+    pub fn named(&self) -> [(&'static str, u64); 6] {
         let names = d16_telemetry::STORE_SCHEMA.names();
         [
             (names[0], self.hit),
@@ -96,6 +124,7 @@ impl StatsSnapshot {
             (names[2], self.write),
             (names[3], self.corrupt_evicted),
             (names[4], self.io_errors),
+            (names[5], self.lock_contention),
         ]
     }
 }
@@ -112,6 +141,9 @@ pub struct VerifyReport {
     /// Abandoned commit temp files removed (a crashed writer's leavings;
     /// harmless — lookups never read them — but worth sweeping).
     pub temps_removed: u64,
+    /// Stale entry locks removed (a crashed writer died holding them;
+    /// live lookups break these on demand, `verify` sweeps them early).
+    pub locks_removed: u64,
 }
 
 /// A content-addressed artifact store rooted at one directory.
@@ -125,6 +157,77 @@ pub struct Store {
     root: PathBuf,
     stats: StoreStats,
     seq: AtomicU64,
+}
+
+/// A held per-entry lock; the lock file is removed on drop.
+struct EntryLock {
+    path: PathBuf,
+}
+
+impl Drop for EntryLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// The lock file guarding mutations of `entry`: the entry file name
+/// plus `.lock`, in the same directory (so `rename` and the lock live
+/// on one filesystem).
+fn lock_path(entry: &Path) -> PathBuf {
+    let mut name = entry.file_name().map(std::ffi::OsStr::to_os_string).unwrap_or_default();
+    name.push(".lock");
+    entry.with_file_name(name)
+}
+
+/// Whether a lock file was abandoned by a crashed holder. The holder
+/// stamps the lock with its wall-clock creation time in nanoseconds;
+/// an unreadable or garbled stamp (holder died mid-write) falls back
+/// to the file's mtime. Clock skew into the future reads as fresh.
+fn lock_is_stale(path: &Path) -> bool {
+    let by_stamp = fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u128>().ok())
+        .and_then(|stamp| {
+            let now = SystemTime::now().duration_since(UNIX_EPOCH).ok()?.as_nanos();
+            Some(now.saturating_sub(stamp) > LOCK_STALE.as_nanos())
+        });
+    if let Some(stale) = by_stamp {
+        return stale;
+    }
+    fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age > LOCK_STALE)
+}
+
+/// Tries to take the entry lock: `O_EXCL` create, polled up to
+/// `attempts` times, breaking locks that look abandoned. `None` means
+/// the lock stayed contended (or the directory is unwritable) — the
+/// caller degrades rather than blocks.
+fn acquire_lock(path: &Path, attempts: u32) -> Option<EntryLock> {
+    for _ in 0..attempts {
+        match fs::OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut f) => {
+                let stamp =
+                    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0);
+                let _ = write!(f, "{stamp}");
+                return Some(EntryLock { path: path.to_path_buf() });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if lock_is_stale(path) {
+                    // Break it and retry immediately; if several
+                    // processes break the same stale lock at once,
+                    // `create_new` still admits exactly one.
+                    let _ = fs::remove_file(path);
+                } else {
+                    std::thread::sleep(LOCK_POLL);
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    None
 }
 
 impl Store {
@@ -154,12 +257,18 @@ impl Store {
 
     /// Looks up an entry and decodes it. `decode` returning `None` is
     /// treated exactly like a bad checksum: the file cannot be what the
-    /// key promises, so it is evicted and the lookup is a miss.
+    /// key promises, so it is evicted and the lookup is a miss. It may
+    /// be called more than once: eviction revalidates under the entry
+    /// lock, and if a concurrent writer replaced the damaged bytes in
+    /// the meantime the fresh bytes are decoded and served instead.
+    ///
+    /// The read itself is lock-free — `rename` commits mean a reader
+    /// sees whole old bytes or whole new bytes, never a mix.
     pub fn get_with<T>(
         &self,
         kind: &str,
         key: CacheKey,
-        decode: impl FnOnce(&[u8]) -> Option<T>,
+        mut decode: impl FnMut(&[u8]) -> Option<T>,
     ) -> Option<T> {
         if d16_testkit::faults::armed_for("store-io", kind) {
             self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -179,23 +288,55 @@ impl Store {
                 return None;
             }
         };
-        match unwrap_envelope(&data).and_then(decode) {
+        match unwrap_envelope(&data).and_then(&mut decode) {
+            Some(v) => {
+                self.stats.hit.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => self.evict_corrupt(&path, decode),
+        }
+    }
+
+    /// Evicts an entry whose bytes failed to decode — but only under
+    /// the entry lock, and only after revalidating. Without the lock,
+    /// this read-decide-unlink sequence races a concurrent `put`: the
+    /// reader decodes stale damaged bytes, the writer commits a fresh
+    /// good entry, and the reader's unlink then destroys it. Under the
+    /// lock no commit can interleave, and a revalidating re-read turns
+    /// "the writer beat us to it" into a served hit.
+    fn evict_corrupt<T>(
+        &self,
+        path: &Path,
+        mut decode: impl FnMut(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let Some(_lock) = acquire_lock(&lock_path(path), EVICT_LOCK_ATTEMPTS) else {
+            // Whoever holds the lock is replacing the entry; leave it.
+            self.stats.lock_contention.fetch_add(1, Ordering::Relaxed);
+            self.stats.miss.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let current = fs::read(path).ok();
+        match current.as_deref().and_then(unwrap_envelope).and_then(&mut decode) {
             Some(v) => {
                 self.stats.hit.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             None => {
-                let _ = fs::remove_file(&path);
-                self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                if current.is_some() {
+                    let _ = fs::remove_file(path);
+                    self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                }
                 self.stats.miss.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Commits an entry: envelope, temp file, atomic rename. Best
-    /// effort — on any I/O failure the entry is simply not cached (and
-    /// the temp file removed if it got that far).
+    /// Commits an entry: entry lock, envelope, temp file, atomic
+    /// rename. Best effort — on any I/O failure the entry is simply
+    /// not cached (and the temp file removed if it got that far); if
+    /// the entry lock stays contended past the retry budget the commit
+    /// is skipped and counted in `lock_contention`.
     pub fn put(&self, kind: &str, key: CacheKey, payload: &[u8]) {
         if d16_testkit::faults::armed_for("store-io", kind) {
             self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -207,6 +348,10 @@ impl Store {
             self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        let Some(_lock) = acquire_lock(&lock_path(&path), PUT_LOCK_ATTEMPTS) else {
+            self.stats.lock_contention.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         let tmp = dir.join(format!(
             "{}.tmp.{}.{}",
             key.hex(),
@@ -235,6 +380,7 @@ impl Store {
             write: self.stats.write.load(Ordering::Relaxed),
             corrupt_evicted: self.stats.corrupt_evicted.load(Ordering::Relaxed),
             io_errors: self.stats.io_errors.load(Ordering::Relaxed),
+            lock_contention: self.stats.lock_contention.load(Ordering::Relaxed),
         }
     }
 
@@ -271,6 +417,14 @@ impl Store {
                 if name.contains(".tmp.") {
                     if fs::remove_file(&path).is_ok() {
                         rep.temps_removed += 1;
+                    }
+                    continue;
+                }
+                if name.ends_with(".lock") {
+                    // Only abandoned locks are swept; a fresh one has a
+                    // live holder mid-commit and must be left alone.
+                    if lock_is_stale(&path) && fs::remove_file(&path).is_ok() {
+                        rep.locks_removed += 1;
                     }
                     continue;
                 }
@@ -388,7 +542,12 @@ mod tests {
         store.put("image", key(2), b"v2");
         assert_eq!(store.get_with("image", key(2), |b| Some(b.to_vec())).unwrap(), b"v2");
         let rep = store.verify().unwrap();
-        assert_eq!((rep.scanned, rep.ok, rep.evicted, rep.temps_removed), (1, 1, 0, 0));
+        assert_eq!((rep.scanned, rep.ok, rep.evicted), (1, 1, 0));
+        assert_eq!(
+            (rep.temps_removed, rep.locks_removed),
+            (0, 0),
+            "commit cleaned up after itself"
+        );
     }
 
     #[test]
@@ -405,11 +564,22 @@ mod tests {
         // A crashed writer's abandoned temp file.
         let crashed = victim.with_file_name(format!("{}.tmp.999.0", key(2).hex()));
         fs::write(&crashed, b"partial").unwrap();
+        // A crashed writer's abandoned lock (stamp far in the past) and
+        // a live writer's fresh lock.
+        let stale_lock = lock_path(&store.entry_path("cell", key(3)));
+        fs::create_dir_all(stale_lock.parent().unwrap()).unwrap();
+        fs::write(&stale_lock, b"0").unwrap();
+        let fresh_lock = lock_path(&store.entry_path("cell", key(1)));
+        let held = acquire_lock(&fresh_lock, 1).unwrap();
 
         let rep = store.verify().unwrap();
-        assert_eq!((rep.scanned, rep.ok, rep.evicted, rep.temps_removed), (2, 1, 1, 1));
+        assert_eq!((rep.scanned, rep.ok, rep.evicted), (2, 1, 1));
+        assert_eq!((rep.temps_removed, rep.locks_removed), (1, 1));
         assert!(!victim.exists());
         assert!(!crashed.exists());
+        assert!(!stale_lock.exists(), "abandoned lock swept");
+        assert!(fresh_lock.exists(), "held lock left for its holder");
+        drop(held);
         assert_eq!(store.stats().corrupt_evicted, 1);
         // The good entry still serves.
         assert!(store.get_with("cell", key(1), |b| Some(b.to_vec())).is_some());
@@ -450,6 +620,89 @@ mod tests {
         assert_eq!(reg.counter("store.write"), Some(1));
         assert_eq!(reg.counter("store.corrupt_evicted"), Some(0));
         assert_eq!(reg.counter("store.io_errors"), Some(0));
+        assert_eq!(reg.counter("store.lock_contention"), Some(0));
+    }
+
+    #[test]
+    fn eviction_revalidates_under_the_lock() {
+        // The torn-read race: a reader decodes damaged bytes, a writer
+        // commits fresh good bytes, and an unlocked eviction would then
+        // unlink the good entry. Simulated deterministically: the first
+        // decode call rejects, the lock-held revalidation re-reads and
+        // the second decode accepts — the entry must survive and serve.
+        let dir = TempDir::new("revalidate");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("cell", key(1), b"fresh");
+        let mut calls = 0;
+        let got = store.get_with("cell", key(1), |b| {
+            calls += 1;
+            if calls == 1 {
+                None // what a stale torn view would have decoded to
+            } else {
+                Some(b.to_vec())
+            }
+        });
+        assert_eq!(got.unwrap(), b"fresh");
+        assert_eq!(calls, 2, "revalidation re-decoded the current bytes");
+        assert!(store.entry_path("cell", key(1)).exists(), "good entry not destroyed");
+        let s = store.stats();
+        assert_eq!((s.hit, s.miss, s.corrupt_evicted), (1, 0, 0));
+    }
+
+    #[test]
+    fn eviction_respects_a_held_lock() {
+        let dir = TempDir::new("held-lock");
+        let store = Store::open(dir.path()).unwrap();
+        store.put("cell", key(1), b"soon damaged");
+        let path = store.entry_path("cell", key(1));
+        fs::write(&path, b"garbage").unwrap();
+        // Someone else holds the entry lock: eviction must stand down.
+        let held = acquire_lock(&lock_path(&path), 1).unwrap();
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())), None);
+        assert!(path.exists(), "entry left for the lock holder");
+        let s = store.stats();
+        assert_eq!((s.corrupt_evicted, s.lock_contention), (0, 1));
+        // Lock released: the next lookup evicts as usual.
+        drop(held);
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())), None);
+        assert!(!path.exists(), "evicted once the lock was free");
+        assert_eq!(store.stats().corrupt_evicted, 1);
+    }
+
+    #[test]
+    fn contended_put_degrades_to_skipping_the_cache() {
+        let dir = TempDir::new("contended-put");
+        let store = Store::open(dir.path()).unwrap();
+        let path = store.entry_path("cell", key(1));
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let held = acquire_lock(&lock_path(&path), 1).unwrap();
+        store.put("cell", key(1), b"never lands");
+        let s = store.stats();
+        assert_eq!((s.write, s.lock_contention, s.io_errors), (0, 1, 0));
+        assert!(!path.exists());
+        drop(held);
+        store.put("cell", key(1), b"lands now");
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())).unwrap(), b"lands now");
+        assert!(!lock_path(&path).exists(), "commit released its lock");
+    }
+
+    #[test]
+    fn stale_locks_are_broken_not_waited_out() {
+        let dir = TempDir::new("stale-lock");
+        let store = Store::open(dir.path()).unwrap();
+        let path = store.entry_path("cell", key(1));
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // A crashed writer's leavings: stamp epoch-zero, ancient.
+        fs::write(lock_path(&path), b"0").unwrap();
+        store.put("cell", key(1), b"payload");
+        let s = store.stats();
+        assert_eq!((s.write, s.lock_contention), (1, 0), "broke the stale lock and committed");
+        assert_eq!(store.get_with("cell", key(1), |b| Some(b.to_vec())).unwrap(), b"payload");
+        // A garbled stamp on a *fresh* file reads as fresh (mtime fallback).
+        let garbled = lock_path(&store.entry_path("cell", key(2)));
+        fs::create_dir_all(garbled.parent().unwrap()).unwrap();
+        fs::write(&garbled, b"not a number").unwrap();
+        assert!(!lock_is_stale(&garbled));
     }
 
     #[test]

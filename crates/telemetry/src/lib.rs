@@ -145,6 +145,9 @@ counter_schema! {
         /// Lookups or commits abandoned on a filesystem error (each one
         /// degraded to recomputation).
         IoErrors => "io_errors",
+        /// Commits or evictions abandoned because another writer held the
+        /// entry lock past the retry budget (degraded, never blocked).
+        LockContention => "lock_contention",
     }
 }
 
@@ -516,7 +519,10 @@ mod tests {
 
     #[test]
     fn store_schema_names() {
-        assert_eq!(STORE_SCHEMA.names(), &["hit", "miss", "write", "corrupt_evicted", "io_errors"]);
+        assert_eq!(
+            STORE_SCHEMA.names(),
+            &["hit", "miss", "write", "corrupt_evicted", "io_errors", "lock_contention"]
+        );
     }
 
     #[test]

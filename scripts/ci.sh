@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The CI gate suite. Run everything with no arguments, or name the gates
 # to run: fmt clippy build test smoke determinism engine store faults
-# panics drift fuzz.
+# panics drift fuzz serve.
 #
 #   ./scripts/ci.sh                  # all gates, in order
 #   ./scripts/ci.sh fmt clippy       # just the static gates
@@ -148,7 +148,7 @@ gate_panics() {
     # few reviewed exceptions (currently the #[deprecated] accessors).
     step "panics: grep gate over library crate sources"
     local bad=0 crate f hits
-    for crate in core cc sim asm mem store fuzz; do
+    for crate in core cc sim asm mem store fuzz serve; do
         for f in crates/$crate/src/*.rs; do
             # Strip everything from the first top-level #[cfg(test)] on:
             # test modules may panic freely.
@@ -186,11 +186,56 @@ gate_fuzz() {
     ./target/release/d16-fuzz --replay crates/xtests/corpus
 }
 
-ALL_GATES=(fmt clippy build test smoke determinism engine store faults panics drift fuzz)
+gate_serve() {
+    # Boot the experiment-service daemon, replay the committed request
+    # corpus cold (every body byte-identical to its golden answer),
+    # replay it warm (everything served from the store, p99 within the
+    # pinned drift bound), shut down via SIGTERM, and reconcile the
+    # daemon's final counter dump against loadgen's per-status totals.
+    step "serve: boot daemon, cold replay byte-diffed against golden bodies"
+    local tmp pid addr entry
+    tmp=$(mktemp -d)
+    ./target/release/d16-serve --addr 127.0.0.1:0 --workers 4 --queue 64 \
+        --port-file "$tmp/port" --store "$tmp/store" \
+        --metrics-json "$tmp/metrics.json" 2>"$tmp/daemon.log" &
+    pid=$!
+    trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' RETURN
+    for _ in $(seq 1 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    [ -s "$tmp/port" ] || {
+        echo "daemon did not come up" >&2
+        cat "$tmp/daemon.log" >&2
+        exit 1
+    }
+    addr=$(tr -d '\n' <"$tmp/port")
+    ./target/release/d16-loadgen --addr "$addr" --corpus crates/serve/corpus \
+        --concurrency 4 --repeat 1 --save-bodies "$tmp/cold_bodies" \
+        --out "$tmp/bench_cold.json"
+    for entry in crates/serve/corpus/golden/*.json; do
+        cmp "$entry" "$tmp/cold_bodies/$(basename "$entry")"
+    done
+    step "serve: warm replay — hit-ratio floor, p99 within the pinned drift bound"
+    ./target/release/d16-loadgen --addr "$addr" --corpus crates/serve/corpus \
+        --concurrency 8 --repeat 3 --save-bodies "$tmp/warm_bodies" \
+        --out "$tmp/bench_warm.json" \
+        --min-hit-ratio 0.9 --check-drift BENCH_serve.json --drift-factor 50
+    step "serve: warm bodies byte-identical to the golden answers"
+    for entry in crates/serve/corpus/golden/*.json; do
+        cmp "$entry" "$tmp/warm_bodies/$(basename "$entry")"
+    done
+    step "serve: SIGTERM shutdown; counters reconcile with loadgen totals"
+    kill -TERM "$pid"
+    wait "$pid"
+    ./target/release/d16-loadgen --reconcile "$tmp/metrics.json" \
+        "$tmp/bench_cold.json" "$tmp/bench_warm.json"
+    step "serve: concurrent-store stress (threads + subprocesses, one root)"
+    cargo test --release --locked --offline -p d16-xtests --test store_concurrent
+}
+
+ALL_GATES=(fmt clippy build test smoke determinism engine store faults panics drift fuzz serve)
 gates=("${@:-${ALL_GATES[@]}}")
 for g in "${gates[@]}"; do
     case "$g" in
-    fmt | clippy | build | test | smoke | determinism | engine | store | faults | panics | drift | fuzz) "gate_$g" ;;
+    fmt | clippy | build | test | smoke | determinism | engine | store | faults | panics | drift | fuzz | serve) "gate_$g" ;;
     *)
         echo "unknown gate: $g (expected: ${ALL_GATES[*]})" >&2
         exit 2
