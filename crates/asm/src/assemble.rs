@@ -22,8 +22,12 @@
 //! ```
 //!
 //! Pseudo-instructions expand per target: `la`/oversized `li` become
-//! `ldc` + pool entry on D16 and `mvhi`+`ori` on DLXe; `ret` becomes a jump
-//! through the ISA's link register.
+//! `ldc` + pool entry on D16 and `mvhi`+`ori` on DLXe and D16x; `ret`
+//! becomes a jump through the ISA's link register.
+//!
+//! D16x text is variable-width (16-bit base forms plus 32-bit escapes), so
+//! pass one sizes each instruction from its template shape alone — see
+//! [`tpl_len`] — keeping layout deterministic in a single pass.
 
 use crate::expr::{tokenize, Expr, Tok};
 use crate::object::{AsmError, Object, Reloc, RelocKind, Section, Symbol};
@@ -631,7 +635,7 @@ impl Parser {
                         let lit = self.lit_id(LitKey::Sym(sym, add));
                         self.push_insn(line, ITpl::Ldc { rd, lit });
                     }
-                    Isa::Dlxe => {
+                    Isa::Dlxe | Isa::D16x => {
                         self.push_insn(
                             line,
                             ITpl::Imm {
@@ -666,7 +670,7 @@ impl Parser {
                             self.push_insn(line, ITpl::Ldc { rd, lit });
                         }
                     }
-                    Isa::Dlxe => {
+                    Isa::Dlxe | Isa::D16x => {
                         if (-32768..=32767).contains(&v) {
                             self.push_insn(line, ITpl::Ready(Insn::Mvi { rd, imm: v }));
                         } else {
@@ -731,8 +735,50 @@ fn align_up(x: u32, a: u32) -> u32 {
     (x + a - 1) & !(a - 1)
 }
 
+/// Deterministic pass-one size of one instruction template.
+///
+/// D16 and DLXe are fixed-width. On D16x the length depends only on the
+/// template's shape — never on a link-time value: templates carrying
+/// relocations always take the 32-bit escape (the patched field needs a
+/// full halfword), branches and `ldc` are always narrow, direct jumps are
+/// always wide, and fully-resolved instructions ask the encoder.
+fn tpl_len(isa: Isa, tpl: &ITpl) -> u32 {
+    if isa != Isa::D16x {
+        return isa.insn_bytes();
+    }
+    match tpl {
+        ITpl::Ready(i) => encoded_len(i),
+        ITpl::Ldc { .. } => 2,
+        ITpl::Branch { .. } => 2,
+        ITpl::Jal { .. } => 4,
+        ITpl::Imm { shape, expr } => match expr {
+            Expr::Num(n) => encoded_len(&build_imm_insn(shape, *n as i32)),
+            _ => 4,
+        },
+    }
+}
+
+/// D16x narrow-first encoded length; unencodable templates get a
+/// placeholder (pass two reports the error with its source line before any
+/// layout mismatch can be observed).
+fn encoded_len(insn: &Insn) -> u32 {
+    d16_isa::d16x::encode(insn).map_or(2, |e| e.len())
+}
+
+/// Builds the instruction an [`ImmShape`] template describes, with its
+/// immediate resolved.
+fn build_imm_insn(shape: &ImmShape, imm: i32) -> Insn {
+    match shape {
+        ImmShape::AluI { op, rd, rs1 } => Insn::AluI { op: *op, rd: *rd, rs1: *rs1, imm },
+        ImmShape::Mvi { rd } => Insn::Mvi { rd: *rd, imm },
+        ImmShape::Lui { rd } => Insn::Lui { rd: *rd, imm: imm as u32 },
+        ImmShape::CmpI { cond, rd, rs1 } => Insn::CmpI { cond: *cond, rd: *rd, rs1: *rs1, imm },
+        ImmShape::Ld { w, rd, base } => Insn::Ld { w: *w, rd: *rd, base: *base, disp: imm },
+        ImmShape::St { w, rs, base } => Insn::St { w: *w, rs: *rs, base: *base, disp: imm },
+    }
+}
+
 fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
-    let ilen = isa.insn_bytes();
     let mut obj = Object::default();
 
     // ---- pass one: sizes, labels, pools ----
@@ -774,9 +820,9 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
                 bind_labels!(obj, sect, off[idx(sect)]);
                 sect = *s;
             }
-            Item::Insn(..) => {
+            Item::Insn(_, tpl) => {
                 bind_labels!(obj, sect, off[idx(sect)]);
-                off[idx(sect)] += ilen;
+                off[idx(sect)] += tpl_len(isa, tpl);
             }
             Item::Word(_, v) => {
                 let o = align_up(off[idx(sect)], 4);
@@ -943,7 +989,7 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
             Item::Insn(line, tpl) => {
                 let site = buf.len() as u32;
                 let (insn, reloc) =
-                    resolve_insn(isa, tpl, site, ilen, &obj.symbols, &lit_off, *line)?;
+                    resolve_insn(isa, tpl, site, tpl_len(isa, tpl), &obj.symbols, &lit_off, *line)?;
                 let bytes = d16_isa::encode_bytes(isa, &insn)
                     .map_err(|e| AsmError::Line { line: *line, msg: e.to_string() })?;
                 if let Some((kind, symbol, addend)) = reloc {
@@ -1024,10 +1070,10 @@ fn resolve_insn(
         }
         ITpl::Jal { link, target } => match target {
             Expr::Here(n) => Ok((Insn::Jdisp { link: *link, disp: *n as i32 }, None)),
-            Expr::Sym(s, a) => Ok((
-                Insn::Jdisp { link: *link, disp: 0 },
-                Some((RelocKind::J26, s.clone(), *a as i32)),
-            )),
+            Expr::Sym(s, a) => {
+                let kind = if isa == Isa::D16x { RelocKind::XJ16 } else { RelocKind::J26 };
+                Ok((Insn::Jdisp { link: *link, disp: 0 }, Some((kind, s.clone(), *a as i32))))
+            }
             other => Err(err(format!("bad jump target {other:?}"))),
         },
         ITpl::Imm { shape, expr } => {
@@ -1038,22 +1084,31 @@ fn resolve_insn(
                 Expr::GpRel(s, a) => (0, Some((RelocKind::GpRel16, s.clone(), *a as i32))),
                 other => return Err(err(format!("unresolvable immediate {other:?}"))),
             };
-            if reloc.is_some() && isa == Isa::D16 {
-                return Err(
-                    err("hi/lo/gprel relocations require 16-bit fields (DLXe only)".into()),
-                );
-            }
-            let insn = match shape {
-                ImmShape::AluI { op, rd, rs1 } => Insn::AluI { op: *op, rd: *rd, rs1: *rs1, imm },
-                ImmShape::Mvi { rd } => Insn::Mvi { rd: *rd, imm },
-                ImmShape::Lui { rd } => Insn::Lui { rd: *rd, imm: imm as u32 },
-                ImmShape::CmpI { cond, rd, rs1 } => {
-                    Insn::CmpI { cond: *cond, rd: *rd, rs1: *rs1, imm }
+            match (isa, &reloc) {
+                (_, None) | (Isa::Dlxe, _) => {}
+                (Isa::D16, Some(_)) => {
+                    return Err(err(
+                        "hi/lo/gprel relocations require 16-bit fields (DLXe only)".into()
+                    ));
                 }
-                ImmShape::Ld { w, rd, base } => Insn::Ld { w: *w, rd: *rd, base: *base, disp: imm },
-                ImmShape::St { w, rs, base } => Insn::St { w: *w, rs: *rs, base: *base, disp: imm },
-            };
-            Ok((insn, reloc))
+                // D16x link-time fields must land on escape shapes the
+                // narrow format can never express, so that the patched
+                // bytes stay canonically decodable for any value: hi() on
+                // mvhi, lo() on ori. gprel has no D16x form (a patched
+                // small displacement would collide with the narrow
+                // load/store encodings).
+                (Isa::D16x, Some((RelocKind::Hi16, ..)))
+                    if matches!(shape, ImmShape::Lui { .. }) => {}
+                (Isa::D16x, Some((RelocKind::Lo16, ..)))
+                    if matches!(shape, ImmShape::AluI { op: AluOp::Or, .. }) => {}
+                (Isa::D16x, Some(_)) => {
+                    return Err(err(
+                        "D16x supports hi() only on mvhi and lo() only on ori; gprel has no D16x form"
+                            .into(),
+                    ));
+                }
+            }
+            Ok((build_imm_insn(shape, imm), reloc))
         }
     }
 }
@@ -1203,6 +1258,92 @@ g:      .word 6
         assert_eq!(assemble(Isa::Dlxe, "li r1, 200\n").unwrap().text.len(), 4);
         assert_eq!(assemble(Isa::Dlxe, "li r1, 100000\n").unwrap().text.len(), 8, "mvhi + ori");
         assert_eq!(assemble(Isa::Dlxe, "li r1, 0x30000\n").unwrap().text.len(), 4, "mvhi only");
+    }
+
+    fn d16x_walk(text: &[u8]) -> Vec<(Insn, u32)> {
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < text.len() {
+            let first = u16::from_le_bytes([text[off], text[off + 1]]);
+            let len = d16_isa::d16x::insn_len(first) as usize;
+            let second = (len == 4).then(|| u16::from_le_bytes([text[off + 2], text[off + 3]]));
+            let (insn, ilen) = d16_isa::d16x::decode(first, second).unwrap();
+            out.push((insn, ilen));
+            off += len;
+        }
+        out
+    }
+
+    #[test]
+    fn d16x_mixed_width_layout_binds_labels_and_branches() {
+        // The bug class this guards: any pass-one or branch-resolution path
+        // that assumes a fixed 2-byte instruction length. Wide escapes
+        // before a label must shift it; a branch over a wide instruction
+        // must count its 4 bytes.
+        let src = "\
+start:  mvi r2, 5
+        mvi r3, 1000
+loop:   subi r2, r2, 1
+        add r4, r2, r3
+        cmpeq r2, r0
+        bnz r0, loop
+        trap 0
+";
+        let obj = assemble(Isa::D16x, src).unwrap();
+        assert_eq!(obj.symbols["start"].offset, 0);
+        assert_eq!(obj.symbols["loop"].offset, 6, "wide mvi shifts the label");
+        let walked = d16x_walk(&obj.text);
+        let lens: Vec<u32> = walked.iter().map(|(_, l)| *l).collect();
+        assert_eq!(lens, vec![2, 4, 2, 4, 2, 2, 2]);
+        assert_eq!(obj.text.len(), 18);
+        // bnz at offset 14: disp = loop - (site + len) = 6 - 16 = -10.
+        assert_eq!(walked[5].0, Insn::Bc { neg: true, rs: abi::R0, disp: -10 });
+        assert_eq!(walked[1].0, Insn::Mvi { rd: Gpr::new(3), imm: 1000 });
+        assert_eq!(
+            walked[3].0,
+            Insn::Alu { op: AluOp::Add, rd: Gpr::new(4), rs1: Gpr::new(2), rs2: Gpr::new(3) }
+        );
+    }
+
+    #[test]
+    fn d16x_pseudos_and_reloc_sites_are_wide() {
+        let src = "\
+        la r3, foo
+        jal foo
+        li r4, 70000
+        li r5, 3
+        li r6, -3000
+        ret
+foo:    nop
+";
+        let obj = assemble(Isa::D16x, src).unwrap();
+        // la -> mvhi+ori (4+4), jal -> escape jump (4), li 70000 ->
+        // mvhi+ori (4+4), li 3 -> narrow mvi (2), li -3000 -> wide mvi (4),
+        // ret -> j r1 (2), nop (2).
+        assert_eq!(obj.text.len(), 30);
+        assert_eq!(obj.symbols["foo"].offset, 28);
+        let kinds: Vec<_> = obj.relocs.iter().map(|r| (r.kind, r.offset)).collect();
+        assert_eq!(kinds, vec![(RelocKind::Hi16, 0), (RelocKind::Lo16, 4), (RelocKind::XJ16, 8)]);
+        // The li expansions resolve without relocation.
+        let walked = d16x_walk(&obj.text[12..28]);
+        assert_eq!(walked[0].0, Insn::Lui { rd: Gpr::new(4), imm: 70000 >> 16 });
+        assert_eq!(
+            walked[1].0,
+            Insn::AluI { op: AluOp::Or, rd: Gpr::new(4), rs1: Gpr::new(4), imm: 70000 & 0xffff }
+        );
+        assert_eq!(walked[2].0, Insn::Mvi { rd: Gpr::new(5), imm: 3 });
+        assert_eq!(walked[3].0, Insn::Mvi { rd: Gpr::new(6), imm: -3000 });
+        assert_eq!(walked[4].0, Insn::J { target: Gpr::new(1) });
+    }
+
+    #[test]
+    fn d16x_gprel_and_misplaced_hi_lo_are_rejected() {
+        let e = assemble(Isa::D16x, "ld r2, gprel(x)(r13)\n.data\nx: .word 1\n").unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+        // hi() on anything but mvhi (here: an addi) must be refused — a
+        // patched narrow-encodable value would break canonical decoding.
+        let e = assemble(Isa::D16x, "addi r2, r2, hi(x)\n.data\nx: .word 1\n").unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
     }
 
     #[test]

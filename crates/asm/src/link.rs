@@ -125,7 +125,7 @@ pub fn link(isa: Isa, objects: &[Object]) -> Result<Image, AsmError> {
                     })
                 }
             };
-            apply_reloc(buf, site_off, site_addr, r, value, gp)?;
+            apply_reloc(isa, buf, site_off, site_addr, r, value, gp)?;
         }
     }
 
@@ -144,6 +144,7 @@ pub fn link(isa: Isa, objects: &[Object]) -> Result<Image, AsmError> {
 }
 
 fn apply_reloc(
+    isa: Isa,
     buf: &mut [u8],
     off: usize,
     site_addr: u32,
@@ -153,6 +154,16 @@ fn apply_reloc(
 ) -> Result<(), AsmError> {
     let overflow =
         |v: i64| AsmError::RelocOverflow { symbol: r.symbol.clone(), kind: r.kind, value: v };
+    // DLXe I-type immediates occupy a word's low halfword; D16x escape
+    // immediates are the *second* halfword, i.e. the upper sixteen bits of
+    // the little-endian word.
+    let patch16 = |word: u32, field: u32| {
+        if isa == Isa::D16x {
+            (word & 0xffff) | field << 16
+        } else {
+            (word & !0xffffu32) | field
+        }
+    };
     match r.kind {
         RelocKind::Abs32 => {
             buf[off..off + 4].copy_from_slice(&value.to_le_bytes());
@@ -170,7 +181,18 @@ fn apply_reloc(
                     (d as u32) & 0xffff
                 }
             };
-            let patched = (word & !0xffffu32) | field;
+            let patched = patch16(word, field);
+            buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
+        }
+        RelocKind::XJ16 => {
+            let word = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"));
+            let disp = value as i64 - (site_addr as i64 + 4);
+            let (lo, hi) = (*d16_isa::d16x::JMP_RANGE.start(), *d16_isa::d16x::JMP_RANGE.end());
+            if disp % 2 != 0 || !(lo as i64..=hi as i64).contains(&disp) {
+                return Err(overflow(disp));
+            }
+            let field = ((disp / 2) as u32) & 0xffff;
+            let patched = (word & 0xffff) | field << 16;
             buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
         }
         RelocKind::J26 => {
@@ -191,7 +213,7 @@ fn apply_reloc(
 mod tests {
     use super::*;
     use crate::assemble::assemble;
-    use d16_isa::{abi, Insn};
+    use d16_isa::{abi, Gpr, Insn};
 
     fn word_at(img: &Image, addr: u32) -> u32 {
         let o = (addr - img.text_base) as usize;
@@ -254,6 +276,56 @@ target: mvi r2, 1
             u32::from_le_bytes(img.text[pool_off..pool_off + 4].try_into().unwrap()),
             target
         );
+    }
+
+    fn d16x_at(img: &Image, addr: u32) -> Insn {
+        let o = (addr - img.text_base) as usize;
+        let first = u16::from_le_bytes(img.text[o..o + 2].try_into().unwrap());
+        let second = (d16_isa::d16x::insn_len(first) == 4)
+            .then(|| u16::from_le_bytes(img.text[o + 2..o + 4].try_into().unwrap()));
+        d16_isa::d16x::decode(first, second).unwrap().0
+    }
+
+    #[test]
+    fn d16x_relocs_patch_the_second_halfword() {
+        // D16x escape immediates live in the upper sixteen bits of the
+        // little-endian word; a linker patching the low halfword (the DLXe
+        // field position) would corrupt the opcode halfword instead.
+        let a = assemble(Isa::D16x, "_start: jal helper\n nop\n trap 0\n.data\nshared: .word 42\n")
+            .unwrap();
+        let b = assemble(Isa::D16x, "helper: la r2, shared\n ld r2, 0(r2)\n ret\n").unwrap();
+        let img = link(Isa::D16x, &[a, b]).unwrap();
+        let helper = img.symbols["helper"];
+        match d16x_at(&img, img.entry) {
+            Insn::Jdisp { link: true, disp } => {
+                assert_eq!(img.entry as i64 + 4 + disp as i64, helper as i64);
+            }
+            other => panic!("expected escape jal, got {other:?}"),
+        }
+        let shared = img.symbols["shared"];
+        match d16x_at(&img, helper) {
+            Insn::Lui { rd, imm } => {
+                assert_eq!(rd, Gpr::new(2));
+                assert_eq!(imm, shared >> 16);
+            }
+            other => panic!("expected mvhi, got {other:?}"),
+        }
+        match d16x_at(&img, helper + 4) {
+            Insn::AluI { op: d16_isa::AluOp::Or, imm, .. } => {
+                assert_eq!(imm as u32, shared & 0xffff);
+            }
+            other => panic!("expected ori, got {other:?}"),
+        }
+        // The patched stream still walks cleanly to the end of unit b's
+        // text (canonical decode survives linking).
+        let mut addr = helper;
+        let end = img.text_base + img.text.len() as u32;
+        while addr < end {
+            let o = (addr - img.text_base) as usize;
+            let first = u16::from_le_bytes(img.text[o..o + 2].try_into().unwrap());
+            let _ = d16x_at(&img, addr);
+            addr += d16_isa::d16x::insn_len(first);
+        }
     }
 
     #[test]

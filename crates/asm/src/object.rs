@@ -46,6 +46,10 @@ pub enum RelocKind {
     GpRel16,
     /// DLXe J-type `jal`/`j` 26-bit word displacement to the symbol.
     J26,
+    /// D16x escape `jal`/`j`: a 16-bit *halfword* displacement from the end
+    /// of the 4-byte instruction, patched into the second halfword (the
+    /// upper sixteen bits of the little-endian word).
+    XJ16,
 }
 
 /// A relocation: "patch `section[offset]` with `kind`(address of `symbol`

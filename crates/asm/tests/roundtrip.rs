@@ -79,17 +79,81 @@ fn dlxe_pi_insn(rng: &mut Rng) -> Insn {
     }
 }
 
+/// D16x mixes narrow D16 shapes with 32-bit escapes. The generator stays
+/// inside the canonical envelope: wide `addi` from `r0` aliases `mvi` and
+/// wide `subi` re-encodes as `addi` of the negation, so immediate adds draw
+/// a nonzero left source and `Sub` never takes a wide immediate.
+fn d16x_pi_insn(rng: &mut Rng) -> Insn {
+    match rng.below(10) {
+        0 => Insn::Alu {
+            op: *rng.pick(&ALU_OPS),
+            rd: gpr(rng, 16),
+            rs1: gpr(rng, 16),
+            rs2: gpr(rng, 16),
+        },
+        1 => Insn::Mvi { rd: gpr(rng, 16), imm: rng.range_i32(-32768, 32768) },
+        2 => Insn::AluI {
+            op: AluOp::Add,
+            rd: gpr(rng, 16),
+            rs1: Gpr::new(1 + rng.below(15) as u8),
+            imm: rng.range_i32(-32767, 32768),
+        },
+        3 => Insn::AluI {
+            op: AluOp::Xor,
+            rd: gpr(rng, 16),
+            rs1: gpr(rng, 16),
+            imm: rng.range_i32(0, 65536),
+        },
+        4 => Insn::Lui { rd: gpr(rng, 16), imm: rng.below(65536) },
+        5 => Insn::CmpI {
+            cond: Cond::Lt,
+            rd: abi::R0,
+            rs1: gpr(rng, 16),
+            imm: rng.range_i32(-32768, 32768),
+        },
+        6 => Insn::Ld {
+            w: MemWidth::Hu,
+            rd: gpr(rng, 16),
+            base: gpr(rng, 16),
+            disp: rng.range_i32(-32768, 32768),
+        },
+        7 => Insn::St {
+            w: MemWidth::W,
+            rs: gpr(rng, 16),
+            base: gpr(rng, 16),
+            disp: rng.range_i32(-32768, 32768) & !3,
+        },
+        8 => Insn::Jl { target: gpr(rng, 16) },
+        _ => Insn::Nop,
+    }
+}
+
 fn roundtrip(isa: Isa, insns: &[Insn]) -> Vec<Insn> {
     let text: String =
         insns.iter().map(|i| format!("        {}\n", d16_isa::disassemble(i))).collect();
     let obj = assemble(isa, &text).expect("disassembly must re-assemble");
     let image = link(isa, &[obj]).expect("link");
+    if isa == Isa::D16x {
+        // Variable-width: walk the stream with the length-decode rule.
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while out.len() < insns.len() {
+            let first = u16::from_le_bytes([image.text[off], image.text[off + 1]]);
+            let second = (d16_isa::d16x::insn_len(first) == 4)
+                .then(|| u16::from_le_bytes([image.text[off + 2], image.text[off + 3]]));
+            let (insn, len) = d16_isa::d16x::decode(first, second).unwrap();
+            out.push(insn);
+            off += len as usize;
+        }
+        return out;
+    }
     let ilen = isa.insn_bytes() as usize;
     image.text[..insns.len() * ilen]
         .chunks_exact(ilen)
         .map(|c| match isa {
             Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).unwrap(),
             Isa::Dlxe => d16_isa::dlxe::decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap(),
+            Isa::D16x => unreachable!("handled above"),
         })
         .collect()
 }
@@ -112,6 +176,16 @@ fn dlxe_disasm_asm_roundtrip() {
         let back: Vec<Insn> = roundtrip(Isa::Dlxe, &insns);
         let want: Vec<Insn> = insns.into_iter().map(d16_isa::dlxe::canonicalize).collect();
         assert_eq!(back, want, "case {case}");
+    });
+}
+
+#[test]
+fn d16x_disasm_asm_roundtrip() {
+    cases(200, |case, rng| {
+        let n = 1 + rng.below(60) as usize;
+        let insns: Vec<Insn> = (0..n).map(|_| d16x_pi_insn(rng)).collect();
+        let back = roundtrip(Isa::D16x, &insns);
+        assert_eq!(back, insns, "case {case}");
     });
 }
 

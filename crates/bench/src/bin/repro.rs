@@ -88,6 +88,7 @@ fn main() {
     let mut figs: Vec<u32> = Vec::new();
     let mut tables: Vec<u32> = Vec::new();
     let mut fpu_sweep = false;
+    let mut d16x = false;
     let mut all = args.is_empty();
     let mut smoke = false;
     let mut jobs = default_jobs();
@@ -107,6 +108,7 @@ fn main() {
                 return;
             }
             "--fpu-sweep" => fpu_sweep = true,
+            "--d16x" => d16x = true,
             "--smoke" => smoke = true,
             "--store" => store_dir = Some(flag_value(&args, &mut i, "--store").to_string()),
             "--no-store" => no_store = true,
@@ -266,11 +268,11 @@ fn main() {
         eprintln!("collecting the smoke grid (2 workloads x 2 targets, {jobs} jobs)...");
     } else if !only_workloads.is_empty() {
         eprintln!(
-            "collecting the filtered grid ({} workloads x 5 targets, {jobs} jobs)...",
+            "collecting the filtered grid ({} workloads x 6 targets, {jobs} jobs)...",
             only_workloads.len()
         );
     } else {
-        eprintln!("collecting the measurement grid (15 workloads x 5 targets, {jobs} jobs)...");
+        eprintln!("collecting the measurement grid (15 workloads x 6 targets, {jobs} jobs)...");
     }
     let start = Instant::now();
     let suite = match collect(jobs) {
@@ -299,7 +301,14 @@ fn main() {
     let trace_keys: Vec<(String, Isa)> = suite
         .traces
         .keys()
-        .map(|(w, isa)| (w.clone(), if isa == "D16" { Isa::D16 } else { Isa::Dlxe }))
+        .map(|(w, isa)| {
+            let isa = match isa.as_str() {
+                "D16" => Isa::D16,
+                "D16x" => Isa::D16x,
+                _ => Isa::Dlxe,
+            };
+            (w.clone(), isa)
+        })
         .collect();
     let start = Instant::now();
     for (w, isa) in &trace_keys {
@@ -337,6 +346,9 @@ fn main() {
             eprintln!("skipped ({w}, fpu sweep): {reason}");
             skips.push((w, "fpu sweep".to_string(), reason));
         }
+    }
+    if d16x || all {
+        print_d16x(&suite);
     }
 
     // Store accounting goes to stderr and the timing report only; the
@@ -488,10 +500,48 @@ fn print_fpu_sweep(store: Option<&Store>) -> Vec<(String, String)> {
     skips
 }
 
+/// Extension beyond the paper: the D16x mixed-width target as a third
+/// curve next to Figures 4/5, plus its macro-op fusion ablation. Fusion
+/// is pure accounting, so both ablation columns derive from the same
+/// cells; workloads missing any of the three unrestricted cells drop out
+/// like every other report.
+fn print_d16x(suite: &Suite) {
+    let rows = ex::d16x_third_curve(suite);
+    let mut t = Table::new(
+        "Extension: D16x mixed-width third curve (Figures 4/5 axes)",
+        &["program", "size vs D16", "density vs DLXe", "path vs D16"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            f2(r.size_vs_d16),
+            f2(r.density_vs_dlxe),
+            f2(r.path_vs_d16),
+        ]);
+    }
+    println!("{}", t.render());
+    let mut t = Table::new(
+        "Extension: D16x macro-op fusion ablation (base cycles)",
+        &["program", "cmp+br", "lui+addi", "fusion off", "fusion on", "saved"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.fused_cmp_br.to_string(),
+            r.fused_lui_addi.to_string(),
+            r.base_cycles.to_string(),
+            r.fused_cycles.to_string(),
+            pct(r.fusion_savings_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
 fn print_list() {
     println!("figures: 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19");
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
+    println!("         --d16x (D16x third curve + fusion ablation, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
     println!("         --only W[,W...] (collect only the named workloads),");
     println!("         --engine blocks|interp (execution engine, default blocks),");

@@ -518,7 +518,7 @@ impl<'a, 'c> Sel<'a, 'c> {
                 let d = self.mi(*rd);
                 let s = self.mi(*rs);
                 self.consume(*rs);
-                if self.isa() == Isa::D16 {
+                if matches!(self.isa(), Isa::D16 | Isa::D16x) {
                     self.emit(MInsn::Un { op: UnOp::Inv, rd: d, rs: s });
                 } else {
                     // DLXe dropped inv (r0 exists): xor with -1.
@@ -798,11 +798,13 @@ impl<'a, 'c> Sel<'a, 'c> {
         if let Operand::Imm(imm) = b {
             let ok = self.cx.params.cmp_imm
                 && (-32768..=32767).contains(imm)
-                && (self.isa() == Isa::Dlxe || (cond == Cond::Eq && (0..=31).contains(imm)));
+                && (self.isa() == Isa::Dlxe
+                    || (self.isa() == Isa::D16x && cond.in_d16())
+                    || (cond == Cond::Eq && (0..=31).contains(imm)));
             if ok {
                 let ra = self.mi(a);
                 self.consume(a);
-                if self.isa() == Isa::D16 {
+                if matches!(self.isa(), Isa::D16 | Isa::D16x) {
                     self.emit(MInsn::CmpI { cond, rd: R::P(abi::R0), rs1: ra, imm: *imm });
                     if dest != R::P(abi::R0) {
                         self.emit(MInsn::Un { op: UnOp::Mv, rd: dest, rs: R::P(abi::R0) });
@@ -816,7 +818,7 @@ impl<'a, 'c> Sel<'a, 'c> {
         let rb = self.operand_reg(b);
         let ra = self.mi(a);
         self.consume(a);
-        if self.isa() == Isa::D16 {
+        if matches!(self.isa(), Isa::D16 | Isa::D16x) {
             // Map gt/ge onto the D16 condition set by swapping operands.
             let (c, x, y) = if cond.in_d16() { (cond, ra, rb) } else { (cond.swapped(), rb, ra) };
             self.emit(MInsn::Cmp { cond: c, rd: R::P(abi::R0), rs1: x, rs2: y });
@@ -1033,15 +1035,18 @@ impl<'a, 'c> Sel<'a, 'c> {
                             let ra = self.mi(*a);
                             self.consume(*a);
                             let neg = *cond == Cond::Ne;
-                            if self.isa() == Isa::D16 {
+                            if matches!(self.isa(), Isa::D16 | Isa::D16x) {
                                 self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::R0), rs: ra });
                                 MTerm::Bc { neg, rs: R::P(abi::R0), t, f }
                             } else {
                                 MTerm::Bc { neg, rs: ra, t, f }
                             }
                         } else {
-                            let dest =
-                                if self.isa() == Isa::D16 { R::P(abi::R0) } else { self.mf.vint() };
+                            let dest = if matches!(self.isa(), Isa::D16 | Isa::D16x) {
+                                R::P(abi::R0)
+                            } else {
+                                self.mf.vint()
+                            };
                             self.lower_cmp_into(*cond, dest, *a, b);
                             MTerm::Bc { neg: true, rs: dest, t, f }
                         }
@@ -1054,15 +1059,18 @@ impl<'a, 'c> Sel<'a, 'c> {
                         self.consume(*a);
                         self.consume(*b);
                         self.emit(MInsn::FCmp { cond: *cond, prec, fs1: fa, fs2: fb });
-                        let dest =
-                            if self.isa() == Isa::D16 { R::P(abi::R0) } else { self.mf.vint() };
+                        let dest = if matches!(self.isa(), Isa::D16 | Isa::D16x) {
+                            R::P(abi::R0)
+                        } else {
+                            self.mf.vint()
+                        };
                         self.emit(MInsn::Rdsr { rd: dest });
                         MTerm::Bc { neg: true, rs: dest, t, f }
                     }
                     _ => {
                         let r = self.mi(*v);
                         self.consume(*v);
-                        if self.isa() == Isa::D16 {
+                        if matches!(self.isa(), Isa::D16 | Isa::D16x) {
                             self.emit(MInsn::Un { op: UnOp::Mv, rd: R::P(abi::R0), rs: r });
                             MTerm::Bc { neg: true, rs: R::P(abi::R0), t, f }
                         } else {

@@ -42,6 +42,21 @@ impl TargetSpec {
         }
     }
 
+    /// The D16x machine: D16's register file and branch discipline with
+    /// the 32-bit escape formats supplying three-address shapes and 16-bit
+    /// immediates, so code generation follows the DLXe shapes (hi/lo
+    /// materialization, direct calls) while keeping the 16-register file.
+    pub fn d16x() -> Self {
+        TargetSpec {
+            isa: Isa::D16x,
+            small_regfile: true,
+            two_address: false,
+            d16_immediates: false,
+            cmpeqi: false,
+            schedule_delay_slots: true,
+        }
+    }
+
     /// The unrestricted DLXe machine.
     pub fn dlxe() -> Self {
         TargetSpec {
@@ -117,7 +132,9 @@ impl TargetSpec {
     /// compare register `r0`; DLXe reserves `r1`).
     pub fn scratch(&self) -> Gpr {
         match self.isa {
-            Isa::D16 => abi::R0,
+            // D16x keeps the D16 compare/branch discipline, so `r0` stays
+            // the reserved compare-and-scratch register.
+            Isa::D16 | Isa::D16x => abi::R0,
             Isa::Dlxe => Gpr::new(1),
         }
     }
@@ -191,6 +208,7 @@ mod tests {
     fn labels() {
         assert_eq!(TargetSpec::d16().label(), "D16/16/2");
         assert_eq!(TargetSpec::dlxe().label(), "DLXe/32/3");
+        assert_eq!(TargetSpec::d16x().label(), "D16x/16/3");
         assert_eq!(TargetSpec::dlxe_restricted(true, true, false).label(), "DLXe/16/2");
     }
 

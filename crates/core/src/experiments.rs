@@ -797,3 +797,74 @@ pub fn fpu_latency_sweep_stored(
     }
     Ok(out)
 }
+
+// ------------------------------------------------------------------------
+// Beyond the paper: the D16x mixed-width target (extension)
+// ------------------------------------------------------------------------
+
+const D16X: &str = "D16x/16/3";
+
+/// One workload's D16x row: the third curve next to Figures 4/5 plus the
+/// macro-op fusion ablation. Fusion on D16x is pure accounting — it
+/// changes no architectural state — so the fusion-off and fusion-on cycle
+/// counts both derive from the same measurement
+/// ([`d16_sim::ExecStats::base_cycles`] vs
+/// [`d16_sim::ExecStats::fused_cycles`]).
+#[derive(Clone, Debug)]
+pub struct D16xRow {
+    /// Workload name.
+    pub workload: String,
+    /// Static size vs D16 (D16x bytes / D16 bytes): the cost of the
+    /// 32-bit escape formats.
+    pub size_vs_d16: f64,
+    /// Relative density vs DLXe (DLXe bytes / D16x bytes): Figure 4's
+    /// axis, third curve.
+    pub density_vs_dlxe: f64,
+    /// Path length vs D16 (D16x insns / D16 insns): Figure 5's axis with
+    /// the curves inverted — below 1.0 means the escape formats shortened
+    /// the path.
+    pub path_vs_d16: f64,
+    /// Dynamic compare→branch pairs fused.
+    pub fused_cmp_br: u64,
+    /// Dynamic `mvhi`→`ori`/`addi` pairs fused.
+    pub fused_lui_addi: u64,
+    /// Base cycles with fusion off (`IC + Interlocks`).
+    pub base_cycles: u64,
+    /// Base cycles with fusion on (one cycle back per fused pair).
+    pub fused_cycles: u64,
+}
+
+impl D16xRow {
+    /// Percentage of base cycles the fusion pass recovers.
+    pub fn fusion_savings_pct(&self) -> f64 {
+        if self.base_cycles == 0 {
+            0.0
+        } else {
+            (self.base_cycles - self.fused_cycles) as f64 / self.base_cycles as f64 * 100.0
+        }
+    }
+}
+
+/// The D16x third curve and fusion ablation, one row per workload that
+/// collected all three unrestricted cells. Degraded workloads drop out,
+/// like every other report function.
+pub fn d16x_third_curve(suite: &Suite) -> Vec<D16xRow> {
+    suite
+        .workloads()
+        .into_iter()
+        .filter_map(|w| {
+            let (d16, dlxe) = pair(suite, &w)?;
+            let x = suite.try_get(&w, D16X).ok()?;
+            Some(D16xRow {
+                size_vs_d16: x.size_bytes as f64 / d16.size_bytes as f64,
+                density_vs_dlxe: dlxe.size_bytes as f64 / x.size_bytes as f64,
+                path_vs_d16: x.stats.insns as f64 / d16.stats.insns as f64,
+                fused_cmp_br: x.stats.fused_cmp_br,
+                fused_lui_addi: x.stats.fused_lui_addi,
+                base_cycles: x.stats.base_cycles(),
+                fused_cycles: x.stats.fused_cycles(),
+                workload: w,
+            })
+        })
+        .collect()
+}

@@ -36,7 +36,7 @@ use d16_workloads::Workload;
 /// memory-model behavior, the codecs below, and the grid configuration
 /// set. Bump it whenever any of those changes observable numbers, and
 /// every stale entry stops matching at once.
-pub const CORE_TAG: &str = "d16-core/1";
+pub const CORE_TAG: &str = "d16-core/2";
 
 /// Store kind for (workload, target) measurement cells.
 pub const CELL_KIND: &str = "cell";
@@ -73,6 +73,7 @@ pub fn grid_key(w: &Workload, isa: Isa) -> CacheKey {
     let spec = match isa {
         Isa::D16 => TargetSpec::d16(),
         Isa::Dlxe => TargetSpec::dlxe(),
+        Isa::D16x => TargetSpec::d16x(),
     };
     let mut h = StableHasher::new("d16-core.grid");
     h.field_str(CORE_TAG)
@@ -131,7 +132,9 @@ pub fn encode_cell(m: &Measurement, trace: Option<&TraceRecorder>) -> Vec<u8> {
         .u64(s.ifetch_words)
         .u64(s.branches)
         .u64(s.taken_branches)
-        .u64(s.nops);
+        .u64(s.nops)
+        .u64(s.fused_cmp_br)
+        .u64(s.fused_lui_addi);
     w.u64(m.ireq_bus32).u64(m.ireq_bus64);
     write_counter_values(&mut w, &m.tele);
     match trace {
@@ -169,6 +172,8 @@ pub fn decode_cell(
         branches: r.u64()?,
         taken_branches: r.u64()?,
         nops: r.u64()?,
+        fused_cmp_br: r.u64()?,
+        fused_lui_addi: r.u64()?,
     };
     let ireq_bus32 = r.u64()?;
     let ireq_bus64 = r.u64()?;

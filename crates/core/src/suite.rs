@@ -24,7 +24,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The five configurations of the paper's grid (Tables 6–7):
-/// `D16/16/2, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3`.
+/// `D16/16/2, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3` — plus the
+/// mixed-width extension target `D16x/16/3`, appended last so the paper
+/// grid keeps its work-item order.
 pub fn standard_specs() -> Vec<TargetSpec> {
     vec![
         TargetSpec::d16(),
@@ -32,6 +34,7 @@ pub fn standard_specs() -> Vec<TargetSpec> {
         TargetSpec::dlxe_restricted(true, false, false),
         TargetSpec::dlxe_restricted(false, true, false),
         TargetSpec::dlxe(),
+        TargetSpec::d16x(),
     ]
 }
 
@@ -279,7 +282,9 @@ impl Suite {
         let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
             let w = workloads[wi];
             let spec = &specs[si];
-            let unrestricted = *spec == TargetSpec::d16() || *spec == TargetSpec::dlxe();
+            let unrestricted = *spec == TargetSpec::d16()
+                || *spec == TargetSpec::dlxe()
+                || *spec == TargetSpec::d16x();
             let want_trace = trace_cache && w.cache_benchmark && unrestricted;
             measure_stored_with(w, spec, want_trace, store.as_deref(), engine).map_err(|e| {
                 SuiteError::Measure {
@@ -347,7 +352,11 @@ impl Suite {
             };
             // Absorbing here — in work-item order, after the pool joined —
             // is what makes the merged counters identical for every `jobs`.
-            reg.absorb("sim", &m.tele);
+            // D16x cells merge under their own `simx` prefix so the paper
+            // grid's `sim.*` counters stay byte-identical with or without
+            // the extension target.
+            let prefix = if specs[si].isa == Isa::D16x { "simx" } else { "sim" };
+            reg.absorb(prefix, &m.tele);
             reg.record_span("suite.collect.cell", wall_ns);
             if let Some(t) = trace {
                 suite.traces.insert((w.name.to_string(), specs[si].isa.name().to_string()), t);
@@ -546,9 +555,10 @@ impl Suite {
     }
 
     /// A snapshot of the suite's merged telemetry: `sim.*` pipeline
-    /// counters (absorbed in work-item order), `grid.*` per-configuration
-    /// cache counters (one block per swept trace), and the
-    /// `suite.collect.cell` / `suite.cache_grid.sweep` phase spans.
+    /// counters (absorbed in work-item order; D16x cells under `simx.*`),
+    /// `grid.*` per-configuration cache counters (one block per swept
+    /// trace), and the `suite.collect.cell` / `suite.cache_grid.sweep`
+    /// phase spans.
     ///
     /// Counters and span *counts* are deterministic; span durations are
     /// wall-clock. Grids sweep lazily, so warm every trace you want
@@ -576,7 +586,10 @@ mod tests {
     #[test]
     fn specs_cover_the_grid() {
         let labels: Vec<String> = standard_specs().iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"]);
+        assert_eq!(
+            labels,
+            vec!["D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3", "D16x/16/3"]
+        );
     }
 
     #[test]

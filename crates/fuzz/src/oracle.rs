@@ -234,31 +234,77 @@ fn is_size_limit(msg: &str) -> bool {
     msg.contains("out of range") || msg.contains("does not fit")
 }
 
-/// Decode/re-encode every word of a DLXe text segment. D16 images are
-/// skipped here: their text interleaves literal-pool *data* words with
-/// instructions (`ldc` is PC-relative into text), which cannot be told
-/// apart without layout metadata — the D16 word space is instead covered
-/// completely by the exhaustive `isa`/`asm` tests. DLXe materializes
-/// constants with `mvhi`/`ori`, so its text is pure instructions.
+/// Decode/re-encode every instruction of a DLXe or D16x text segment.
+/// D16 images are skipped here: their text interleaves literal-pool
+/// *data* words with instructions (`ldc` is PC-relative into text), which
+/// cannot be told apart without layout metadata — the D16 word space is
+/// instead covered completely by the exhaustive `isa`/`asm` tests. DLXe
+/// and D16x materialize constants with `mvhi`/`ori`, so their text is
+/// pure instructions; D16x is walked by each instruction's own
+/// length-decoded size, which also exercises the `insn_len` boundary rule
+/// on exactly the streams real codegen emits.
 fn encoding_roundtrip(spec: &TargetSpec, opt: OptLevel, text: &[u8]) -> Option<Divergence> {
-    use d16_isa::{dlxe, Isa};
-    if spec.isa != Isa::Dlxe {
-        return None;
+    use d16_isa::{d16x, dlxe, Isa};
+    match spec.isa {
+        Isa::D16 => None,
+        Isa::Dlxe => {
+            for (k, ch) in text.chunks_exact(4).enumerate() {
+                let w = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+                let detail = match dlxe::decode(w) {
+                    Ok(insn) => match dlxe::encode(&insn) {
+                        // Codegen emits canonical words, so byte identity
+                        // holds on real output even though the DLXe
+                        // decoder accepts redundant shapes.
+                        Ok(w2) if w2 == w => continue,
+                        Ok(w2) => format!("{w:#010x} -> {insn:?} -> {w2:#010x}"),
+                        Err(e) => format!("{w:#010x} -> {insn:?} re-encode failed: {e}"),
+                    },
+                    Err(e) => format!("emitted word {w:#010x} does not decode: {e}"),
+                };
+                return Some(Divergence::Encoding {
+                    target: spec.label(),
+                    opt,
+                    offset: k * 4,
+                    detail,
+                });
+            }
+            None
+        }
+        Isa::D16x => {
+            let mut o = 0usize;
+            while o + 1 < text.len() {
+                let first = u16::from_le_bytes([text[o], text[o + 1]]);
+                let len = d16x::insn_len(first) as usize;
+                let second = if len == 4 {
+                    if o + 3 >= text.len() {
+                        return Some(Divergence::Encoding {
+                            target: spec.label(),
+                            opt,
+                            offset: o,
+                            detail: format!("escape halfword {first:#06x} truncated at text end"),
+                        });
+                    }
+                    Some(u16::from_le_bytes([text[o + 2], text[o + 3]]))
+                } else {
+                    None
+                };
+                let detail = match d16x::decode(first, second) {
+                    // The narrow-first encoder plus the canonicality rule
+                    // (wide patterns expressible narrow are Illegal) make
+                    // decode -> encode the byte identity on legal streams.
+                    Ok((insn, dlen)) => match d16x::encode(&insn) {
+                        Ok(enc) if enc.len() == dlen && enc.to_bytes() == text[o..o + len] => {
+                            o += len;
+                            continue;
+                        }
+                        Ok(enc) => format!("{insn:?} re-encoded to {enc:?}, not the emitted bytes"),
+                        Err(e) => format!("{insn:?} re-encode failed: {e}"),
+                    },
+                    Err(e) => format!("emitted instruction at {first:#06x} does not decode: {e}"),
+                };
+                return Some(Divergence::Encoding { target: spec.label(), opt, offset: o, detail });
+            }
+            None
+        }
     }
-    for (k, ch) in text.chunks_exact(4).enumerate() {
-        let w = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
-        let detail = match dlxe::decode(w) {
-            Ok(insn) => match dlxe::encode(&insn) {
-                // Codegen emits canonical words, so byte identity holds
-                // on real output even though the DLXe decoder accepts
-                // redundant shapes.
-                Ok(w2) if w2 == w => continue,
-                Ok(w2) => format!("{w:#010x} -> {insn:?} -> {w2:#010x}"),
-                Err(e) => format!("{w:#010x} -> {insn:?} re-encode failed: {e}"),
-            },
-            Err(e) => format!("emitted word {w:#010x} does not decode: {e}"),
-        };
-        return Some(Divergence::Encoding { target: spec.label(), opt, offset: k * 4, detail });
-    }
-    None
 }

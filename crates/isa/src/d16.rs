@@ -74,7 +74,7 @@ mod regop {
     pub const CVT_BASE: u16 = 45; // si2sf si2df sf2df df2sf sf2si df2si -> 45..50
 }
 
-fn d16_cond_index(cond: Cond) -> Option<u16> {
+pub(crate) fn d16_cond_index(cond: Cond) -> Option<u16> {
     Some(match cond {
         Cond::Eq => 0,
         Cond::Ne => 1,
@@ -86,7 +86,7 @@ fn d16_cond_index(cond: Cond) -> Option<u16> {
     })
 }
 
-fn cond_from_index(i: u16) -> Cond {
+pub(crate) fn cond_from_index(i: u16) -> Cond {
     [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ltu, Cond::Le, Cond::Leu][i as usize]
 }
 
@@ -130,7 +130,7 @@ fn cvt_from_index(i: u16) -> CvtOp {
     [CvtOp::Si2Sf, CvtOp::Si2Df, CvtOp::Sf2Df, CvtOp::Df2Sf, CvtOp::Sf2Si, CvtOp::Df2Si][i as usize]
 }
 
-fn gpr4(r: Gpr) -> Result<u16, EncodeError> {
+pub(crate) fn gpr4(r: Gpr) -> Result<u16, EncodeError> {
     if r.fits_d16() {
         Ok(r.number() as u16)
     } else {

@@ -1,0 +1,630 @@
+//! The D16x mixed 16/32-bit instruction format: encoder and decoder.
+//!
+//! D16x is a strict superset of the D16 halfword format (RISC-V C /
+//! Thumb-2 style): every D16 pattern decodes unchanged, and the halfword
+//! prefix `1001` — reserved in D16 — escapes to a 32-bit form whose second
+//! halfword carries a 16-bit immediate or extra operand fields. Length
+//! decoding is deterministic from the first halfword alone ([`insn_len`]),
+//! so the stream can be walked from any instruction boundary.
+//!
+//! Wide layout, most significant bits first (`hw0` is the low halfword in
+//! memory; `hw1` follows it):
+//!
+//! ```text
+//! hw0   1 0 0 1 ffff yyyy xxxx      f: format; x/y: 4-bit register fields
+//! hw1   iiiiiiiiiiiiiiii            16-bit immediate, or func+operands
+//! ```
+//!
+//! Formats (`f`), with `hw1` interpretation:
+//!
+//! ```text
+//!  0  XALU3   func=hw1[7:4]: 0..=7 reg op, rx <- ry op r[hw1 3:0]
+//!             8..=10 shift-immediate, rx <- ry shift hw1[12:8]
+//!  1  XADDI   rx <- ry + sext(imm16); y=0 encodes mvi rx, sext(imm16)
+//!  2  XANDI   rx <- ry & zext(imm16)
+//!  3  XORI    rx <- ry | zext(imm16)
+//!  4  XXORI   rx <- ry ^ zext(imm16)
+//!  5  XLUI    rx <- imm16 << 16 (y must be 0)
+//!  6  XCMPI   r0 <- (ry cond sext(imm16)); x = D16 condition index 0..=5
+//!  7  XLD.W   rx <- mem32[ry + sext(imm16)]
+//!  8  XLDH    sign-extending halfword load, same operands
+//!  9  XLDHU   zero-extending halfword load
+//! 10  XLDB    sign-extending byte load
+//! 11  XLDBU   zero-extending byte load
+//! 12  XST.W   mem32[ry + sext(imm16)] <- rx
+//! 13  XSTH    halfword store
+//! 14  XSTB    byte store
+//! 15  XJMP    pc-relative j (x=0) / jal (x=1), disp = sext(imm16)*2
+//!             (y must be 0; link register r1, as in D16)
+//! ```
+//!
+//! The encoder is **narrow-first**: it emits the 16-bit D16 form whenever
+//! one exists and escapes to 32 bits only when the operand shape demands it
+//! (three-address ALU, wide immediate, offsettable subword access, `mvhi`,
+//! displacement jumps). Symmetrically, the decoder treats a wide pattern
+//! whose instruction has a narrow encoding as *reserved*, so
+//! `encode(decode(bytes)) == bytes` on every decodable sequence — the
+//! property the disassembly round-trip oracle checks. `subi` has no wide
+//! form; the encoder canonicalizes it to `addi` of the negated immediate
+//! (which is why the D16x ALU-immediate range is the symmetric
+//! -32767..=32767).
+
+use crate::d16;
+use crate::insn::Insn;
+use crate::op::{AluOp, MemWidth};
+use crate::reg::{abi, Gpr};
+use crate::{DecodeError, EncodeError};
+
+/// Signed 16-bit immediate range of the wide formats.
+pub const SIMM_RANGE: std::ops::RangeInclusive<i32> = -32768..=32767;
+/// Unsigned 16-bit immediate range (logicals, `mvhi`).
+pub const UIMM_RANGE: std::ops::RangeInclusive<i32> = 0..=65535;
+/// ALU-immediate range the *encoder* guarantees for every op with an
+/// immediate form (symmetric, so `subi imm` ⇔ `addi -imm` always holds).
+pub const ALU_IMM_RANGE: std::ops::RangeInclusive<i32> = -32767..=32767;
+/// `XJMP` displacement range in bytes, relative to the delay slot.
+pub const JMP_RANGE: std::ops::RangeInclusive<i32> = -65536..=65534;
+
+/// The halfword prefix that escapes to a 32-bit instruction.
+const PREFIX: u16 = 0b1001;
+
+// Wide format codes (the `ffff` field of `hw0`).
+mod xfmt {
+    pub const ALU3: u16 = 0;
+    pub const ADDI: u16 = 1;
+    pub const ANDI: u16 = 2;
+    pub const ORI: u16 = 3;
+    pub const XORI: u16 = 4;
+    pub const LUI: u16 = 5;
+    pub const CMPI: u16 = 6;
+    pub const LDW: u16 = 7;
+    pub const LDH: u16 = 8;
+    pub const LDHU: u16 = 9;
+    pub const LDB: u16 = 10;
+    pub const LDBU: u16 = 11;
+    pub const STW: u16 = 12;
+    pub const STH: u16 = 13;
+    pub const STB: u16 = 14;
+    pub const JMP: u16 = 15;
+}
+
+// XALU3 func codes (bits [7:4] of `hw1`).
+const FUNC_SHIFT_IMM_BASE: u16 = 8; // shli shri shrai -> 8..=10
+
+/// One encoded D16x instruction: a narrow halfword or a wide word.
+///
+/// The wide word's low halfword is `hw0` (the prefixed halfword); its
+/// little-endian byte image is therefore `hw0` first, then `hw1`, matching
+/// the fetch order of the 2-byte-granular instruction stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Enc {
+    /// A 16-bit (narrow, D16) encoding.
+    N(u16),
+    /// A 32-bit escape encoding.
+    W(u32),
+}
+
+impl Enc {
+    /// Encoded length in bytes (2 or 4; an encoding is never empty).
+    #[allow(clippy::len_without_is_empty)]
+    pub const fn len(self) -> u32 {
+        match self {
+            Enc::N(_) => 2,
+            Enc::W(_) => 4,
+        }
+    }
+
+    /// The instruction's bytes in memory order.
+    pub fn to_bytes(self) -> Vec<u8> {
+        match self {
+            Enc::N(h) => h.to_le_bytes().to_vec(),
+            Enc::W(w) => w.to_le_bytes().to_vec(),
+        }
+    }
+}
+
+/// Length in bytes of the instruction whose first halfword is `first`:
+/// 4 for the `1001` escape prefix, otherwise 2. This is the entire D16x
+/// length-decode rule; it needs no other context, so any tool (fetch unit,
+/// disassembler, branch-offset patcher) can walk a text segment from a
+/// known instruction boundary.
+pub const fn insn_len(first: u16) -> u32 {
+    if first >> 12 == PREFIX {
+        4
+    } else {
+        2
+    }
+}
+
+fn hw0(f: u16, y: u16, x: u16) -> u16 {
+    PREFIX << 12 | f << 8 | y << 4 | x
+}
+
+fn wide(f: u16, y: u16, x: u16, hw1: u16) -> u32 {
+    (hw1 as u32) << 16 | hw0(f, y, x) as u32
+}
+
+fn check_simm16(imm: i32) -> Result<u16, EncodeError> {
+    if SIMM_RANGE.contains(&imm) {
+        Ok(imm as u16)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange(imm))
+    }
+}
+
+fn check_uimm16(imm: i32) -> Result<u16, EncodeError> {
+    if UIMM_RANGE.contains(&imm) {
+        Ok(imm as u16)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange(imm))
+    }
+}
+
+fn alu_func(op: AluOp) -> u16 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Shra => 7,
+    }
+}
+
+fn alu_from_func(f: u16) -> AluOp {
+    [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::Shra]
+        [f as usize]
+}
+
+/// Encodes one instruction, preferring the 16-bit form.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when neither the narrow nor the wide format
+/// can express the instruction. Shapes that exist only narrow (register
+/// compares and branches, FPU, system) report the D16 encoder's error;
+/// shapes with wide forms report the wide encoder's.
+pub fn encode(insn: &Insn) -> Result<Enc, EncodeError> {
+    match d16::encode(insn) {
+        Ok(h) => Ok(Enc::N(h)),
+        Err(narrow_err) => match insn {
+            Insn::Alu { .. }
+            | Insn::AluI { .. }
+            | Insn::Mvi { .. }
+            | Insn::Lui { .. }
+            | Insn::CmpI { .. }
+            | Insn::Ld { .. }
+            | Insn::St { .. }
+            | Insn::Jdisp { .. } => encode_wide(insn).map(Enc::W),
+            _ => Err(narrow_err),
+        },
+    }
+}
+
+/// Encodes one instruction in the 32-bit escape format unconditionally,
+/// even when a narrow form exists. The assembler uses this for relocation
+/// sites, whose immediate field must stay 16 bits wide for the linker to
+/// patch.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when the wide format cannot express the
+/// instruction (it covers ALU, immediate, memory and displacement-jump
+/// shapes only).
+pub fn encode_wide(insn: &Insn) -> Result<u32, EncodeError> {
+    let gpr4 = d16::gpr4;
+    match *insn {
+        Insn::Alu { op, rd, rs1, rs2 } => {
+            Ok(wide(xfmt::ALU3, gpr4(rs1)?, gpr4(rd)?, alu_func(op) << 4 | gpr4(rs2)?))
+        }
+        Insn::AluI { op, rd, rs1, imm } => match op {
+            AluOp::Add => {
+                if rs1 == abi::R0 {
+                    // XADDI with y=0 is the wide mvi; addi from r0 has no
+                    // wide form (narrow covers rd == rs1 == r0).
+                    return Err(EncodeError::NotInIsa("wide addi from r0"));
+                }
+                Ok(wide(xfmt::ADDI, gpr4(rs1)?, gpr4(rd)?, check_simm16(imm)?))
+            }
+            AluOp::Sub => {
+                // No XSUBI: canonicalize onto XADDI of the negated
+                // immediate (the symmetric ALU_IMM_RANGE guarantees it
+                // fits whenever `imm` does).
+                let neg = imm.checked_neg().ok_or(EncodeError::ImmediateOutOfRange(imm))?;
+                if rs1 == abi::R0 {
+                    return Err(EncodeError::NotInIsa("wide subi from r0"));
+                }
+                Ok(wide(xfmt::ADDI, gpr4(rs1)?, gpr4(rd)?, check_simm16(neg)?))
+            }
+            AluOp::And => Ok(wide(xfmt::ANDI, gpr4(rs1)?, gpr4(rd)?, check_uimm16(imm)?)),
+            AluOp::Or => Ok(wide(xfmt::ORI, gpr4(rs1)?, gpr4(rd)?, check_uimm16(imm)?)),
+            AluOp::Xor => Ok(wide(xfmt::XORI, gpr4(rs1)?, gpr4(rd)?, check_uimm16(imm)?)),
+            AluOp::Shl | AluOp::Shr | AluOp::Shra => {
+                if !(0..=31).contains(&imm) {
+                    return Err(EncodeError::ImmediateOutOfRange(imm));
+                }
+                let func = FUNC_SHIFT_IMM_BASE + alu_func(op) - alu_func(AluOp::Shl);
+                Ok(wide(xfmt::ALU3, gpr4(rs1)?, gpr4(rd)?, (imm as u16) << 8 | func << 4))
+            }
+        },
+        Insn::Mvi { rd, imm } => Ok(wide(xfmt::ADDI, 0, gpr4(rd)?, check_simm16(imm)?)),
+        Insn::Lui { rd, imm } => {
+            if imm > 0xffff {
+                return Err(EncodeError::ImmediateOutOfRange(imm as i32));
+            }
+            Ok(wide(xfmt::LUI, 0, gpr4(rd)?, imm as u16))
+        }
+        Insn::CmpI { cond, rd, rs1, imm } => {
+            if rd != abi::R0 {
+                return Err(EncodeError::CompareDestNotR0);
+            }
+            let ci = d16::d16_cond_index(cond).ok_or(EncodeError::ConditionNotInIsa(cond))?;
+            Ok(wide(xfmt::CMPI, gpr4(rs1)?, ci, check_simm16(imm)?))
+        }
+        Insn::Ld { w, rd, base, disp } => {
+            let f = match w {
+                MemWidth::W => xfmt::LDW,
+                MemWidth::H => xfmt::LDH,
+                MemWidth::Hu => xfmt::LDHU,
+                MemWidth::B => xfmt::LDB,
+                MemWidth::Bu => xfmt::LDBU,
+            };
+            Ok(wide(f, gpr4(base)?, gpr4(rd)?, check_simm16(disp)?))
+        }
+        Insn::St { w, rs, base, disp } => {
+            let f = match w {
+                MemWidth::W => xfmt::STW,
+                MemWidth::H | MemWidth::Hu => xfmt::STH,
+                MemWidth::B | MemWidth::Bu => xfmt::STB,
+            };
+            Ok(wide(f, gpr4(base)?, gpr4(rs)?, check_simm16(disp)?))
+        }
+        Insn::Jdisp { link, disp } => {
+            if disp % 2 != 0 || !JMP_RANGE.contains(&disp) {
+                return Err(EncodeError::DisplacementOutOfRange(disp));
+            }
+            Ok(wide(xfmt::JMP, 0, link as u16, (disp / 2) as u16))
+        }
+        _ => Err(EncodeError::NotInIsa("32-bit escape for this shape")),
+    }
+}
+
+/// Decodes one instruction from its first halfword and, when the first
+/// halfword is the `1001` escape, the following one. Returns the
+/// instruction and its length in bytes (2 or 4).
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when an escape's second halfword is absent;
+/// [`DecodeError::Illegal`] for reserved patterns — which include any wide
+/// pattern whose instruction the narrow format could express, so that
+/// encode ∘ decode is the identity on decodable byte sequences.
+pub fn decode(first: u16, second: Option<u16>) -> Result<(Insn, u32), DecodeError> {
+    if first >> 12 != PREFIX {
+        return Ok((d16::decode(first)?, 2));
+    }
+    let hw1 = second.ok_or(DecodeError::Truncated(first))?;
+    let word = (hw1 as u32) << 16 | first as u32;
+    Ok((decode_wide(word)?, 4))
+}
+
+/// Decodes a 32-bit escape word (`hw0` in the low half, `hw1` in the high
+/// half, i.e. the little-endian word read at the instruction's address).
+fn decode_wide(word: u32) -> Result<Insn, DecodeError> {
+    let ill = || DecodeError::Illegal(word);
+    let first = word as u16;
+    let hw1 = (word >> 16) as u16;
+    if first >> 12 != PREFIX {
+        return Err(ill());
+    }
+    let f = (first >> 8) & 0xf;
+    let x = Gpr::new((first & 0xf) as u8);
+    let y = Gpr::new(((first >> 4) & 0xf) as u8);
+    let simm = hw1 as i16 as i32;
+    let uimm = hw1 as i32;
+    let insn = match f {
+        xfmt::ALU3 => {
+            let func = (hw1 >> 4) & 0xf;
+            if func <= 7 {
+                if hw1 >> 8 != 0 {
+                    return Err(ill());
+                }
+                let rs2 = Gpr::new((hw1 & 0xf) as u8);
+                Insn::Alu { op: alu_from_func(func), rd: x, rs1: y, rs2 }
+            } else if (FUNC_SHIFT_IMM_BASE..FUNC_SHIFT_IMM_BASE + 3).contains(&func) {
+                if hw1 & 0xf != 0 || hw1 >> 13 != 0 {
+                    return Err(ill());
+                }
+                let op = alu_from_func(func - FUNC_SHIFT_IMM_BASE + alu_func(AluOp::Shl));
+                Insn::AluI { op, rd: x, rs1: y, imm: ((hw1 >> 8) & 0x1f) as i32 }
+            } else {
+                return Err(ill());
+            }
+        }
+        xfmt::ADDI => {
+            if y == abi::R0 {
+                Insn::Mvi { rd: x, imm: simm }
+            } else {
+                Insn::AluI { op: AluOp::Add, rd: x, rs1: y, imm: simm }
+            }
+        }
+        xfmt::ANDI => Insn::AluI { op: AluOp::And, rd: x, rs1: y, imm: uimm },
+        xfmt::ORI => Insn::AluI { op: AluOp::Or, rd: x, rs1: y, imm: uimm },
+        xfmt::XORI => Insn::AluI { op: AluOp::Xor, rd: x, rs1: y, imm: uimm },
+        xfmt::LUI => {
+            if y != abi::R0 {
+                return Err(ill());
+            }
+            Insn::Lui { rd: x, imm: uimm as u32 }
+        }
+        xfmt::CMPI => {
+            let ci = first & 0xf;
+            if ci > 5 {
+                return Err(ill());
+            }
+            Insn::CmpI { cond: d16::cond_from_index(ci), rd: abi::R0, rs1: y, imm: simm }
+        }
+        xfmt::LDW => Insn::Ld { w: MemWidth::W, rd: x, base: y, disp: simm },
+        xfmt::LDH => Insn::Ld { w: MemWidth::H, rd: x, base: y, disp: simm },
+        xfmt::LDHU => Insn::Ld { w: MemWidth::Hu, rd: x, base: y, disp: simm },
+        xfmt::LDB => Insn::Ld { w: MemWidth::B, rd: x, base: y, disp: simm },
+        xfmt::LDBU => Insn::Ld { w: MemWidth::Bu, rd: x, base: y, disp: simm },
+        xfmt::STW => Insn::St { w: MemWidth::W, rs: x, base: y, disp: simm },
+        xfmt::STH => Insn::St { w: MemWidth::H, rs: x, base: y, disp: simm },
+        xfmt::STB => Insn::St { w: MemWidth::B, rs: x, base: y, disp: simm },
+        xfmt::JMP => {
+            if y != abi::R0 || first & 0xf > 1 {
+                return Err(ill());
+            }
+            Insn::Jdisp { link: first & 1 == 1, disp: simm * 2 }
+        }
+        _ => unreachable!("4-bit format field"),
+    };
+    // A wide pattern whose instruction has a narrow encoding is reserved:
+    // the narrow-first encoder would never produce it, and rejecting it
+    // keeps decode -> encode the identity (the round-trip oracle's
+    // invariant).
+    if d16::encode(&insn).is_ok() {
+        return Err(ill());
+    }
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Cond, UnOp};
+    use crate::reg::Fpr;
+    use crate::{FpOp, Prec};
+
+    fn rt(insn: Insn) -> Insn {
+        let e = encode(&insn).unwrap_or_else(|err| panic!("encode {insn:?}: {err}"));
+        let (first, second) = match e {
+            Enc::N(h) => (h, None),
+            Enc::W(w) => (w as u16, Some((w >> 16) as u16)),
+        };
+        let (out, len) = decode(first, second).unwrap_or_else(|err| panic!("decode {e:?}: {err}"));
+        assert_eq!(len, e.len(), "{insn:?}");
+        out
+    }
+
+    #[test]
+    fn narrow_forms_preferred() {
+        let r = Gpr::new;
+        // Everything D16 can say stays 2 bytes.
+        let narrow = [
+            Insn::Alu { op: AluOp::Add, rd: r(3), rs1: r(3), rs2: r(7) },
+            Insn::AluI { op: AluOp::Add, rd: r(4), rs1: r(4), imm: 31 },
+            Insn::Mvi { rd: r(6), imm: -256 },
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: r(15), disp: 124 },
+            Insn::St { w: MemWidth::B, rs: r(2), base: r(3), disp: 0 },
+            Insn::Br { disp: -1024 },
+            Insn::Jl { target: r(12) },
+            Insn::Nop,
+        ];
+        for i in narrow {
+            assert!(matches!(encode(&i), Ok(Enc::N(_))), "{i:?}");
+            assert_eq!(rt(i), i);
+        }
+    }
+
+    #[test]
+    fn wide_forms_roundtrip() {
+        let r = Gpr::new;
+        let wide = [
+            // Three-address ALU.
+            Insn::Alu { op: AluOp::Sub, rd: r(3), rs1: r(5), rs2: r(7) },
+            Insn::Alu { op: AluOp::Shra, rd: r(1), rs1: r(2), rs2: r(15) },
+            // Wide immediates.
+            Insn::AluI { op: AluOp::Add, rd: r(4), rs1: r(4), imm: 32 },
+            Insn::AluI { op: AluOp::Add, rd: r(4), rs1: r(5), imm: -1 },
+            Insn::AluI { op: AluOp::And, rd: r(4), rs1: r(4), imm: 0xff00 },
+            Insn::AluI { op: AluOp::Or, rd: r(2), rs1: r(3), imm: 65535 },
+            Insn::AluI { op: AluOp::Xor, rd: r(2), rs1: r(2), imm: 4660 },
+            Insn::AluI { op: AluOp::Shl, rd: r(2), rs1: r(3), imm: 31 },
+            Insn::AluI { op: AluOp::Shra, rd: r(2), rs1: r(3), imm: 0 },
+            Insn::Mvi { rd: r(6), imm: 30000 },
+            Insn::Mvi { rd: r(6), imm: -32768 },
+            Insn::Lui { rd: r(9), imm: 0xffff },
+            Insn::CmpI { cond: Cond::Lt, rd: abi::R0, rs1: r(5), imm: -3 },
+            Insn::CmpI { cond: Cond::Eq, rd: abi::R0, rs1: r(5), imm: 32 },
+            // Wide displacements, including offsettable subword access.
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: r(15), disp: -4 },
+            Insn::Ld { w: MemWidth::W, rd: r(2), base: r(15), disp: 126 },
+            Insn::Ld { w: MemWidth::Bu, rd: r(2), base: r(3), disp: 1 },
+            Insn::Ld { w: MemWidth::H, rd: r(2), base: r(3), disp: -2 },
+            Insn::St { w: MemWidth::W, rs: r(2), base: r(15), disp: 32767 },
+            Insn::St { w: MemWidth::H, rs: r(2), base: r(3), disp: 6 },
+            Insn::St { w: MemWidth::B, rs: r(2), base: r(3), disp: -1 },
+            // Displacement jumps.
+            Insn::Jdisp { link: false, disp: -65536 },
+            Insn::Jdisp { link: true, disp: 65534 },
+            Insn::Jdisp { link: true, disp: 0 },
+        ];
+        for i in wide {
+            assert!(matches!(encode(&i), Ok(Enc::W(_))), "{i:?}");
+            assert_eq!(rt(i), i);
+        }
+    }
+
+    #[test]
+    fn subi_canonicalizes_to_addi() {
+        let r = Gpr::new;
+        let sub = Insn::AluI { op: AluOp::Sub, rd: r(3), rs1: r(4), imm: 1000 };
+        let add = Insn::AluI { op: AluOp::Add, rd: r(3), rs1: r(4), imm: -1000 };
+        assert_eq!(encode(&sub), encode(&add));
+        assert_eq!(rt(sub), add);
+        // The symmetric range edge: ±32767 encode, ±32768 subi does not.
+        assert!(encode(&Insn::AluI { op: AluOp::Sub, rd: r(3), rs1: r(4), imm: 32767 }).is_ok());
+        assert!(encode(&Insn::AluI { op: AluOp::Sub, rd: r(3), rs1: r(4), imm: -32768 }).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let r = Gpr::new;
+        assert!(encode(&Insn::AluI { op: AluOp::Add, rd: r(1), rs1: r(2), imm: 32768 }).is_err());
+        assert!(encode(&Insn::AluI { op: AluOp::And, rd: r(1), rs1: r(2), imm: -1 }).is_err());
+        assert!(encode(&Insn::Mvi { rd: r(1), imm: 65536 }).is_err());
+        assert!(encode(&Insn::Lui { rd: r(1), imm: 0x10000 }).is_err());
+        assert!(encode(&Insn::Ld { w: MemWidth::W, rd: r(1), base: r(2), disp: 32768 }).is_err());
+        assert!(encode(&Insn::Jdisp { link: false, disp: 65536 }).is_err());
+        assert!(encode(&Insn::Jdisp { link: false, disp: 3 }).is_err(), "odd displacement");
+        assert!(encode(&Insn::Alu { op: AluOp::Add, rd: r(16), rs1: r(1), rs2: r(2) }).is_err());
+    }
+
+    #[test]
+    fn rejects_narrow_only_shapes_with_narrow_errors() {
+        let r = Gpr::new;
+        // Register compares keep the D16 r0 discipline.
+        let e = encode(&Insn::Cmp { cond: Cond::Eq, rd: r(3), rs1: r(1), rs2: r(2) });
+        assert!(matches!(e, Err(EncodeError::CompareDestNotR0)));
+        // Conditional branches test r0 only and have no wide reach.
+        let e = encode(&Insn::Bc { neg: false, rs: r(3), disp: 0 });
+        assert!(matches!(e, Err(EncodeError::BranchSourceNotR0)));
+        let e = encode(&Insn::Br { disp: 2000 });
+        assert!(matches!(e, Err(EncodeError::DisplacementOutOfRange(2000))));
+        // The FPU interface stays two-address.
+        let f = Fpr::new;
+        let e =
+            encode(&Insn::FAlu { op: FpOp::Add, prec: Prec::S, fd: f(1), fs1: f(2), fs2: f(3) });
+        assert!(matches!(e, Err(EncodeError::NotTwoAddress)));
+        // Immediate compares outside the D16 condition set.
+        let e = encode(&Insn::CmpI { cond: Cond::Gt, rd: abi::R0, rs1: r(1), imm: 5 });
+        assert!(matches!(e, Err(EncodeError::ConditionNotInIsa(Cond::Gt))));
+    }
+
+    #[test]
+    fn truncated_escape_is_typed_error() {
+        let w = match encode(&Insn::Lui { rd: Gpr::new(4), imm: 18 }).unwrap() {
+            Enc::W(w) => w,
+            Enc::N(_) => unreachable!(),
+        };
+        let first = w as u16;
+        assert_eq!(insn_len(first), 4);
+        assert_eq!(decode(first, None), Err(DecodeError::Truncated(first)));
+        // A narrow halfword never asks for a second one.
+        let h = match encode(&Insn::Nop).unwrap() {
+            Enc::N(h) => h,
+            Enc::W(_) => unreachable!(),
+        };
+        assert_eq!(insn_len(h), 2);
+        assert!(decode(h, None).is_ok());
+    }
+
+    #[test]
+    fn length_rule_is_prefix_only() {
+        for first in 0..=u16::MAX {
+            let expect = if first >> 12 == 0b1001 { 4 } else { 2 };
+            assert_eq!(insn_len(first), expect);
+        }
+    }
+
+    #[test]
+    fn narrow_decode_agrees_with_d16() {
+        // On every non-escape halfword, D16x decode is exactly D16 decode.
+        for first in 0..=u16::MAX {
+            if first >> 12 == 0b1001 {
+                continue;
+            }
+            match (decode(first, Some(0xabcd)), d16::decode(first)) {
+                (Ok((i, 2)), Ok(j)) => assert_eq!(i, j, "{first:#06x}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{first:#06x}: d16x {a:?} vs d16 {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_wide_decode_encode_roundtrip() {
+        // Every decodable wide pattern re-encodes to the same four bytes:
+        // the decoder rejects non-canonical patterns (unused fields set,
+        // or an instruction the narrow format could express), so
+        // decode -> encode is the identity. LCG-sampled, as in the DLXe
+        // round-trip test.
+        let mut state = 0x2026_0808u32;
+        let mut decodable = 0u32;
+        for _ in 0..2_000_000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let word = state & 0xffff_0fff | (PREFIX as u32) << 12;
+            if let Ok(insn) = decode_wide(word) {
+                decodable += 1;
+                let again = encode(&insn)
+                    .unwrap_or_else(|e| panic!("re-encode of {word:#010x} -> {insn:?}: {e}"));
+                assert_eq!(again, Enc::W(word), "{word:#010x} -> {insn:?}");
+            }
+        }
+        // Most of the escape space is populated (the immediate formats
+        // accept nearly every hw1).
+        assert!(decodable > 1_000_000, "only {decodable} wide patterns decodable");
+    }
+
+    #[test]
+    fn wide_patterns_with_narrow_twins_are_reserved() {
+        let r = Gpr::new;
+        // add r3, r3, r7 has a narrow form; its hand-built wide pattern
+        // must not decode.
+        let w = wide(xfmt::ALU3, 3, 3, alu_func(AluOp::Add) << 4 | 7);
+        assert!(decode_wide(w).is_err());
+        // mvi r6, 7 fits the narrow MVI field.
+        let w = wide(xfmt::ADDI, 0, 6, 7);
+        assert!(decode_wide(w).is_err());
+        // ld r2, 8(r15): narrow word displacement.
+        let w = wide(xfmt::LDW, 15, 2, 8);
+        assert!(decode_wide(w).is_err());
+        // cmpeqi r5, 3: the narrow cmpeqi extension pattern.
+        let w = wide(xfmt::CMPI, 5, 0, 3);
+        assert!(decode_wide(w).is_err());
+        // The wide forms of the same shapes decode fine.
+        assert_eq!(
+            decode_wide(wide(xfmt::ALU3, 5, 3, alu_func(AluOp::Add) << 4 | 7)).unwrap(),
+            Insn::Alu { op: AluOp::Add, rd: r(3), rs1: r(5), rs2: r(7) },
+        );
+        assert_eq!(
+            decode_wide(wide(xfmt::ADDI, 0, 6, 300)).unwrap(),
+            Insn::Mvi { rd: r(6), imm: 300 },
+        );
+    }
+
+    #[test]
+    fn ldc_remains_decodable_for_superset_compat() {
+        // D16x is a strict superset of D16: the narrow literal-pool load
+        // still decodes (the compiler just never emits it — has_ldc is
+        // false in the D16x EncodingParams).
+        let h = d16::encode(&Insn::Ldc { rd: Gpr::new(9), disp: 1020 }).unwrap();
+        assert_eq!(decode(h, None).unwrap(), (Insn::Ldc { rd: Gpr::new(9), disp: 1020 }, 2));
+    }
+
+    #[test]
+    fn mv_narrow_is_not_two_address_constrained() {
+        // Regression guard for the fusion pass's lui+addi shape: or with
+        // a wide immediate onto a *different* destination escapes, onto
+        // the same destination also escapes (no narrow or-immediate).
+        let r = Gpr::new;
+        let i = Insn::AluI { op: AluOp::Or, rd: r(4), rs1: r(4), imm: 0x1234 };
+        assert!(matches!(encode(&i), Ok(Enc::W(_))));
+        let mv = Insn::Un { op: UnOp::Mv, rd: r(4), rs: r(9) };
+        assert!(matches!(encode(&mv), Ok(Enc::N(_))));
+    }
+}

@@ -162,23 +162,30 @@ impl Insn {
     }
 }
 
-/// Which of the two instruction encodings a binary uses.
+/// Which instruction encoding a binary uses.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Isa {
     /// The 16-bit format.
     D16,
     /// The 32-bit DLX variant.
     Dlxe,
+    /// The mixed 16/32-bit format: every D16 halfword plus 32-bit escape
+    /// forms (prefix `1001`) carrying 16-bit immediates and three-address
+    /// ALU shapes. RVC/Thumb-2 style; see [`crate::d16x`].
+    D16x,
 }
 
 impl Isa {
-    /// Both ISAs, D16 first (the paper's baseline for ratios).
-    pub const ALL: [Isa; 2] = [Isa::D16, Isa::Dlxe];
+    /// All ISAs, D16 first (the paper's baseline for ratios). D16x last so
+    /// the paper's original two-ISA tables keep their ordering.
+    pub const ALL: [Isa; 3] = [Isa::D16, Isa::Dlxe, Isa::D16x];
 
-    /// Instruction width in bytes.
+    /// Fetch-unit width in bytes: the granularity at which instruction
+    /// streams advance. D16x instructions are 2 or 4 bytes long but are
+    /// fetched and aligned in 2-byte units, like D16.
     pub const fn insn_bytes(self) -> u32 {
         match self {
-            Isa::D16 => 2,
+            Isa::D16 | Isa::D16x => 2,
             Isa::Dlxe => 4,
         }
     }
@@ -186,7 +193,7 @@ impl Isa {
     /// Number of architecturally addressable general registers.
     pub const fn gpr_count(self) -> usize {
         match self {
-            Isa::D16 => 16,
+            Isa::D16 | Isa::D16x => 16,
             Isa::Dlxe => 32,
         }
     }
@@ -194,7 +201,7 @@ impl Isa {
     /// Number of architecturally addressable FP registers.
     pub const fn fpr_count(self) -> usize {
         match self {
-            Isa::D16 => 16,
+            Isa::D16 | Isa::D16x => 16,
             Isa::Dlxe => 32,
         }
     }
@@ -202,16 +209,17 @@ impl Isa {
     /// The link register written by jump-and-link.
     pub const fn link_reg(self) -> Gpr {
         match self {
-            Isa::D16 => crate::reg::abi::D16_LINK,
+            Isa::D16 | Isa::D16x => crate::reg::abi::D16_LINK,
             Isa::Dlxe => crate::reg::abi::DLXE_LINK,
         }
     }
 
-    /// Display name used in tables ("D16" / "DLXe").
+    /// Display name used in tables ("D16" / "DLXe" / "D16x").
     pub const fn name(self) -> &'static str {
         match self {
             Isa::D16 => "D16",
             Isa::Dlxe => "DLXe",
+            Isa::D16x => "D16x",
         }
     }
 }
@@ -262,5 +270,11 @@ mod tests {
         assert_eq!(Isa::Dlxe.gpr_count(), 32);
         assert_eq!(Isa::D16.link_reg(), Gpr::new(1));
         assert_eq!(Isa::Dlxe.link_reg(), Gpr::new(31));
+        // D16x keeps D16's register file and fetch granularity.
+        assert_eq!(Isa::D16x.insn_bytes(), 2);
+        assert_eq!(Isa::D16x.gpr_count(), 16);
+        assert_eq!(Isa::D16x.fpr_count(), 16);
+        assert_eq!(Isa::D16x.link_reg(), Gpr::new(1));
+        assert_eq!(Isa::ALL, [Isa::D16, Isa::Dlxe, Isa::D16x]);
     }
 }

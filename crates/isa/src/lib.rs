@@ -39,6 +39,7 @@ mod params;
 mod reg;
 
 pub mod d16;
+pub mod d16x;
 pub mod dlxe;
 pub mod sem;
 
@@ -126,12 +127,18 @@ impl std::error::Error for EncodeError {}
 pub enum DecodeError {
     /// Reserved or illegal pattern (the offending word, zero-extended).
     Illegal(u32),
+    /// A 32-bit escape's first halfword with no second halfword available
+    /// (the escape would run past the end of the text segment).
+    Truncated(u16),
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Illegal(w) => write!(f, "illegal instruction pattern {w:#010x}"),
+            DecodeError::Truncated(h) => {
+                write!(f, "truncated 32-bit escape: first halfword {h:#06x} has no second halfword")
+            }
         }
     }
 }
@@ -148,6 +155,10 @@ pub fn encode_bytes(isa: Isa, insn: &Insn) -> Result<Vec<u8>, EncodeError> {
     match isa {
         Isa::D16 => Ok(d16::encode(insn)?.to_le_bytes().to_vec()),
         Isa::Dlxe => Ok(dlxe::encode(insn)?.to_le_bytes().to_vec()),
+        Isa::D16x => Ok(match d16x::encode(insn)? {
+            d16x::Enc::N(h) => h.to_le_bytes().to_vec(),
+            d16x::Enc::W(w) => w.to_le_bytes().to_vec(),
+        }),
     }
 }
 
@@ -156,6 +167,7 @@ pub fn encodable(isa: Isa, insn: &Insn) -> bool {
     match isa {
         Isa::D16 => d16::encode(insn).is_ok(),
         Isa::Dlxe => dlxe::encode(insn).is_ok(),
+        Isa::D16x => d16x::encode(insn).is_ok(),
     }
 }
 

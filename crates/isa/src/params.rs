@@ -77,6 +77,25 @@ impl EncodingParams {
                 has_lui: true,
                 has_ldc: false,
             },
+            // D16x: D16's register file and branch reach, DLXe's immediate
+            // and displacement fields via the 32-bit escape formats. The
+            // ALU-immediate range is symmetric (not -32768) because subi
+            // canonicalizes onto addi of the negated immediate.
+            Isa::D16x => EncodingParams {
+                isa,
+                gprs: 16,
+                fprs: 16,
+                three_address: true,
+                alu_imm: (-32767, 32767),
+                mvi_imm: (-32768, 32767),
+                mem_disp: (-32768, 32767),
+                subword_disp: (-32768, 32767),
+                branch_reach: (-1024, 1022),
+                cmp_imm: true,
+                logical_imm: true,
+                has_lui: true,
+                has_ldc: false,
+            },
         }
     }
 
@@ -166,6 +185,37 @@ mod tests {
         for disp in [-32768, 32767, 32768] {
             let i = Insn::Ld { w: MemWidth::W, rd: r, base: r, disp };
             assert_eq!(q.mem_disp_fits(MemWidth::W, disp), dlxe::encode(&i).is_ok(), "disp {disp}");
+        }
+    }
+
+    #[test]
+    fn d16x_params_conservative_against_encoder() {
+        // Wherever the D16x params claim a shape fits, the D16x encoder
+        // must accept it (the compiler relies on this direction; the
+        // encoder may accept slightly more, e.g. addi -32768).
+        let p = EncodingParams::for_isa(Isa::D16x);
+        let r = Gpr::new(2);
+        let s = Gpr::new(3);
+        for op in
+            [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Shl, AluOp::Shra]
+        {
+            for imm in [-32768, -32767, -1, 0, 31, 32, 32767, 32768, 65535, 65536] {
+                let i = Insn::AluI { op, rd: r, rs1: s, imm };
+                if p.alu_imm_fits(op, imm) {
+                    assert!(crate::d16x::encode(&i).is_ok(), "{op:?} imm {imm}");
+                }
+            }
+        }
+        for disp in [-32768, -1, 0, 2, 124, 126, 32767] {
+            for w in [MemWidth::W, MemWidth::H, MemWidth::Bu] {
+                let i = Insn::Ld { w, rd: r, base: s, disp };
+                if p.mem_disp_fits(w, disp) {
+                    assert!(crate::d16x::encode(&i).is_ok(), "{w:?} disp {disp}");
+                }
+            }
+        }
+        for imm in [p.mvi_imm.0, -256, 0, 255, p.mvi_imm.1] {
+            assert!(crate::d16x::encode(&Insn::Mvi { rd: r, imm }).is_ok(), "mvi {imm}");
         }
     }
 

@@ -10,7 +10,7 @@
 //! canonical form is a fixpoint: one decode-encode step lands on a word
 //! that decodes and re-encodes to itself.
 
-use d16_isa::{d16, dlxe};
+use d16_isa::{d16, d16x, dlxe, DecodeError};
 
 #[test]
 fn d16_all_64k_words_byte_identical_or_reserved() {
@@ -80,4 +80,115 @@ fn dlxe_sampled_words_reach_a_canonical_fixpoint() {
         check(w);
     }
     assert!(decodable > 100_000, "only {decodable} sampled DLXe words decodable");
+}
+
+#[test]
+fn d16x_narrow_space_is_exactly_d16() {
+    // D16x is a strict superset: every non-escape halfword decodes (or is
+    // reserved) exactly as D16, with length 2; every escape halfword
+    // without a second halfword is the *typed* truncation error, never a
+    // panic and never a misdecode.
+    for first in 0..=u16::MAX {
+        if first >> 12 == 0b1001 {
+            assert_eq!(d16x::insn_len(first), 4);
+            assert_eq!(d16x::decode(first, None), Err(DecodeError::Truncated(first)));
+            continue;
+        }
+        assert_eq!(d16x::insn_len(first), 2);
+        match (d16x::decode(first, None), d16::decode(first)) {
+            (Ok((i, 2)), Ok(j)) => assert_eq!(i, j, "{first:#06x}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{first:#06x}: d16x {a:?} vs d16 {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn d16x_wide_space_byte_identical_or_reserved() {
+    // The escape space, exhaustive over hw0 (4096 prefixed patterns) and
+    // strided + edge-cased over hw1. Every decodable pair re-encodes
+    // byte-identically: the decoder rejects non-canonical wide patterns
+    // (unused fields set, or instructions the narrow format could
+    // express), so as with D16 there is exactly one byte sequence per
+    // decodable instruction.
+    let mut decodable = 0u64;
+    let mut reserved = 0u64;
+    let edges: &[u16] =
+        &[0, 1, 4, 8, 0x1f, 0x20, 124, 125, 126, 0x7f, 0xff, 0x1ff, 0x7fff, 0x8000, 0xfffe, 0xffff];
+    for low in 0..=0xfffu16 {
+        let first = 0b1001 << 12 | low;
+        let mut check = |hw1: u16| match d16x::decode(first, Some(hw1)) {
+            Ok((insn, len)) => {
+                decodable += 1;
+                assert_eq!(len, 4);
+                let again = d16x::encode(&insn)
+                    .unwrap_or_else(|e| panic!("{first:#06x}:{hw1:#06x} -> {insn:?}: {e}"));
+                assert_eq!(
+                    again,
+                    d16x::Enc::W((hw1 as u32) << 16 | first as u32),
+                    "{first:#06x}:{hw1:#06x} -> {insn:?} is not byte-identical"
+                );
+            }
+            Err(_) => reserved += 1,
+        };
+        for hw1 in (0..=u16::MAX).step_by(97) {
+            check(hw1);
+        }
+        for &hw1 in edges {
+            check(hw1);
+        }
+    }
+    // Pin the sampled partition, like the D16 44,885 pin: a change in the
+    // decodable space must be a reviewed, visible event.
+    assert_eq!(decodable, 2_200_958, "decodable sampled D16x escapes (reserved: {reserved})");
+}
+
+#[test]
+fn d16x_stream_walk_handles_boundaries() {
+    // Walk a mixed-width byte stream with the length-decode rule, as the
+    // disassembler and fuzz oracle do, across a 16-byte "block" boundary
+    // that a wide escape straddles; then truncate the stream mid-escape
+    // and require the typed error.
+    use d16_isa::{encode_bytes, AluOp, Gpr, Insn, Isa, MemWidth};
+    let r = Gpr::new;
+    let prog = [
+        Insn::Mvi { rd: r(2), imm: 5 },      // 2B @0
+        Insn::Lui { rd: r(3), imm: 0x1234 }, // 4B @2
+        Insn::AluI { op: AluOp::Or, rd: r(3), rs1: r(3), imm: 0x5678 }, // 4B @6
+        Insn::Alu { op: AluOp::Add, rd: r(4), rs1: r(4), rs2: r(3) }, // 2B @10
+        Insn::Ld { w: MemWidth::W, rd: r(5), base: r(3), disp: -4 }, // 4B @12..16
+        Insn::Nop,                           // 2B @16
+    ];
+    let mut bytes = Vec::new();
+    for i in &prog {
+        bytes.extend(encode_bytes(Isa::D16x, i).unwrap());
+    }
+    assert_eq!(bytes.len(), 18);
+    // The straddling load begins at 12 and ends past the 16-byte mark.
+    let mut off = 0usize;
+    let mut decoded = Vec::new();
+    while off < bytes.len() {
+        let first = u16::from_le_bytes([bytes[off], bytes[off + 1]]);
+        let len = d16x::insn_len(first) as usize;
+        let second = (len == 4).then(|| u16::from_le_bytes([bytes[off + 2], bytes[off + 3]]));
+        let (insn, ilen) = d16x::decode(first, second).unwrap();
+        assert_eq!(ilen as usize, len);
+        decoded.push(insn);
+        off += len;
+    }
+    assert_eq!(decoded, prog);
+    // Truncate inside the trailing escape of a shortened stream: the
+    // walker sees the first halfword of the load with nothing after it.
+    let cut = &bytes[..14];
+    let mut off = 0usize;
+    let mut last = None;
+    while off < cut.len() {
+        let first = u16::from_le_bytes([cut[off], cut[off + 1]]);
+        let len = d16x::insn_len(first) as usize;
+        let second = (off + 4 <= cut.len() && len == 4)
+            .then(|| u16::from_le_bytes([cut[off + 2], cut[off + 3]]));
+        last = Some(d16x::decode(first, second));
+        off += len;
+    }
+    assert!(matches!(last, Some(Err(DecodeError::Truncated(_)))));
 }

@@ -126,7 +126,8 @@ fn body_bytes(doc: &Json) -> Vec<u8> {
     format!("{doc}\n").into_bytes()
 }
 
-/// The known target labels (the five standard configurations).
+/// The known target labels (the five standard configurations plus the
+/// D16x mixed-width extension target).
 fn spec_for_label(label: &str) -> Option<TargetSpec> {
     match label {
         "D16/16/2" => Some(TargetSpec::d16()),
@@ -134,6 +135,7 @@ fn spec_for_label(label: &str) -> Option<TargetSpec> {
         "DLXe/16/2" => Some(TargetSpec::dlxe_restricted(true, true, false)),
         "DLXe/16/3" => Some(TargetSpec::dlxe_restricted(true, false, false)),
         "DLXe/32/2" => Some(TargetSpec::dlxe_restricted(false, true, false)),
+        "D16x/16/3" => Some(TargetSpec::d16x()),
         _ => None,
     }
 }

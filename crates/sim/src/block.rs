@@ -17,7 +17,7 @@
 //! execute through [`crate::Machine::step`], which stays the normative
 //! semantics.
 
-use crate::machine::Machine;
+use crate::machine::{fuse_a_shape, fuse_b_matches, FuseA, Machine};
 use d16_isa::{AluOp, Cond, Gpr, Insn, Isa, MemWidth, UnOp};
 
 /// Write-discard register-file slot: DLXe `r0` as a *destination* lowers
@@ -96,6 +96,9 @@ pub(crate) struct Step {
     pub uop: Uop,
     pub stall: bool,
     pub cum: u32,
+    /// Byte length of the source instruction (2 or 4 on D16x, else the
+    /// ISA's fixed width).
+    pub len: u8,
 }
 
 /// Flat execution opcodes: the [`Uop`] variant *and* everything it used
@@ -341,6 +344,12 @@ pub(crate) struct XStep {
     pub stall: bool,
     /// See [`Step::cum`]; `2 * MAX_BLOCK_LEN` fits a byte.
     pub cum: u8,
+    /// Byte length of the first (or only) component instruction: the
+    /// dispatch loop's first fetch size and mid-pair PC advance.
+    pub len1: u8,
+    /// Byte length of the last component instruction (equals `len1` on a
+    /// plain step): the second fetch size and end-of-step PC advance.
+    pub tail: u8,
 }
 
 const _: () = assert!(2 * MAX_BLOCK_LEN <= u8::MAX as usize);
@@ -356,6 +365,8 @@ fn encode(s: &Step) -> XStep {
         aux: 0,
         stall: s.stall,
         cum: s.cum as u8,
+        len1: s.len,
+        tail: s.len,
     };
     match s.uop {
         Uop::Alu { op, rd, rs1, rs2 } => {
@@ -663,7 +674,18 @@ fn fuse_pair(x: &XStep, y: &XStep) -> Option<XStep> {
         // No fusable first component is a load, so the second component
         // can never be the stalling side of a load-use pair.
         debug_assert!(!y.stall, "second fusion component stalls without a load before it");
-        Some(XStep { code, a, b, c, imm, aux, stall: x.stall, cum: y.cum })
+        Some(XStep {
+            code,
+            a,
+            b,
+            c,
+            imm,
+            aux,
+            stall: x.stall,
+            cum: y.cum,
+            len1: x.len1,
+            tail: y.tail,
+        })
     };
     match (x.code, y.code) {
         (opc::ALU_RI..=opc::SHRA_RI, opc::MV) => {
@@ -689,6 +711,27 @@ fn fuse_pair(x: &XStep, y: &XStep) -> Option<XStep> {
         (opc::BR, opc::MV) => f(opc::BR_MV, y.a, y.b, 0, x.imm, 0),
         (opc::MV, opc::MV) => f(opc::MV_MV, x.a, x.b, y.a, 0, u32::from(y.b)),
         (opc::MV, opc::BC_NZ) => f(opc::MV_BC_NZ, x.a, x.b, y.a, y.imm, y.aux),
+        _ => None,
+    }
+}
+
+/// Kind tags for D16x macro-op pairs in [`Block::head_fuse`] and
+/// [`Block::fuse_pairs`]: compare → dependent branch.
+pub(crate) const FUSE_CMP_BR: u8 = 0;
+/// `mvhi` → dependent `ori`/`addi`.
+pub(crate) const FUSE_LUI_ADDI: u8 = 1;
+
+/// The B-shape of an instruction as the (kind, register) a prior A-half
+/// must present to fuse with it — the head-of-block dual of
+/// [`fuse_b_matches`], classified on the raw instruction because `Lui`
+/// and `Mvi` are indistinguishable once lowered (both become `MovImm`,
+/// and copy propagation rewrites micro-op sources besides).
+fn head_shape(insn: &Insn) -> Option<(u8, u8)> {
+    match *insn {
+        Insn::Bc { rs, .. } => Some((FUSE_CMP_BR, rs.index() as u8)),
+        Insn::AluI { op: AluOp::Or | AluOp::Add, rd, rs1, .. } if rd == rs1 => {
+            Some((FUSE_LUI_ADDI, rd.index() as u8))
+        }
         _ => None,
     }
 }
@@ -721,8 +764,23 @@ pub(crate) struct Block {
     pub words_after_first: u64,
     /// Fetch word of the first instruction.
     pub first_word: u32,
-    /// Fetch word of the last instruction.
+    /// Fetch word of the last byte of the last instruction.
     pub last_word: u32,
+    /// D16x: the (kind, register) a *prior* retired A-half must present
+    /// for the block's first instruction to complete a fused pair (see
+    /// [`head_shape`]); checked dynamically against the machine's fusion
+    /// state at dispatch. Always `None` outside D16x.
+    pub head_fuse: Option<(u8, u8)>,
+    /// D16x: the machine's fusion state after the whole block retires —
+    /// the last instruction's A-shape keyed by its successor PC.
+    pub exit_fuse: Option<(u32, FuseA)>,
+    /// D16x: internal fused pairs as (semantic index of the B-half,
+    /// kind), for prefix counting on the bail path.
+    pub fuse_pairs: Box<[(u32, u8)]>,
+    /// Internal compare→branch pairs (head pair excluded).
+    pub fused_cmp_br: u64,
+    /// Internal `mvhi`→`ori`/`addi` pairs (head pair excluded).
+    pub fused_lui_addi: u64,
 }
 
 impl Block {
@@ -775,10 +833,12 @@ fn is_control(u: &Uop) -> bool {
 
 /// Lowers one instruction, or `None` if it is outside the hot set (FPU,
 /// traps, and — as a lowering-time fault check — an `ldc` whose static
-/// literal address would fault).
-fn lower_insn(m: &Machine, pc: u32, insn: &Insn) -> Option<Uop> {
+/// literal address would fault). `len` is the instruction's byte length;
+/// fall-through and link addresses skip the *delay slot's* length too,
+/// via [`Machine::next_len`], exactly as the interpreter computes them.
+fn lower_insn(m: &Machine, pc: u32, len: u32, insn: &Insn) -> Option<Uop> {
     let isa = m.isa;
-    let ilen = isa.insn_bytes();
+    let after_slot = |m: &Machine| pc + len + m.next_len(pc + len);
     let dlxe = isa == Isa::Dlxe;
     let src = |r: Gpr| -> u8 {
         if dlxe && r.index() == 0 {
@@ -825,22 +885,22 @@ fn lower_insn(m: &Machine, pc: u32, insn: &Insn) -> Option<Uop> {
         Insn::St { w, rs, base, disp } => {
             Uop::St { w, rs: src(rs), base: src(base), disp: disp as u32 }
         }
-        Insn::Br { disp } => Uop::Br { target: add_disp(pc + ilen, disp) },
+        Insn::Br { disp } => Uop::Br { target: add_disp(pc + len, disp) },
         Insn::Bc { neg, rs, disp } => {
-            Uop::Bc { neg, rs: src(rs), taken: add_disp(pc + ilen, disp), fall: pc + 2 * ilen }
+            Uop::Bc { neg, rs: src(rs), taken: add_disp(pc + len, disp), fall: after_slot(m) }
         }
         Insn::J { target } => Uop::Jr { target: src(target) },
         Insn::Jc { neg, rs, target } => {
-            Uop::Jc { neg, rs: src(rs), target: src(target), fall: pc + 2 * ilen }
+            Uop::Jc { neg, rs: src(rs), target: src(target), fall: after_slot(m) }
         }
         Insn::Jl { target } => {
-            Uop::Jl { target: src(target), link: dst(isa.link_reg()), link_val: pc + 2 * ilen }
+            Uop::Jl { target: src(target), link: dst(isa.link_reg()), link_val: after_slot(m) }
         }
-        Insn::Jdisp { link: false, disp } => Uop::Br { target: add_disp(pc + ilen, disp) },
+        Insn::Jdisp { link: false, disp } => Uop::Br { target: add_disp(pc + len, disp) },
         Insn::Jdisp { link: true, disp } => Uop::Jal {
-            target: add_disp(pc + ilen, disp),
+            target: add_disp(pc + len, disp),
             link: dst(isa.link_reg()),
-            link_val: pc + 2 * ilen,
+            link_val: after_slot(m),
         },
         Insn::Nop => Uop::Nop,
         // The cold set: FPU, transfers, status reads, and traps keep
@@ -865,29 +925,37 @@ fn add_disp(base: u32, disp: i32) -> u32 {
 /// instruction is lowerable (the engine then marks the slot so the
 /// interpreter handles that PC permanently).
 pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
-    let ilen = m.isa.insn_bytes();
+    let unit = m.isa.insn_bytes();
     let mut steps: Vec<Step> = Vec::new();
+    // Source PC, byte length, and raw instruction of every semantic step:
+    // the fetch-word walk needs the real byte extents, and the fusion
+    // scan must classify *instructions* (see [`head_shape`]).
+    let mut metas: Vec<(u32, u32, Insn)> = Vec::new();
     let mut exit = BlockExit::FallThrough;
     let mut pc = start_pc;
     while steps.len() < MAX_BLOCK_LEN && pc < m.text_end {
-        let idx = ((pc - m.text_base) / ilen) as usize;
+        let idx = ((pc - m.text_base) / unit) as usize;
         // An undecodable word ends the block; `step()` raises the fault.
-        let Some(insn) = m.decoded[idx] else { break };
-        let Some(uop) = lower_insn(m, pc, &insn) else { break };
+        let Some((insn, len)) = m.decoded[idx] else { break };
+        let len = u32::from(len);
+        let Some(uop) = lower_insn(m, pc, len, &insn) else { break };
         let control = is_control(&uop);
-        steps.push(Step { uop, stall: false, cum: 0 });
-        pc += ilen;
+        steps.push(Step { uop, stall: false, cum: 0, len: len as u8 });
+        metas.push((pc, len, insn));
+        pc += len;
         if control {
             // Lower the delay slot too when possible; a control transfer
             // or non-lowerable instruction there is the interpreter's
             // business (including the ControlInDelaySlot fault).
             exit = BlockExit::PendingAtEnd;
             if pc < m.text_end {
-                let didx = ((pc - m.text_base) / ilen) as usize;
-                if let Some(dinsn) = m.decoded[didx] {
-                    if let Some(duop) = lower_insn(m, pc, &dinsn) {
+                let didx = ((pc - m.text_base) / unit) as usize;
+                if let Some((dinsn, dlen)) = m.decoded[didx] {
+                    let dlen = u32::from(dlen);
+                    if let Some(duop) = lower_insn(m, pc, dlen, &dinsn) {
                         if !is_control(&duop) {
-                            steps.push(Step { uop: duop, stall: false, cum: 0 });
+                            steps.push(Step { uop: duop, stall: false, cum: 0, len: dlen as u8 });
+                            metas.push((pc, dlen, dinsn));
                             exit = BlockExit::TakePending;
                         }
                     }
@@ -898,6 +966,37 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
     }
     if steps.is_empty() {
         return None;
+    }
+
+    // D16x macro-op fusion, resolved statically over the block body. In
+    // straight-line code the dynamic pairing rule (B retires right after
+    // A, at A's successor address) degenerates to adjacency, so internal
+    // pairs are a pure scan; only the pair split across the block's entry
+    // edge stays dynamic (`head_fuse` against the machine's state), and
+    // `exit_fuse` is what the block leaves behind for the next one.
+    let mut head_fuse = None;
+    let mut exit_fuse = None;
+    let mut fuse_pairs: Vec<(u32, u8)> = Vec::new();
+    let (mut fused_cmp_br, mut fused_lui_addi) = (0u64, 0u64);
+    if m.isa == Isa::D16x {
+        head_fuse = head_shape(&metas[0].2);
+        for i in 1..metas.len() {
+            if let Some(shape) = fuse_a_shape(&metas[i - 1].2) {
+                if fuse_b_matches(shape, &metas[i].2) {
+                    let kind = match shape {
+                        FuseA::Cmp(_) => FUSE_CMP_BR,
+                        FuseA::Lui(_) => FUSE_LUI_ADDI,
+                    };
+                    match shape {
+                        FuseA::Cmp(_) => fused_cmp_br += 1,
+                        FuseA::Lui(_) => fused_lui_addi += 1,
+                    }
+                    fuse_pairs.push((i as u32, kind));
+                }
+            }
+        }
+        let (lpc, llen, ref last) = metas[metas.len() - 1];
+        exit_fuse = fuse_a_shape(last).map(|a| (lpc + llen, a));
     }
 
     // Static load-use interlocks: only a load's destination read by the
@@ -946,13 +1045,28 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
         words_after_first: 0,
         first_word: start_pc & !3,
         last_word: 0,
+        head_fuse,
+        exit_fuse,
+        fuse_pairs: fuse_pairs.into_boxed_slice(),
+        fused_cmp_br,
+        fused_lui_addi,
     };
+    // Fetch-word transitions, mirroring the interpreter's two-word rule:
+    // each instruction moves the buffer to its first word, then to the
+    // word holding its last byte (a straddling 32-bit D16x instruction).
+    // The first instruction's *entry* transition is the dynamic term the
+    // engine adds at dispatch; its straddle is static and counted here.
     let mut prev_word = b.first_word;
-    for i in 1..steps.len() {
-        let w = (start_pc + i as u32 * ilen) & !3;
-        if w != prev_word {
+    for &(mpc, mlen, _) in &metas {
+        let w0 = mpc & !3;
+        if w0 != prev_word {
             b.words_after_first += 1;
-            prev_word = w;
+            prev_word = w0;
+        }
+        let w1 = (mpc + mlen - 1) & !3;
+        if w1 != prev_word {
+            b.words_after_first += 1;
+            prev_word = w1;
         }
     }
     b.last_word = prev_word;

@@ -36,7 +36,7 @@
 
 use crate::access::AccessSink;
 use crate::block::{self, opc, Block, BlockExit};
-use crate::machine::Machine;
+use crate::machine::{fuse_a_shape, FuseA, Machine};
 use crate::stats::{SimCounter, StopReason};
 use crate::SimError;
 use d16_isa::{AluOp, Cond, Isa, UnOp};
@@ -384,6 +384,9 @@ struct Acc {
     stall_cycles: u64,
     /// Instruction-fetch word transitions.
     words: u64,
+    /// D16x macro-op pairs fused this segment, by shape.
+    fused_cmp_br: u64,
+    fused_lui_addi: u64,
     /// Pending `cache.hits` / `cache.misses` deltas.
     hits: u64,
     misses: u64,
@@ -427,6 +430,10 @@ impl Acc {
             }
             m.stats.ifetch_words += self.words;
             m.tele.add(SimCounter::IfWords, self.words);
+            m.stats.fused_cmp_br += self.fused_cmp_br;
+            m.stats.fused_lui_addi += self.fused_lui_addi;
+            m.tele.add(SimCounter::FuseCmpBr, self.fused_cmp_br);
+            m.tele.add(SimCounter::FuseLuiAddi, self.fused_lui_addi);
             tele.add(EngineCounter::UopInsns, self.insns);
         }
         *self = Acc::default();
@@ -481,7 +488,6 @@ fn exec_block(
     acc: &mut Acc,
     sink: &mut impl AccessSink,
 ) -> Result<(), Bail> {
-    let ilen = m.isa.insn_bytes();
     // One dynamic interlock check per block: only the first micro-op can
     // see a load delay from *outside* the block (see the module doc);
     // every later stall is static and already folded into `Step::cum`.
@@ -498,32 +504,32 @@ fn exec_block(
         // site (macro hygiene resolves them there).
         macro_rules! rr {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]);
             }};
         }
         macro_rules! ri {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
             }};
         }
         macro_rules! cmp_rr {
             ($cond:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] =
                     if $cond.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]) { u32::MAX } else { 0 };
             }};
         }
         macro_rules! cmp_ri {
             ($cond:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = if $cond.eval(m.gpr[slot!(s.b)], s.imm) { u32::MAX } else { 0 };
             }};
         }
         macro_rules! un {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)]);
             }};
         }
@@ -540,7 +546,7 @@ fn exec_block(
                 if ea as u64 + $bl > m.mem.len() as u64 || ea & ($bl as u32 - 1) != 0 {
                     return Err(Bail { i, d, pending, taken, untaken });
                 }
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 sink.read(ea, $bl as u8);
                 let $a = ea as usize;
                 m.gpr[slot!(s.a)] = $val;
@@ -557,7 +563,7 @@ fn exec_block(
                 {
                     return Err(Bail { i, d, pending, taken, untaken });
                 }
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 sink.write(ea, $bl as u8);
                 let $a = ea as usize;
                 let $v = m.gpr[slot!(s.a)];
@@ -566,51 +572,51 @@ fn exec_block(
         }
         // The fused-pair arm bodies (see `block::fuse_pair` for the
         // operand packing): two fetches, two effects, one dispatch. The
-        // extra `pc += ilen` between the halves keeps the fetch stream
+        // extra `len1` advance between the halves keeps the fetch stream
         // byte-identical to the unfused steps; none of the fused
         // components touch memory, so no other sink traffic moves.
         macro_rules! ri_mv {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.c)] = m.gpr[slot!(s.aux)];
             }};
         }
         macro_rules! mv_ri {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.c)] = $op.eval(m.gpr[slot!(s.aux)], s.imm);
             }};
         }
         macro_rules! rr_mv {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], m.gpr[slot!(s.c)]);
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.aux)] = m.gpr[slot!(s.aux >> 8)];
             }};
         }
         macro_rules! mv_rr {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.c)] = $op.eval(m.gpr[slot!(s.aux)], m.gpr[slot!(s.aux >> 8)]);
             }};
         }
         macro_rules! ri_br {
             ($op:expr) => {{
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = $op.eval(m.gpr[slot!(s.b)], s.imm);
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 pending = Some(s.aux);
             }};
         }
@@ -658,7 +664,7 @@ fn exec_block(
             opc::INV => un!(UnOp::Inv),
             opc::MV => un!(UnOp::Mv),
             opc::MOVI => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = s.imm;
             }
             opc::LD_B => ld!(1u64, a, m.mem[a] as i8 as i32 as u32),
@@ -670,7 +676,7 @@ fn exec_block(
             }
             opc::LD_ABS => {
                 // Pre-validated at lowering time: cannot fault.
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 sink.read(s.imm, 4);
                 let a = s.imm as usize;
                 m.gpr[slot!(s.a)] =
@@ -683,11 +689,11 @@ fn exec_block(
             }
             opc::ST_W => st!(4u64, a, v, m.mem[a..a + 4].copy_from_slice(&v.to_le_bytes())),
             opc::BR => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 pending = Some(s.imm);
             }
             opc::BC_Z => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] == 0 {
                     pending = Some(s.imm);
                     taken += 1;
@@ -697,7 +703,7 @@ fn exec_block(
                 }
             }
             opc::BC_NZ => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] != 0 {
                     pending = Some(s.imm);
                     taken += 1;
@@ -707,11 +713,11 @@ fn exec_block(
                 }
             }
             opc::JR => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 pending = Some(m.gpr[slot!(s.a)]);
             }
             opc::JC_Z => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] == 0 {
                     pending = Some(m.gpr[slot!(s.b)]);
                     taken += 1;
@@ -721,7 +727,7 @@ fn exec_block(
                 }
             }
             opc::JC_NZ => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] != 0 {
                     pending = Some(m.gpr[slot!(s.b)]);
                     taken += 1;
@@ -733,17 +739,17 @@ fn exec_block(
             opc::JL => {
                 // Read the target before writing the link — they may be
                 // the same register (the interpreter reads first too).
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 let dest = m.gpr[slot!(s.a)];
                 m.gpr[slot!(s.b)] = s.imm;
                 pending = Some(dest);
             }
             opc::JAL => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = s.aux;
                 pending = Some(s.imm);
             }
-            opc::NOP => sink.fetch(pc, ilen as u8),
+            opc::NOP => sink.fetch(pc, s.len1),
             opc::ADD_RI_MV => ri_mv!(AluOp::Add),
             opc::SUB_RI_MV => ri_mv!(AluOp::Sub),
             opc::AND_RI_MV => ri_mv!(AluOp::And),
@@ -785,13 +791,13 @@ fn exec_block(
             opc::SHR_RI_BR => ri_br!(AluOp::Shr),
             opc::SHRA_RI_BR => ri_br!(AluOp::Shra),
             opc::BR_NOP => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 pending = Some(s.imm);
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
             }
             opc::BC_Z_NOP => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] == 0 {
                     pending = Some(s.imm);
                     taken += 1;
@@ -799,11 +805,11 @@ fn exec_block(
                     pending = Some(s.aux);
                     untaken += 1;
                 }
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
             }
             opc::BC_NZ_NOP => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 if m.gpr[slot!(s.a)] != 0 {
                     pending = Some(s.imm);
                     taken += 1;
@@ -811,28 +817,28 @@ fn exec_block(
                     pending = Some(s.aux);
                     untaken += 1;
                 }
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
             }
             opc::BR_MV => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 pending = Some(s.imm);
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
             }
             opc::MV_MV => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 m.gpr[slot!(s.c)] = m.gpr[slot!(s.aux)];
             }
             opc::MV_BC_NZ => {
-                sink.fetch(pc, ilen as u8);
+                sink.fetch(pc, s.len1);
                 m.gpr[slot!(s.a)] = m.gpr[slot!(s.b)];
-                pc += ilen;
-                sink.fetch(pc, ilen as u8);
+                pc += u32::from(s.len1);
+                sink.fetch(pc, s.tail);
                 if m.gpr[slot!(s.c)] != 0 {
                     pending = Some(s.imm);
                     taken += 1;
@@ -843,7 +849,7 @@ fn exec_block(
             }
             code => unreachable!("invalid packed opcode {code}"),
         }
-        pc += ilen;
+        pc += u32::from(s.tail);
     }
 
     // Whole-block completion: fold the block's static sums and dynamic
@@ -853,6 +859,23 @@ fn exec_block(
     acc.words += b.words_after_first + u64::from(m.last_fetch_word != Some(b.first_word));
     m.last_fetch_word = Some(b.last_word);
     m.t = base + b.cycles;
+    if m.isa == Isa::D16x {
+        // Fusion settlement: the pair split across the block's entry edge
+        // (the machine's carried A-half against the block's head shape),
+        // then the statically counted internal pairs, then the exit-side
+        // A-half handed to whatever retires next.
+        if let (Some((epc, a)), Some((kind, reg))) = (m.fuse_prev, b.head_fuse) {
+            if epc == b.start_pc && head_pair_hit(a, kind, reg) {
+                match a {
+                    FuseA::Cmp(_) => acc.fused_cmp_br += 1,
+                    FuseA::Lui(_) => acc.fused_lui_addi += 1,
+                }
+            }
+        }
+        acc.fused_cmp_br += b.fused_cmp_br;
+        acc.fused_lui_addi += b.fused_lui_addi;
+        m.fuse_prev = b.exit_fuse;
+    }
     match b.exit {
         BlockExit::FallThrough => m.pc = pc,
         BlockExit::PendingAtEnd => {
@@ -864,6 +887,16 @@ fn exec_block(
         }
     }
     Ok(())
+}
+
+/// Whether a retired A-half completes the (kind, register) head shape of
+/// a block's first instruction — the packed-block form of
+/// [`crate::machine::fuse_b_matches`].
+fn head_pair_hit(a: FuseA, kind: u8, reg: u8) -> bool {
+    match a {
+        FuseA::Cmp(r) => kind == block::FUSE_CMP_BR && r == reg,
+        FuseA::Lui(r) => kind == block::FUSE_LUI_ADDI && r == reg,
+    }
 }
 
 /// Adds the per-class counts of `n` retired instructions summarized by
@@ -906,7 +939,6 @@ fn bail(
     sink: &mut impl AccessSink,
 ) -> Result<(), SimError> {
     let Bail { i, d, pending, taken, untaken } = *why;
-    let ilen = m.isa.insn_bytes();
     // `i` counts packed steps; fused steps retire two instructions, so
     // every per-instruction prefix sum walks the step widths.
     let n: u32 = b.steps[..i].iter().map(|s| block::step_width(s.code)).sum();
@@ -923,20 +955,75 @@ fn bail(
         }
         m.t += d + u64::from(b.steps[i - 1].cum);
     }
+    // Fetch-word settlement over the retired prefix, walking the real
+    // byte extents of every component instruction (two per fused step)
+    // with the interpreter's two-word rule: a transition to the
+    // instruction's first word, then one more when its last byte
+    // straddles into the next word. `last` tracks the final component
+    // for the fusion-state settlement below.
     let mut words = 0u64;
     let mut prev = m.last_fetch_word;
-    for j in 0..n {
-        let w = (b.start_pc + j * ilen) & !3;
-        if prev != Some(w) {
-            words += 1;
-            prev = Some(w);
+    let mut pc = b.start_pc;
+    let mut last: Option<(u32, u8)> = None;
+    for s in &b.steps[..i] {
+        let segs = [s.len1, s.tail];
+        let lo = usize::from(block::unfuse(s.code).is_none());
+        for &seg in &segs[lo..] {
+            let w0 = pc & !3;
+            if prev != Some(w0) {
+                words += 1;
+                prev = Some(w0);
+            }
+            let w1 = (pc + u32::from(seg) - 1) & !3;
+            if prev != Some(w1) {
+                words += 1;
+                prev = Some(w1);
+            }
+            last = Some((pc, seg));
+            pc += u32::from(seg);
         }
     }
     m.stats.ifetch_words += words;
     m.tele.add(SimCounter::IfWords, words);
     m.last_fetch_word = prev;
     m.pending_target = pending;
-    m.pc = b.start_pc + n * ilen;
+    m.pc = pc;
+    if m.isa == Isa::D16x && n > 0 {
+        // Same settlement as block completion (the accumulator was
+        // flushed before `bail`, so the counters take the hits directly):
+        // the entry-edge pair, then internal pairs whose B-half retired
+        // (semantic index below `n`), then the carried state — the last
+        // retired instruction's A-shape, reread from the decode array.
+        if let (Some((epc, a)), Some((kind, reg))) = (m.fuse_prev, b.head_fuse) {
+            if epc == b.start_pc && head_pair_hit(a, kind, reg) {
+                match a {
+                    FuseA::Cmp(_) => {
+                        m.stats.fused_cmp_br += 1;
+                        m.tele.bump(SimCounter::FuseCmpBr);
+                    }
+                    FuseA::Lui(_) => {
+                        m.stats.fused_lui_addi += 1;
+                        m.tele.bump(SimCounter::FuseLuiAddi);
+                    }
+                }
+            }
+        }
+        for &(bi, kind) in b.fuse_pairs.iter() {
+            if bi < n {
+                if kind == block::FUSE_CMP_BR {
+                    m.stats.fused_cmp_br += 1;
+                    m.tele.bump(SimCounter::FuseCmpBr);
+                } else {
+                    m.stats.fused_lui_addi += 1;
+                    m.tele.bump(SimCounter::FuseLuiAddi);
+                }
+            }
+        }
+        let (lpc, llen) = last.expect("n > 0 retired at least one component");
+        let idx = ((lpc - m.text_base) / m.isa.insn_bytes()) as usize;
+        let (insn, _) = m.decoded[idx].expect("a retired component decoded");
+        m.fuse_prev = fuse_a_shape(&insn).map(|a| (lpc + u32::from(llen), a));
+    }
     tele.add(EngineCounter::UopInsns, u64::from(n));
     let before = m.stats.insns;
     let r = m.step(sink);

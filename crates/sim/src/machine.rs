@@ -11,7 +11,7 @@
 use crate::access::AccessSink;
 use crate::stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
 use d16_asm::Image;
-use d16_isa::{abi, CvtOp, Gpr, Insn, Isa, MemWidth, Prec, TrapCode};
+use d16_isa::{abi, AluOp, CvtOp, Gpr, Insn, Isa, MemWidth, Prec, TrapCode};
 use d16_telemetry::Counters;
 use std::fmt;
 
@@ -117,6 +117,41 @@ impl std::error::Error for SimError {}
 /// ever touches slots below 32; lowered micro-ops only 0..=33.
 pub(crate) const GPR_SLOTS: usize = 64;
 
+/// The A-shape of the previously retired instruction, for D16x macro-op
+/// fusion accounting: a dynamic pair is fused when the *next* retired
+/// instruction is the matching B-shape and sits at the A-shape's end
+/// address (so taken branches and delay-slot returns never pair). The
+/// payload is the written register slot the B-shape must read.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum FuseA {
+    /// `cmp`/`cmpi` wrote this slot; fuses with `bz`/`bnz` testing it.
+    Cmp(u8),
+    /// `mvhi` wrote this slot; fuses with `ori`/`addi` of the form
+    /// `rd <- rd op imm` on the same slot.
+    Lui(u8),
+}
+
+/// The A-shape an instruction offers to its successor, if any (D16x
+/// macro-op fusion; see [`FuseA`]).
+pub(crate) fn fuse_a_shape(insn: &Insn) -> Option<FuseA> {
+    match *insn {
+        Insn::Cmp { rd, .. } | Insn::CmpI { rd, .. } => Some(FuseA::Cmp(rd.index() as u8)),
+        Insn::Lui { rd, .. } => Some(FuseA::Lui(rd.index() as u8)),
+        _ => None,
+    }
+}
+
+/// Whether `insn` is the B-shape completing the pair `a` describes.
+pub(crate) fn fuse_b_matches(a: FuseA, insn: &Insn) -> bool {
+    match (a, *insn) {
+        (FuseA::Cmp(r), Insn::Bc { rs, .. }) => rs.index() as u8 == r,
+        (FuseA::Lui(r), Insn::AluI { op: AluOp::Or | AluOp::Add, rd, rs1, .. }) => {
+            rd == rs1 && rd.index() as u8 == r
+        }
+        _ => false,
+    }
+}
+
 /// The simulated processor plus its memory.
 #[derive(Clone)]
 pub struct Machine {
@@ -125,7 +160,13 @@ pub struct Machine {
     pub(crate) text_base: u32,
     pub(crate) text_end: u32,
     pub(crate) data_base: u32,
-    pub(crate) decoded: Vec<Option<Insn>>,
+    /// Pre-decoded text, one slot per *fetch unit* (halfword on D16/D16x,
+    /// word on DLXe), each carrying the instruction and its byte length.
+    /// On D16x a wide instruction occupies the slot of its first halfword;
+    /// the following slot holds whatever its second halfword decodes to on
+    /// its own, which is exactly what a jump into the middle of a wide
+    /// instruction executes (the ISA keeps no boundary state).
+    pub(crate) decoded: Vec<Option<(Insn, u8)>>,
     pub(crate) gpr: [u32; GPR_SLOTS],
     fpr: [u32; 32],
     fpsr: bool,
@@ -143,6 +184,10 @@ pub struct Machine {
     fpsr_ready: u64,
     fpu_free: u64,
     pub(crate) last_fetch_word: Option<u32>,
+    /// D16x macro-op fusion: the A-shape the last retired instruction
+    /// offered, with the PC a fusable successor must retire at. Always
+    /// `None` on D16 and DLXe.
+    pub(crate) fuse_prev: Option<(u32, FuseA)>,
     /// The basic-block micro-op cache, built lazily on the first
     /// [`Machine::run_blocks`] call and kept across runs (text is
     /// immutable once loaded: stores into it fault).
@@ -173,17 +218,39 @@ impl Machine {
         let db = image.data_base as usize;
         mem[db..db + image.data.len()].copy_from_slice(&image.data);
 
-        let ilen = image.isa.insn_bytes() as usize;
-        let decoded = image
-            .text
-            .chunks_exact(ilen)
-            .map(|c| match image.isa {
-                Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).ok(),
-                Isa::Dlxe => {
-                    d16_isa::dlxe::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).ok()
-                }
-            })
-            .collect();
+        let decoded: Vec<Option<(Insn, u8)>> = match image.isa {
+            Isa::D16 => image
+                .text
+                .chunks_exact(2)
+                .map(|c| {
+                    d16_isa::d16::decode(u16::from_le_bytes([c[0], c[1]])).ok().map(|i| (i, 2))
+                })
+                .collect(),
+            Isa::Dlxe => image
+                .text
+                .chunks_exact(4)
+                .map(|c| {
+                    d16_isa::dlxe::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .ok()
+                        .map(|i| (i, 4))
+                })
+                .collect(),
+            Isa::D16x => {
+                // Every halfword offset is a potential entry point, so each
+                // slot decodes independently with its successor halfword as
+                // the escape continuation (an escape in the final halfword
+                // is Truncated, hence None).
+                let hws: Vec<u16> =
+                    image.text.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+                (0..hws.len())
+                    .map(|i| {
+                        d16_isa::d16x::decode(hws[i], hws.get(i + 1).copied())
+                            .ok()
+                            .map(|(insn, len)| (insn, len as u8))
+                    })
+                    .collect()
+            }
+        };
 
         Machine {
             isa: image.isa,
@@ -208,6 +275,7 @@ impl Machine {
             fpsr_ready: 0,
             fpu_free: 0,
             last_fetch_word: None,
+            fuse_prev: None,
             engine: None,
         }
     }
@@ -361,22 +429,29 @@ impl Machine {
     /// accesses, or a control transfer inside a delay slot.
     pub fn step(&mut self, sink: &mut impl AccessSink) -> Result<(), SimError> {
         let pc = self.pc;
-        let ilen = self.isa.insn_bytes();
-        if pc < self.text_base || pc >= self.text_end || !(pc - self.text_base).is_multiple_of(ilen)
+        let unit = self.isa.insn_bytes();
+        if pc < self.text_base || pc >= self.text_end || !(pc - self.text_base).is_multiple_of(unit)
         {
             return Err(SimError::PcOutOfText { pc });
         }
-        let insn = self.decoded[((pc - self.text_base) / ilen) as usize]
+        let (insn, len) = self.decoded[((pc - self.text_base) / unit) as usize]
             .ok_or(SimError::IllegalInsn { pc })?;
+        let ilen = u32::from(len);
 
-        // Fetch accounting.
-        sink.fetch(pc, ilen as u8);
+        // Fetch accounting. A D16x escape straddling a word boundary pulls
+        // both words through the one-word fetch buffer.
+        sink.fetch(pc, len);
         let word = pc & !3;
         if self.last_fetch_word != Some(word) {
             self.stats.ifetch_words += 1;
             self.tele.bump(SimCounter::IfWords);
-            self.last_fetch_word = Some(word);
         }
+        let tail_word = (pc + ilen - 1) & !3;
+        if tail_word != word {
+            self.stats.ifetch_words += 1;
+            self.tele.bump(SimCounter::IfWords);
+        }
+        self.last_fetch_word = Some(tail_word);
         self.stats.insns += 1;
         self.tele.bump(SimCounter::IfInsns);
         self.tele.bump(SimCounter::IdInsns);
@@ -469,7 +544,7 @@ impl Machine {
             Insn::Jl { target: t } => {
                 let dest = self.gpr(t);
                 let link = self.isa.link_reg();
-                self.set_gpr(link, pc + 2 * ilen);
+                self.set_gpr(link, pc + ilen + self.next_len(pc + ilen));
                 self.tele.bump(SimCounter::WbGpr);
                 self.gpr_ready[link.index()] = self.t;
                 target = Some(Some(dest));
@@ -477,7 +552,7 @@ impl Machine {
             Insn::Jdisp { link, disp } => {
                 if link {
                     let lr = self.isa.link_reg();
-                    self.set_gpr(lr, pc + 2 * ilen);
+                    self.set_gpr(lr, pc + ilen + self.next_len(pc + ilen));
                     self.tele.bump(SimCounter::WbGpr);
                     self.gpr_ready[lr.index()] = self.t;
                 }
@@ -613,14 +688,56 @@ impl Machine {
             } else {
                 self.tele.bump(SimCounter::CtlUntaken);
             }
-            self.pending_target = Some(t.unwrap_or(pc + 2 * ilen));
+            self.pending_target = Some(t.unwrap_or_else(|| pc + ilen + self.next_len(pc + ilen)));
             self.pc = pc + ilen;
         } else if let Some(t) = self.pending_target.take() {
             self.pc = t;
         } else {
             self.pc = pc + ilen;
         }
+
+        // D16x macro-op fusion accounting, at retirement: pair the
+        // completed instruction with its predecessor's A-shape when it is
+        // the matching B-shape *and* directly follows it in the byte
+        // stream, then record the A-shape it offers in turn. Fusion never
+        // changes architectural state — it only counts the pairs a fusing
+        // decoder would issue as one macro-op.
+        if self.isa == Isa::D16x {
+            if let Some((epc, a)) = self.fuse_prev.take() {
+                if epc == pc && fuse_b_matches(a, &insn) {
+                    match a {
+                        FuseA::Cmp(_) => {
+                            self.stats.fused_cmp_br += 1;
+                            self.tele.bump(SimCounter::FuseCmpBr);
+                        }
+                        FuseA::Lui(_) => {
+                            self.stats.fused_lui_addi += 1;
+                            self.tele.bump(SimCounter::FuseLuiAddi);
+                        }
+                    }
+                }
+            }
+            self.fuse_prev = fuse_a_shape(&insn).map(|a| (pc + ilen, a));
+        }
         Ok(())
+    }
+
+    /// Byte length of the instruction at `pc`, from the length-decode rule
+    /// alone (top four bits of the first halfword) — defined even when the
+    /// instruction there does not decode, and 2 when `pc` is outside the
+    /// text segment or misaligned. Used for return addresses and branch
+    /// fall-throughs, which must skip the *delay slot's* actual length on
+    /// D16x; fixed-width ISAs return their instruction size.
+    pub(crate) fn next_len(&self, pc: u32) -> u32 {
+        if self.isa != Isa::D16x {
+            return self.isa.insn_bytes();
+        }
+        if pc < self.text_base || pc + 2 > self.text_end || !(pc - self.text_base).is_multiple_of(2)
+        {
+            return 2;
+        }
+        let a = pc as usize;
+        d16_isa::d16x::insn_len(u16::from_le_bytes([self.mem[a], self.mem[a + 1]]))
     }
 
     /// ALU-class result: ready immediately via forwarding.

@@ -59,6 +59,12 @@ d16_telemetry::counter_schema! {
         CtlTaken => "control.taken",
         /// Untaken (fall-through) control transfers.
         CtlUntaken => "control.untaken",
+        /// D16x macro-op fusion: dynamic compare → dependent-branch pairs
+        /// (== `fused_cmp_br`; always 0 on D16 and DLXe).
+        FuseCmpBr => "fuse.cmp_br",
+        /// D16x macro-op fusion: dynamic `mvhi` → dependent `ori`/`addi`
+        /// pairs (== `fused_lui_addi`; always 0 on D16 and DLXe).
+        FuseLuiAddi => "fuse.lui_addi",
     }
 }
 
@@ -93,6 +99,17 @@ pub struct ExecStats {
     /// Explicit `nop` instructions executed (delay-slot fills the compiler
     /// could not schedule).
     pub nops: u64,
+    /// D16x macro-op fusion opportunities taken: a compare immediately
+    /// followed (dynamically *and* in the byte stream) by a conditional
+    /// branch testing its result. Pure accounting — fusion changes no
+    /// architectural state — so the fusion-off ablation is
+    /// [`ExecStats::base_cycles`] and the fusion-on number is
+    /// `base_cycles() - fused_pairs()`. Always 0 on D16 and DLXe.
+    pub fused_cmp_br: u64,
+    /// D16x macro-op fusion opportunities taken: `mvhi` immediately
+    /// followed by the dependent `ori`/`addi` of an address-materialization
+    /// pair. Always 0 on D16 and DLXe.
+    pub fused_lui_addi: u64,
 }
 
 impl ExecStats {
@@ -114,6 +131,18 @@ impl ExecStats {
     /// `IC + Interlocks` (the paper's formula before the latency term).
     pub fn base_cycles(&self) -> u64 {
         self.insns + self.interlocks
+    }
+
+    /// Dynamic macro-op pairs fused (both shapes). Zero outside D16x.
+    pub fn fused_pairs(&self) -> u64 {
+        self.fused_cmp_br + self.fused_lui_addi
+    }
+
+    /// Base cycles with macro-op fusion credited: each fused pair issues
+    /// as one macro-op, saving one cycle. Equals [`ExecStats::base_cycles`]
+    /// on D16 and DLXe, which fuse nothing.
+    pub fn fused_cycles(&self) -> u64 {
+        self.base_cycles() - self.fused_pairs()
     }
 
     /// Checks that a [`SIM_SCHEMA`] counter block agrees with these
@@ -159,6 +188,8 @@ impl ExecStats {
             + tele.get(SimCounter::MemLoads)
             + tele.get(SimCounter::MemStores);
         eq("stage classes partition insns", stage_sum, self.insns)?;
+        eq("fuse.cmp_br", tele.get(SimCounter::FuseCmpBr), self.fused_cmp_br)?;
+        eq("fuse.lui_addi", tele.get(SimCounter::FuseLuiAddi), self.fused_lui_addi)?;
         eq("interlock.load.cycles", tele.get(SimCounter::LoadCycles), self.load_interlocks)?;
         let fpu_cycles = tele.get(SimCounter::FpuResultCycles)
             + tele.get(SimCounter::FpuBusyCycles)

@@ -64,9 +64,37 @@ programs! {
     whetstone: "The synthetic floating point benchmark", expected: Some(9821), cache: false, fp: true;
 }
 
-/// Looks up a workload by name.
+/// Extension workloads beyond the paper's Table 2: a macro-op-fusion
+/// stress pair for the D16x target. `fsm` is fusion-hostile (a branchy
+/// state machine whose transfers branch directly on loaded table bytes,
+/// leaving almost no adjacent compare/branch or `mvhi`-pair shapes);
+/// `addrgen` is fusion-friendly (scatter/gather over a dozen global
+/// arrays, re-materializing `mvhi`/`ori` address pairs in the hot loop).
+/// They are self-checking like the suite, addressable through
+/// [`by_name`], and deliberately *not* part of [`SUITE`] so the paper's
+/// 15-program grid keeps its shape.
+pub const EXTRAS: &[Workload] = &[
+    Workload {
+        name: "fsm",
+        source: include_str!("programs/fsm.c"),
+        description: "Branchy state machine (fusion-hostile extension)",
+        expected: Some(11952),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "addrgen",
+        source: include_str!("programs/addrgen.c"),
+        description: "Global-array address arithmetic (fusion-friendly extension)",
+        expected: Some(11839),
+        cache_benchmark: false,
+        floating: false,
+    },
+];
+
+/// Looks up a workload by name, searching the suite then the extras.
 pub fn by_name(name: &str) -> Option<&'static Workload> {
-    SUITE.iter().find(|w| w.name == name)
+    SUITE.iter().chain(EXTRAS).find(|w| w.name == name)
 }
 
 /// The three cache-experiment programs (Figures 16–19).
@@ -106,7 +134,7 @@ mod tests {
 
     #[test]
     fn sources_are_nonempty_and_have_main() {
-        for w in SUITE {
+        for w in SUITE.iter().chain(EXTRAS) {
             assert!(w.source.len() > 100, "{} too small", w.name);
             assert!(w.source.contains("int main(void)"), "{} lacks main", w.name);
         }
@@ -117,5 +145,15 @@ mod tests {
         assert!(by_name("queens").is_some());
         assert!(by_name("nonesuch").is_none());
         assert_eq!(by_name("towers").unwrap().expected, Some(16383));
+    }
+
+    #[test]
+    fn extras_stay_out_of_the_suite() {
+        assert_eq!(EXTRAS.len(), 2);
+        for w in EXTRAS {
+            assert!(by_name(w.name).is_some(), "{} not addressable", w.name);
+            assert!(!SUITE.iter().any(|s| s.name == w.name), "{} leaked into SUITE", w.name);
+            assert!(!w.cache_benchmark, "extras stay out of the cache experiments");
+        }
     }
 }

@@ -53,8 +53,11 @@ fn fresh_run_matches_checked_in_bench_report() {
     assert_eq!(sweeps.len(), suite.traces.len(), "sweep count drifted");
     for s in sweeps {
         let w = s.get("workload").and_then(Json::as_str).expect("workload");
-        let isa =
-            if s.get("isa").and_then(Json::as_str) == Some("D16") { Isa::D16 } else { Isa::Dlxe };
+        let isa = match s.get("isa").and_then(Json::as_str) {
+            Some("D16") => Isa::D16,
+            Some("D16x") => Isa::D16x,
+            _ => Isa::Dlxe,
+        };
         suite.cache_grid(w, isa).expect("warm grid");
         let trace = suite.try_trace(w, isa).expect("trace recorded");
         assert_eq!(u(s, "records"), trace.len() as u64, "({w}, {}) records drifted", isa.name());

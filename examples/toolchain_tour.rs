@@ -32,7 +32,7 @@ int main(void) {
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for spec in [TargetSpec::d16(), TargetSpec::dlxe()] {
+    for spec in [TargetSpec::d16(), TargetSpec::dlxe(), TargetSpec::d16x()] {
         println!("================ {} ================", spec.label());
         let asm = d16_cc::compile_to_asm(&[PROGRAM], &spec)?;
         // Show the `saturate` function's code: small enough to read.
@@ -51,21 +51,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let image = d16_asm::build(spec.isa, &[&asm])?;
         println!("\nbinary: {} text bytes, {} data bytes", image.text.len(), image.data.len());
 
-        // Disassemble the first instructions at the entry point.
+        // Disassemble the first instructions at the entry point. D16x is
+        // variable-length, so the walk advances by each instruction's own
+        // size instead of a fixed stride.
         println!("entry disassembly:");
-        let entry_off = (image.entry - image.text_base) as usize;
-        let ilen = spec.isa.insn_bytes() as usize;
-        for k in 0..6 {
-            let o = entry_off + k * ilen;
-            let insn = match spec.isa {
-                Isa::D16 => d16_isa::d16::decode(u16::from_le_bytes(
-                    image.text[o..o + 2].try_into().unwrap(),
-                ))?,
-                Isa::Dlxe => d16_isa::dlxe::decode(u32::from_le_bytes(
-                    image.text[o..o + 4].try_into().unwrap(),
-                ))?,
+        let mut o = (image.entry - image.text_base) as usize;
+        for _ in 0..6 {
+            let half = |at: usize| u16::from_le_bytes(image.text[at..at + 2].try_into().unwrap());
+            let (insn, len) = match spec.isa {
+                Isa::D16 => (d16_isa::d16::decode(half(o))?, 2),
+                Isa::Dlxe => (
+                    d16_isa::dlxe::decode(u32::from_le_bytes(
+                        image.text[o..o + 4].try_into().unwrap(),
+                    ))?,
+                    4,
+                ),
+                Isa::D16x => {
+                    let first = half(o);
+                    let len = d16_isa::d16x::insn_len(first) as usize;
+                    let second = (len == 4).then(|| half(o + 2));
+                    let (insn, _) = d16_isa::d16x::decode(first, second)?;
+                    (insn, len)
+                }
             };
             println!("  {:#07x}: {}", image.text_base as usize + o, d16_isa::disassemble(&insn));
+            o += len;
         }
 
         let mut machine = Machine::load(&image);

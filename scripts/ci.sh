@@ -78,6 +78,13 @@ gate_engine() {
     step "engine: --all --engine interp matches checked-in results.txt"
     ./target/release/repro --all --engine interp >"$tmp/all_interp.txt"
     cmp "$tmp/all_interp.txt" results.txt
+    step "engine: D16x fusion workloads byte-identical across engines"
+    ./target/release/repro --only fsm,addrgen --d16x --fig 4 --engine blocks \
+        --metrics-json "$tmp/m_x_blocks.json" >"$tmp/out_x_blocks.txt"
+    ./target/release/repro --only fsm,addrgen --d16x --fig 4 --engine interp \
+        --metrics-json "$tmp/m_x_interp.json" >"$tmp/out_x_interp.txt"
+    cmp "$tmp/out_x_blocks.txt" "$tmp/out_x_interp.txt"
+    cmp "$tmp/m_x_blocks.json" "$tmp/m_x_interp.json"
     step "engine: 4x best-of-3 speedup floor (block engine vs interpreter, in-process)"
     cargo test --release --locked --offline -p d16-xtests --test bench_drift \
         -- --ignored --exact block_engine_speedup_floor
@@ -179,7 +186,7 @@ gate_fuzz() {
     # engine-agreement (interp vs blocks) oracles. Fully deterministic —
     # a failure prints a minimized reproducer. Then every committed
     # miscompile reproducer in crates/xtests/corpus replays.
-    step "fuzz: fixed-seed differential budget (500 programs x 10 configs)"
+    step "fuzz: fixed-seed differential budget (500 programs x 12 configs)"
     cargo build --release --locked --offline -p d16-fuzz
     ./target/release/d16-fuzz --seed 20260806 --count 500
     step "fuzz: corpus replay"
