@@ -8,6 +8,10 @@
 //! repro --smoke              # tiny 2-workload x 2-target run
 //! repro --only towers,assem  # collect only the named workloads
 //! repro --engine interp      # per-instruction engine (default: blocks)
+//! repro --pipeline-sweep     # depth x predictor sweep tables
+//! repro --pipeline-depth 8   # retime the whole grid (3..8; default 5)
+//! repro --pipeline-predictor twobit   # none | taken | twobit
+//! repro --pipeline-fetch 4   # fetch width in halfwords (1, 2 or 4)
 //! repro --store DIR          # incremental: reuse artifacts across runs
 //! repro --no-store           # override an earlier --store
 //! repro --store-verify       # integrity-sweep the store before running
@@ -18,7 +22,7 @@
 //!
 //! Output is plain text, one block per table/figure, in the paper's
 //! numbering. See EXPERIMENTS.md for paper-vs-measured commentary, the
-//! `bench_repro/3` schema of the two JSON reports, and the README's
+//! `bench_repro/4` schema of the two JSON reports, and the README's
 //! Performance section for how to read `BENCH_repro.json`.
 //!
 //! `--engine` selects the simulator's execution engine (the block-caching
@@ -49,6 +53,7 @@ use d16_core::report::{f2, f3, pct, Table};
 use d16_core::suite::standard_specs;
 use d16_core::{base_specs, default_jobs, experiments as ex, Engine, Suite};
 use d16_isa::Isa;
+use d16_sim::{PipelineSpec, Predictor, PIPELINE_DEPTHS};
 use d16_store::Store;
 use d16_workloads::Workload;
 use std::sync::Arc;
@@ -88,6 +93,8 @@ fn main() {
     let mut figs: Vec<u32> = Vec::new();
     let mut tables: Vec<u32> = Vec::new();
     let mut fpu_sweep = false;
+    let mut pipeline_sweep = false;
+    let mut pspec = PipelineSpec::default();
     let mut d16x = false;
     let mut all = args.is_empty();
     let mut smoke = false;
@@ -108,6 +115,20 @@ fn main() {
                 return;
             }
             "--fpu-sweep" => fpu_sweep = true,
+            "--pipeline-sweep" => pipeline_sweep = true,
+            "--pipeline-depth" => pspec.depth = parsed_flag(&args, &mut i, "--pipeline-depth"),
+            "--pipeline-predictor" => {
+                let v = flag_value(&args, &mut i, "--pipeline-predictor");
+                pspec.predictor = Predictor::parse(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "--pipeline-predictor: unknown predictor `{v}`; valid predictors: none taken twobit"
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--pipeline-fetch" => {
+                pspec.fetch_width_halfwords = parsed_flag(&args, &mut i, "--pipeline-fetch");
+            }
             "--d16x" => d16x = true,
             "--smoke" => smoke = true,
             "--store" => store_dir = Some(flag_value(&args, &mut i, "--store").to_string()),
@@ -147,6 +168,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if let Err(e) = pspec.validate() {
+        eprintln!("--pipeline-depth/--pipeline-fetch: {e}");
+        std::process::exit(2);
     }
     if smoke && all {
         eprintln!("--smoke collects only 2 workloads x 2 targets; it cannot serve --all");
@@ -243,25 +268,27 @@ fn main() {
     };
     let collect = |jobs: usize| {
         if smoke {
-            Suite::collect_for_jobs_stored_with(
+            Suite::collect_for_jobs_stored_spec(
                 &smoke_workloads,
                 &base_specs(),
                 true,
                 jobs,
                 store.clone(),
                 engine,
+                pspec,
             )
         } else if !only_workloads.is_empty() {
-            Suite::collect_for_jobs_stored_with(
+            Suite::collect_for_jobs_stored_spec(
                 &only_workloads,
                 &standard_specs(),
                 true,
                 jobs,
                 store.clone(),
                 engine,
+                pspec,
             )
         } else {
-            Suite::collect_jobs_stored_with(jobs, store.clone(), engine)
+            Suite::collect_jobs_stored_spec(jobs, store.clone(), engine, pspec)
         }
     };
     if smoke {
@@ -350,6 +377,14 @@ fn main() {
     if d16x || all {
         print_d16x(&suite);
     }
+    // The pipeline sweep prints last so earlier blocks of a regenerated
+    // results.txt stay byte-identical to runs that predate the sweep.
+    if pipeline_sweep || all {
+        for (w, reason) in print_pipeline_sweep(store.as_deref()) {
+            eprintln!("skipped ({w}, pipeline sweep): {reason}");
+            skips.push((w, "pipeline sweep".to_string(), reason));
+        }
+    }
 
     // Store accounting goes to stderr and the timing report only; the
     // diffable outputs (stdout, --metrics-json) stay store-free so warm
@@ -408,10 +443,17 @@ fn main() {
             })
             .collect();
         let report = Json::obj()
-            .with("schema", "bench_repro/3")
+            .with("schema", "bench_repro/4")
             .with("kind", "timing")
             .with("smoke", smoke)
             .with("engine", engine.name())
+            .with(
+                "pipeline",
+                Json::obj()
+                    .with("depth", u64::from(pspec.depth))
+                    .with("predictor", pspec.predictor.name())
+                    .with("fetch_halfwords", u64::from(pspec.fetch_width_halfwords)),
+            )
             .with("jobs", jobs)
             .with("cells", suite.cells.len())
             .with("traces", suite.traces.len())
@@ -500,6 +542,68 @@ fn print_fpu_sweep(store: Option<&Store>) -> Vec<(String, String)> {
     skips
 }
 
+/// Extension beyond the paper: retime every standard target across the
+/// pipeline depth × predictor grid (one interpreter pass per target; see
+/// DESIGN.md §14). Returns the `(workload, reason)` of skipped sweeps.
+fn print_pipeline_sweep(store: Option<&Store>) -> Vec<(String, String)> {
+    let mut skips = Vec::new();
+    for w in ["towers", "assem"] {
+        match ex::pipeline_sweep_stored(w, store) {
+            Ok(rows) => {
+                for row in &rows {
+                    let mut t = Table::new(
+                        &format!(
+                            "Extension: pipeline sweep, {w} on {} ({} insns; base cycles)",
+                            row.target, row.sweep.insns
+                        ),
+                        &["depth", "interlock", "none", "taken", "twobit"],
+                    );
+                    for &d in &PIPELINE_DEPTHS {
+                        let cyc = |p: Predictor| {
+                            row.sweep.cell(d, p).map_or("-".into(), |c| c.cycles.to_string())
+                        };
+                        let il = row
+                            .sweep
+                            .cell(d, Predictor::None)
+                            .map_or("-".into(), |c| c.interlock_cycles.to_string());
+                        t.row(vec![
+                            d.to_string(),
+                            il,
+                            cyc(Predictor::None),
+                            cyc(Predictor::StaticTaken),
+                            cyc(Predictor::TwoBit),
+                        ]);
+                    }
+                    let mis = |p: Predictor| {
+                        row.sweep
+                            .cell(PIPELINE_DEPTHS[0], p)
+                            .map_or("-".into(), |c| c.mispredicts.to_string())
+                    };
+                    t.row(vec![
+                        "mispredicts".into(),
+                        "-".into(),
+                        mis(Predictor::None),
+                        mis(Predictor::StaticTaken),
+                        mis(Predictor::TwoBit),
+                    ]);
+                    println!("{}", t.render());
+                }
+                let mut t = Table::new(
+                    &format!("Extension: fetch traffic across fetch widths, {w} (units)"),
+                    &["target", "w=1", "w=2", "w=4"],
+                );
+                for row in &rows {
+                    let [u1, u2, u4] = row.sweep.fetch_units;
+                    t.row(vec![row.target.clone(), u1.to_string(), u2.to_string(), u4.to_string()]);
+                }
+                println!("{}", t.render());
+            }
+            Err(e) => skips.push((w.to_string(), e)),
+        }
+    }
+    skips
+}
+
 /// Extension beyond the paper: the D16x mixed-width target as a third
 /// curve next to Figures 4/5, plus its macro-op fusion ablation. Fusion
 /// is pure accounting, so both ablation columns derive from the same
@@ -542,7 +646,11 @@ fn print_list() {
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
     println!("         --d16x (D16x third curve + fusion ablation, beyond the paper)");
+    println!("         --pipeline-sweep (depth x predictor grid, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
+    println!("         --pipeline-depth N / --pipeline-predictor P / --pipeline-fetch W");
+    println!("           (retime the grid: depths 3-8, predictors none|taken|twobit,");
+    println!("            fetch widths 1|2|4 halfwords; defaults 5/none/2),");
     println!("         --only W[,W...] (collect only the named workloads),");
     println!("         --engine blocks|interp (execution engine, default blocks),");
     println!("         --store DIR (incremental artifact store), --no-store,");

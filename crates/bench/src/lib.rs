@@ -550,7 +550,7 @@ pub mod json {
 
 pub mod report {
     //! Rendering a [`d16_telemetry::Registry`] into the two halves of the
-    //! `bench_repro/3` schema (see EXPERIMENTS.md):
+    //! `bench_repro/4` schema (see EXPERIMENTS.md):
     //!
     //! * [`metrics_json`] — the **deterministic projection**: counters and
     //!   span *counts* only. CI diffs this byte-for-byte across `--jobs`
@@ -604,7 +604,7 @@ pub mod report {
         j
     }
 
-    /// The deterministic `bench_repro/3` metrics document: schema tag,
+    /// The deterministic `bench_repro/4` metrics document: schema tag,
     /// grid shape, full counter dump, span counts. Everything in it is a
     /// pure function of the measured programs — no worker count, no
     /// wall-clock, no `--engine` choice (both engines count the same
@@ -612,7 +612,7 @@ pub mod report {
     /// either engine (CI enforces this).
     pub fn metrics_json(reg: &Registry, smoke: bool, cells: usize, traces: usize) -> Json {
         Json::obj()
-            .with("schema", "bench_repro/3")
+            .with("schema", "bench_repro/4")
             .with("kind", "metrics")
             .with("smoke", smoke)
             .with("telemetry_enabled", d16_telemetry::ENABLED)

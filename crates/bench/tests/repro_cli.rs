@@ -103,7 +103,7 @@ fn metrics_json_is_identical_across_job_counts() {
     std::fs::remove_file(&p1).ok();
     std::fs::remove_file(&p2).ok();
     assert_eq!(m1, m2, "metrics dump must be byte-identical for every --jobs");
-    for needle in ["\"schema\":\"bench_repro/3\"", "\"kind\":\"metrics\"", "\"span_counts\":"] {
+    for needle in ["\"schema\":\"bench_repro/4\"", "\"kind\":\"metrics\"", "\"span_counts\":"] {
         assert!(m1.contains(needle), "missing {needle} in {m1}");
     }
     assert!(!m1.contains("\"jobs\""), "worker count must not leak into the metrics dump");
@@ -163,7 +163,7 @@ fn smoke_regenerates_and_reports_timing() {
     let report = std::fs::read_to_string(&json_path).expect("bench json written");
     std::fs::remove_file(&json_path).ok();
     for needle in [
-        "\"schema\":\"bench_repro/3\"",
+        "\"schema\":\"bench_repro/4\"",
         "\"kind\":\"timing\"",
         "\"smoke\":true",
         "\"engine\":\"blocks\"",

@@ -799,6 +799,78 @@ pub fn fpu_latency_sweep_stored(
 }
 
 // ------------------------------------------------------------------------
+// Beyond the paper: pipeline depth × predictor sweep (extension)
+// ------------------------------------------------------------------------
+
+/// One target's pipeline-sweep grid for a workload: every
+/// (depth, predictor) timing cell plus fetch traffic at every fetch
+/// width, scored in a single interpreter pass
+/// (see [`d16_sim::PipelineSweep`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineSweepRow {
+    /// Target label (`D16/16/2`, ..., `D16x/16/3`).
+    pub target: String,
+    /// The finished grid.
+    pub sweep: d16_sim::SweepResult,
+}
+
+/// Sensitivity of the D16/DLXe comparison to the pipeline design point —
+/// the paper fixes a five-stage, predict-untaken, one-word-fetch machine;
+/// this sweep re-times every standard target across depths 3–8, three
+/// front-end predictors, and three fetch widths. One interpreter pass per
+/// target scores the whole grid; the default-spec cell reproduces
+/// [`d16_sim::ExecStats::base_cycles`] exactly.
+///
+/// # Errors
+///
+/// Propagates build/run failures with a description.
+pub fn pipeline_sweep(workload: &str) -> Result<Vec<PipelineSweepRow>, String> {
+    pipeline_sweep_stored(workload, None)
+}
+
+/// [`pipeline_sweep`] through an optional `d16-store`: the per-target
+/// grids are cached per workload and restored bit-exactly.
+///
+/// # Errors
+///
+/// Propagates build/run failures with a description.
+pub fn pipeline_sweep_stored(
+    workload: &str,
+    store: Option<&d16_store::Store>,
+) -> Result<Vec<PipelineSweepRow>, String> {
+    let w = d16_workloads::by_name(workload).ok_or_else(|| format!("no workload {workload}"))?;
+    let at = store.map(|s| (s, crate::stored::psweep_key(w)));
+    if let Some((s, key)) = at {
+        if let Some(rows) =
+            s.get_with(crate::stored::PSWEEP_KIND, key, crate::stored::decode_psweep)
+        {
+            return Ok(rows);
+        }
+    }
+    let mut out = Vec::new();
+    for spec in crate::suite::standard_specs() {
+        let image = crate::measure::build_stored(w, &spec, store).map_err(|e| e.to_string())?;
+        let mut m = Machine::load(&image);
+        m.attach_pipeline_sweep(d16_sim::PipelineSweep::new());
+        match m.run(crate::measure::FUEL, &mut NullSink).map_err(|e| e.to_string())? {
+            d16_sim::StopReason::Halted(_) => {}
+            d16_sim::StopReason::OutOfFuel => {
+                return Err(format!("{workload} on {}: did not halt", spec.label()))
+            }
+        }
+        let sweep = m
+            .take_pipeline_sweep()
+            .ok_or_else(|| format!("{workload} on {}: sweep detached", spec.label()))?
+            .finish();
+        out.push(PipelineSweepRow { target: spec.label(), sweep });
+    }
+    if let Some((s, key)) = at {
+        s.put(crate::stored::PSWEEP_KIND, key, &crate::stored::encode_psweep(&out));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------------
 // Beyond the paper: the D16x mixed-width target (extension)
 // ------------------------------------------------------------------------
 

@@ -21,10 +21,10 @@ pub mod report;
 pub mod stored;
 pub mod suite;
 
-pub use d16_sim::Engine;
+pub use d16_sim::{Engine, PipelineSpec, Predictor};
 pub use measure::{
-    build, build_stored, measure, measure_stored, measure_stored_with, measure_with, MeasureError,
-    Measurement,
+    build, build_stored, measure, measure_stored, measure_stored_spec, measure_stored_with,
+    measure_with, MeasureError, Measurement,
 };
 pub use suite::{base_specs, default_jobs, standard_specs, Skip, Suite, SuiteError};
 

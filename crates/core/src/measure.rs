@@ -2,7 +2,7 @@
 
 use d16_asm::Image;
 use d16_cc::{compile_to_image_stored, BuildError, TargetSpec};
-use d16_sim::{AccessSink, Engine, ExecStats, Machine, StopReason, TraceRecorder};
+use d16_sim::{AccessSink, Engine, ExecStats, Machine, PipelineSpec, StopReason, TraceRecorder};
 use d16_store::Store;
 use d16_workloads::Workload;
 use std::fmt;
@@ -247,8 +247,28 @@ pub fn measure_stored_with(
     store: Option<&Store>,
     engine: Engine,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
+    measure_stored_spec(w, spec, want_trace, store, engine, PipelineSpec::default())
+}
+
+/// [`measure_stored_with`] on an explicit [`PipelineSpec`]: the machine is
+/// retimed (depth-derived load delay, predictor, fetch width) before the
+/// run. The pipeline spec folds into the store key only when it differs
+/// from the default, so default-spec cells keep their keys — and their
+/// bytes — exactly as before this knob existed.
+///
+/// # Errors
+///
+/// See [`measure_stored`].
+pub fn measure_stored_spec(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+    store: Option<&Store>,
+    engine: Engine,
+    pspec: PipelineSpec,
+) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
     let key = store.map(|s| {
-        let key = crate::stored::cell_key(w, spec, want_trace);
+        let key = crate::stored::cell_key(w, spec, want_trace, &pspec);
         (s, key)
     });
     if let Some((s, key)) = key {
@@ -259,7 +279,7 @@ pub fn measure_stored_with(
         }
     }
     let image = build_stored(w, spec, store)?;
-    let (m, trace) = run(w, spec, &image, want_trace, engine)?;
+    let (m, trace) = run(w, spec, &image, want_trace, engine, pspec)?;
     if let Some((s, k)) = key {
         s.put(crate::stored::CELL_KIND, k, &crate::stored::encode_cell(&m, trace.as_ref()));
     }
@@ -273,8 +293,10 @@ fn run(
     image: &Image,
     want_trace: bool,
     engine: Engine,
+    pspec: PipelineSpec,
 ) -> Result<(Measurement, Option<TraceRecorder>), MeasureError> {
     let mut machine = Machine::load(image);
+    machine.set_pipeline(pspec);
     let mut fb32 = d16_mem::FetchBuffer::new(4);
     let mut fb64 = d16_mem::FetchBuffer::new(8);
     let mut rec = TraceRecorder::new();

@@ -27,7 +27,7 @@ use crate::measure::Measurement;
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
 use d16_mem::{CacheConfig, CacheStats, CacheSystem, BANK_SCHEMA};
-use d16_sim::{ExecStats, TraceRecorder, SIM_SCHEMA};
+use d16_sim::{ExecStats, PipelineSpec, Predictor, TraceRecorder, SIM_SCHEMA};
 use d16_store::{CacheKey, Reader, StableHasher, Writer};
 use d16_telemetry::Counters;
 use d16_workloads::Workload;
@@ -36,7 +36,7 @@ use d16_workloads::Workload;
 /// memory-model behavior, the codecs below, and the grid configuration
 /// set. Bump it whenever any of those changes observable numbers, and
 /// every stale entry stops matching at once.
-pub const CORE_TAG: &str = "d16-core/2";
+pub const CORE_TAG: &str = "d16-core/3";
 
 /// Store kind for (workload, target) measurement cells.
 pub const CELL_KIND: &str = "cell";
@@ -50,20 +50,35 @@ pub const TABLE4_KIND: &str = "table4";
 /// Store kind for per-workload FPU-latency sweep points.
 pub const FPU_KIND: &str = "fpu";
 
+/// Store kind for per-workload pipeline depth × predictor sweep grids.
+pub const PSWEEP_KIND: &str = "psweep";
+
 // ---------------------------------------------------------------------
 // Keys
 // ---------------------------------------------------------------------
 
 /// Key of one measurement cell: the image it runs (which already covers
 /// source text, every codegen knob, and both toolchain tags) plus what
-/// the run records.
-pub fn cell_key(w: &Workload, spec: &TargetSpec, want_trace: bool) -> CacheKey {
+/// the run records. A non-default [`PipelineSpec`] retimes the machine,
+/// so it folds into the key; the default spec adds nothing, keeping
+/// default-spec keys stable across the introduction of the knob.
+pub fn cell_key(
+    w: &Workload,
+    spec: &TargetSpec,
+    want_trace: bool,
+    pspec: &PipelineSpec,
+) -> CacheKey {
     let mut h = StableHasher::new("d16-core.cell");
     h.field_str(CORE_TAG)
         .field_bool(d16_telemetry::ENABLED)
         .field_key(d16_cc::build_key(&[w.source], spec))
         .field_str(w.name)
         .field_bool(want_trace);
+    if *pspec != PipelineSpec::default() {
+        h.field_u64(u64::from(pspec.depth))
+            .field_str(pspec.predictor.name())
+            .field_u64(u64::from(pspec.fetch_width_halfwords));
+    }
     h.finish()
 }
 
@@ -113,6 +128,25 @@ pub fn fpu_key(w: &Workload) -> CacheKey {
     h.finish()
 }
 
+/// Key of one workload's pipeline sweep: every standard target's image
+/// (one interpreter pass each feeds the grid) plus the sweep-grid shape,
+/// so widening the grid retires stale records.
+pub fn psweep_key(w: &Workload) -> CacheKey {
+    let mut h = StableHasher::new("d16-core.psweep");
+    h.field_str(CORE_TAG).field_str(w.name);
+    for spec in crate::suite::standard_specs() {
+        h.field_key(d16_cc::build_key(&[w.source], &spec));
+    }
+    h.field_u64(d16_sim::SWEEP_CELLS as u64);
+    for &d in &d16_sim::PIPELINE_DEPTHS {
+        h.field_u64(u64::from(d));
+    }
+    for &fw in &d16_sim::FETCH_WIDTHS {
+        h.field_u64(u64::from(fw));
+    }
+    h.finish()
+}
+
 // ---------------------------------------------------------------------
 // Cell records
 // ---------------------------------------------------------------------
@@ -134,7 +168,9 @@ pub fn encode_cell(m: &Measurement, trace: Option<&TraceRecorder>) -> Vec<u8> {
         .u64(s.taken_branches)
         .u64(s.nops)
         .u64(s.fused_cmp_br)
-        .u64(s.fused_lui_addi);
+        .u64(s.fused_lui_addi)
+        .u64(s.mispredicts)
+        .u64(s.misfetch_cycles);
     w.u64(m.ireq_bus32).u64(m.ireq_bus64);
     write_counter_values(&mut w, &m.tele);
     match trace {
@@ -174,6 +210,8 @@ pub fn decode_cell(
         nops: r.u64()?,
         fused_cmp_br: r.u64()?,
         fused_lui_addi: r.u64()?,
+        mispredicts: r.u64()?,
+        misfetch_cycles: r.u64()?,
     };
     let ireq_bus32 = r.u64()?;
     let ireq_bus64 = r.u64()?;
@@ -338,6 +376,68 @@ pub fn decode_fpu(bytes: &[u8]) -> Option<Vec<crate::experiments::FpuSweepPoint>
     Some(points)
 }
 
+/// Serializes a pipeline sweep: one depth × predictor grid (plus the
+/// fetch-width traffic vector) per standard target.
+#[must_use]
+pub fn encode_psweep(rows: &[crate::experiments::PipelineSweepRow]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(rows.len() as u64);
+    for row in rows {
+        w.str(&row.target).u64(row.sweep.insns);
+        w.u64(row.sweep.cells.len() as u64);
+        for c in &row.sweep.cells {
+            w.u8(c.depth)
+                .str(c.predictor.name())
+                .u64(c.cycles)
+                .u64(c.interlock_cycles)
+                .u64(c.mispredicts)
+                .u64(c.penalty_cycles);
+        }
+        for &u in &row.sweep.fetch_units {
+            w.u64(u);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a pipeline sweep; `None` on structural damage, an
+/// unknown predictor name, or a grid of the wrong shape.
+#[must_use]
+pub fn decode_psweep(bytes: &[u8]) -> Option<Vec<crate::experiments::PipelineSweepRow>> {
+    let mut r = Reader::new(bytes);
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut rows = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let target = r.str()?.to_string();
+        let insns = r.u64()?;
+        let cells_n = usize::try_from(r.u64()?).ok()?;
+        if cells_n != d16_sim::SWEEP_CELLS {
+            return None;
+        }
+        let mut cells = Vec::with_capacity(cells_n);
+        for _ in 0..cells_n {
+            cells.push(d16_sim::SweepCell {
+                depth: r.u8()?,
+                predictor: Predictor::parse(r.str()?)?,
+                cycles: r.u64()?,
+                interlock_cycles: r.u64()?,
+                mispredicts: r.u64()?,
+                penalty_cycles: r.u64()?,
+            });
+        }
+        let mut fetch_units = [0u64; d16_sim::FETCH_WIDTHS.len()];
+        for u in &mut fetch_units {
+            *u = r.u64()?;
+        }
+        rows.push(crate::experiments::PipelineSweepRow {
+            target,
+            sweep: d16_sim::SweepResult { insns, cells, fetch_units },
+        });
+    }
+    r.finish()?;
+    Some(rows)
+}
+
 // ---------------------------------------------------------------------
 // Counter blocks
 // ---------------------------------------------------------------------
@@ -408,14 +508,41 @@ mod tests {
         let towers = d16_workloads::by_name("towers").unwrap();
         let queens = d16_workloads::by_name("queens").unwrap();
         let d16 = TargetSpec::d16();
-        let base = cell_key(towers, &d16, false);
-        assert_eq!(base, cell_key(towers, &d16, false));
-        assert_ne!(base, cell_key(towers, &d16, true), "trace recording changes the record");
-        assert_ne!(base, cell_key(queens, &d16, false));
-        assert_ne!(base, cell_key(towers, &TargetSpec::dlxe(), false));
+        let dp = PipelineSpec::default();
+        let base = cell_key(towers, &d16, false, &dp);
+        assert_eq!(base, cell_key(towers, &d16, false, &dp));
+        assert_ne!(base, cell_key(towers, &d16, true, &dp), "trace recording changes the record");
+        assert_ne!(base, cell_key(queens, &d16, false, &dp));
+        assert_ne!(base, cell_key(towers, &TargetSpec::dlxe(), false, &dp));
+        let deep = PipelineSpec { depth: 8, predictor: Predictor::TwoBit, ..dp };
+        assert_ne!(base, cell_key(towers, &d16, false, &deep), "a retimed machine is a new cell");
         assert_ne!(grid_key(towers, Isa::D16), grid_key(towers, Isa::Dlxe));
         assert_ne!(table4_key(towers), table4_key(queens));
         assert_ne!(fpu_key(towers), fpu_key(queens));
+        assert_ne!(psweep_key(towers), psweep_key(queens));
+    }
+
+    #[test]
+    fn psweep_roundtrips_and_rejects_damage() {
+        let rows = crate::experiments::pipeline_sweep("towers").unwrap();
+        assert_eq!(rows.len(), crate::suite::standard_specs().len());
+        for row in &rows {
+            assert_eq!(row.sweep.cells.len(), d16_sim::SWEEP_CELLS);
+            // The default-spec cell reproduces the live machine's timing
+            // constants: at depth 5 every predictor column is identical
+            // (zero penalty) and depths 3/4 carry no interlocks at all.
+            let d5 = row.sweep.cell(5, Predictor::None).unwrap();
+            for p in [Predictor::StaticTaken, Predictor::TwoBit] {
+                assert_eq!(row.sweep.cell(5, p).unwrap().cycles, d5.cycles, "{}", row.target);
+            }
+            assert_eq!(row.sweep.cell(3, Predictor::None).unwrap().interlock_cycles, 0);
+        }
+        let bytes = encode_psweep(&rows);
+        let back = decode_psweep(&bytes).unwrap();
+        assert_eq!(back, rows, "sweep rows restore bit-identically");
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_psweep(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! ([`Suite::cache_grid`]), so the full 20-configuration cache study walks
 //! each trace exactly once.
 
-use crate::measure::{measure_stored_with, MeasureError, Measurement};
+use crate::measure::{measure_stored_spec, MeasureError, Measurement};
 use d16_cc::TargetSpec;
 use d16_isa::Isa;
 use d16_mem::{CacheBank, CacheSystem};
 use d16_sim::Engine;
+use d16_sim::PipelineSpec;
 use d16_sim::TraceRecorder;
 use d16_store::Store;
 use d16_telemetry::{timed, Registry};
@@ -277,6 +278,34 @@ impl Suite {
         store: Option<Arc<Store>>,
         engine: Engine,
     ) -> Result<Suite, SuiteError> {
+        Self::collect_for_jobs_stored_spec(
+            workloads,
+            specs,
+            trace_cache,
+            jobs,
+            store,
+            engine,
+            PipelineSpec::default(),
+        )
+    }
+
+    /// [`Suite::collect_for_jobs_stored_with`] on an explicit
+    /// [`PipelineSpec`]: every cell is measured on the retimed machine
+    /// (non-default specs get their own store keys). The default spec is
+    /// byte-identical to the plain collection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_for_jobs_stored_spec(
+        workloads: &[&Workload],
+        specs: &[TargetSpec],
+        trace_cache: bool,
+        jobs: usize,
+        store: Option<Arc<Store>>,
+        engine: Engine,
+        pspec: PipelineSpec,
+    ) -> Result<Suite, SuiteError> {
         let items: Vec<(usize, usize)> =
             (0..workloads.len()).flat_map(|w| (0..specs.len()).map(move |s| (w, s))).collect();
         let run_cell = |&(wi, si): &(usize, usize)| -> CellResult {
@@ -286,7 +315,7 @@ impl Suite {
                 || *spec == TargetSpec::dlxe()
                 || *spec == TargetSpec::d16x();
             let want_trace = trace_cache && w.cache_benchmark && unrestricted;
-            measure_stored_with(w, spec, want_trace, store.as_deref(), engine).map_err(|e| {
+            measure_stored_spec(w, spec, want_trace, store.as_deref(), engine, pspec).map_err(|e| {
                 SuiteError::Measure {
                     workload: w.name.to_string(),
                     target: spec.label(),
@@ -448,8 +477,30 @@ impl Suite {
         store: Option<Arc<Store>>,
         engine: Engine,
     ) -> Result<Suite, SuiteError> {
+        Self::collect_jobs_stored_spec(jobs, store, engine, PipelineSpec::default())
+    }
+
+    /// [`Suite::collect_jobs_stored_with`] on an explicit [`PipelineSpec`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Suite::collect_for_jobs`].
+    pub fn collect_jobs_stored_spec(
+        jobs: usize,
+        store: Option<Arc<Store>>,
+        engine: Engine,
+        pspec: PipelineSpec,
+    ) -> Result<Suite, SuiteError> {
         let all: Vec<&Workload> = SUITE.iter().collect();
-        Self::collect_for_jobs_stored_with(&all, &standard_specs(), true, jobs, store, engine)
+        Self::collect_for_jobs_stored_spec(
+            &all,
+            &standard_specs(),
+            true,
+            jobs,
+            store,
+            engine,
+            pspec,
+        )
     }
 
     /// Measures the full paper grid with the default worker count.

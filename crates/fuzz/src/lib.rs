@@ -52,17 +52,23 @@ pub enum CaseResult {
 }
 
 /// Generates, checks, and (on failure) minimizes one case.
+///
+/// Besides the default-spec oracles, each case re-runs the engine
+/// agreement check at one pipeline configuration derived from the seed
+/// ([`oracle::pipeline_spec_for`]), so a budget run sweeps the
+/// depth × predictor × fetch-width grid for free.
 #[must_use]
 pub fn run_case(seed: u64) -> CaseResult {
     let mut rng = Rng::new(seed);
     let prog = gen::program(&mut rng);
-    match oracle::check(&prog) {
+    let pspec = oracle::pipeline_spec_for(seed);
+    match oracle::check_at(&prog, pspec) {
         oracle::Outcome::Ok => CaseResult::Ok,
         oracle::Outcome::TooLarge(why) => CaseResult::Skipped(why),
         oracle::Outcome::Diverged(_) => {
-            let small = shrink::minimize(prog);
+            let small = shrink::minimize(prog, pspec);
             let reference = interp::run(&small).unwrap_or(0);
-            let divergence = match oracle::check(&small) {
+            let divergence = match oracle::check_at(&small, pspec) {
                 oracle::Outcome::Diverged(d) => *d,
                 // The shrinker only accepts divergent candidates, so the
                 // final program must still diverge; defend anyway.
@@ -143,7 +149,23 @@ mod tests {
             },
         };
         assert_eq!(interp::run(&prog), Ok(6));
-        let small = shrink::minimize(prog.clone());
+        let small = shrink::minimize(prog.clone(), d16_sim::PipelineSpec::default());
         assert_eq!(small.to_c(), prog.to_c());
+    }
+
+    #[test]
+    fn seeded_pipeline_specs_are_deterministic_and_cover_the_grid() {
+        use std::collections::HashSet;
+        assert_eq!(oracle::pipeline_spec_for(7), oracle::pipeline_spec_for(7));
+        let distinct: HashSet<_> = (0..512u64)
+            .map(|s| {
+                let p = oracle::pipeline_spec_for(case_seed(1, s));
+                assert!(p.validate().is_ok(), "seeded spec invalid: {p:?}");
+                (p.depth, p.predictor.name(), p.fetch_width_halfwords)
+            })
+            .collect();
+        // 6 depths × 3 predictors × 3 widths = 54 cells; 512 decorrelated
+        // seeds must reach them all, including the default cell.
+        assert_eq!(distinct.len(), 54, "grid coverage: {}", distinct.len());
     }
 }

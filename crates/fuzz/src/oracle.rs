@@ -22,12 +22,29 @@
 use crate::ast::Prog;
 use crate::interp;
 use d16_cc::{compile_to_image_with, BuildError, OptLevel, TargetSpec};
-use d16_sim::{ChecksumSink, Engine, Machine, StopReason};
+use d16_sim::{
+    ChecksumSink, Engine, Machine, PipelineSpec, Predictor, StopReason, FETCH_WIDTHS,
+    PIPELINE_DEPTHS,
+};
 
 /// Simulator fuel per run — orders of magnitude above what the
 /// generator's cost model permits, so exhaustion means a codegen bug that
 /// turned a terminating program into a non-terminating one.
 pub const SIM_FUEL: u64 = 100_000_000;
+
+/// The extra pipeline configuration oracle 4 re-checks for a case seed.
+///
+/// Decorrelated seed bits pick depth, predictor, and fetch width, so a
+/// budget run walks the whole depth × predictor × width grid while any
+/// failing case replays its exact configuration from the seed alone.
+#[must_use]
+pub fn pipeline_spec_for(seed: u64) -> PipelineSpec {
+    PipelineSpec {
+        depth: PIPELINE_DEPTHS[(seed % PIPELINE_DEPTHS.len() as u64) as usize],
+        predictor: Predictor::ALL[((seed >> 8) % Predictor::ALL.len() as u64) as usize],
+        fetch_width_halfwords: FETCH_WIDTHS[((seed >> 16) % FETCH_WIDTHS.len() as u64) as usize],
+    }
+}
 
 /// The targets × opt levels every program runs on.
 pub fn grid() -> Vec<(TargetSpec, OptLevel)> {
@@ -132,8 +149,21 @@ pub enum Outcome {
     Diverged(Box<Divergence>),
 }
 
-/// Runs all oracles on a program's source text against a reference value.
+/// Runs all oracles on a program's source text against a reference value,
+/// at the default pipeline configuration.
 pub fn check_source(src: &str, reference: i32) -> Outcome {
+    check_source_at(src, reference, PipelineSpec::default())
+}
+
+/// Runs all oracles on a program's source text against a reference value.
+///
+/// The engine-agreement oracle always runs at the default pipeline spec
+/// (the byte-for-byte historical contract); when `pspec` is non-default
+/// it runs a second time at that configuration, which exercises the
+/// BlockEngine's dynamic lowering — fusion off, runtime scoreboard,
+/// predictor and misfetch accounting — a code path the default-spec
+/// comparison never reaches.
+pub fn check_source_at(src: &str, reference: i32, pspec: PipelineSpec) -> Outcome {
     for (spec, opt) in grid() {
         let image = match compile_to_image_with(&[src], &spec, opt) {
             Ok(i) => i,
@@ -186,6 +216,15 @@ pub fn check_source(src: &str, reference: i32) -> Outcome {
                 detail,
             }));
         }
+        if pspec != PipelineSpec::default() {
+            if let Some(detail) = engine_mismatch_at(&image, pspec) {
+                return Outcome::Diverged(Box::new(Divergence::EngineMismatch {
+                    target: spec.label(),
+                    opt,
+                    detail,
+                }));
+            }
+        }
         match interp_run {
             Ok(StopReason::Halted(v)) => {
                 if v != reference {
@@ -216,16 +255,57 @@ pub fn check_source(src: &str, reference: i32) -> Outcome {
     Outcome::Ok
 }
 
+/// Runs the image under both engines at `pspec` and renders the first
+/// disagreeing observable, or `None` when they agree.
+fn engine_mismatch_at(image: &d16_asm::Image, pspec: PipelineSpec) -> Option<String> {
+    let mut m = Machine::load(image);
+    m.set_pipeline(pspec);
+    let mut interp_sink = ChecksumSink::default();
+    let interp_run = m.run_with(Engine::Interp, SIM_FUEL, &mut interp_sink);
+    let mut mb = Machine::load(image);
+    mb.set_pipeline(pspec);
+    let mut blocks_sink = ChecksumSink::default();
+    let blocks_run = mb.run_with(Engine::Blocks, SIM_FUEL, &mut blocks_sink);
+    let at = format!(
+        "at depth {} predictor {} fetch {}",
+        pspec.depth,
+        pspec.predictor.name(),
+        pspec.fetch_width_halfwords
+    );
+    if format!("{interp_run:?}") != format!("{blocks_run:?}") {
+        return Some(format!("stop {at}: interp {interp_run:?}, blocks {blocks_run:?}"));
+    }
+    if m.stats() != mb.stats() {
+        return Some(format!("stats {at}: interp {:?}, blocks {:?}", m.stats(), mb.stats()));
+    }
+    if (interp_sink.count(), interp_sink.digest()) != (blocks_sink.count(), blocks_sink.digest()) {
+        return Some(format!(
+            "access stream {at}: interp {} accesses digest {:#018x}, blocks {} accesses digest {:#018x}",
+            interp_sink.count(),
+            interp_sink.digest(),
+            blocks_sink.count(),
+            blocks_sink.digest()
+        ));
+    }
+    None
+}
+
 /// Runs all oracles on a generated program, using the interpreter for the
 /// reference value.
 pub fn check(prog: &Prog) -> Outcome {
+    check_at(prog, PipelineSpec::default())
+}
+
+/// [`check`] with an extra engine-agreement pass at `pspec` (see
+/// [`check_source_at`]).
+pub fn check_at(prog: &Prog, pspec: PipelineSpec) -> Outcome {
     let reference = match interp::run(prog) {
         Ok(v) => v,
         // Fuel exhaustion means the generator's cost model failed, not a
         // compiler bug; treat like an oversized program.
         Err(e) => return Outcome::TooLarge(format!("interpreter: {e:?}")),
     };
-    check_source(&prog.to_c(), reference)
+    check_source_at(&prog.to_c(), reference, pspec)
 }
 
 /// Whether an assembler diagnostic is a static size/reach limit rather

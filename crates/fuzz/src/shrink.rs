@@ -18,21 +18,25 @@
 //! terminates; a step budget bounds the worst case anyway.
 
 use crate::ast::{CExpr, Expr, LValue, Prog, Stmt};
-use crate::oracle::{check, Outcome};
+use crate::oracle::{check_at, Outcome};
+use d16_sim::PipelineSpec;
 
 /// Upper bound on oracle evaluations during minimization.
 const BUDGET: usize = 3_000;
 
-/// Minimizes `prog` while `check` keeps reporting a divergence. Returns
-/// the smallest divergent program found.
-pub fn minimize(mut prog: Prog) -> Prog {
+/// Minimizes `prog` while the oracle keeps reporting a divergence,
+/// re-checking every candidate at the same pipeline configuration the
+/// original case ran under (a divergence that only manifests at a
+/// non-default spec would otherwise evaporate mid-shrink). Returns the
+/// smallest divergent program found.
+pub fn minimize(mut prog: Prog, pspec: PipelineSpec) -> Prog {
     let mut budget = BUDGET;
     let still_bad = |p: &Prog, budget: &mut usize| -> bool {
         if *budget == 0 {
             return false;
         }
         *budget -= 1;
-        matches!(check(p), Outcome::Diverged(_))
+        matches!(check_at(p, pspec), Outcome::Diverged(_))
     };
 
     loop {

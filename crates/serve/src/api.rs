@@ -13,7 +13,7 @@ use d16_bench::json::Json;
 use d16_cc::{BuildError, OptLevel, TargetSpec};
 use d16_core::experiments::cache_grid_configs;
 use d16_core::measure::FUEL;
-use d16_sim::{AccessSink, Engine, Machine, StopReason, TraceRecorder};
+use d16_sim::{AccessSink, Engine, Machine, PipelineSpec, Predictor, StopReason, TraceRecorder};
 use d16_store::{CacheKey, Reader, StableHasher, Store, Writer};
 use std::time::Instant;
 
@@ -41,6 +41,11 @@ pub struct RunRequest {
     pub fuel: u64,
     /// Whether to sweep the 20-config cache grid over the run's trace.
     pub sweep: bool,
+    /// Pipeline design point to retime the machine with. The default
+    /// spec adds nothing to the cache key and nothing to the body, so
+    /// requests that predate the knob keep their cached entries and
+    /// golden bodies; a non-default spec keys and reports itself.
+    pub pspec: PipelineSpec,
     /// Free-form client tag; subject string for the serve failpoints.
     pub tag: String,
 }
@@ -166,6 +171,9 @@ impl RunRequest {
             "d16_immediates",
             "cmpeqi",
             "schedule_delay_slots",
+            "pipeline_depth",
+            "pipeline_predictor",
+            "pipeline_fetch_halfwords",
         ];
         for (k, _) in obj {
             if !KNOWN.contains(&k.as_str()) {
@@ -257,8 +265,33 @@ impl RunRequest {
             return Err(ApiError::BadRequest(format!("`fuel` must be between 1 and {fuel_cap}")));
         }
         let sweep = bool_field("sweep")?.unwrap_or(false);
+        let u8_field = |name: &str| -> Result<Option<u8>, ApiError> {
+            match doc.get(name) {
+                None => Ok(None),
+                Some(v) => {
+                    v.as_u64().and_then(|n| u8::try_from(n).ok()).map(Some).ok_or_else(|| {
+                        ApiError::BadRequest(format!("`{name}` must be a small integer"))
+                    })
+                }
+            }
+        };
+        let mut pspec = PipelineSpec::default();
+        if let Some(d) = u8_field("pipeline_depth")? {
+            pspec.depth = d;
+        }
+        if let Some(p) = str_field("pipeline_predictor")? {
+            pspec.predictor = Predictor::parse(p).ok_or_else(|| {
+                ApiError::BadRequest(format!(
+                    "unknown predictor `{p}` (valid: none, taken, twobit)"
+                ))
+            })?;
+        }
+        if let Some(w) = u8_field("pipeline_fetch_halfwords")? {
+            pspec.fetch_width_halfwords = w;
+        }
+        pspec.validate().map_err(ApiError::BadRequest)?;
         let tag = str_field("tag")?.unwrap_or("").to_string();
-        Ok(RunRequest { source, spec, opt, engine, fuel, sweep, tag })
+        Ok(RunRequest { source, spec, opt, engine, fuel, sweep, pspec, tag })
     }
 
     /// The response-cache key: serve tag, full toolchain/source key,
@@ -277,6 +310,11 @@ impl RunRequest {
                 OptLevel::O2 => "O2",
             })
             .field_bool(self.sweep);
+        if self.pspec != PipelineSpec::default() {
+            h.field_u64(u64::from(self.pspec.depth))
+                .field_str(self.pspec.predictor.name())
+                .field_u64(u64::from(self.pspec.fetch_width_halfwords));
+        }
         if self.sweep {
             let configs = cache_grid_configs();
             h.field_u64(configs.len() as u64);
@@ -406,6 +444,7 @@ pub fn run(
     let mut rec = TraceRecorder::new();
     let t0 = Instant::now();
     let mut machine = Machine::load(&image);
+    machine.set_pipeline(req.pspec);
     let stop = {
         let mut sink =
             ServeSink { fb32: &mut fb32, fb64: &mut fb64, rec: req.sweep.then_some(&mut rec) };
@@ -451,7 +490,7 @@ pub fn run(
     };
 
     let stats = machine.stats();
-    let doc = Json::obj()
+    let mut doc = Json::obj()
         .with("schema", SERVE_TAG)
         .with("ok", true)
         .with("target", req.spec.label())
@@ -481,6 +520,20 @@ pub fn run(
         .with("ireq_bus32", fb32.irequests)
         .with("ireq_bus64", fb64.irequests)
         .with("sweep", sweep_json);
+    // Only a retimed machine reports its pipeline (and the two counters
+    // the default spec holds at zero): bodies of default-spec requests
+    // stay byte-identical to the pre-knob golden corpus.
+    if req.pspec != PipelineSpec::default() {
+        doc = doc.with(
+            "pipeline",
+            Json::obj()
+                .with("depth", u64::from(req.pspec.depth))
+                .with("predictor", req.pspec.predictor.name())
+                .with("fetch_halfwords", u64::from(req.pspec.fetch_width_halfwords))
+                .with("mispredicts", stats.mispredicts)
+                .with("misfetch_cycles", stats.misfetch_cycles),
+        );
+    }
     let body = body_bytes(&doc);
     let insns = stats.insns;
 
@@ -527,6 +580,12 @@ mod tests {
             (r#"{"workload":"towers","engine":"jit"}"#, "unknown engine `jit`"),
             (r#"{"workload":"towers","fuel":0}"#, "`fuel` must be between"),
             (r#"{"workload":"towers","frobnicate":1}"#, "unknown field `frobnicate`"),
+            (r#"{"workload":"towers","pipeline_depth":9}"#, "valid depths: 3 4 5 6 7 8"),
+            (
+                r#"{"workload":"towers","pipeline_predictor":"oracle"}"#,
+                "valid: none, taken, twobit",
+            ),
+            (r#"{"workload":"towers","pipeline_fetch_halfwords":3}"#, "valid widths: 1 2 4"),
         ];
         for (body, want) in cases {
             let err = RunRequest::parse(body.as_bytes(), cap).unwrap_err();
@@ -630,5 +689,43 @@ mod tests {
         by_fuel.fuel = 12345;
         by_fuel.engine = Engine::Interp;
         assert_eq!(base.key(), by_fuel.key());
+        // A non-default pipeline spec keys; spelling out the defaults
+        // does not.
+        let mut by_pipe = base.clone();
+        by_pipe.pspec = PipelineSpec { depth: 8, predictor: Predictor::TwoBit, ..base.pspec };
+        assert_ne!(base.key(), by_pipe.key());
+        let explicit = RunRequest::parse(
+            br#"{"workload":"towers","pipeline_depth":5,"pipeline_predictor":"none","pipeline_fetch_halfwords":2}"#,
+            DEFAULT_FUEL_CAP,
+        )
+        .unwrap();
+        assert_eq!(base.key(), explicit.key());
+    }
+
+    #[test]
+    fn pipeline_knobs_retime_the_run_and_report_themselves() {
+        let base = RunRequest::parse(br#"{"workload":"towers"}"#, DEFAULT_FUEL_CAP).unwrap();
+        let deep = RunRequest::parse(
+            br#"{"workload":"towers","pipeline_depth":8,"pipeline_predictor":"twobit"}"#,
+            DEFAULT_FUEL_CAP,
+        )
+        .unwrap();
+        let a = run(&base, None, deadline()).unwrap();
+        let b = run(&deep, None, deadline()).unwrap();
+        let base_doc = Json::parse(std::str::from_utf8(&a.body).unwrap()).unwrap();
+        let deep_doc = Json::parse(std::str::from_utf8(&b.body).unwrap()).unwrap();
+        assert!(base_doc.get("pipeline").is_none(), "default spec adds no body field");
+        let p = deep_doc.get("pipeline").expect("retimed run reports its pipeline");
+        assert_eq!(p.get("depth").and_then(Json::as_u64), Some(8));
+        assert_eq!(p.get("predictor").and_then(Json::as_str), Some("twobit"));
+        let il = |d: &Json| {
+            d.get("stats").and_then(|s| s.get("interlocks")).and_then(Json::as_u64).unwrap()
+        };
+        assert!(il(&deep_doc) > il(&base_doc), "depth 8 stretches the load-use shadow");
+        assert_eq!(
+            base_doc.get("exit").and_then(Json::as_u64),
+            deep_doc.get("exit").and_then(Json::as_u64),
+            "retiming never changes architectural results"
+        );
     }
 }

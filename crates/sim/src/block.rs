@@ -17,7 +17,7 @@
 //! execute through [`crate::Machine::step`], which stays the normative
 //! semantics.
 
-use crate::machine::{fuse_a_shape, fuse_b_matches, FuseA, Machine};
+use crate::machine::{fuse_a_shape, fuse_b_matches, FuseA, Machine, PipelineSpec};
 use d16_isa::{AluOp, Cond, Gpr, Insn, Isa, MemWidth, UnOp};
 
 /// Write-discard register-file slot: DLXe `r0` as a *destination* lowers
@@ -75,26 +75,33 @@ pub(crate) enum Uop {
     Nop,
 }
 
-/// A micro-op plus its statically known pipeline behavior: `stall` is set
-/// iff the *previous* micro-op in the block is a load whose destination
-/// this one reads, which is the only way a lowered instruction can
-/// interlock (one delay slot, full forwarding — every non-load result is
-/// ready at issue time). Such a stall is always exactly one cycle.
+/// A micro-op plus its statically known pipeline behavior: `stall` is the
+/// interlock cycles the step spends waiting on an earlier load in the
+/// *same block*, from a lowering-time scoreboard replay of the issue rule
+/// at the active spec's load-use distance. At the default depth (distance
+/// one) this reduces to the classic rule — only a load's destination read
+/// by the immediately following micro-op stalls, for exactly one cycle.
 ///
-/// Because every stall after the first micro-op is static, the cycle
-/// count at which each step completes is static too: `cum` is the number
-/// of cycles from block entry through the end of this step (issue cycles
-/// plus static stalls). At dispatch the engine adds the one dynamic
-/// quantity — the first micro-op's scoreboard stall — to the block's
-/// entry time and every step's clock is `entry + dynamic + cum`, so the
-/// hot loop carries no cycle arithmetic at all.
+/// With the stalls known, the cycle count at which each step completes is
+/// static too: `cum` is the number of cycles from block entry through the
+/// end of this step (issue cycles plus static stalls). At dispatch the
+/// engine adds the one dynamic quantity — the first micro-op's scoreboard
+/// stall — to the block's entry time and every step's clock is
+/// `entry + dynamic + cum`, so the hot loop carries no cycle arithmetic
+/// at all.
+///
+/// That static schedule is only *trusted* at the default spec: with a
+/// load-use distance above one, a load near the end of the previous block
+/// can stall micro-ops past the entry edge, so non-default-spec blocks
+/// run on the engine's dynamic timing path, which recomputes every stall
+/// against the live scoreboard and ignores `stall`/`cum` entirely.
 ///
 /// `Step` is the *lowering-time* form; what the block actually stores is
 /// the packed [`XStep`] each step encodes to.
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct Step {
     pub uop: Uop,
-    pub stall: bool,
+    pub stall: u32,
     pub cum: u32,
     /// Byte length of the source instruction (2 or 4 on D16x, else the
     /// ISA's fixed width).
@@ -340,9 +347,13 @@ pub(crate) struct XStep {
     pub c: u8,
     pub imm: u32,
     pub aux: u32,
-    /// See [`Step::stall`]; read only on the cold bail path.
-    pub stall: bool,
-    /// See [`Step::cum`]; `2 * MAX_BLOCK_LEN` fits a byte.
+    /// See [`Step::stall`]; read only on the cold bail path, and only
+    /// meaningful on the static timing path (saturated on encode — a
+    /// dynamic-timing block never reads it).
+    pub stall: u8,
+    /// See [`Step::cum`]; `2 * MAX_BLOCK_LEN` fits a byte on the static
+    /// timing path (stalls there are one cycle each), which is the only
+    /// path that reads it. Saturated on encode like `stall`.
     pub cum: u8,
     /// Byte length of the first (or only) component instruction: the
     /// dispatch loop's first fetch size and mid-pair PC advance.
@@ -363,8 +374,8 @@ fn encode(s: &Step) -> XStep {
         c: 0,
         imm: 0,
         aux: 0,
-        stall: s.stall,
-        cum: s.cum as u8,
+        stall: s.stall.min(u32::from(u8::MAX)) as u8,
+        cum: s.cum.min(u32::from(u8::MAX)) as u8,
         len1: s.len,
         tail: s.len,
     };
@@ -673,7 +684,7 @@ fn fuse_pair(x: &XStep, y: &XStep) -> Option<XStep> {
     let f = |code: u8, a: u8, b: u8, c: u8, imm: u32, aux: u32| {
         // No fusable first component is a load, so the second component
         // can never be the stalling side of a load-use pair.
-        debug_assert!(!y.stall, "second fusion component stalls without a load before it");
+        debug_assert!(y.stall == 0, "second fusion component stalls without a load before it");
         Some(XStep {
             code,
             a,
@@ -755,16 +766,22 @@ pub(crate) struct Block {
     pub totals: Tally,
     /// Total cycles for a completed block before the dynamic first-step
     /// stall: `steps.last().cum` (instruction issues plus static stalls).
+    /// Trusted only on the static timing path (see [`Step`]).
     pub cycles: u64,
-    /// Number of static ([`Step::stall`]) interlocks in the block; each
-    /// is exactly one cycle and one scoreboard event.
+    /// Number of static ([`Step::stall`]) interlock *events* in the
+    /// block. Static-path only, like [`Block::cycles`].
     pub static_stalls: u64,
-    /// 32-bit instruction-word transitions after the first instruction:
-    /// the block's fetch-word count minus the dynamic first-word term.
+    /// Static interlock *cycles* in the block (equals
+    /// [`Block::static_stalls`] at the default spec, where every static
+    /// stall is one cycle). Static-path only.
+    pub static_stall_cycles: u64,
+    /// Fetch-unit transitions after the first instruction, at the active
+    /// spec's fetch width: the block's fetch count minus the dynamic
+    /// first-unit term.
     pub words_after_first: u64,
-    /// Fetch word of the first instruction.
+    /// Fetch unit of the first instruction (spec's fetch width).
     pub first_word: u32,
-    /// Fetch word of the last byte of the last instruction.
+    /// Fetch unit of the last byte of the last instruction.
     pub last_word: u32,
     /// D16x: the (kind, register) a *prior* retired A-half must present
     /// for the block's first instruction to complete a fused pair (see
@@ -800,6 +817,24 @@ fn load_dest(u: &Uop) -> Option<u8> {
     }
 }
 
+/// The GPR slot the micro-op writes with *forwarded* (non-load) timing,
+/// if any: ready at issue time, exactly like the interpreter's
+/// `write_int`. The lowering-time scoreboard needs these to clear
+/// pending load-ready times a later micro-op overwrites — invisible at
+/// the default load-use distance of one, load-bearing above it.
+fn write_dest(u: &Uop) -> Option<u8> {
+    match *u {
+        Uop::Alu { rd, .. }
+        | Uop::AluI { rd, .. }
+        | Uop::Un { rd, .. }
+        | Uop::MovImm { rd, .. }
+        | Uop::Cmp { rd, .. }
+        | Uop::CmpI { rd, .. } => Some(rd),
+        Uop::Jl { link, .. } | Uop::Jal { link, .. } => Some(link),
+        _ => None,
+    }
+}
+
 /// Mapped source slots of a micro-op, mirroring [`Insn::use_gprs`] over
 /// the lowered set ([`ZERO_REG`] pads absent operands).
 fn uop_srcs(u: &Uop) -> [u8; 2] {
@@ -813,6 +848,33 @@ fn uop_srcs(u: &Uop) -> [u8; 2] {
         Uop::Jr { target } | Uop::Jl { target, .. } => [target, ZERO_REG],
         Uop::Jc { rs, target, .. } => [rs, target],
         Uop::MovImm { .. } | Uop::LdAbs { .. } | Uop::Br { .. } | Uop::Jal { .. } | Uop::Nop => {
+            [ZERO_REG; 2]
+        }
+    }
+}
+
+/// Mapped source slots of a *packed* step, for the dynamic-timing path's
+/// per-step interlock check ([`ZERO_REG`] pads absent operands). Mirrors
+/// [`uop_srcs`] over the [`XStep`] operand layout; fused opcodes never
+/// occur in dynamic-timing blocks (fusion is disabled there), so they
+/// fall through to the no-source row.
+pub(crate) fn xstep_srcs(x: &XStep) -> [u8; 2] {
+    match x.code {
+        opc::ALU_RR..=opc::SHRA_RR | opc::CMP_RR..=opc::GEU_RR => [x.b, x.c],
+        opc::ALU_RI..=opc::SHRA_RI
+        | opc::CMP_RI..=opc::GEU_RI
+        | opc::NEG
+        | opc::INV
+        | opc::MV
+        | opc::LD_B..=opc::LD_W => [x.b, ZERO_REG],
+        opc::ST_B..=opc::ST_W | opc::JC_Z | opc::JC_NZ => [x.a, x.b],
+        opc::BC_Z | opc::BC_NZ | opc::JR | opc::JL => [x.a, ZERO_REG],
+        _ => {
+            debug_assert!(
+                unfuse(x.code).is_none(),
+                "fused opcode {} in a dynamic-timing block",
+                x.code
+            );
             [ZERO_REG; 2]
         }
     }
@@ -940,7 +1002,7 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
         let len = u32::from(len);
         let Some(uop) = lower_insn(m, pc, len, &insn) else { break };
         let control = is_control(&uop);
-        steps.push(Step { uop, stall: false, cum: 0, len: len as u8 });
+        steps.push(Step { uop, stall: 0, cum: 0, len: len as u8 });
         metas.push((pc, len, insn));
         pc += len;
         if control {
@@ -954,7 +1016,7 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
                     let dlen = u32::from(dlen);
                     if let Some(duop) = lower_insn(m, pc, dlen, &dinsn) {
                         if !is_control(&duop) {
-                            steps.push(Step { uop: duop, stall: false, cum: 0, len: dlen as u8 });
+                            steps.push(Step { uop: duop, stall: 0, cum: 0, len: dlen as u8 });
                             metas.push((pc, dlen, dinsn));
                             exit = BlockExit::TakePending;
                         }
@@ -999,40 +1061,57 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
         exit_fuse = fuse_a_shape(last).map(|a| (lpc + llen, a));
     }
 
-    // Static load-use interlocks: only a load's destination read by the
-    // immediately following instruction can stall (see [`Step::stall`]).
-    for i in 1..steps.len() {
-        if let Some(d) = load_dest(&steps[i - 1].uop) {
-            if uop_srcs(&steps[i].uop).contains(&d) {
-                steps[i].stall = true;
-            }
+    // Static load-use interlocks: a lowering-time scoreboard replay of
+    // the interpreter's issue rule over the block body, ready times
+    // relative to block entry, at the active spec's load-use distance.
+    // At the default distance of one this reduces exactly to the classic
+    // rule — only a load's destination read by the immediately following
+    // micro-op stalls, for exactly one cycle (see [`Step`] for why the
+    // schedule is only trusted at the default spec).
+    let ldelay = m.pspec.load_delay();
+    let mut ready = [0u64; 64];
+    let mut t = 0u64;
+    let mut static_stalls = 0u64;
+    let mut static_stall_cycles = 0u64;
+    for s in &mut steps {
+        let srcs = uop_srcs(&s.uop);
+        let need = ready[srcs[0] as usize].max(ready[srcs[1] as usize]);
+        let stall = need.saturating_sub(t);
+        static_stalls += u64::from(stall > 0);
+        static_stall_cycles += stall;
+        t += stall + 1;
+        s.stall = stall as u32;
+        s.cum = t as u32;
+        if let Some(d) = load_dest(&s.uop) {
+            ready[d as usize] = t + ldelay;
+        } else if let Some(d) = write_dest(&s.uop) {
+            ready[d as usize] = t;
         }
     }
-
-    // With the stalls known, every step's completion cycle is static
-    // (relative to block entry plus the one dynamic first-step stall).
-    let mut cum = 0u32;
-    let mut static_stalls = 0u64;
-    for s in &mut steps {
-        cum += 1 + u32::from(s.stall);
-        static_stalls += u64::from(s.stall);
-        s.cum = cum;
-    }
+    let cum = t as u32;
 
     // With the architectural sums fixed, rename copied values back to
     // their origin slots, then pack the steps into their execution form
     // and fuse the hot adjacent pairs. All the per-instruction sums
     // (tally, cycles, stalls, fetch words) are over the semantic steps,
-    // so neither rewrite changes them.
+    // so neither rewrite changes them. Dynamic-timing blocks (non-default
+    // spec) skip both rewrites: the per-step scoreboard needs every
+    // step's *architectural* sources, and fused pairs would hide a
+    // component issue boundary.
+    let dynamic = m.pspec != PipelineSpec::default();
     let first_srcs = uop_srcs(&steps[0].uop);
-    propagate_copies(&mut steps);
-    let packed = fuse(steps.iter().map(encode).collect());
+    if !dynamic {
+        propagate_copies(&mut steps);
+    }
+    let packed: Vec<XStep> = steps.iter().map(encode).collect();
+    let packed = if dynamic { packed } else { fuse(packed) };
     debug_assert_eq!(tally(&steps), xtally(&packed), "opcode classification drifted");
     debug_assert_eq!(
         steps.len() as u32,
         packed.iter().map(|s| step_width(s.code)).sum::<u32>(),
         "fusion changed the retired-instruction count"
     );
+    let fmask = m.pspec.fetch_mask();
     let mut b = Block {
         start_pc,
         exit,
@@ -1041,9 +1120,10 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
         totals: tally(&steps),
         cycles: u64::from(cum),
         static_stalls,
+        static_stall_cycles,
         steps: packed.into_boxed_slice(),
         words_after_first: 0,
-        first_word: start_pc & !3,
+        first_word: start_pc & fmask,
         last_word: 0,
         head_fuse,
         exit_fuse,
@@ -1051,19 +1131,20 @@ pub(crate) fn lower_block(m: &Machine, start_pc: u32) -> Option<Block> {
         fused_cmp_br,
         fused_lui_addi,
     };
-    // Fetch-word transitions, mirroring the interpreter's two-word rule:
-    // each instruction moves the buffer to its first word, then to the
-    // word holding its last byte (a straddling 32-bit D16x instruction).
-    // The first instruction's *entry* transition is the dynamic term the
-    // engine adds at dispatch; its straddle is static and counted here.
+    // Fetch-unit transitions at the spec's fetch width, mirroring the
+    // interpreter's two-unit rule: each instruction moves the buffer to
+    // its first unit, then to the unit holding its last byte (an
+    // instruction straddling a unit boundary). The first instruction's
+    // *entry* transition is the dynamic term the engine adds at dispatch;
+    // its straddle is static and counted here.
     let mut prev_word = b.first_word;
     for &(mpc, mlen, _) in &metas {
-        let w0 = mpc & !3;
+        let w0 = mpc & fmask;
         if w0 != prev_word {
             b.words_after_first += 1;
             prev_word = w0;
         }
-        let w1 = (mpc + mlen - 1) & !3;
+        let w1 = (mpc + mlen - 1) & fmask;
         if w1 != prev_word {
             b.words_after_first += 1;
             prev_word = w1;

@@ -26,17 +26,28 @@
 //!   lowering time ([`crate::block::Tally`]) and added once per completed
 //!   block. A block that bails out at micro-op `i` recomputes the same
 //!   sums over the executed prefix (`bail` is the cold path).
-//! - **Static interlock analysis** — with one load delay slot and full
-//!   forwarding, a lowered instruction can only ever stall for exactly
-//!   one cycle, and only when the *immediately preceding* micro-op is a
-//!   load producing one of its sources. That pair is known at lowering
-//!   time ([`crate::block::Step::stall`]); only a block's first micro-op
+//! - **Static interlock analysis** — at the *default* pipeline spec,
+//!   with one load delay slot and full forwarding, a lowered instruction
+//!   can only ever stall for exactly one cycle, and only when the
+//!   *immediately preceding* micro-op is a load producing one of its
+//!   sources. That pair is known at lowering time
+//!   ([`crate::block::Step::stall`]); only a block's first micro-op
 //!   needs a dynamic scoreboard check (its predecessor ran in some other
 //!   block).
+//!
+//! A non-default [`crate::PipelineSpec`] breaks the second technique: a
+//! load-use distance above one lets a stale ready time survive past the
+//! next micro-op, so per-step timing must consult the live scoreboard.
+//! [`exec_block`] is therefore compiled in two flavors (`DYN` const
+//! generic): the static flavor is byte-for-byte the historical fast
+//! path, and the dynamic flavor re-checks every step's sources, commits
+//! the clock per step, and drives the shared branch predictor — with
+//! fusion and copy propagation disabled at lowering time so the packed
+//! operands stay architectural.
 
 use crate::access::AccessSink;
 use crate::block::{self, opc, Block, BlockExit};
-use crate::machine::{fuse_a_shape, FuseA, Machine};
+use crate::machine::{fuse_a_shape, FuseA, Machine, PipelineSpec};
 use crate::stats::{SimCounter, StopReason};
 use crate::SimError;
 use d16_isa::{AluOp, Cond, Isa, UnOp};
@@ -108,15 +119,19 @@ const SLOT_NO_BLOCK: u32 = u32::MAX - 1;
 
 /// The block cache plus its dispatch loop. One per [`Machine`], built
 /// lazily by [`Machine::run_blocks`] and kept across runs — the keying
-/// fields ([`Isa`], text extent, text checksum) only exist to detect a
-/// machine swap, since a machine's own text is immutable (stores into it
-/// fault).
+/// fields ([`Isa`], text extent, text checksum, [`PipelineSpec`]) only
+/// exist to detect a machine swap, since a machine's own text is
+/// immutable (stores into it fault). The pipeline spec is a keying field
+/// because lowering bakes spec-derived facts into blocks (static stall
+/// schedules, fetch-unit boundaries, fusion on/off): a cache built at
+/// one spec is silently wrong at another.
 #[derive(Clone, Debug)]
 pub struct BlockEngine {
     isa: Isa,
     text_base: u32,
     text_end: u32,
     text_sum: u64,
+    pspec: PipelineSpec,
     /// Direct-mapped: one slot per text instruction ([`SLOT_NONE`],
     /// [`SLOT_NO_BLOCK`], or an index into `blocks`).
     slots: Vec<u32>,
@@ -139,6 +154,7 @@ impl BlockEngine {
             text_base: m.text_base,
             text_end: m.text_end,
             text_sum: text_checksum(m),
+            pspec: m.pipeline(),
             slots: vec![SLOT_NONE; m.decoded.len()],
             blocks: Vec::new(),
             chain: Vec::new(),
@@ -146,11 +162,12 @@ impl BlockEngine {
         }
     }
 
-    /// Whether the cache was built from `m`'s text.
+    /// Whether the cache was built from `m`'s text *and* pipeline spec.
     pub(crate) fn matches(&self, m: &Machine) -> bool {
         self.isa == m.isa
             && self.text_base == m.text_base
             && self.text_end == m.text_end
+            && self.pspec == m.pipeline()
             && self.text_sum == text_checksum(m)
     }
 
@@ -220,6 +237,10 @@ impl BlockEngine {
         sink: &mut impl AccessSink,
     ) -> Result<StopReason, SimError> {
         let end = m.stats.insns + fuel;
+        // Non-default specs run every block through the dynamic-timing
+        // flavor of `exec_block`; the default spec keeps the historical
+        // static fast path, byte for byte.
+        let dyn_mode = self.pspec != PipelineSpec::default();
         // `ilen` is 2 or 4: strength-reduce the per-dispatch slot-index
         // division and the alignment remainder to a shift and a mask.
         let shift = m.isa.insn_bytes().trailing_zeros();
@@ -320,7 +341,12 @@ impl BlockEngine {
                 continue;
             }
             loop {
-                match exec_block(m, b, &mut acc, sink) {
+                let r = if dyn_mode {
+                    exec_block::<true, _>(m, b, &mut acc, sink)
+                } else {
+                    exec_block::<false, _>(m, b, &mut acc, sink)
+                };
+                match r {
                     Ok(()) => {
                         // Self-loop fast path: a block whose exit lands
                         // back on its own head (a single-block loop) can
@@ -341,7 +367,7 @@ impl BlockEngine {
                     Err(why) => {
                         acc.flush(m, &mut self.tele);
                         let b = &self.blocks[id as usize];
-                        bail(m, b, &why, &mut self.tele, sink)?;
+                        bail(m, b, &why, dyn_mode, &mut self.tele, sink)?;
                         break;
                     }
                 }
@@ -393,10 +419,21 @@ struct Acc {
 }
 
 impl Acc {
-    /// Folds one completed block (with its dynamic entry stall `d` and
-    /// conditional-branch outcomes) into the segment sums.
+    /// Folds one completed block (with its resolved load-use stall
+    /// events/cycles and conditional-branch outcomes) into the segment
+    /// sums. The caller supplies the stall totals because the two
+    /// [`exec_block`] flavors derive them differently: static sums plus
+    /// the entry stall on the fast path, live per-step counts on the
+    /// dynamic path.
     #[inline]
-    fn absorb(&mut self, b: &Block, d: u64, taken: u64, untaken: u64) {
+    fn absorb(
+        &mut self,
+        b: &Block,
+        stall_events: u64,
+        stall_cycles: u64,
+        taken: u64,
+        untaken: u64,
+    ) {
         self.insns += b.len() as u64;
         let tl = &b.totals;
         self.tally.ex_alu += tl.ex_alu;
@@ -408,8 +445,8 @@ impl Acc {
         self.tally.static_taken += tl.static_taken;
         self.taken += taken;
         self.untaken += untaken;
-        self.stall_events += b.static_stalls + u64::from(d > 0);
-        self.stall_cycles += b.static_stalls + d;
+        self.stall_events += stall_events;
+        self.stall_cycles += stall_cycles;
     }
 
     /// Applies the segment sums to the machine and engine counters and
@@ -448,6 +485,11 @@ struct Bail {
     pending: Option<u32>,
     taken: u64,
     untaken: u64,
+    /// Dynamic-path load-use stall events over the completed prefix
+    /// (always 0 on the static path, which recomputes from the steps).
+    events: u64,
+    /// Dynamic-path load-use stall cycles over the completed prefix.
+    cycles: u64,
 }
 
 /// FNV-1a over the text segment: the engine's staleness check for a
@@ -477,28 +519,62 @@ macro_rules! slot {
 /// loop establishes them): not halted, no pending branch target, and
 /// enough fuel for the whole block.
 ///
-/// The loop body carries no cycle arithmetic and no counter traffic:
-/// every step's clock is `base + Step::cum` with `base` fixed once at
-/// entry (the one dynamic scoreboard check), and all accounting lands in
-/// a handful of local adds ([`Acc::absorb`]) after the last micro-op
-/// retires. A would-fault micro-op returns [`Bail`]; the caller settles.
-fn exec_block(
+/// `DYN == false` (the default pipeline spec): the loop body carries no
+/// cycle arithmetic and no counter traffic — every step's clock is
+/// `base + Step::cum` with `base` fixed once at entry (the one dynamic
+/// scoreboard check), and all accounting lands in a handful of local
+/// adds ([`Acc::absorb`]) after the last micro-op retires.
+///
+/// `DYN == true` (any other spec): static stall schedules are unsound
+/// (a load-use distance above one outlives the next micro-op, and ready
+/// times must be cleared by later writes), so each step replays the
+/// interpreter's issue sequence exactly — scoreboard check against the
+/// live clock, clock commit, ready-time write, then branch-predictor
+/// update and misfetch charge. The stall/clock for a step are computed
+/// *before* its arm runs and committed *after* it, so a bailing arm
+/// leaves the machine exactly where the interpreter would re-find it.
+///
+/// Either way a would-fault micro-op returns [`Bail`]; the caller
+/// settles.
+fn exec_block<const DYN: bool, S: AccessSink>(
     m: &mut Machine,
     b: &Block,
     acc: &mut Acc,
-    sink: &mut impl AccessSink,
+    sink: &mut S,
 ) -> Result<(), Bail> {
-    // One dynamic interlock check per block: only the first micro-op can
-    // see a load delay from *outside* the block (see the module doc);
-    // every later stall is static and already folded into `Step::cum`.
-    let d = m.gpr_ready[slot!(b.first_srcs[0])]
-        .max(m.gpr_ready[slot!(b.first_srcs[1])])
-        .saturating_sub(m.t);
+    // One dynamic interlock check per block on the static path: only the
+    // first micro-op can see a load delay from *outside* the block (see
+    // the module doc); every later stall is static and already folded
+    // into `Step::cum`. The dynamic path folds the entry stall into its
+    // first per-step check instead.
+    let d = if DYN {
+        0
+    } else {
+        m.gpr_ready[slot!(b.first_srcs[0])]
+            .max(m.gpr_ready[slot!(b.first_srcs[1])])
+            .saturating_sub(m.t)
+    };
     let base = m.t + d;
+    let ldelay = m.pspec.load_delay();
+    let penalty = m.pspec.misfetch_penalty();
+    // Dynamic-path load-use stall totals for the block.
+    let (mut ev, mut cyc) = (0u64, 0u64);
     let mut pc = b.start_pc;
     let mut pending: Option<u32> = None;
     let (mut taken, mut untaken) = (0u64, 0u64);
     for (i, s) in b.steps.iter().enumerate() {
+        // Dynamic issue: resolve this step's stall and post-issue clock
+        // from the live scoreboard, but commit nothing until the arm has
+        // proven it cannot fault (a bail must leave no trace).
+        let (stall, t_next) = if DYN {
+            let srcs = block::xstep_srcs(s);
+            let need = m.gpr_ready[slot!(srcs[0])].max(m.gpr_ready[slot!(srcs[1])]);
+            let stall = need.saturating_sub(m.t);
+            (stall, m.t + stall + 1)
+        } else {
+            (0, 0)
+        };
+        let taken_before = taken;
         // The arm bodies, shared across the opcode groups. Defined inside
         // the loop so `m`/`s`/`pc`/`sink` are in scope at the definition
         // site (macro hygiene resolves them there).
@@ -544,14 +620,16 @@ fn exec_block(
             ($bl:literal, $a:ident, $val:expr) => {{
                 let ea = m.gpr[slot!(s.b)].wrapping_add(s.imm);
                 if ea as u64 + $bl > m.mem.len() as u64 || ea & ($bl as u32 - 1) != 0 {
-                    return Err(Bail { i, d, pending, taken, untaken });
+                    return Err(Bail { i, d, pending, taken, untaken, events: ev, cycles: cyc });
                 }
                 sink.fetch(pc, s.len1);
                 sink.read(ea, $bl as u8);
                 let $a = ea as usize;
                 m.gpr[slot!(s.a)] = $val;
-                // One load delay slot: ready the cycle after completion.
-                m.gpr_ready[slot!(s.a)] = base + u64::from(s.cum) + 1;
+                // Result ready `load_delay` cycles after issue (one on
+                // the static path, where issue time is `base + cum`).
+                m.gpr_ready[slot!(s.a)] =
+                    if DYN { t_next + ldelay } else { base + u64::from(s.cum) + 1 };
             }};
         }
         macro_rules! st {
@@ -561,7 +639,7 @@ fn exec_block(
                     || ea & ($bl as u32 - 1) != 0
                     || ea < m.data_base
                 {
-                    return Err(Bail { i, d, pending, taken, untaken });
+                    return Err(Bail { i, d, pending, taken, untaken, events: ev, cycles: cyc });
                 }
                 sink.fetch(pc, s.len1);
                 sink.write(ea, $bl as u8);
@@ -681,7 +759,8 @@ fn exec_block(
                 let a = s.imm as usize;
                 m.gpr[slot!(s.a)] =
                     u32::from_le_bytes(m.mem[a..a + 4].try_into().expect("4-byte slice"));
-                m.gpr_ready[slot!(s.a)] = base + u64::from(s.cum) + 1;
+                m.gpr_ready[slot!(s.a)] =
+                    if DYN { t_next + ldelay } else { base + u64::from(s.cum) + 1 };
             }
             opc::ST_B => st!(1u64, a, v, m.mem[a] = v as u8),
             opc::ST_H => {
@@ -849,16 +928,63 @@ fn exec_block(
             }
             code => unreachable!("invalid packed opcode {code}"),
         }
+        if DYN {
+            // Commit the issue resolved above, then replay the
+            // interpreter's post-execute bookkeeping: forwarded results
+            // become ready at issue time (overwriting any pending load
+            // ready time — the staleness the static path cannot see),
+            // and resolved control transfers update the shared predictor
+            // and charge the spec's misfetch bubbles. `pc` still points
+            // at this step: fused arms are the only ones that advance it
+            // mid-step and never occur in dynamic blocks.
+            if stall > 0 {
+                ev += 1;
+                cyc += stall;
+            }
+            m.t = t_next;
+            match s.code {
+                opc::ALU_RR..=opc::MOVI => m.gpr_ready[slot!(s.a)] = t_next,
+                opc::JL => m.gpr_ready[slot!(s.b)] = t_next,
+                opc::JAL => m.gpr_ready[slot!(s.a)] = t_next,
+                _ => {}
+            }
+            let resolved = match s.code {
+                opc::BR | opc::JR | opc::JL | opc::JAL => Some(true),
+                opc::BC_Z | opc::BC_NZ | opc::JC_Z | opc::JC_NZ => Some(taken > taken_before),
+                _ => None,
+            };
+            if let Some(tk) = resolved {
+                let mispredicted = m.predict_and_update(pc, tk);
+                if mispredicted && penalty > 0 {
+                    m.stats.mispredicts += 1;
+                    m.stats.misfetch_cycles += penalty;
+                    m.t += penalty;
+                }
+            }
+        }
         pc += u32::from(s.tail);
     }
 
     // Whole-block completion: fold the block's static sums and dynamic
     // outcomes into the segment accumulator (local adds, no counter
-    // memory traffic) and advance the per-block architectural state.
-    acc.absorb(b, d, taken, untaken);
+    // memory traffic) and advance the per-block architectural state. The
+    // dynamic path counted its stalls and advanced the clock per step;
+    // the static path derives both from the lowering-time schedule plus
+    // the entry stall.
+    if DYN {
+        acc.absorb(b, ev, cyc, taken, untaken);
+    } else {
+        acc.absorb(
+            b,
+            b.static_stalls + u64::from(d > 0),
+            b.static_stall_cycles + d,
+            taken,
+            untaken,
+        );
+        m.t = base + b.cycles;
+    }
     acc.words += b.words_after_first + u64::from(m.last_fetch_word != Some(b.first_word));
     m.last_fetch_word = Some(b.last_word);
-    m.t = base + b.cycles;
     if m.isa == Isa::D16x {
         // Fusion settlement: the pair split across the block's entry edge
         // (the machine's carried A-half against the block's head shape),
@@ -935,18 +1061,30 @@ fn bail(
     m: &mut Machine,
     b: &Block,
     why: &Bail,
+    dyn_mode: bool,
     tele: &mut Counters,
     sink: &mut impl AccessSink,
 ) -> Result<(), SimError> {
-    let Bail { i, d, pending, taken, untaken } = *why;
+    let Bail { i, d, pending, taken, untaken, events, cycles } = *why;
     // `i` counts packed steps; fused steps retire two instructions, so
     // every per-instruction prefix sum walks the step widths.
     let n: u32 = b.steps[..i].iter().map(|s| block::step_width(s.code)).sum();
     let prefix = block::xtally(&b.steps[..i]);
     apply_tally(m, u64::from(n), &prefix, taken, untaken);
-    if i > 0 {
-        let stalls = b.steps[..i].iter().filter(|s| s.stall).count() as u64;
-        let cycles = stalls + d;
+    if dyn_mode {
+        // The dynamic path already advanced the clock, ready times, and
+        // predictor per retired step; only the prefix's stall counters
+        // remain unapplied (they ride in the accumulator on the fast
+        // path, which was flushed before `bail`).
+        if cycles > 0 {
+            m.stats.interlocks += cycles;
+            m.stats.load_interlocks += cycles;
+            m.tele.add(SimCounter::LoadEvents, events);
+            m.tele.add(SimCounter::LoadCycles, cycles);
+        }
+    } else if i > 0 {
+        let stalls = b.steps[..i].iter().filter(|s| s.stall > 0).count() as u64;
+        let cycles = b.steps[..i].iter().map(|s| u64::from(s.stall)).sum::<u64>() + d;
         if cycles > 0 {
             m.stats.interlocks += cycles;
             m.stats.load_interlocks += cycles;
@@ -955,12 +1093,13 @@ fn bail(
         }
         m.t += d + u64::from(b.steps[i - 1].cum);
     }
-    // Fetch-word settlement over the retired prefix, walking the real
+    // Fetch-unit settlement over the retired prefix, walking the real
     // byte extents of every component instruction (two per fused step)
-    // with the interpreter's two-word rule: a transition to the
-    // instruction's first word, then one more when its last byte
-    // straddles into the next word. `last` tracks the final component
-    // for the fusion-state settlement below.
+    // with the interpreter's two-unit rule at the spec's fetch width: a
+    // transition to the instruction's first unit, then one more when its
+    // last byte straddles into the next unit. `last` tracks the final
+    // component for the fusion-state settlement below.
+    let fmask = m.pspec.fetch_mask();
     let mut words = 0u64;
     let mut prev = m.last_fetch_word;
     let mut pc = b.start_pc;
@@ -969,12 +1108,12 @@ fn bail(
         let segs = [s.len1, s.tail];
         let lo = usize::from(block::unfuse(s.code).is_none());
         for &seg in &segs[lo..] {
-            let w0 = pc & !3;
+            let w0 = pc & fmask;
             if prev != Some(w0) {
                 words += 1;
                 prev = Some(w0);
             }
-            let w1 = (pc + u32::from(seg) - 1) & !3;
+            let w1 = (pc + u32::from(seg) - 1) & fmask;
             if prev != Some(w1) {
                 words += 1;
                 prev = Some(w1);

@@ -1,13 +1,18 @@
-//! # d16-sim — the shared five-stage pipeline
+//! # d16-sim — the shared parameterized pipeline
 //!
 //! Executes linked D16 or DLXe images on the paper's pipeline model
 //! (Figure 3): single issue at one instruction per cycle peak, one branch
 //! delay slot, one load delay slot, and FPU-latency ("math unit")
-//! interlocks. The simulator produces the raw measurements behind every
-//! table in the paper — path length, loads/stores, interlock cycles, and
-//! word-granular instruction fetch traffic — and streams each memory
-//! reference to an [`AccessSink`] so the `d16-mem` models can attach cache
-//! or fetch-buffer timing.
+//! interlocks. The timing shape is a [`PipelineSpec`] — depth 3..=8, an
+//! optional branch predictor, and the fetch-unit width — whose default
+//! (depth 5, no predictor, one-word fetch) is exactly the paper's
+//! machine, byte for byte. The simulator produces the raw measurements
+//! behind every table in the paper — path length, loads/stores,
+//! interlock cycles, and fetch-unit-granular instruction fetch traffic —
+//! and streams each memory reference to an [`AccessSink`] so the
+//! `d16-mem` models can attach cache or fetch-buffer timing. A
+//! [`PipelineSweep`] collector scores the whole depth × predictor ×
+//! fetch-width grid against one execution.
 //!
 //! ```
 //! use d16_asm::build;
@@ -30,11 +35,16 @@ mod access;
 mod block;
 mod engine;
 mod machine;
+mod psweep;
 mod stats;
 
 pub use access::{Access, AccessSink, ChecksumSink, NullSink, TraceIter, TraceRecorder};
 pub use engine::{BlockEngine, Engine, EngineCounter, ENGINE_SCHEMA};
-pub use machine::{FpuLatency, Machine, SimError};
+pub use machine::{
+    FpuLatency, Machine, PipelineSpec, Predictor, SimError, BP_ENTRIES, FETCH_WIDTHS,
+    PIPELINE_DEPTHS,
+};
+pub use psweep::{PipelineSweep, SweepCell, SweepResult, SWEEP_CELLS};
 pub use stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
 
 #[cfg(test)]
@@ -412,11 +422,24 @@ v:      .word 3, 0
         src: &str,
         fuel: u64,
     ) -> (Machine, Result<StopReason, SimError>) {
+        assert_engines_agree_at(PipelineSpec::default(), isa, src, fuel)
+    }
+
+    /// [`assert_engines_agree`] at an explicit pipeline spec — the
+    /// non-default specs drive the engine's dynamic timing path.
+    fn assert_engines_agree_at(
+        spec: PipelineSpec,
+        isa: Isa,
+        src: &str,
+        fuel: u64,
+    ) -> (Machine, Result<StopReason, SimError>) {
         let image = build(isa, &[src]).expect("assemble/link");
         let mut mi = Machine::load(&image);
+        mi.set_pipeline(spec);
         let mut ti = TraceRecorder::new();
         let ri = mi.run(fuel, &mut ti);
         let mut mb = Machine::load(&image);
+        mb.set_pipeline(spec);
         let mut tb = TraceRecorder::new();
         let rb = mb.run_blocks(fuel, &mut tb);
         assert_eq!(ri, rb, "stop/fault disagree ({isa})");
@@ -665,5 +688,207 @@ loop:   subi r3, r3, 1
         other.fetch(0, 2);
         assert_ne!(other.digest(), ci.digest());
         assert_ne!(ChecksumSink::new().digest(), ci.digest());
+    }
+
+    // --- parameterized pipeline timing ---------------------------------
+
+    fn spec(depth: u8, predictor: Predictor, fw: u8) -> PipelineSpec {
+        PipelineSpec { depth, predictor, fetch_width_halfwords: fw }
+    }
+
+    /// The load-use stall is the spec's load-use distance, not a
+    /// hard-coded single cycle: regression for the fixed-depth assumption
+    /// the interpreter's issue accounting used to bake in.
+    #[test]
+    fn load_use_interlock_scales_with_depth() {
+        let src = "
+_start: la r9, v
+        ld r2, 0(r9)
+        addi r2, r2, 1      ; uses r2 at distance one
+        trap 0
+        .data
+v:      .word 5
+";
+        let image = build(Isa::Dlxe, &[src]).expect("assemble/link");
+        for (depth, want) in [(3u8, 0u64), (4, 0), (5, 1), (6, 2), (7, 3), (8, 4)] {
+            let mut m = Machine::load(&image);
+            m.set_pipeline(spec(depth, Predictor::None, 2));
+            let stop = m.run(1_000, &mut NullSink).expect("run");
+            assert_eq!(stop.exit_status(), Some(6), "depth {depth}");
+            assert_eq!(m.stats().load_interlocks, want, "depth {depth}");
+            assert_eq!(m.stats().interlocks, want, "depth {depth}");
+        }
+    }
+
+    /// Misfetch bubbles appear above depth 5 and depend on the predictor;
+    /// the default spec stays penalty-free. Regression for the
+    /// delay-slot-absorbs-everything branch arithmetic.
+    #[test]
+    fn misfetch_penalty_depends_on_depth_and_predictor() {
+        // 10 loop iterations: 10 conditional branches, 9 taken.
+        let src = "
+_start: mvi r2, 0
+        mvi r4, 0
+        mvi r3, 10
+loop:   subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, loop
+        addi r2, r2, 1
+        trap 0
+";
+        let image = build(Isa::D16, &[src]).expect("assemble/link");
+        // (predictor, expected mispredicts at depth 7): no prediction
+        // misses every taken transfer; static-taken misses the one
+        // fall-through; two-bit (from strongly-not-taken) misses the
+        // first two takens and the final untaken.
+        let cases = [(Predictor::None, 9u64), (Predictor::StaticTaken, 1), (Predictor::TwoBit, 3)];
+        for (p, want) in cases {
+            let mut m = Machine::load(&image);
+            m.set_pipeline(spec(7, p, 2));
+            m.run(1_000, &mut NullSink).expect("run");
+            assert_eq!(m.stats().mispredicts, want, "{p:?}");
+            assert_eq!(m.stats().misfetch_cycles, want * 2, "depth 7 charges 2 bubbles ({p:?})");
+            assert_eq!(
+                m.stats().base_cycles(),
+                m.stats().insns + m.stats().interlocks + want * 2,
+                "{p:?}"
+            );
+        }
+        let mut m = Machine::load(&image);
+        m.run(1_000, &mut NullSink).expect("run");
+        assert_eq!(m.stats().mispredicts, 0, "default spec is penalty-free");
+        assert_eq!(m.stats().misfetch_cycles, 0);
+    }
+
+    /// Fetch-traffic accounting follows the spec's fetch width.
+    #[test]
+    fn ifetch_units_follow_fetch_width() {
+        // Six sequential D16 halfword instructions: 6 one-halfword units,
+        // 3 words, 2 double-words (4 insns + 2 insns).
+        let src = "_start: nop\nnop\nnop\nnop\nmvi r2, 0\ntrap 0\n";
+        let image = build(Isa::D16, &[src]).expect("assemble/link");
+        for (fw, want) in [(1u8, 6u64), (2, 3), (4, 2)] {
+            let mut m = Machine::load(&image);
+            m.set_pipeline(spec(5, Predictor::None, fw));
+            m.run(1_000, &mut NullSink).expect("run");
+            assert_eq!(m.stats().ifetch_words, want, "fetch width {fw} halfwords");
+        }
+    }
+
+    /// Both engines agree on every observable at non-default specs — the
+    /// dynamic timing path against the interpreter. Covers stretched
+    /// load-use distances (stale static stall bits would miscount),
+    /// cross-block load shadows, predictor state, and misfetch charges.
+    #[test]
+    fn engines_agree_at_nondefault_specs() {
+        let specs = [
+            spec(6, Predictor::None, 2),
+            spec(8, Predictor::TwoBit, 1),
+            spec(3, Predictor::StaticTaken, 4),
+            spec(7, Predictor::StaticTaken, 2),
+        ];
+        let programs: &[(Isa, &str)] = &[
+            (
+                Isa::D16,
+                "
+_start: mvi r2, 0
+        mvi r4, 0
+        mvi r3, 10
+loop:   subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, loop
+        addi r2, r2, 1
+        trap 0
+",
+            ),
+            (Isa::D16, "_start: ldc r2, =1234\naddi r2, r2, 1\ntrap 0\n"),
+            (
+                Isa::Dlxe,
+                "_start: la r9, v\nld r2, 0(r9)\naddi r2, r2, 1\ntrap 0\n.data\nv: .word 5\n",
+            ),
+            (
+                // A load at the end of one block shadowing the next
+                // block's entry: the cross-block hazard the static path's
+                // one-entry check cannot represent at distance > 1.
+                Isa::Dlxe,
+                "
+_start: la r9, v
+        mvi r3, 3
+loop:   ld r2, 0(r9)
+        subi r3, r3, 1
+        bnz r3, loop
+        addi r2, r2, 1      ; delay slot uses the load result
+        trap 0
+        .data
+v:      .word 5
+",
+            ),
+            (
+                Isa::Dlxe,
+                "_start: mvi r2, 21\njal double_it\nnop\ntrap 0\ndouble_it: add r2, r2, r2\nret\nnop\n",
+            ),
+            (Isa::D16x, "_start: mvi r3, 9\ncmpne r3, r0\nbnz r0, t\nnop\nt: mvi r2, 7\ntrap 0\n"),
+        ];
+        for sp in specs {
+            for &(isa, src) in programs {
+                let _ = assert_engines_agree_at(sp, isa, src, 1_000_000);
+            }
+            // Bail paths under dynamic timing: a mid-block fault and fuel
+            // expiring mid-block.
+            let _ = assert_engines_agree_at(
+                sp,
+                Isa::Dlxe,
+                "_start: mvi r9, 0\nla r9, _start\nst r9, 0(r9)\ntrap 0\n",
+                100,
+            );
+            for fuel in [1u64, 2, 3, 7] {
+                let _ = assert_engines_agree_at(sp, Isa::D16, "_start: br _start\nnop\n", fuel);
+            }
+        }
+    }
+
+    /// The block cache is keyed by the active pipeline spec: a cache
+    /// built at one spec must be rebuilt — not reused — at another, or
+    /// its baked-in stall schedule and fusion decisions leak across.
+    #[test]
+    fn block_cache_is_keyed_by_pipeline_spec() {
+        let src = "
+_start: mvi r2, 0
+        mvi r4, 0
+        mvi r3, 10
+loop:   subi r3, r3, 1
+        cmpne r3, r4
+        bnz r0, loop
+        addi r2, r2, 1
+        trap 0
+";
+        let image = build(Isa::D16, &[src]).expect("assemble/link");
+        let fresh = |sp: PipelineSpec| {
+            let mut m = Machine::load(&image);
+            m.set_pipeline(sp);
+            m.run_blocks(1_000_000, &mut NullSink).expect("run");
+            *m.stats()
+        };
+        let deep = spec(8, Predictor::TwoBit, 2);
+        let want5 = fresh(PipelineSpec::default());
+        let want8 = fresh(deep);
+        assert_ne!(want5, want8, "depth 8 must time differently");
+        // Alternate specs across runs, transplanting the engine cache
+        // each time; a cache not keyed by spec would serve the previous
+        // spec's blocks and reproduce the wrong stats.
+        let mut engine = None;
+        for (sp, want) in [
+            (PipelineSpec::default(), want5),
+            (deep, want8),
+            (PipelineSpec::default(), want5),
+            (deep, want8),
+        ] {
+            let mut m = Machine::load(&image);
+            m.set_pipeline(sp);
+            m.engine = engine.take();
+            m.run_blocks(1_000_000, &mut NullSink).expect("run");
+            assert_eq!(*m.stats(), want, "spec {sp:?}");
+            engine = m.engine.take();
+        }
     }
 }

@@ -1,12 +1,16 @@
-//! The five-stage pipeline machine model.
+//! The pipelined machine model (five-stage by default).
 //!
 //! Functionally this is an instruction-level interpreter; architecturally
 //! it models the paper's pipeline (Figure 3): single issue, one branch
-//! delay slot, one load delay slot, and a non-pipelined FPU whose latency
+//! delay slot, a load delay derived from the pipeline depth (one slot at
+//! the default depth of five), and a non-pipelined FPU whose latency
 //! produces "math unit" interlocks. Interlock *cycles* are accounted with a
 //! small scoreboard (register-ready times) rather than by simulating stage
-//! registers — the counts are exactly those of an in-order five-stage
-//! pipeline with full forwarding.
+//! registers — the counts are exactly those of an in-order pipeline of the
+//! configured [`PipelineSpec`] with full forwarding. The default spec
+//! reproduces the paper's fixed five-stage machine bit for bit; deeper
+//! specs add load-delay slots and misfetch bubbles whose cost the
+//! configured branch [`Predictor`] mitigates (DESIGN.md §14).
 
 use crate::access::AccessSink;
 use crate::stats::{ExecStats, SimCounter, StopReason, SIM_SCHEMA};
@@ -35,6 +39,126 @@ pub struct FpuLatency {
 impl Default for FpuLatency {
     fn default() -> Self {
         FpuLatency { add: 2, mul: 4, div_s: 12, div_d: 19, cvt: 2 }
+    }
+}
+
+/// Branch predictor of the modeled front end. The predictor guesses
+/// whether each control transfer redirects; a wrong guess costs
+/// [`PipelineSpec::misfetch_penalty`] bubbles (zero at the default depth,
+/// where redirect resolves within the delay slot). Targets are assumed
+/// perfectly known on a correct taken-guess (an ideal BTB), so the model
+/// isolates the *direction* cost the paper's fixed pipeline hides.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Predictor {
+    /// No prediction: fetch falls through, so every taken transfer
+    /// misfetches. The paper's machine (penalty-free at depth 5).
+    None,
+    /// Predict every control transfer taken: untaken branches misfetch.
+    StaticTaken,
+    /// Per-branch two-bit saturating counters ([`BP_ENTRIES`] entries,
+    /// indexed by the branch PC), initialized strongly-not-taken.
+    TwoBit,
+}
+
+impl Predictor {
+    /// Stable lowercase name (CLI and serve knob value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Predictor::None => "none",
+            Predictor::StaticTaken => "taken",
+            Predictor::TwoBit => "twobit",
+        }
+    }
+
+    /// Parses [`Predictor::name`]; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Predictor> {
+        match s {
+            "none" => Some(Predictor::None),
+            "taken" => Some(Predictor::StaticTaken),
+            "twobit" => Some(Predictor::TwoBit),
+            _ => None,
+        }
+    }
+
+    /// Every predictor, in sweep-grid order.
+    pub const ALL: [Predictor; 3] = [Predictor::None, Predictor::StaticTaken, Predictor::TwoBit];
+}
+
+/// Two-bit-counter table size (entries); a power of two so the branch PC
+/// indexes it with a mask.
+pub const BP_ENTRIES: usize = 512;
+
+/// The timing shape of the modeled pipeline. The default — depth 5, no
+/// predictor, two-halfword (one word) fetch — is exactly the paper's
+/// machine, and every derived penalty collapses to the historical
+/// constants there. Deeper pipelines stretch the load-use distance and
+/// charge misfetch bubbles for wrong front-end guesses; the fetch width
+/// sets the granularity of instruction-fetch traffic accounting.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PipelineSpec {
+    /// Pipeline depth in stages, `3..=8`. Depths 3 and 4 time identically
+    /// (both have a zero-cycle load-use distance and no misfetch cost).
+    pub depth: u8,
+    /// Front-end branch predictor.
+    pub predictor: Predictor,
+    /// Fetch-unit width in halfwords (`1`, `2` or `4`); the granularity
+    /// [`ExecStats::ifetch_words`] counts in.
+    pub fetch_width_halfwords: u8,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec { depth: 5, predictor: Predictor::None, fetch_width_halfwords: 2 }
+    }
+}
+
+/// Valid pipeline depths (the sweep grid's depth axis).
+pub const PIPELINE_DEPTHS: [u8; 6] = [3, 4, 5, 6, 7, 8];
+
+/// Valid fetch widths in halfwords (the sweep grid's fetch axis).
+pub const FETCH_WIDTHS: [u8; 3] = [1, 2, 4];
+
+impl PipelineSpec {
+    /// Load-use delay in cycles: how many issue slots after a load its
+    /// result stays unforwardable (`depth - 4`, floored at zero). One at
+    /// the default depth — the paper's single load delay slot.
+    pub fn load_delay(&self) -> u64 {
+        u64::from(self.depth.saturating_sub(4))
+    }
+
+    /// Bubbles charged when the front end guessed a control transfer's
+    /// direction wrong (`depth - 5`, floored at zero). Zero at the
+    /// default depth: the delay slot absorbs the redirect, which is why
+    /// the paper's machine needs no predictor.
+    pub fn misfetch_penalty(&self) -> u64 {
+        u64::from(self.depth.saturating_sub(5))
+    }
+
+    /// Address mask selecting the fetch unit an instruction byte lives in.
+    pub fn fetch_mask(&self) -> u32 {
+        !(2 * u32::from(self.fetch_width_halfwords) - 1)
+    }
+
+    /// Checks the spec against the supported grid.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the bad knob and the valid values, suitable for
+    /// CLI/API diagnostics.
+    pub fn validate(&self) -> Result<(), String> {
+        if !PIPELINE_DEPTHS.contains(&self.depth) {
+            return Err(format!(
+                "pipeline depth {} is off-grid; valid depths: 3 4 5 6 7 8",
+                self.depth
+            ));
+        }
+        if !FETCH_WIDTHS.contains(&self.fetch_width_halfwords) {
+            return Err(format!(
+                "fetch width {} halfwords is off-grid; valid widths: 1 2 4",
+                self.fetch_width_halfwords
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +301,11 @@ pub struct Machine {
     pub(crate) stats: ExecStats,
     pub(crate) tele: Counters,
     lat: FpuLatency,
+    pub(crate) pspec: PipelineSpec,
+    /// Two-bit predictor counters, live only when
+    /// `pspec.predictor == Predictor::TwoBit`. Boxed: the table is dead
+    /// weight at the default spec and `Machine` is cloned in tests.
+    pub(crate) bp: Box<[u8; BP_ENTRIES]>,
     // Scoreboard for interlock accounting.
     pub(crate) t: u64,
     pub(crate) gpr_ready: [u64; GPR_SLOTS],
@@ -184,6 +313,10 @@ pub struct Machine {
     fpsr_ready: u64,
     fpu_free: u64,
     pub(crate) last_fetch_word: Option<u32>,
+    /// Pipeline-sweep collector, scoring every sweep configuration from
+    /// this machine's single interpreter pass when attached
+    /// ([`Machine::attach_pipeline_sweep`]). `None` costs nothing.
+    sweep: Option<Box<crate::psweep::PipelineSweep>>,
     /// D16x macro-op fusion: the A-shape the last retired instruction
     /// offered, with the PC a fusable successor must retire at. Always
     /// `None` on D16 and DLXe.
@@ -269,12 +402,15 @@ impl Machine {
             stats: ExecStats::default(),
             tele: Counters::new(&SIM_SCHEMA),
             lat: FpuLatency::default(),
+            pspec: PipelineSpec::default(),
+            bp: Box::new([0; BP_ENTRIES]),
             t: 0,
             gpr_ready: [0; GPR_SLOTS],
             fpr_ready: [0; 32],
             fpsr_ready: 0,
             fpu_free: 0,
             last_fetch_word: None,
+            sweep: None,
             fuse_prev: None,
             engine: None,
         }
@@ -283,6 +419,32 @@ impl Machine {
     /// Overrides the FPU latency model.
     pub fn set_fpu_latency(&mut self, lat: FpuLatency) {
         self.lat = lat;
+    }
+
+    /// Overrides the pipeline timing model and resets the predictor
+    /// state. Call before running; the block engine detects the change
+    /// and relowers its cache ([`crate::engine::BlockEngine::matches`]).
+    pub fn set_pipeline(&mut self, spec: PipelineSpec) {
+        self.pspec = spec;
+        *self.bp = [0; BP_ENTRIES];
+    }
+
+    /// The active pipeline timing model.
+    pub fn pipeline(&self) -> PipelineSpec {
+        self.pspec
+    }
+
+    /// Attaches a pipeline-sweep collector: every instruction retired by
+    /// the *interpreter* ([`Machine::run`]) from now on is also scored
+    /// against every configuration of the sweep grid. Detach with
+    /// [`Machine::take_pipeline_sweep`].
+    pub fn attach_pipeline_sweep(&mut self, sweep: crate::psweep::PipelineSweep) {
+        self.sweep = Some(Box::new(sweep));
+    }
+
+    /// Detaches and returns the sweep collector, if one is attached.
+    pub fn take_pipeline_sweep(&mut self) -> Option<crate::psweep::PipelineSweep> {
+        self.sweep.take().map(|b| *b)
     }
 
     /// The ISA of the loaded program.
@@ -438,15 +600,17 @@ impl Machine {
             .ok_or(SimError::IllegalInsn { pc })?;
         let ilen = u32::from(len);
 
-        // Fetch accounting. A D16x escape straddling a word boundary pulls
-        // both words through the one-word fetch buffer.
+        // Fetch accounting, at the spec's fetch-unit granularity (one
+        // word by default). A D16x escape straddling a unit boundary
+        // pulls both units through the one-unit fetch buffer.
         sink.fetch(pc, len);
-        let word = pc & !3;
+        let fmask = self.pspec.fetch_mask();
+        let word = pc & fmask;
         if self.last_fetch_word != Some(word) {
             self.stats.ifetch_words += 1;
             self.tele.bump(SimCounter::IfWords);
         }
-        let tail_word = (pc + ilen - 1) & !3;
+        let tail_word = (pc + ilen - 1) & fmask;
         if tail_word != word {
             self.stats.ifetch_words += 1;
             self.tele.bump(SimCounter::IfWords);
@@ -516,7 +680,8 @@ impl Machine {
                 self.stats.loads += 1;
                 self.set_gpr(rd, v);
                 self.tele.bump(SimCounter::WbGpr);
-                self.gpr_ready[rd.index()] = self.t + 1; // one load delay slot
+                // `depth - 4` load delay slots (one at the default depth).
+                self.gpr_ready[rd.index()] = self.t + self.pspec.load_delay();
             }
             Insn::Ldc { rd, disp } => {
                 let addr = ((pc + 2 + 3) & !3).wrapping_add(disp as u32);
@@ -524,7 +689,7 @@ impl Machine {
                 self.stats.loads += 1;
                 self.set_gpr(rd, v);
                 self.tele.bump(SimCounter::WbGpr);
-                self.gpr_ready[rd.index()] = self.t + 1;
+                self.gpr_ready[rd.index()] = self.t + self.pspec.load_delay();
             }
             Insn::St { w, rs, base, disp } => {
                 let addr = self.gpr(base).wrapping_add(disp as u32);
@@ -688,6 +853,17 @@ impl Machine {
             } else {
                 self.tele.bump(SimCounter::CtlUntaken);
             }
+            // Front-end direction guess: a wrong one costs the spec's
+            // misfetch bubbles. Zero-penalty depths keep the counters at
+            // zero so the default spec's stats are bit-identical to the
+            // historical fixed-depth model.
+            let mispredicted = self.predict_and_update(pc, t.is_some());
+            let penalty = self.pspec.misfetch_penalty();
+            if mispredicted && penalty > 0 {
+                self.stats.mispredicts += 1;
+                self.stats.misfetch_cycles += penalty;
+                self.t += penalty;
+            }
             self.pending_target = Some(t.unwrap_or_else(|| pc + ilen + self.next_len(pc + ilen)));
             self.pc = pc + ilen;
         } else if let Some(t) = self.pending_target.take() {
@@ -719,7 +895,31 @@ impl Machine {
             }
             self.fuse_prev = fuse_a_shape(&insn).map(|a| (pc + ilen, a));
         }
+
+        // Score the retired instruction against every sweep configuration
+        // (a no-op unless a collector is attached). Taken out and put back
+        // so the collector can borrow the machine-independent facts.
+        if let Some(mut sw) = self.sweep.take() {
+            sw.retire(&insn, self.isa, &self.lat, pc, ilen, target.map(|t| t.is_some()));
+            self.sweep = Some(sw);
+        }
         Ok(())
+    }
+
+    /// Updates the predictor with a resolved control transfer and reports
+    /// whether the front end guessed its direction wrong. Shared verbatim
+    /// by the block engine so both engines see identical predictor state.
+    pub(crate) fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
+        match self.pspec.predictor {
+            Predictor::None => taken,
+            Predictor::StaticTaken => !taken,
+            Predictor::TwoBit => {
+                let i = ((pc >> 1) as usize) & (BP_ENTRIES - 1);
+                let c = self.bp[i];
+                self.bp[i] = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+                (c >= 2) != taken
+            }
+        }
     }
 
     /// Byte length of the instruction at `pc`, from the length-decode rule
@@ -777,59 +977,14 @@ impl Machine {
     /// readiness the earlier-checked class wins — result, busy, status —
     /// which is deterministic).
     fn account_interlocks(&mut self, insn: &Insn) {
-        let mut load_need = 0u64;
-        for r in insn.use_gprs().into_iter().flatten() {
-            if !(self.isa == Isa::Dlxe && r == abi::R0) {
-                load_need = load_need.max(self.gpr_ready[r.index()]);
-            }
-        }
-        let mut fpu_need = 0u64;
-        let mut fpu_src = FpuStall::Result;
-        let mut raise = |v: u64, src: FpuStall| {
-            if v > fpu_need {
-                fpu_need = v;
-                fpu_src = src;
-            }
-        };
-        let pair_ready = |ready: &[u64; 32], r: d16_isa::Fpr, d: bool| -> u64 {
-            let v = ready[r.index()];
-            if d {
-                v.max(ready[r.index() | 1])
-            } else {
-                v
-            }
-        };
-        match *insn {
-            Insn::FAlu { prec, fs1, fs2, .. } => {
-                let d = prec == Prec::D;
-                raise(pair_ready(&self.fpr_ready, fs1, d), FpuStall::Result);
-                raise(pair_ready(&self.fpr_ready, fs2, d), FpuStall::Result);
-                raise(self.fpu_free, FpuStall::Busy);
-            }
-            Insn::FNeg { prec, fs, .. } => {
-                raise(pair_ready(&self.fpr_ready, fs, prec == Prec::D), FpuStall::Result);
-                raise(self.fpu_free, FpuStall::Busy);
-            }
-            Insn::FCmp { prec, fs1, fs2, .. } => {
-                let d = prec == Prec::D;
-                raise(pair_ready(&self.fpr_ready, fs1, d), FpuStall::Result);
-                raise(pair_ready(&self.fpr_ready, fs2, d), FpuStall::Result);
-                raise(self.fpu_free, FpuStall::Busy);
-            }
-            Insn::Cvt { op, fs, .. } => {
-                raise(pair_ready(&self.fpr_ready, fs, op.src_is_double()), FpuStall::Result);
-                raise(self.fpu_free, FpuStall::Busy);
-            }
-            Insn::Mtf { fd, .. } => {
-                // The FPU must be free to accept the transfer.
-                raise(pair_ready(&self.fpr_ready, fd, false), FpuStall::Result);
-            }
-            Insn::Mff { fs, .. } => {
-                raise(pair_ready(&self.fpr_ready, fs, false), FpuStall::Result);
-            }
-            Insn::Rdsr { .. } => raise(self.fpsr_ready, FpuStall::Status),
-            _ => {}
-        }
+        let (load_need, fpu_need, fpu_src) = issue_needs(
+            insn,
+            self.isa,
+            &self.gpr_ready,
+            &self.fpr_ready,
+            self.fpsr_ready,
+            self.fpu_free,
+        );
         let need = load_need.max(fpu_need);
         let stall = need.saturating_sub(self.t);
         if stall > 0 {
@@ -919,13 +1074,165 @@ impl Machine {
 /// Which FPU resource an interlock stall is waiting on; used to pick the
 /// telemetry counter class in [`Machine::account_interlocks`].
 #[derive(Copy, Clone, PartialEq, Eq)]
-enum FpuStall {
+pub(crate) enum FpuStall {
     /// An FPU result register is not yet written back.
     Result,
     /// The non-pipelined FPU is still executing an earlier operation.
     Busy,
     /// The FP status register is not yet valid (`rdsr`).
     Status,
+}
+
+/// The scoreboard times `insn` must wait for before issuing:
+/// `(integer-register need, FPU need, FPU stall class)`. This is *the*
+/// issue rule — the interpreter's interlock accounting and the
+/// pipeline-sweep replayer both call it, so a swept configuration whose
+/// knobs equal the live machine's scores identically by construction.
+pub(crate) fn issue_needs(
+    insn: &Insn,
+    isa: Isa,
+    gpr_ready: &[u64; GPR_SLOTS],
+    fpr_ready: &[u64; 32],
+    fpsr_ready: u64,
+    fpu_free: u64,
+) -> (u64, u64, FpuStall) {
+    let mut load_need = 0u64;
+    for r in insn.use_gprs().into_iter().flatten() {
+        if !(isa == Isa::Dlxe && r == abi::R0) {
+            load_need = load_need.max(gpr_ready[r.index()]);
+        }
+    }
+    let mut fpu_need = 0u64;
+    let mut fpu_src = FpuStall::Result;
+    let mut raise = |v: u64, src: FpuStall| {
+        if v > fpu_need {
+            fpu_need = v;
+            fpu_src = src;
+        }
+    };
+    let pair_ready = |ready: &[u64; 32], r: d16_isa::Fpr, d: bool| -> u64 {
+        let v = ready[r.index()];
+        if d {
+            v.max(ready[r.index() | 1])
+        } else {
+            v
+        }
+    };
+    match *insn {
+        Insn::FAlu { prec, fs1, fs2, .. } => {
+            let d = prec == Prec::D;
+            raise(pair_ready(fpr_ready, fs1, d), FpuStall::Result);
+            raise(pair_ready(fpr_ready, fs2, d), FpuStall::Result);
+            raise(fpu_free, FpuStall::Busy);
+        }
+        Insn::FNeg { prec, fs, .. } => {
+            raise(pair_ready(fpr_ready, fs, prec == Prec::D), FpuStall::Result);
+            raise(fpu_free, FpuStall::Busy);
+        }
+        Insn::FCmp { prec, fs1, fs2, .. } => {
+            let d = prec == Prec::D;
+            raise(pair_ready(fpr_ready, fs1, d), FpuStall::Result);
+            raise(pair_ready(fpr_ready, fs2, d), FpuStall::Result);
+            raise(fpu_free, FpuStall::Busy);
+        }
+        Insn::Cvt { op, fs, .. } => {
+            raise(pair_ready(fpr_ready, fs, op.src_is_double()), FpuStall::Result);
+            raise(fpu_free, FpuStall::Busy);
+        }
+        Insn::Mtf { fd, .. } => {
+            // The FPU must be free to accept the transfer.
+            raise(pair_ready(fpr_ready, fd, false), FpuStall::Result);
+        }
+        Insn::Mff { fs, .. } => {
+            raise(pair_ready(fpr_ready, fs, false), FpuStall::Result);
+        }
+        Insn::Rdsr { .. } => raise(fpsr_ready, FpuStall::Status),
+        _ => {}
+    }
+    (load_need, fpu_need, fpu_src)
+}
+
+/// The timing-relevant write-back effect of one retired instruction —
+/// everything the scoreboard must learn beyond [`issue_needs`]. Extracted
+/// once per retirement so the pipeline-sweep replayer applies the same
+/// effect to every swept configuration that the interpreter's `execute`
+/// applies to the live one (a suite-wide equality test pins the two).
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum RetireFx {
+    /// No register result (stores, branches, most traps, `nop`).
+    None,
+    /// An integer result forwarded at issue time (`ready = t`).
+    Gpr(u8),
+    /// A load result: `ready = t + load_delay(depth)`.
+    GprLoad(u8),
+    /// An FPU result register write (`finish_fpu`): `done = t + lat - 1`
+    /// for the register (and its pair when double), FPU busy until then.
+    Fpu {
+        /// Destination FPR slot.
+        fd: u8,
+        /// Whether the D-pair partner is written too.
+        double: bool,
+        /// Operation latency in cycles.
+        lat: u64,
+    },
+    /// Integer-to-FPU transfer: `fpr_ready[fd] = t + 1`.
+    Mtf(u8),
+    /// FP compare: status register and FPU busy until `t + lat - 1`.
+    Fcmp {
+        /// Compare latency (the add latency).
+        lat: u64,
+    },
+}
+
+/// Classifies the write-back effect of `insn` (see [`RetireFx`]).
+pub(crate) fn retire_fx(insn: &Insn, isa: Isa, lat: &FpuLatency) -> RetireFx {
+    match *insn {
+        Insn::Alu { rd, .. }
+        | Insn::AluI { rd, .. }
+        | Insn::Un { rd, .. }
+        | Insn::Mvi { rd, .. }
+        | Insn::Lui { rd, .. }
+        | Insn::Cmp { rd, .. }
+        | Insn::CmpI { rd, .. }
+        | Insn::Mff { rd, .. }
+        | Insn::Rdsr { rd } => RetireFx::Gpr(rd.index() as u8),
+        Insn::Ld { rd, .. } | Insn::Ldc { rd, .. } => RetireFx::GprLoad(rd.index() as u8),
+        Insn::FAlu { op, prec, fd, .. } => {
+            let lat = match op {
+                d16_isa::FpOp::Add | d16_isa::FpOp::Sub => lat.add,
+                d16_isa::FpOp::Mul => lat.mul,
+                d16_isa::FpOp::Div => match prec {
+                    Prec::S => lat.div_s,
+                    Prec::D => lat.div_d,
+                },
+            };
+            RetireFx::Fpu { fd: fd.index() as u8, double: prec == Prec::D, lat }
+        }
+        Insn::FNeg { prec, fd, .. } => {
+            RetireFx::Fpu { fd: fd.index() as u8, double: prec == Prec::D, lat: lat.add }
+        }
+        Insn::Cvt { op, fd, .. } => {
+            RetireFx::Fpu { fd: fd.index() as u8, double: op.dst_is_double(), lat: lat.cvt }
+        }
+        Insn::FCmp { .. } => RetireFx::Fcmp { lat: lat.add },
+        Insn::Mtf { fd, .. } => RetireFx::Mtf(fd.index() as u8),
+        Insn::Trap { code: TrapCode::ReadInsnCount } => RetireFx::Gpr(abi::RET.index() as u8),
+        Insn::Jl { .. } => RetireFx::Gpr(isa.link_reg().index() as u8),
+        Insn::Jdisp { link, .. } => {
+            if link {
+                RetireFx::Gpr(isa.link_reg().index() as u8)
+            } else {
+                RetireFx::None
+            }
+        }
+        Insn::St { .. }
+        | Insn::Br { .. }
+        | Insn::Bc { .. }
+        | Insn::J { .. }
+        | Insn::Jc { .. }
+        | Insn::Trap { .. }
+        | Insn::Nop => RetireFx::None,
+    }
 }
 
 fn add_disp(base: u32, disp: i32) -> u32 {

@@ -110,6 +110,15 @@ pub struct ExecStats {
     /// followed by the dependent `ori`/`addi` of an address-materialization
     /// pair. Always 0 on D16 and DLXe.
     pub fused_lui_addi: u64,
+    /// Control transfers whose direction the front end guessed wrong *and*
+    /// that cost misfetch bubbles. Always 0 at depths whose
+    /// [`crate::PipelineSpec::misfetch_penalty`] is zero (the default
+    /// five-stage machine among them), keeping the default-spec stats
+    /// bit-identical to the historical fixed-depth model.
+    pub mispredicts: u64,
+    /// Misfetch bubble cycles charged for those wrong guesses
+    /// (`mispredicts * misfetch_penalty`). Always 0 at the default spec.
+    pub misfetch_cycles: u64,
 }
 
 impl ExecStats {
@@ -128,9 +137,10 @@ impl ExecStats {
     }
 
     /// Base execution cycles excluding memory latency:
-    /// `IC + Interlocks` (the paper's formula before the latency term).
+    /// `IC + Interlocks + MisfetchBubbles` (the paper's formula before the
+    /// latency term; the misfetch term is 0 at the default pipeline spec).
     pub fn base_cycles(&self) -> u64 {
-        self.insns + self.interlocks
+        self.insns + self.interlocks + self.misfetch_cycles
     }
 
     /// Dynamic macro-op pairs fused (both shapes). Zero outside D16x.

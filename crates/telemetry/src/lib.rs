@@ -5,7 +5,7 @@
 //! counts them with first-class, statically registered counters instead of
 //! ad-hoc fields, and wraps its phases (cell collection, cache-grid
 //! sweeps) in timed spans. The dump feeds `repro --metrics-json`
-//! (schema `bench_repro/3`), which CI diffs byte-for-byte across worker
+//! (schema `bench_repro/4`), which CI diffs byte-for-byte across worker
 //! counts and execution engines.
 //!
 //! Design constraints, in order:

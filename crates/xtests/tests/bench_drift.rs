@@ -28,7 +28,7 @@ fn u(j: &Json, key: &str) -> u64 {
 #[ignore = "full-grid regeneration; run with --release -- --ignored (CI does)"]
 fn fresh_run_matches_checked_in_bench_report() {
     let pinned = checked_in_report();
-    assert_eq!(pinned.get("schema").and_then(Json::as_str), Some("bench_repro/3"));
+    assert_eq!(pinned.get("schema").and_then(Json::as_str), Some("bench_repro/4"));
     assert!(
         matches!(pinned.get("smoke"), Some(Json::Bool(false))),
         "the pinned report must come from a full --all run"

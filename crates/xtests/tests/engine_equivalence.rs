@@ -11,7 +11,9 @@
 //! cell of the paper's grid and runs in CI release builds.
 
 use d16_cc::TargetSpec;
-use d16_core::{measure_with, standard_specs, Engine};
+use d16_core::{
+    measure_stored_spec, measure_with, standard_specs, Engine, PipelineSpec, Predictor,
+};
 use d16_workloads::Workload;
 
 /// Measures one cell under both engines and asserts every observable
@@ -43,6 +45,33 @@ fn engines_agree_on_subset_across_all_targets() {
         let w = d16_workloads::by_name(name).expect("suite workload");
         for spec in standard_specs() {
             assert_cell_identical(w, &spec);
+        }
+    }
+}
+
+/// The same equivalence at the most aggressive non-default pipeline
+/// configuration — depth 8 (longest load-use distance, largest misfetch
+/// penalty) with the two-bit predictor (history-dependent per-branch
+/// state). The BlockEngine lowers non-default specs through its dynamic
+/// flavor (fusion off, runtime stall scoreboard), so this pins a code
+/// path the default-spec tests above never execute.
+#[test]
+fn engines_agree_at_depth_eight_with_twobit_predictor() {
+    let deep = PipelineSpec { depth: 8, predictor: Predictor::TwoBit, ..PipelineSpec::default() };
+    for name in ["queens", "assem", "whetstone"] {
+        let w = d16_workloads::by_name(name).expect("suite workload");
+        for spec in standard_specs() {
+            let label = format!("({}, {}, depth 8 twobit)", w.name, spec.label());
+            let (a, ta) = measure_stored_spec(w, &spec, true, None, Engine::Interp, deep)
+                .unwrap_or_else(|e| panic!("{label} interp: {e}"));
+            let (b, tb) = measure_stored_spec(w, &spec, true, None, Engine::Blocks, deep)
+                .unwrap_or_else(|e| panic!("{label} blocks: {e}"));
+            assert_eq!(a.exit, b.exit, "{label}: exit checksum");
+            assert_eq!(a.stats, b.stats, "{label}: pipeline statistics");
+            assert!(a.stats.mispredicts > 0, "{label}: twobit at depth 8 must mispredict");
+            assert!(a.stats.misfetch_cycles > 0, "{label}: depth 8 must charge misfetch bubbles");
+            let (ta, tb) = (ta.expect("interp trace"), tb.expect("blocks trace"));
+            assert_eq!(ta.encoded_bytes(), tb.encoded_bytes(), "{label}: trace bytes");
         }
     }
 }

@@ -55,6 +55,12 @@ gate_determinism() {
     ./target/release/repro --all --jobs 4 --metrics-json "$tmp/m4.json" >"$tmp/out4.txt"
     cmp "$tmp/out1.txt" "$tmp/out4.txt"
     cmp "$tmp/m1.json" "$tmp/m4.json"
+    step "determinism: the --jobs diff covered the pipeline-sweep tables"
+    # --all includes the depth x predictor sweep, so the byte-compare
+    # above is also the sweep-determinism gate; pin that inclusion so a
+    # future flag reshuffle cannot silently drop the sweep from the diff.
+    grep -q 'Extension: pipeline sweep' "$tmp/out1.txt"
+    grep -q 'Extension: fetch traffic across fetch widths' "$tmp/out1.txt"
     step "determinism: --all output matches checked-in results.txt"
     cmp "$tmp/out1.txt" results.txt
 }
@@ -85,6 +91,18 @@ gate_engine() {
         --metrics-json "$tmp/m_x_interp.json" >"$tmp/out_x_interp.txt"
     cmp "$tmp/out_x_blocks.txt" "$tmp/out_x_interp.txt"
     cmp "$tmp/m_x_blocks.json" "$tmp/m_x_interp.json"
+    step "engine: non-default pipeline spec (depth 8, twobit, fetch 1) byte-identical across engines"
+    # Non-default specs run the BlockEngine's dynamic lowering (fusion
+    # off, runtime stall scoreboard) — a code path the default-spec
+    # comparisons above never reach.
+    ./target/release/repro --only towers,queens --fig 5 \
+        --pipeline-depth 8 --pipeline-predictor twobit --pipeline-fetch 1 \
+        --engine blocks --metrics-json "$tmp/m_p_blocks.json" >"$tmp/out_p_blocks.txt"
+    ./target/release/repro --only towers,queens --fig 5 \
+        --pipeline-depth 8 --pipeline-predictor twobit --pipeline-fetch 1 \
+        --engine interp --metrics-json "$tmp/m_p_interp.json" >"$tmp/out_p_interp.txt"
+    cmp "$tmp/out_p_blocks.txt" "$tmp/out_p_interp.txt"
+    cmp "$tmp/m_p_blocks.json" "$tmp/m_p_interp.json"
     step "engine: 4x best-of-3 speedup floor (block engine vs interpreter, in-process)"
     cargo test --release --locked --offline -p d16-xtests --test bench_drift \
         -- --ignored --exact block_engine_speedup_floor
