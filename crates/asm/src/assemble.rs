@@ -778,8 +778,130 @@ fn build_imm_insn(shape: &ImmShape, imm: i32) -> Insn {
     }
 }
 
+/// One relaxed (out-of-reach) branch: the item index of its
+/// architectural delay slot and the far target.
+#[derive(Clone, Debug)]
+struct Relax {
+    slot: usize,
+    sym: String,
+    addend: i64,
+}
+
+/// Relaxed-branch island size in bytes for an island starting at text
+/// offset `site`. D16 emits `ldc r0, =target; j r0; nop` followed by an
+/// inline 4-aligned literal word holding the target's absolute address
+/// (relocated at link time); the word is unreachable — the inverted
+/// conditional hops the whole island and the island's own `j` transfers
+/// before it — so the island never depends on a literal pool being
+/// within `ldc` reach. D16x has the wide pc-relative `jdisp`, which
+/// needs no register or literal: `jdisp target; nop`.
+fn island_bytes(isa: Isa, site: u32) -> u32 {
+    match isa {
+        Isa::D16 => align_up(site + 6, 4) + 4 - site,
+        Isa::D16x => 6,
+        Isa::Dlxe => unreachable!("DLXe branches reach 128K and are never relaxed"),
+    }
+}
+
+/// The item index of `branch`'s architectural delay slot — the next
+/// instruction item, skipping labels — when that instruction is a plain
+/// (non-control) one an island can legally follow. Control transfers
+/// never sit in delay slots, so a branch whose next instruction is
+/// itself a transfer is left unrelaxed (the reach error stands).
+fn relax_slot(items: &[Item], branch: usize) -> Option<usize> {
+    for (j, item) in items.iter().enumerate().skip(branch + 1) {
+        match item {
+            Item::Label(_) => continue,
+            Item::Insn(_, tpl) => {
+                let control = match tpl {
+                    ITpl::Branch { .. } | ITpl::Jal { .. } => true,
+                    ITpl::Ready(i) => matches!(
+                        i,
+                        Insn::Br { .. }
+                            | Insn::Bc { .. }
+                            | Insn::J { .. }
+                            | Insn::Jc { .. }
+                            | Insn::Jl { .. }
+                            | Insn::Jdisp { .. }
+                            | Insn::Trap { .. }
+                    ),
+                    _ => false,
+                };
+                return (!control).then_some(j);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Everything pass one computes that pass two (and the relaxation check
+/// between them) consumes.
+struct Layout {
+    obj: Object,
+    lit_off: HashMap<usize, u32>,
+    pool_layout: HashMap<usize, Vec<usize>>,
+    /// `(item index, text offset)` of every label-targeted branch.
+    branch_sites: Vec<(usize, u32)>,
+    text_size: u32,
+    data_size: u32,
+}
+
 fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
+    // ---- branch relaxation fixpoint ----
+    //
+    // Narrow-format branches reach only ±1K; a branch the short form
+    // cannot reach is rewritten over an island placed after its delay
+    // slot: the conditional inverts and hops the island, the island
+    // jumps far (D16 through the scratch `r0` and a literal-pool
+    // address, D16x through the wide pc-relative `jdisp`). Growth is
+    // monotone — a relaxed branch never shrinks back — so re-running
+    // layout until no new branch falls out of reach terminates, and a
+    // unit with every branch in range lays out byte-identically to the
+    // pre-relaxation assembler.
+    let mut long: HashMap<usize, Relax> = HashMap::new();
+    let layout = loop {
+        let layout = layout_pass(isa, &p, &long)?;
+        let mut changed = false;
+        if isa != Isa::Dlxe {
+            for &(i, site) in &layout.branch_sites {
+                if long.contains_key(&i) {
+                    continue;
+                }
+                let Item::Insn(_, ITpl::Branch { target: Expr::Sym(s, a), .. }) = &p.items[i]
+                else {
+                    continue;
+                };
+                let (s, a) = (s.clone(), *a);
+                let Some(sym) = layout.obj.symbols.get(&s) else {
+                    continue; // pass two reports the undefined target
+                };
+                if sym.section != Section::Text {
+                    continue;
+                }
+                let disp = sym.offset as i64 + a - (site as i64 + 2);
+                let fits = disp % 2 == 0
+                    && i32::try_from(disp).is_ok_and(|d| d16_isa::d16::BR_RANGE.contains(&d));
+                if fits {
+                    continue;
+                }
+                let Some(slot) = relax_slot(&p.items, i) else {
+                    continue;
+                };
+                long.insert(i, Relax { slot, sym: s, addend: a });
+                changed = true;
+            }
+        }
+        if !changed {
+            break layout;
+        }
+    };
+    encode_pass(isa, &p, &long, layout)
+}
+
+fn layout_pass(isa: Isa, p: &Parser, long: &HashMap<usize, Relax>) -> Result<Layout, AsmError> {
     let mut obj = Object::default();
+    let slot_relax: HashMap<usize, &Relax> = long.values().map(|r| (r.slot, r)).collect();
 
     // ---- pass one: sizes, labels, pools ----
     //
@@ -798,6 +920,7 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
     let mut pending: Vec<usize> = Vec::new();
     let mut pool_layout: HashMap<usize, Vec<usize>> = HashMap::new(); // item idx -> unique lit ids
     let mut pending_labels: Vec<String> = Vec::new();
+    let mut branch_sites: Vec<(usize, u32)> = Vec::new();
 
     macro_rules! bind_labels {
         ($obj:expr, $sect:expr, $offset:expr) => {
@@ -822,7 +945,17 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
             }
             Item::Insn(_, tpl) => {
                 bind_labels!(obj, sect, off[idx(sect)]);
+                if sect == Section::Text {
+                    if let ITpl::Branch { target: Expr::Sym(..), .. } = tpl {
+                        branch_sites.push((i, off[0]));
+                    }
+                }
                 off[idx(sect)] += tpl_len(isa, tpl);
+                // A relaxed branch's island sits after this delay-slot
+                // instruction.
+                if slot_relax.contains_key(&i) {
+                    off[idx(sect)] += island_bytes(isa, off[idx(sect)]);
+                }
             }
             Item::Word(_, v) => {
                 let o = align_up(off[idx(sect)], 4);
@@ -906,6 +1039,18 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
         }
     }
     bind_labels!(obj, sect, off[idx(sect)]);
+    obj.bss_size = off[2];
+    Ok(Layout { obj, lit_off, pool_layout, branch_sites, text_size: off[0], data_size: off[1] })
+}
+
+fn encode_pass(
+    isa: Isa,
+    p: &Parser,
+    long: &HashMap<usize, Relax>,
+    layout: Layout,
+) -> Result<Object, AsmError> {
+    let Layout { mut obj, lit_off, pool_layout, text_size, data_size, .. } = layout;
+    let slot_relax: HashMap<usize, &Relax> = long.values().map(|r| (r.slot, r)).collect();
 
     // ---- pass two: emit bytes, resolve, relocate ----
     let mut sect = Section::Text;
@@ -988,30 +1133,123 @@ fn layout_and_encode(isa: Isa, p: Parser) -> Result<Object, AsmError> {
             }
             Item::Insn(line, tpl) => {
                 let site = buf.len() as u32;
-                let (insn, reloc) =
-                    resolve_insn(isa, tpl, site, tpl_len(isa, tpl), &obj.symbols, &lit_off, *line)?;
-                let bytes = d16_isa::encode_bytes(isa, &insn)
-                    .map_err(|e| AsmError::Line { line: *line, msg: e.to_string() })?;
-                if let Some((kind, symbol, addend)) = reloc {
-                    obj.relocs.push(Reloc {
-                        section: Section::Text,
-                        offset: site,
-                        kind,
-                        symbol,
-                        addend,
-                    });
+                if let Some(r) = long.get(&i) {
+                    // Relaxed branch: a short hop over the island that
+                    // follows the delay slot. The conditional inverts;
+                    // the unconditional just falls through (as a nop).
+                    let slot_len = match &p.items[r.slot] {
+                        Item::Insn(_, t) => tpl_len(isa, t),
+                        _ => unreachable!("relax slot is always an instruction"),
+                    };
+                    let island = island_bytes(isa, site + tpl_len(isa, tpl) + slot_len);
+                    let insn = match tpl {
+                        ITpl::Branch { neg: Some(n), rs, .. } => {
+                            Insn::Bc { neg: !n, rs: *rs, disp: (slot_len + island) as i32 }
+                        }
+                        ITpl::Branch { neg: None, .. } => Insn::Nop,
+                        _ => unreachable!("only branches are relaxed"),
+                    };
+                    let bytes = d16_isa::encode_bytes(isa, &insn)
+                        .map_err(|e| AsmError::Line { line: *line, msg: e.to_string() })?;
+                    buf.extend_from_slice(&bytes);
+                } else {
+                    let (insn, reloc) = resolve_insn(
+                        isa,
+                        tpl,
+                        site,
+                        tpl_len(isa, tpl),
+                        &obj.symbols,
+                        &lit_off,
+                        *line,
+                    )?;
+                    let bytes = d16_isa::encode_bytes(isa, &insn)
+                        .map_err(|e| AsmError::Line { line: *line, msg: e.to_string() })?;
+                    if let Some((kind, symbol, addend)) = reloc {
+                        obj.relocs.push(Reloc {
+                            section: Section::Text,
+                            offset: site,
+                            kind,
+                            symbol,
+                            addend,
+                        });
+                    }
+                    buf.extend_from_slice(&bytes);
                 }
-                buf.extend_from_slice(&bytes);
+                if let Some(r) = slot_relax.get(&i) {
+                    if let Some(reloc) = emit_island(isa, r, buf, &obj.symbols, *line)? {
+                        obj.relocs.push(reloc);
+                    }
+                }
             }
         }
     }
 
     obj.text = text;
     obj.data = data;
-    obj.bss_size = off[2];
-    debug_assert_eq!(obj.text.len() as u32, off[0], "pass one/two text size mismatch");
-    debug_assert_eq!(obj.data.len() as u32, off[1], "pass one/two data size mismatch");
+    debug_assert_eq!(obj.text.len() as u32, text_size, "pass one/two text size mismatch");
+    debug_assert_eq!(obj.data.len() as u32, data_size, "pass one/two data size mismatch");
     Ok(obj)
+}
+
+/// Emits a relaxed branch's far-jump island, directly after the delay
+/// slot it protects. D16 goes through the scratch register (`r0` is the
+/// reserved compare/scratch register, so its value is architecturally
+/// unspecified at a branch target): `ldc r0, =target; j r0; nop`,
+/// followed by an inline 4-aligned literal word the `ldc` reads — the
+/// word is unreachable as code, and carries an `Abs32` reloc the linker
+/// resolves, so the island is self-contained whatever the distance to
+/// the unit's literal pools. D16x has the wide pc-relative `jdisp`,
+/// which needs no register or literal: `jdisp target; nop`. Both
+/// islands place the far jump's own delay-slot `nop` last among their
+/// instructions.
+fn emit_island(
+    isa: Isa,
+    r: &Relax,
+    buf: &mut Vec<u8>,
+    symbols: &HashMap<String, Symbol>,
+    line: usize,
+) -> Result<Option<Reloc>, AsmError> {
+    let err = |msg: String| AsmError::Line { line, msg };
+    let site = buf.len() as u32;
+    let insns = match isa {
+        Isa::D16 => {
+            // The `ldc` anchor (`align_up(pc + 2, 4)`) and the inline
+            // word (first 4-aligned offset past the three island
+            // instructions) always end up exactly one word apart.
+            let anchor = align_up(site + 2, 4);
+            let word = align_up(site + 6, 4);
+            vec![
+                Insn::Ldc { rd: abi::R0, disp: (word - anchor) as i32 },
+                Insn::J { target: abi::R0 },
+                Insn::Nop,
+            ]
+        }
+        Isa::D16x => {
+            let sym = symbols
+                .get(&r.sym)
+                .ok_or_else(|| err(format!("branch target `{}` not defined in unit", r.sym)))?;
+            let disp = sym.offset as i64 + r.addend - (site as i64 + 4);
+            vec![Insn::Jdisp { link: false, disp: disp as i32 }, Insn::Nop]
+        }
+        Isa::Dlxe => unreachable!("DLXe branches reach 128K and are never relaxed"),
+    };
+    for insn in insns {
+        let bytes = d16_isa::encode_bytes(isa, &insn).map_err(|e| err(e.to_string()))?;
+        buf.extend_from_slice(&bytes);
+    }
+    if isa != Isa::D16 {
+        return Ok(None);
+    }
+    pad_to(buf, 4);
+    let reloc = Reloc {
+        section: Section::Text,
+        offset: buf.len() as u32,
+        kind: RelocKind::Abs32,
+        symbol: r.sym.clone(),
+        addend: r.addend as i32,
+    };
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    Ok(Some(reloc))
 }
 
 fn pad_to(buf: &mut Vec<u8>, a: u32) {
@@ -1195,6 +1433,9 @@ label:  nop
 
     #[test]
     fn branch_out_of_reach_is_reported() {
+        // The branch is the last item, so there is no delay-slot
+        // instruction an island could follow: relaxation stays out and
+        // the reach error is reported as ever.
         let mut src = String::from("start: nop\n");
         for _ in 0..600 {
             src.push_str("nop\n");
@@ -1203,6 +1444,89 @@ label:  nop
         let e = assemble(Isa::D16, &src).unwrap_err();
         assert!(matches!(e, AsmError::Line { .. }), "{e}");
         assert!(assemble(Isa::Dlxe, &src).is_ok(), "DLXe reach is 128K");
+    }
+
+    /// 601 `nop`s (1202 bytes), then the out-of-reach branch, its delay
+    /// slot, and the relaxation island.
+    fn far_branch_src(branch: &str) -> String {
+        let mut src = String::from("start: nop\n");
+        for _ in 0..600 {
+            src.push_str("nop\n");
+        }
+        src.push_str(branch);
+        src.push_str("\nadd r1, r1, r2\n");
+        src
+    }
+
+    #[test]
+    fn far_conditional_branch_relaxes_over_island() {
+        let obj = assemble(Isa::D16, &far_branch_src("bz r0, start")).unwrap();
+        // Site 1202: the inverted short hop over slot (2) + island (10).
+        // Island at 1206: `ldc r0, [anchor+4]; j r0; nop`, then the
+        // 4-aligned inline literal word at 1212.
+        let mut want = Vec::new();
+        for insn in [
+            Insn::Bc { neg: true, rs: abi::R0, disp: 12 },
+            Insn::Alu { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(1), rs2: Gpr::new(2) },
+            Insn::Ldc { rd: abi::R0, disp: 4 },
+            Insn::J { target: abi::R0 },
+            Insn::Nop,
+        ] {
+            want.extend_from_slice(&d16_isa::encode_bytes(Isa::D16, &insn).unwrap());
+        }
+        assert_eq!(&obj.text[1202..1212], &want[..], "hop + slot + island");
+        assert_eq!(&obj.text[1212..1216], &[0, 0, 0, 0], "unresolved inline word");
+        assert_eq!(obj.text.len(), 1216);
+        let reloc =
+            obj.relocs.iter().find(|r| r.offset == 1212).expect("island word carries a reloc");
+        assert_eq!(reloc.kind, RelocKind::Abs32);
+        assert_eq!(reloc.symbol, "start");
+        assert_eq!(reloc.addend, 0);
+    }
+
+    #[test]
+    fn far_unconditional_branch_relaxes_to_nop_plus_island() {
+        let obj = assemble(Isa::D16, &far_branch_src("br start")).unwrap();
+        // The site becomes a nop (fall through its still-executed delay
+        // slot into the island, which jumps far).
+        let mut want = Vec::new();
+        for insn in [
+            Insn::Nop,
+            Insn::Alu { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(1), rs2: Gpr::new(2) },
+            Insn::Ldc { rd: abi::R0, disp: 4 },
+            Insn::J { target: abi::R0 },
+            Insn::Nop,
+        ] {
+            want.extend_from_slice(&d16_isa::encode_bytes(Isa::D16, &insn).unwrap());
+        }
+        assert_eq!(&obj.text[1202..1212], &want[..]);
+        assert!(obj.relocs.iter().any(|r| r.offset == 1212 && r.symbol == "start"));
+    }
+
+    #[test]
+    fn far_branch_relaxes_to_jdisp_on_d16x() {
+        let obj = assemble(Isa::D16x, &far_branch_src("bz r0, start")).unwrap();
+        // D16x needs no literal: the island is a wide pc-relative
+        // `jdisp start` (4 bytes) plus its delay-slot nop. Island at
+        // 1206, so disp = 0 - (1206 + 4).
+        let mut want = Vec::new();
+        for insn in [
+            Insn::Bc { neg: true, rs: abi::R0, disp: 8 },
+            Insn::Alu { op: AluOp::Add, rd: Gpr::new(1), rs1: Gpr::new(1), rs2: Gpr::new(2) },
+            Insn::Jdisp { link: false, disp: -1210 },
+            Insn::Nop,
+        ] {
+            want.extend_from_slice(&d16_isa::encode_bytes(Isa::D16x, &insn).unwrap());
+        }
+        assert_eq!(&obj.text[1202..1212], &want[..]);
+        assert_eq!(obj.text.len(), 1212, "no inline word on D16x");
+    }
+
+    #[test]
+    fn in_range_branches_do_not_relax() {
+        let obj = assemble(Isa::D16, "start: nop\nbz r0, start\nadd r1, r1, r2\n").unwrap();
+        assert_eq!(obj.text.len(), 6, "no island for a reachable branch");
+        assert!(obj.relocs.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! repro --only towers,assem  # collect only the named workloads
 //! repro --engine interp      # per-instruction engine (default: blocks)
 //! repro --pipeline-sweep     # depth x predictor sweep tables
+//! repro --extended           # extended-suite distribution tables
 //! repro --pipeline-depth 8   # retime the whole grid (3..8; default 5)
 //! repro --pipeline-predictor twobit   # none | taken | twobit
 //! repro --pipeline-fetch 4   # fetch width in halfwords (1, 2 or 4)
@@ -88,12 +89,20 @@ fn ensure_parent_dir(flag: &str, path: &str) {
     }
 }
 
+/// Every name `by_name` resolves — the paper's suite then the extension
+/// workloads, in registry order. `--only` and `--smoke` accept extension
+/// names, so their unknown-workload diagnostics must list them too.
+fn valid_workload_names() -> Vec<&'static str> {
+    d16_workloads::SUITE.iter().chain(d16_workloads::EXTRAS).map(|w| w.name).collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<u32> = Vec::new();
     let mut tables: Vec<u32> = Vec::new();
     let mut fpu_sweep = false;
     let mut pipeline_sweep = false;
+    let mut extended = false;
     let mut pspec = PipelineSpec::default();
     let mut d16x = false;
     let mut all = args.is_empty();
@@ -116,6 +125,7 @@ fn main() {
             }
             "--fpu-sweep" => fpu_sweep = true,
             "--pipeline-sweep" => pipeline_sweep = true,
+            "--extended" => extended = true,
             "--pipeline-depth" => pspec.depth = parsed_flag(&args, &mut i, "--pipeline-depth"),
             "--pipeline-predictor" => {
                 let v = flag_value(&args, &mut i, "--pipeline-predictor");
@@ -181,11 +191,17 @@ fn main() {
         eprintln!("--only picks its own workloads; it cannot combine with --smoke or --all");
         std::process::exit(2);
     }
+    if extended && (smoke || !only.is_empty()) {
+        eprintln!("--extended needs the full grid; it cannot combine with --smoke or --only");
+        std::process::exit(2);
+    }
+    // The extended distribution tables ride along with every full run.
+    let extended = extended || all;
     let only_workloads: Vec<&Workload> = only
         .iter()
         .map(|name| {
             d16_workloads::by_name(name).unwrap_or_else(|| {
-                let valid: Vec<&str> = d16_workloads::SUITE.iter().map(|w| w.name).collect();
+                let valid: Vec<&str> = valid_workload_names();
                 eprintln!("--only: unknown workload `{name}`; valid names: {}", valid.join(" "));
                 std::process::exit(2);
             })
@@ -257,7 +273,7 @@ fn main() {
             .iter()
             .map(|n| {
                 d16_workloads::by_name(n).unwrap_or_else(|| {
-                    let valid: Vec<&str> = d16_workloads::SUITE.iter().map(|w| w.name).collect();
+                    let valid: Vec<&str> = valid_workload_names();
                     eprintln!("--smoke: unknown workload `{n}`; valid names: {}", valid.join(" "));
                     std::process::exit(2);
                 })
@@ -312,12 +328,47 @@ fn main() {
     let collect_ns = start.elapsed().as_nanos();
     eprintln!("collected in {:.1}s", collect_ns as f64 / 1e9);
 
+    // --- collect the extension workloads (the extended suite) ----------
+    // The extension cells live in their own Suite so the main suite's
+    // cell counts, telemetry and metrics dumps stay byte-identical to
+    // runs that predate the extended tables. No cache traces: the
+    // distribution tables need only static size and path length.
+    let xsuite = if extended {
+        let extras: Vec<&Workload> = d16_workloads::EXTRAS.iter().collect();
+        eprintln!(
+            "collecting the extended grid ({} extension workloads x 6 targets, {jobs} jobs)...",
+            extras.len()
+        );
+        let xstart = Instant::now();
+        match Suite::collect_for_jobs_stored_spec(
+            &extras,
+            &standard_specs(),
+            false,
+            jobs,
+            store.clone(),
+            engine,
+            pspec,
+        ) {
+            Ok(s) => {
+                eprintln!("collected in {:.1}s", xstart.elapsed().as_nanos() as f64 / 1e9);
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("extended collection failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     // Degraded cells: diagnose each on stderr, keep the rest of the run.
     // The diffable outputs stay clean-run-identical because report
     // functions drop skipped workloads entirely.
     let mut skips: Vec<(String, String, String)> = suite
         .skipped
         .iter()
+        .chain(xsuite.iter().flat_map(|x| x.skipped.iter()))
         .map(|s| (s.workload.clone(), s.target.clone(), s.reason.clone()))
         .collect();
     for (w, t, reason) in &skips {
@@ -377,13 +428,19 @@ fn main() {
     if d16x || all {
         print_d16x(&suite);
     }
-    // The pipeline sweep prints last so earlier blocks of a regenerated
-    // results.txt stay byte-identical to runs that predate the sweep.
+    // The pipeline sweep prints after the paper's blocks so earlier
+    // blocks of a regenerated results.txt stay byte-identical to runs
+    // that predate the sweep.
     if pipeline_sweep || all {
         for (w, reason) in print_pipeline_sweep(store.as_deref()) {
             eprintln!("skipped ({w}, pipeline sweep): {reason}");
             skips.push((w, "pipeline sweep".to_string(), reason));
         }
+    }
+    // The extended-suite distribution tables print last, after the
+    // sweep, for the same append-only reason.
+    if let Some(x) = &xsuite {
+        print_extended(&suite, x);
     }
 
     // Store accounting goes to stderr and the timing report only; the
@@ -641,12 +698,64 @@ fn print_d16x(suite: &Suite) {
     println!("{}", t.render());
 }
 
+/// Extension beyond the paper: the full registry — the paper's fifteen
+/// programs plus the extension workloads — as per-workload static-size
+/// and path-length ratio tables over all six targets, then one
+/// distribution summary per target (min/median/max/mean over workloads
+/// with a deterministic bootstrap 95% CI on the mean). The extension
+/// cells live in `extras`; see `ex::extended_rows`.
+fn print_extended(main: &Suite, extras: &Suite) {
+    let rows = ex::extended_rows(main, extras);
+    let labels: Vec<String> = standard_specs().iter().map(|s| s.label()).collect();
+    let headers: Vec<&str> =
+        std::iter::once("program").chain(labels.iter().map(String::as_str)).collect();
+    let mut size = Table::new(
+        &format!("Extension: extended-suite static size vs D16 = 1.00 ({} programs)", rows.len()),
+        &headers,
+    );
+    let mut path = Table::new(
+        &format!("Extension: extended-suite path length vs D16 = 1.00 ({} programs)", rows.len()),
+        &headers,
+    );
+    for r in &rows {
+        let cells = |pick: fn(&(String, f64, f64)) -> f64| {
+            std::iter::once(r.workload.clone())
+                .chain(r.ratios.iter().map(|c| f2(pick(c))))
+                .collect()
+        };
+        size.row(cells(|c| c.1));
+        path.row(cells(|c| c.2));
+    }
+    println!("{}", size.render());
+    println!("{}", path.render());
+    let mut t = Table::new(
+        "Extension: extended-suite ratio distributions over workloads (vs D16 = 1.00)",
+        &["target", "metric", "n", "min", "median", "max", "mean", "95% CI"],
+    );
+    for d in ex::extended_distributions(&rows) {
+        for (metric, s) in [("size", &d.size), ("path", &d.path)] {
+            t.row(vec![
+                d.target.clone(),
+                metric.into(),
+                s.n.to_string(),
+                f2(s.min),
+                f2(s.median),
+                f2(s.max),
+                f2(s.mean),
+                format!("[{}, {}]", f2(s.ci_lo), f2(s.ci_hi)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
 fn print_list() {
     println!("figures: 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19");
     println!("tables:  3 4 5 6 7 8 9 10 11 12 13 14 15 16");
     println!("extras:  --fpu-sweep (FPU-latency sensitivity, beyond the paper)");
     println!("         --d16x (D16x third curve + fusion ablation, beyond the paper)");
     println!("         --pipeline-sweep (depth x predictor grid, beyond the paper)");
+    println!("         --extended (extended-suite distribution tables, beyond the paper)");
     println!("options: --jobs N (worker threads), --smoke (tiny 2x2 grid),");
     println!("         --pipeline-depth N / --pipeline-predictor P / --pipeline-fetch W");
     println!("           (retime the grid: depths 3-8, predictors none|taken|twobit,");

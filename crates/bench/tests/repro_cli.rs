@@ -35,6 +35,34 @@ fn smoke_rejects_all() {
 }
 
 #[test]
+fn unknown_only_workload_lists_the_whole_registry() {
+    let out = repro().args(["--only", "nonesuch"]).output().expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--only: unknown workload `nonesuch`; valid names:"), "{err}");
+    // The diagnostic must list every name `by_name` resolves — the
+    // paper's suite AND the extension workloads, which `--only` accepts.
+    for name in ["towers", "whetstone", "fsm", "lexer", "compress", "eqntott"] {
+        assert!(err.contains(name), "diagnostic must list `{name}`: {err}");
+    }
+}
+
+#[test]
+fn extended_rejects_smoke_and_only() {
+    for args in [["--extended", "--smoke"], ["--extended", "--only"]] {
+        let mut cmd = repro();
+        cmd.args(args);
+        if args[1] == "--only" {
+            cmd.arg("towers");
+        }
+        let out = cmd.output().expect("run repro");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--extended needs the full grid"), "{args:?}: {err}");
+    }
+}
+
+#[test]
 fn zero_jobs_is_rejected() {
     let out = repro().args(["--jobs", "0", "--list"]).output().expect("run repro");
     assert!(!out.status.success());

@@ -917,6 +917,142 @@ impl D16xRow {
     }
 }
 
+// ------------------------------------------------------------------------
+// Extension: the extended suite, reported distributionally
+// ------------------------------------------------------------------------
+
+/// One extended-suite workload's static-size and path-length ratios
+/// against the D16/16/2 baseline, in [`crate::suite::standard_specs`]
+/// order (the D16 column is identically 1.00 and kept for shape).
+#[derive(Clone, Debug)]
+pub struct ExtendedRow {
+    /// Workload name.
+    pub workload: String,
+    /// `(target label, size ratio, path ratio)` per standard target.
+    pub ratios: Vec<(String, f64, f64)>,
+}
+
+/// Per-workload grid ratios over the whole registry — the paper's
+/// fifteen programs then the extension workloads, in registry order.
+/// The extension cells live in their own [`Suite`] (`extras`) so the
+/// main suite's pinned telemetry and metrics stay byte-identical; a
+/// workload's cells are looked up in `main` first, then `extras`.
+/// Workloads missing any of the six cells drop out, like every other
+/// report function over a degraded suite.
+pub fn extended_rows(main: &Suite, extras: &Suite) -> Vec<ExtendedRow> {
+    let cell = |w: &str, t: &str| main.try_get(w, t).or_else(|_| extras.try_get(w, t)).ok();
+    let labels: Vec<String> =
+        crate::suite::standard_specs().iter().map(TargetSpec::label).collect();
+    SUITE
+        .iter()
+        .chain(d16_workloads::EXTRAS)
+        .filter_map(|w| {
+            let base = cell(w.name, D16)?;
+            let ratios = labels
+                .iter()
+                .map(|t| {
+                    let m = cell(w.name, t)?;
+                    Some((
+                        t.clone(),
+                        m.size_bytes as f64 / base.size_bytes as f64,
+                        m.stats.insns as f64 / base.stats.insns as f64,
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(ExtendedRow { workload: w.name.to_string(), ratios })
+        })
+        .collect()
+}
+
+/// Five-number-ish summary of one ratio distribution over workloads:
+/// the extremes and median of the observed ratios, plus a bootstrap
+/// 95% confidence interval on the mean (percentile method, fixed seed,
+/// 2000 resamples — deterministic across runs and `--jobs` values).
+#[derive(Clone, Debug)]
+pub struct DistSummary {
+    /// Number of workloads summarized.
+    pub n: usize,
+    /// Smallest observed ratio.
+    pub min: f64,
+    /// Median observed ratio.
+    pub median: f64,
+    /// Largest observed ratio.
+    pub max: f64,
+    /// Arithmetic mean (the paper's AVERAGE rows).
+    pub mean: f64,
+    /// Lower edge of the bootstrap 95% CI on the mean.
+    pub ci_lo: f64,
+    /// Upper edge of the bootstrap 95% CI on the mean.
+    pub ci_hi: f64,
+}
+
+/// One target's size and path distributions over the extended suite.
+#[derive(Clone, Debug)]
+pub struct ExtendedDist {
+    /// Target label.
+    pub target: String,
+    /// Static-size ratio distribution (vs D16 = 1.0).
+    pub size: DistSummary,
+    /// Path-length ratio distribution (vs D16 = 1.0).
+    pub path: DistSummary,
+}
+
+/// Bootstrap resamples per distribution.
+const BOOTSTRAP_B: usize = 2000;
+
+fn summarize(values: &[f64], seed: &mut u64) -> DistSummary {
+    let n = values.len();
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+    let mean = values.iter().sum::<f64>() / n as f64;
+    // Percentile bootstrap on the mean, driven by a fixed xorshift64
+    // stream so the interval is a pure function of the values.
+    let mut means = Vec::with_capacity(BOOTSTRAP_B);
+    for _ in 0..BOOTSTRAP_B {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            sum += values[(*seed % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let pick = |q: f64| means[((BOOTSTRAP_B - 1) as f64 * q).round() as usize];
+    DistSummary {
+        n,
+        min: sorted[0],
+        median,
+        max: sorted[n - 1],
+        mean,
+        ci_lo: pick(0.025),
+        ci_hi: pick(0.975),
+    }
+}
+
+/// Distribution summaries per target over the given extended rows, in
+/// [`crate::suite::standard_specs`] order. Empty when `rows` is empty.
+pub fn extended_distributions(rows: &[ExtendedRow]) -> Vec<ExtendedDist> {
+    let Some(first) = rows.first() else { return Vec::new() };
+    let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+    first
+        .ratios
+        .iter()
+        .enumerate()
+        .map(|(ti, (target, _, _))| {
+            let size: Vec<f64> = rows.iter().map(|r| r.ratios[ti].1).collect();
+            let path: Vec<f64> = rows.iter().map(|r| r.ratios[ti].2).collect();
+            ExtendedDist {
+                target: target.clone(),
+                size: summarize(&size, &mut seed),
+                path: summarize(&path, &mut seed),
+            }
+        })
+        .collect()
+}
+
 /// The D16x third curve and fusion ablation, one row per workload that
 /// collected all three unrestricted cells. Degraded workloads drop out,
 /// like every other report function.

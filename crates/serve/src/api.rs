@@ -207,7 +207,13 @@ impl RunRequest {
             (None, Some(name)) => match d16_workloads::by_name(name) {
                 Some(w) => w.source.to_string(),
                 None => {
-                    let valid: Vec<&str> = d16_workloads::SUITE.iter().map(|w| w.name).collect();
+                    // `by_name` searches the suite and the extension
+                    // workloads, so the diagnostic must list both.
+                    let valid: Vec<&str> = d16_workloads::SUITE
+                        .iter()
+                        .chain(d16_workloads::EXTRAS)
+                        .map(|w| w.name)
+                        .collect();
                     return Err(ApiError::BadRequest(format!(
                         "unknown workload `{name}` (valid: {})",
                         valid.join(", ")

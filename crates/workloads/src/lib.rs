@@ -64,15 +64,21 @@ programs! {
     whetstone: "The synthetic floating point benchmark", expected: Some(9821), cache: false, fp: true;
 }
 
-/// Extension workloads beyond the paper's Table 2: a macro-op-fusion
-/// stress pair for the D16x target. `fsm` is fusion-hostile (a branchy
-/// state machine whose transfers branch directly on loaded table bytes,
-/// leaving almost no adjacent compare/branch or `mvhi`-pair shapes);
-/// `addrgen` is fusion-friendly (scatter/gather over a dozen global
-/// arrays, re-materializing `mvhi`/`ori` address pairs in the hot loop).
-/// They are self-checking like the suite, addressable through
+/// Extension workloads beyond the paper's Table 2. The first pair is
+/// the macro-op-fusion stress pair for the D16x target: `fsm` is
+/// fusion-hostile (a branchy state machine whose transfers branch
+/// directly on loaded table bytes, leaving almost no adjacent
+/// compare/branch or `mvhi`-pair shapes); `addrgen` is fusion-friendly
+/// (scatter/gather over a dozen global arrays, re-materializing
+/// `mvhi`/`ori` address pairs in the hot loop). The rest widen the
+/// suite's instruction-mix and locality coverage for the extended
+/// distribution experiment: curated pointer-chasing, dispatch-heavy,
+/// scanner, dense-arithmetic and table-churn signatures, plus faithful
+/// shapes of two more 1992-era suite members (`compress`, `eqntott`).
+/// All are self-checking like the suite, addressable through
 /// [`by_name`], and deliberately *not* part of [`SUITE`] so the paper's
-/// 15-program grid keeps its shape.
+/// 15-program grid keeps its shape. Provenance for each is documented
+/// in DESIGN.md §2.
 pub const EXTRAS: &[Workload] = &[
     Workload {
         name: "fsm",
@@ -87,6 +93,78 @@ pub const EXTRAS: &[Workload] = &[
         source: include_str!("programs/addrgen.c"),
         description: "Global-array address arithmetic (fusion-friendly extension)",
         expected: Some(11839),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "listchase",
+        source: include_str!("programs/listchase.c"),
+        description: "Pointer-chasing linked-list traversal (curated extension)",
+        expected: Some(4096),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "treewalk",
+        source: include_str!("programs/treewalk.c"),
+        description: "Binary-search-tree build and traversal (curated extension)",
+        expected: Some(23123),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "bytecode",
+        source: include_str!("programs/bytecode.c"),
+        description: "Stack-machine bytecode interpreter (curated extension)",
+        expected: Some(22025),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "lexer",
+        source: include_str!("programs/lexer.c"),
+        description: "Branchy hand-written scanner (curated extension)",
+        expected: Some(13463),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "intkernel",
+        source: include_str!("programs/intkernel.c"),
+        description: "Dense integer FIR/CRC/matmul kernels (curated extension)",
+        expected: Some(7727),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "fpkernel",
+        source: include_str!("programs/fpkernel.c"),
+        description: "Dense FP Horner/stencil/dot kernels (curated extension)",
+        expected: Some(23455),
+        cache_benchmark: false,
+        floating: true,
+    },
+    Workload {
+        name: "hashchurn",
+        source: include_str!("programs/hashchurn.c"),
+        description: "Open-addressing hash-table churn (curated extension)",
+        expected: Some(32593),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "compress",
+        source: include_str!("programs/compress.c"),
+        description: "LZW compression, SPEC'92 compress shape (1992-era port)",
+        expected: Some(16992),
+        cache_benchmark: false,
+        floating: false,
+    },
+    Workload {
+        name: "eqntott",
+        source: include_str!("programs/eqntott.c"),
+        description: "Truth-table sort and cube merge, SPEC'92 eqntott shape (1992-era port)",
+        expected: Some(19808),
         cache_benchmark: false,
         floating: false,
     },
@@ -149,7 +227,7 @@ mod tests {
 
     #[test]
     fn extras_stay_out_of_the_suite() {
-        assert_eq!(EXTRAS.len(), 2);
+        assert_eq!(EXTRAS.len(), 11);
         for w in EXTRAS {
             assert!(by_name(w.name).is_some(), "{} not addressable", w.name);
             assert!(!SUITE.iter().any(|s| s.name == w.name), "{} leaked into SUITE", w.name);

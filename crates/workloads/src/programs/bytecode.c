@@ -1,0 +1,249 @@
+/* bytecode — curated extension workload: a stack-machine bytecode
+ * interpreter. The dispatch loop is one long if/else ladder over twenty
+ * opcodes (Mini-C has no `switch`, so this is exactly the lowered shape
+ * a big switch becomes): an indirect-free but maximally branchy
+ * dispatcher whose taken/not-taken pattern follows the executed opcode
+ * stream. Three hand-assembled programs (sum of squares, subtraction
+ * gcd, popcount-sum) run over a grid of inputs poked into the VM's
+ * globals. */
+
+char code[512];
+int cp = 0;
+int g[8];
+int stack[32];
+int hist[20];
+int steps = 0;
+
+void emit(int op) {
+    code[cp] = (char)op;
+    cp++;
+}
+
+void emit2(int op, int arg) {
+    code[cp] = (char)op;
+    code[cp + 1] = (char)arg;
+    cp += 2;
+}
+
+/* Opcodes: 0 halt, 1 pushi, 2 add, 3 sub, 4 mul, 5 mod, 6 lt, 7 dup,
+ * 8 drop, 9 load, 10 store, 11 jmp, 12 jz, 13 jnz, 14 inc, 15 dec,
+ * 16 xor, 17 and, 18 shr1, 19 swap. */
+int run(int entry) {
+    int pc = entry;
+    int sp = 0;
+    int fuel = 100000;
+    while (fuel > 0) {
+        int op = code[pc] & 255;
+        fuel--;
+        steps++;
+        hist[op]++;
+        pc++;
+        if (op == 0) {
+            return stack[sp - 1];
+        } else if (op == 1) {
+            stack[sp] = code[pc] & 255;
+            sp++;
+            pc++;
+        } else if (op == 2) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] + stack[sp];
+        } else if (op == 3) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] - stack[sp];
+        } else if (op == 4) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] * stack[sp];
+        } else if (op == 5) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] % stack[sp];
+        } else if (op == 6) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1 : 0;
+        } else if (op == 7) {
+            stack[sp] = stack[sp - 1];
+            sp++;
+        } else if (op == 8) {
+            sp--;
+        } else if (op == 9) {
+            stack[sp] = g[code[pc] & 7];
+            sp++;
+            pc++;
+        } else if (op == 10) {
+            sp--;
+            g[code[pc] & 7] = stack[sp];
+            pc++;
+        } else if (op == 11) {
+            pc = code[pc] & 255;
+        } else if (op == 12) {
+            sp--;
+            pc = stack[sp] == 0 ? code[pc] & 255 : pc + 1;
+        } else if (op == 13) {
+            sp--;
+            pc = stack[sp] != 0 ? code[pc] & 255 : pc + 1;
+        } else if (op == 14) {
+            stack[sp - 1]++;
+        } else if (op == 15) {
+            stack[sp - 1]--;
+        } else if (op == 16) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] ^ stack[sp];
+        } else if (op == 17) {
+            sp--;
+            stack[sp - 1] = stack[sp - 1] & stack[sp];
+        } else if (op == 18) {
+            stack[sp - 1] = stack[sp - 1] >> 1;
+        } else if (op == 19) {
+            int t = stack[sp - 1];
+            stack[sp - 1] = stack[sp - 2];
+            stack[sp - 2] = t;
+        } else {
+            return -2;
+        }
+    }
+    return -1;
+}
+
+/* sum = (sum + i*i) % 251 for i = g4 down to 1; returns sum. */
+int asm_sumsq(void) {
+    int entry = cp;
+    int top;
+    int patch;
+    emit2(1, 0);
+    emit2(10, 0);
+    emit2(9, 4);
+    emit2(10, 1);
+    top = cp;
+    emit2(9, 1);
+    patch = cp + 1;
+    emit2(12, 0);
+    emit2(9, 0);
+    emit2(9, 1);
+    emit(7);
+    emit(4);
+    emit(2);
+    emit2(1, 251);
+    emit(5);
+    emit2(10, 0);
+    emit2(9, 1);
+    emit(15);
+    emit2(10, 1);
+    emit2(11, top);
+    code[patch] = (char)cp;
+    emit2(9, 0);
+    emit(0);
+    return entry;
+}
+
+/* Subtraction gcd of g4 and g5 (both >= 1); returns gcd. */
+int asm_gcd(void) {
+    int entry = cp;
+    int top;
+    int patch_end;
+    int patch_else;
+    emit2(9, 4);
+    emit2(10, 0);
+    emit2(9, 5);
+    emit2(10, 1);
+    top = cp;
+    emit2(9, 1);
+    patch_end = cp + 1;
+    emit2(12, 0);
+    emit2(9, 1);
+    emit2(9, 0);
+    emit(6);
+    patch_else = cp + 1;
+    emit2(12, 0);
+    emit2(9, 0);
+    emit2(9, 1);
+    emit(3);
+    emit2(10, 0);
+    emit2(11, top);
+    code[patch_else] = (char)cp;
+    emit2(9, 1);
+    emit2(9, 0);
+    emit(3);
+    emit2(10, 1);
+    emit2(11, top);
+    code[patch_end] = (char)cp;
+    emit2(9, 0);
+    emit(0);
+    return entry;
+}
+
+/* Sum of popcounts of 1..g4; returns the total. */
+int asm_popsum(void) {
+    int entry = cp;
+    int top;
+    int inner;
+    int patch_end;
+    int patch_done;
+    emit2(1, 0);
+    emit2(10, 0);
+    emit2(9, 4);
+    emit2(10, 1);
+    top = cp;
+    emit2(9, 1);
+    patch_end = cp + 1;
+    emit2(12, 0);
+    emit2(9, 1);
+    emit2(10, 2);
+    inner = cp;
+    emit2(9, 2);
+    patch_done = cp + 1;
+    emit2(12, 0);
+    emit2(9, 0);
+    emit2(9, 2);
+    emit2(1, 1);
+    emit(17);
+    emit(2);
+    emit2(10, 0);
+    emit2(9, 2);
+    emit(18);
+    emit2(10, 2);
+    emit2(11, inner);
+    code[patch_done] = (char)cp;
+    emit2(9, 1);
+    emit(15);
+    emit2(10, 1);
+    emit2(11, top);
+    code[patch_end] = (char)cp;
+    emit2(9, 0);
+    emit(0);
+    return entry;
+}
+
+int main(void) {
+    int e_sumsq;
+    int e_gcd;
+    int e_pop;
+    int trial;
+    int x = 9001;
+    int check = 0;
+    int k;
+    e_sumsq = asm_sumsq();
+    e_gcd = asm_gcd();
+    e_pop = asm_popsum();
+    if (cp > 512) return -3;
+    for (trial = 0; trial < 8; trial++) {
+        int r;
+        x ^= (x << 7) & 0xFFFF;
+        x ^= x >> 9;
+        x ^= (x << 8) & 0xFFFF;
+        g[4] = (x & 127) + 20;
+        r = run(e_sumsq);
+        if (r < 0) return r;
+        check = (check * 5 + r) & 0xFFFFFF;
+        g[4] = (x & 255) + 1;
+        g[5] = ((x >> 4) & 255) + 1;
+        r = run(e_gcd);
+        if (r < 0) return r;
+        check = (check * 5 + r) & 0xFFFFFF;
+        g[4] = (x & 63) + 8;
+        r = run(e_pop);
+        if (r < 0) return r;
+        check = (check * 5 + r) & 0xFFFFFF;
+    }
+    for (k = 0; k < 20; k++) check = (check * 3 + hist[k] % 997) & 0xFFFFFF;
+    check = (check * 3 + steps % 9973) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,139 @@
+/* compress — 1992-era suite shape: LZW compression in the style of the
+ * Unix `compress` utility (the SPEC'92 member). The hot loop hashes a
+ * (prefix-code, byte) pair into an open chained dictionary probe —
+ * `compress`'s own double-hash scheme reduced to our scale — and either
+ * extends the current match or emits a code and adds a dictionary
+ * entry. Input is a synthetic English-like buffer with enough repeated
+ * phrases that the dictionary actually pays. The checksum folds the
+ * emitted code stream, the final dictionary size, and a decompression
+ * replay that must reproduce the input exactly. */
+
+char text[4096];
+int tlen = 0;
+
+int dprefix[1024];
+int dchar[1024];
+int htab[2048]; /* hash -> dictionary code + 1, 0 = empty */
+int dsize;
+
+int codes[4096];
+int ncodes = 0;
+
+char decoded[4096];
+int dlen = 0;
+char revbuf[64];
+
+void frag(char *s) {
+    int i = 0;
+    while (s[i]) {
+        text[tlen] = s[i];
+        tlen++;
+        i++;
+    }
+}
+
+void build_text(void) {
+    int rep;
+    for (rep = 0; rep < 9; rep++) {
+        frag("the quick brown fox jumps over the lazy dog ");
+        frag("and the band played on and on and on ");
+        if (rep % 2 == 0) frag("pack my box with five dozen liquor jugs ");
+        if (rep % 3 == 0) frag("now is the time for all good men to come to the aid ");
+        frag("abcabcabcabc aaaaaaaa ");
+    }
+    text[tlen] = (char)0;
+}
+
+int hash(int prefix, int c) {
+    int h = (prefix << 8) ^ (c * 61);
+    h ^= h >> 7;
+    return h & 2047;
+}
+
+/* Finds code for (prefix, c), or -1; linear rehash like compress's
+ * secondary probe. */
+int dict_find(int prefix, int c) {
+    int h = hash(prefix, c);
+    while (htab[h] != 0) {
+        int code = htab[h] - 1;
+        if (dprefix[code] == prefix && dchar[code] == c) return code;
+        h = (h + 1) & 2047;
+    }
+    return -1;
+}
+
+void dict_add(int prefix, int c) {
+    int h = hash(prefix, c);
+    while (htab[h] != 0) h = (h + 1) & 2047;
+    dprefix[dsize] = prefix;
+    dchar[dsize] = c;
+    htab[h] = dsize + 1;
+    dsize++;
+}
+
+void do_compress(void) {
+    int i;
+    int prefix = text[0] & 255;
+    dsize = 256; /* codes 0..255 are the single bytes */
+    for (i = 1; i < tlen; i++) {
+        int c = text[i] & 255;
+        int code = dict_find(prefix, c);
+        if (code >= 0) {
+            prefix = code;
+        } else {
+            codes[ncodes] = prefix;
+            ncodes++;
+            if (dsize < 1024) dict_add(prefix, c);
+            prefix = c;
+        }
+    }
+    codes[ncodes] = prefix;
+    ncodes++;
+}
+
+/* Emits the byte string for `code` (stored reversed up the prefix
+ * chain) into decoded[]. */
+void expand(int code) {
+    int n = 0;
+    while (code >= 256 && n < 62) {
+        revbuf[n] = (char)dchar[code];
+        n++;
+        code = dprefix[code];
+    }
+    revbuf[n] = (char)code;
+    n++;
+    while (n > 0) {
+        n--;
+        decoded[dlen] = revbuf[n];
+        dlen++;
+    }
+}
+
+int do_decompress(void) {
+    int k;
+    for (k = 0; k < ncodes; k++) {
+        expand(codes[k]);
+    }
+    if (dlen != tlen) return 0;
+    for (k = 0; k < tlen; k++) {
+        if (decoded[k] != text[k]) return 0;
+    }
+    return 1;
+}
+
+int main(void) {
+    int check = 0;
+    int k;
+    build_text();
+    if (tlen >= 4000) return -1;
+    do_compress();
+    if (!do_decompress()) return -2;
+    for (k = 0; k < ncodes; k++) {
+        check = (check * 17 + codes[k]) & 0xFFFFFF;
+    }
+    check = (check * 7 + dsize) & 0xFFFFFF;
+    check = (check * 7 + ncodes) & 0xFFFFFF;
+    /* ratio in percent: emitted codes per input byte */
+    check = (check * 7 + (ncodes * 100) / tlen) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,151 @@
+/* eqntott — 1992-era suite shape: boolean product-term sorting and
+ * reduction in the style of the SPEC'92 `eqntott` truth-table
+ * generator. Terms over 16 inputs are 2-bit-coded (0, 1, don't-care);
+ * the dominant work is `cmppt`, the per-position lexicographic
+ * comparator driving a recursive quicksort — eqntott's actual hot
+ * function — followed by duplicate elimination and repeated
+ * single-literal cube merging until a fixpoint. */
+
+int care[256]; /* bit set = position is 0/1, clear = don't-care */
+int val[256];  /* value bits, masked by care */
+int nterms;
+int cmps = 0;
+
+void gen_terms(void) {
+    int i;
+    int x = 4177;
+    for (i = 0; i < 256; i++) {
+        int r1;
+        int r2;
+        int r3;
+        x ^= (x << 13) & 0xFFFFFF;
+        x ^= x >> 17;
+        x ^= (x << 5) & 0xFFFFFF;
+        r1 = x & 0xFFFF;
+        x ^= (x << 13) & 0xFFFFFF;
+        x ^= x >> 17;
+        x ^= (x << 5) & 0xFFFFFF;
+        r2 = x & 0xFFFF;
+        x ^= (x << 13) & 0xFFFFFF;
+        x ^= x >> 17;
+        x ^= (x << 5) & 0xFFFFFF;
+        r3 = x & 0xFFFF;
+        /* Bias toward mostly-specified terms, like real PLA tables. */
+        care[i] = r1 | r2;
+        val[i] = r3 & care[i];
+    }
+    nterms = 256;
+}
+
+/* eqntott's cmppt: compare two terms position by position, 0 < 1 <
+ * don't-care. */
+int cmppt(int i, int j) {
+    int p;
+    cmps++;
+    for (p = 15; p >= 0; p--) {
+        int bit = 1 << p;
+        int a = (care[i] & bit) ? ((val[i] & bit) ? 1 : 0) : 2;
+        int b = (care[j] & bit) ? ((val[j] & bit) ? 1 : 0) : 2;
+        if (a < b) return -1;
+        if (a > b) return 1;
+    }
+    return 0;
+}
+
+void swap_terms(int i, int j) {
+    int t = care[i];
+    care[i] = care[j];
+    care[j] = t;
+    t = val[i];
+    val[i] = val[j];
+    val[j] = t;
+}
+
+void qsort_terms(int lo, int hi) {
+    int pivot;
+    int i;
+    int last;
+    if (lo >= hi) return;
+    pivot = lo + (hi - lo) / 2;
+    swap_terms(lo, pivot);
+    last = lo;
+    for (i = lo + 1; i <= hi; i++) {
+        if (cmppt(i, lo) < 0) {
+            last++;
+            swap_terms(last, i);
+        }
+    }
+    swap_terms(lo, last);
+    qsort_terms(lo, last - 1);
+    qsort_terms(last + 1, hi);
+}
+
+void dedupe(void) {
+    int r;
+    int w = 1;
+    for (r = 1; r < nterms; r++) {
+        if (cmppt(r, w - 1) != 0) {
+            care[w] = care[r];
+            val[w] = val[r];
+            w++;
+        }
+    }
+    nterms = w;
+}
+
+/* One reduction pass: merge any two terms with identical care masks
+ * whose values differ in exactly one bit, dropping that literal.
+ * Returns the number of merges. */
+int merge_pass(void) {
+    int i;
+    int j;
+    int merged = 0;
+    for (i = 0; i < nterms; i++) {
+        if (care[i] < 0) continue;
+        for (j = i + 1; j < nterms; j++) {
+            int d;
+            if (care[j] != care[i]) continue;
+            d = val[i] ^ val[j];
+            if (d != 0 && (d & (d - 1)) == 0) {
+                care[i] = care[i] & ~d;
+                val[i] = val[i] & care[i];
+                care[j] = -1;
+                merged++;
+                break;
+            }
+        }
+    }
+    /* Compact out the killed terms. */
+    j = 0;
+    for (i = 0; i < nterms; i++) {
+        if (care[i] >= 0) {
+            care[j] = care[i];
+            val[j] = val[i];
+            j++;
+        }
+    }
+    nterms = j;
+    return merged;
+}
+
+int main(void) {
+    int check = 0;
+    int passes = 0;
+    int k;
+    gen_terms();
+    qsort_terms(0, nterms - 1);
+    dedupe();
+    while (merge_pass() > 0 && passes < 20) {
+        qsort_terms(0, nterms - 1);
+        dedupe();
+        passes++;
+    }
+    for (k = 0; k < nterms; k++) {
+        check = (check * 13 + care[k]) & 0xFFFFFF;
+        check = (check * 13 + val[k]) & 0xFFFFFF;
+    }
+    check = (check * 7 + nterms) & 0xFFFFFF;
+    check = (check * 7 + passes) & 0xFFFFFF;
+    check = (check * 7 + cmps % 9973) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,95 @@
+/* fpkernel — curated extension workload: dense floating-point
+ * arithmetic. A degree-7 Horner polynomial sweep, a three-point Jacobi
+ * stencil relaxation, and running dot products — long multiply-add
+ * chains over doubles with trivially predictable loops, giving the FP
+ * pipeline a denser diet than the paper's solver/whetstone mix. The
+ * checksum quantizes accumulated sums to integers, so every target
+ * must agree bit-for-bit on the FP sequence. */
+
+double xs[1024];
+double grid[1026];
+double scratch[1026];
+double poly[8];
+
+void build(void) {
+    int i;
+    for (i = 0; i < 1024; i++) {
+        xs[i] = (double)(i % 200) / 100.0 - 1.0;
+    }
+    for (i = 0; i < 1026; i++) {
+        grid[i] = (double)((i * 7) % 100) / 50.0;
+    }
+    poly[0] = 0.5;
+    poly[1] = -1.25;
+    poly[2] = 2.0;
+    poly[3] = -0.75;
+    poly[4] = 1.5;
+    poly[5] = -0.125;
+    poly[6] = 0.25;
+    poly[7] = -2.0;
+}
+
+double horner_sweep(void) {
+    int i;
+    int k;
+    double total = 0.0;
+    for (i = 0; i < 1024; i++) {
+        double x = xs[i];
+        double v = poly[7];
+        for (k = 6; k >= 0; k--) {
+            v = v * x + poly[k];
+        }
+        total += v;
+    }
+    return total;
+}
+
+double stencil(int sweeps) {
+    int s;
+    int i;
+    double residual = 0.0;
+    for (s = 0; s < sweeps; s++) {
+        for (i = 1; i < 1025; i++) {
+            scratch[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];
+        }
+        for (i = 1; i < 1025; i++) {
+            grid[i] = scratch[i];
+        }
+    }
+    for (i = 1; i < 1025; i++) {
+        residual += grid[i];
+    }
+    return residual;
+}
+
+double dots(void) {
+    int i;
+    double d1 = 0.0;
+    double d2 = 0.0;
+    for (i = 0; i < 1024; i++) {
+        d1 += xs[i] * grid[i];
+        d2 += xs[i] * xs[1023 - i];
+    }
+    return d1 * 0.5 + d2 * 0.25;
+}
+
+int quantize(double v) {
+    /* Map into a stable integer: scale, clamp, truncate. */
+    double s = v * 1000.0;
+    if (s > 1000000.0) s = 1000000.0;
+    if (s < -1000000.0) s = -1000000.0;
+    return (int)s;
+}
+
+int main(void) {
+    int rep;
+    int check = 0;
+    build();
+    for (rep = 0; rep < 3; rep++) {
+        check = (check * 31 + quantize(horner_sweep())) & 0xFFFFFF;
+        check = (check * 31 + quantize(stencil(4))) & 0xFFFFFF;
+        check = (check * 31 + quantize(dots())) & 0xFFFFFF;
+        xs[rep * 300] += 0.125;
+    }
+    return check & 0x7FFF;
+}

@@ -1,0 +1,108 @@
+/* hashchurn — curated extension workload: open-addressing hash-table
+ * churn. A 512-slot linear-probe table with tombstones absorbs a
+ * pseudo-random stream of interleaved inserts, lookups and deletes at
+ * sustained ~60% load. The probe loop's trip count depends on the
+ * table's evolving cluster structure, so both the branch pattern and
+ * the access pattern are history-dependent — the classic symbol-table
+ * inner loop. */
+
+int keys[512];  /* 0 empty, -1 tombstone, else the key (>= 1) */
+int vals[512];
+int live = 0;
+int probes = 0;
+
+int hash(int k) {
+    int h = k * 2654435;
+    h ^= h >> 13;
+    return h & 511;
+}
+
+/* Returns the slot holding `k`, or -1. */
+int find(int k) {
+    int i = hash(k);
+    int step = 0;
+    while (step < 512) {
+        probes++;
+        if (keys[i] == 0) return -1;
+        if (keys[i] == k) return i;
+        i = (i + 1) & 511;
+        step++;
+    }
+    return -1;
+}
+
+/* Inserts or updates; returns 0 on table-full. */
+int put(int k, int v) {
+    int i = hash(k);
+    int step = 0;
+    int grave = -1;
+    while (step < 512) {
+        probes++;
+        if (keys[i] == k) {
+            vals[i] = v;
+            return 1;
+        }
+        if (keys[i] == 0) {
+            int slot = grave >= 0 ? grave : i;
+            keys[slot] = k;
+            vals[slot] = v;
+            live++;
+            return 1;
+        }
+        if (keys[i] == -1 && grave < 0) grave = i;
+        i = (i + 1) & 511;
+        step++;
+    }
+    if (grave >= 0) {
+        keys[grave] = k;
+        vals[grave] = v;
+        live++;
+        return 1;
+    }
+    return 0;
+}
+
+int del(int k) {
+    int i = find(k);
+    if (i < 0) return 0;
+    keys[i] = -1;
+    live--;
+    return 1;
+}
+
+int main(void) {
+    int x = 31337;
+    int op;
+    int hits = 0;
+    int removed = 0;
+    int check = 0;
+    int i;
+    for (op = 0; op < 6000; op++) {
+        int k;
+        int r;
+        x ^= (x << 13) & 0xFFFFFF;
+        x ^= x >> 17;
+        x ^= (x << 5) & 0xFFFFFF;
+        k = (x & 1023) + 1;
+        r = (x >> 10) & 7;
+        if (r < 4 && live < 300) {
+            if (!put(k, (k * 3 + op) & 0xFFFF)) return -1;
+        } else if (r < 6) {
+            int s = find(k);
+            if (s >= 0) {
+                hits++;
+                check = (check * 3 + vals[s]) & 0xFFFFFF;
+            }
+        } else {
+            removed += del(k);
+        }
+    }
+    for (i = 0; i < 512; i++) {
+        if (keys[i] > 0) check = (check * 7 + keys[i] + vals[i]) & 0xFFFFFF;
+    }
+    check = (check * 7 + live) & 0xFFFFFF;
+    check = (check * 7 + hits) & 0xFFFFFF;
+    check = (check * 7 + removed) & 0xFFFFFF;
+    check = (check * 7 + probes % 9973) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,102 @@
+/* intkernel — curated extension workload: dense integer arithmetic.
+ * Three classic fixed-point kernels — a 16-tap FIR filter, a bitwise
+ * CRC-16 over a byte buffer, and a blocked 8x8 integer matrix multiply
+ * — chosen so the dynamic mix is dominated by multiply/add/shift with
+ * long straight-line bodies and predictable short loops: the opposite
+ * signature of the pointer-chasing and branchy workloads. */
+
+int samples[2048];
+int coeff[16];
+int out[2048];
+char bytes[2048];
+int a[8][8];
+int b[8][8];
+int c[8][8];
+
+void build(void) {
+    int i;
+    int j;
+    int x = 777;
+    for (i = 0; i < 2048; i++) {
+        x ^= (x << 7) & 0xFFFF;
+        x ^= x >> 9;
+        x ^= (x << 8) & 0xFFFF;
+        samples[i] = (x & 1023) - 512;
+        bytes[i] = (char)(x & 255);
+    }
+    for (i = 0; i < 16; i++) coeff[i] = ((i * 37) % 64) - 32;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            a[i][j] = (i * 13 + j * 7) % 100 - 50;
+            b[i][j] = (i * 5 + j * 11) % 100 - 50;
+        }
+    }
+}
+
+int fir(void) {
+    int i;
+    int t;
+    int acc = 0;
+    for (i = 16; i < 2048; i++) {
+        int s = 0;
+        for (t = 0; t < 16; t++) {
+            s += samples[i - t] * coeff[t];
+        }
+        out[i] = s >> 6;
+        acc = (acc + out[i]) & 0xFFFFFF;
+    }
+    return acc;
+}
+
+int crc16(void) {
+    int crc = 0xFFFF;
+    int i;
+    int bit;
+    for (i = 0; i < 2048; i++) {
+        crc = crc ^ (bytes[i] & 255);
+        for (bit = 0; bit < 8; bit++) {
+            if (crc & 1) {
+                crc = (crc >> 1) ^ 0xA001;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc & 0xFFFF;
+}
+
+int matmul(void) {
+    int i;
+    int j;
+    int k;
+    int acc = 0;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            int s = 0;
+            for (k = 0; k < 8; k++) {
+                s += a[i][k] * b[k][j];
+            }
+            c[i][j] = s;
+        }
+    }
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            acc = (acc * 3 + c[i][j]) & 0xFFFFFF;
+        }
+    }
+    return acc;
+}
+
+int main(void) {
+    int check = 0;
+    int rep;
+    build();
+    for (rep = 0; rep < 4; rep++) {
+        check = (check * 5 + fir()) & 0xFFFFFF;
+        check = (check * 5 + crc16()) & 0xFFFFFF;
+        check = (check * 5 + matmul()) & 0xFFFFFF;
+        samples[rep * 100] += rep + 1;
+        bytes[rep * 200] = (char)(bytes[rep * 200] + 1);
+    }
+    return check & 0x7FFF;
+}

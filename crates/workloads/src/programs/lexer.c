@@ -1,0 +1,173 @@
+/* lexer — curated extension workload: a hand-written scanner for a
+ * C-like token set over a synthetic source buffer. Unlike `fsm` (one
+ * table lookup per byte) this is the open-coded character-class ladder
+ * every real compiler front end carries: multi-character operators
+ * resolved by lookahead, keyword recognition by chained string
+ * compares, comment and string-literal modes — short data-dependent
+ * branches in every direction, almost no arithmetic. */
+
+char input[4096];
+int ilen = 0;
+
+int counts[6]; /* 0 ident, 1 keyword, 2 number, 3 string, 4 op, 5 punct */
+int ident_hash = 0;
+int num_sum = 0;
+int tokens = 0;
+
+void put(char c) {
+    input[ilen] = c;
+    ilen++;
+}
+
+void frag(char *s) {
+    int i = 0;
+    while (s[i]) {
+        put(s[i]);
+        i++;
+    }
+}
+
+void build_input(void) {
+    int rep;
+    for (rep = 0; rep < 6; rep++) {
+        frag("int v");
+        put((char)('a' + rep));
+        frag(" = 0x1F + 42;\n");
+        frag("while (v");
+        put((char)('a' + rep));
+        frag(" >= 10 && flag != 0) { v");
+        put((char)('a' + rep));
+        frag("--; total += base[idx] * 3; }\n");
+        /* A line comment, assembled from chars so the host compiler
+         * does not see comment markers inside this source. */
+        put('/');
+        put('/');
+        frag(" trailing note 123\n");
+        frag("if (p->next == 0) { s = \"done\"; } else { n = n / 2; }\n");
+        put('/');
+        put('*');
+        frag(" block ");
+        put('*');
+        put('/');
+        frag(" return total <= limit ? total : limit;\n");
+    }
+    put((char)0);
+}
+
+int is_alpha(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_digit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int is_hex(int c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int eq(char *a, char *b) {
+    int i = 0;
+    while (a[i] && b[i] && a[i] == b[i]) i++;
+    return a[i] == b[i];
+}
+
+char buf[32];
+
+int lex(void) {
+    int i = 0;
+    while (input[i]) {
+        int c = input[i] & 255;
+        if (c == ' ' || c == '\t' || c == '\n') {
+            i++;
+        } else if (c == '/' && input[i + 1] == '/') {
+            while (input[i] && input[i] != '\n') i++;
+        } else if (c == '/' && input[i + 1] == '*') {
+            i += 2;
+            while (input[i] && !(input[i] == '*' && input[i + 1] == '/')) i++;
+            if (input[i]) i += 2;
+        } else if (is_alpha(c)) {
+            int n = 0;
+            while (is_alpha(input[i] & 255) || is_digit(input[i] & 255)) {
+                if (n < 31) {
+                    buf[n] = input[i];
+                    n++;
+                }
+                i++;
+            }
+            buf[n] = (char)0;
+            if (eq(buf, "if") || eq(buf, "else") || eq(buf, "while") || eq(buf, "int") ||
+                eq(buf, "return")) {
+                counts[1]++;
+            } else {
+                int k;
+                counts[0]++;
+                for (k = 0; k < n; k++) {
+                    ident_hash = (ident_hash * 31 + buf[k]) & 0xFFFFFF;
+                }
+            }
+            tokens++;
+        } else if (is_digit(c)) {
+            int v = 0;
+            if (c == '0' && (input[i + 1] == 'x' || input[i + 1] == 'X')) {
+                i += 2;
+                while (is_hex(input[i] & 255)) {
+                    int d = input[i] & 255;
+                    if (is_digit(d)) {
+                        v = v * 16 + (d - '0');
+                    } else if (d >= 'a') {
+                        v = v * 16 + (d - 'a' + 10);
+                    } else {
+                        v = v * 16 + (d - 'A' + 10);
+                    }
+                    i++;
+                }
+            } else {
+                while (is_digit(input[i] & 255)) {
+                    v = v * 10 + (input[i] - '0');
+                    i++;
+                }
+            }
+            num_sum = (num_sum + v) & 0xFFFFFF;
+            counts[2]++;
+            tokens++;
+        } else if (c == '"') {
+            i++;
+            while (input[i] && input[i] != '"') i++;
+            if (input[i]) i++;
+            counts[3]++;
+            tokens++;
+        } else if (c == '=' || c == '!' || c == '<' || c == '>' || c == '+' || c == '-' ||
+                   c == '&' || c == '|' || c == '*' || c == '/' || c == '?' || c == ':') {
+            int c2 = input[i + 1] & 255;
+            if ((c2 == '=' && c != '*' && c != '/' && c != '?' && c != ':') ||
+                (c == '+' && c2 == '+') || (c == '-' && c2 == '-') || (c == '&' && c2 == '&') ||
+                (c == '|' && c2 == '|') || (c == '-' && c2 == '>')) {
+                i += 2;
+            } else {
+                i++;
+            }
+            counts[4]++;
+            tokens++;
+        } else {
+            counts[5]++;
+            tokens++;
+            i++;
+        }
+    }
+    return tokens;
+}
+
+int main(void) {
+    int pass;
+    int check = 0;
+    int k;
+    build_input();
+    if (ilen >= 4096) return -1;
+    for (pass = 0; pass < 8; pass++) lex();
+    for (k = 0; k < 6; k++) check = (check * 31 + counts[k]) & 0xFFFFFF;
+    check = (check * 31 + ident_hash % 9973) & 0xFFFFFF;
+    check = (check * 31 + num_sum % 9973) & 0xFFFFFF;
+    check = (check * 31 + tokens) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,84 @@
+/* listchase — curated extension workload: pointer-chasing list
+ * traversal. The hot loop is a serial dependence chain through memory
+ * (`p = p->next`) laid out in a pseudo-random permutation of a static
+ * pool, so every step is a data-dependent load with no exploitable
+ * stride — the locality signature the paper's Table 2 suite lacks.
+ * An in-place reversal pass every other iteration keeps the store
+ * stream honest. */
+
+struct node {
+    struct node *next;
+    int payload;
+};
+
+struct node pool[512];
+struct node *head;
+
+void build(void) {
+    int i;
+    int idx = 0;
+    int next;
+    for (i = 0; i < 512; i++) {
+        pool[i].payload = (i * 2654435 + 7) & 0xFFFF;
+        pool[i].next = (struct node *)0;
+    }
+    /* Thread the pool along a full-period LCG permutation (a=5, c=173
+     * mod 512): successive links land 173+ slots apart, defeating any
+     * next-line locality. */
+    head = &pool[0];
+    for (i = 0; i < 511; i++) {
+        next = (idx * 5 + 173) & 511;
+        pool[idx].next = &pool[next];
+        idx = next;
+    }
+    pool[idx].next = (struct node *)0;
+}
+
+int walk(void) {
+    struct node *p = head;
+    int sum = 0;
+    int n = 0;
+    while (p != (struct node *)0) {
+        sum = (sum + p->payload) & 0xFFFFFF;
+        n++;
+        p = p->next;
+    }
+    if (n != 512) return -1;
+    return sum;
+}
+
+void reverse(void) {
+    struct node *p = head;
+    struct node *prev = (struct node *)0;
+    struct node *nx;
+    while (p != (struct node *)0) {
+        nx = p->next;
+        p->next = prev;
+        prev = p;
+        p = nx;
+    }
+    head = prev;
+}
+
+void mutate(int salt) {
+    struct node *p = head;
+    while (p != (struct node *)0) {
+        p->payload = (p->payload * 3 + salt) & 0xFFFF;
+        p = p->next;
+    }
+}
+
+int main(void) {
+    int pass;
+    int s;
+    int check = 0;
+    build();
+    for (pass = 0; pass < 48; pass++) {
+        s = walk();
+        if (s < 0) return -1;
+        check = (check * 5 + s) & 0x7FFFFF;
+        if (pass % 2 == 1) reverse();
+        if (pass % 3 == 2) mutate(pass);
+    }
+    return check & 0x7FFF;
+}

@@ -1,0 +1,92 @@
+/* treewalk — curated extension workload: binary-search-tree build and
+ * traversal. Insertion recurses down a pointer structure whose shape is
+ * decided by pseudo-random keys, so the branch at every level is
+ * data-dependent and the working set is scattered across the node pool
+ * in insertion order — a deep-pointer-chain, wide-call-graph signature
+ * (insert / lookup / in-order walk / depth all recurse). */
+
+struct tnode {
+    struct tnode *left;
+    struct tnode *right;
+    int key;
+    int count;
+};
+
+struct tnode pool[1024];
+int used = 0;
+int rng = 42;
+
+int next_key(void) {
+    rng ^= (rng << 7) & 0xFFFF;
+    rng ^= rng >> 9;
+    rng ^= (rng << 8) & 0xFFFF;
+    return rng & 1023;
+}
+
+struct tnode *insert(struct tnode *t, int key) {
+    if (t == (struct tnode *)0) {
+        struct tnode *n = &pool[used];
+        used++;
+        n->left = (struct tnode *)0;
+        n->right = (struct tnode *)0;
+        n->key = key;
+        n->count = 1;
+        return n;
+    }
+    if (key < t->key) {
+        t->left = insert(t->left, key);
+    } else if (key > t->key) {
+        t->right = insert(t->right, key);
+    } else {
+        t->count++;
+    }
+    return t;
+}
+
+int lookup(struct tnode *t, int key) {
+    while (t != (struct tnode *)0) {
+        if (key < t->key) {
+            t = t->left;
+        } else if (key > t->key) {
+            t = t->right;
+        } else {
+            return t->count;
+        }
+    }
+    return 0;
+}
+
+int inorder(struct tnode *t, int acc) {
+    if (t == (struct tnode *)0) return acc;
+    acc = inorder(t->left, acc);
+    acc = (acc * 31 + t->key + t->count) & 0xFFFFFF;
+    return inorder(t->right, acc);
+}
+
+int depth(struct tnode *t) {
+    int dl;
+    int dr;
+    if (t == (struct tnode *)0) return 0;
+    dl = depth(t->left);
+    dr = depth(t->right);
+    return 1 + (dl > dr ? dl : dr);
+}
+
+int main(void) {
+    struct tnode *root = (struct tnode *)0;
+    int i;
+    int hits = 0;
+    int check;
+    for (i = 0; i < 3000; i++) {
+        root = insert(root, next_key());
+        if (used > 1024) return -1;
+    }
+    for (i = 0; i < 2048; i++) {
+        hits += lookup(root, i & 1023) > 0 ? 1 : 0;
+    }
+    check = inorder(root, 0);
+    check = (check * 7 + used) & 0xFFFFFF;
+    check = (check * 7 + hits) & 0xFFFFFF;
+    check = (check * 7 + depth(root)) & 0xFFFFFF;
+    return check & 0x7FFF;
+}

@@ -1,0 +1,148 @@
+/* Far-branch relaxation and forced literal pools: a loop body larger
+ * than the D16 conditional-branch reach (+/-1KB) whose 3.6KB of
+ * straight-line statements offer no unconditional transfer to hide an
+ * intermediate literal pool behind. Two historical failures, both
+ * first hit while growing the suite:
+ *
+ *  1. The loop's guard and back-edge branches failed to encode
+ *     ("displacement out of range") on D16 and D16x — the `lexer`
+ *     workload's scanner loop. The assembler now relaxes the
+ *     out-of-reach branch over an inline island (`ldc r0, =target;
+ *     j r0; nop` plus an inline literal word on D16, a wide `jdisp`
+ *     on D16x) placed after the delay slot.
+ *
+ *  2. With branches relaxed, the body's `ldc r0, =__mulsi3` call
+ *     sequences sat thousands of bytes from the function's only
+ *     literal pool. The compiler now forces an intermediate pool by
+ *     branching around it when a function runs too long without a
+ *     natural (unconditional-transfer) pool point.
+ */
+// expect: 30977
+
+int main(void) {
+    int i;
+    int s = 1;
+    for (i = 0; i < 4; i++) {
+        s = (s * 5 + i * 7 + 11) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 48) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 85) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 122) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 159) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 196) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 233) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 14) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 51) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 88) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 125) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 162) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 199) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 236) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 17) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 54) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 91) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 128) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 165) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 202) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 239) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 20) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 57) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 94) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 131) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 168) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 205) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 242) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 23) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 60) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 97) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 134) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 171) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 208) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 245) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 26) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 63) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 100) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 137) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 174) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 211) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 248) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 29) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 66) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 103) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 140) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 177) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 214) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 251) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 32) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 69) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 106) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 143) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 180) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 217) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 254) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 35) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 72) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 109) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 146) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 183) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 220) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 1) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 38) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 75) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 112) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 149) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 186) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 223) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 4) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 41) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 78) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 115) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 152) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 189) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 226) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 7) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 44) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 81) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 118) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 155) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 192) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 229) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 10) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 47) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 84) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 121) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 158) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 195) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 232) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 13) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 50) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 87) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 124) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 161) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 198) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 235) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 16) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 53) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 90) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 127) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 164) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 201) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 238) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 19) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 56) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 93) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 130) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 167) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 204) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 241) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 22) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 59) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 96) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 133) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 170) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 207) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 244) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 25) & 0xFFFFFF;
+        s = (s * 5 + i * 7 + 62) & 0xFFFFFF;
+    }
+    return s & 0x7FFF;
+}

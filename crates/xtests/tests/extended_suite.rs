@@ -1,0 +1,68 @@
+//! Extended-suite agreement: every workload — the fifteen Table 2
+//! programs and the eleven extension programs — goes through the full
+//! fuzz-oracle grid: six targets × both opt levels, reference agreement
+//! against the pinned checksum, per-word encoding round-trip, and
+//! engine agreement (interpreter vs. block engine) on the stop result,
+//! pipeline statistics, and access-stream digest. This is the widest
+//! correctness gate in the repo; `suite_end_to_end` checks the same
+//! Table 2 programs at the default opt level only.
+
+use d16_fuzz::oracle::{check_source, Outcome};
+use d16_workloads::{by_name, EXTRAS, SUITE};
+
+fn check_grid(name: &str) {
+    let w = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
+    let expected = w.expected.unwrap_or_else(|| panic!("{name} has no pinned checksum"));
+    match check_source(w.source, expected) {
+        Outcome::Ok => {}
+        Outcome::TooLarge(why) => panic!("{name} exceeded a static encoding limit: {why}"),
+        Outcome::Diverged(d) => panic!("{name}: {d}"),
+    }
+}
+
+// One test per workload so failures are attributable and the grid runs in
+// parallel across the suite.
+macro_rules! grid_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check_grid(stringify!($name));
+            }
+        )*
+    };
+}
+
+grid_tests!(
+    // Table 2 (the paper's suite).
+    ackermann, assem, bubblesort, queens, quicksort, towers, grep, linpack, matrix, dhrystone, pi,
+    solver, latex, ipl, whetstone, // Extensions.
+    fsm, addrgen, listchase, treewalk, bytecode, lexer, intkernel, fpkernel, hashchurn, compress,
+    eqntott,
+);
+
+/// The registry invariants the extended experiment leans on: the
+/// extended set is SUITE ++ EXTRAS with unique names, each addressable
+/// through `by_name`, every member self-checking with a pinned
+/// checksum, and the whole set at least the 25 programs the
+/// distribution tables promise.
+#[test]
+fn extended_set_is_consistent() {
+    let all: Vec<_> = SUITE.iter().chain(EXTRAS).collect();
+    assert!(all.len() >= 25, "extended suite has only {} workloads", all.len());
+    assert_eq!(SUITE.len(), 15, "Table 2 grid must keep its shape");
+    let mut names: Vec<_> = all.iter().map(|w| w.name).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate workload names");
+    for w in &all {
+        let found = by_name(w.name).expect("by_name resolves every registered workload");
+        assert_eq!(found.expected, w.expected, "{}: by_name returned a different entry", w.name);
+        assert_eq!(found.source, w.source, "{}: by_name returned a different entry", w.name);
+        assert!(w.expected.is_some(), "{}: extended-suite members pin their checksum", w.name);
+    }
+    // The grid_tests! list above must cover the whole registry; this
+    // keeps the macro honest when a workload is added.
+    assert_eq!(all.len(), 26, "update grid_tests! when growing the registry");
+}

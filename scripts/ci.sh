@@ -61,6 +61,13 @@ gate_determinism() {
     # future flag reshuffle cannot silently drop the sweep from the diff.
     grep -q 'Extension: pipeline sweep' "$tmp/out1.txt"
     grep -q 'Extension: fetch traffic across fetch widths' "$tmp/out1.txt"
+    step "determinism: the --jobs diff covered the extended-suite tables"
+    # Same pinning for the extended-suite distribution tables: --all
+    # implies --extended, and the byte-compare must keep covering the
+    # 26-program tables and their bootstrap intervals.
+    grep -q 'Extension: extended-suite static size vs D16 = 1.00 (26 programs)' "$tmp/out1.txt"
+    grep -q 'Extension: extended-suite path length vs D16 = 1.00 (26 programs)' "$tmp/out1.txt"
+    grep -q 'Extension: extended-suite ratio distributions over workloads' "$tmp/out1.txt"
     step "determinism: --all output matches checked-in results.txt"
     cmp "$tmp/out1.txt" results.txt
 }
